@@ -1,0 +1,105 @@
+// Shared plumbing for the paper-reproduction bench harness.
+//
+// Every bench binary reproduces one table or figure from the paper. The
+// harness runs at a reduced default scale so the full suite completes in
+// minutes; pass --scale=1 (or SAMPNN_SCALE=1) and paper-sized --hidden /
+// --epochs to run at publication scale. Trends (method ordering, depth
+// collapse, batch-size crossovers) are preserved across scales; absolute
+// numbers are hardware-dependent and not expected to match the paper's
+// i9-9920X (see EXPERIMENTS.md).
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/data/synthetic.h"
+#include "src/metrics/reporter.h"
+#include "src/util/env.h"
+#include "src/util/flags.h"
+
+namespace sampnn::bench {
+
+/// Common flags shared by experiment benches.
+inline void AddCommonFlags(Flags* flags) {
+  flags->AddInt("scale", GetEnvIntOr("SAMPNN_SCALE", 100),
+                "dataset downscale factor (1 = paper scale); env SAMPNN_SCALE");
+  flags->AddInt("hidden", GetEnvIntOr("SAMPNN_HIDDEN", 128),
+                "hidden units per layer (paper: 1000); env SAMPNN_HIDDEN");
+  flags->AddInt("seed", 42, "experiment seed");
+  flags->AddString("out", "", "CSV output path ('' = <bench>.csv in cwd)");
+  flags->AddBool("verbose", false, "per-epoch progress on stderr");
+}
+
+/// Parses flags, handling --help; aborts on error. Returns false on --help.
+inline bool ParseOrHelp(Flags* flags, int argc, char** argv) {
+  Status st = flags->Parse(argc, argv);
+  if (st.IsFailedPrecondition()) return false;
+  st.Abort("flags");
+  return true;
+}
+
+/// CSV path for a bench: --out if set, else "<name>.csv".
+inline std::string CsvPath(const Flags& flags, const std::string& name) {
+  const std::string out = flags.GetString("out");
+  return out.empty() ? name + ".csv" : out;
+}
+
+/// Loads a benchmark dataset at the configured scale; aborts on error.
+inline DatasetSplits LoadData(const std::string& dataset, const Flags& flags) {
+  return std::move(GenerateBenchmark(
+                       dataset, 7,
+                       static_cast<size_t>(flags.GetInt("scale"))))
+      .ValueOrDie("generate " + dataset);
+}
+
+/// Runs one experiment with paper defaults for `kind`; aborts on error.
+inline ExperimentResult RunPaperExperiment(const DatasetSplits& data,
+                                           TrainerKind kind, size_t depth,
+                                           size_t batch, size_t epochs,
+                                           const Flags& flags,
+                                           bool eval_each_epoch = false) {
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const MlpConfig net = PaperMlpConfig(
+      data.train, depth, static_cast<size_t>(flags.GetInt("hidden")), seed);
+  ExperimentConfig config;
+  config.trainer = PaperTrainerOptions(kind, batch, seed);
+  config.batch_size = batch;
+  config.epochs = epochs;
+  config.eval_each_epoch = eval_each_epoch;
+  config.verbose = flags.GetBool("verbose");
+  return std::move(RunExperiment(net, config, data))
+      .ValueOrDie(std::string("experiment ") + TrainerKindToString(kind));
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const std::string& artifact, const Flags& flags) {
+  std::printf("[sampnn bench] %s | scale=%lld hidden=%lld (paper: scale=1 "
+              "hidden=1000)\n",
+              artifact.c_str(), flags.GetInt("scale"), flags.GetInt("hidden"));
+}
+
+/// Display name used in the paper: method + setting superscript.
+inline std::string PaperName(TrainerKind kind, size_t batch) {
+  std::string name;
+  switch (kind) {
+    case TrainerKind::kStandard:
+      name = "Standard";
+      break;
+    case TrainerKind::kDropout:
+      name = "Dropout";
+      break;
+    case TrainerKind::kAdaptiveDropout:
+      name = "Adaptive-Dropout";
+      break;
+    case TrainerKind::kAlsh:
+      return "ALSH-approx";  // per-sample by construction; no superscript
+    case TrainerKind::kMc:
+      name = "MC-approx";
+      break;
+  }
+  return name + (batch <= 1 ? "^S" : "^M");
+}
+
+}  // namespace sampnn::bench

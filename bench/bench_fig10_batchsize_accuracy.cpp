@@ -1,0 +1,73 @@
+// Figure 10 reproduction: MC-approx accuracy vs mini-batch size at a FIXED
+// learning rate (1e-3). The paper reports accuracy dropping from 98% to 64%
+// as the batch shrinks, because the Eq. 7 probability estimates degrade
+// when computed from few samples.
+//
+// Expected shape: accuracy decreasing as batch -> 1 at fixed lr; the
+// companion row shows the §9.3 fix (lr 1e-4 for batch 1) recovering much of
+// the loss.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_fig10_batchsize_accuracy");
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs", 10, "training epochs");
+  // kmnist by default: the small-batch instability that Figure 10 shows
+  // needs a dataset hard enough that noisy probability estimates matter
+  // (the MNIST-like substitute is too easy to expose it at reduced scale).
+  flags.AddString("dataset", "kmnist", "benchmark dataset");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Figure 10: MC-approx accuracy vs batch size (fixed lr)", flags);
+
+  DatasetSplits data = LoadData(flags.GetString("dataset"), flags);
+  const auto epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const size_t batches[] = {1, 2, 5, 10, 20, 50, 100};
+
+  TableReporter table("Figure 10: MC-approx test accuracy (%) vs batch size",
+                      {"batch", "fixed lr 1e-3", "tuned lr (1e-4 at batch 1)"});
+  auto csv = std::move(CsvWriter::Open(CsvPath(flags, "fig10_batch_acc")))
+                 .ValueOrDie("csv");
+  csv.WriteHeader({"batch", "lr", "test_accuracy"});
+
+  for (size_t batch : batches) {
+    std::fprintf(stderr, "-- batch %zu\n", batch);
+    const MlpConfig net = PaperMlpConfig(
+        data.train, 3, static_cast<size_t>(flags.GetInt("hidden")), seed);
+    // Fixed lr 1e-3 regardless of batch (the Figure 10 setting).
+    ExperimentConfig fixed;
+    fixed.trainer = PaperTrainerOptions(TrainerKind::kMc, /*batch=*/20, seed);
+    fixed.trainer.learning_rate = 1e-3f;
+    fixed.batch_size = batch;
+    fixed.epochs = epochs;
+    fixed.eval_each_epoch = false;
+    auto fixed_result =
+        std::move(RunExperiment(net, fixed, data)).ValueOrDie("fixed");
+
+    // Paper-tuned lr (1e-4 in the stochastic setting, §9.3).
+    ExperimentConfig tuned = fixed;
+    tuned.trainer = PaperTrainerOptions(TrainerKind::kMc, batch, seed);
+    auto tuned_result =
+        std::move(RunExperiment(net, tuned, data)).ValueOrDie("tuned");
+
+    table.AddRow(
+        {std::to_string(batch),
+         TableReporter::Cell(100.0 * fixed_result.final_test_accuracy, 1),
+         TableReporter::Cell(100.0 * tuned_result.final_test_accuracy, 1)});
+    csv.WriteRow({std::to_string(batch), "1e-3",
+                  CsvWriter::Num(fixed_result.final_test_accuracy)});
+    csv.WriteRow({std::to_string(batch), "tuned",
+                  CsvWriter::Num(tuned_result.final_test_accuracy)});
+  }
+  csv.Close().Abort("csv close");
+  table.Print();
+  std::printf("\nPaper reference (Fig. 10): accuracy drops from ~98%% to "
+              "~64%% as the batch shrinks to 1 at the same lr.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 11 reproduction: MC-approx training time vs mini-batch size,
+// against Standard at the same batch sizes.
+//
+// Expected shape (paper Fig. 11 / §9.3): MC's per-epoch time rises sharply
+// as the batch shrinks (the probability-estimation overhead is paid per
+// step), crossing above Standard near batch 1 — the "swift drop in time
+// efficiency under SGD".
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_fig11_batchsize_time");
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs", 1, "epochs to average over");
+  flags.AddString("dataset", "mnist", "benchmark dataset");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Figure 11: training time vs batch size", flags);
+
+  DatasetSplits data = LoadData(flags.GetString("dataset"), flags);
+  const auto epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  const size_t batches[] = {1, 2, 5, 10, 20, 50, 100};
+
+  TableReporter table(
+      "Figure 11: seconds per epoch vs batch size (3 hidden layers)",
+      {"batch", "MC-approx", "Standard", "MC/Standard"});
+  auto csv = std::move(CsvWriter::Open(CsvPath(flags, "fig11_batch_time")))
+                 .ValueOrDie("csv");
+  csv.WriteHeader({"batch", "method", "seconds_per_epoch"});
+  for (size_t batch : batches) {
+    std::fprintf(stderr, "-- batch %zu\n", batch);
+    ExperimentResult mc = RunPaperExperiment(data, TrainerKind::kMc,
+                                             /*depth=*/3, batch, epochs, flags);
+    ExperimentResult standard = RunPaperExperiment(
+        data, TrainerKind::kStandard, /*depth=*/3, batch, epochs, flags);
+    const double mc_s = mc.train_seconds / epochs;
+    const double std_s = standard.train_seconds / epochs;
+    table.AddRow({std::to_string(batch), TableReporter::Cell(mc_s, 3),
+                  TableReporter::Cell(std_s, 3),
+                  TableReporter::Cell(std_s > 0 ? mc_s / std_s : 0.0)});
+    csv.WriteRow({std::to_string(batch), "mc", CsvWriter::Num(mc_s)});
+    csv.WriteRow({std::to_string(batch), "standard", CsvWriter::Num(std_s)});
+  }
+  csv.Close().Abort("csv close");
+  table.Print();
+  std::printf("\nExpected shape: MC/Standard ratio largest at batch 1 (MC "
+              "slower than exact training, §9.3) and < 1 at batch >= ~20.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figures 4-6 reproduction: learning curves (test accuracy per epoch) for
+// every method on the MNIST-like benchmark, in its paper setting
+// (stochastic for Standard/Dropout/Adaptive/ALSH, mini-batch 20 for MC^M,
+// plus MC^S with the §9.3 reduced learning rate).
+//
+// Expected shape: MC^M and Adaptive track Standard; Dropout p=0.05 learns
+// slowly; ALSH plateaus below the dense methods.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_fig456_learning_curves");
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs", 8, "epochs (x-axis length)");
+  flags.AddString("dataset", "mnist", "benchmark dataset");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Figures 4-6: learning curves (test accuracy per epoch)", flags);
+
+  DatasetSplits data = LoadData(flags.GetString("dataset"), flags);
+  const auto epochs = static_cast<size_t>(flags.GetInt("epochs"));
+
+  struct Config {
+    TrainerKind kind;
+    size_t batch;
+  };
+  const Config configs[] = {
+      {TrainerKind::kStandard, 1},        {TrainerKind::kDropout, 1},
+      {TrainerKind::kAdaptiveDropout, 1}, {TrainerKind::kAlsh, 1},
+      {TrainerKind::kMc, 20},             {TrainerKind::kMc, 1},
+  };
+
+  std::vector<std::string> cols{"Method"};
+  for (size_t e = 1; e <= epochs; ++e) cols.push_back("ep" + std::to_string(e));
+  TableReporter table("Test accuracy (%) by epoch", cols);
+
+  auto csv = std::move(CsvWriter::Open(CsvPath(flags, "fig456_curves")))
+                 .ValueOrDie("csv");
+  csv.WriteHeader({"method", "epoch", "test_accuracy", "train_loss",
+                   "epoch_seconds"});
+  for (const Config& c : configs) {
+    std::fprintf(stderr, "-- %s\n", PaperName(c.kind, c.batch).c_str());
+    ExperimentResult result = RunPaperExperiment(
+        data, c.kind, /*depth=*/3, c.batch, epochs, flags,
+        /*eval_each_epoch=*/true);
+    std::vector<std::string> row{PaperName(c.kind, c.batch)};
+    for (const EpochRecord& e : result.epochs) {
+      row.push_back(TableReporter::Cell(100.0 * e.test_accuracy, 1));
+      csv.WriteRow({PaperName(c.kind, c.batch), std::to_string(e.epoch),
+                    CsvWriter::Num(e.test_accuracy),
+                    CsvWriter::Num(e.train_loss),
+                    CsvWriter::Num(e.seconds)});
+    }
+    table.AddRow(std::move(row));
+  }
+  csv.Close().Abort("csv close");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 8 reproduction: training time per epoch vs number of hidden
+// layers for MC-approx^M, ALSH-approx, Standard^S, and Standard^M.
+//
+// Expected shape (paper Fig. 8 / §9.2): every method grows with depth;
+// ALSH's growth is steeper than the others' on one core (hashing + rebuild
+// at every layer); MC^M is fastest for shallow nets with the advantage
+// shrinking as depth grows.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_fig8_time_vs_depth");
+  AddCommonFlags(&flags);
+  flags.AddInt("max-depth", 7, "deepest network");
+  flags.AddInt("epochs", 1, "epochs to average over");
+  flags.AddString("dataset", "mnist", "benchmark dataset");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Figure 8: training time vs hidden layers", flags);
+
+  DatasetSplits data = LoadData(flags.GetString("dataset"), flags);
+  const auto max_depth = static_cast<size_t>(flags.GetInt("max-depth"));
+  const auto epochs = static_cast<size_t>(flags.GetInt("epochs"));
+
+  struct Config {
+    TrainerKind kind;
+    size_t batch;
+  };
+  const Config configs[] = {
+      {TrainerKind::kMc, 20},
+      {TrainerKind::kAlsh, 1},
+      {TrainerKind::kStandard, 1},
+      {TrainerKind::kStandard, 20},
+  };
+
+  std::vector<std::string> cols{"Method"};
+  for (size_t d = 1; d <= max_depth; ++d) {
+    cols.push_back("d=" + std::to_string(d));
+  }
+  TableReporter table("Figure 8: seconds per epoch vs depth", cols);
+  auto csv = std::move(CsvWriter::Open(CsvPath(flags, "fig8_time_depth")))
+                 .ValueOrDie("csv");
+  csv.WriteHeader({"method", "depth", "seconds_per_epoch"});
+
+  for (const Config& c : configs) {
+    std::vector<std::string> row{PaperName(c.kind, c.batch)};
+    for (size_t depth = 1; depth <= max_depth; ++depth) {
+      std::fprintf(stderr, "-- %s depth %zu\n",
+                   PaperName(c.kind, c.batch).c_str(), depth);
+      ExperimentResult result =
+          RunPaperExperiment(data, c.kind, depth, c.batch, epochs, flags);
+      const double per_epoch = result.train_seconds / epochs;
+      row.push_back(TableReporter::Cell(per_epoch, 3));
+      csv.WriteRow({PaperName(c.kind, c.batch), std::to_string(depth),
+                    CsvWriter::Num(per_epoch)});
+    }
+    table.AddRow(std::move(row));
+  }
+  csv.Close().Abort("csv close");
+  table.Print();
+  std::printf("\nExpected shape: single-core ALSH grows fastest with depth; "
+              "MC^M stays below Standard^M for shallow nets (§9.2).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 9 reproduction: the speed/accuracy scatter — total training time
+// vs final test accuracy for every method/setting on the MNIST-like
+// benchmark (3 hidden layers).
+//
+// Expected shape (paper Fig. 9): MC-approx^M dominates (top-left: fast and
+// accurate); ALSH single-core sits bottom-right relative to it.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_fig9_speed_vs_accuracy");
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs-s", 4, "epochs for stochastic methods");
+  flags.AddInt("epochs-m", 10, "epochs for mini-batch methods");
+  flags.AddString("dataset", "mnist", "benchmark dataset");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Figure 9: speed vs accuracy", flags);
+
+  DatasetSplits data = LoadData(flags.GetString("dataset"), flags);
+
+  struct Config {
+    TrainerKind kind;
+    size_t batch;
+  };
+  const Config configs[] = {
+      {TrainerKind::kStandard, 1},        {TrainerKind::kStandard, 20},
+      {TrainerKind::kDropout, 1},         {TrainerKind::kAdaptiveDropout, 1},
+      {TrainerKind::kAlsh, 1},            {TrainerKind::kMc, 20},
+      {TrainerKind::kMc, 1},
+  };
+  TableReporter table(
+      "Figure 9: total training time vs final test accuracy (3 hidden layers)",
+      {"Method", "train s", "test acc %", "s per accuracy point"});
+  for (const Config& c : configs) {
+    std::fprintf(stderr, "-- %s\n", PaperName(c.kind, c.batch).c_str());
+    const size_t epochs = static_cast<size_t>(
+        c.batch > 1 ? flags.GetInt("epochs-m") : flags.GetInt("epochs-s"));
+    ExperimentResult result =
+        RunPaperExperiment(data, c.kind, /*depth=*/3, c.batch, epochs, flags);
+    const double acc_pct = 100.0 * result.final_test_accuracy;
+    table.AddRow({PaperName(c.kind, c.batch),
+                  TableReporter::Cell(result.train_seconds),
+                  TableReporter::Cell(acc_pct),
+                  TableReporter::Cell(
+                      acc_pct > 0 ? result.train_seconds / acc_pct : 0.0, 4)});
+  }
+  table.Print();
+  table.WriteCsv(CsvPath(flags, "fig9_speed_accuracy")).Abort("csv");
+  std::printf("\nExpected shape: MC^M pareto-dominates (high accuracy, low "
+              "time); single-core ALSH is dominated (§9.2, Fig. 9).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro benchmarks for the dense and sparse linear-algebra kernels — the
+// Θ(n²)-per-layer operations the paper identifies as the training
+// bottleneck (§4.1), and the active-set kernels that replace them.
+
+#include <benchmark/benchmark.h>
+
+#include "src/tensor/kernels.h"
+#include "src/util/rng.h"
+
+namespace sampnn {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmBatchTimesWeights(benchmark::State& state) {
+  // The training-shaped product: (batch x n) * (n x n) at batch 20.
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a = Matrix::RandomGaussian(20, n, rng);
+  Matrix w = Matrix::RandomGaussian(n, n, rng);
+  Matrix c(20, n);
+  for (auto _ : state) {
+    Gemm(a, w, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 20 * n * n);
+}
+BENCHMARK(BM_GemmBatchTimesWeights)->Arg(256)->Arg(1000);
+
+void BM_GemmTransA(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a = Matrix::RandomGaussian(20, n, rng);
+  Matrix b = Matrix::RandomGaussian(20, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    GemmTransA(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransA)->Arg(256)->Arg(1000);
+
+void BM_GemmTransB(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a = Matrix::RandomGaussian(20, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  Matrix c(20, n);
+  for (auto _ : state) {
+    GemmTransB(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransB)->Arg(256)->Arg(1000);
+
+void BM_VecMat(benchmark::State& state) {
+  // The SGD hot path: (1 x n) * (n x n) + bias.
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Matrix w = Matrix::RandomGaussian(n, n, rng);
+  std::vector<float> x(n), bias(n), y(n);
+  for (auto& v : x) v = rng.NextGaussian();
+  for (auto _ : state) {
+    VecMat(x, w, bias, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_VecMat)->Arg(256)->Arg(1000);
+
+void BM_VecMatCols(benchmark::State& state) {
+  // The ALSH-approx substitute: only `active` of n columns computed.
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto active = static_cast<size_t>(state.range(1));
+  Rng rng(42);
+  Matrix w = Matrix::RandomGaussian(n, n, rng);
+  std::vector<float> x(n), bias(n), y(n);
+  for (auto& v : x) v = rng.NextGaussian();
+  std::vector<uint32_t> cols;
+  for (size_t j = 0; j < active; ++j) {
+    cols.push_back(static_cast<uint32_t>(rng.NextBounded(n)));
+  }
+  for (auto _ : state) {
+    VecMatCols(x, w, bias, cols, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * active * n);
+}
+BENCHMARK(BM_VecMatCols)
+    ->Args({1000, 50})    // the paper's ~5% active set
+    ->Args({1000, 100})
+    ->Args({1000, 1000});  // degenerate: all columns
+
+void BM_SparseOuterUpdate(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto active = static_cast<size_t>(state.range(1));
+  Rng rng(42);
+  Matrix w = Matrix::RandomGaussian(n, n, rng);
+  std::vector<float> a_prev(n), delta(n), bias(n);
+  for (auto& v : a_prev) v = rng.NextGaussian();
+  for (auto& v : delta) v = rng.NextGaussian();
+  std::vector<uint32_t> cols;
+  for (size_t j = 0; j < active; ++j) {
+    cols.push_back(static_cast<uint32_t>(rng.NextBounded(n)));
+  }
+  for (auto _ : state) {
+    SparseOuterUpdate(a_prev, delta, cols, 1e-4f, &w, bias);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_SparseOuterUpdate)->Args({1000, 50})->Args({1000, 1000});
+
+}  // namespace
+}  // namespace sampnn
+
+BENCHMARK_MAIN();

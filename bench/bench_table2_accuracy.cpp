@@ -1,0 +1,81 @@
+// Table 2 reproduction: test accuracy (%) for a network with 3 hidden
+// layers, six benchmark datasets x six method/setting combinations
+// (ALSH-approx, MC-approx^M, MC-approx^S, Dropout^S, Adaptive-Dropout^S,
+// Standard^S).
+//
+// Expected shape (paper Table 2): MC-approx best on most datasets,
+// Adaptive-Dropout close to Standard, ALSH-approx in between, Dropout at
+// p=0.05 collapsing on the harder datasets, and every sampling method
+// collapsing on CIFAR-10.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_table2_accuracy");
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs-s", 6, "epochs for stochastic (batch=1) methods");
+  flags.AddInt("epochs-m", 12, "epochs for mini-batch methods");
+  flags.AddString("datasets", "all", "comma list or 'all'");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Table 2: test accuracy, 3 hidden layers", flags);
+
+  std::vector<std::string> datasets;
+  if (flags.GetString("datasets") == "all") {
+    datasets = BenchmarkDatasetNames();
+  } else {
+    std::string list = flags.GetString("datasets");
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+      const size_t comma = list.find(',', pos);
+      datasets.push_back(list.substr(
+          pos, comma == std::string::npos ? comma : comma - pos));
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+  }
+
+  struct Config {
+    TrainerKind kind;
+    size_t batch;
+  };
+  const Config configs[] = {
+      {TrainerKind::kAlsh, 1},    {TrainerKind::kMc, 20},
+      {TrainerKind::kMc, 1},      {TrainerKind::kDropout, 1},
+      {TrainerKind::kAdaptiveDropout, 1}, {TrainerKind::kStandard, 1},
+  };
+  std::vector<std::string> columns{"Dataset"};
+  for (const Config& c : configs) columns.push_back(PaperName(c.kind, c.batch));
+  TableReporter table("Table 2: test accuracy (%), 3 hidden layers", columns);
+
+  const auto epochs_s = static_cast<size_t>(flags.GetInt("epochs-s"));
+  const auto epochs_m = static_cast<size_t>(flags.GetInt("epochs-m"));
+  for (const std::string& dataset : datasets) {
+    std::fprintf(stderr, "== dataset %s\n", dataset.c_str());
+    DatasetSplits data = LoadData(dataset, flags);
+    std::vector<std::string> row{dataset};
+    for (const Config& c : configs) {
+      std::fprintf(stderr, "   %s...\n", PaperName(c.kind, c.batch).c_str());
+      // ALSH steps are ~20x cheaper than dense stochastic steps, and the
+      // method converges in steps, not epochs — give it a proportionally
+      // larger epoch budget (the paper trains everything for 50 epochs).
+      const size_t epochs = c.kind == TrainerKind::kAlsh ? 4 * epochs_s
+                            : c.batch > 1               ? epochs_m
+                                                        : epochs_s;
+      ExperimentResult result =
+          RunPaperExperiment(data, c.kind, /*depth=*/3, c.batch, epochs, flags);
+      row.push_back(TableReporter::Cell(100.0 * result.final_test_accuracy));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  table.WriteCsv(CsvPath(flags, "table2_accuracy")).Abort("csv");
+  std::printf("\nPaper reference (Table 2, MNIST row): ALSH 94.15, MC^M 98.10, "
+              "MC^S 98.38, Dropout^S 90.21, Adaptive^S 98.06, Standard^S "
+              "96.46.\nExpected shape: MC best, Adaptive ~ Standard, ALSH "
+              "mid, Dropout worst; all sampling methods collapse on "
+              "cifar10.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 3 reproduction: training time in the stochastic setting (batch = 1,
+// one CPU, no parallelization), 3 hidden layers, split into feedforward and
+// backpropagation time per epoch.
+//
+// Expected shape (paper Table 3): ALSH-approx slowest single-threaded
+// (hashing + rebuild overhead), MC-approx^S slower than Standard^S (the
+// probability-estimation pass costs more than sampling saves at batch 1),
+// backprop dominating feedforward for every method.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_table3_time_stochastic");
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs", 2, "epochs to average over");
+  flags.AddString("dataset", "mnist", "benchmark dataset");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Table 3: per-epoch training time, stochastic setting", flags);
+
+  DatasetSplits data = LoadData(flags.GetString("dataset"), flags);
+  const auto epochs = static_cast<size_t>(flags.GetInt("epochs"));
+
+  const TrainerKind kinds[] = {TrainerKind::kStandard, TrainerKind::kDropout,
+                               TrainerKind::kAdaptiveDropout,
+                               TrainerKind::kAlsh, TrainerKind::kMc};
+  TableReporter table(
+      "Table 3: training time, stochastic setting (batch=1, 3 hidden layers)",
+      {"Method", "feedforward s/epoch", "backprop s/epoch", "other s/epoch",
+       "total s/epoch", "ms/sample", "test acc %"});
+  for (TrainerKind kind : kinds) {
+    std::fprintf(stderr, "-- %s\n", PaperName(kind, 1).c_str());
+    ExperimentResult result =
+        RunPaperExperiment(data, kind, /*depth=*/3, /*batch=*/1, epochs, flags);
+    const double per_epoch = result.train_seconds / epochs;
+    const double ff = result.forward_seconds / epochs;
+    const double bp = result.backward_seconds / epochs;
+    const double other = per_epoch - ff - bp;
+    const double ms_per_sample =
+        1000.0 * result.train_seconds /
+        (static_cast<double>(data.train.size()) * epochs);
+    table.AddRow({PaperName(kind, 1), TableReporter::Cell(ff, 3),
+                  TableReporter::Cell(bp, 3),
+                  TableReporter::Cell(other < 0 ? 0.0 : other, 3),
+                  TableReporter::Cell(per_epoch, 3),
+                  TableReporter::Cell(ms_per_sample, 3),
+                  TableReporter::Cell(100.0 * result.final_test_accuracy)});
+  }
+  table.Print();
+  table.WriteCsv(CsvPath(flags, "table3_time_stochastic")).Abort("csv");
+  std::printf("\nExpected shape (paper Table 3): ALSH slowest without "
+              "parallelism; MC^S slower than Standard^S; backprop >> "
+              "feedforward.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 4 reproduction: training time in the mini-batch setting (batch =
+// 20, one CPU), 3 hidden layers, feedforward/backprop split.
+//
+// Expected shape (paper Table 4): MC-approx^M significantly fastest; the
+// dropout pair pays mask construction/multiplication overhead on top of
+// dense cost (Adaptive-Dropout slower than Standard).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  using namespace sampnn::bench;
+  Flags flags("bench_table4_time_minibatch");
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs", 4, "epochs to average over");
+  flags.AddInt("batch", 20, "minibatch size (paper: 20)");
+  flags.AddString("dataset", "mnist", "benchmark dataset");
+  if (!ParseOrHelp(&flags, argc, argv)) return 0;
+  Banner("Table 4: per-epoch training time, mini-batch setting", flags);
+
+  DatasetSplits data = LoadData(flags.GetString("dataset"), flags);
+  const auto epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  const auto batch = static_cast<size_t>(flags.GetInt("batch"));
+
+  const TrainerKind kinds[] = {TrainerKind::kStandard, TrainerKind::kDropout,
+                               TrainerKind::kAdaptiveDropout,
+                               TrainerKind::kAlsh, TrainerKind::kMc};
+  TableReporter table(
+      "Table 4: training time, mini-batch setting (batch=" +
+          std::to_string(batch) + ", 3 hidden layers)",
+      {"Method", "feedforward s/epoch", "backprop s/epoch", "other s/epoch",
+       "total s/epoch", "test acc %"});
+  for (TrainerKind kind : kinds) {
+    std::fprintf(stderr, "-- %s\n", PaperName(kind, batch).c_str());
+    ExperimentResult result =
+        RunPaperExperiment(data, kind, /*depth=*/3, batch, epochs, flags);
+    const double per_epoch = result.train_seconds / epochs;
+    const double ff = result.forward_seconds / epochs;
+    const double bp = result.backward_seconds / epochs;
+    const double other = per_epoch - ff - bp;
+    table.AddRow({PaperName(kind, batch), TableReporter::Cell(ff, 3),
+                  TableReporter::Cell(bp, 3),
+                  TableReporter::Cell(other < 0 ? 0.0 : other, 3),
+                  TableReporter::Cell(per_epoch, 3),
+                  TableReporter::Cell(100.0 * result.final_test_accuracy)});
+  }
+  table.Print();
+  table.WriteCsv(CsvPath(flags, "table4_time_minibatch")).Abort("csv");
+  std::printf("\nExpected shape (paper Table 4): MC^M fastest at batch 20; "
+              "the dropout pair is not faster than Standard (mask "
+              "overhead).\n");
+  return 0;
+}

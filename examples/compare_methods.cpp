@@ -1,0 +1,61 @@
+// Side-by-side comparison of all five training approaches (paper §8.3) on
+// one synthetic benchmark: accuracy, wall-clock time, and the
+// feedforward/backprop split, in both the mini-batch and stochastic
+// settings.
+//
+//   ./compare_methods [--dataset=mnist] [--epochs=N] [--scale=S] [--batch=B]
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/data/synthetic.h"
+#include "src/metrics/reporter.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  Flags flags("compare_methods");
+  flags.AddString("dataset", "mnist", "mnist|kmnist|fashion|emnist|norb|cifar10");
+  flags.AddInt("epochs", 4, "training epochs");
+  flags.AddInt("scale", 50, "dataset downscale factor");
+  flags.AddInt("batch", 20, "minibatch size (1 = stochastic)");
+  flags.AddInt("hidden", 128, "hidden units per layer");
+  flags.AddInt("depth", 3, "hidden layers");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsFailedPrecondition()) return 0;
+  st.Abort("flags");
+
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch"));
+  DatasetSplits data =
+      std::move(GenerateBenchmark(flags.GetString("dataset"), 7,
+                                  static_cast<size_t>(flags.GetInt("scale"))))
+          .ValueOrDie("generate data");
+  const MlpConfig net =
+      PaperMlpConfig(data.train, static_cast<size_t>(flags.GetInt("depth")),
+                     static_cast<size_t>(flags.GetInt("hidden")), 42);
+
+  const TrainerKind kinds[] = {TrainerKind::kStandard, TrainerKind::kDropout,
+                               TrainerKind::kAdaptiveDropout,
+                               TrainerKind::kAlsh, TrainerKind::kMc};
+  TableReporter table(
+      "Method comparison on " + flags.GetString("dataset") +
+          " (batch=" + std::to_string(batch) + ")",
+      {"method", "test acc %", "train s", "forward s", "backward s"});
+  for (TrainerKind kind : kinds) {
+    ExperimentConfig config;
+    config.trainer = PaperTrainerOptions(kind, batch, 42);
+    config.batch_size = batch;
+    config.epochs = static_cast<size_t>(flags.GetInt("epochs"));
+    config.verbose = true;
+    std::fprintf(stderr, "-- training %s\n", TrainerKindToString(kind));
+    ExperimentResult result =
+        std::move(RunExperiment(net, config, data)).ValueOrDie("experiment");
+    table.AddRow({result.method,
+                  TableReporter::Cell(100.0 * result.final_test_accuracy),
+                  TableReporter::Cell(result.train_seconds),
+                  TableReporter::Cell(result.forward_seconds),
+                  TableReporter::Cell(result.backward_seconds)});
+  }
+  table.Print();
+  return 0;
+}

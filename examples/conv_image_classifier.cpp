@@ -1,0 +1,75 @@
+// The §8.4 convolutional setting as an example: train a ResNet-style conv
+// feature extractor (exact) with a two-FC-layer classifier whose backward
+// pass is MC-approximated, on the CIFAR-like benchmark — then compare
+// against the exact classifier.
+//
+//   ./conv_image_classifier [--dataset=cifar10] [--epochs=N]
+
+#include <cstdio>
+
+#include "src/cnn/conv_classifier.h"
+#include "src/data/batcher.h"
+#include "src/data/synthetic.h"
+#include "src/metrics/split_timer.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  Flags flags("conv_image_classifier");
+  flags.AddString("dataset", "mnist", "image benchmark dataset");
+  flags.AddInt("scale", 100, "dataset downscale factor");
+  flags.AddInt("epochs", 10, "training epochs");
+  flags.AddString("classifier", "mc", "classifier mode: exact|mc|dropout");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsFailedPrecondition()) return 0;
+  st.Abort("flags");
+
+  const std::string dataset = flags.GetString("dataset");
+  DatasetSplits data =
+      std::move(GenerateBenchmark(dataset, 7,
+                                  static_cast<size_t>(flags.GetInt("scale"))))
+          .ValueOrDie("data");
+  const auto spec = std::move(GetBenchmarkSpec(dataset)).ValueOrDie("spec");
+
+  ConvClassifierConfig cfg;
+  cfg.features.input = {spec.synthetic.channels, spec.synthetic.image_height,
+                        spec.synthetic.image_width};
+  cfg.features.stem_channels = 12;
+  cfg.features.num_blocks = 2;
+  cfg.hidden = 128;
+  cfg.num_classes = data.train.num_classes();
+  cfg.mode = std::move(ClassifierModeFromString(flags.GetString("classifier")))
+                 .ValueOrDie("mode");
+  cfg.learning_rate = 0.01f;  // pure SGD, per the paper's CIFAR setting
+  auto model = std::move(ConvClassifier::Create(cfg)).ValueOrDie("model");
+
+  std::printf("conv+FC model on %s: %zu params, classifier mode '%s'\n",
+              dataset.c_str(), model.num_params(),
+              flags.GetString("classifier").c_str());
+
+  Batcher batcher(data.train, 20, 7);
+  Matrix x;
+  std::vector<int32_t> y;
+  const auto epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  Stopwatch watch;
+  for (size_t e = 1; e <= epochs; ++e) {
+    double loss_sum = 0.0;
+    size_t batches = 0;
+    while (batcher.Next(&x, &y)) {
+      loss_sum += std::move(model.Step(x, y)).ValueOrDie("step");
+      ++batches;
+    }
+    std::printf("epoch %2zu  loss %.4f  test acc %.2f%%\n", e,
+                loss_sum / batches, 100.0 * model.Evaluate(data.test));
+  }
+  std::printf("\ntrained in %.2fs — conv fwd %.2fs, conv bwd %.2fs, "
+              "classifier fwd %.2fs, classifier bwd %.2fs\n",
+              watch.Elapsed(), model.timer().Seconds("conv_forward"),
+              model.timer().Seconds("conv_backward"),
+              model.timer().Seconds(kPhaseForward),
+              model.timer().Seconds(kPhaseBackward));
+  std::printf("The approximation touches only the classifier phases; the "
+              "conv phases dominate, which is why the paper keeps them "
+              "exact (§8.4).\n");
+  return 0;
+}

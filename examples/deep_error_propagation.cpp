@@ -1,0 +1,75 @@
+// The §7 negative result, live: compares the Theorem 7.2 closed-form
+// error-to-estimate ratio against empirical measurements on linear MLPs of
+// increasing depth, under both oracle top-fraction selection (the theorem's
+// assumption) and real ALSH selection.
+//
+//   ./deep_error_propagation [--max-depth=7] [--width=256]
+
+#include <cstdio>
+
+#include "src/core/error_propagation.h"
+#include "src/metrics/reporter.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace sampnn;
+  Flags flags("deep_error_propagation");
+  flags.AddInt("max-depth", 6, "deepest network to measure");
+  flags.AddInt("width", 256, "hidden units per layer");
+  flags.AddInt("inputs", 64, "number of probe inputs");
+  flags.AddDouble("c", 5.0, "active/inactive weighted-sum ratio (paper: 5)");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsFailedPrecondition()) return 0;
+  st.Abort("flags");
+
+  const auto max_depth = static_cast<size_t>(flags.GetInt("max-depth"));
+  const auto width = static_cast<size_t>(flags.GetInt("width"));
+  const double c = flags.GetDouble("c");
+
+  // The paper's in-text table (c = 5 → 0.2, 0.44, 0.72, 1.07, 1.48, 1.98).
+  TableReporter theory("Theorem 7.2: e^k/a-hat^k for c=" +
+                           TableReporter::Cell(c, 1),
+                       {"k", "error/estimate"});
+  for (size_t k = 1; k <= max_depth; ++k) {
+    theory.AddRow({std::to_string(k),
+                   TableReporter::Cell(TheoreticalErrorRatio(c, k))});
+  }
+  theory.Print();
+
+  // Empirical: linear MLP (the §7 setting), deepest configuration, measured
+  // layer by layer.
+  MlpConfig cfg = MlpConfig::Uniform(width, 10, max_depth, width);
+  cfg.hidden_activation = Activation::kLinear;
+  cfg.initializer = Initializer::kXavier;
+  cfg.seed = 42;
+  Mlp net = std::move(Mlp::Create(cfg)).ValueOrDie("net");
+
+  Rng rng(7);
+  Matrix inputs = Matrix::RandomUniform(
+      static_cast<size_t>(flags.GetInt("inputs")), width, rng, 0.0f, 1.0f);
+
+  for (const char* mode : {"oracle", "alsh"}) {
+    ErrorPropagationOptions options;
+    options.selection = std::string(mode) == "oracle"
+                            ? ActiveSelection::kOracleTopFraction
+                            : ActiveSelection::kAlsh;
+    options.active_fraction = 0.05;
+    auto stats = std::move(MeasureErrorPropagation(net, inputs, options))
+                     .ValueOrDie("measure");
+    TableReporter table(std::string("Empirical error propagation (") + mode +
+                            " active sets, 5% kept)",
+                        {"layer k", "mean |a - a-hat|", "mean |a-hat|",
+                         "error/estimate"});
+    for (const auto& s : stats) {
+      table.AddRow({std::to_string(s.layer),
+                    TableReporter::Cell(s.mean_abs_error, 4),
+                    TableReporter::Cell(s.mean_abs_estimate, 4),
+                    TableReporter::Cell(s.error_ratio)});
+    }
+    table.Print();
+  }
+  std::printf("\nTakeaway: the error-to-estimate ratio grows with depth in "
+              "every mode,\nmatching Theorem 7.2's exponential bound — "
+              "feedforward approximation does not scale.\n");
+  return 0;
+}

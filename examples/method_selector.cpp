@@ -1,0 +1,37 @@
+// The §10.4 decision tree as a library call: for a handful of training
+// regimes, print the recommended method and the paper-grounded rationale.
+//
+//   ./method_selector
+
+#include <cstdio>
+
+#include "src/core/method_selector.h"
+#include "src/metrics/reporter.h"
+
+int main() {
+  using namespace sampnn;
+  struct Case {
+    const char* description;
+    TrainingScenario scenario;
+  };
+  const Case cases[] = {
+      {"laptop, mini-batch 20, 3 hidden layers", {20, 3, false}},
+      {"laptop, mini-batch 64, 10 hidden layers", {64, 10, false}},
+      {"streaming SGD (batch 1), 2 layers, 8 cores", {1, 2, true}},
+      {"streaming SGD (batch 1), 2 layers, 1 core", {1, 2, false}},
+      {"streaming SGD (batch 1), 7 layers, 8 cores", {1, 7, true}},
+  };
+  TableReporter table("§10.4 decision tree", {"scenario", "recommendation"});
+  for (const Case& c : cases) {
+    const MethodRecommendation rec = RecommendMethod(c.scenario);
+    table.AddRow({c.description, TrainerKindToString(rec.method)});
+  }
+  table.Print();
+  std::printf("\nRationales:\n");
+  for (const Case& c : cases) {
+    const MethodRecommendation rec = RecommendMethod(c.scenario);
+    std::printf("- %s\n    -> %s\n      %s\n", c.description,
+                TrainerKindToString(rec.method), rec.rationale.c_str());
+  }
+  return 0;
+}

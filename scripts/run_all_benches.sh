@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the complete paper-reproduction bench harness and collects the
+# tables into one log. Usage:
+#   scripts/run_all_benches.sh [build-dir] [output-file]
+# Environment: SAMPNN_SCALE / SAMPNN_HIDDEN override the reduced defaults
+# (SAMPNN_SCALE=1 SAMPNN_HIDDEN=1000 = paper scale; expect hours).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found; build with -DSAMPNN_BUILD_BENCHMARKS=ON" >&2
+  exit 1
+fi
+
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$b" && ! -d "$b" ]] || continue
+  echo "==> $(basename "$b")" | tee -a "$OUT"
+  "$b" 2>/dev/null | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "done; tables in $OUT, CSVs in $(pwd)"

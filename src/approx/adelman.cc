@@ -1,0 +1,169 @@
+#include "src/approx/adelman.h"
+
+#include "src/approx/sampling.h"
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<std::vector<double>> AdelmanScores(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("AdelmanScores: inner dimension mismatch");
+  }
+  std::vector<double> scores(a.cols());
+  for (size_t i = 0; i < a.cols(); ++i) {
+    scores[i] = static_cast<double>(a.ColNorm(i)) * b.RowNorm(i);
+  }
+  return scores;
+}
+
+StatusOr<std::vector<double>> AdelmanScoresTransA(const Matrix& a,
+                                                  const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument(
+        "AdelmanScoresTransA: inner dimension mismatch");
+  }
+  std::vector<double> scores(a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    scores[i] = static_cast<double>(a.RowNorm(i)) * b.RowNorm(i);
+  }
+  return scores;
+}
+
+StatusOr<std::vector<double>> AdelmanScoresTransB(const Matrix& a,
+                                                  const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument(
+        "AdelmanScoresTransB: inner dimension mismatch");
+  }
+  std::vector<double> scores(a.cols());
+  for (size_t j = 0; j < a.cols(); ++j) {
+    scores[j] = static_cast<double>(a.ColNorm(j)) * b.ColNorm(j);
+  }
+  return scores;
+}
+
+namespace {
+
+// Shared selection step: water-fill + Bernoulli draw + inverse-probability
+// scales for the selected indices.
+void SelectAndScale(const std::vector<double>& scores, size_t k, Rng& rng,
+                    std::vector<uint32_t>* selected,
+                    std::vector<float>* scales) {
+  const std::vector<double> probs = WaterFillProbabilities(scores, k);
+  BernoulliSample(probs, rng, selected);
+  scales->resize(selected->size());
+  for (size_t s = 0; s < selected->size(); ++s) {
+    (*scales)[s] = static_cast<float>(1.0 / probs[(*selected)[s]]);
+  }
+}
+
+}  // namespace
+
+Status AdelmanApproxMatmul(const Matrix& a, const Matrix& b, size_t k,
+                           Rng& rng, Matrix* out) {
+  SAMPNN_CHECK(out != nullptr);
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("AdelmanApproxMatmul: dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("AdelmanApproxMatmul: k == 0");
+  const size_t m = a.rows(), n = a.cols(), p = b.cols();
+  if (out->rows() != m || out->cols() != p) *out = Matrix(m, p);
+  if (k >= n) {
+    Gemm(a, b, out);
+    return Status::OK();
+  }
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<double> scores, AdelmanScores(a, b));
+  std::vector<uint32_t> selected;
+  std::vector<float> scales;
+  SelectAndScale(scores, k, rng, &selected, &scales);
+  out->SetZero();
+  float* od = out->data();
+  const float* bd = b.data();
+  for (size_t s = 0; s < selected.size(); ++s) {
+    const uint32_t i = selected[s];
+    const float* brow = bd + static_cast<size_t>(i) * p;
+    for (size_t r = 0; r < m; ++r) {
+      const float av = a(r, i) * scales[s];
+      if (av == 0.0f) continue;
+      float* orow = od + r * p;
+      for (size_t j = 0; j < p; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return Status::OK();
+}
+
+Status AdelmanApproxGemmTransA(const Matrix& a, const Matrix& b, size_t k,
+                               Rng& rng, Matrix* out) {
+  SAMPNN_CHECK(out != nullptr);
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument(
+        "AdelmanApproxGemmTransA: dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("AdelmanApproxGemmTransA: k == 0");
+  const size_t m = a.rows(), n = a.cols(), p = b.cols();
+  if (out->rows() != n || out->cols() != p) *out = Matrix(n, p);
+  if (k >= m) {
+    GemmTransA(a, b, out);
+    return Status::OK();
+  }
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<double> scores,
+                          AdelmanScoresTransA(a, b));
+  std::vector<uint32_t> selected;
+  std::vector<float> scales;
+  SelectAndScale(scores, k, rng, &selected, &scales);
+  out->SetZero();
+  float* od = out->data();
+  for (size_t s = 0; s < selected.size(); ++s) {
+    const uint32_t i = selected[s];
+    auto arow = a.Row(i);
+    auto brow = b.Row(i);
+    for (size_t l = 0; l < n; ++l) {
+      const float av = arow[l] * scales[s];
+      if (av == 0.0f) continue;
+      float* orow = od + l * p;
+      for (size_t j = 0; j < p; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return Status::OK();
+}
+
+Status AdelmanApproxGemmTransB(const Matrix& a, const Matrix& b, size_t k,
+                               Rng& rng, Matrix* out) {
+  SAMPNN_CHECK(out != nullptr);
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument(
+        "AdelmanApproxGemmTransB: dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("AdelmanApproxGemmTransB: k == 0");
+  const size_t m = a.rows(), n = a.cols(), p = b.rows();
+  if (out->rows() != m || out->cols() != p) *out = Matrix(m, p);
+  if (k >= n) {
+    GemmTransB(a, b, out);
+    return Status::OK();
+  }
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<double> scores,
+                          AdelmanScoresTransB(a, b));
+  std::vector<uint32_t> selected;
+  std::vector<float> scales;
+  SelectAndScale(scores, k, rng, &selected, &scales);
+  out->SetZero();
+  float* od = out->data();
+  const float* bd = b.data();
+  // C[r, l] += (1/p_j) * A[r, j] * B[l, j] over selected j.
+  for (size_t s = 0; s < selected.size(); ++s) {
+    const uint32_t j = selected[s];
+    const float scale = scales[s];
+    const float* acol = a.data() + j;
+    const float* bcol = bd + j;
+    for (size_t r = 0; r < m; ++r) {
+      const float av = acol[r * n] * scale;
+      if (av == 0.0f) continue;
+      float* orow = od + r * p;
+      for (size_t l = 0; l < p; ++l) orow[l] += av * bcol[l * n];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sampnn

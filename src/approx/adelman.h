@@ -1,0 +1,54 @@
+// The Adelman et al. sampled matrix-multiplication estimator used by
+// MC-approx (paper §6.2): sample inner-dimension indices *independently*
+// (Bernoulli) with the error-minimizing probabilities of Eq. 7
+// (p_i = min{k ||A_{*i}|| ||B_{i*}|| / S, 1}, water-filled so sum p_i = k),
+// and scale each kept column–row product by 1/p_i. Unbiased:
+// E[A'B'] = AB.
+//
+// Three layouts are provided, matching the three gemms of MLP training:
+//   AdelmanApproxMatmul     : C ≈ A  * B   (inner dim: cols(A)=rows(B))
+//   AdelmanApproxGemmTransA : C ≈ A^T * B   (inner dim: rows(A)=rows(B))
+//                             — the weight-gradient product X^T δ, sampled
+//                               over the minibatch
+//   AdelmanApproxGemmTransB : C ≈ A  * B^T (inner dim: cols(A)=cols(B))
+//                             — the delta-propagation product δ W^T, sampled
+//                               over current-layer nodes
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Importance scores over the inner dimension of A*B:
+/// s_i = ||A_{*i}|| * ||B_{i*}||.
+StatusOr<std::vector<double>> AdelmanScores(const Matrix& a, const Matrix& b);
+/// Scores for A^T*B: s_i = ||A_{i*}|| * ||B_{i*}|| (i over rows).
+StatusOr<std::vector<double>> AdelmanScoresTransA(const Matrix& a,
+                                                  const Matrix& b);
+/// Scores for A*B^T: s_j = ||A_{*j}|| * ||B_{*j}|| (j over columns).
+StatusOr<std::vector<double>> AdelmanScoresTransB(const Matrix& a,
+                                                  const Matrix& b);
+
+/// C ≈ A(m x n) * B(n x p) with expected k sampled inner indices.
+/// `out` is resized to m x p. If k >= n the product is computed exactly.
+Status AdelmanApproxMatmul(const Matrix& a, const Matrix& b, size_t k,
+                           Rng& rng, Matrix* out);
+
+/// C ≈ A^T(m x n) * B(m x p) — samples over the m rows (the minibatch when
+/// A is the layer input and B the delta). `out` resized to n x p.
+Status AdelmanApproxGemmTransA(const Matrix& a, const Matrix& b, size_t k,
+                               Rng& rng, Matrix* out);
+
+/// C ≈ A(m x n) * B^T(p x n) — samples over the n shared columns (the
+/// current layer's nodes when A is the delta and B the weights).
+/// `out` resized to m x p.
+Status AdelmanApproxGemmTransB(const Matrix& a, const Matrix& b, size_t k,
+                               Rng& rng, Matrix* out);
+
+}  // namespace sampnn

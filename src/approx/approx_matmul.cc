@@ -1,0 +1,66 @@
+#include "src/approx/approx_matmul.h"
+
+#include <cmath>
+
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+
+StatusOr<MatmulScheme> MatmulSchemeFromString(const std::string& name) {
+  if (name == "exact") return MatmulScheme::kExact;
+  if (name == "drineas") return MatmulScheme::kDrineas;
+  if (name == "adelman") return MatmulScheme::kAdelman;
+  return Status::InvalidArgument("unknown matmul scheme: " + name);
+}
+
+const char* MatmulSchemeToString(MatmulScheme scheme) {
+  switch (scheme) {
+    case MatmulScheme::kExact:
+      return "exact";
+    case MatmulScheme::kDrineas:
+      return "drineas";
+    case MatmulScheme::kAdelman:
+      return "adelman";
+  }
+  return "unknown";
+}
+
+Status SchemeMatmul(MatmulScheme scheme, const Matrix& a, const Matrix& b,
+                    size_t k, Rng& rng, Matrix* out) {
+  switch (scheme) {
+    case MatmulScheme::kExact: {
+      if (a.cols() != b.rows()) {
+        return Status::InvalidArgument("SchemeMatmul: dimension mismatch");
+      }
+      if (out->rows() != a.rows() || out->cols() != b.cols()) {
+        *out = Matrix(a.rows(), b.cols());
+      }
+      Gemm(a, b, out);
+      return Status::OK();
+    }
+    case MatmulScheme::kDrineas:
+      return DrineasApproxMatmul(a, b, k, rng, out);
+    case MatmulScheme::kAdelman:
+      return AdelmanApproxMatmul(a, b, k, rng, out);
+  }
+  return Status::Internal("unreachable scheme");
+}
+
+StatusOr<double> RelativeFrobeniusError(const Matrix& exact,
+                                        const Matrix& estimate) {
+  if (exact.rows() != estimate.rows() || exact.cols() != estimate.cols()) {
+    return Status::InvalidArgument("RelativeFrobeniusError: shape mismatch");
+  }
+  double num = 0.0, den = 0.0;
+  const float* ed = exact.data();
+  const float* sd = estimate.data();
+  for (size_t i = 0; i < exact.size(); ++i) {
+    const double d = static_cast<double>(ed[i]) - sd[i];
+    num += d * d;
+    den += static_cast<double>(ed[i]) * ed[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : INFINITY;
+  return std::sqrt(num / den);
+}
+
+}  // namespace sampnn

@@ -1,0 +1,65 @@
+#include "src/approx/drineas.h"
+
+#include "src/approx/sampling.h"
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<std::vector<double>> DrineasProbabilities(const Matrix& a,
+                                                   const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        "DrineasProbabilities: inner dimension mismatch: " +
+        std::to_string(a.cols()) + " vs " + std::to_string(b.rows()));
+  }
+  std::vector<double> weights(a.cols());
+  for (size_t i = 0; i < a.cols(); ++i) {
+    weights[i] = static_cast<double>(a.ColNorm(i)) * b.RowNorm(i);
+  }
+  return NormalizeWeights(weights);
+}
+
+Status DrineasApproxMatmul(const Matrix& a, const Matrix& b,
+                           std::span<const double> probs, size_t c, Rng& rng,
+                           Matrix* out) {
+  SAMPNN_CHECK(out != nullptr);
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("DrineasApproxMatmul: dimension mismatch");
+  }
+  if (probs.size() != a.cols()) {
+    return Status::InvalidArgument("DrineasApproxMatmul: probs size mismatch");
+  }
+  if (c == 0) {
+    return Status::InvalidArgument("DrineasApproxMatmul: c must be > 0");
+  }
+  SAMPNN_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Create(probs));
+
+  const size_t m = a.rows(), n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->SetZero();
+  float* od = out->data();
+  const float* bd = b.data();
+  for (size_t s = 0; s < c; ++s) {
+    const uint32_t i = table.Sample(rng);
+    const double pi = table.Probability(i);
+    if (pi <= 0.0) continue;  // unreachable under a valid alias table
+    const float scale = static_cast<float>(1.0 / (static_cast<double>(c) * pi));
+    const float* brow = bd + static_cast<size_t>(i) * n;
+    for (size_t r = 0; r < m; ++r) {
+      const float av = a(r, i) * scale;
+      if (av == 0.0f) continue;
+      float* orow = od + r * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return Status::OK();
+}
+
+Status DrineasApproxMatmul(const Matrix& a, const Matrix& b, size_t c,
+                           Rng& rng, Matrix* out) {
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<double> probs,
+                          DrineasProbabilities(a, b));
+  return DrineasApproxMatmul(a, b, probs, c, rng, out);
+}
+
+}  // namespace sampnn

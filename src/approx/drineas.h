@@ -1,0 +1,35 @@
+// The Drineas–Kannan–Mahoney randomized matrix-multiplication estimator
+// (paper §6.1, Eq. 5–6): sample c column–row pairs with replacement,
+// probability proportional to ||A_{*i}|| * ||B_{i*}||, and average the
+// scaled outer products. Unbiased: E[CR] = AB.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Optimal (error-minimizing) sampling probabilities of Eq. 6:
+/// p_i = ||A_{*i}|| ||B_{i*}|| / sum_j ||A_{*j}|| ||B_{j*}||.
+/// Returns InvalidArgument when inner dimensions mismatch.
+StatusOr<std::vector<double>> DrineasProbabilities(const Matrix& a,
+                                                   const Matrix& b);
+
+/// Estimates AB with c samples drawn with replacement from `probs`
+/// (typically DrineasProbabilities, but any full-support distribution keeps
+/// the estimator unbiased). `out` is resized to (a.rows() x b.cols()).
+/// Complexity O(m * c * p) versus O(m * n * p) exact.
+Status DrineasApproxMatmul(const Matrix& a, const Matrix& b,
+                           std::span<const double> probs, size_t c, Rng& rng,
+                           Matrix* out);
+
+/// Convenience: probabilities + estimate in one call.
+Status DrineasApproxMatmul(const Matrix& a, const Matrix& b, size_t c,
+                           Rng& rng, Matrix* out);
+
+}  // namespace sampnn

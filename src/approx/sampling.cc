@@ -1,0 +1,135 @@
+#include "src/approx/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<std::vector<double>> NormalizeWeights(
+    std::span<const double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("NormalizeWeights: empty input");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("NormalizeWeights: negative weight");
+    }
+    total += w;
+  }
+  std::vector<double> probs(weights.size());
+  if (total <= 0.0) {
+    std::fill(probs.begin(), probs.end(), 1.0 / weights.size());
+  } else {
+    for (size_t i = 0; i < weights.size(); ++i) probs[i] = weights[i] / total;
+  }
+  return probs;
+}
+
+StatusOr<AliasTable> AliasTable::Create(std::span<const double> probs) {
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<double> p, NormalizeWeights(probs));
+  const size_t n = p.size();
+  std::vector<double> thresholds(n, 0.0);
+  std::vector<uint32_t> alias(n, 0);
+  // Scale to mean 1 and split into under/over-full cells.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = p[i] * n;
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    thresholds[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) thresholds[i] = 1.0;
+  for (uint32_t i : small) thresholds[i] = 1.0;  // numerical leftovers
+  return AliasTable(std::move(p), std::move(thresholds), std::move(alias));
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  const uint32_t cell =
+      static_cast<uint32_t>(rng.NextBounded(thresholds_.size()));
+  return rng.NextDouble() < thresholds_[cell] ? cell : alias_[cell];
+}
+
+std::vector<double> WaterFillProbabilities(std::span<const double> scores,
+                                           size_t k) {
+  const size_t n = scores.size();
+  std::vector<double> probs(n, 0.0);
+  if (n == 0) return probs;
+  if (k >= n) {
+    std::fill(probs.begin(), probs.end(), 1.0);
+    return probs;
+  }
+  double total = 0.0;
+  for (double s : scores) {
+    SAMPNN_DCHECK(s >= 0.0);
+    total += s;
+  }
+  if (total <= 0.0) {
+    std::fill(probs.begin(), probs.end(),
+              static_cast<double>(k) / static_cast<double>(n));
+    return probs;
+  }
+  // Iteratively pin p_i = 1 for entries whose proportional share exceeds 1
+  // and redistribute the remaining budget over the rest.
+  std::vector<bool> pinned(n, false);
+  size_t num_pinned = 0;
+  double pinned_free_total = total;
+  double budget = static_cast<double>(k);
+  for (;;) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      const double p = budget * scores[i] / pinned_free_total;
+      if (p >= 1.0) {
+        pinned[i] = true;
+        ++num_pinned;
+        budget -= 1.0;
+        pinned_free_total -= scores[i];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    if (num_pinned >= k || pinned_free_total <= 0.0) break;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (pinned[i]) {
+      probs[i] = 1.0;
+    } else if (pinned_free_total > 0.0 && budget > 0.0) {
+      probs[i] = std::min(1.0, budget * scores[i] / pinned_free_total);
+    } else {
+      probs[i] = 0.0;
+    }
+  }
+  return probs;
+}
+
+void BernoulliSample(std::span<const double> probs, Rng& rng,
+                     std::vector<uint32_t>* out) {
+  SAMPNN_CHECK(out != nullptr);
+  out->clear();
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (rng.NextBernoulli(probs[i])) out->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+std::vector<uint32_t> SampleWithReplacement(const AliasTable& table,
+                                            size_t count, Rng& rng) {
+  std::vector<uint32_t> out(count);
+  for (auto& v : out) v = table.Sample(rng);
+  return out;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,68 @@
+// Weighted sampling primitives shared by the Monte-Carlo matmul
+// approximations (paper §6): alias-method sampling with replacement for the
+// Drineas et al. estimator and water-filled Bernoulli probabilities for the
+// Adelman et al. estimator (Eq. 7).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Normalizes non-negative weights to a probability vector. All-zero weights
+/// become the uniform distribution. Returns InvalidArgument on negative
+/// weights or empty input.
+StatusOr<std::vector<double>> NormalizeWeights(std::span<const double> weights);
+
+/// \brief O(1)-per-draw discrete sampler (Walker alias method).
+class AliasTable {
+ public:
+  /// Builds from a probability vector (must sum to ~1; renormalized
+  /// defensively). Returns InvalidArgument on empty/negative input.
+  static StatusOr<AliasTable> Create(std::span<const double> probs);
+
+  /// Draws one index.
+  uint32_t Sample(Rng& rng) const;
+
+  /// Probability of index i as encoded by the table.
+  double Probability(uint32_t i) const { return probs_[i]; }
+
+  size_t size() const { return probs_.size(); }
+
+ private:
+  AliasTable(std::vector<double> probs, std::vector<double> thresholds,
+             std::vector<uint32_t> alias)
+      : probs_(std::move(probs)),
+        thresholds_(std::move(thresholds)),
+        alias_(std::move(alias)) {}
+
+  std::vector<double> probs_;       // original probabilities
+  std::vector<double> thresholds_;  // per-cell acceptance threshold
+  std::vector<uint32_t> alias_;     // per-cell alias target
+};
+
+/// \brief Computes Bernoulli inclusion probabilities p_i that minimize the
+/// Adelman estimator's error subject to sum(p_i) = k and p_i <= 1 (Eq. 7's
+/// min{k*s_i/S, 1} with iterative redistribution — "water filling").
+///
+/// `scores` are the non-negative importance scores s_i (||A_col|| * ||B_row||
+/// in the matmul use). If k >= scores.size(), all probabilities are 1.
+/// All-zero scores get the uniform assignment k/n.
+std::vector<double> WaterFillProbabilities(std::span<const double> scores,
+                                           size_t k);
+
+/// Draws a Bernoulli subset: index i included with probability probs[i].
+/// Appends selected indices (ascending) to `out` (cleared first).
+void BernoulliSample(std::span<const double> probs, Rng& rng,
+                     std::vector<uint32_t>* out);
+
+/// Draws `count` indices i.i.d. from `table` (with replacement).
+std::vector<uint32_t> SampleWithReplacement(const AliasTable& table,
+                                            size_t count, Rng& rng);
+
+}  // namespace sampnn

@@ -1,0 +1,275 @@
+#include "src/cnn/conv2d.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+
+StatusOr<Conv2dLayer> Conv2dLayer::Create(const Conv2dConfig& config,
+                                          const TensorShape& input_shape,
+                                          Rng& rng) {
+  if (config.in_channels != input_shape.channels) {
+    return Status::InvalidArgument("Conv2d: in_channels mismatch");
+  }
+  if (config.out_channels == 0 || config.kernel == 0 || config.stride == 0) {
+    return Status::InvalidArgument("Conv2d: zero-sized parameter");
+  }
+  const size_t padded_h = input_shape.height + 2 * config.padding;
+  const size_t padded_w = input_shape.width + 2 * config.padding;
+  if (padded_h < config.kernel || padded_w < config.kernel) {
+    return Status::InvalidArgument("Conv2d: kernel larger than padded input");
+  }
+  TensorShape out;
+  out.channels = config.out_channels;
+  out.height = (padded_h - config.kernel) / config.stride + 1;
+  out.width = (padded_w - config.kernel) / config.stride + 1;
+  const size_t fan_in = config.in_channels * config.kernel * config.kernel;
+  Matrix filters =
+      InitializeWeights(config.initializer, fan_in, config.out_channels, rng);
+  return Conv2dLayer(config, input_shape, out, std::move(filters));
+}
+
+void Conv2dLayer::Im2Col(std::span<const float> image, Matrix* cols) const {
+  const size_t k = config_.kernel, stride = config_.stride,
+               pad = config_.padding;
+  const size_t in_h = input_shape_.height, in_w = input_shape_.width;
+  const size_t out_h = output_shape_.height, out_w = output_shape_.width;
+  const size_t patch = config_.in_channels * k * k;
+  if (cols->rows() != out_h * out_w || cols->cols() != patch) {
+    *cols = Matrix(out_h * out_w, patch);
+  }
+  float* cd = cols->data();
+  for (size_t oy = 0; oy < out_h; ++oy) {
+    for (size_t ox = 0; ox < out_w; ++ox) {
+      float* row = cd + (oy * out_w + ox) * patch;
+      size_t idx = 0;
+      for (size_t c = 0; c < config_.in_channels; ++c) {
+        const float* plane = image.data() + c * in_h * in_w;
+        for (size_t ky = 0; ky < k; ++ky) {
+          const long iy = static_cast<long>(oy * stride + ky) -
+                          static_cast<long>(pad);
+          for (size_t kx = 0; kx < k; ++kx, ++idx) {
+            const long ix = static_cast<long>(ox * stride + kx) -
+                            static_cast<long>(pad);
+            row[idx] = (iy < 0 || iy >= static_cast<long>(in_h) || ix < 0 ||
+                        ix >= static_cast<long>(in_w))
+                           ? 0.0f
+                           : plane[iy * static_cast<long>(in_w) + ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2dLayer::Col2Im(const Matrix& cols, std::span<float> image) const {
+  const size_t k = config_.kernel, stride = config_.stride,
+               pad = config_.padding;
+  const size_t in_h = input_shape_.height, in_w = input_shape_.width;
+  const size_t out_h = output_shape_.height, out_w = output_shape_.width;
+  const size_t patch = config_.in_channels * k * k;
+  std::fill(image.begin(), image.end(), 0.0f);
+  const float* cd = cols.data();
+  for (size_t oy = 0; oy < out_h; ++oy) {
+    for (size_t ox = 0; ox < out_w; ++ox) {
+      const float* row = cd + (oy * out_w + ox) * patch;
+      size_t idx = 0;
+      for (size_t c = 0; c < config_.in_channels; ++c) {
+        float* plane = image.data() + c * in_h * in_w;
+        for (size_t ky = 0; ky < k; ++ky) {
+          const long iy = static_cast<long>(oy * stride + ky) -
+                          static_cast<long>(pad);
+          for (size_t kx = 0; kx < k; ++kx, ++idx) {
+            const long ix = static_cast<long>(ox * stride + kx) -
+                            static_cast<long>(pad);
+            if (iy >= 0 && iy < static_cast<long>(in_h) && ix >= 0 &&
+                ix < static_cast<long>(in_w)) {
+              plane[iy * static_cast<long>(in_w) + ix] += row[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2dLayer::Forward(const Matrix& input, Matrix* z, Matrix* a) const {
+  SAMPNN_CHECK_EQ(input.cols(), input_shape_.size());
+  const size_t batch = input.rows();
+  const size_t out_size = output_shape_.size();
+  const size_t spatial = output_shape_.height * output_shape_.width;
+  Matrix* target = z != nullptr ? z : a;
+  SAMPNN_CHECK(target != nullptr);
+  if (target->rows() != batch || target->cols() != out_size) {
+    *target = Matrix(batch, out_size);
+  }
+  Matrix cols;
+  Matrix prod(spatial, config_.out_channels);
+  for (size_t b = 0; b < batch; ++b) {
+    Im2Col(input.Row(b), &cols);
+    // prod[s, o] = <patch s, filter o>.
+    Gemm(cols, filters_, &prod);
+    float* out_row = target->Row(b).data();
+    for (size_t o = 0; o < config_.out_channels; ++o) {
+      float* plane = out_row + o * spatial;
+      const float bias = bias_[o];
+      for (size_t s = 0; s < spatial; ++s) plane[s] = prod(s, o) + bias;
+    }
+  }
+  if (a != nullptr) {
+    if (a != target) {
+      if (a->rows() != batch || a->cols() != out_size) {
+        *a = Matrix(batch, out_size);
+      }
+      ApplyActivation(config_.activation,
+                      std::span<const float>(target->data(), target->size()),
+                      std::span<float>(a->data(), a->size()));
+    } else {
+      // a aliased with z storage only when z == nullptr: activate in place.
+      ApplyActivation(config_.activation, a);
+    }
+  }
+}
+
+void Conv2dLayer::MultiplyActivationGradInPlace(const Matrix& z,
+                                                Matrix* delta) const {
+  sampnn::MultiplyActivationGrad(config_.activation, z, delta);
+}
+
+void Conv2dLayer::Backward(const Matrix& input, const Matrix& delta,
+                           Matrix* grad_filters, std::span<float> grad_bias,
+                           Matrix* grad_input) const {
+  SAMPNN_CHECK_EQ(input.cols(), input_shape_.size());
+  SAMPNN_CHECK_EQ(delta.cols(), output_shape_.size());
+  SAMPNN_CHECK_EQ(input.rows(), delta.rows());
+  const size_t batch = input.rows();
+  const size_t spatial = output_shape_.height * output_shape_.width;
+  const size_t patch = config_.in_channels * config_.kernel * config_.kernel;
+
+  if (grad_filters != nullptr) {
+    if (grad_filters->rows() != patch ||
+        grad_filters->cols() != config_.out_channels) {
+      *grad_filters = Matrix(patch, config_.out_channels);
+    }
+    grad_filters->SetZero();
+  }
+  if (!grad_bias.empty()) {
+    SAMPNN_CHECK_EQ(grad_bias.size(), config_.out_channels);
+    std::fill(grad_bias.begin(), grad_bias.end(), 0.0f);
+  }
+  if (grad_input != nullptr &&
+      (grad_input->rows() != batch ||
+       grad_input->cols() != input_shape_.size())) {
+    *grad_input = Matrix(batch, input_shape_.size());
+  }
+
+  Matrix cols;
+  Matrix delta_sc(spatial, config_.out_channels);  // delta as (spatial x out)
+  Matrix grad_cols(spatial, patch);
+  for (size_t b = 0; b < batch; ++b) {
+    // Reorder this example's delta from (out, spatial) planes to
+    // (spatial x out) for gemm.
+    auto drow = delta.Row(b);
+    for (size_t o = 0; o < config_.out_channels; ++o) {
+      for (size_t s = 0; s < spatial; ++s) {
+        delta_sc(s, o) = drow[o * spatial + s];
+      }
+    }
+    if (grad_filters != nullptr || grad_input != nullptr) {
+      Im2Col(input.Row(b), &cols);
+    }
+    if (grad_filters != nullptr) {
+      // grad_F += cols^T * delta_sc.
+      GemmTransA(cols, delta_sc, grad_filters, 1.0f, 1.0f);
+    }
+    if (!grad_bias.empty()) {
+      for (size_t o = 0; o < config_.out_channels; ++o) {
+        float acc = 0.0f;
+        for (size_t s = 0; s < spatial; ++s) acc += delta_sc(s, o);
+        grad_bias[o] += acc;
+      }
+    }
+    if (grad_input != nullptr) {
+      // grad_cols = delta_sc * F^T, then scatter back.
+      GemmTransB(delta_sc, filters_, &grad_cols);
+      Col2Im(grad_cols, grad_input->Row(b));
+    }
+  }
+}
+
+StatusOr<MaxPool2d> MaxPool2d::Create(const TensorShape& input_shape,
+                                      size_t window) {
+  if (window == 0) return Status::InvalidArgument("MaxPool2d: window == 0");
+  if (input_shape.height % window != 0 || input_shape.width % window != 0) {
+    return Status::InvalidArgument(
+        "MaxPool2d: window must divide the spatial dimensions");
+  }
+  TensorShape out = input_shape;
+  out.height /= window;
+  out.width /= window;
+  return MaxPool2d(input_shape, out, window);
+}
+
+void MaxPool2d::Forward(const Matrix& input, Matrix* output) {
+  SAMPNN_CHECK(output != nullptr);
+  SAMPNN_CHECK_EQ(input.cols(), input_shape_.size());
+  const size_t batch = input.rows();
+  if (output->rows() != batch || output->cols() != output_shape_.size()) {
+    *output = Matrix(batch, output_shape_.size());
+  }
+  argmax_.assign(batch * output_shape_.size(), 0);
+  const size_t in_h = input_shape_.height, in_w = input_shape_.width;
+  const size_t out_h = output_shape_.height, out_w = output_shape_.width;
+  for (size_t b = 0; b < batch; ++b) {
+    auto in_row = input.Row(b);
+    auto out_row = output->Row(b);
+    for (size_t c = 0; c < input_shape_.channels; ++c) {
+      const float* plane = in_row.data() + c * in_h * in_w;
+      for (size_t oy = 0; oy < out_h; ++oy) {
+        for (size_t ox = 0; ox < out_w; ++ox) {
+          float best = -3.4e38f;
+          size_t best_idx = 0;
+          for (size_t wy = 0; wy < window_; ++wy) {
+            for (size_t wx = 0; wx < window_; ++wx) {
+              const size_t iy = oy * window_ + wy;
+              const size_t ix = ox * window_ + wx;
+              const size_t idx = iy * in_w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const size_t out_idx = c * out_h * out_w + oy * out_w + ox;
+          out_row[out_idx] = best;
+          argmax_[b * output_shape_.size() + out_idx] =
+              static_cast<uint32_t>(c * in_h * in_w + best_idx);
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d::Backward(const Matrix& delta, Matrix* grad_input) const {
+  SAMPNN_CHECK(grad_input != nullptr);
+  SAMPNN_CHECK_EQ(delta.cols(), output_shape_.size());
+  const size_t batch = delta.rows();
+  SAMPNN_CHECK_EQ(argmax_.size(), batch * output_shape_.size());
+  if (grad_input->rows() != batch ||
+      grad_input->cols() != input_shape_.size()) {
+    *grad_input = Matrix(batch, input_shape_.size());
+  }
+  grad_input->SetZero();
+  for (size_t b = 0; b < batch; ++b) {
+    auto drow = delta.Row(b);
+    auto grow = grad_input->Row(b);
+    const uint32_t* am = argmax_.data() + b * output_shape_.size();
+    for (size_t i = 0; i < output_shape_.size(); ++i) {
+      grow[am[i]] += drow[i];
+    }
+  }
+}
+
+}  // namespace sampnn

@@ -1,0 +1,124 @@
+// 2-D convolution for the paper's convolutional setting (§8.4: "we used
+// ResNet-18 with two fully-connected layers as a classifier ... We limit
+// the approximation to the classifier and keep the convoluted operations
+// exact").
+//
+// Tensors are NCHW, flattened row-major inside a Matrix: each batch row is
+// one example's C*H*W values. Convolution runs as im2col + the library's
+// blocked gemm, the standard CPU implementation strategy.
+
+#pragma once
+
+#include <cstddef>
+
+#include "src/nn/activation.h"
+#include "src/nn/initializer.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Spatial shape of a feature map batch (the per-row layout of a Matrix).
+struct TensorShape {
+  size_t channels = 0;
+  size_t height = 0;
+  size_t width = 0;
+  size_t size() const { return channels * height * width; }
+  bool operator==(const TensorShape&) const = default;
+};
+
+/// Configuration of one convolution layer.
+struct Conv2dConfig {
+  size_t in_channels = 0;
+  size_t out_channels = 0;
+  size_t kernel = 3;
+  size_t stride = 1;
+  size_t padding = 1;
+  Activation activation = Activation::kRelu;
+  Initializer initializer = Initializer::kHe;
+};
+
+/// \brief A conv + bias + activation layer with exact forward and backward.
+class Conv2dLayer {
+ public:
+  /// Validates the config against the input shape (kernel fits, channels
+  /// match) and initializes filters.
+  static StatusOr<Conv2dLayer> Create(const Conv2dConfig& config,
+                                      const TensorShape& input_shape,
+                                      Rng& rng);
+
+  const TensorShape& input_shape() const { return input_shape_; }
+  const TensorShape& output_shape() const { return output_shape_; }
+  const Conv2dConfig& config() const { return config_; }
+
+  /// Filter matrix, (in_channels*k*k) x out_channels — column j is filter j.
+  Matrix& filters() { return filters_; }
+  const Matrix& filters() const { return filters_; }
+  std::span<float> bias() { return bias_; }
+  std::span<const float> bias() const { return bias_; }
+
+  /// Forward: input (batch x in.size()) -> pre-activation z and activation a
+  /// (batch x out.size()). `z` may be null when only `a` is needed.
+  void Forward(const Matrix& input, Matrix* z, Matrix* a) const;
+
+  /// Backward: given dL/da ⊙ f'(z) precomputed in `delta`
+  /// (batch x out.size()) and the forward input, computes filter/bias
+  /// gradients and (optionally) dL/dinput.
+  void Backward(const Matrix& input, const Matrix& delta, Matrix* grad_filters,
+                std::span<float> grad_bias, Matrix* grad_input) const;
+
+  /// Applies dL/dz = dL/da ⊙ f'(z) in place given the stored z.
+  void MultiplyActivationGradInPlace(const Matrix& z, Matrix* delta) const;
+
+  size_t num_params() const { return filters_.size() + bias_.size(); }
+
+ private:
+  Conv2dLayer(const Conv2dConfig& config, const TensorShape& in,
+              const TensorShape& out, Matrix filters)
+      : config_(config),
+        input_shape_(in),
+        output_shape_(out),
+        filters_(std::move(filters)),
+        bias_(config.out_channels, 0.0f) {}
+
+  // im2col of one example: (H_out*W_out) x (C_in*k*k).
+  void Im2Col(std::span<const float> image, Matrix* cols) const;
+  // Scatter-add of col-gradients back to image layout.
+  void Col2Im(const Matrix& cols, std::span<float> image) const;
+
+  Conv2dConfig config_;
+  TensorShape input_shape_;
+  TensorShape output_shape_;
+  Matrix filters_;
+  std::vector<float> bias_;
+};
+
+/// \brief 2x2 (configurable) max pooling with argmax-routed backward.
+class MaxPool2d {
+ public:
+  /// `window` divides into the input via stride = window (non-overlapping).
+  static StatusOr<MaxPool2d> Create(const TensorShape& input_shape,
+                                    size_t window = 2);
+
+  const TensorShape& input_shape() const { return input_shape_; }
+  const TensorShape& output_shape() const { return output_shape_; }
+
+  /// Forward; records argmax indices for the batch (used by Backward).
+  void Forward(const Matrix& input, Matrix* output);
+
+  /// Routes `delta` (batch x out.size()) back to input positions using the
+  /// argmaxes of the latest Forward.
+  void Backward(const Matrix& delta, Matrix* grad_input) const;
+
+ private:
+  MaxPool2d(const TensorShape& in, const TensorShape& out, size_t window)
+      : input_shape_(in), output_shape_(out), window_(window) {}
+
+  TensorShape input_shape_;
+  TensorShape output_shape_;
+  size_t window_;
+  std::vector<uint32_t> argmax_;  // batch x out.size(), input offsets
+};
+
+}  // namespace sampnn

@@ -1,0 +1,179 @@
+#include "src/cnn/conv_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/approx/adelman.h"
+#include "src/nn/loss.h"
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+
+StatusOr<ClassifierMode> ClassifierModeFromString(const std::string& name) {
+  if (name == "exact") return ClassifierMode::kExact;
+  if (name == "mc") return ClassifierMode::kMc;
+  if (name == "dropout") return ClassifierMode::kDropout;
+  return Status::InvalidArgument("unknown classifier mode: " + name);
+}
+
+StatusOr<ConvClassifier> ConvClassifier::Create(
+    const ConvClassifierConfig& config) {
+  if (config.num_classes == 0 || config.hidden == 0) {
+    return Status::InvalidArgument("ConvClassifier: zero-sized classifier");
+  }
+  if (config.learning_rate <= 0.0f) {
+    return Status::InvalidArgument("ConvClassifier: learning rate must be > 0");
+  }
+  if (config.mode == ClassifierMode::kDropout &&
+      (config.dropout_keep <= 0.0f || config.dropout_keep > 1.0f)) {
+    return Status::InvalidArgument("ConvClassifier: dropout_keep in (0, 1]");
+  }
+  SAMPNN_ASSIGN_OR_RETURN(FeatureExtractor features,
+                          FeatureExtractor::Create(config.features));
+  MlpConfig clf_cfg = MlpConfig::Uniform(features.feature_dim(),
+                                         config.num_classes, /*depth=*/1,
+                                         config.hidden);
+  clf_cfg.seed = config.seed ^ 0xC1A551F1ull;
+  SAMPNN_ASSIGN_OR_RETURN(Mlp classifier, Mlp::Create(clf_cfg));
+  return ConvClassifier(config, std::move(features), std::move(classifier));
+}
+
+ConvClassifier::ConvClassifier(const ConvClassifierConfig& config,
+                               FeatureExtractor features, Mlp classifier)
+    : config_(config),
+      features_(std::move(features)),
+      classifier_(std::move(classifier)),
+      rng_(config.seed ^ 0xC0371ull) {}
+
+size_t ConvClassifier::num_params() const {
+  return features_.num_params() + classifier_.num_params();
+}
+
+StatusOr<double> ConvClassifier::Step(const Matrix& x,
+                                      std::span<const int32_t> y) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("ConvClassifier::Step: batch mismatch");
+  }
+  // --- Forward: exact conv, exact FC (masked in dropout mode). ---
+  const Matrix* feats = nullptr;
+  {
+    SplitTimer::Scope scope(&timer_, "conv_forward");
+    feats = &features_.Forward(x, &fx_ws_);
+  }
+  double loss = 0.0;
+  {
+    SplitTimer::Scope scope(&timer_, kPhaseForward);
+    classifier_.Forward(*feats, &clf_ws_);
+    if (config_.mode == ClassifierMode::kDropout) {
+      Matrix& a1 = clf_ws_.a[0];
+      if (mask_.rows() != a1.rows() || mask_.cols() != a1.cols()) {
+        mask_ = Matrix(a1.rows(), a1.cols());
+      }
+      const float inv_keep = 1.0f / config_.dropout_keep;
+      float* md = mask_.data();
+      for (size_t i = 0; i < mask_.size(); ++i) {
+        md[i] = rng_.NextBernoulli(config_.dropout_keep) ? inv_keep : 0.0f;
+      }
+      HadamardInPlace(&a1, mask_);
+      // Recompute the output layer on the masked activations.
+      classifier_.layer(1).ForwardLinear(a1, &clf_ws_.z[1]);
+      clf_ws_.a[1] = clf_ws_.z[1];
+    }
+  }
+  // --- Backward: classifier per mode, conv exact. ---
+  {
+    SplitTimer::Scope scope(&timer_, kPhaseBackward);
+    SAMPNN_ASSIGN_OR_RETURN(loss, SoftmaxCrossEntropy::LossAndGrad(
+                                      clf_ws_.a.back(), y, &grad_logits_));
+    Layer& fc1 = classifier_.layer(0);
+    Layer& fc2 = classifier_.layer(1);
+    const Matrix& a1 = clf_ws_.a[0];
+
+    Matrix grad_w2, grad_w1, delta1, delta_feats;
+    std::vector<float> grad_b2(fc2.out_dim()), grad_b1(fc1.out_dim());
+    const size_t batch = x.rows();
+    if (config_.mode == ClassifierMode::kMc) {
+      const size_t k_grad = std::min(batch, config_.mc.grad_batch_samples);
+      SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransA(a1, grad_logits_, k_grad,
+                                                   rng_, &grad_w2));
+      const size_t k_delta = std::min(
+          fc2.in_dim(),
+          std::max(config_.mc.delta_min_samples,
+                   static_cast<size_t>(std::llround(
+                       config_.mc.delta_sample_ratio *
+                       static_cast<double>(fc2.in_dim())))));
+      // delta1 over fc1 outputs: sampled over the shared inner dimension.
+      SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransB(
+          grad_logits_, fc2.weights(),
+          std::min(k_delta, fc2.weights().cols()), rng_, &delta1));
+    } else {
+      grad_w2 = Matrix(fc2.in_dim(), fc2.out_dim());
+      GemmTransA(a1, grad_logits_, &grad_w2);
+      delta1 = Matrix(batch, fc2.in_dim());
+      GemmTransB(grad_logits_, fc2.weights(), &delta1);
+    }
+    ColumnSums(grad_logits_, grad_b2);
+    MultiplyActivationGrad(fc1.activation(), clf_ws_.z[0], &delta1);
+    if (config_.mode == ClassifierMode::kDropout) {
+      HadamardInPlace(&delta1, mask_);
+    }
+    if (config_.mode == ClassifierMode::kMc) {
+      const size_t k_grad = std::min(batch, config_.mc.grad_batch_samples);
+      SAMPNN_RETURN_NOT_OK(
+          AdelmanApproxGemmTransA(*feats, delta1, k_grad, rng_, &grad_w1));
+    } else {
+      grad_w1 = Matrix(fc1.in_dim(), fc1.out_dim());
+      GemmTransA(*feats, delta1, &grad_w1);
+    }
+    ColumnSums(delta1, grad_b1);
+    if (config_.train_features) {
+      // Exact delta at the features (the conv path stays exact even in MC
+      // mode, per §8.4).
+      delta_feats = Matrix(batch, fc1.in_dim());
+      GemmTransB(delta1, fc1.weights(), &delta_feats);
+    }
+
+    // Pure SGD updates on the classifier.
+    const float lr = config_.learning_rate;
+    Axpy(-lr, grad_w2, &fc2.weights());
+    Axpy(-lr, grad_w1, &fc1.weights());
+    auto b2 = fc2.bias();
+    for (size_t j = 0; j < b2.size(); ++j) b2[j] -= lr * grad_b2[j];
+    auto b1 = fc1.bias();
+    for (size_t j = 0; j < b1.size(); ++j) b1[j] -= lr * grad_b1[j];
+
+    if (config_.train_features) {
+      SplitTimer::Scope conv_scope(&timer_, "conv_backward");
+      features_.BackwardAndUpdate(x, &fx_ws_, delta_feats, lr);
+    }
+  }
+  return loss;
+}
+
+std::vector<int32_t> ConvClassifier::Predict(const Matrix& x) {
+  const Matrix& feats = features_.Forward(x, &fx_ws_);
+  const Matrix& logits = classifier_.Forward(feats, &clf_ws_);
+  return SoftmaxCrossEntropy::Predict(logits);
+}
+
+double ConvClassifier::Evaluate(const Dataset& data, size_t eval_batch) {
+  if (data.size() == 0) return 0.0;
+  size_t correct = 0;
+  Matrix x;
+  std::vector<int32_t> y;
+  std::vector<size_t> idx;
+  for (size_t begin = 0; begin < data.size(); begin += eval_batch) {
+    const size_t end = std::min(data.size(), begin + eval_batch);
+    idx.resize(end - begin);
+    std::iota(idx.begin(), idx.end(), begin);
+    data.FillBatch(idx, &x, &y);
+    const auto preds = Predict(x);
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == y[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace sampnn

@@ -1,0 +1,168 @@
+#include "src/cnn/feature_extractor.h"
+
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+
+namespace {
+
+// relu applied out-of-place into `a` (shape copied from z).
+void Relu(const Matrix& z, Matrix* a) {
+  if (a->rows() != z.rows() || a->cols() != z.cols()) {
+    *a = Matrix(z.rows(), z.cols());
+  }
+  ApplyActivation(Activation::kRelu,
+                  std::span<const float>(z.data(), z.size()),
+                  std::span<float>(a->data(), a->size()));
+}
+
+}  // namespace
+
+StatusOr<FeatureExtractor> FeatureExtractor::Create(
+    const FeatureExtractorConfig& config) {
+  if (config.input.size() == 0) {
+    return Status::InvalidArgument("FeatureExtractor: empty input shape");
+  }
+  if (config.stem_channels == 0) {
+    return Status::InvalidArgument("FeatureExtractor: stem_channels == 0");
+  }
+  FeatureExtractor fx;
+  fx.config_ = config;
+  Rng rng(config.seed);
+
+  Conv2dConfig stem_cfg;
+  stem_cfg.in_channels = config.input.channels;
+  stem_cfg.out_channels = config.stem_channels;
+  stem_cfg.activation = Activation::kRelu;
+  SAMPNN_ASSIGN_OR_RETURN(Conv2dLayer stem,
+                          Conv2dLayer::Create(stem_cfg, config.input, rng));
+  TensorShape shape = stem.output_shape();
+  fx.stem_ = std::make_unique<Conv2dLayer>(std::move(stem));
+  SAMPNN_ASSIGN_OR_RETURN(MaxPool2d stem_pool,
+                          MaxPool2d::Create(shape, config.pool_window));
+  shape = stem_pool.output_shape();
+  fx.stem_pool_ = std::make_unique<MaxPool2d>(std::move(stem_pool));
+
+  for (size_t b = 0; b < config.num_blocks; ++b) {
+    Block block;
+    Conv2dConfig conv_cfg;
+    conv_cfg.in_channels = shape.channels;
+    conv_cfg.out_channels = shape.channels;  // identity skip: same channels
+    conv_cfg.activation = Activation::kLinear;  // relu applied around the add
+    SAMPNN_ASSIGN_OR_RETURN(Conv2dLayer c1,
+                            Conv2dLayer::Create(conv_cfg, shape, rng));
+    SAMPNN_ASSIGN_OR_RETURN(Conv2dLayer c2,
+                            Conv2dLayer::Create(conv_cfg, shape, rng));
+    block.conv1 = std::make_unique<Conv2dLayer>(std::move(c1));
+    block.conv2 = std::make_unique<Conv2dLayer>(std::move(c2));
+    // Pool while the spatial extent allows it.
+    if (shape.height % config.pool_window == 0 &&
+        shape.width % config.pool_window == 0 &&
+        shape.height / config.pool_window >= 2 &&
+        shape.width / config.pool_window >= 2) {
+      SAMPNN_ASSIGN_OR_RETURN(MaxPool2d pool,
+                              MaxPool2d::Create(shape, config.pool_window));
+      shape = pool.output_shape();
+      block.pool = std::make_unique<MaxPool2d>(std::move(pool));
+    }
+    fx.blocks_.push_back(std::move(block));
+  }
+  fx.output_shape_ = shape;
+  return fx;
+}
+
+size_t FeatureExtractor::num_params() const {
+  size_t total = stem_->num_params();
+  for (const Block& b : blocks_) {
+    total += b.conv1->num_params() + b.conv2->num_params();
+  }
+  return total;
+}
+
+const Matrix& FeatureExtractor::Forward(const Matrix& input, Workspace* ws) {
+  SAMPNN_CHECK(ws != nullptr);
+  stem_->Forward(input, &ws->stem_z, &ws->stem_a);
+  stem_pool_->Forward(ws->stem_a, &ws->stem_pooled);
+  ws->blocks.resize(blocks_.size());
+  const Matrix* cur = &ws->stem_pooled;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    Block& block = blocks_[i];
+    auto& state = ws->blocks[i];
+    block.conv1->Forward(*cur, &state.z1, nullptr);
+    Relu(state.z1, &state.a1);
+    block.conv2->Forward(state.a1, &state.z2, nullptr);
+    // Identity skip: sum = z2 + input, out = relu(sum).
+    state.sum = state.z2;
+    Axpy(1.0f, *cur, &state.sum);
+    Relu(state.sum, &state.out);
+    if (block.pool != nullptr) {
+      block.pool->Forward(state.out, &state.pooled);
+      cur = &state.pooled;
+    } else {
+      cur = &state.out;
+    }
+  }
+  return *cur;
+}
+
+void FeatureExtractor::BackwardAndUpdate(const Matrix& input, Workspace* ws,
+                                         const Matrix& delta_features,
+                                         float lr) {
+  SAMPNN_CHECK(ws != nullptr);
+  SAMPNN_CHECK_EQ(ws->blocks.size(), blocks_.size());
+
+  Matrix delta = delta_features;
+  Matrix grad_filters;
+  std::vector<float> grad_bias;
+  Matrix delta_in, delta_skip;
+
+  auto sgd_update = [lr](Conv2dLayer* conv, const Matrix& gf,
+                         std::span<const float> gb) {
+    Axpy(-lr, gf, &conv->filters());
+    auto bias = conv->bias();
+    for (size_t j = 0; j < bias.size(); ++j) bias[j] -= lr * gb[j];
+  };
+
+  for (size_t i = blocks_.size(); i-- > 0;) {
+    Block& block = blocks_[i];
+    auto& state = ws->blocks[i];
+    if (block.pool != nullptr) {
+      block.pool->Backward(delta, &delta_in);
+      delta = std::move(delta_in);
+      delta_in = Matrix();
+    }
+    // delta is dL/d(out); out = relu(sum).
+    MultiplyActivationGrad(Activation::kRelu, state.sum, &delta);
+    // sum = z2 + block_input: the delta splits into the conv path and the
+    // identity skip.
+    delta_skip = delta;
+    // conv2 backward (linear activation): delta is already dL/dz2.
+    const Matrix& block_input =
+        (i == 0) ? ws->stem_pooled : (blocks_[i - 1].pool != nullptr
+                                          ? ws->blocks[i - 1].pooled
+                                          : ws->blocks[i - 1].out);
+    grad_bias.assign(block.conv2->config().out_channels, 0.0f);
+    block.conv2->Backward(state.a1, delta, &grad_filters, grad_bias,
+                          &delta_in);
+    sgd_update(block.conv2.get(), grad_filters, grad_bias);
+    // Through relu(z1).
+    MultiplyActivationGrad(Activation::kRelu, state.z1, &delta_in);
+    grad_bias.assign(block.conv1->config().out_channels, 0.0f);
+    Matrix delta_block_in;
+    block.conv1->Backward(block_input, delta_in, &grad_filters, grad_bias,
+                          &delta_block_in);
+    sgd_update(block.conv1.get(), grad_filters, grad_bias);
+    // Combine with the skip path.
+    Axpy(1.0f, delta_skip, &delta_block_in);
+    delta = std::move(delta_block_in);
+  }
+
+  // Stem pool + stem conv.
+  stem_pool_->Backward(delta, &delta_in);
+  stem_->MultiplyActivationGradInPlace(ws->stem_z, &delta_in);
+  grad_bias.assign(stem_->config().out_channels, 0.0f);
+  stem_->Backward(input, delta_in, &grad_filters, grad_bias, nullptr);
+  sgd_update(stem_.get(), grad_filters, grad_bias);
+}
+
+}  // namespace sampnn

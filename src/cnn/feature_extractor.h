@@ -1,0 +1,80 @@
+// A ResNet-style convolutional feature extractor for the paper's §8.4
+// convolutional setting: a stem convolution followed by residual blocks
+// (two 3x3 convs + identity skip) and max pooling. The extractor trains
+// with exact backpropagation — the paper keeps "the convoluted operations
+// exact" and applies sampling only to the fully-connected classifier
+// (see ConvClassifier in conv_classifier.h).
+//
+// Batch norm is intentionally omitted (He-initialized convs + ReLU are
+// stable at these depths); this is the documented simplification of the
+// paper's ResNet-18 (DESIGN.md).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/cnn/conv2d.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Architecture of the extractor.
+struct FeatureExtractorConfig {
+  TensorShape input;           ///< e.g. {3, 32, 32} for CIFAR-like data
+  size_t stem_channels = 16;   ///< channels after the stem convolution
+  size_t num_blocks = 2;       ///< residual blocks after the stem
+  size_t pool_window = 2;      ///< max-pool window after stem and blocks
+  uint64_t seed = 42;
+};
+
+/// \brief Stem conv + N residual blocks + pooling, with exact backprop.
+class FeatureExtractor {
+ public:
+  static StatusOr<FeatureExtractor> Create(
+      const FeatureExtractorConfig& config);
+
+  /// Flattened output dimension (input to the FC classifier).
+  size_t feature_dim() const { return output_shape_.size(); }
+  const TensorShape& output_shape() const { return output_shape_; }
+  size_t num_params() const;
+
+  /// Per-pass intermediate state (reused across steps).
+  struct Workspace {
+    // Stem.
+    Matrix stem_z, stem_a, stem_pooled;
+    // Per block: z1, a1, z2, sum (pre-activation of the skip add), out,
+    // pooled out.
+    struct BlockState {
+      Matrix z1, a1, z2, sum, out, pooled;
+    };
+    std::vector<BlockState> blocks;
+  };
+
+  /// Forward pass; returns the flattened features (last pooled output).
+  const Matrix& Forward(const Matrix& input, Workspace* ws);
+
+  /// Exact backward from dL/dfeatures; applies a plain SGD update with
+  /// learning rate `lr` to all filters/biases (the paper uses pure SGD in
+  /// the convolutional setting).
+  void BackwardAndUpdate(const Matrix& input, Workspace* ws,
+                         const Matrix& delta_features, float lr);
+
+ private:
+  struct Block {
+    std::unique_ptr<Conv2dLayer> conv1;  // linear activation; relu applied
+    std::unique_ptr<Conv2dLayer> conv2;  // manually around the skip add
+    std::unique_ptr<MaxPool2d> pool;
+  };
+
+  FeatureExtractor() = default;
+
+  FeatureExtractorConfig config_;
+  std::unique_ptr<Conv2dLayer> stem_;
+  std::unique_ptr<MaxPool2d> stem_pool_;
+  std::vector<Block> blocks_;
+  TensorShape output_shape_;
+};
+
+}  // namespace sampnn

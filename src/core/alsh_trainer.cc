@@ -1,0 +1,423 @@
+#include "src/core/alsh_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/lsh/mips.h"
+#include "src/nn/loss.h"
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+
+StatusOr<SparseOptState> SparseOptState::Create(const Layer& layer,
+                                                const std::string& mode_name) {
+  SparseOptState state;
+  if (mode_name == "sgd") {
+    state.mode = Mode::kSgd;
+  } else if (mode_name == "adagrad") {
+    state.mode = Mode::kAdagrad;
+  } else if (mode_name == "adam") {
+    state.mode = Mode::kAdam;
+  } else {
+    return Status::InvalidArgument("SparseOptState: unknown mode " + mode_name);
+  }
+  if (state.mode != Mode::kSgd) {
+    state.v_w = Matrix(layer.in_dim(), layer.out_dim());
+    state.v_b.assign(layer.out_dim(), 0.0f);
+    if (state.mode == Mode::kAdam) {
+      state.m_w = Matrix(layer.in_dim(), layer.out_dim());
+      state.m_b.assign(layer.out_dim(), 0.0f);
+      state.col_step.assign(layer.out_dim(), 0);
+    }
+  }
+  return state;
+}
+
+void SparseOptState::UpdateColumn(Matrix* w, std::span<float> bias, size_t j,
+                                  std::span<const float> a_prev,
+                                  std::span<const uint32_t> prev_support,
+                                  float delta_j, float lr) {
+  const size_t n = w->cols();
+  float* wd = w->data();
+  switch (mode) {
+    case Mode::kSgd: {
+      for (uint32_t i : prev_support) {
+        const float g = delta_j * a_prev[i];
+        if (g != 0.0f) wd[i * n + j] -= lr * g;
+      }
+      bias[j] -= lr * delta_j;
+      return;
+    }
+    case Mode::kAdagrad: {
+      float* vd = v_w.data();
+      for (uint32_t i : prev_support) {
+        const float g = delta_j * a_prev[i];
+        if (g == 0.0f) continue;
+        const size_t idx = i * n + j;
+        vd[idx] += g * g;
+        wd[idx] -= lr * g / (std::sqrt(vd[idx]) + 1e-10f);
+      }
+      const float gb = delta_j;
+      v_b[j] += gb * gb;
+      bias[j] -= lr * gb / (std::sqrt(v_b[j]) + 1e-10f);
+      return;
+    }
+    case Mode::kAdam: {
+      // Lazy Adam: untouched steps skip moment decay (standard for sparse
+      // embedding-style updates); bias correction uses the per-column count.
+      constexpr float kBeta1 = 0.9f, kBeta2 = 0.999f, kEps = 1e-8f;
+      const uint32_t t = ++col_step[j];
+      const float bc1 = 1.0f - std::pow(kBeta1, static_cast<float>(t));
+      const float bc2 = 1.0f - std::pow(kBeta2, static_cast<float>(t));
+      const float step_size = lr * std::sqrt(bc2) / bc1;
+      float* vd = v_w.data();
+      float* md = m_w.data();
+      for (uint32_t i : prev_support) {
+        const float g = delta_j * a_prev[i];
+        if (g == 0.0f) continue;
+        const size_t idx = i * n + j;
+        md[idx] = kBeta1 * md[idx] + (1.0f - kBeta1) * g;
+        vd[idx] = kBeta2 * vd[idx] + (1.0f - kBeta2) * g * g;
+        wd[idx] -= step_size * md[idx] / (std::sqrt(vd[idx]) + kEps);
+      }
+      const float gb = delta_j;
+      m_b[j] = kBeta1 * m_b[j] + (1.0f - kBeta1) * gb;
+      v_b[j] = kBeta2 * v_b[j] + (1.0f - kBeta2) * gb * gb;
+      bias[j] -= step_size * m_b[j] / (std::sqrt(v_b[j]) + kEps);
+      return;
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<AlshTrainer>> AlshTrainer::Create(
+    Mlp net, const AlshOptions& options, float learning_rate, uint64_t seed) {
+  if (learning_rate <= 0.0f) {
+    return Status::InvalidArgument("AlshTrainer: learning rate must be > 0");
+  }
+  if (options.early_rebuild_every == 0 || options.late_rebuild_every == 0) {
+    return Status::InvalidArgument(
+        "AlshTrainer: rebuild periods must be >= 1");
+  }
+  std::unique_ptr<AlshTrainer> trainer(
+      new AlshTrainer(std::move(net), options, learning_rate, seed));
+  SAMPNN_RETURN_NOT_OK(trainer->Init());
+  return trainer;
+}
+
+AlshTrainer::AlshTrainer(Mlp net, const AlshOptions& options,
+                         float learning_rate, uint64_t seed)
+    : Trainer(std::move(net)), options_(options), lr_(learning_rate),
+      seed_(seed) {}
+
+Status AlshTrainer::Init() {
+  const size_t num_hidden = net_.num_hidden_layers();
+  indexes_.reserve(num_hidden);
+  for (size_t k = 0; k < num_hidden; ++k) {
+    const Layer& layer = net_.layer(k);
+    SAMPNN_ASSIGN_OR_RETURN(
+        AlshIndex index,
+        AlshIndex::Create(layer.in_dim(), options_.index, seed_ + 1000 * k));
+    index.Build(layer.weights());
+    indexes_.push_back(std::move(index));
+  }
+  opt_states_.reserve(net_.num_layers());
+  for (size_t k = 0; k < net_.num_layers(); ++k) {
+    SAMPNN_ASSIGN_OR_RETURN(
+        SparseOptState state,
+        SparseOptState::Create(net_.layer(k), options_.optimizer));
+    opt_states_.push_back(std::move(state));
+  }
+  const size_t threads = std::max<size_t>(1, options_.threads);
+  scratches_.resize(threads);
+  Rng seeder(seed_ ^ 0xA15A1EADull);
+  for (auto& s : scratches_) s.rng = seeder.Split();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  initialized_ = true;
+  return Status::OK();
+}
+
+void AlshTrainer::SelectActive(size_t hidden_layer,
+                               std::span<const float> a_prev,
+                               Scratch* scratch) {
+  auto& active = scratch->active[hidden_layer];
+  const size_t n = net_.layer(hidden_layer).out_dim();
+  if (options_.selection == AlshSelection::kOracle) {
+    // Exact MIPS: the Lemma 7.1 idealization. Dense cost, perfect selection.
+    const size_t k = std::min(n, std::max<size_t>(1, options_.oracle_active));
+    const auto top = ExactMips(net_.layer(hidden_layer).weights(), a_prev, k);
+    active.clear();
+    active.reserve(top.size());
+    for (const MipsResult& r : top) active.push_back(r.id);
+    scratch->active_fraction_sum +=
+        static_cast<double>(active.size()) / static_cast<double>(n);
+    ++scratch->active_fraction_count;
+    return;
+  }
+  indexes_[hidden_layer].Query(a_prev, &active);
+  if (active.size() < options_.min_active && active.size() < n) {
+    // Random fill keeps training alive when buckets come back (near) empty —
+    // the floor is itself a uniform sample, like a tiny Dropout fallback.
+    const size_t want = std::min(options_.min_active, n);
+    while (active.size() < want) {
+      const auto cand =
+          static_cast<uint32_t>(scratch->rng.NextBounded(n));
+      if (std::find(active.begin(), active.end(), cand) == active.end()) {
+        active.push_back(cand);
+      }
+    }
+  }
+  scratch->active_fraction_sum +=
+      static_cast<double>(active.size()) / static_cast<double>(n);
+  ++scratch->active_fraction_count;
+}
+
+double AlshTrainer::TrainSample(std::span<const float> x, int32_t label,
+                                Scratch* scratch) {
+  const size_t num_layers = net_.num_layers();
+  const size_t num_hidden = net_.num_hidden_layers();
+  scratch->a.resize(num_layers);
+  scratch->z.resize(num_layers);
+  scratch->active.resize(num_hidden);
+
+  // Nonzero input coordinates: the sparse update support of layer 0.
+  scratch->input_support.clear();
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] != 0.0f) {
+      scratch->input_support.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // --- Feedforward over active nodes only ---
+  {
+    SplitTimer::Scope scope(&scratch->timer, kPhaseForward);
+    std::span<const float> a_prev = x;
+    for (size_t k = 0; k < num_hidden; ++k) {
+      const Layer& layer = net_.layer(k);
+      SelectActive(k, a_prev, scratch);
+      auto& z = scratch->z[k];
+      auto& a = scratch->a[k];
+      z.assign(layer.out_dim(), 0.0f);
+      a.assign(layer.out_dim(), 0.0f);
+      VecMatCols(a_prev, layer.weights(), layer.bias(), scratch->active[k], z);
+      for (uint32_t j : scratch->active[k]) {
+        a[j] = ActivationValue(layer.activation(), z[j]);
+      }
+      a_prev = a;
+    }
+    // Output layer: exact (VecMat skips the zeros of the sparse a_prev).
+    const Layer& out_layer = net_.layer(num_layers - 1);
+    auto& z_out = scratch->z[num_layers - 1];
+    auto& a_out = scratch->a[num_layers - 1];
+    z_out.assign(out_layer.out_dim(), 0.0f);
+    out_layer.ForwardLinear(a_prev, z_out);
+    a_out = z_out;  // linear output layer
+  }
+
+  // --- Loss gradient (softmax - onehot) ---
+  auto& logits = scratch->a[num_layers - 1];
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  for (float v : logits) denom += std::exp(static_cast<double>(v - mx));
+  auto& delta = scratch->delta;
+  delta.resize(logits.size());
+  for (size_t j = 0; j < logits.size(); ++j) {
+    delta[j] = static_cast<float>(
+        std::exp(static_cast<double>(logits[j] - mx)) / denom);
+  }
+  const double loss =
+      std::log(denom) + mx - logits[static_cast<size_t>(label)];
+  delta[static_cast<size_t>(label)] -= 1.0f;
+
+  // --- Backpropagation through active nodes only ---
+  {
+    SplitTimer::Scope scope(&scratch->timer, kPhaseBackward);
+    for (size_t k = num_layers; k-- > 0;) {
+      Layer& layer = net_.layer(k);
+      const bool is_output = (k == num_layers - 1);
+      std::span<const float> a_prev =
+          (k == 0) ? x : std::span<const float>(scratch->a[k - 1]);
+      std::span<const uint32_t> prev_support;
+      if (k == 0) {
+        prev_support = scratch->input_support;
+      } else {
+        prev_support = scratch->active[k - 1];
+      }
+
+      // delta for the previous layer, needed before this layer's update
+      // mutates the weights.
+      if (k > 0) {
+        const Layer& prev_layer = net_.layer(k - 1);
+        auto& delta_prev = scratch->delta_prev;
+        delta_prev.assign(prev_layer.out_dim(), 0.0f);
+        const Matrix& w = layer.weights();
+        const size_t n = w.cols();
+        const float* wd = w.data();
+        if (is_output) {
+          // Dense over the (small) output dimension, sparse over rows.
+          for (uint32_t i : prev_support) {
+            const float* row = wd + static_cast<size_t>(i) * n;
+            float acc = 0.0f;
+            for (size_t j = 0; j < n; ++j) acc += delta[j] * row[j];
+            delta_prev[i] = acc;
+          }
+        } else {
+          for (uint32_t i : prev_support) {
+            const float* row = wd + static_cast<size_t>(i) * n;
+            float acc = 0.0f;
+            for (uint32_t j : scratch->active[k]) acc += delta[j] * row[j];
+            delta_prev[i] = acc;
+          }
+        }
+        for (uint32_t i : prev_support) {
+          delta_prev[i] *= ActivationGradValue(prev_layer.activation(),
+                                               scratch->z[k - 1][i]);
+        }
+        // Sparse weight update of this layer, then move down.
+        SparseOptState& opt = opt_states_[k];
+        if (is_output) {
+          for (size_t j = 0; j < layer.out_dim(); ++j) {
+            opt.UpdateColumn(&layer.weights(), layer.bias(), j, a_prev,
+                             prev_support, delta[j], lr_);
+          }
+        } else {
+          for (uint32_t j : scratch->active[k]) {
+            opt.UpdateColumn(&layer.weights(), layer.bias(), j, a_prev,
+                             prev_support, delta[j], lr_);
+          }
+        }
+        delta.swap(scratch->delta_prev);
+      } else {
+        SparseOptState& opt = opt_states_[0];
+        if (num_layers == 1) {
+          for (size_t j = 0; j < layer.out_dim(); ++j) {
+            opt.UpdateColumn(&layer.weights(), layer.bias(), j, a_prev,
+                             prev_support, delta[j], lr_);
+          }
+        } else {
+          for (uint32_t j : scratch->active[0]) {
+            opt.UpdateColumn(&layer.weights(), layer.bias(), j, a_prev,
+                             prev_support, delta[j], lr_);
+          }
+        }
+      }
+    }
+  }
+  return loss;
+}
+
+void AlshTrainer::MaybeRebuild() {
+  const size_t period = samples_seen_ <= options_.early_phase_samples
+                            ? options_.early_rebuild_every
+                            : options_.late_rebuild_every;
+  if (samples_seen_ - samples_at_last_rebuild_ < period) return;
+  samples_at_last_rebuild_ = samples_seen_;
+  SplitTimer::Scope scope(&timer_, kPhaseHashRebuild);
+  for (size_t k = 0; k < indexes_.size(); ++k) {
+    indexes_[k].Build(net_.layer(k).weights());
+  }
+}
+
+StatusOr<double> AlshTrainer::Step(const Matrix& x,
+                                   std::span<const int32_t> y) {
+  SAMPNN_CHECK(initialized_);
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("AlshTrainer::Step: batch size mismatch");
+  }
+  if (x.cols() != net_.input_dim()) {
+    return Status::InvalidArgument("AlshTrainer::Step: input dim mismatch");
+  }
+  double total_loss = 0.0;
+  if (pool_ == nullptr) {
+    for (size_t r = 0; r < x.rows(); ++r) {
+      total_loss += TrainSample(x.Row(r), y[r], &scratches_[0]);
+      ++samples_seen_;
+      MaybeRebuild();
+    }
+  } else {
+    // HOGWILD over the minibatch: each worker owns one scratch and a
+    // contiguous slice of samples; weight races are tolerated by design.
+    const size_t workers = scratches_.size();
+    const size_t rows = x.rows();
+    const size_t per_worker = (rows + workers - 1) / workers;
+    std::vector<double> worker_loss(workers, 0.0);
+    SplitTimer::Scope scope(&timer_, "parallel");
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = w * per_worker;
+      const size_t end = std::min(rows, begin + per_worker);
+      if (begin >= end) break;
+      pool_->Submit([this, &x, &y, &worker_loss, w, begin, end] {
+        double acc = 0.0;
+        for (size_t r = begin; r < end; ++r) {
+          acc += TrainSample(x.Row(r), y[r], &scratches_[w]);
+        }
+        worker_loss[w] = acc;
+      });
+    }
+    pool_->Wait();
+    for (double l : worker_loss) total_loss += l;
+    samples_seen_ += rows;
+    MaybeRebuild();
+  }
+  for (Scratch& s : scratches_) {
+    timer_.Merge(s.timer);
+    s.timer.Reset();
+  }
+  return total_loss / static_cast<double>(x.rows());
+}
+
+std::vector<float> AlshTrainer::ForwardSampleSparse(std::span<const float> x) {
+  SAMPNN_CHECK(initialized_);
+  SAMPNN_CHECK_EQ(x.size(), net_.input_dim());
+  Scratch& scratch = scratches_[0];
+  const size_t num_layers = net_.num_layers();
+  const size_t num_hidden = net_.num_hidden_layers();
+  scratch.a.resize(num_layers);
+  scratch.z.resize(num_layers);
+  scratch.active.resize(num_hidden);
+  std::span<const float> a_prev = x;
+  for (size_t k = 0; k < num_hidden; ++k) {
+    const Layer& layer = net_.layer(k);
+    SelectActive(k, a_prev, &scratch);
+    auto& z = scratch.z[k];
+    auto& a = scratch.a[k];
+    z.assign(layer.out_dim(), 0.0f);
+    a.assign(layer.out_dim(), 0.0f);
+    VecMatCols(a_prev, layer.weights(), layer.bias(), scratch.active[k], z);
+    for (uint32_t j : scratch.active[k]) {
+      a[j] = ActivationValue(layer.activation(), z[j]);
+    }
+    a_prev = a;
+  }
+  const Layer& out_layer = net_.layer(num_layers - 1);
+  std::vector<float> logits(out_layer.out_dim(), 0.0f);
+  out_layer.ForwardLinear(a_prev, logits);
+  return logits;
+}
+
+std::vector<int32_t> AlshTrainer::PredictSparse(const Matrix& inputs) {
+  std::vector<int32_t> out(inputs.rows());
+  for (size_t r = 0; r < inputs.rows(); ++r) {
+    const std::vector<float> logits = ForwardSampleSparse(inputs.Row(r));
+    out[r] = static_cast<int32_t>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  return out;
+}
+
+double AlshTrainer::AverageActiveFraction() const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const Scratch& s : scratches_) {
+    sum += s.active_fraction_sum;
+    count += s.active_fraction_count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+size_t AlshTrainer::TotalRebuilds() const {
+  size_t total = 0;
+  for (const auto& index : indexes_) total += index.build_count() - 1;
+  return total;
+}
+
+}  // namespace sampnn

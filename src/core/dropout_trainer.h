@@ -1,0 +1,77 @@
+// Dropout-family trainers (paper §5.1): sample a mask over each hidden
+// layer's nodes every step; dropped nodes output zero and receive no
+// gradient. Masks use inverted scaling (kept activations multiplied by
+// 1/keep_prob) so evaluation runs the plain dense forward.
+//
+// As in the paper's PyTorch implementations, the mask is *applied to* dense
+// products rather than skipping them, so the dropout pair pays mask
+// construction/multiplication overhead on top of dense cost — the effect
+// the paper measures in Table 4 and attributes to cache misses in §9.4.
+
+#pragma once
+
+#include "src/core/trainer.h"
+#include "src/util/rng.h"
+
+namespace sampnn {
+
+/// \brief Shared machinery for masked (dropout-style) training.
+///
+/// Subclasses define the per-step mask distribution via FillMask().
+class MaskedTrainer : public Trainer {
+ public:
+  StatusOr<double> Step(const Matrix& x, std::span<const int32_t> y) override;
+
+ protected:
+  MaskedTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer, uint64_t seed);
+
+  /// Fills `mask` (same shape as `z`) with 0 for dropped units and the
+  /// inverse keep probability for kept units. `layer` indexes hidden layers.
+  virtual void FillMask(size_t layer, const Matrix& z, Matrix* mask) = 0;
+
+  Rng rng_;
+
+ private:
+  std::unique_ptr<Optimizer> optimizer_;
+  MlpWorkspace ws_;
+  std::vector<Matrix> masks_;
+  MlpGrads grads_;
+  Matrix grad_logits_;
+};
+
+/// \brief DROPOUT (Srivastava et al.): keep each node i.i.d. with fixed
+/// probability `keep_prob` (paper: p = 0.05 to match ALSH active sets).
+class DropoutTrainer : public MaskedTrainer {
+ public:
+  DropoutTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer,
+                 const DropoutOptions& options, uint64_t seed);
+
+  const char* name() const override { return "dropout"; }
+
+ protected:
+  void FillMask(size_t layer, const Matrix& z, Matrix* mask) override;
+
+ private:
+  DropoutOptions options_;
+};
+
+/// \brief ADAPTIVE-DROPOUT (Ba & Frey standout): keep node j with
+/// data-dependent probability pi_j = sigmoid(alpha * z_j + beta), an
+/// approximation of the Bayesian posterior over architectures. beta is set
+/// to logit(target_prob) so the expected keep rate matches the paper's p.
+class AdaptiveDropoutTrainer : public MaskedTrainer {
+ public:
+  AdaptiveDropoutTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer,
+                         const AdaptiveDropoutOptions& options, uint64_t seed);
+
+  const char* name() const override { return "adaptive-dropout"; }
+
+ protected:
+  void FillMask(size_t layer, const Matrix& z, Matrix* mask) override;
+
+ private:
+  AdaptiveDropoutOptions options_;
+  float beta_;
+};
+
+}  // namespace sampnn

@@ -1,0 +1,136 @@
+#include "src/core/error_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+
+namespace sampnn {
+
+double TheoreticalErrorRatio(double c, size_t k) {
+  SAMPNN_CHECK_GT(c, 0.0);
+  return std::pow((c + 1.0) / c, static_cast<double>(k)) - 1.0;
+}
+
+std::vector<double> TheoreticalErrorTable(double c, size_t max_k) {
+  std::vector<double> out;
+  out.reserve(max_k);
+  for (size_t k = 1; k <= max_k; ++k) out.push_back(TheoreticalErrorRatio(c, k));
+  return out;
+}
+
+StatusOr<std::vector<LayerErrorStats>> MeasureErrorPropagation(
+    const Mlp& net, const Matrix& inputs,
+    const ErrorPropagationOptions& options) {
+  if (inputs.rows() == 0) {
+    return Status::InvalidArgument("MeasureErrorPropagation: no inputs");
+  }
+  if (inputs.cols() != net.input_dim()) {
+    return Status::InvalidArgument("MeasureErrorPropagation: dim mismatch");
+  }
+  if (options.selection == ActiveSelection::kOracleTopFraction &&
+      (options.active_fraction <= 0.0 || options.active_fraction > 1.0)) {
+    return Status::InvalidArgument(
+        "MeasureErrorPropagation: active_fraction in (0, 1]");
+  }
+  const size_t num_hidden = net.num_hidden_layers();
+  if (num_hidden == 0) {
+    return Status::InvalidArgument(
+        "MeasureErrorPropagation: network has no hidden layers");
+  }
+
+  // Optional LSH indexes per hidden layer.
+  std::vector<AlshIndex> indexes;
+  if (options.selection == ActiveSelection::kAlsh) {
+    indexes.reserve(num_hidden);
+    for (size_t k = 0; k < num_hidden; ++k) {
+      SAMPNN_ASSIGN_OR_RETURN(
+          AlshIndex index, AlshIndex::Create(net.layer(k).in_dim(),
+                                             options.alsh,
+                                             options.seed + 31 * k));
+      index.Build(net.layer(k).weights());
+      indexes.push_back(std::move(index));
+    }
+  }
+
+  std::vector<LayerErrorStats> stats(num_hidden);
+  for (size_t k = 0; k < num_hidden; ++k) stats[k].layer = k + 1;
+  std::vector<double> err_sum(num_hidden, 0.0), est_sum(num_hidden, 0.0);
+  std::vector<size_t> counts(num_hidden, 0);
+
+  std::vector<float> exact_prev, exact_cur;
+  std::vector<float> approx_prev, approx_cur;
+  std::vector<uint32_t> active;
+  std::vector<size_t> order;
+  for (size_t r = 0; r < inputs.rows(); ++r) {
+    auto x = inputs.Row(r);
+    exact_prev.assign(x.begin(), x.end());
+    approx_prev.assign(x.begin(), x.end());
+    for (size_t k = 0; k < num_hidden; ++k) {
+      const Layer& layer = net.layer(k);
+      const size_t n = layer.out_dim();
+      // Exact chain.
+      exact_cur.assign(n, 0.0f);
+      layer.ForwardLinear(exact_prev, exact_cur);
+      layer.Activate(exact_cur, exact_cur);
+      // Approximate chain: full linear pass from the *approximate*
+      // predecessor, then truncate to the active set (Lemma 7.1's model:
+      // errors come both from truncation and from the propagated
+      // predecessor error).
+      approx_cur.assign(n, 0.0f);
+      layer.ForwardLinear(approx_prev, approx_cur);
+      layer.Activate(approx_cur, approx_cur);
+      if (options.selection == ActiveSelection::kOracleTopFraction) {
+        const size_t keep = std::max<size_t>(
+            1, static_cast<size_t>(std::llround(options.active_fraction *
+                                                static_cast<double>(n))));
+        order.resize(n);
+        std::iota(order.begin(), order.end(), 0);
+        std::nth_element(order.begin(), order.begin() + keep - 1, order.end(),
+                         [&](size_t i, size_t j) {
+                           return std::fabs(approx_cur[i]) >
+                                  std::fabs(approx_cur[j]);
+                         });
+        const float threshold = std::fabs(approx_cur[order[keep - 1]]);
+        size_t kept = 0;
+        for (size_t j = 0; j < n; ++j) {
+          const bool keep_node =
+              std::fabs(approx_cur[j]) > threshold ||
+              (std::fabs(approx_cur[j]) == threshold && kept < keep);
+          if (keep_node) {
+            ++kept;
+          } else {
+            approx_cur[j] = 0.0f;
+          }
+        }
+      } else {
+        indexes[k].Query(approx_prev, &active);
+        std::vector<float> truncated(n, 0.0f);
+        for (uint32_t j : active) truncated[j] = approx_cur[j];
+        approx_cur.swap(truncated);
+      }
+      // Accumulate |a - â| and |â|.
+      for (size_t j = 0; j < n; ++j) {
+        err_sum[k] += std::fabs(static_cast<double>(exact_cur[j]) -
+                                approx_cur[j]);
+        est_sum[k] += std::fabs(static_cast<double>(approx_cur[j]));
+        ++counts[k];
+      }
+      exact_prev.swap(exact_cur);
+      approx_prev.swap(approx_cur);
+    }
+  }
+  for (size_t k = 0; k < num_hidden; ++k) {
+    stats[k].mean_abs_error = err_sum[k] / static_cast<double>(counts[k]);
+    stats[k].mean_abs_estimate = est_sum[k] / static_cast<double>(counts[k]);
+    stats[k].error_ratio =
+        stats[k].mean_abs_estimate > 0.0
+            ? stats[k].mean_abs_error / stats[k].mean_abs_estimate
+            : INFINITY;
+  }
+  return stats;
+}
+
+}  // namespace sampnn

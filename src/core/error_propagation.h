@@ -1,0 +1,59 @@
+// The paper's §7 negative result, as executable code:
+//
+//  - Theorem 7.2 closed form: under a linear activation and the assumption
+//    that active nodes carry c times the weighted sum of inactive ones,
+//    a^k = â^k ((c+1)/c)^k, i.e. error/estimate grows exponentially in k.
+//  - An empirical measurement harness that runs a linear MLP forward twice —
+//    exactly and with per-layer active-set truncation (oracle top-fraction
+//    or LSH-selected) — and reports the per-layer error-to-estimate ratio.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/nn/mlp.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Theorem 7.2: error-to-estimate ratio e^k/â^k = ((c+1)/c)^k - 1.
+/// `c` is the active/inactive weighted-sum ratio, `k` the layer depth.
+double TheoreticalErrorRatio(double c, size_t k);
+
+/// The §7 in-text table: ratios for k = 1..max_k at the given c (paper uses
+/// c = 5 → 0.2, 0.44, 0.72, 1.07, 1.48, 1.98).
+std::vector<double> TheoreticalErrorTable(double c, size_t max_k);
+
+/// How the active set is chosen during the approximate forward pass.
+enum class ActiveSelection {
+  kOracleTopFraction,  ///< exact top-|z| nodes (Lemma 7.1's "detected exactly")
+  kAlsh,               ///< hash-based selection, as in ALSH-approx
+};
+
+/// Options for the empirical measurement.
+struct ErrorPropagationOptions {
+  ActiveSelection selection = ActiveSelection::kOracleTopFraction;
+  double active_fraction = 0.05;  ///< fraction kept per layer (oracle mode)
+  AlshIndexOptions alsh;          ///< used in kAlsh mode
+  uint64_t seed = 42;
+};
+
+/// Per-layer aggregate of the empirical measurement.
+struct LayerErrorStats {
+  size_t layer = 0;              ///< 1-based hidden-layer depth k
+  double mean_abs_error = 0.0;   ///< mean |a - â| over nodes and inputs
+  double mean_abs_estimate = 0.0;  ///< mean |â|
+  double error_ratio = 0.0;      ///< mean_abs_error / mean_abs_estimate
+};
+
+/// Runs `inputs` (rows) through `net` exactly and with truncated forward
+/// passes, measuring the activation estimation error per hidden layer.
+/// `net` should use linear activations to match the §7 setting (any
+/// activation is accepted; ReLU measures the practical variant).
+StatusOr<std::vector<LayerErrorStats>> MeasureErrorPropagation(
+    const Mlp& net, const Matrix& inputs,
+    const ErrorPropagationOptions& options);
+
+}  // namespace sampnn

@@ -1,0 +1,74 @@
+// Shared train/evaluate driver used by all bench binaries and examples:
+// builds a trainer, runs epochs over the training split, records per-epoch
+// accuracy and the phase-split timing, and produces the final confusion
+// matrix — everything the paper's tables and figures are made of.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+#include "src/metrics/confusion_matrix.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Knobs for one experiment run.
+struct ExperimentConfig {
+  TrainerOptions trainer;
+  size_t epochs = 10;
+  size_t batch_size = 20;      ///< 1 = the paper's stochastic setting
+  bool drop_remainder = false;
+  bool eval_each_epoch = true; ///< test accuracy after every epoch
+  size_t eval_batch = 256;
+  uint64_t data_seed = 7;      ///< minibatch shuffling seed
+  bool verbose = false;        ///< per-epoch progress on stderr
+};
+
+/// One epoch's record.
+struct EpochRecord {
+  size_t epoch = 0;          ///< 1-based
+  double train_loss = 0.0;   ///< mean minibatch loss
+  double test_accuracy = 0.0;      ///< 0..1 (NaN-free; 0 when not evaluated)
+  double validation_accuracy = 0.0;
+  double seconds = 0.0;      ///< wall-clock training time of this epoch
+};
+
+/// Everything a bench needs to print a paper row.
+struct ExperimentResult {
+  std::string method;
+  std::string architecture;
+  std::vector<EpochRecord> epochs;
+  double final_test_accuracy = 0.0;
+  double final_validation_accuracy = 0.0;
+  double train_seconds = 0.0;     ///< total wall-clock training time
+  double forward_seconds = 0.0;   ///< feedforward phase (Tables 3–4 split)
+  double backward_seconds = 0.0;  ///< backpropagation phase
+  double rebuild_seconds = 0.0;   ///< ALSH hash reconstruction
+  double parallel_seconds = 0.0;  ///< wall time of HOGWILD batches (ALSH)
+  size_t rss_growth_bytes = 0;    ///< §9.4-style memory growth during training
+  std::optional<ConfusionMatrix> confusion;  ///< on the test split
+};
+
+/// Runs one experiment end to end. The trainer is built fresh from
+/// `net_config` + `config.trainer`, so runs with equal seeds start from
+/// identical weights across methods.
+StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
+                                         const ExperimentConfig& config,
+                                         const DatasetSplits& data);
+
+/// Convenience used throughout the bench harness: the paper's default
+/// architecture (hidden `depth` x `width`, ReLU) for a dataset's shape.
+MlpConfig PaperMlpConfig(const Dataset& train, size_t depth, size_t width,
+                         uint64_t seed);
+
+/// Paper §8.4 defaults for a method: learning rate 1e-3 (1e-4 for MC^S),
+/// Adam everywhere except pure-SGD ablations; p = 0.05 for the dropout pair;
+/// K=6, L=5, m=3 for ALSH; batch 20 and k=10 for MC^M.
+TrainerOptions PaperTrainerOptions(TrainerKind kind, size_t batch_size,
+                                   uint64_t seed);
+
+}  // namespace sampnn

@@ -1,0 +1,105 @@
+#include "src/core/mc_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/approx/adelman.h"
+#include "src/nn/loss.h"
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+
+StatusOr<std::unique_ptr<McTrainer>> McTrainer::Create(
+    Mlp net, std::unique_ptr<Optimizer> optimizer, const McOptions& options,
+    uint64_t seed) {
+  if (optimizer == nullptr) {
+    return Status::InvalidArgument("McTrainer: optimizer required");
+  }
+  if (options.grad_batch_samples == 0) {
+    return Status::InvalidArgument("McTrainer: grad_batch_samples must be >= 1");
+  }
+  if (options.delta_sample_ratio <= 0.0 || options.delta_sample_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "McTrainer: delta_sample_ratio must be in (0, 1]");
+  }
+  return std::unique_ptr<McTrainer>(new McTrainer(
+      std::move(net), std::move(optimizer), options, seed));
+}
+
+McTrainer::McTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer,
+                     const McOptions& options, uint64_t seed)
+    : Trainer(std::move(net)),
+      options_(options),
+      optimizer_(std::move(optimizer)),
+      rng_(seed) {}
+
+size_t McTrainer::DeltaSamples(size_t n) const {
+  const auto by_ratio = static_cast<size_t>(std::llround(
+      options_.delta_sample_ratio * static_cast<double>(n)));
+  return std::min(n, std::max({size_t{1}, options_.delta_min_samples,
+                               by_ratio}));
+}
+
+StatusOr<double> McTrainer::Step(const Matrix& x,
+                                 std::span<const int32_t> y) {
+  const size_t num_layers = net_.num_layers();
+
+  // --- Feedforward (exact by default; sampled only in the ablation) ---
+  {
+    SplitTimer::Scope scope(&timer_, kPhaseForward);
+    if (!options_.approx_forward) {
+      net_.Forward(x, &ws_);
+    } else {
+      ws_.z.resize(num_layers);
+      ws_.a.resize(num_layers);
+      const Matrix* prev = &x;
+      for (size_t k = 0; k < num_layers; ++k) {
+        const Layer& layer = net_.layer(k);
+        const size_t inner = layer.in_dim();
+        const size_t samples = options_.forward_samples > 0
+                                   ? options_.forward_samples
+                                   : DeltaSamples(inner);
+        SAMPNN_RETURN_NOT_OK(AdelmanApproxMatmul(*prev, layer.weights(),
+                                                 samples, rng_, &ws_.z[k]));
+        AddRowVector(&ws_.z[k], layer.bias());
+        layer.Activate(ws_.z[k], &ws_.a[k]);
+        prev = &ws_.a[k];
+      }
+    }
+  }
+
+  double loss = 0.0;
+  {
+    SplitTimer::Scope scope(&timer_, kPhaseBackward);
+    SAMPNN_ASSIGN_OR_RETURN(
+        loss, SoftmaxCrossEntropy::LossAndGrad(ws_.a.back(), y, &grad_logits_));
+    if (grads_.size() != num_layers) grads_ = net_.ZeroGrads();
+
+    delta_ = grad_logits_;
+    for (size_t k = num_layers; k-- > 0;) {
+      const Layer& layer = net_.layer(k);
+      LayerGrads& g = grads_[k];
+      const Matrix& a_prev = (k == 0) ? x : ws_.a[k - 1];
+      // grad_W ≈ sampled a_prev^T * delta over the batch dimension. When the
+      // batch is <= k the estimator degrades to the exact product, which is
+      // why MC^S pays the probability-estimation overhead for nothing.
+      SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransA(
+          a_prev, delta_, options_.grad_batch_samples, rng_, &g.weights));
+      g.bias.resize(layer.out_dim());
+      ColumnSums(delta_, g.bias);
+      if (k > 0) {
+        // delta_prev ≈ sampled delta * W^T over this layer's nodes.
+        SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransB(
+            delta_, layer.weights(), DeltaSamples(layer.out_dim()), rng_,
+            &delta_prev_));
+        MultiplyActivationGrad(net_.layer(k - 1).activation(), ws_.z[k - 1],
+                               &delta_prev_);
+        std::swap(delta_, delta_prev_);
+      }
+    }
+    optimizer_->Step(&net_, grads_);
+  }
+  return loss;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,50 @@
+// MC-approx (Adelman et al., paper §6.2): exact feedforward, Monte-Carlo
+// approximated backpropagation. Both backward matrix products are replaced
+// by the Bernoulli column-row estimator of Eq. 7:
+//   grad_W = X^T * delta   — sampled over the minibatch dimension
+//                            (k = grad_batch_samples; the paper's k = 10),
+//   delta_prev = delta * W^T — sampled over the current layer's nodes
+//                            (ratio = delta_sample_ratio; the paper's p≈0.1).
+// Estimating the sampling probabilities requires a pass over the minibatch
+// and W, which is the overhead that makes MC-approx^S (batch = 1) slower
+// than exact training (§9.3).
+//
+// approx_forward additionally approximates the feedforward products — the
+// configuration the paper reports as failing; kept as an ablation.
+
+#pragma once
+
+#include "src/core/trainer.h"
+#include "src/util/rng.h"
+
+namespace sampnn {
+
+/// \brief The MC-approx trainer (MC^M for batch > 1, MC^S for batch = 1).
+class McTrainer : public Trainer {
+ public:
+  static StatusOr<std::unique_ptr<McTrainer>> Create(
+      Mlp net, std::unique_ptr<Optimizer> optimizer, const McOptions& options,
+      uint64_t seed);
+
+  StatusOr<double> Step(const Matrix& x, std::span<const int32_t> y) override;
+  const char* name() const override { return "mc"; }
+
+  const McOptions& options() const { return options_; }
+
+ private:
+  McTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer,
+            const McOptions& options, uint64_t seed);
+
+  /// Expected sample count for the delta*W^T product at inner dim `n`.
+  size_t DeltaSamples(size_t n) const;
+
+  McOptions options_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Rng rng_;
+  MlpWorkspace ws_;
+  MlpGrads grads_;
+  Matrix grad_logits_;
+  Matrix delta_, delta_prev_;
+};
+
+}  // namespace sampnn

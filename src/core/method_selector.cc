@@ -1,0 +1,42 @@
+#include "src/core/method_selector.h"
+
+namespace sampnn {
+
+MethodRecommendation RecommendMethod(const TrainingScenario& scenario) {
+  MethodRecommendation rec;
+  if (scenario.batch_size > 1) {
+    rec.method = TrainerKind::kMc;
+    rec.rationale =
+        "Mini-batch SGD: MC-approx dominates on accuracy, speed, and memory "
+        "when the batch is large enough for reliable probability estimation "
+        "(paper §9.3, Tables 2 and 4).";
+    return rec;
+  }
+  // Stochastic setting (batch = 1): MC-approx's probability estimates come
+  // from a single sample and its overhead exceeds the savings (§9.3).
+  if (scenario.hidden_layers <= 4 && scenario.parallel_hardware) {
+    rec.method = TrainerKind::kAlsh;
+    rec.rationale =
+        "Stochastic SGD on a shallow network with parallel hardware: "
+        "ALSH-approx scales well under HOGWILD parallelism up to ~4 hidden "
+        "layers before feedforward error compounds (Theorem 7.2, §10.4).";
+    return rec;
+  }
+  if (scenario.hidden_layers <= 4) {
+    rec.method = TrainerKind::kAdaptiveDropout;
+    rec.rationale =
+        "Stochastic SGD, shallow network, single core: Adaptive-Dropout "
+        "tracks standard-training accuracy (Table 2) without ALSH's hashing "
+        "overhead, which only pays off with parallelism (Table 3).";
+    return rec;
+  }
+  rec.method = TrainerKind::kStandard;
+  rec.rationale =
+      "Stochastic SGD on a deep network: every sampling-based method either "
+      "diverges with depth (ALSH-approx, Theorem 7.2) or loses its sampling "
+      "signal at batch size 1 (MC-approx, §9.3/Figure 12); exact training "
+      "remains the safe choice — the paper's open research gap (§10.2).";
+  return rec;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,32 @@
+// The §10.4 decision tree ("Optimal Choice of Training Method") as an API:
+// given the training regime, recommend a method and explain why.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/core/trainer.h"
+
+namespace sampnn {
+
+/// Inputs to the decision tree.
+struct TrainingScenario {
+  size_t batch_size = 20;         ///< 1 = stochastic setting
+  size_t hidden_layers = 3;       ///< network depth
+  bool parallel_hardware = false; ///< multiple cores available for HOGWILD
+};
+
+/// A recommendation plus the paper-grounded rationale.
+struct MethodRecommendation {
+  TrainerKind method = TrainerKind::kStandard;
+  std::string rationale;  ///< cites the paper evidence behind the choice
+};
+
+/// Applies the paper's decision tree:
+///   mini-batch SGD (batch > 1)            → MC-approx (§9.3, Tab. 4)
+///   stochastic, shallow (<= 4), parallel  → ALSH-approx ([50], §10.4)
+///   stochastic otherwise                  → Standard / Adaptive-Dropout
+MethodRecommendation RecommendMethod(const TrainingScenario& scenario);
+
+}  // namespace sampnn

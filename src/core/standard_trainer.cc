@@ -1,0 +1,29 @@
+#include "src/core/standard_trainer.h"
+
+#include "src/nn/loss.h"
+
+namespace sampnn {
+
+StandardTrainer::StandardTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer)
+    : Trainer(std::move(net)), optimizer_(std::move(optimizer)) {
+  SAMPNN_CHECK(optimizer_ != nullptr);
+}
+
+StatusOr<double> StandardTrainer::Step(const Matrix& x,
+                                       std::span<const int32_t> y) {
+  double loss = 0.0;
+  {
+    SplitTimer::Scope scope(&timer_, kPhaseForward);
+    net_.Forward(x, &ws_);
+  }
+  {
+    SplitTimer::Scope scope(&timer_, kPhaseBackward);
+    SAMPNN_ASSIGN_OR_RETURN(
+        loss, SoftmaxCrossEntropy::LossAndGrad(ws_.a.back(), y, &grad_logits_));
+    net_.Backward(x, ws_, grad_logits_, &grads_);
+    optimizer_->Step(&net_, grads_);
+  }
+  return loss;
+}
+
+}  // namespace sampnn

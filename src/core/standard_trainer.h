@@ -1,0 +1,25 @@
+// STANDARD: exact dense training — the paper's baseline (§8.3, footnote 11:
+// "Training the neural network without sampling").
+
+#pragma once
+
+#include "src/core/trainer.h"
+
+namespace sampnn {
+
+/// \brief Exact minibatch/stochastic gradient descent.
+class StandardTrainer : public Trainer {
+ public:
+  StandardTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer);
+
+  StatusOr<double> Step(const Matrix& x, std::span<const int32_t> y) override;
+  const char* name() const override { return "standard"; }
+
+ private:
+  std::unique_ptr<Optimizer> optimizer_;
+  MlpWorkspace ws_;
+  MlpGrads grads_;
+  Matrix grad_logits_;
+};
+
+}  // namespace sampnn

@@ -1,0 +1,88 @@
+#include "src/core/trainer.h"
+
+#include "src/core/alsh_trainer.h"
+#include "src/core/dropout_trainer.h"
+#include "src/core/mc_trainer.h"
+#include "src/core/standard_trainer.h"
+
+namespace sampnn {
+
+StatusOr<TrainerKind> TrainerKindFromString(const std::string& name) {
+  if (name == "standard") return TrainerKind::kStandard;
+  if (name == "dropout") return TrainerKind::kDropout;
+  if (name == "adaptive-dropout") return TrainerKind::kAdaptiveDropout;
+  if (name == "alsh") return TrainerKind::kAlsh;
+  if (name == "mc") return TrainerKind::kMc;
+  return Status::InvalidArgument("unknown trainer: " + name);
+}
+
+const char* TrainerKindToString(TrainerKind kind) {
+  switch (kind) {
+    case TrainerKind::kStandard:
+      return "standard";
+    case TrainerKind::kDropout:
+      return "dropout";
+    case TrainerKind::kAdaptiveDropout:
+      return "adaptive-dropout";
+    case TrainerKind::kAlsh:
+      return "alsh";
+    case TrainerKind::kMc:
+      return "mc";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<Trainer>> MakeTrainer(const MlpConfig& net_config,
+                                               const TrainerOptions& options) {
+  SAMPNN_ASSIGN_OR_RETURN(Mlp net, Mlp::Create(net_config));
+  switch (options.kind) {
+    case TrainerKind::kStandard: {
+      SAMPNN_ASSIGN_OR_RETURN(
+          auto optimizer, MakeOptimizer(options.optimizer, options.learning_rate));
+      return std::unique_ptr<Trainer>(
+          new StandardTrainer(std::move(net), std::move(optimizer)));
+    }
+    case TrainerKind::kDropout: {
+      SAMPNN_ASSIGN_OR_RETURN(
+          auto optimizer, MakeOptimizer(options.optimizer, options.learning_rate));
+      if (options.dropout.keep_prob <= 0.0f ||
+          options.dropout.keep_prob > 1.0f) {
+        return Status::InvalidArgument("dropout keep_prob must be in (0, 1]");
+      }
+      return std::unique_ptr<Trainer>(
+          new DropoutTrainer(std::move(net), std::move(optimizer),
+                             options.dropout, options.seed ^ 0xD70u));
+    }
+    case TrainerKind::kAdaptiveDropout: {
+      SAMPNN_ASSIGN_OR_RETURN(
+          auto optimizer, MakeOptimizer(options.optimizer, options.learning_rate));
+      const auto& ad = options.adaptive_dropout;
+      if (ad.target_prob <= 0.0f || ad.target_prob >= 1.0f) {
+        return Status::InvalidArgument(
+            "adaptive-dropout target_prob must be in (0, 1)");
+      }
+      return std::unique_ptr<Trainer>(
+          new AdaptiveDropoutTrainer(std::move(net), std::move(optimizer), ad,
+                                     options.seed ^ 0xADAu));
+    }
+    case TrainerKind::kAlsh: {
+      SAMPNN_ASSIGN_OR_RETURN(
+          auto trainer,
+          AlshTrainer::Create(std::move(net), options.alsh,
+                              options.learning_rate, options.seed ^ 0xA15Au));
+      return std::unique_ptr<Trainer>(std::move(trainer));
+    }
+    case TrainerKind::kMc: {
+      SAMPNN_ASSIGN_OR_RETURN(
+          auto optimizer, MakeOptimizer(options.optimizer, options.learning_rate));
+      SAMPNN_ASSIGN_OR_RETURN(
+          auto trainer,
+          McTrainer::Create(std::move(net), std::move(optimizer), options.mc,
+                            options.seed ^ 0x3CAu));
+      return std::unique_ptr<Trainer>(std::move(trainer));
+    }
+  }
+  return Status::Internal("unreachable trainer kind");
+}
+
+}  // namespace sampnn

@@ -1,0 +1,145 @@
+// Trainer interface: one object per training approach (paper §8.3's five
+// methods). A trainer owns its network and optimizer state, consumes
+// minibatches (batch size 1 = the paper's stochastic setting), and charges
+// wall-clock time to SplitTimer phases so the harness can reproduce the
+// paper's feedforward/backpropagation time splits (Tables 3–4).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/lsh/hash_table.h"
+#include "src/metrics/split_timer.h"
+#include "src/nn/mlp.h"
+#include "src/optim/optimizer.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// The five training approaches evaluated by the paper.
+enum class TrainerKind {
+  kStandard,         ///< exact training (STANDARD)
+  kDropout,          ///< fixed-probability node sampling (§5.1)
+  kAdaptiveDropout,  ///< data-dependent standout distribution (§5.1)
+  kAlsh,             ///< ALSH-approx: hashing-based active nodes (§5.2)
+  kMc,               ///< MC-approx: sampled backprop matmuls (§6.2)
+};
+
+/// Parses "standard" | "dropout" | "adaptive-dropout" | "alsh" | "mc".
+StatusOr<TrainerKind> TrainerKindFromString(const std::string& name);
+/// Canonical lowercase name.
+const char* TrainerKindToString(TrainerKind kind);
+
+/// Options for Dropout (paper §8.4: p = 0.05 to match ALSH active sets).
+struct DropoutOptions {
+  float keep_prob = 0.05f;  ///< probability of keeping each hidden node
+};
+
+/// Options for Adaptive-Dropout (standout). The keep probability of node j
+/// is pi_j = sigmoid(alpha * z_j + beta), so nodes with strong
+/// pre-activations survive more often; beta defaults to logit(target_prob).
+struct AdaptiveDropoutOptions {
+  float target_prob = 0.05f;  ///< baseline keep probability (sets beta)
+  float alpha = 12.0f;        ///< standout sharpness: how strongly a unit's
+                              ///< pre-activation tilts its keep probability.
+                              ///< Must be large relative to the z scale (~1
+                              ///< under He init) for the posterior
+                              ///< approximation to separate important units;
+                              ///< small alpha degenerates to plain Dropout.
+  float min_prob = 0.01f;     ///< clamp to keep the inverted scaling bounded
+};
+
+/// How ALSH-approx picks each layer's active nodes.
+enum class AlshSelection {
+  kLsh,     ///< hash-table probing (the real algorithm)
+  kOracle,  ///< exact top-k inner products — Lemma 7.1's "active nodes are
+            ///< detected exactly" assumption; costs a dense pass per layer,
+            ///< so it is an analysis/ablation mode, not a speedup
+};
+
+/// Options for ALSH-approx (§5.2; defaults are the paper's §8.4 values:
+/// K=6, L=5, m=3, rebuild every 100 samples for the first 10000 then every
+/// 1000).
+struct AlshOptions {
+  AlshIndexOptions index;        ///< K/L/m/U hyperparameters
+  AlshSelection selection = AlshSelection::kLsh;
+  size_t oracle_active = 64;     ///< active nodes per layer in kOracle mode
+  size_t min_active = 32;        ///< random-fill floor when buckets are sparse
+                                 ///< — keeps exploration alive on narrow
+                                 ///< layers (≈3% of the paper's 1000 units)
+  size_t early_rebuild_every = 100;
+  size_t early_phase_samples = 10000;
+  size_t late_rebuild_every = 1000;
+  size_t threads = 1;            ///< >1 = HOGWILD-parallel batch processing
+  std::string optimizer = "adam";  ///< sparse update rule: sgd|adagrad|adam
+};
+
+/// Options for MC-approx (§6.2; paper §8.4: batch 20, k = 10).
+struct McOptions {
+  size_t grad_batch_samples = 10;    ///< k for the X^T*delta product (batch dim)
+  double delta_sample_ratio = 0.1;   ///< sample ratio for delta*W^T (node dim,
+                                     ///< the §9.2 "p ≈ 0.1")
+  size_t delta_min_samples = 64;     ///< floor on delta samples; keeps the
+                                     ///< estimator's absolute sample count at
+                                     ///< paper-like levels when layers are
+                                     ///< narrower than the paper's 1000 units
+  bool approx_forward = false;       ///< ablation: also approximate feedforward
+                                     ///< (the paper's known-bad configuration)
+  size_t forward_samples = 0;        ///< k for forward approx (0 = ratio-based)
+};
+
+/// Full configuration for building a trainer.
+struct TrainerOptions {
+  TrainerKind kind = TrainerKind::kStandard;
+  std::string optimizer = "adam";  ///< dense methods; ALSH uses AlshOptions
+  float learning_rate = 1e-3f;
+  uint64_t seed = 42;
+
+  DropoutOptions dropout;
+  AdaptiveDropoutOptions adaptive_dropout;
+  AlshOptions alsh;
+  McOptions mc;
+};
+
+/// \brief Base class for all training approaches.
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+
+  /// Processes one minibatch (forward + backward + update) and returns the
+  /// minibatch training loss.
+  virtual StatusOr<double> Step(const Matrix& x,
+                                std::span<const int32_t> y) = 0;
+
+  /// Canonical method name.
+  virtual const char* name() const = 0;
+
+  /// The trained network (evaluation uses the exact dense forward).
+  Mlp& net() { return net_; }
+  const Mlp& net() const { return net_; }
+
+  /// Phase-split timing accumulated across Step() calls.
+  SplitTimer& timer() { return timer_; }
+  const SplitTimer& timer() const { return timer_; }
+
+  /// Called by drivers at epoch boundaries (hook for schedules).
+  virtual void OnEpochEnd() {}
+
+ protected:
+  explicit Trainer(Mlp net) : net_(std::move(net)) {}
+
+  Mlp net_;
+  SplitTimer timer_;
+};
+
+/// Builds a trainer of `options.kind` around a freshly-created network.
+/// The network is constructed from `net_config` (seeded by it, so all
+/// methods start from identical weights when configs match).
+StatusOr<std::unique_ptr<Trainer>> MakeTrainer(const MlpConfig& net_config,
+                                               const TrainerOptions& options);
+
+}  // namespace sampnn

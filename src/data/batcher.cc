@@ -1,0 +1,43 @@
+#include "src/data/batcher.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+Batcher::Batcher(const Dataset& data, size_t batch_size, uint64_t seed,
+                 bool drop_remainder)
+    : data_(data),
+      batch_size_(batch_size),
+      drop_remainder_(drop_remainder),
+      rng_(seed),
+      order_(data.size()) {
+  SAMPNN_CHECK_GE(batch_size, 1u);
+  std::iota(order_.begin(), order_.end(), 0);
+  ShuffleOrder();
+}
+
+void Batcher::ShuffleOrder() { rng_.Shuffle(order_); }
+
+size_t Batcher::BatchesPerEpoch() const {
+  if (drop_remainder_) return data_.size() / batch_size_;
+  return (data_.size() + batch_size_ - 1) / batch_size_;
+}
+
+bool Batcher::Next(Matrix* x, std::vector<int32_t>* y) {
+  if (cursor_ >= data_.size() ||
+      (drop_remainder_ && cursor_ + batch_size_ > data_.size())) {
+    cursor_ = 0;
+    ShuffleOrder();
+    return false;
+  }
+  const size_t end = std::min(data_.size(), cursor_ + batch_size_);
+  std::span<const size_t> indices(order_.data() + cursor_, end - cursor_);
+  data_.FillBatch(indices, x, y);
+  cursor_ = end;
+  return true;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,45 @@
+// Minibatch iteration over a dataset: shuffled epochs, fixed batch size
+// (batch size 1 = the paper's stochastic setting).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace sampnn {
+
+/// \brief Yields shuffled minibatches; reshuffles at each epoch boundary.
+class Batcher {
+ public:
+  /// `batch_size` >= 1. If `drop_remainder`, a trailing partial batch is
+  /// skipped (keeps per-step cost uniform for timing experiments).
+  Batcher(const Dataset& data, size_t batch_size, uint64_t seed,
+          bool drop_remainder = false);
+
+  /// Fills the next batch. Returns false exactly once per epoch (when the
+  /// epoch is exhausted); the following call starts a reshuffled epoch.
+  bool Next(Matrix* x, std::vector<int32_t>* y);
+
+  /// Restarts the current epoch ordering from the beginning.
+  void Rewind() { cursor_ = 0; }
+
+  /// Batches per epoch.
+  size_t BatchesPerEpoch() const;
+
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  void ShuffleOrder();
+
+  const Dataset& data_;
+  size_t batch_size_;
+  bool drop_remainder_;
+  Rng rng_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace sampnn

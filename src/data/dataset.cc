@@ -1,0 +1,110 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<Dataset> Dataset::Create(Matrix features, std::vector<int32_t> labels,
+                                  size_t num_classes) {
+  if (labels.size() != features.rows()) {
+    return Status::InvalidArgument(
+        "Dataset: labels size " + std::to_string(labels.size()) +
+        " != examples " + std::to_string(features.rows()));
+  }
+  if (num_classes == 0) {
+    return Status::InvalidArgument("Dataset: num_classes must be > 0");
+  }
+  for (int32_t y : labels) {
+    if (y < 0 || static_cast<size_t>(y) >= num_classes) {
+      return Status::OutOfRange("Dataset: label " + std::to_string(y) +
+                                " outside [0, " + std::to_string(num_classes) +
+                                ")");
+    }
+  }
+  Dataset d;
+  d.features_ = std::move(features);
+  d.labels_ = std::move(labels);
+  d.num_classes_ = num_classes;
+  return d;
+}
+
+Dataset Dataset::Subset(std::span<const size_t> indices) const {
+  Matrix feats(indices.size(), dim());
+  std::vector<int32_t> labels(indices.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const size_t i = indices[r];
+    SAMPNN_CHECK_LT(i, size());
+    auto src = features_.Row(i);
+    std::copy(src.begin(), src.end(), feats.Row(r).begin());
+    labels[r] = labels_[i];
+  }
+  Dataset out;
+  out.features_ = std::move(feats);
+  out.labels_ = std::move(labels);
+  out.num_classes_ = num_classes_;
+  return out;
+}
+
+Dataset Dataset::Slice(size_t begin, size_t end) const {
+  SAMPNN_CHECK_LE(begin, end);
+  SAMPNN_CHECK_LE(end, size());
+  std::vector<size_t> idx(end - begin);
+  std::iota(idx.begin(), idx.end(), begin);
+  return Subset(idx);
+}
+
+void Dataset::FillBatch(std::span<const size_t> indices, Matrix* x,
+                        std::vector<int32_t>* y) const {
+  SAMPNN_CHECK(x != nullptr);
+  SAMPNN_CHECK(y != nullptr);
+  if (x->rows() != indices.size() || x->cols() != dim()) {
+    *x = Matrix(indices.size(), dim());
+  }
+  y->resize(indices.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const size_t i = indices[r];
+    SAMPNN_CHECK_LT(i, size());
+    auto src = features_.Row(i);
+    std::copy(src.begin(), src.end(), x->Row(r).begin());
+    (*y)[r] = labels_[i];
+  }
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes_, 0);
+  for (int32_t y : labels_) ++counts[static_cast<size_t>(y)];
+  return counts;
+}
+
+void Dataset::Shuffle(Rng& rng) {
+  std::vector<size_t> perm(size());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  *this = Subset(perm);
+}
+
+StatusOr<DatasetSplits> SplitDataset(const Dataset& data, size_t train_size,
+                                     size_t test_size, size_t validation_size,
+                                     Rng& rng) {
+  const size_t total = train_size + test_size + validation_size;
+  if (total > data.size()) {
+    return Status::InvalidArgument(
+        "SplitDataset: requested " + std::to_string(total) + " examples, have " +
+        std::to_string(data.size()));
+  }
+  std::vector<size_t> perm(data.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  DatasetSplits splits;
+  std::span<const size_t> view(perm);
+  splits.train = data.Subset(view.subspan(0, train_size));
+  splits.test = data.Subset(view.subspan(train_size, test_size));
+  splits.validation =
+      data.Subset(view.subspan(train_size + test_size, validation_size));
+  return splits;
+}
+
+}  // namespace sampnn

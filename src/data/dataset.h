@@ -1,0 +1,74 @@
+// In-memory labeled dataset with the paper's train/test/validation
+// partitioning (§8.2).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Feature matrix (num_examples x dim) plus integer class labels.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Validates that labels match the feature rows and lie in
+  /// [0, num_classes).
+  static StatusOr<Dataset> Create(Matrix features, std::vector<int32_t> labels,
+                                  size_t num_classes);
+
+  size_t size() const { return features_.rows(); }
+  size_t dim() const { return features_.cols(); }
+  size_t num_classes() const { return num_classes_; }
+
+  const Matrix& features() const { return features_; }
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  /// Feature row of example i.
+  std::span<const float> Example(size_t i) const { return features_.Row(i); }
+  /// Label of example i.
+  int32_t Label(size_t i) const { return labels_[i]; }
+
+  /// Copies the selected examples into a new dataset. Indices must be valid.
+  Dataset Subset(std::span<const size_t> indices) const;
+
+  /// Copies examples [begin, end) into a new dataset.
+  Dataset Slice(size_t begin, size_t end) const;
+
+  /// Copies rows `indices` into a batch matrix / label vector (resized).
+  void FillBatch(std::span<const size_t> indices, Matrix* x,
+                 std::vector<int32_t>* y) const;
+
+  /// Per-class example counts.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Shuffles examples in place.
+  void Shuffle(Rng& rng);
+
+ private:
+  Matrix features_;
+  std::vector<int32_t> labels_;
+  size_t num_classes_ = 0;
+};
+
+/// Train/test/validation split of one source dataset.
+struct DatasetSplits {
+  Dataset train;
+  Dataset test;
+  Dataset validation;
+};
+
+/// Randomly partitions `data` into the given sizes (paper §8.2: "We randomly
+/// partition the datasets"). Sizes must sum to at most data.size(); any
+/// remainder is dropped. Returns InvalidArgument otherwise.
+StatusOr<DatasetSplits> SplitDataset(const Dataset& data, size_t train_size,
+                                     size_t test_size, size_t validation_size,
+                                     Rng& rng);
+
+}  // namespace sampnn

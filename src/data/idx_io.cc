@@ -1,0 +1,111 @@
+#include "src/data/idx_io.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace sampnn {
+
+namespace {
+
+constexpr uint32_t kImagesMagic = 0x00000803;
+constexpr uint32_t kLabelsMagic = 0x00000801;
+
+StatusOr<uint32_t> ReadBigEndianU32(std::ifstream& in) {
+  uint8_t buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  if (!in) return Status::IOError("truncated IDX header");
+  return (static_cast<uint32_t>(buf[0]) << 24) |
+         (static_cast<uint32_t>(buf[1]) << 16) |
+         (static_cast<uint32_t>(buf[2]) << 8) | static_cast<uint32_t>(buf[3]);
+}
+
+}  // namespace
+
+StatusOr<IdxImages> ReadIdxImages(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  SAMPNN_ASSIGN_OR_RETURN(uint32_t magic, ReadBigEndianU32(in));
+  if (magic != kImagesMagic) {
+    return Status::InvalidArgument(path + ": bad image magic " +
+                                   std::to_string(magic));
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint32_t count, ReadBigEndianU32(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint32_t rows, ReadBigEndianU32(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint32_t cols, ReadBigEndianU32(in));
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument(path + ": zero image dimensions");
+  }
+  IdxImages images;
+  images.count = count;
+  images.rows = rows;
+  images.cols = cols;
+  images.pixels.resize(static_cast<size_t>(count) * rows * cols);
+  in.read(reinterpret_cast<char*>(images.pixels.data()),
+          static_cast<std::streamsize>(images.pixels.size()));
+  if (!in) return Status::IOError(path + ": truncated pixel data");
+  return images;
+}
+
+StatusOr<std::vector<uint8_t>> ReadIdxLabels(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  SAMPNN_ASSIGN_OR_RETURN(uint32_t magic, ReadBigEndianU32(in));
+  if (magic != kLabelsMagic) {
+    return Status::InvalidArgument(path + ": bad label magic " +
+                                   std::to_string(magic));
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint32_t count, ReadBigEndianU32(in));
+  std::vector<uint8_t> labels(count);
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(labels.size()));
+  if (!in) return Status::IOError(path + ": truncated label data");
+  return labels;
+}
+
+StatusOr<Dataset> LoadIdxDataset(const std::string& images_path,
+                                 const std::string& labels_path,
+                                 size_t num_classes) {
+  SAMPNN_ASSIGN_OR_RETURN(IdxImages images, ReadIdxImages(images_path));
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<uint8_t> raw_labels,
+                          ReadIdxLabels(labels_path));
+  if (raw_labels.size() != images.count) {
+    return Status::InvalidArgument("image/label count mismatch: " +
+                                   std::to_string(images.count) + " vs " +
+                                   std::to_string(raw_labels.size()));
+  }
+  const size_t dim = images.rows * images.cols;
+  Matrix features(images.count, dim);
+  float* fd = features.data();
+  for (size_t i = 0; i < images.pixels.size(); ++i) {
+    fd[i] = static_cast<float>(images.pixels[i]) / 255.0f;
+  }
+  std::vector<int32_t> labels(raw_labels.begin(), raw_labels.end());
+  if (num_classes == 0) {
+    uint8_t mx = 0;
+    for (uint8_t l : raw_labels) mx = std::max(mx, l);
+    num_classes = static_cast<size_t>(mx) + 1;
+  }
+  return Dataset::Create(std::move(features), std::move(labels), num_classes);
+}
+
+StatusOr<DatasetSplits> LoadMnistDirectory(const std::string& dir,
+                                           size_t validation_size) {
+  SAMPNN_ASSIGN_OR_RETURN(
+      Dataset train_all,
+      LoadIdxDataset(dir + "/train-images-idx3-ubyte",
+                     dir + "/train-labels-idx1-ubyte", 10));
+  SAMPNN_ASSIGN_OR_RETURN(Dataset test,
+                          LoadIdxDataset(dir + "/t10k-images-idx3-ubyte",
+                                         dir + "/t10k-labels-idx1-ubyte", 10));
+  if (validation_size >= train_all.size()) {
+    return Status::InvalidArgument("validation size exceeds train size");
+  }
+  DatasetSplits splits;
+  const size_t train_size = train_all.size() - validation_size;
+  splits.train = train_all.Slice(0, train_size);
+  splits.validation = train_all.Slice(train_size, train_all.size());
+  splits.test = std::move(test);
+  return splits;
+}
+
+}  // namespace sampnn

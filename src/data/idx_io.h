@@ -1,0 +1,44 @@
+// IDX file format reader (the MNIST-family on-disk format). When real
+// dataset files are available (train-images-idx3-ubyte etc.) the benchmark
+// harness can run on them instead of the synthetic substitutes; see
+// GenerateBenchmark in synthetic.h for the fallback.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Parsed IDX image file: `count` images of `rows` x `cols` uint8 pixels.
+struct IdxImages {
+  size_t count = 0;
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<uint8_t> pixels;  ///< count * rows * cols bytes
+};
+
+/// Reads an idx3-ubyte image file (magic 0x00000803). Returns IOError on
+/// missing files and InvalidArgument on malformed headers.
+StatusOr<IdxImages> ReadIdxImages(const std::string& path);
+
+/// Reads an idx1-ubyte label file (magic 0x00000801).
+StatusOr<std::vector<uint8_t>> ReadIdxLabels(const std::string& path);
+
+/// Builds a Dataset from an image/label file pair; pixels scaled to [0, 1].
+/// `num_classes` of 0 means infer as max(label)+1.
+StatusOr<Dataset> LoadIdxDataset(const std::string& images_path,
+                                 const std::string& labels_path,
+                                 size_t num_classes = 0);
+
+/// Loads an MNIST-layout directory (train-images-idx3-ubyte,
+/// train-labels-idx1-ubyte, t10k-images-idx3-ubyte, t10k-labels-idx1-ubyte),
+/// carving `validation_size` examples off the end of train.
+StatusOr<DatasetSplits> LoadMnistDirectory(const std::string& dir,
+                                           size_t validation_size = 5000);
+
+}  // namespace sampnn

@@ -1,0 +1,72 @@
+// Synthetic stand-ins for the paper's six benchmark datasets (§8.2).
+//
+// SUBSTITUTION (documented in DESIGN.md): the real image corpora are not
+// available offline, so each dataset is emulated by a class-prototype
+// generative model with the same dimensionality, class count, and split
+// sizes, and a per-dataset difficulty profile ordered like the paper's
+// results (MNIST easiest → CIFAR-10 hardest). Prototypes are smooth random
+// fields (coarse Gaussian grids bilinearly upsampled), samples are
+// prototype + optional spatial shift + pixel noise, clamped to [0, 1].
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Generative parameters for one synthetic image-classification dataset.
+struct SyntheticSpec {
+  std::string name;
+  size_t image_height = 28;
+  size_t image_width = 28;
+  size_t channels = 1;
+  size_t num_classes = 10;
+  size_t num_examples = 70000;
+
+  // Difficulty knobs.
+  size_t prototypes_per_class = 2;  ///< more prototypes = more intra-class variety
+  float noise_stddev = 0.08f;       ///< pixel noise
+  float shared_structure = 0.2f;    ///< weight of class-independent background
+                                    ///< (high = classes overlap = harder)
+  size_t max_shift = 2;             ///< random translation in pixels
+  size_t coarse_grid = 7;           ///< prototype smoothness (low = smoother)
+
+  /// Flattened feature dimension.
+  size_t dim() const { return image_height * image_width * channels; }
+};
+
+/// Split sizes per the paper's §8.2 partition table.
+struct SplitSpec {
+  size_t train = 0;
+  size_t test = 0;
+  size_t validation = 0;
+};
+
+/// One of the six paper benchmarks, fully specified.
+struct BenchmarkDatasetSpec {
+  SyntheticSpec synthetic;
+  SplitSpec splits;
+};
+
+/// Returns the spec for "mnist" | "kmnist" | "fashion" | "emnist" | "norb" |
+/// "cifar10"; NotFound otherwise.
+StatusOr<BenchmarkDatasetSpec> GetBenchmarkSpec(const std::string& name);
+
+/// All six benchmark names in paper order.
+std::vector<std::string> BenchmarkDatasetNames();
+
+/// Generates a synthetic dataset from `spec` (deterministic in `seed`).
+Dataset GenerateSynthetic(const SyntheticSpec& spec, uint64_t seed);
+
+/// Generates a benchmark dataset and partitions it per its SplitSpec,
+/// scaled down by `scale` (>= 1; sample counts divided by scale, dimensions
+/// untouched). scale=1 reproduces the paper's sizes.
+StatusOr<DatasetSplits> GenerateBenchmark(const std::string& name,
+                                          uint64_t seed, size_t scale = 1);
+
+}  // namespace sampnn

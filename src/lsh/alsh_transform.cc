@@ -1,0 +1,61 @@
+#include "src/lsh/alsh_transform.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<AlshTransform> AlshTransform::Create(
+    const AlshTransformOptions& options) {
+  if (options.m == 0) {
+    return Status::InvalidArgument("AlshTransform: m must be >= 1");
+  }
+  if (!(options.U > 0.0f && options.U < 1.0f)) {
+    return Status::InvalidArgument("AlshTransform: U must be in (0, 1)");
+  }
+  return AlshTransform(options);
+}
+
+void AlshTransform::FitScaleFromColumns(const Matrix& w) {
+  float max_norm = 0.0f;
+  for (size_t j = 0; j < w.cols(); ++j) {
+    max_norm = std::max(max_norm, w.ColNorm(j));
+  }
+  scale_ = (max_norm > 0.0f) ? options_.U / max_norm : 1.0f;
+}
+
+void AlshTransform::SetScale(float scale) {
+  SAMPNN_CHECK_GT(scale, 0.0f);
+  scale_ = scale;
+}
+
+void AlshTransform::TransformData(std::span<const float> w,
+                                  std::span<float> out) const {
+  SAMPNN_CHECK_EQ(out.size(), w.size() + options_.m);
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const float v = scale_ * w[i];
+    out[i] = v;
+    norm_sq += static_cast<double>(v) * v;
+  }
+  // Padding term i is ||sw||^{2^{i+1}}: square norm_sq repeatedly.
+  double power = norm_sq;  // ||sw||^2
+  for (size_t i = 0; i < options_.m; ++i) {
+    out[w.size() + i] = static_cast<float>(power);
+    power *= power;
+  }
+}
+
+void AlshTransform::TransformQuery(std::span<const float> a,
+                                   std::span<float> out) const {
+  SAMPNN_CHECK_EQ(out.size(), a.size() + options_.m);
+  double norm_sq = 0.0;
+  for (float v : a) norm_sq += static_cast<double>(v) * v;
+  const float inv_norm =
+      norm_sq > 0.0 ? 1.0f / static_cast<float>(std::sqrt(norm_sq)) : 1.0f;
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * inv_norm;
+  for (size_t i = 0; i < options_.m; ++i) out[a.size() + i] = 0.5f;
+}
+
+}  // namespace sampnn

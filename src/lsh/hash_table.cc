@@ -1,0 +1,154 @@
+#include "src/lsh/hash_table.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<LshFamily> LshFamilyFromString(const std::string& name) {
+  if (name == "srp") return LshFamily::kSrp;
+  if (name == "wta") return LshFamily::kWta;
+  return Status::InvalidArgument("unknown LSH family: " + name);
+}
+
+const char* LshFamilyToString(LshFamily family) {
+  switch (family) {
+    case LshFamily::kSrp:
+      return "srp";
+    case LshFamily::kWta:
+      return "wta";
+  }
+  return "unknown";
+}
+
+uint32_t AlshIndex::HashWith(const LshFunction& fn, std::span<const float> x) {
+  return std::visit([&x](const auto& h) { return h.Hash(x); }, fn);
+}
+
+uint32_t AlshIndex::BucketsOf(const LshFunction& fn) {
+  return std::visit([](const auto& h) { return h.num_buckets(); }, fn);
+}
+
+StatusOr<AlshIndex> AlshIndex::Create(size_t dim,
+                                      const AlshIndexOptions& options,
+                                      uint64_t seed) {
+  if (dim == 0) return Status::InvalidArgument("AlshIndex: dim must be > 0");
+  if (options.tables == 0) {
+    return Status::InvalidArgument("AlshIndex: tables must be >= 1");
+  }
+  SAMPNN_ASSIGN_OR_RETURN(AlshTransform transform,
+                          AlshTransform::Create(options.transform));
+  Rng rng(seed);
+  std::vector<LshFunction> hashes;
+  hashes.reserve(options.tables);
+  const size_t tdim = transform.TransformedDim(dim);
+  for (size_t t = 0; t < options.tables; ++t) {
+    if (options.family == LshFamily::kSrp) {
+      SAMPNN_ASSIGN_OR_RETURN(SrpHash h,
+                              SrpHash::Create(tdim, options.bits, rng));
+      hashes.emplace_back(std::move(h));
+    } else {
+      // WTA: `bits` budgets the code width; each sub-hash spends
+      // log2(window) bits.
+      const size_t bits_per = std::bit_width(options.wta_window) - 1;
+      if (bits_per == 0 || options.bits < bits_per) {
+        return Status::InvalidArgument(
+            "AlshIndex: bits too small for the WTA window");
+      }
+      SAMPNN_ASSIGN_OR_RETURN(
+          WtaHash h, WtaHash::Create(tdim, options.bits / bits_per,
+                                     options.wta_window, rng));
+      hashes.emplace_back(std::move(h));
+    }
+  }
+  return AlshIndex(dim, options, std::move(transform), std::move(hashes),
+                   rng.NextU64());
+}
+
+AlshIndex::AlshIndex(size_t dim, const AlshIndexOptions& options,
+                     AlshTransform transform, std::vector<LshFunction> hashes,
+                     uint64_t reservoir_seed)
+    : dim_(dim),
+      options_(options),
+      transform_(std::move(transform)),
+      hashes_(std::move(hashes)),
+      reservoir_rng_(reservoir_seed) {
+  buckets_.resize(options_.tables);
+  for (size_t t = 0; t < buckets_.size(); ++t) {
+    buckets_[t].resize(BucketsOf(hashes_[t]));
+  }
+}
+
+void AlshIndex::Build(const Matrix& w) {
+  SAMPNN_CHECK_EQ(w.rows(), dim_);
+  for (auto& table : buckets_) {
+    for (auto& bucket : table) bucket.clear();
+  }
+  transform_.FitScaleFromColumns(w);
+  num_items_ = w.cols();
+
+  std::vector<float> col(dim_);
+  std::vector<float> transformed(transform_.TransformedDim(dim_));
+  for (size_t j = 0; j < w.cols(); ++j) {
+    for (size_t i = 0; i < dim_; ++i) col[i] = w(i, j);
+    transform_.TransformData(col, transformed);
+    for (size_t t = 0; t < hashes_.size(); ++t) {
+      const uint32_t code = HashWith(hashes_[t], transformed);
+      auto& bucket = buckets_[t][code];
+      if (options_.max_bucket_size > 0 &&
+          bucket.size() >= options_.max_bucket_size) {
+        // Reservoir replacement keeps each item equally likely to survive.
+        const uint64_t slot = reservoir_rng_.NextBounded(bucket.size() + 1);
+        if (slot < bucket.size()) {
+          bucket[slot] = static_cast<uint32_t>(j);
+        }
+      } else {
+        bucket.push_back(static_cast<uint32_t>(j));
+      }
+    }
+  }
+  ++build_count_;
+}
+
+void AlshIndex::Query(std::span<const float> a,
+                      std::vector<uint32_t>* out) const {
+  SAMPNN_CHECK(out != nullptr);
+  SAMPNN_CHECK_EQ(a.size(), dim_);
+  out->clear();
+  if (num_items_ == 0) return;
+  std::vector<float> transformed(transform_.TransformedDim(dim_));
+  transform_.TransformQuery(a, transformed);
+  for (size_t t = 0; t < hashes_.size(); ++t) {
+    const uint32_t code = HashWith(hashes_[t], transformed);
+    const auto& bucket = buckets_[t][code];
+    out->insert(out->end(), bucket.begin(), bucket.end());
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+AlshIndexStats AlshIndex::ComputeStats() const {
+  AlshIndexStats stats;
+  stats.num_items = num_items_;
+  stats.num_tables = buckets_.size();
+  stats.buckets_per_table = buckets_.empty() ? 0 : buckets_[0].size();
+  size_t total_occupancy = 0;
+  for (const auto& table : buckets_) {
+    for (const auto& bucket : table) {
+      if (bucket.empty()) continue;
+      ++stats.nonempty_buckets;
+      total_occupancy += bucket.size();
+      stats.max_bucket_occupancy =
+          std::max(stats.max_bucket_occupancy, bucket.size());
+    }
+  }
+  stats.avg_nonempty_occupancy =
+      stats.nonempty_buckets == 0
+          ? 0.0
+          : static_cast<double>(total_occupancy) / stats.nonempty_buckets;
+  return stats;
+}
+
+}  // namespace sampnn

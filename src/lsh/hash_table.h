@@ -1,0 +1,105 @@
+// L-table ALSH index over the columns of a weight matrix (paper §5.2):
+// "ALSH-approx constructs L independent hash tables with 2^K hash buckets
+// and assigns a K-bit randomized hash function to every table."
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "src/lsh/alsh_transform.h"
+#include "src/lsh/srp_hash.h"
+#include "src/lsh/wta_hash.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Which hash family fills the tables.
+enum class LshFamily {
+  kSrp,  ///< signed random projections (cosine; the classic ALSH choice)
+  kWta,  ///< winner-take-all rank hashes (SLIDE's choice for sparse
+         ///< non-negative activations)
+};
+
+/// Parses "srp" | "wta".
+StatusOr<LshFamily> LshFamilyFromString(const std::string& name);
+/// Canonical lowercase name.
+const char* LshFamilyToString(LshFamily family);
+
+/// Hyperparameters of one per-layer ALSH index.
+struct AlshIndexOptions {
+  size_t bits = 6;             ///< K — bits per meta hash (paper default K=6)
+  size_t tables = 5;           ///< L — number of tables (paper default L=5)
+  size_t max_bucket_size = 0;  ///< 0 = unbounded; else reservoir-capped
+  LshFamily family = LshFamily::kSrp;
+  size_t wta_window = 8;       ///< WTA window (log2(window) bits/sub-hash)
+  AlshTransformOptions transform;  ///< m and U for P/Q
+};
+
+/// Occupancy statistics, used by tests and the LSH micro bench.
+struct AlshIndexStats {
+  size_t num_items = 0;
+  size_t num_tables = 0;
+  size_t buckets_per_table = 0;
+  size_t nonempty_buckets = 0;     ///< across all tables
+  size_t max_bucket_occupancy = 0;
+  double avg_nonempty_occupancy = 0.0;
+};
+
+/// \brief L independent SRP hash tables over ALSH-transformed vectors.
+///
+/// Items are the column indices of the matrix passed to Build(). Query()
+/// returns the union of the probed buckets — the "active node" set.
+class AlshIndex {
+ public:
+  /// `dim` is the original (untransformed) vector dimension.
+  static StatusOr<AlshIndex> Create(size_t dim, const AlshIndexOptions& options,
+                                    uint64_t seed);
+
+  /// (Re)hashes all columns of `w` into the tables; w.rows() must equal dim.
+  /// Refits the data scale from the current column norms.
+  void Build(const Matrix& w);
+
+  /// Probes the L tables with query `a` (length dim) and writes the union
+  /// of bucket members to `out` (cleared first). Members are unique and
+  /// sorted ascending. Thread-safe against concurrent Query() calls (but
+  /// not against a concurrent Build()).
+  void Query(std::span<const float> a, std::vector<uint32_t>* out) const;
+
+  /// Number of indexed items (columns of the last Build matrix).
+  size_t num_items() const { return num_items_; }
+  size_t dim() const { return dim_; }
+  const AlshIndexOptions& options() const { return options_; }
+  const AlshTransform& transform() const { return transform_; }
+
+  /// Number of Build() calls so far (hash-table reconstruction counter).
+  size_t build_count() const { return build_count_; }
+
+  AlshIndexStats ComputeStats() const;
+
+ private:
+  using LshFunction = std::variant<SrpHash, WtaHash>;
+
+  AlshIndex(size_t dim, const AlshIndexOptions& options,
+            AlshTransform transform, std::vector<LshFunction> hashes,
+            uint64_t reservoir_seed);
+
+  static uint32_t HashWith(const LshFunction& fn, std::span<const float> x);
+  static uint32_t BucketsOf(const LshFunction& fn);
+
+  size_t dim_;
+  AlshIndexOptions options_;
+  AlshTransform transform_;
+  std::vector<LshFunction> hashes_;  // one meta hash per table
+  // buckets_[t][code] = item ids. Flat per table for locality.
+  std::vector<std::vector<std::vector<uint32_t>>> buckets_;
+  size_t num_items_ = 0;
+  size_t build_count_ = 0;
+  Rng reservoir_rng_;
+};
+
+}  // namespace sampnn

@@ -1,0 +1,60 @@
+// Maximum inner-product search (paper §5.2): given a database of vectors and
+// a query a, find vectors w maximizing <w, a>. Provides both the exact
+// linear scan (ground truth for tests/benches) and the ALSH approximate
+// search of Shrivastava & Li.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/lsh/hash_table.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// One MIPS result: item id and its exact inner product with the query.
+struct MipsResult {
+  uint32_t id = 0;
+  float inner_product = 0.0f;
+};
+
+/// Exact top-k MIPS by linear scan over the columns of `database`.
+/// Results are sorted by decreasing inner product. k is clamped to the
+/// number of columns.
+std::vector<MipsResult> ExactMips(const Matrix& database,
+                                  std::span<const float> query, size_t k);
+
+/// \brief Approximate MIPS over the columns of a database matrix using an
+/// ALSH index, with exact reranking of the retrieved candidates.
+class AlshMips {
+ public:
+  /// Builds the index over `database` columns (rows = vector dim).
+  static StatusOr<AlshMips> Create(const Matrix& database,
+                                   const AlshIndexOptions& options,
+                                   uint64_t seed);
+
+  /// Returns up to k candidates sorted by decreasing exact inner product.
+  /// The candidate pool is the union of probed buckets, so fewer than k
+  /// results may come back when buckets are sparse.
+  std::vector<MipsResult> Query(std::span<const float> query, size_t k) const;
+
+  /// Raw candidate ids without reranking (the trainer-facing path).
+  void QueryCandidates(std::span<const float> query,
+                       std::vector<uint32_t>* out) const;
+
+  /// Fraction of top-k exact results retrieved, averaged over queries:
+  /// the standard recall@k quality metric for the index.
+  double RecallAtK(const Matrix& queries, size_t k) const;
+
+  const AlshIndex& index() const { return index_; }
+
+ private:
+  AlshMips(const Matrix& database, AlshIndex index);
+  Matrix database_;  // copy: columns are the indexed vectors
+  AlshIndex index_;
+};
+
+}  // namespace sampnn

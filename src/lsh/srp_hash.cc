@@ -1,0 +1,36 @@
+#include "src/lsh/srp_hash.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<SrpHash> SrpHash::Create(size_t dim, size_t bits, Rng& rng) {
+  if (dim == 0) return Status::InvalidArgument("SrpHash: dim must be > 0");
+  if (bits == 0 || bits > 30) {
+    return Status::InvalidArgument("SrpHash: bits must be in [1, 30]");
+  }
+  std::vector<float> planes(bits * dim);
+  for (auto& v : planes) v = rng.NextGaussian();
+  return SrpHash(dim, bits, std::move(planes));
+}
+
+uint32_t SrpHash::Hash(std::span<const float> x) const {
+  SAMPNN_DCHECK(x.size() == dim_);
+  uint32_t code = 0;
+  const float* p = planes_.data();
+  for (size_t b = 0; b < bits_; ++b, p += dim_) {
+    float dot = 0.0f;
+    for (size_t i = 0; i < dim_; ++i) dot += p[i] * x[i];
+    code = (code << 1) | (dot >= 0.0f ? 1u : 0u);
+  }
+  return code;
+}
+
+double SrpCollisionProbability(double cosine_similarity) {
+  const double c = std::min(1.0, std::max(-1.0, cosine_similarity));
+  return 1.0 - std::acos(c) / 3.14159265358979323846;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,48 @@
+// Signed random projection (SimHash) hash functions.
+//
+// Each K-bit meta hash is the concatenation of K hyperplane sign bits
+// (Def. 5.1's family H, instantiated for cosine similarity — the standard
+// choice for ALSH after the P/Q transform).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief A K-bit signed-random-projection hash over R^dim.
+class SrpHash {
+ public:
+  /// Creates K Gaussian hyperplanes over dimension `dim`. Requires
+  /// 1 <= bits <= 30 and dim > 0.
+  static StatusOr<SrpHash> Create(size_t dim, size_t bits, Rng& rng);
+
+  /// Hashes `x` (length dim) to a bits-wide code. Bit i is 1 iff
+  /// <x, plane_i> >= 0.
+  uint32_t Hash(std::span<const float> x) const;
+
+  size_t dim() const { return dim_; }
+  size_t bits() const { return bits_; }
+  /// Number of distinct codes, 2^bits.
+  uint32_t num_buckets() const { return 1u << bits_; }
+
+ private:
+  SrpHash(size_t dim, size_t bits, std::vector<float> planes)
+      : dim_(dim), bits_(bits), planes_(std::move(planes)) {}
+
+  size_t dim_;
+  size_t bits_;
+  // bits_ hyperplanes, row-major (bits_ x dim_).
+  std::vector<float> planes_;
+};
+
+/// Probability two unit vectors at angle theta collide on one SRP bit:
+/// 1 - theta / pi. Exposed for tests of the LSH property.
+double SrpCollisionProbability(double cosine_similarity);
+
+}  // namespace sampnn

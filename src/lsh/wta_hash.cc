@@ -1,0 +1,54 @@
+#include "src/lsh/wta_hash.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<WtaHash> WtaHash::Create(size_t dim, size_t subhashes, size_t window,
+                                  Rng& rng) {
+  if (dim == 0) return Status::InvalidArgument("WtaHash: dim must be > 0");
+  if (subhashes == 0) {
+    return Status::InvalidArgument("WtaHash: subhashes must be >= 1");
+  }
+  if (window < 2 || window > 256 || !std::has_single_bit(window)) {
+    return Status::InvalidArgument(
+        "WtaHash: window must be a power of two in [2, 256]");
+  }
+  if (dim < window) {
+    return Status::InvalidArgument("WtaHash: dim must be >= window");
+  }
+  const size_t bits_per = std::bit_width(window) - 1;  // log2(window)
+  const size_t bits = subhashes * bits_per;
+  if (bits > 30) {
+    return Status::InvalidArgument("WtaHash: total bits must be <= 30");
+  }
+  std::vector<uint32_t> coords(subhashes * window);
+  for (auto& c : coords) {
+    c = static_cast<uint32_t>(rng.NextBounded(dim));
+  }
+  return WtaHash(dim, subhashes, window, bits, std::move(coords));
+}
+
+uint32_t WtaHash::Hash(std::span<const float> x) const {
+  SAMPNN_DCHECK(x.size() == dim_);
+  const size_t bits_per = bits_ / subhashes_;
+  uint32_t code = 0;
+  const uint32_t* w = coords_.data();
+  for (size_t s = 0; s < subhashes_; ++s, w += window_) {
+    uint32_t best = 0;
+    float best_val = x[w[0]];
+    for (size_t i = 1; i < window_; ++i) {
+      const float v = x[w[i]];
+      if (v > best_val) {
+        best_val = v;
+        best = static_cast<uint32_t>(i);
+      }
+    }
+    code = (code << bits_per) | best;
+  }
+  return code;
+}
+
+}  // namespace sampnn

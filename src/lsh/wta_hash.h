@@ -1,0 +1,53 @@
+// Winner-take-all (WTA) hashing (Yagnik et al.), the family used by
+// SLIDE-style systems as an alternative to signed random projections for
+// sparse, non-negative activation vectors: each sub-hash samples a window
+// of `window` coordinates and emits the argmax position (log2(window)
+// bits); K sub-hashes concatenate into the bucket code. WTA codes are
+// rank-correlation hashes — invariant to any monotone transform of the
+// inputs, which makes them robust to activation-scale drift between hash
+// table rebuilds.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief A WTA hash emitting `subhashes` argmax codes over random windows.
+class WtaHash {
+ public:
+  /// `window` must be a power of two in [2, 256]; total bits =
+  /// subhashes * log2(window) must be <= 30. `dim` >= window.
+  static StatusOr<WtaHash> Create(size_t dim, size_t subhashes, size_t window,
+                                  Rng& rng);
+
+  /// Hashes `x` (length dim): concatenated argmax positions.
+  uint32_t Hash(std::span<const float> x) const;
+
+  size_t dim() const { return dim_; }
+  size_t bits() const { return bits_; }
+  uint32_t num_buckets() const { return 1u << bits_; }
+
+ private:
+  WtaHash(size_t dim, size_t subhashes, size_t window, size_t bits,
+          std::vector<uint32_t> coords)
+      : dim_(dim),
+        subhashes_(subhashes),
+        window_(window),
+        bits_(bits),
+        coords_(std::move(coords)) {}
+
+  size_t dim_;
+  size_t subhashes_;
+  size_t window_;
+  size_t bits_;
+  // subhashes_ windows of window_ coordinate indices each.
+  std::vector<uint32_t> coords_;
+};
+
+}  // namespace sampnn

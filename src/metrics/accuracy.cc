@@ -1,0 +1,68 @@
+#include "src/metrics/accuracy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/nn/loss.h"
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<double> Accuracy(std::span<const int32_t> predictions,
+                          std::span<const int32_t> labels) {
+  if (predictions.size() != labels.size()) {
+    return Status::InvalidArgument("Accuracy: size mismatch");
+  }
+  if (predictions.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+double EvaluateAccuracy(const Mlp& net, const Dataset& data,
+                        size_t eval_batch) {
+  SAMPNN_CHECK_GE(eval_batch, 1u);
+  if (data.size() == 0) return 0.0;
+  size_t correct = 0;
+  Matrix x;
+  std::vector<int32_t> y;
+  std::vector<size_t> idx(eval_batch);
+  MlpWorkspace ws;
+  for (size_t begin = 0; begin < data.size(); begin += eval_batch) {
+    const size_t end = std::min(data.size(), begin + eval_batch);
+    idx.resize(end - begin);
+    std::iota(idx.begin(), idx.end(), begin);
+    data.FillBatch(idx, &x, &y);
+    const Matrix& logits = net.Forward(x, &ws);
+    const auto preds = SoftmaxCrossEntropy::Predict(logits);
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == y[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double EvaluateLoss(const Mlp& net, const Dataset& data, size_t eval_batch) {
+  SAMPNN_CHECK_GE(eval_batch, 1u);
+  if (data.size() == 0) return 0.0;
+  double total = 0.0;
+  Matrix x;
+  std::vector<int32_t> y;
+  std::vector<size_t> idx(eval_batch);
+  MlpWorkspace ws;
+  for (size_t begin = 0; begin < data.size(); begin += eval_batch) {
+    const size_t end = std::min(data.size(), begin + eval_batch);
+    idx.resize(end - begin);
+    std::iota(idx.begin(), idx.end(), begin);
+    data.FillBatch(idx, &x, &y);
+    const Matrix& logits = net.Forward(x, &ws);
+    const double loss =
+        std::move(SoftmaxCrossEntropy::Loss(logits, y)).ValueOrDie("eval loss");
+    total += loss * static_cast<double>(end - begin);
+  }
+  return total / static_cast<double>(data.size());
+}
+
+}  // namespace sampnn

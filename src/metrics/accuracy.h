@@ -1,0 +1,27 @@
+// Classification accuracy (paper §8.5: "percentage of correct predictions").
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/data/dataset.h"
+#include "src/nn/mlp.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Fraction (0..1) of matching entries. Sizes must agree.
+StatusOr<double> Accuracy(std::span<const int32_t> predictions,
+                          std::span<const int32_t> labels);
+
+/// Evaluates `net` on `data` in chunks of `eval_batch` and returns accuracy
+/// in [0, 1].
+double EvaluateAccuracy(const Mlp& net, const Dataset& data,
+                        size_t eval_batch = 256);
+
+/// Mean NLL loss of `net` over `data`.
+double EvaluateLoss(const Mlp& net, const Dataset& data,
+                    size_t eval_batch = 256);
+
+}  // namespace sampnn

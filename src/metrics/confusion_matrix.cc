@@ -1,0 +1,163 @@
+#include "src/metrics/confusion_matrix.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "src/nn/loss.h"
+#include "src/util/check.h"
+#include "src/util/csv.h"
+
+namespace sampnn {
+
+ConfusionMatrix::ConfusionMatrix(size_t num_classes)
+    : n_(num_classes), counts_(num_classes * num_classes, 0) {
+  SAMPNN_CHECK_GT(num_classes, 0u);
+}
+
+Status ConfusionMatrix::Add(int32_t truth, int32_t prediction) {
+  if (truth < 0 || static_cast<size_t>(truth) >= n_) {
+    return Status::OutOfRange("confusion: truth " + std::to_string(truth));
+  }
+  if (prediction < 0 || static_cast<size_t>(prediction) >= n_) {
+    return Status::OutOfRange("confusion: prediction " +
+                              std::to_string(prediction));
+  }
+  ++counts_[static_cast<size_t>(truth) * n_ + static_cast<size_t>(prediction)];
+  return Status::OK();
+}
+
+Status ConfusionMatrix::AddBatch(std::span<const int32_t> truths,
+                                 std::span<const int32_t> predictions) {
+  if (truths.size() != predictions.size()) {
+    return Status::InvalidArgument("confusion: batch size mismatch");
+  }
+  for (size_t i = 0; i < truths.size(); ++i) {
+    SAMPNN_RETURN_NOT_OK(Add(truths[i], predictions[i]));
+  }
+  return Status::OK();
+}
+
+uint64_t ConfusionMatrix::At(size_t truth, size_t prediction) const {
+  SAMPNN_CHECK(truth < n_ && prediction < n_);
+  return counts_[truth * n_ + prediction];
+}
+
+uint64_t ConfusionMatrix::Total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), uint64_t{0});
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const uint64_t total = Total();
+  if (total == 0) return 0.0;
+  uint64_t diag = 0;
+  for (size_t i = 0; i < n_; ++i) diag += counts_[i * n_ + i];
+  return static_cast<double>(diag) / static_cast<double>(total);
+}
+
+std::vector<double> ConfusionMatrix::PerClassRecall() const {
+  std::vector<double> out(n_, 0.0);
+  for (size_t i = 0; i < n_; ++i) {
+    uint64_t row = 0;
+    for (size_t j = 0; j < n_; ++j) row += counts_[i * n_ + j];
+    if (row > 0) {
+      out[i] = static_cast<double>(counts_[i * n_ + i]) /
+               static_cast<double>(row);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::PerClassPrecision() const {
+  std::vector<double> out(n_, 0.0);
+  for (size_t j = 0; j < n_; ++j) {
+    uint64_t col = 0;
+    for (size_t i = 0; i < n_; ++i) col += counts_[i * n_ + j];
+    if (col > 0) {
+      out[j] = static_cast<double>(counts_[j * n_ + j]) /
+               static_cast<double>(col);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> ConfusionMatrix::PredictionCounts() const {
+  std::vector<uint64_t> out(n_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) out[j] += counts_[i * n_ + j];
+  }
+  return out;
+}
+
+size_t ConfusionMatrix::NumDistinctPredictions() const {
+  const auto counts = PredictionCounts();
+  return static_cast<size_t>(
+      std::count_if(counts.begin(), counts.end(),
+                    [](uint64_t c) { return c > 0; }));
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "pred→  ";
+  for (size_t j = 0; j < n_; ++j) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%6zu", j);
+    os << buf;
+  }
+  os << "\n";
+  for (size_t i = 0; i < n_; ++i) {
+    char head[16];
+    std::snprintf(head, sizeof(head), "true %2zu", i);
+    os << head;
+    for (size_t j = 0; j < n_; ++j) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%6llu",
+                    static_cast<unsigned long long>(counts_[i * n_ + j]));
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::vector<std::string>> ConfusionMatrix::ToCsvRows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    uint64_t row_total = 0;
+    for (size_t j = 0; j < n_; ++j) row_total += counts_[i * n_ + j];
+    std::vector<std::string> cells;
+    cells.reserve(n_);
+    for (size_t j = 0; j < n_; ++j) {
+      const double pct =
+          row_total == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(counts_[i * n_ + j]) / row_total;
+      cells.push_back(CsvWriter::Num(pct, 2));
+    }
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+ConfusionMatrix ComputeConfusion(const Mlp& net, const Dataset& data,
+                                 size_t eval_batch) {
+  ConfusionMatrix cm(data.num_classes());
+  Matrix x;
+  std::vector<int32_t> y;
+  std::vector<size_t> idx;
+  MlpWorkspace ws;
+  for (size_t begin = 0; begin < data.size(); begin += eval_batch) {
+    const size_t end = std::min(data.size(), begin + eval_batch);
+    idx.resize(end - begin);
+    std::iota(idx.begin(), idx.end(), begin);
+    data.FillBatch(idx, &x, &y);
+    const Matrix& logits = net.Forward(x, &ws);
+    const auto preds = SoftmaxCrossEntropy::Predict(logits);
+    cm.AddBatch(y, preds).Abort("ComputeConfusion");
+  }
+  return cm;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,63 @@
+// Confusion matrices (paper Figure 3): counts[true][predicted], with ASCII
+// rendering for terminal output and CSV export for plotting.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/nn/mlp.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Square matrix of prediction counts indexed [true class][predicted].
+class ConfusionMatrix {
+ public:
+  /// Zeroed num_classes x num_classes matrix.
+  explicit ConfusionMatrix(size_t num_classes);
+
+  /// Accumulates one (truth, prediction) pair; both must be in range.
+  Status Add(int32_t truth, int32_t prediction);
+
+  /// Accumulates a batch. Sizes must match.
+  Status AddBatch(std::span<const int32_t> truths,
+                  std::span<const int32_t> predictions);
+
+  size_t num_classes() const { return n_; }
+  /// Count at [truth][prediction].
+  uint64_t At(size_t truth, size_t prediction) const;
+  /// Total observations.
+  uint64_t Total() const;
+
+  /// Trace / total (0 when empty).
+  double Accuracy() const;
+  /// Per-class recall (diagonal / row sum; 0 for empty rows).
+  std::vector<double> PerClassRecall() const;
+  /// Per-class precision (diagonal / column sum; 0 for empty columns).
+  std::vector<double> PerClassPrecision() const;
+  /// How many examples were predicted per class (column sums).
+  std::vector<uint64_t> PredictionCounts() const;
+  /// Number of classes ever predicted at least once — the paper's §10.3
+  /// "label prediction distribution" collapse indicator for deep ALSH nets.
+  size_t NumDistinctPredictions() const;
+
+  /// Fixed-width ASCII rendering with row/column class headers.
+  std::string ToString() const;
+
+  /// Rows of row-normalized percentages as CSV cells (for Figure 3 export).
+  std::vector<std::vector<std::string>> ToCsvRows() const;
+
+ private:
+  size_t n_;
+  std::vector<uint64_t> counts_;  // n_ x n_, row-major
+};
+
+/// Runs `net` over `data` and fills a confusion matrix.
+ConfusionMatrix ComputeConfusion(const Mlp& net, const Dataset& data,
+                                 size_t eval_batch = 256);
+
+}  // namespace sampnn

@@ -1,0 +1,68 @@
+// Memory accounting for the §9.4 memory analysis.
+//
+// Two complementary views:
+//  - process RSS from /proc/self/status (what the paper measured), and
+//  - an analytic per-step working-set model (bytes touched per training
+//    step), our substitute for the paper's hardware cache-miss profiling —
+//    documented in DESIGN.md.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/nn/mlp.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Snapshot of process memory, in bytes.
+struct MemoryUsage {
+  size_t rss_bytes = 0;      ///< VmRSS
+  size_t peak_rss_bytes = 0; ///< VmHWM
+};
+
+/// Reads /proc/self/status. IOError on non-procfs systems.
+StatusOr<MemoryUsage> ReadMemoryUsage();
+
+/// \brief Records a baseline and reports growth, mirroring the paper's
+/// "expands by N MB by the end of training" measurements.
+class MemoryTracker {
+ public:
+  /// Captures the baseline now (0 baseline if procfs is unavailable).
+  MemoryTracker();
+
+  /// RSS growth since construction (clamped at 0).
+  size_t GrowthBytes() const;
+  /// Current RSS.
+  size_t CurrentBytes() const;
+
+ private:
+  size_t baseline_ = 0;
+};
+
+/// Analytic working set of one training step, in bytes.
+struct WorkingSetModel {
+  size_t weights_touched = 0;      ///< weight bytes read+written per step
+  size_t activations_touched = 0;  ///< activation/delta bytes per step
+  size_t auxiliary_touched = 0;    ///< hash tables, probability buffers, masks
+  size_t total() const {
+    return weights_touched + activations_touched + auxiliary_touched;
+  }
+};
+
+/// Estimates the per-step working set of a training method on `net`.
+/// `method` is one of the TrainerKind names ("standard", "dropout",
+/// "adaptive-dropout", "alsh", "mc"); `batch` the minibatch size;
+/// `active_fraction` the expected fraction of nodes touched by sparse
+/// methods (e.g. 0.05 for ALSH/Dropout at p=0.05, the MC sample ratio for
+/// MC-approx).
+StatusOr<WorkingSetModel> EstimateWorkingSet(const Mlp& net,
+                                             const std::string& method,
+                                             size_t batch,
+                                             double active_fraction);
+
+/// Human-readable byte count ("12.3 MB").
+std::string FormatBytes(size_t bytes);
+
+}  // namespace sampnn

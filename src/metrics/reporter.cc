@@ -1,0 +1,70 @@
+#include "src/metrics/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/csv.h"
+
+namespace sampnn {
+
+TableReporter::TableReporter(std::string title,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  SAMPNN_CHECK(!columns_.empty());
+}
+
+void TableReporter::AddRow(std::vector<std::string> cells) {
+  SAMPNN_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableReporter::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableReporter::Render() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "\n== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  size_t total_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total_width += widths[c] + (c ? 2 : 0);
+  }
+  os << std::string(total_width, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TableReporter::Print() const {
+  const std::string s = Render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+Status TableReporter::WriteCsv(const std::string& path) const {
+  SAMPNN_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  writer.WriteHeader(columns_);
+  for (const auto& row : rows_) writer.WriteRow(row);
+  return writer.Close();
+}
+
+}  // namespace sampnn

@@ -1,0 +1,42 @@
+// Fixed-width table rendering for the bench harness — prints the paper-style
+// rows for each table/figure and mirrors them to CSV.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Accumulates rows and renders an aligned ASCII table.
+class TableReporter {
+ public:
+  /// `title` is printed above the table (e.g. "Table 2: Test accuracy (%)").
+  TableReporter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; cell count must match the declared columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric cells.
+  static std::string Cell(double v, int precision = 2);
+
+  /// Renders title + aligned table.
+  std::string Render() const;
+
+  /// Prints Render() to stdout.
+  void Print() const;
+
+  /// Writes header + rows to `path` as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sampnn

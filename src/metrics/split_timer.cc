@@ -1,0 +1,6 @@
+// SplitTimer is header-only; this translation unit anchors the header so the
+// library exports one definition of its inline constants.
+
+#include "src/metrics/split_timer.h"
+
+namespace sampnn {}  // namespace sampnn

@@ -1,0 +1,93 @@
+// Phase-split wall-clock timing. The paper's Tables 3 and 4 report training
+// time split into feedforward and backpropagation; trainers charge their
+// time to named phases through this accumulator.
+
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace sampnn {
+
+/// Phase labels used by all trainers.
+inline constexpr const char* kPhaseForward = "forward";
+inline constexpr const char* kPhaseBackward = "backward";
+inline constexpr const char* kPhaseSampling = "sampling";   ///< hash/MC overhead
+inline constexpr const char* kPhaseHashRebuild = "rebuild"; ///< ALSH table reconstruction
+
+/// \brief Accumulates wall-clock seconds per named phase.
+class SplitTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// RAII guard charging its lifetime to one phase.
+  class Scope {
+   public:
+    Scope(SplitTimer* timer, const std::string& phase)
+        : timer_(timer), phase_(phase), start_(Clock::now()) {}
+    ~Scope() {
+      if (timer_ != nullptr) timer_->Add(phase_, Elapsed());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    double Elapsed() const {
+      return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+   private:
+    SplitTimer* timer_;
+    std::string phase_;
+    Clock::time_point start_;
+  };
+
+  /// Adds `seconds` to `phase`.
+  void Add(const std::string& phase, double seconds) {
+    totals_[phase] += seconds;
+  }
+
+  /// Accumulated seconds for `phase` (0 if never charged).
+  double Seconds(const std::string& phase) const {
+    auto it = totals_.find(phase);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum across all phases.
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (const auto& [_, s] : totals_) total += s;
+    return total;
+  }
+
+  /// All phase totals (phase name -> seconds).
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  /// Clears all accumulators.
+  void Reset() { totals_.clear(); }
+
+  /// Merges another timer's phases into this one.
+  void Merge(const SplitTimer& other) {
+    for (const auto& [phase, s] : other.totals_) totals_[phase] += s;
+  }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// One-shot stopwatch for whole-block timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(SplitTimer::Clock::now()) {}
+  /// Seconds since construction or the last Restart().
+  double Elapsed() const {
+    return std::chrono::duration<double>(SplitTimer::Clock::now() - start_)
+        .count();
+  }
+  void Restart() { start_ = SplitTimer::Clock::now(); }
+
+ private:
+  SplitTimer::Clock::time_point start_;
+};
+
+}  // namespace sampnn

@@ -1,0 +1,109 @@
+#include "src/nn/activation.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+StatusOr<Activation> ActivationFromString(const std::string& name) {
+  if (name == "linear") return Activation::kLinear;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+const char* ActivationToString(Activation act) {
+  switch (act) {
+    case Activation::kLinear:
+      return "linear";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "unknown";
+}
+
+float ActivationValue(Activation act, float z) {
+  switch (act) {
+    case Activation::kLinear:
+      return z;
+    case Activation::kRelu:
+      return z > 0.0f ? z : 0.0f;
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-z));
+    case Activation::kTanh:
+      return std::tanh(z);
+  }
+  return z;
+}
+
+float ActivationGradValue(Activation act, float z) {
+  switch (act) {
+    case Activation::kLinear:
+      return 1.0f;
+    case Activation::kRelu:
+      return z > 0.0f ? 1.0f : 0.0f;
+    case Activation::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-z));
+      return s * (1.0f - s);
+    }
+    case Activation::kTanh: {
+      const float t = std::tanh(z);
+      return 1.0f - t * t;
+    }
+  }
+  return 1.0f;
+}
+
+void ApplyActivation(Activation act, std::span<const float> z,
+                     std::span<float> a) {
+  SAMPNN_CHECK_EQ(z.size(), a.size());
+  switch (act) {
+    case Activation::kLinear:
+      if (a.data() != z.data()) {
+        for (size_t i = 0; i < z.size(); ++i) a[i] = z[i];
+      }
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < z.size(); ++i) a[i] = z[i] > 0.0f ? z[i] : 0.0f;
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < z.size(); ++i)
+        a[i] = 1.0f / (1.0f + std::exp(-z[i]));
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < z.size(); ++i) a[i] = std::tanh(z[i]);
+      break;
+  }
+}
+
+void ApplyActivation(Activation act, Matrix* m) {
+  SAMPNN_CHECK(m != nullptr);
+  std::span<float> d(m->data(), m->size());
+  ApplyActivation(act, d, d);
+}
+
+void ActivationGradFromZ(Activation act, std::span<const float> z,
+                         std::span<float> d) {
+  SAMPNN_CHECK_EQ(z.size(), d.size());
+  for (size_t i = 0; i < z.size(); ++i) d[i] = ActivationGradValue(act, z[i]);
+}
+
+void MultiplyActivationGrad(Activation act, const Matrix& z, Matrix* delta) {
+  SAMPNN_CHECK(delta != nullptr);
+  SAMPNN_CHECK_EQ(z.rows(), delta->rows());
+  SAMPNN_CHECK_EQ(z.cols(), delta->cols());
+  if (act == Activation::kLinear) return;
+  const float* zd = z.data();
+  float* dd = delta->data();
+  for (size_t i = 0; i < z.size(); ++i) {
+    dd[i] *= ActivationGradValue(act, zd[i]);
+  }
+}
+
+}  // namespace sampnn

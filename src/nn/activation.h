@@ -1,0 +1,47 @@
+// Elementwise activation functions and their derivatives (paper §4.1: f and
+// f' in the feedforward chain a^k = f(z^k) and backprop Hadamard terms).
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Supported hidden-layer activation functions.
+enum class Activation {
+  kLinear,   ///< f(z) = z (used by the §7 error-propagation analysis)
+  kRelu,     ///< f(z) = max(0, z) (paper default, §8.4)
+  kSigmoid,  ///< f(z) = 1 / (1 + e^{-z})
+  kTanh,     ///< f(z) = tanh(z)
+};
+
+/// Parses "linear" | "relu" | "sigmoid" | "tanh".
+StatusOr<Activation> ActivationFromString(const std::string& name);
+
+/// Canonical lowercase name.
+const char* ActivationToString(Activation act);
+
+/// Applies f elementwise: a[i] = f(z[i]). `a` may alias `z`.
+void ApplyActivation(Activation act, std::span<const float> z,
+                     std::span<float> a);
+
+/// In-place activation over a whole matrix.
+void ApplyActivation(Activation act, Matrix* m);
+
+/// Derivative from the pre-activation z: d[i] = f'(z[i]). `d` may alias `z`.
+void ActivationGradFromZ(Activation act, std::span<const float> z,
+                         std::span<float> d);
+
+/// Multiplies `delta` by f'(z) elementwise (the ⊙ f'(z^k) step of Eq. 1).
+void MultiplyActivationGrad(Activation act, const Matrix& z, Matrix* delta);
+
+/// Scalar evaluation, useful in tests and the single-sample path.
+float ActivationValue(Activation act, float z);
+/// Scalar derivative.
+float ActivationGradValue(Activation act, float z);
+
+}  // namespace sampnn

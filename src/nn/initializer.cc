@@ -1,0 +1,48 @@
+#include "src/nn/initializer.h"
+
+#include <cmath>
+
+namespace sampnn {
+
+StatusOr<Initializer> InitializerFromString(const std::string& name) {
+  if (name == "he") return Initializer::kHe;
+  if (name == "xavier") return Initializer::kXavier;
+  if (name == "uniform") return Initializer::kUniform;
+  return Status::InvalidArgument("unknown initializer: " + name);
+}
+
+const char* InitializerToString(Initializer init) {
+  switch (init) {
+    case Initializer::kHe:
+      return "he";
+    case Initializer::kXavier:
+      return "xavier";
+    case Initializer::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+Matrix InitializeWeights(Initializer init, size_t fan_in, size_t fan_out,
+                         Rng& rng) {
+  SAMPNN_CHECK_GT(fan_in, 0u);
+  SAMPNN_CHECK_GT(fan_out, 0u);
+  switch (init) {
+    case Initializer::kHe: {
+      const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+      return Matrix::RandomGaussian(fan_in, fan_out, rng, 0.0f, stddev);
+    }
+    case Initializer::kXavier: {
+      const float bound =
+          std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+      return Matrix::RandomUniform(fan_in, fan_out, rng, -bound, bound);
+    }
+    case Initializer::kUniform: {
+      const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+      return Matrix::RandomUniform(fan_in, fan_out, rng, -bound, bound);
+    }
+  }
+  return Matrix(fan_in, fan_out);
+}
+
+}  // namespace sampnn

@@ -1,0 +1,30 @@
+// Weight initialization schemes.
+
+#pragma once
+
+#include <string>
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Initialization scheme for layer weights.
+enum class Initializer {
+  kHe,       ///< N(0, sqrt(2 / fan_in)) — pairs with ReLU (paper default)
+  kXavier,   ///< U(±sqrt(6 / (fan_in + fan_out)))
+  kUniform,  ///< U(±1 / sqrt(fan_in)) — the classic PyTorch Linear default
+};
+
+/// Parses "he" | "xavier" | "uniform".
+StatusOr<Initializer> InitializerFromString(const std::string& name);
+
+/// Canonical lowercase name.
+const char* InitializerToString(Initializer init);
+
+/// Returns an initialized (fan_in x fan_out) weight matrix.
+Matrix InitializeWeights(Initializer init, size_t fan_in, size_t fan_out,
+                         Rng& rng);
+
+}  // namespace sampnn

@@ -1,0 +1,133 @@
+#include "src/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+namespace {
+
+Status ValidateLabels(const Matrix& logits, std::span<const int32_t> labels) {
+  if (labels.size() != logits.rows()) {
+    return Status::InvalidArgument(
+        "labels size " + std::to_string(labels.size()) + " != batch " +
+        std::to_string(logits.rows()));
+  }
+  for (int32_t y : labels) {
+    if (y < 0 || static_cast<size_t>(y) >= logits.cols()) {
+      return Status::OutOfRange("label " + std::to_string(y) +
+                                " outside [0, " + std::to_string(logits.cols()) +
+                                ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> SoftmaxCrossEntropy::Loss(const Matrix& logits,
+                                           std::span<const int32_t> labels) {
+  SAMPNN_RETURN_NOT_OK(ValidateLabels(logits, labels));
+  if (logits.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    auto row = logits.Row(i);
+    const float mx = *std::max_element(row.begin(), row.end());
+    double lse = 0.0;
+    for (float v : row) lse += std::exp(static_cast<double>(v - mx));
+    lse = std::log(lse) + mx;
+    total += lse - row[static_cast<size_t>(labels[i])];
+  }
+  return total / static_cast<double>(logits.rows());
+}
+
+StatusOr<double> SoftmaxCrossEntropy::LossAndGrad(
+    const Matrix& logits, std::span<const int32_t> labels, Matrix* grad) {
+  SAMPNN_CHECK(grad != nullptr);
+  SAMPNN_RETURN_NOT_OK(ValidateLabels(logits, labels));
+  const size_t batch = logits.rows(), classes = logits.cols();
+  if (grad->rows() != batch || grad->cols() != classes) {
+    *grad = Matrix(batch, classes);
+  }
+  if (batch == 0) return 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  double total = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    auto row = logits.Row(i);
+    auto grow = grad->Row(i);
+    const float mx = *std::max_element(row.begin(), row.end());
+    double denom = 0.0;
+    for (float v : row) denom += std::exp(static_cast<double>(v - mx));
+    const double log_denom = std::log(denom);
+    for (size_t j = 0; j < classes; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - mx)) / denom;
+      grow[j] = static_cast<float>(p) * inv_batch;
+    }
+    const auto y = static_cast<size_t>(labels[i]);
+    grow[y] -= inv_batch;
+    total += log_denom + mx - row[y];
+  }
+  return total / static_cast<double>(batch);
+}
+
+void SoftmaxCrossEntropy::LogSoftmax(const Matrix& logits, Matrix* out) {
+  SAMPNN_CHECK(out != nullptr);
+  if (out->rows() != logits.rows() || out->cols() != logits.cols()) {
+    *out = Matrix(logits.rows(), logits.cols());
+  }
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    auto row = logits.Row(i);
+    auto orow = out->Row(i);
+    const float mx = *std::max_element(row.begin(), row.end());
+    double lse = 0.0;
+    for (float v : row) lse += std::exp(static_cast<double>(v - mx));
+    const float log_denom = static_cast<float>(std::log(lse)) + mx;
+    for (size_t j = 0; j < row.size(); ++j) orow[j] = row[j] - log_denom;
+  }
+}
+
+std::vector<int32_t> SoftmaxCrossEntropy::Predict(const Matrix& logits) {
+  std::vector<int32_t> out(logits.rows());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    auto row = logits.Row(i);
+    out[i] = static_cast<int32_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+StatusOr<double> MeanSquaredError::Loss(const Matrix& pred,
+                                        const Matrix& target) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols()) {
+    return Status::InvalidArgument("MSE shape mismatch");
+  }
+  if (pred.size() == 0) return 0.0;
+  double acc = 0.0;
+  const float* pd = pred.data();
+  const float* td = target.data();
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(pd[i]) - td[i];
+    acc += d * d;
+  }
+  return acc / (2.0 * static_cast<double>(pred.size()));
+}
+
+StatusOr<double> MeanSquaredError::LossAndGrad(const Matrix& pred,
+                                               const Matrix& target,
+                                               Matrix* grad) {
+  SAMPNN_CHECK(grad != nullptr);
+  SAMPNN_ASSIGN_OR_RETURN(double loss, Loss(pred, target));
+  if (grad->rows() != pred.rows() || grad->cols() != pred.cols()) {
+    *grad = Matrix(pred.rows(), pred.cols());
+  }
+  const float inv = 1.0f / static_cast<float>(pred.size());
+  const float* pd = pred.data();
+  const float* td = target.data();
+  float* gd = grad->data();
+  for (size_t i = 0; i < pred.size(); ++i) gd[i] = (pd[i] - td[i]) * inv;
+  return loss;
+}
+
+}  // namespace sampnn

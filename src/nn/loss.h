@@ -1,0 +1,51 @@
+// Loss functions. The paper's setting (§8.4) is log-softmax output +
+// negative log-likelihood, which we fuse into a numerically stable
+// softmax-cross-entropy on logits (identical math, one pass).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Fused log-softmax + negative log-likelihood over logits.
+///
+/// Given logits Z (batch x classes) and integer labels, computes the mean
+/// NLL loss and, optionally, dL/dZ = (softmax(Z) - onehot(y)) / batch,
+/// which is the delta^l seeding Eq. 1's backward recursion.
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean loss over the batch. `labels.size()` must equal `logits.rows()`
+  /// and every label must be < logits.cols().
+  static StatusOr<double> Loss(const Matrix& logits,
+                               std::span<const int32_t> labels);
+
+  /// Mean loss and gradient w.r.t. logits. `grad` is resized/overwritten.
+  static StatusOr<double> LossAndGrad(const Matrix& logits,
+                                      std::span<const int32_t> labels,
+                                      Matrix* grad);
+
+  /// Row-wise log-softmax of `logits` into `out` (may alias).
+  static void LogSoftmax(const Matrix& logits, Matrix* out);
+
+  /// Argmax prediction per row.
+  static std::vector<int32_t> Predict(const Matrix& logits);
+};
+
+/// \brief Mean squared error, used by tests and the linear-network theory
+/// experiments.
+class MeanSquaredError {
+ public:
+  /// Mean over all elements of (pred - target)^2 / 2.
+  static StatusOr<double> Loss(const Matrix& pred, const Matrix& target);
+  /// Loss and gradient dL/dpred = (pred - target) / (batch).
+  static StatusOr<double> LossAndGrad(const Matrix& pred, const Matrix& target,
+                                      Matrix* grad);
+};
+
+}  // namespace sampnn

@@ -1,0 +1,120 @@
+#include "src/nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace sampnn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'N', '1'};
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+StatusOr<uint64_t> ReadU64(std::ifstream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) return Status::InvalidArgument("truncated model file");
+  return v;
+}
+
+}  // namespace
+
+Status SaveMlp(const Mlp& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out.write(kMagic, 4);
+  WriteU64(out, net.num_layers());
+  for (size_t k = 0; k < net.num_layers(); ++k) {
+    const Layer& layer = net.layer(k);
+    WriteU64(out, layer.in_dim());
+    WriteU64(out, layer.out_dim());
+    WriteU64(out, static_cast<uint64_t>(layer.activation()));
+    out.write(reinterpret_cast<const char*>(layer.weights().data()),
+              static_cast<std::streamsize>(layer.weights().size() *
+                                           sizeof(float)));
+    out.write(reinterpret_cast<const char*>(layer.bias().data()),
+              static_cast<std::streamsize>(layer.bias().size() *
+                                           sizeof(float)));
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+StatusOr<Mlp> LoadMlp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(path + ": bad model magic");
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_layers, ReadU64(in));
+  if (num_layers == 0 || num_layers > 1024) {
+    return Status::InvalidArgument(path + ": implausible layer count " +
+                                   std::to_string(num_layers));
+  }
+  // Reconstruct via MlpConfig (hidden activation from layer 0), then
+  // overwrite the parameters.
+  struct RawLayer {
+    size_t in, out;
+    Activation act;
+    std::vector<float> weights, bias;
+  };
+  std::vector<RawLayer> layers;
+  layers.reserve(num_layers);
+  size_t prev_out = 0;
+  for (uint64_t k = 0; k < num_layers; ++k) {
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t in_dim, ReadU64(in));
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t out_dim, ReadU64(in));
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t act_raw, ReadU64(in));
+    if (in_dim == 0 || out_dim == 0) {
+      return Status::InvalidArgument(path + ": zero layer dimension");
+    }
+    if (k > 0 && in_dim != prev_out) {
+      return Status::InvalidArgument(path + ": layer dimension chain broken");
+    }
+    if (act_raw > static_cast<uint64_t>(Activation::kTanh)) {
+      return Status::InvalidArgument(path + ": unknown activation id");
+    }
+    prev_out = out_dim;
+    RawLayer layer;
+    layer.in = in_dim;
+    layer.out = out_dim;
+    layer.act = static_cast<Activation>(act_raw);
+    layer.weights.resize(in_dim * out_dim);
+    in.read(reinterpret_cast<char*>(layer.weights.data()),
+            static_cast<std::streamsize>(layer.weights.size() * sizeof(float)));
+    layer.bias.resize(out_dim);
+    in.read(reinterpret_cast<char*>(layer.bias.data()),
+            static_cast<std::streamsize>(layer.bias.size() * sizeof(float)));
+    if (!in) return Status::InvalidArgument(path + ": truncated parameters");
+    layers.push_back(std::move(layer));
+  }
+
+  MlpConfig cfg;
+  cfg.input_dim = layers.front().in;
+  cfg.output_dim = layers.back().out;
+  for (size_t k = 0; k + 1 < layers.size(); ++k) {
+    cfg.hidden_dims.push_back(layers[k].out);
+  }
+  cfg.hidden_activation =
+      layers.size() > 1 ? layers.front().act : Activation::kLinear;
+  SAMPNN_ASSIGN_OR_RETURN(Mlp net, Mlp::Create(cfg));
+  for (size_t k = 0; k < layers.size(); ++k) {
+    if (net.layer(k).activation() != layers[k].act) {
+      return Status::InvalidArgument(
+          path + ": mixed hidden activations are not representable");
+    }
+    std::memcpy(net.layer(k).weights().data(), layers[k].weights.data(),
+                layers[k].weights.size() * sizeof(float));
+    std::memcpy(net.layer(k).bias().data(), layers[k].bias.data(),
+                layers[k].bias.size() * sizeof(float));
+  }
+  return net;
+}
+
+}  // namespace sampnn

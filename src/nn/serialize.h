@@ -1,0 +1,22 @@
+// Binary model serialization: save/load trained Mlp parameters. Format
+// "SNN1": magic, layer count, then per layer (in, out, activation id,
+// weights row-major, bias). Little-endian, float32 — matching the in-memory
+// representation on every supported platform.
+
+#pragma once
+
+#include <string>
+
+#include "src/nn/mlp.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Writes `net`'s architecture and parameters to `path` (truncates).
+Status SaveMlp(const Mlp& net, const std::string& path);
+
+/// Reads a model written by SaveMlp. Returns InvalidArgument on malformed
+/// files and IOError on filesystem failures.
+StatusOr<Mlp> LoadMlp(const std::string& path);
+
+}  // namespace sampnn

@@ -1,0 +1,39 @@
+#include <cmath>
+
+#include "src/optim/optimizer.h"
+#include "src/util/check.h"
+
+namespace sampnn {
+
+AdagradOptimizer::AdagradOptimizer(float lr, float eps) : lr_(lr), eps_(eps) {
+  SAMPNN_CHECK_GT(lr, 0.0f);
+}
+
+void AdagradOptimizer::Step(Mlp* net, const MlpGrads& grads) {
+  SAMPNN_CHECK(net != nullptr);
+  SAMPNN_CHECK_EQ(grads.size(), net->num_layers());
+  if (accum_.size() != grads.size()) accum_ = net->ZeroGrads();
+
+  for (size_t k = 0; k < grads.size(); ++k) {
+    Layer& layer = net->layer(k);
+    const LayerGrads& g = grads[k];
+    float* w = layer.weights().data();
+    float* acc = accum_[k].weights.data();
+    const float* gd = g.weights.data();
+    const size_t n = layer.weights().size();
+    for (size_t i = 0; i < n; ++i) {
+      acc[i] += gd[i] * gd[i];
+      w[i] -= lr_ * gd[i] / (std::sqrt(acc[i]) + eps_);
+    }
+    auto bias = layer.bias();
+    for (size_t j = 0; j < bias.size(); ++j) {
+      float& ab = accum_[k].bias[j];
+      ab += g.bias[j] * g.bias[j];
+      bias[j] -= lr_ * g.bias[j] / (std::sqrt(ab) + eps_);
+    }
+  }
+}
+
+void AdagradOptimizer::Reset() { accum_.clear(); }
+
+}  // namespace sampnn

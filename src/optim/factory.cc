@@ -1,0 +1,27 @@
+#include <memory>
+
+#include "src/optim/optimizer.h"
+
+namespace sampnn {
+
+StatusOr<std::unique_ptr<Optimizer>> MakeOptimizer(const std::string& name,
+                                                   float lr) {
+  if (lr <= 0.0f) {
+    return Status::InvalidArgument("learning rate must be > 0");
+  }
+  if (name == "sgd") {
+    return std::unique_ptr<Optimizer>(new SgdOptimizer(lr));
+  }
+  if (name == "sgd-momentum") {
+    return std::unique_ptr<Optimizer>(new SgdOptimizer(lr, 0.9f));
+  }
+  if (name == "adam") {
+    return std::unique_ptr<Optimizer>(new AdamOptimizer(lr));
+  }
+  if (name == "adagrad") {
+    return std::unique_ptr<Optimizer>(new AdagradOptimizer(lr));
+  }
+  return Status::InvalidArgument("unknown optimizer: " + name);
+}
+
+}  // namespace sampnn

@@ -1,0 +1,49 @@
+#include <cmath>
+
+#include "src/optim/optimizer.h"
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+
+namespace sampnn {
+
+SgdOptimizer::SgdOptimizer(float lr, float momentum)
+    : lr_(lr), momentum_(momentum) {
+  SAMPNN_CHECK_GT(lr, 0.0f);
+  SAMPNN_CHECK_GE(momentum, 0.0f);
+  SAMPNN_CHECK_LT(momentum, 1.0f);
+}
+
+void SgdOptimizer::Step(Mlp* net, const MlpGrads& grads) {
+  SAMPNN_CHECK(net != nullptr);
+  SAMPNN_CHECK_EQ(grads.size(), net->num_layers());
+  const bool use_momentum = momentum_ > 0.0f;
+  if (use_momentum && velocity_.size() != grads.size()) {
+    velocity_ = net->ZeroGrads();
+  }
+  for (size_t k = 0; k < grads.size(); ++k) {
+    Layer& layer = net->layer(k);
+    const LayerGrads& g = grads[k];
+    SAMPNN_CHECK_EQ(g.weights.rows(), layer.weights().rows());
+    SAMPNN_CHECK_EQ(g.weights.cols(), layer.weights().cols());
+    if (use_momentum) {
+      LayerGrads& vel = velocity_[k];
+      // v = momentum * v + g; w -= lr * v
+      Scale(&vel.weights, momentum_);
+      Axpy(1.0f, g.weights, &vel.weights);
+      Axpy(-lr_, vel.weights, &layer.weights());
+      auto bias = layer.bias();
+      for (size_t j = 0; j < bias.size(); ++j) {
+        vel.bias[j] = momentum_ * vel.bias[j] + g.bias[j];
+        bias[j] -= lr_ * vel.bias[j];
+      }
+    } else {
+      Axpy(-lr_, g.weights, &layer.weights());
+      auto bias = layer.bias();
+      for (size_t j = 0; j < bias.size(); ++j) bias[j] -= lr_ * g.bias[j];
+    }
+  }
+}
+
+void SgdOptimizer::Reset() { velocity_.clear(); }
+
+}  // namespace sampnn

@@ -1,0 +1,231 @@
+#include "src/tensor/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sampnn {
+
+namespace {
+// Block sizes tuned for ~32 KiB L1: a 64x64 float tile of B is 16 KiB.
+constexpr size_t kBlockK = 64;
+constexpr size_t kBlockJ = 256;
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
+          float beta) {
+  SAMPNN_CHECK(c != nullptr);
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  SAMPNN_CHECK_EQ(b.rows(), k);
+  SAMPNN_CHECK_EQ(c->rows(), m);
+  SAMPNN_CHECK_EQ(c->cols(), n);
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    Scale(c, beta);
+  }
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c->data();
+  for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const size_t k1 = std::min(k, k0 + kBlockK);
+    for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+      const size_t j1 = std::min(n, j0 + kBlockJ);
+      for (size_t i = 0; i < m; ++i) {
+        const float* arow = ad + i * k;
+        float* crow = cd + i * n;
+        for (size_t l = k0; l < k1; ++l) {
+          const float av = alpha * arow[l];
+          if (av == 0.0f) continue;
+          const float* brow = bd + l * n;
+          for (size_t j = j0; j < j1; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
+                float beta) {
+  SAMPNN_CHECK(c != nullptr);
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  SAMPNN_CHECK_EQ(b.rows(), m);
+  SAMPNN_CHECK_EQ(c->rows(), k);
+  SAMPNN_CHECK_EQ(c->cols(), n);
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    Scale(c, beta);
+  }
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c->data();
+  // C[l, j] += A[i, l] * B[i, j]: stream rows of A and B, scatter into C rows.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    const float* brow = bd + i * n;
+    for (size_t l = 0; l < k; ++l) {
+      const float av = alpha * arow[l];
+      if (av == 0.0f) continue;
+      float* crow = cd + l * n;
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
+                float beta) {
+  SAMPNN_CHECK(c != nullptr);
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  SAMPNN_CHECK_EQ(b.cols(), k);
+  SAMPNN_CHECK_EQ(c->rows(), m);
+  SAMPNN_CHECK_EQ(c->cols(), n);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c->data();
+  // C[i, j] = <A row i, B row j>: both operands stream row-major.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
+      for (size_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+void VecMat(std::span<const float> x, const Matrix& w,
+            std::span<const float> bias, std::span<float> y) {
+  const size_t k = w.rows(), n = w.cols();
+  SAMPNN_CHECK_EQ(x.size(), k);
+  SAMPNN_CHECK_EQ(y.size(), n);
+  if (!bias.empty()) {
+    SAMPNN_CHECK_EQ(bias.size(), n);
+    std::memcpy(y.data(), bias.data(), n * sizeof(float));
+  } else {
+    std::fill(y.begin(), y.end(), 0.0f);
+  }
+  const float* wd = w.data();
+  for (size_t i = 0; i < k; ++i) {
+    const float xv = x[i];
+    if (xv == 0.0f) continue;
+    const float* wrow = wd + i * n;
+    for (size_t j = 0; j < n; ++j) y[j] += xv * wrow[j];
+  }
+}
+
+void AddRowVector(Matrix* m, std::span<const float> v) {
+  SAMPNN_CHECK(m != nullptr);
+  SAMPNN_CHECK_EQ(v.size(), m->cols());
+  for (size_t i = 0; i < m->rows(); ++i) {
+    auto row = m->Row(i);
+    for (size_t j = 0; j < row.size(); ++j) row[j] += v[j];
+  }
+}
+
+void HadamardInPlace(Matrix* a, const Matrix& b) {
+  SAMPNN_CHECK(a != nullptr);
+  SAMPNN_CHECK_EQ(a->rows(), b.rows());
+  SAMPNN_CHECK_EQ(a->cols(), b.cols());
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < a->size(); ++i) ad[i] *= bd[i];
+}
+
+void Axpy(float alpha, const Matrix& x, Matrix* y) {
+  SAMPNN_CHECK(y != nullptr);
+  SAMPNN_CHECK_EQ(x.rows(), y->rows());
+  SAMPNN_CHECK_EQ(x.cols(), y->cols());
+  const float* xd = x.data();
+  float* yd = y->data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void Scale(Matrix* m, float alpha) {
+  SAMPNN_CHECK(m != nullptr);
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] *= alpha;
+}
+
+void ColumnSums(const Matrix& m, std::span<float> out) {
+  SAMPNN_CHECK_EQ(out.size(), m.cols());
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    auto row = m.Row(i);
+    for (size_t j = 0; j < row.size(); ++j) out[j] += row[j];
+  }
+}
+
+void VecMatCols(std::span<const float> x, const Matrix& w,
+                std::span<const float> bias, std::span<const uint32_t> cols,
+                std::span<float> y) {
+  const size_t k = w.rows(), n = w.cols();
+  SAMPNN_CHECK_EQ(x.size(), k);
+  SAMPNN_CHECK_EQ(y.size(), n);
+  const float* wd = w.data();
+  for (uint32_t j : cols) {
+    SAMPNN_DCHECK(j < n);
+    float acc = bias.empty() ? 0.0f : bias[j];
+    const float* col = wd + j;
+    for (size_t i = 0; i < k; ++i) acc += x[i] * col[i * n];
+    y[j] = acc;
+  }
+}
+
+float SparseDot(std::span<const float> x, const Matrix& w, size_t col,
+                std::span<const uint32_t> rows) {
+  SAMPNN_DCHECK(col < w.cols());
+  const size_t n = w.cols();
+  const float* wd = w.data();
+  float acc = 0.0f;
+  for (uint32_t i : rows) {
+    SAMPNN_DCHECK(i < w.rows());
+    acc += x[i] * wd[i * n + col];
+  }
+  return acc;
+}
+
+void BackpropActiveCols(std::span<const float> delta, const Matrix& w,
+                        std::span<const uint32_t> cols,
+                        std::span<float> delta_prev) {
+  const size_t k = w.rows(), n = w.cols();
+  SAMPNN_CHECK_EQ(delta.size(), n);
+  SAMPNN_CHECK_EQ(delta_prev.size(), k);
+  const float* wd = w.data();
+  for (uint32_t j : cols) {
+    SAMPNN_DCHECK(j < n);
+    const float dv = delta[j];
+    if (dv == 0.0f) continue;
+    const float* col = wd + j;
+    for (size_t i = 0; i < k; ++i) delta_prev[i] += dv * col[i * n];
+  }
+}
+
+void SparseOuterUpdate(std::span<const float> a_prev,
+                       std::span<const float> delta,
+                       std::span<const uint32_t> cols, float lr, Matrix* w,
+                       std::span<float> bias) {
+  SAMPNN_CHECK(w != nullptr);
+  const size_t k = w->rows(), n = w->cols();
+  SAMPNN_CHECK_EQ(a_prev.size(), k);
+  SAMPNN_CHECK_EQ(delta.size(), n);
+  SAMPNN_CHECK_EQ(bias.size(), n);
+  float* wd = w->data();
+  for (uint32_t j : cols) {
+    SAMPNN_DCHECK(j < n);
+    const float step = lr * delta[j];
+    if (step == 0.0f) continue;
+    float* col = wd + j;
+    for (size_t i = 0; i < k; ++i) {
+      if (a_prev[i] != 0.0f) col[i * n] -= step * a_prev[i];
+    }
+    bias[j] -= step;
+  }
+}
+
+}  // namespace sampnn

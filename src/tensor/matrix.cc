@@ -1,0 +1,133 @@
+#include "src/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sampnn {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+StatusOr<Matrix> Matrix::FromVector(size_t rows, size_t cols,
+                                    std::vector<float> data) {
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument(
+        "FromVector: buffer size " + std::to_string(data.size()) +
+        " != " + std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::Filled(size_t rows, size_t cols, float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, Rng& rng, float mean,
+                              float stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.NextGaussian(mean, stddev);
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, Rng& rng, float lo,
+                             float hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.NextUniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* src = data_.data() + i * cols_;
+    for (size_t j = 0; j < cols_; ++j) {
+      t.data_[j * rows_ + i] = src[j];
+    }
+  }
+  return t;
+}
+
+std::vector<float> Matrix::Col(size_t j) const {
+  SAMPNN_CHECK_LT(j, cols_);
+  std::vector<float> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
+  return out;
+}
+
+float Matrix::ColNorm(size_t j) const {
+  SAMPNN_CHECK_LT(j, cols_);
+  double acc = 0.0;
+  for (size_t i = 0; i < rows_; ++i) {
+    const float v = data_[i * cols_ + j];
+    acc += static_cast<double>(v) * v;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::RowNorm(size_t i) const {
+  SAMPNN_CHECK_LT(i, rows_);
+  double acc = 0.0;
+  const float* r = data_.data() + i * cols_;
+  for (size_t j = 0; j < cols_; ++j) acc += static_cast<double>(r[j]) * r[j];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Matrix::AllClose(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream os;
+  os << "Matrix " << rows_ << "x" << cols_ << " [";
+  const size_t r = std::min(rows_, max_rows);
+  const size_t c = std::min(cols_, max_cols);
+  for (size_t i = 0; i < r; ++i) {
+    os << (i ? ", [" : "[");
+    for (size_t j = 0; j < c; ++j) {
+      if (j) os << ", ";
+      os << (*this)(i, j);
+    }
+    if (c < cols_) os << ", ...";
+    os << "]";
+  }
+  if (r < rows_) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace sampnn

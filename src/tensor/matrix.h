@@ -1,0 +1,114 @@
+// Dense row-major float matrix — the storage type for weights, activations,
+// and data batches throughout the library.
+//
+// Shape errors on hot paths are programmer errors and guarded with
+// SAMPNN_DCHECK; fallible construction from user data goes through
+// StatusOr factories.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Dense row-major matrix of float.
+///
+/// A (rows x cols) matrix stored contiguously. Vectors are represented as
+/// 1 x n matrices (matching the paper's row-vector convention a^k ∈ R^{1×n}).
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Allocates a rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols);
+
+  /// Builds from a flat row-major buffer. Returns InvalidArgument if
+  /// data.size() != rows*cols.
+  static StatusOr<Matrix> FromVector(size_t rows, size_t cols,
+                                     std::vector<float> data);
+
+  /// rows x cols matrix with every entry `value`.
+  static Matrix Filled(size_t rows, size_t cols, float value);
+
+  /// rows x cols matrix with i.i.d. N(mean, stddev) entries.
+  static Matrix RandomGaussian(size_t rows, size_t cols, Rng& rng,
+                               float mean = 0.0f, float stddev = 1.0f);
+
+  /// rows x cols matrix with i.i.d. U[lo, hi) entries.
+  static Matrix RandomUniform(size_t rows, size_t cols, Rng& rng, float lo,
+                              float hi);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Element access (unchecked in release builds).
+  float& operator()(size_t i, size_t j) {
+    SAMPNN_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  float operator()(size_t i, size_t j) const {
+    SAMPNN_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Mutable view of row i.
+  std::span<float> Row(size_t i) {
+    SAMPNN_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  /// Const view of row i.
+  std::span<const float> Row(size_t i) const {
+    SAMPNN_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to zero.
+  void SetZero();
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Returns the transpose as a new matrix.
+  Matrix Transposed() const;
+
+  /// Copies column j into a contiguous vector.
+  std::vector<float> Col(size_t j) const;
+
+  /// L2 norm of column j.
+  float ColNorm(size_t j) const;
+  /// L2 norm of row i.
+  float RowNorm(size_t i) const;
+  /// Frobenius norm.
+  float FrobeniusNorm() const;
+  /// Maximum absolute entry.
+  float MaxAbs() const;
+
+  /// Elementwise equality within `tol`.
+  bool AllClose(const Matrix& other, float tol = 1e-5f) const;
+
+  /// Short debug rendering ("Matrix 3x4 [[..],[..]]"), truncated for large
+  /// matrices.
+  std::string ToString(size_t max_rows = 6, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace sampnn

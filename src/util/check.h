@@ -1,0 +1,49 @@
+// Internal invariant checking macros (analogue of ARROW_CHECK / DCHECK).
+// These guard programmer errors, not user input; user input errors go
+// through Status. A failed check aborts with file/line context.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sampnn::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "[sampnn] check failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg && msg[0]) ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace sampnn::internal
+
+/// Aborts if `cond` is false. Always on; use for cheap invariants.
+#define SAMPNN_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::sampnn::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+  } while (false)
+
+/// Aborts with a message if `cond` is false.
+#define SAMPNN_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::sampnn::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+  } while (false)
+
+#define SAMPNN_CHECK_EQ(a, b) SAMPNN_CHECK((a) == (b))
+#define SAMPNN_CHECK_NE(a, b) SAMPNN_CHECK((a) != (b))
+#define SAMPNN_CHECK_LT(a, b) SAMPNN_CHECK((a) < (b))
+#define SAMPNN_CHECK_LE(a, b) SAMPNN_CHECK((a) <= (b))
+#define SAMPNN_CHECK_GT(a, b) SAMPNN_CHECK((a) > (b))
+#define SAMPNN_CHECK_GE(a, b) SAMPNN_CHECK((a) >= (b))
+
+/// Debug-only check (compiled out in NDEBUG builds); use on hot paths.
+#ifdef NDEBUG
+#define SAMPNN_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define SAMPNN_DCHECK(cond) SAMPNN_CHECK(cond)
+#endif

@@ -1,0 +1,53 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+
+namespace sampnn {
+
+StatusOr<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return CsvWriter(std::move(out));
+}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  WriteRow(columns);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  out_.flush();
+  if (!out_) return Status::IOError("CSV stream error on close");
+  out_.close();
+  return Status::OK();
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace sampnn

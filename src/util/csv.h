@@ -1,0 +1,43 @@
+// CSV emission for the benchmark harness. Every bench binary writes its
+// table/figure series as CSV so results can be diffed and plotted.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Streams rows to a CSV file with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  static StatusOr<CsvWriter> Open(const std::string& path);
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  /// Writes a header row.
+  void WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes one row of already-formatted cells.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes. Returns IOError if the stream went bad.
+  Status Close();
+
+  /// Quotes a cell per RFC 4180 when needed.
+  static std::string Escape(const std::string& cell);
+
+  /// Formats a double with fixed precision (default 4 digits).
+  static std::string Num(double v, int precision = 4);
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+  std::ofstream out_;
+};
+
+}  // namespace sampnn

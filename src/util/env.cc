@@ -1,0 +1,37 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+
+namespace sampnn {
+
+std::string GetEnvOr(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || v[0] == '\0') return def;
+  return v;
+}
+
+long long GetEnvIntOr(const std::string& name, long long def) {
+  const std::string v = GetEnvOr(name, "");
+  if (v.empty()) return def;
+  try {
+    size_t pos = 0;
+    long long out = std::stoll(v, &pos);
+    return pos == v.size() ? out : def;
+  } catch (const std::exception&) {
+    return def;
+  }
+}
+
+double GetEnvDoubleOr(const std::string& name, double def) {
+  const std::string v = GetEnvOr(name, "");
+  if (v.empty()) return def;
+  try {
+    size_t pos = 0;
+    double out = std::stod(v, &pos);
+    return pos == v.size() ? out : def;
+  } catch (const std::exception&) {
+    return def;
+  }
+}
+
+}  // namespace sampnn

@@ -1,0 +1,19 @@
+// Environment-variable helpers shared by benches (e.g. SAMPNN_SCALE to run
+// the harness at paper scale instead of the fast default).
+
+#pragma once
+
+#include <string>
+
+namespace sampnn {
+
+/// Returns the value of `name`, or `def` if unset/empty.
+std::string GetEnvOr(const std::string& name, const std::string& def);
+
+/// Returns `name` parsed as a long long, or `def` if unset/unparseable.
+long long GetEnvIntOr(const std::string& name, long long def);
+
+/// Returns `name` parsed as a double, or `def` if unset/unparseable.
+double GetEnvDoubleOr(const std::string& name, double def);
+
+}  // namespace sampnn

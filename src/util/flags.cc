@@ -1,0 +1,191 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+Flags::Flags(std::string program) : program_(std::move(program)) {}
+
+void Flags::AddInt(const std::string& name, long long def,
+                   const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_val = def;
+  flags_[name] = std::move(f);
+}
+
+void Flags::AddDouble(const std::string& name, double def,
+                      const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_val = def;
+  flags_[name] = std::move(f);
+}
+
+void Flags::AddString(const std::string& name, const std::string& def,
+                      const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_val = def;
+  flags_[name] = std::move(f);
+}
+
+void Flags::AddBool(const std::string& name, bool def,
+                    const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_val = def;
+  flags_[name] = std::move(f);
+}
+
+Status Flags::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& f = it->second;
+  f.set = true;
+  try {
+    switch (f.type) {
+      case Type::kInt: {
+        size_t pos = 0;
+        f.int_val = std::stoll(value, &pos);
+        if (pos != value.size()) {
+          return Status::InvalidArgument("bad integer for --" + name + ": " + value);
+        }
+        break;
+      }
+      case Type::kDouble: {
+        size_t pos = 0;
+        f.double_val = std::stod(value, &pos);
+        if (pos != value.size()) {
+          return Status::InvalidArgument("bad number for --" + name + ": " + value);
+        }
+        break;
+      }
+      case Type::kString:
+        f.string_val = value;
+        break;
+      case Type::kBool:
+        if (value == "true" || value == "1") {
+          f.bool_val = true;
+        } else if (value == "false" || value == "0") {
+          f.bool_val = false;
+        } else {
+          return Status::InvalidArgument("bad bool for --" + name + ": " + value);
+        }
+        break;
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad value for --" + name + ": " + value);
+  }
+  return Status::OK();
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      return Status::FailedPrecondition("help");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      SAMPNN_RETURN_NOT_OK(SetValue(name, value));
+      continue;
+    }
+    name = arg;
+    // Boolean flags: --flag and --no-flag forms.
+    auto it = flags_.find(name);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      it->second.bool_val = true;
+      it->second.set = true;
+      continue;
+    }
+    if (name.rfind("no-", 0) == 0) {
+      auto neg = flags_.find(name.substr(3));
+      if (neg != flags_.end() && neg->second.type == Type::kBool) {
+        neg->second.bool_val = false;
+        neg->second.set = true;
+        continue;
+      }
+    }
+    // Space-separated value form.
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + name + " needs a value");
+    }
+    value = argv[++i];
+    SAMPNN_RETURN_NOT_OK(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+const Flags::Flag& Flags::Get(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  SAMPNN_CHECK_MSG(it != flags_.end(), "flag not declared");
+  SAMPNN_CHECK_MSG(it->second.type == type, "flag type mismatch");
+  return it->second;
+}
+
+long long Flags::GetInt(const std::string& name) const {
+  return Get(name, Type::kInt).int_val;
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return Get(name, Type::kDouble).double_val;
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  return Get(name, Type::kString).string_val;
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  return Get(name, Type::kBool).bool_val;
+}
+
+bool Flags::IsSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string Flags::Usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name;
+    switch (f.type) {
+      case Type::kInt:
+        os << "=<int> (default " << f.int_val << ")";
+        break;
+      case Type::kDouble:
+        os << "=<num> (default " << f.double_val << ")";
+        break;
+      case Type::kString:
+        os << "=<str> (default \"" << f.string_val << "\")";
+        break;
+      case Type::kBool:
+        os << " | --no-" << name << " (default " << (f.bool_val ? "true" : "false")
+           << ")";
+        break;
+    }
+    os << "\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sampnn

@@ -1,0 +1,76 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are an error (so typos in experiment sweeps fail loudly).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Declarative flag set for a binary.
+///
+/// Usage:
+///   Flags flags("bench_table2");
+///   flags.AddInt("epochs", 10, "training epochs");
+///   flags.AddString("dataset", "mnist", "dataset name");
+///   flags.Parse(argc, argv).Abort();
+///   int epochs = flags.GetInt("epochs");
+class Flags {
+ public:
+  /// `program` is used in help output.
+  explicit Flags(std::string program);
+
+  /// Declares an integer flag with a default.
+  void AddInt(const std::string& name, long long def, const std::string& help);
+  /// Declares a floating-point flag with a default.
+  void AddDouble(const std::string& name, double def, const std::string& help);
+  /// Declares a string flag with a default.
+  void AddString(const std::string& name, const std::string& def,
+                 const std::string& help);
+  /// Declares a boolean flag with a default; parsed as --name / --no-name /
+  /// --name=true|false.
+  void AddBool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv. Returns InvalidArgument for unknown flags or bad values.
+  /// Recognizes --help and returns FailedPrecondition("help") after printing
+  /// usage so callers can exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  /// Typed accessors; abort if the flag was not declared with that type.
+  long long GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool IsSet(const std::string& name) const;
+
+  /// Renders usage text.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    long long int_val = 0;
+    double double_val = 0.0;
+    std::string string_val;
+    bool bool_val = false;
+    bool set = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag& Get(const std::string& name, Type type) const;
+
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace sampnn

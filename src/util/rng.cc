@@ -1,0 +1,101 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state so nearby seeds diverge immediately.
+inline uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+  // All-zero state is the one invalid state for xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SAMPNN_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless method with rejection.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+float Rng::NextFloat() {
+  return static_cast<float>(NextU64() >> 40) * (1.0f / 16777216.0f);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+float Rng::NextUniform(float lo, float hi) {
+  return lo + (hi - lo) * NextFloat();
+}
+
+float Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller; re-draw until u1 > 0 so log() is finite.
+  float u1 = 0.0f;
+  do {
+    u1 = NextFloat();
+  } while (u1 <= 1e-12f);
+  const float u2 = NextFloat();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 6.28318530717958647692f * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::NextGaussian(float mean, float stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Split() { return Rng(NextU64() ^ 0xA5A5A5A55A5A5A5Aull); }
+
+}  // namespace sampnn

@@ -1,0 +1,67 @@
+#include "src/util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sampnn {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code == StatusCode::kOk) {
+    // Misuse; represent as an internal error rather than silently succeeding.
+    code = StatusCode::kInternal;
+    msg = "Status constructed with kOk and a message: " + msg;
+  }
+  state_ = std::make_shared<State>(State{code, std::move(msg)});
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(const std::string& context) const {
+  if (ok()) return;
+  if (context.empty()) {
+    std::fprintf(stderr, "[sampnn] fatal: %s\n", ToString().c_str());
+  } else {
+    std::fprintf(stderr, "[sampnn] fatal: %s: %s\n", context.c_str(),
+                 ToString().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace sampnn

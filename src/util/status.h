@@ -1,0 +1,190 @@
+// Arrow/RocksDB-style Status and StatusOr for fallible public APIs.
+// The library does not throw exceptions across public boundaries; any
+// operation that can fail on bad input returns Status or StatusOr<T>.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sampnn {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kIOError = 4,
+  kAlreadyExists = 5,
+  kFailedPrecondition = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+};
+
+/// Returns a short human-readable name for a status code ("Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Modeled on arrow::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string msg);
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an IOError status with the given message.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Returns an AlreadyExists status with the given message.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a NotImplemented status with the given message.
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+  /// The status code (kOk when ok()).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message (empty when ok()).
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. For use in
+  /// contexts (main(), tests) where an error is unrecoverable.
+  void Abort() const;
+  /// Like Abort() but prefixes `context` to the report.
+  void Abort(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr <=> OK; keeps sizeof(Status) == sizeof(pointer) on the OK path.
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// A light-weight analogue of arrow::Result. Access via ok()/value()/status().
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit for ergonomic returns).
+  StatusOr(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs from a non-OK status. Aborts if `status` is OK.
+  StatusOr(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      Status::Internal("StatusOr constructed with OK status").Abort();
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// The held value. Aborts if !ok().
+  const T& value() const& {
+    if (!ok()) std::get<Status>(var_).Abort("StatusOr::value on error");
+    return std::get<T>(var_);
+  }
+  /// Moves the held value out. Aborts if !ok().
+  T&& value() && {
+    if (!ok()) std::get<Status>(var_).Abort("StatusOr::value on error");
+    return std::get<T>(std::move(var_));
+  }
+  /// Mutable access to the held value. Aborts if !ok().
+  T& value() & {
+    if (!ok()) std::get<Status>(var_).Abort("StatusOr::value on error");
+    return std::get<T>(var_);
+  }
+
+  /// Moves the value out, aborting with `context` if !ok().
+  T ValueOrDie(const std::string& context = "") && {
+    if (!ok()) std::get<Status>(var_).Abort(context);
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SAMPNN_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::sampnn::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#define SAMPNN_CONCAT_IMPL(x, y) x##y
+#define SAMPNN_CONCAT(x, y) SAMPNN_CONCAT_IMPL(x, y)
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define SAMPNN_ASSIGN_OR_RETURN(lhs, expr)                          \
+  SAMPNN_ASSIGN_OR_RETURN_IMPL(SAMPNN_CONCAT(_statusor_, __LINE__), \
+                               lhs, expr)
+
+#define SAMPNN_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value();
+
+}  // namespace sampnn

@@ -1,0 +1,191 @@
+#include "src/approx/adelman.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/approx/approx_matmul.h"
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+namespace {
+
+TEST(AdelmanScoresTest, NormProducts) {
+  auto a = std::move(Matrix::FromVector(2, 2, {3, 0, 4, 1})).value();
+  auto b = std::move(Matrix::FromVector(2, 2, {1, 0, 0, 2})).value();
+  auto scores = AdelmanScores(a, b);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR((*scores)[0], 5.0 * 1.0, 1e-5);
+  EXPECT_NEAR((*scores)[1], 1.0 * 2.0, 1e-5);
+}
+
+TEST(AdelmanScoresTest, TransAUsesRowNorms) {
+  auto a = std::move(Matrix::FromVector(2, 2, {3, 4, 0, 1})).value();
+  auto b = std::move(Matrix::FromVector(2, 2, {2, 0, 0, 1})).value();
+  auto scores = AdelmanScoresTransA(a, b);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR((*scores)[0], 5.0 * 2.0, 1e-5);
+  EXPECT_NEAR((*scores)[1], 1.0 * 1.0, 1e-5);
+}
+
+TEST(AdelmanScoresTest, TransBUsesColumnNormsOfBoth) {
+  auto a = std::move(Matrix::FromVector(2, 2, {3, 0, 4, 0})).value();
+  auto b = std::move(Matrix::FromVector(2, 2, {1, 2, 0, 0})).value();
+  auto scores = AdelmanScoresTransB(a, b);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR((*scores)[0], 5.0 * 1.0, 1e-5);
+  EXPECT_NEAR((*scores)[1], 0.0 * 2.0, 1e-5);
+}
+
+TEST(AdelmanScoresTest, DimensionMismatchErrors) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_TRUE(AdelmanScores(a, b).status().IsInvalidArgument());
+  Matrix a2(3, 2), b2(4, 2);
+  EXPECT_TRUE(AdelmanScoresTransA(a2, b2).status().IsInvalidArgument());
+  Matrix a3(2, 3), b3(2, 4);
+  EXPECT_TRUE(AdelmanScoresTransB(a3, b3).status().IsInvalidArgument());
+}
+
+// When k >= inner dimension, all three layouts must be exactly the dense
+// product (the sampler short-circuits).
+TEST(AdelmanExactPathTest, MatmulKGreaterEqualInner) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(4, 6, rng);
+  Matrix b = Matrix::RandomGaussian(6, 5, rng);
+  Matrix exact(4, 5), out;
+  Gemm(a, b, &exact);
+  ASSERT_TRUE(AdelmanApproxMatmul(a, b, 6, rng, &out).ok());
+  EXPECT_TRUE(out.AllClose(exact, 1e-5f));
+  ASSERT_TRUE(AdelmanApproxMatmul(a, b, 100, rng, &out).ok());
+  EXPECT_TRUE(out.AllClose(exact, 1e-5f));
+}
+
+TEST(AdelmanExactPathTest, TransAKGreaterEqualRows) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(5, 4, rng);
+  Matrix b = Matrix::RandomGaussian(5, 3, rng);
+  Matrix exact(4, 3), out;
+  GemmTransA(a, b, &exact);
+  ASSERT_TRUE(AdelmanApproxGemmTransA(a, b, 5, rng, &out).ok());
+  EXPECT_TRUE(out.AllClose(exact, 1e-5f));
+}
+
+TEST(AdelmanExactPathTest, TransBKGreaterEqualCols) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(3, 6, rng);
+  Matrix b = Matrix::RandomGaussian(4, 6, rng);
+  Matrix exact(3, 4), out;
+  GemmTransB(a, b, &exact);
+  ASSERT_TRUE(AdelmanApproxGemmTransB(a, b, 6, rng, &out).ok());
+  EXPECT_TRUE(out.AllClose(exact, 1e-5f));
+}
+
+TEST(AdelmanApproxTest, RejectsZeroK) {
+  Rng rng(4);
+  Matrix a(2, 3), b(3, 2), out;
+  EXPECT_TRUE(AdelmanApproxMatmul(a, b, 0, rng, &out).IsInvalidArgument());
+  Matrix a2(3, 2), b2(3, 2);
+  EXPECT_TRUE(
+      AdelmanApproxGemmTransA(a2, b2, 0, rng, &out).IsInvalidArgument());
+  Matrix a3(2, 3), b3(2, 3);
+  EXPECT_TRUE(
+      AdelmanApproxGemmTransB(a3, b3, 0, rng, &out).IsInvalidArgument());
+}
+
+// Unbiasedness (§6.2: E[A'B'] = AB) for each layout.
+template <typename ApproxFn, typename ExactFn>
+void CheckUnbiased(ApproxFn approx, ExactFn exact_fn, size_t rows, size_t cols,
+                   int trials) {
+  Matrix exact(rows, cols);
+  exact_fn(&exact);
+  Matrix mean(rows, cols), out;
+  Rng rng(77);
+  for (int t = 0; t < trials; ++t) {
+    approx(rng, &out);
+    Axpy(1.0f, out, &mean);
+  }
+  Scale(&mean, 1.0f / static_cast<float>(trials));
+  const double err =
+      std::move(RelativeFrobeniusError(exact, mean)).ValueOrDie("err");
+  EXPECT_LT(err, 0.08);
+}
+
+TEST(AdelmanUnbiasedTest, Matmul) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(4, 30, rng);
+  Matrix b = Matrix::RandomGaussian(30, 4, rng);
+  CheckUnbiased(
+      [&](Rng& r, Matrix* out) {
+        AdelmanApproxMatmul(a, b, 8, r, out).Abort("approx");
+      },
+      [&](Matrix* out) { Gemm(a, b, out); }, 4, 4, 4000);
+}
+
+TEST(AdelmanUnbiasedTest, TransA) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomGaussian(30, 4, rng);
+  Matrix b = Matrix::RandomGaussian(30, 5, rng);
+  CheckUnbiased(
+      [&](Rng& r, Matrix* out) {
+        AdelmanApproxGemmTransA(a, b, 8, r, out).Abort("approx");
+      },
+      [&](Matrix* out) { GemmTransA(a, b, out); }, 4, 5, 4000);
+}
+
+TEST(AdelmanUnbiasedTest, TransB) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomGaussian(4, 30, rng);
+  Matrix b = Matrix::RandomGaussian(5, 30, rng);
+  CheckUnbiased(
+      [&](Rng& r, Matrix* out) {
+        AdelmanApproxGemmTransB(a, b, 8, r, out).Abort("approx");
+      },
+      [&](Matrix* out) { GemmTransB(a, b, out); }, 4, 5, 4000);
+}
+
+TEST(AdelmanApproxTest, ErrorDecreasesWithK) {
+  Rng rng(8);
+  Matrix a = Matrix::RandomGaussian(6, 200, rng);
+  Matrix b = Matrix::RandomGaussian(200, 6, rng);
+  Matrix exact(6, 6);
+  Gemm(a, b, &exact);
+  auto mean_error = [&](size_t k) {
+    double total = 0.0;
+    Matrix out;
+    Rng local(55);
+    for (int t = 0; t < 30; ++t) {
+      AdelmanApproxMatmul(a, b, k, local, &out).Abort("approx");
+      total += std::move(RelativeFrobeniusError(exact, out)).ValueOrDie("e");
+    }
+    return total / 30.0;
+  };
+  const double e10 = mean_error(10);
+  const double e100 = mean_error(100);
+  EXPECT_LT(e100, e10);
+}
+
+TEST(AdelmanApproxTest, PinnedColumnsAlwaysIncluded) {
+  // One dominant inner index: water-filling pins it at p=1 so the estimate
+  // always contains its exact contribution.
+  Matrix a(2, 3);
+  a(0, 0) = 100.0f;  // column 0 dominant
+  a(1, 0) = 100.0f;
+  a(0, 1) = 0.01f;
+  a(1, 2) = 0.01f;
+  Matrix b(3, 2);
+  b(0, 0) = 1.0f;
+  b(0, 1) = 1.0f;
+  b(1, 0) = 0.01f;
+  b(2, 1) = 0.01f;
+  Rng rng(9);
+  Matrix out;
+  for (int t = 0; t < 20; ++t) {
+    ASSERT_TRUE(AdelmanApproxMatmul(a, b, 1, rng, &out).ok());
+    // Column 0's exact contribution is 100 in every cell of column 0/1.
+    EXPECT_GE(out(0, 0), 99.0f);
+    EXPECT_GE(out(1, 1), 99.0f);
+  }
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,135 @@
+#include "src/approx/drineas.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/approx/approx_matmul.h"
+#include "src/tensor/kernels.h"
+
+namespace sampnn {
+namespace {
+
+TEST(DrineasProbabilitiesTest, ProportionalToNormProducts) {
+  // A columns: (1,0) norm 1 and (0,2) norm 2; B rows norms 1 and 1.
+  auto a = std::move(Matrix::FromVector(2, 2, {1, 0, 0, 2})).value();
+  auto b = std::move(Matrix::FromVector(2, 2, {1, 0, 0, 1})).value();
+  auto p = DrineasProbabilities(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR((*p)[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR((*p)[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(DrineasProbabilitiesTest, DimensionMismatchIsError) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_TRUE(DrineasProbabilities(a, b).status().IsInvalidArgument());
+}
+
+TEST(DrineasApproxTest, ValidatesArguments) {
+  Rng rng(1);
+  Matrix a(2, 3), b(3, 2), out;
+  EXPECT_TRUE(DrineasApproxMatmul(a, b, 0, rng, &out).IsInvalidArgument());
+  Matrix bad_b(4, 2);
+  EXPECT_TRUE(DrineasApproxMatmul(a, bad_b, 2, rng, &out).IsInvalidArgument());
+  std::vector<double> wrong_probs{0.5, 0.5};  // needs 3
+  EXPECT_TRUE(DrineasApproxMatmul(a, b, wrong_probs, 2, rng, &out)
+                  .IsInvalidArgument());
+}
+
+TEST(DrineasApproxTest, OutputShapeIsMxP) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(5, 12, rng);
+  Matrix b = Matrix::RandomGaussian(12, 7, rng);
+  Matrix out;
+  ASSERT_TRUE(DrineasApproxMatmul(a, b, 4, rng, &out).ok());
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 7u);
+}
+
+TEST(DrineasApproxTest, UnbiasedOverManyTrials) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(4, 20, rng);
+  Matrix b = Matrix::RandomGaussian(20, 4, rng);
+  Matrix exact(4, 4);
+  Gemm(a, b, &exact);
+
+  Matrix mean(4, 4);
+  Matrix out;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    ASSERT_TRUE(DrineasApproxMatmul(a, b, 5, rng, &out).ok());
+    Axpy(1.0f, out, &mean);
+  }
+  Scale(&mean, 1.0f / kTrials);
+  // The estimator is unbiased; the empirical mean converges to the product.
+  const double err =
+      std::move(RelativeFrobeniusError(exact, mean)).ValueOrDie("err");
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(DrineasApproxTest, ErrorDecreasesWithMoreSamples) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomGaussian(8, 100, rng);
+  Matrix b = Matrix::RandomGaussian(100, 8, rng);
+  Matrix exact(8, 8);
+  Gemm(a, b, &exact);
+
+  auto mean_error = [&](size_t c) {
+    double total = 0.0;
+    Matrix out;
+    Rng local(42);
+    for (int t = 0; t < 30; ++t) {
+      DrineasApproxMatmul(a, b, c, local, &out).Abort("approx");
+      total += std::move(RelativeFrobeniusError(exact, out)).ValueOrDie("e");
+    }
+    return total / 30.0;
+  };
+  const double err_small = mean_error(5);
+  const double err_large = mean_error(80);
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(DrineasApproxTest, FullSamplingOfSingleColumnIsExact) {
+  // With n=1 the only column is always chosen with p=1 and c scaling cancels.
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(3, 1, rng);
+  Matrix b = Matrix::RandomGaussian(1, 3, rng);
+  Matrix exact(3, 3);
+  Gemm(a, b, &exact);
+  Matrix out;
+  ASSERT_TRUE(DrineasApproxMatmul(a, b, 10, rng, &out).ok());
+  EXPECT_TRUE(out.AllClose(exact, 1e-4f));
+}
+
+TEST(DrineasApproxTest, OptimalProbabilitiesBeatUniform) {
+  // Skewed column norms: Eq. 6's importance sampling should have lower
+  // variance than uniform sampling at equal c.
+  Rng rng(6);
+  Matrix a = Matrix::RandomGaussian(6, 50, rng);
+  // Make a few columns dominant.
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 5; ++j) a(i, j) *= 20.0f;
+  }
+  Matrix b = Matrix::RandomGaussian(50, 6, rng);
+  Matrix exact(6, 6);
+  Gemm(a, b, &exact);
+
+  const std::vector<double> uniform(50, 1.0 / 50.0);
+  auto optimal = std::move(DrineasProbabilities(a, b)).value();
+
+  auto mean_error = [&](std::span<const double> probs) {
+    double total = 0.0;
+    Matrix out;
+    Rng local(99);
+    for (int t = 0; t < 60; ++t) {
+      DrineasApproxMatmul(a, b, probs, 10, local, &out).Abort("approx");
+      total += std::move(RelativeFrobeniusError(exact, out)).ValueOrDie("e");
+    }
+    return total / 60.0;
+  };
+  EXPECT_LT(mean_error(optimal), mean_error(uniform));
+}
+
+}  // namespace
+}  // namespace sampnn

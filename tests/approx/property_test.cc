@@ -1,0 +1,142 @@
+// Property-style parameterized sweeps over the sampling/approximation
+// invariants: water-filled probabilities (Eq. 7) and estimator unbiasedness
+// must hold across the whole (n, k) grid, not just hand-picked cases.
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/approx/adelman.h"
+#include "src/approx/approx_matmul.h"
+#include "src/approx/sampling.h"
+#include "src/tensor/kernels.h"
+#include "src/util/rng.h"
+
+namespace sampnn {
+namespace {
+
+using NkParam = std::tuple<size_t, size_t>;  // n (scores), k (budget)
+
+class WaterFillPropertyTest : public ::testing::TestWithParam<NkParam> {};
+
+TEST_P(WaterFillPropertyTest, InvariantsHoldForRandomScores) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 131 + k);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> scores(n);
+    for (auto& s : scores) {
+      // Mix of scales, including exact zeros.
+      const double u = rng.NextDouble();
+      s = u < 0.1 ? 0.0 : std::exp(6.0 * rng.NextDouble() - 3.0);
+    }
+    const auto probs = WaterFillProbabilities(scores, k);
+    ASSERT_EQ(probs.size(), n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      // Bounds.
+      EXPECT_GE(probs[i], 0.0);
+      EXPECT_LE(probs[i], 1.0 + 1e-12);
+      sum += probs[i];
+    }
+    // Budget: sum == min(k, n).
+    EXPECT_NEAR(sum, static_cast<double>(std::min(k, n)), 1e-6);
+    // Monotonicity in scores.
+    for (size_t i = 0; i + 1 < n; ++i) {
+      if (scores[i] < scores[i + 1]) {
+        EXPECT_LE(probs[i], probs[i + 1] + 1e-9);
+      }
+    }
+    // Zero scores get zero probability when anything positive exists and
+    // the budget doesn't force all-ones.
+    if (k < n) {
+      const double total =
+          std::accumulate(scores.begin(), scores.end(), 0.0);
+      if (total > 0.0) {
+        for (size_t i = 0; i < n; ++i) {
+          if (scores[i] == 0.0) EXPECT_EQ(probs[i], 0.0);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WaterFillPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16, 64, 257),
+                       ::testing::Values(1, 2, 7, 32, 300)));
+
+class AliasTablePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AliasTablePropertyTest, EmpiricalMatchesTargetDistribution) {
+  const size_t n = GetParam();
+  Rng rng(n * 7919);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.NextDouble() + 0.01;
+  auto probs = std::move(NormalizeWeights(weights)).value();
+  auto table = std::move(AliasTable::Create(probs)).value();
+  std::vector<size_t> counts(n, 0);
+  const int draws = 20000 + static_cast<int>(n) * 500;
+  for (int i = 0; i < draws; ++i) ++counts[table.Sample(rng)];
+  for (size_t i = 0; i < n; ++i) {
+    const double freq = static_cast<double>(counts[i]) / draws;
+    EXPECT_NEAR(freq, probs[i], 0.02 + 3.0 * std::sqrt(probs[i] / draws))
+        << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasTablePropertyTest,
+                         ::testing::Values(1, 2, 3, 8, 33, 100));
+
+struct ShapeKParam {
+  size_t m, n, p, k;
+};
+
+class AdelmanShapePropertyTest
+    : public ::testing::TestWithParam<ShapeKParam> {};
+
+TEST_P(AdelmanShapePropertyTest, EstimateIsFiniteAndShapeCorrect) {
+  const auto [m, n, p, k] = GetParam();
+  Rng rng(m * 100 + n * 10 + p + k);
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, p, rng);
+  Matrix out;
+  ASSERT_TRUE(AdelmanApproxMatmul(a, b, k, rng, &out).ok());
+  EXPECT_EQ(out.rows(), m);
+  EXPECT_EQ(out.cols(), p);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.data()[i]));
+  }
+}
+
+TEST_P(AdelmanShapePropertyTest, MeanOverTrialsApproachesExact) {
+  const auto [m, n, p, k] = GetParam();
+  if (k >= n) GTEST_SKIP() << "exact path, covered elsewhere";
+  Rng rng(m + n + p + k);
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, p, rng);
+  Matrix exact(m, p);
+  Gemm(a, b, &exact);
+  Matrix mean(m, p), out;
+  constexpr int kTrials = 1500;
+  for (int t = 0; t < kTrials; ++t) {
+    AdelmanApproxMatmul(a, b, k, rng, &out).Abort("approx");
+    Axpy(1.0f, out, &mean);
+  }
+  Scale(&mean, 1.0f / kTrials);
+  const double err =
+      std::move(RelativeFrobeniusError(exact, mean)).ValueOrDie("err");
+  EXPECT_LT(err, 0.2) << "m=" << m << " n=" << n << " p=" << p << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdelmanShapePropertyTest,
+    ::testing::Values(ShapeKParam{1, 16, 4, 4},    // stochastic-like
+                      ShapeKParam{4, 16, 4, 8},
+                      ShapeKParam{2, 50, 3, 10},
+                      ShapeKParam{8, 8, 8, 8},     // k == n: exact
+                      ShapeKParam{3, 100, 5, 25}));
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,177 @@
+#include "src/approx/sampling.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(NormalizeWeightsTest, Normalizes) {
+  std::vector<double> w{1, 3};
+  auto p = NormalizeWeights(w);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ((*p)[0], 0.25);
+  EXPECT_DOUBLE_EQ((*p)[1], 0.75);
+}
+
+TEST(NormalizeWeightsTest, AllZeroBecomesUniform) {
+  std::vector<double> w{0, 0, 0, 0};
+  auto p = NormalizeWeights(w);
+  ASSERT_TRUE(p.ok());
+  for (double v : *p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(NormalizeWeightsTest, RejectsNegativeAndEmpty) {
+  std::vector<double> neg{1, -1};
+  EXPECT_TRUE(NormalizeWeights(neg).status().IsInvalidArgument());
+  std::vector<double> empty;
+  EXPECT_TRUE(NormalizeWeights(empty).status().IsInvalidArgument());
+}
+
+TEST(AliasTableTest, SamplesMatchDistribution) {
+  std::vector<double> probs{0.1, 0.2, 0.3, 0.4};
+  auto table = std::move(AliasTable::Create(probs)).value();
+  Rng rng(42);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / kDraws, probs[j], 0.01)
+        << "index " << j;
+  }
+}
+
+TEST(AliasTableTest, SingleElement) {
+  std::vector<double> probs{1.0};
+  auto table = std::move(AliasTable::Create(probs)).value();
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroProbabilityNeverSampled) {
+  std::vector<double> probs{0.5, 0.0, 0.5};
+  auto table = std::move(AliasTable::Create(probs)).value();
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, ExposesProbabilities) {
+  std::vector<double> probs{0.25, 0.75};
+  auto table = std::move(AliasTable::Create(probs)).value();
+  EXPECT_DOUBLE_EQ(table.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.Probability(1), 0.75);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AliasTableTest, RenormalizesUnnormalizedInput) {
+  std::vector<double> weights{2.0, 6.0};
+  auto table = std::move(AliasTable::Create(weights)).value();
+  EXPECT_NEAR(table.Probability(1), 0.75, 1e-12);
+}
+
+// --- Water filling (Eq. 7) ---
+
+TEST(WaterFillTest, SumsToK) {
+  std::vector<double> scores{5, 1, 1, 1, 1, 1};
+  for (size_t k : {1u, 2u, 3u, 5u}) {
+    const auto p = WaterFillProbabilities(scores, k);
+    const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+    EXPECT_NEAR(sum, static_cast<double>(k), 1e-9) << "k=" << k;
+  }
+}
+
+TEST(WaterFillTest, CapsAtOne) {
+  std::vector<double> scores{100, 1, 1, 1};
+  const auto p = WaterFillProbabilities(scores, 2);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(p[i], 0.0);
+    EXPECT_LT(p[i], 1.0);
+  }
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 2.0, 1e-9);
+}
+
+TEST(WaterFillTest, KGreaterEqualNGivesAllOnes) {
+  std::vector<double> scores{3, 2, 1};
+  for (size_t k : {3u, 10u}) {
+    const auto p = WaterFillProbabilities(scores, k);
+    for (double v : p) EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(WaterFillTest, ProportionalWhenNoCapBinds) {
+  std::vector<double> scores{1, 2, 3, 4};  // total 10, k=2 -> p = k*s/10
+  const auto p = WaterFillProbabilities(scores, 2);
+  EXPECT_NEAR(p[0], 0.2, 1e-9);
+  EXPECT_NEAR(p[1], 0.4, 1e-9);
+  EXPECT_NEAR(p[2], 0.6, 1e-9);
+  EXPECT_NEAR(p[3], 0.8, 1e-9);
+}
+
+TEST(WaterFillTest, ZeroScoresGetUniform) {
+  std::vector<double> scores{0, 0, 0, 0, 0};
+  const auto p = WaterFillProbabilities(scores, 2);
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.4);
+}
+
+TEST(WaterFillTest, MonotoneInScores) {
+  std::vector<double> scores{0.5, 1.5, 2.5, 0.1, 4.0};
+  const auto p = WaterFillProbabilities(scores, 2);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (scores[i] < scores[j]) EXPECT_LE(p[i], p[j] + 1e-12);
+    }
+  }
+}
+
+TEST(WaterFillTest, CascadingPins) {
+  // Two huge scores with k=3: both pinned, remaining budget spread on rest.
+  std::vector<double> scores{1000, 900, 1, 1};
+  const auto p = WaterFillProbabilities(scores, 3);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  EXPECT_NEAR(p[2], 0.5, 1e-9);
+  EXPECT_NEAR(p[3], 0.5, 1e-9);
+}
+
+TEST(WaterFillTest, EmptyInput) {
+  std::vector<double> scores;
+  EXPECT_TRUE(WaterFillProbabilities(scores, 3).empty());
+}
+
+TEST(BernoulliSampleTest, RespectsZeroAndOne) {
+  std::vector<double> probs{0.0, 1.0, 0.0, 1.0};
+  Rng rng(3);
+  std::vector<uint32_t> out;
+  for (int t = 0; t < 50; ++t) {
+    BernoulliSample(probs, rng, &out);
+    EXPECT_EQ(out, (std::vector<uint32_t>{1, 3}));
+  }
+}
+
+TEST(BernoulliSampleTest, ExpectedCountMatchesSum) {
+  std::vector<double> probs(100, 0.3);
+  Rng rng(4);
+  double total = 0.0;
+  std::vector<uint32_t> out;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    BernoulliSample(probs, rng, &out);
+    total += static_cast<double>(out.size());
+  }
+  EXPECT_NEAR(total / kTrials, 30.0, 0.5);
+}
+
+TEST(SampleWithReplacementTest, CorrectCountAndRange) {
+  std::vector<double> probs{0.5, 0.5};
+  auto table = std::move(AliasTable::Create(probs)).value();
+  Rng rng(5);
+  const auto samples = SampleWithReplacement(table, 100, rng);
+  EXPECT_EQ(samples.size(), 100u);
+  for (uint32_t s : samples) EXPECT_LT(s, 2u);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,100 @@
+// Property sweep: the im2col+gemm convolution must match a naive direct
+// convolution over a grid of shapes, kernels, strides, and paddings.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/cnn/conv2d.h"
+
+namespace sampnn {
+namespace {
+
+// (in_channels, out_channels, h, w, kernel, stride, padding)
+using ConvParam = std::tuple<size_t, size_t, size_t, size_t, size_t, size_t,
+                             size_t>;
+
+// Direct (quadruple-loop) convolution reference.
+Matrix NaiveConv(const Matrix& input, const TensorShape& in_shape,
+                 const Conv2dLayer& conv) {
+  const auto& cfg = conv.config();
+  const TensorShape& out = conv.output_shape();
+  Matrix result(input.rows(), out.size());
+  const size_t spatial = out.height * out.width;
+  for (size_t b = 0; b < input.rows(); ++b) {
+    auto image = input.Row(b);
+    auto orow = result.Row(b);
+    for (size_t o = 0; o < cfg.out_channels; ++o) {
+      for (size_t oy = 0; oy < out.height; ++oy) {
+        for (size_t ox = 0; ox < out.width; ++ox) {
+          double acc = conv.bias()[o];
+          for (size_t c = 0; c < cfg.in_channels; ++c) {
+            for (size_t ky = 0; ky < cfg.kernel; ++ky) {
+              for (size_t kx = 0; kx < cfg.kernel; ++kx) {
+                const long iy = static_cast<long>(oy * cfg.stride + ky) -
+                                static_cast<long>(cfg.padding);
+                const long ix = static_cast<long>(ox * cfg.stride + kx) -
+                                static_cast<long>(cfg.padding);
+                if (iy < 0 || iy >= static_cast<long>(in_shape.height) ||
+                    ix < 0 || ix >= static_cast<long>(in_shape.width)) {
+                  continue;
+                }
+                const float pixel =
+                    image[c * in_shape.height * in_shape.width +
+                          static_cast<size_t>(iy) * in_shape.width +
+                          static_cast<size_t>(ix)];
+                const size_t patch_idx =
+                    (c * cfg.kernel + ky) * cfg.kernel + kx;
+                acc += pixel * conv.filters()(patch_idx, o);
+              }
+            }
+          }
+          orow[o * spatial + oy * out.width + ox] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+class ConvShapeSweep : public ::testing::TestWithParam<ConvParam> {};
+
+TEST_P(ConvShapeSweep, Im2ColMatchesDirectConvolution) {
+  const auto [in_c, out_c, h, w, kernel, stride, padding] = GetParam();
+  Rng rng(in_c * 1000 + out_c * 100 + h * 10 + w + kernel + stride + padding);
+  Conv2dConfig cfg;
+  cfg.in_channels = in_c;
+  cfg.out_channels = out_c;
+  cfg.kernel = kernel;
+  cfg.stride = stride;
+  cfg.padding = padding;
+  cfg.activation = Activation::kLinear;
+  TensorShape in_shape{in_c, h, w};
+  auto conv_or = Conv2dLayer::Create(cfg, in_shape, rng);
+  ASSERT_TRUE(conv_or.ok());
+  Conv2dLayer conv = std::move(conv_or).value();
+  // Random bias too.
+  for (size_t o = 0; o < out_c; ++o) conv.bias()[o] = rng.NextGaussian();
+
+  Matrix input = Matrix::RandomGaussian(3, in_shape.size(), rng);
+  Matrix z;
+  conv.Forward(input, &z, nullptr);
+  Matrix expected = NaiveConv(input, in_shape, conv);
+  EXPECT_TRUE(z.AllClose(expected, 1e-3f))
+      << "c=" << in_c << "->" << out_c << " " << h << "x" << w << " k="
+      << kernel << " s=" << stride << " p=" << padding;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvShapeSweep,
+    ::testing::Values(ConvParam{1, 1, 4, 4, 1, 1, 0},
+                      ConvParam{1, 2, 5, 5, 3, 1, 1},
+                      ConvParam{2, 3, 6, 6, 3, 1, 0},
+                      ConvParam{3, 2, 8, 8, 3, 2, 1},
+                      ConvParam{1, 4, 7, 5, 5, 1, 2},
+                      ConvParam{2, 2, 9, 9, 3, 3, 0},
+                      ConvParam{4, 1, 4, 8, 2, 2, 0},
+                      ConvParam{1, 1, 3, 3, 3, 1, 2}));
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,219 @@
+#include "src/cnn/conv2d.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+Conv2dConfig BasicConfig(size_t in_c, size_t out_c, size_t kernel = 3,
+                         size_t stride = 1, size_t padding = 1) {
+  Conv2dConfig cfg;
+  cfg.in_channels = in_c;
+  cfg.out_channels = out_c;
+  cfg.kernel = kernel;
+  cfg.stride = stride;
+  cfg.padding = padding;
+  cfg.activation = Activation::kLinear;
+  return cfg;
+}
+
+TEST(Conv2dCreateTest, ValidatesConfig) {
+  Rng rng(1);
+  TensorShape in{3, 8, 8};
+  Conv2dConfig bad = BasicConfig(2, 4);  // channel mismatch
+  EXPECT_TRUE(Conv2dLayer::Create(bad, in, rng).status().IsInvalidArgument());
+  Conv2dConfig zero = BasicConfig(3, 0);
+  EXPECT_TRUE(Conv2dLayer::Create(zero, in, rng).status().IsInvalidArgument());
+  Conv2dConfig huge = BasicConfig(3, 4, /*kernel=*/20, 1, /*padding=*/0);
+  EXPECT_TRUE(Conv2dLayer::Create(huge, in, rng).status().IsInvalidArgument());
+}
+
+TEST(Conv2dCreateTest, OutputShapeSamePadding) {
+  Rng rng(2);
+  TensorShape in{3, 8, 8};
+  auto conv = std::move(Conv2dLayer::Create(BasicConfig(3, 5), in, rng)).value();
+  EXPECT_EQ(conv.output_shape().channels, 5u);
+  EXPECT_EQ(conv.output_shape().height, 8u);  // k=3, pad=1, stride=1
+  EXPECT_EQ(conv.output_shape().width, 8u);
+}
+
+TEST(Conv2dCreateTest, OutputShapeStride2NoPad) {
+  Rng rng(3);
+  TensorShape in{1, 9, 9};
+  auto conv = std::move(Conv2dLayer::Create(
+                            BasicConfig(1, 2, 3, /*stride=*/2, /*padding=*/0),
+                            in, rng))
+                  .value();
+  EXPECT_EQ(conv.output_shape().height, 4u);  // (9-3)/2+1
+  EXPECT_EQ(conv.output_shape().width, 4u);
+}
+
+// 1x1 identity kernel: convolution must reproduce the input exactly.
+TEST(Conv2dForwardTest, IdentityKernelPassesThrough) {
+  Rng rng(4);
+  TensorShape in{1, 4, 4};
+  auto conv = std::move(Conv2dLayer::Create(BasicConfig(1, 1, 1, 1, 0), in,
+                                            rng))
+                  .value();
+  conv.filters().Fill(1.0f);  // single 1x1 weight = 1
+  Matrix x = Matrix::RandomGaussian(2, 16, rng);
+  Matrix z;
+  conv.Forward(x, &z, nullptr);
+  EXPECT_TRUE(z.AllClose(x, 1e-5f));
+}
+
+// Hand-computed 2x2 valid convolution on a 3x3 input.
+TEST(Conv2dForwardTest, MatchesHandComputation) {
+  Rng rng(5);
+  TensorShape in{1, 3, 3};
+  auto conv = std::move(Conv2dLayer::Create(BasicConfig(1, 1, 2, 1, 0), in,
+                                            rng))
+                  .value();
+  // Filter laid out (c, ky, kx) row-major in the patch dimension.
+  conv.filters()(0, 0) = 1.0f;   // (ky=0, kx=0)
+  conv.filters()(1, 0) = 2.0f;   // (0, 1)
+  conv.filters()(2, 0) = 3.0f;   // (1, 0)
+  conv.filters()(3, 0) = 4.0f;   // (1, 1)
+  conv.bias()[0] = 0.5f;
+  auto x = std::move(Matrix::FromVector(1, 9, {1, 2, 3,
+                                               4, 5, 6,
+                                               7, 8, 9}))
+               .value();
+  Matrix z;
+  conv.Forward(x, &z, nullptr);
+  ASSERT_EQ(z.cols(), 4u);  // 2x2 output
+  // out(0,0) = 1*1 + 2*2 + 3*4 + 4*5 + 0.5 = 37.5
+  EXPECT_FLOAT_EQ(z(0, 0), 37.5f);
+  // out(0,1) = 2 + 2*3 + 3*5 + 4*6 + 0.5 = 47.5
+  EXPECT_FLOAT_EQ(z(0, 1), 47.5f);
+  // out(1,0) = 4 + 2*5 + 3*7 + 4*8 + 0.5 = 67.5
+  EXPECT_FLOAT_EQ(z(0, 2), 67.5f);
+  EXPECT_FLOAT_EQ(z(0, 3), 77.5f);
+}
+
+TEST(Conv2dForwardTest, ActivationApplied) {
+  Rng rng(6);
+  TensorShape in{1, 4, 4};
+  Conv2dConfig cfg = BasicConfig(1, 2);
+  cfg.activation = Activation::kRelu;
+  auto conv = std::move(Conv2dLayer::Create(cfg, in, rng)).value();
+  Matrix x = Matrix::RandomGaussian(3, 16, rng);
+  Matrix z, a;
+  conv.Forward(x, &z, &a);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a.data()[i], 0.0f);
+    EXPECT_FLOAT_EQ(a.data()[i], std::max(0.0f, z.data()[i]));
+  }
+}
+
+// The decisive conv correctness test: analytic gradients vs central
+// differences for filters, bias, and input.
+TEST(Conv2dBackwardTest, MatchesNumericalGradients) {
+  Rng rng(7);
+  TensorShape in{2, 5, 5};
+  auto conv = std::move(Conv2dLayer::Create(BasicConfig(2, 3, 3, 1, 1), in,
+                                            rng))
+                  .value();
+  Matrix x = Matrix::RandomGaussian(2, in.size(), rng);
+  // Loss = sum(z * G) for a fixed random G -> dL/dz = G.
+  Matrix g = Matrix::RandomGaussian(2, conv.output_shape().size(), rng);
+  auto loss = [&]() {
+    Matrix z;
+    conv.Forward(x, &z, nullptr);
+    double acc = 0.0;
+    for (size_t i = 0; i < z.size(); ++i) {
+      acc += static_cast<double>(z.data()[i]) * g.data()[i];
+    }
+    return acc;
+  };
+  Matrix grad_filters;
+  std::vector<float> grad_bias(3);
+  Matrix grad_input;
+  conv.Backward(x, g, &grad_filters, grad_bias, &grad_input);
+
+  const float kEps = 1e-2f;
+  // Filters (sample a subset for speed).
+  for (size_t i = 0; i < grad_filters.rows(); i += 3) {
+    for (size_t j = 0; j < grad_filters.cols(); ++j) {
+      const float orig = conv.filters()(i, j);
+      conv.filters()(i, j) = orig + kEps;
+      const double lp = loss();
+      conv.filters()(i, j) = orig - kEps;
+      const double lm = loss();
+      conv.filters()(i, j) = orig;
+      EXPECT_NEAR(grad_filters(i, j), (lp - lm) / (2.0 * kEps), 2e-2)
+          << "filter (" << i << "," << j << ")";
+    }
+  }
+  // Bias.
+  for (size_t o = 0; o < 3; ++o) {
+    const float orig = conv.bias()[o];
+    conv.bias()[o] = orig + kEps;
+    const double lp = loss();
+    conv.bias()[o] = orig - kEps;
+    const double lm = loss();
+    conv.bias()[o] = orig;
+    EXPECT_NEAR(grad_bias[o], (lp - lm) / (2.0 * kEps), 2e-2) << "bias " << o;
+  }
+  // Input (sample).
+  for (size_t i = 0; i < x.size(); i += 7) {
+    const size_t r = i / x.cols(), c = i % x.cols();
+    const float orig = x(r, c);
+    x(r, c) = orig + kEps;
+    const double lp = loss();
+    x(r, c) = orig - kEps;
+    const double lm = loss();
+    x(r, c) = orig;
+    EXPECT_NEAR(grad_input(r, c), (lp - lm) / (2.0 * kEps), 2e-2)
+        << "input (" << r << "," << c << ")";
+  }
+}
+
+TEST(MaxPool2dTest, CreateValidates) {
+  EXPECT_TRUE(MaxPool2d::Create({1, 8, 8}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(MaxPool2d::Create({1, 7, 8}, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(MaxPool2d::Create({1, 8, 8}, 2).ok());
+}
+
+TEST(MaxPool2dTest, ForwardPicksMaxima) {
+  auto pool = std::move(MaxPool2d::Create({1, 2, 4}, 2)).value();
+  auto x = std::move(Matrix::FromVector(1, 8, {1, 5, 2, 0,
+                                               3, 4, 9, 1}))
+               .value();
+  Matrix out;
+  pool.Forward(x, &out);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 9.0f);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  auto pool = std::move(MaxPool2d::Create({1, 2, 2}, 2)).value();
+  auto x = std::move(Matrix::FromVector(1, 4, {1, 7, 3, 2})).value();
+  Matrix out;
+  pool.Forward(x, &out);
+  auto delta = std::move(Matrix::FromVector(1, 1, {10.0f})).value();
+  Matrix grad;
+  pool.Backward(delta, &grad);
+  EXPECT_FLOAT_EQ(grad(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad(0, 1), 10.0f);  // argmax position
+  EXPECT_FLOAT_EQ(grad(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(grad(0, 3), 0.0f);
+}
+
+TEST(MaxPool2dTest, MultiChannelIndependence) {
+  auto pool = std::move(MaxPool2d::Create({2, 2, 2}, 2)).value();
+  auto x = std::move(Matrix::FromVector(1, 8, {1, 2, 3, 4,    // channel 0
+                                               8, 7, 6, 5}))  // channel 1
+               .value();
+  Matrix out;
+  pool.Forward(x, &out);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 8.0f);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,234 @@
+#include "src/core/alsh_trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_util.h"
+
+namespace sampnn {
+namespace {
+
+using testing_util::EasyDataset;
+using testing_util::EasyNet;
+using testing_util::TrainEpochs;
+
+std::unique_ptr<AlshTrainer> MakeAlsh(const MlpConfig& net_config,
+                                      AlshOptions options = {},
+                                      float lr = 1e-3f) {
+  Mlp net = std::move(Mlp::Create(net_config)).value();
+  return std::move(AlshTrainer::Create(std::move(net), options, lr, 42))
+      .value();
+}
+
+TEST(SparseOptStateTest, CreateValidatesMode) {
+  Rng rng(1);
+  Layer layer(4, 3, Activation::kRelu, Initializer::kHe, rng);
+  EXPECT_TRUE(SparseOptState::Create(layer, "sgd").ok());
+  EXPECT_TRUE(SparseOptState::Create(layer, "adagrad").ok());
+  EXPECT_TRUE(SparseOptState::Create(layer, "adam").ok());
+  EXPECT_TRUE(SparseOptState::Create(layer, "rprop").status().IsInvalidArgument());
+}
+
+TEST(SparseOptStateTest, SgdUpdateMatchesManualMath) {
+  Rng rng(2);
+  Layer layer(3, 2, Activation::kRelu, Initializer::kHe, rng);
+  Matrix w_before = layer.weights();
+  auto state = std::move(SparseOptState::Create(layer, "sgd")).value();
+  std::vector<float> a_prev{1.0f, 2.0f, 0.0f};
+  std::vector<uint32_t> support{0, 1};
+  state.UpdateColumn(&layer.weights(), layer.bias(), 1, a_prev, support,
+                     0.5f, 0.1f);
+  EXPECT_NEAR(layer.weights()(0, 1), w_before(0, 1) - 0.1f * 0.5f * 1.0f, 1e-6f);
+  EXPECT_NEAR(layer.weights()(1, 1), w_before(1, 1) - 0.1f * 0.5f * 2.0f, 1e-6f);
+  EXPECT_EQ(layer.weights()(2, 1), w_before(2, 1));  // outside support
+  EXPECT_EQ(layer.weights()(0, 0), w_before(0, 0));  // other column untouched
+  EXPECT_NEAR(layer.bias()[1], -0.05f, 1e-6f);
+}
+
+TEST(SparseOptStateTest, AdagradShrinksSteps) {
+  Rng rng(3);
+  Layer layer(2, 1, Activation::kRelu, Initializer::kHe, rng);
+  auto state = std::move(SparseOptState::Create(layer, "adagrad")).value();
+  std::vector<float> a_prev{1.0f, 0.0f};
+  std::vector<uint32_t> support{0};
+  const float w0 = layer.weights()(0, 0);
+  state.UpdateColumn(&layer.weights(), layer.bias(), 0, a_prev, support, 1.0f,
+                     0.1f);
+  const float step1 = w0 - layer.weights()(0, 0);
+  const float w1 = layer.weights()(0, 0);
+  state.UpdateColumn(&layer.weights(), layer.bias(), 0, a_prev, support, 1.0f,
+                     0.1f);
+  const float step2 = w1 - layer.weights()(0, 0);
+  EXPECT_GT(step1, step2);
+}
+
+TEST(SparseOptStateTest, AdamAdvancesColumnStepLazily) {
+  Rng rng(4);
+  Layer layer(2, 3, Activation::kRelu, Initializer::kHe, rng);
+  auto state = std::move(SparseOptState::Create(layer, "adam")).value();
+  std::vector<float> a_prev{1.0f, 1.0f};
+  std::vector<uint32_t> support{0, 1};
+  state.UpdateColumn(&layer.weights(), layer.bias(), 1, a_prev, support, 1.0f,
+                     0.01f);
+  state.UpdateColumn(&layer.weights(), layer.bias(), 1, a_prev, support, 1.0f,
+                     0.01f);
+  EXPECT_EQ(state.col_step[1], 2u);
+  EXPECT_EQ(state.col_step[0], 0u);  // never touched
+  EXPECT_EQ(state.col_step[2], 0u);
+}
+
+TEST(AlshTrainerTest, CreateValidates) {
+  Mlp net = std::move(Mlp::Create(EasyNet(EasyDataset(10)))).value();
+  AlshOptions options;
+  EXPECT_TRUE(
+      AlshTrainer::Create(net.Clone(), options, 0.0f, 1).status().IsInvalidArgument());
+  options.late_rebuild_every = 0;
+  EXPECT_TRUE(AlshTrainer::Create(net.Clone(), options, 0.1f, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AlshTrainerTest, FullActiveSetMatchesExactTrainingQuality) {
+  // Forcing every node active removes the approximation; the sparse
+  // machinery must then learn the easy problem as well as dense training.
+  Dataset data = EasyDataset(300);
+  AlshOptions options;
+  options.min_active = 1000;  // > width: everything active
+  auto trainer = MakeAlsh(EasyNet(data, 2, 24), options);
+  const double acc = TrainEpochs(trainer.get(), data, 1, 3, nullptr, nullptr);
+  EXPECT_GT(acc, 0.9);
+  EXPECT_DOUBLE_EQ(trainer->AverageActiveFraction(), 1.0);
+}
+
+TEST(AlshTrainerTest, SparseTrainingLearnsAboveChance) {
+  Dataset data = EasyDataset(400);
+  auto trainer = MakeAlsh(EasyNet(data, 2, 48));
+  const double acc = TrainEpochs(trainer.get(), data, 1, 6, nullptr, nullptr);
+  EXPECT_GT(acc, 0.5);  // 4 classes -> chance is 0.25
+}
+
+TEST(AlshTrainerTest, ActiveFractionIsSparse) {
+  Dataset data = EasyDataset(200);
+  AlshOptions options;
+  options.min_active = 4;
+  auto trainer = MakeAlsh(EasyNet(data, 2, 64), options);
+  TrainEpochs(trainer.get(), data, 1, 1, nullptr, nullptr);
+  const double frac = trainer->AverageActiveFraction();
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LT(frac, 0.9);  // genuinely skipping nodes
+}
+
+TEST(AlshTrainerTest, RebuildScheduleFollowsPaperPhases) {
+  Dataset data = EasyDataset(250);
+  AlshOptions options;
+  options.early_rebuild_every = 50;
+  options.early_phase_samples = 10000;
+  auto trainer = MakeAlsh(EasyNet(data), options);
+  TrainEpochs(trainer.get(), data, 1, 1, nullptr, nullptr);
+  // 250 samples / rebuild every 50 = 5 rebuild points x 2 hidden layers.
+  EXPECT_EQ(trainer->TotalRebuilds(), 10u);
+}
+
+TEST(AlshTrainerTest, LatePhaseRebuildsLessOften) {
+  Dataset data = EasyDataset(300);
+  AlshOptions frequent;
+  frequent.early_rebuild_every = 10;
+  AlshOptions lazy;
+  lazy.early_rebuild_every = 10;
+  lazy.early_phase_samples = 100;  // switch to late period quickly
+  lazy.late_rebuild_every = 100;
+  auto t_frequent = MakeAlsh(EasyNet(data), frequent);
+  auto t_lazy = MakeAlsh(EasyNet(data), lazy);
+  TrainEpochs(t_frequent.get(), data, 1, 1, nullptr, nullptr);
+  TrainEpochs(t_lazy.get(), data, 1, 1, nullptr, nullptr);
+  EXPECT_GT(t_frequent->TotalRebuilds(), t_lazy->TotalRebuilds());
+}
+
+TEST(AlshTrainerTest, RebuildTimeIsCharged) {
+  Dataset data = EasyDataset(200);
+  AlshOptions options;
+  options.early_rebuild_every = 20;
+  auto trainer = MakeAlsh(EasyNet(data), options);
+  TrainEpochs(trainer.get(), data, 1, 1, nullptr, nullptr);
+  EXPECT_GT(trainer->timer().Seconds(kPhaseHashRebuild), 0.0);
+}
+
+TEST(AlshTrainerTest, PredictSparseReturnsValidClasses) {
+  Dataset data = EasyDataset(100);
+  auto trainer = MakeAlsh(EasyNet(data));
+  TrainEpochs(trainer.get(), data, 1, 1, nullptr, nullptr);
+  const auto preds = trainer->PredictSparse(data.features());
+  ASSERT_EQ(preds.size(), data.size());
+  for (int32_t p : preds) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, static_cast<int32_t>(data.num_classes()));
+  }
+}
+
+TEST(AlshTrainerTest, ParallelModeLearnsComparably) {
+  Dataset data = EasyDataset(400);
+  AlshOptions serial_options;
+  AlshOptions parallel_options;
+  parallel_options.threads = 4;
+  auto serial = MakeAlsh(EasyNet(data, 2, 48), serial_options);
+  auto parallel = MakeAlsh(EasyNet(data, 2, 48), parallel_options);
+  const double acc_serial =
+      TrainEpochs(serial.get(), data, 32, 5, nullptr, nullptr);
+  const double acc_parallel =
+      TrainEpochs(parallel.get(), data, 32, 5, nullptr, nullptr);
+  // HOGWILD races add noise but must not destroy learning ([50]'s claim).
+  EXPECT_GT(acc_parallel, acc_serial - 0.2);
+  EXPECT_GT(parallel->timer().Seconds("parallel"), 0.0);
+}
+
+TEST(AlshTrainerTest, OracleSelectionLearnsAtLeastAsWellAsLsh) {
+  // Lemma 7.1's "detected exactly" idealization: exact top-k MIPS selection
+  // should match or beat hash-based selection at the same budget.
+  Dataset data = EasyDataset(300);
+  AlshOptions oracle;
+  oracle.selection = AlshSelection::kOracle;
+  oracle.oracle_active = 16;
+  AlshOptions lsh;
+  lsh.min_active = 16;
+  auto t_oracle = MakeAlsh(EasyNet(data, 2, 48), oracle);
+  auto t_lsh = MakeAlsh(EasyNet(data, 2, 48), lsh);
+  const double acc_oracle =
+      TrainEpochs(t_oracle.get(), data, 1, 4, nullptr, nullptr);
+  const double acc_lsh = TrainEpochs(t_lsh.get(), data, 1, 4, nullptr, nullptr);
+  EXPECT_GE(acc_oracle, acc_lsh - 0.1);
+  EXPECT_GT(acc_oracle, 0.5);
+}
+
+TEST(AlshTrainerTest, OracleSelectionHonorsBudgetExactly) {
+  Dataset data = EasyDataset(60);
+  AlshOptions options;
+  options.selection = AlshSelection::kOracle;
+  options.oracle_active = 12;
+  auto trainer = MakeAlsh(EasyNet(data, 2, 48), options);
+  TrainEpochs(trainer.get(), data, 1, 1, nullptr, nullptr);
+  EXPECT_NEAR(trainer->AverageActiveFraction(), 12.0 / 48.0, 1e-9);
+}
+
+TEST(AlshTrainerTest, WtaFamilyTrains) {
+  Dataset data = EasyDataset(300);
+  AlshOptions options;
+  options.index.family = LshFamily::kWta;
+  options.index.bits = 9;  // 3 sub-hashes of window 8
+  auto trainer = MakeAlsh(EasyNet(data, 2, 48), options);
+  const double acc = TrainEpochs(trainer.get(), data, 1, 5, nullptr, nullptr);
+  EXPECT_GT(acc, 0.4);
+}
+
+TEST(AlshTrainerTest, MinActiveFloorHonored) {
+  Dataset data = EasyDataset(50);
+  AlshOptions options;
+  options.min_active = 20;
+  options.index.bits = 10;  // 1024 buckets: most probes come back empty
+  auto trainer = MakeAlsh(EasyNet(data, 2, 48), options);
+  TrainEpochs(trainer.get(), data, 1, 1, nullptr, nullptr);
+  EXPECT_GE(trainer->AverageActiveFraction(), 20.0 / 48.0 - 1e-6);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,110 @@
+#include "src/core/dropout_trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_util.h"
+
+namespace sampnn {
+namespace {
+
+using testing_util::EasyDataset;
+using testing_util::EasyNet;
+using testing_util::TrainEpochs;
+
+std::unique_ptr<Trainer> MakeDropout(const MlpConfig& net, float keep_prob) {
+  TrainerOptions options;
+  options.kind = TrainerKind::kDropout;
+  options.dropout.keep_prob = keep_prob;
+  return std::move(MakeTrainer(net, options)).value();
+}
+
+std::unique_ptr<Trainer> MakeAdaptive(const MlpConfig& net,
+                                      float target_prob) {
+  TrainerOptions options;
+  options.kind = TrainerKind::kAdaptiveDropout;
+  options.adaptive_dropout.target_prob = target_prob;
+  return std::move(MakeTrainer(net, options)).value();
+}
+
+TEST(DropoutTrainerTest, KeepAllBehavesLikeStandardTraining) {
+  Dataset data = EasyDataset();
+  auto dropout = MakeDropout(EasyNet(data), 1.0f);
+  TrainerOptions std_options;
+  auto standard = std::move(MakeTrainer(EasyNet(data), std_options)).value();
+  TrainEpochs(dropout.get(), data, 16, 2, nullptr, nullptr);
+  TrainEpochs(standard.get(), data, 16, 2, nullptr, nullptr);
+  // keep_prob = 1 makes every mask all-ones with unit scale: identical math.
+  for (size_t k = 0; k < dropout->net().num_layers(); ++k) {
+    EXPECT_TRUE(dropout->net().layer(k).weights().AllClose(
+        standard->net().layer(k).weights(), 1e-5f));
+  }
+}
+
+TEST(DropoutTrainerTest, LearnsWithModerateKeepProb) {
+  Dataset data = EasyDataset();
+  auto trainer = MakeDropout(EasyNet(data, 2, 64), 0.5f);
+  const double acc = TrainEpochs(trainer.get(), data, 16, 8, nullptr, nullptr);
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(DropoutTrainerTest, AggressiveKeepProbDegradesLearning) {
+  // The paper's p = 0.05 setting cripples Dropout (Table 2) — verify the
+  // qualitative effect: much worse than moderate keep at equal budget.
+  Dataset data = EasyDataset();
+  auto aggressive = MakeDropout(EasyNet(data, 2, 64), 0.05f);
+  auto moderate = MakeDropout(EasyNet(data, 2, 64), 0.5f);
+  const double acc_aggressive =
+      TrainEpochs(aggressive.get(), data, 16, 4, nullptr, nullptr);
+  const double acc_moderate =
+      TrainEpochs(moderate.get(), data, 16, 4, nullptr, nullptr);
+  EXPECT_GT(acc_moderate, acc_aggressive + 0.1);
+}
+
+TEST(DropoutTrainerTest, LossDecreases) {
+  Dataset data = EasyDataset();
+  auto trainer = MakeDropout(EasyNet(data, 2, 64), 0.5f);
+  double first = 0.0, last = 0.0;
+  TrainEpochs(trainer.get(), data, 16, 6, &first, &last);
+  EXPECT_LT(last, first);
+}
+
+TEST(DropoutTrainerTest, ChargesBothPhases) {
+  Dataset data = EasyDataset(100);
+  auto trainer = MakeDropout(EasyNet(data), 0.5f);
+  TrainEpochs(trainer.get(), data, 10, 1, nullptr, nullptr);
+  EXPECT_GT(trainer->timer().Seconds(kPhaseForward), 0.0);
+  EXPECT_GT(trainer->timer().Seconds(kPhaseBackward), 0.0);
+}
+
+TEST(AdaptiveDropoutTrainerTest, LearnsAtPaperTargetProb) {
+  // Standout's data-dependent masks keep important units alive, so unlike
+  // plain Dropout it must learn even at the paper's p = 0.05.
+  Dataset data = EasyDataset();
+  auto trainer = MakeAdaptive(EasyNet(data, 2, 64), 0.05f);
+  const double acc = TrainEpochs(trainer.get(), data, 16, 8, nullptr, nullptr);
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(AdaptiveDropoutTrainerTest, BeatsPlainDropoutAtEqualBudget) {
+  Dataset data = EasyDataset();
+  auto adaptive = MakeAdaptive(EasyNet(data, 2, 64), 0.05f);
+  auto dropout = MakeDropout(EasyNet(data, 2, 64), 0.05f);
+  const double acc_adaptive =
+      TrainEpochs(adaptive.get(), data, 16, 5, nullptr, nullptr);
+  const double acc_dropout =
+      TrainEpochs(dropout.get(), data, 16, 5, nullptr, nullptr);
+  EXPECT_GT(acc_adaptive, acc_dropout);
+}
+
+TEST(AdaptiveDropoutTrainerTest, StochasticSettingWorks) {
+  Dataset data = EasyDataset(150);
+  auto trainer = MakeAdaptive(EasyNet(data, 2, 48), 0.05f);
+  double first = 0.0, last = 0.0;
+  TrainEpochs(trainer.get(), data, 1, 4, &first, &last);
+  EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace sampnn

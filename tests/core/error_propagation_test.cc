@@ -1,0 +1,144 @@
+#include "src/core/error_propagation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(TheoreticalErrorRatioTest, MatchesPaperTableForCEquals5) {
+  // The §7 in-text table: k = 1..6 at c = 5 -> 0.2, 0.44, 0.72, 1.07, 1.48,
+  // 1.98 (rounded to two decimals).
+  // (exact values 0.2, 0.44, 0.728, 1.0736, 1.4883, 1.986 — the paper
+  // truncates to two decimals, so compare at 0.01 tolerance)
+  const double expected[] = {0.2, 0.44, 0.72, 1.07, 1.48, 1.98};
+  for (size_t k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(TheoreticalErrorRatio(5.0, k), expected[k - 1], 0.01)
+        << "k=" << k;
+  }
+}
+
+TEST(TheoreticalErrorRatioTest, ZeroAtDepthZero) {
+  EXPECT_DOUBLE_EQ(TheoreticalErrorRatio(5.0, 0), 0.0);
+}
+
+TEST(TheoreticalErrorRatioTest, GrowsExponentially) {
+  // e(k+1)/e(k) approaches (c+1)/c for large k.
+  const double c = 5.0;
+  double prev = TheoreticalErrorRatio(c, 10);
+  const double cur = TheoreticalErrorRatio(c, 11);
+  EXPECT_NEAR(cur / prev, (c + 1.0) / c, 0.05);
+}
+
+TEST(TheoreticalErrorRatioTest, LargerCMeansSmallerError) {
+  // More weight captured by the active set (larger c) shrinks the error.
+  EXPECT_LT(TheoreticalErrorRatio(20.0, 3), TheoreticalErrorRatio(5.0, 3));
+  EXPECT_LT(TheoreticalErrorRatio(5.0, 3), TheoreticalErrorRatio(2.0, 3));
+}
+
+TEST(TheoreticalErrorTableTest, SizesAndMonotonicity) {
+  const auto table = TheoreticalErrorTable(5.0, 7);
+  ASSERT_EQ(table.size(), 7u);
+  for (size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GT(table[i], table[i - 1]);
+  }
+  // Error exceeds the estimate itself past k = 3 (the paper's "deeper than
+  // 3 layers" threshold).
+  EXPECT_LT(table[2], 1.0);
+  EXPECT_GT(table[3], 1.0);
+}
+
+class ErrorPropagationMeasureTest : public ::testing::Test {
+ protected:
+  static Mlp LinearNet(size_t depth, size_t width = 64) {
+    MlpConfig cfg = MlpConfig::Uniform(width, 4, depth, width);
+    cfg.hidden_activation = Activation::kLinear;
+    cfg.initializer = Initializer::kXavier;
+    cfg.seed = 42;
+    return std::move(Mlp::Create(cfg)).value();
+  }
+
+  static Matrix Inputs(size_t n, size_t dim) {
+    Rng rng(7);
+    return Matrix::RandomUniform(n, dim, rng, 0.0f, 1.0f);
+  }
+};
+
+TEST_F(ErrorPropagationMeasureTest, ValidatesArguments) {
+  Mlp net = LinearNet(3);
+  ErrorPropagationOptions options;
+  Matrix empty;
+  EXPECT_TRUE(
+      MeasureErrorPropagation(net, empty, options).status().IsInvalidArgument());
+  Matrix wrong_dim(2, 5);
+  EXPECT_TRUE(MeasureErrorPropagation(net, wrong_dim, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.active_fraction = 0.0;
+  EXPECT_TRUE(MeasureErrorPropagation(net, Inputs(2, 64), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ErrorPropagationMeasureTest, OneStatPerHiddenLayer) {
+  Mlp net = LinearNet(4);
+  ErrorPropagationOptions options;
+  auto stats = MeasureErrorPropagation(net, Inputs(8, 64), options);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 4u);
+  for (size_t k = 0; k < 4; ++k) EXPECT_EQ((*stats)[k].layer, k + 1);
+}
+
+TEST_F(ErrorPropagationMeasureTest, ErrorRatioGrowsWithDepthOracle) {
+  // The empirical counterpart of Theorem 7.2: deeper layers accumulate
+  // relatively more error under truncated forward passes.
+  Mlp net = LinearNet(5);
+  ErrorPropagationOptions options;
+  options.selection = ActiveSelection::kOracleTopFraction;
+  options.active_fraction = 0.05;
+  auto stats =
+      std::move(MeasureErrorPropagation(net, Inputs(16, 64), options)).value();
+  EXPECT_GT(stats.back().error_ratio, stats.front().error_ratio);
+  // And the growth is substantial, not incidental.
+  EXPECT_GT(stats.back().error_ratio, 2.0 * stats.front().error_ratio);
+}
+
+TEST_F(ErrorPropagationMeasureTest, ErrorRatioGrowsWithDepthAlsh) {
+  Mlp net = LinearNet(5);
+  ErrorPropagationOptions options;
+  options.selection = ActiveSelection::kAlsh;
+  auto stats =
+      std::move(MeasureErrorPropagation(net, Inputs(16, 64), options)).value();
+  EXPECT_GT(stats.back().error_ratio, stats.front().error_ratio);
+}
+
+TEST_F(ErrorPropagationMeasureTest, KeepingEverythingGivesZeroError) {
+  Mlp net = LinearNet(3);
+  ErrorPropagationOptions options;
+  options.active_fraction = 1.0;
+  auto stats =
+      std::move(MeasureErrorPropagation(net, Inputs(4, 64), options)).value();
+  for (const auto& s : stats) {
+    EXPECT_NEAR(s.mean_abs_error, 0.0, 1e-5);
+    EXPECT_NEAR(s.error_ratio, 0.0, 1e-4);
+  }
+}
+
+TEST_F(ErrorPropagationMeasureTest, LargerActiveFractionSmallerError) {
+  Mlp net = LinearNet(3);
+  ErrorPropagationOptions sparse;
+  sparse.active_fraction = 0.05;
+  ErrorPropagationOptions dense;
+  dense.active_fraction = 0.5;
+  auto sparse_stats =
+      std::move(MeasureErrorPropagation(net, Inputs(8, 64), sparse)).value();
+  auto dense_stats =
+      std::move(MeasureErrorPropagation(net, Inputs(8, 64), dense)).value();
+  for (size_t k = 0; k < sparse_stats.size(); ++k) {
+    EXPECT_GE(sparse_stats[k].error_ratio, dense_stats[k].error_ratio);
+  }
+}
+
+}  // namespace
+}  // namespace sampnn

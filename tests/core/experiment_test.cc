@@ -1,0 +1,132 @@
+#include "src/core/experiment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "tests/core/test_util.h"
+
+namespace sampnn {
+namespace {
+
+using testing_util::EasyDataset;
+
+DatasetSplits EasySplits() {
+  Dataset all = EasyDataset(400);
+  Rng rng(3);
+  return std::move(SplitDataset(all, 280, 80, 40, rng)).value();
+}
+
+TEST(RunExperimentTest, ValidatesConfig) {
+  DatasetSplits data = EasySplits();
+  MlpConfig net = testing_util::EasyNet(data.train);
+  ExperimentConfig config;
+  config.epochs = 0;
+  EXPECT_TRUE(RunExperiment(net, config, data).status().IsInvalidArgument());
+  config = ExperimentConfig();
+  config.batch_size = 0;
+  EXPECT_TRUE(RunExperiment(net, config, data).status().IsInvalidArgument());
+}
+
+TEST(RunExperimentTest, RejectsEmptyTrainSplit) {
+  DatasetSplits data = EasySplits();
+  data.train = data.train.Slice(0, 0);
+  MlpConfig net = MlpConfig::Uniform(100, 4, 1, 8);
+  ExperimentConfig config;
+  EXPECT_TRUE(RunExperiment(net, config, data).status().IsInvalidArgument());
+}
+
+TEST(RunExperimentTest, ProducesFullResult) {
+  DatasetSplits data = EasySplits();
+  MlpConfig net = testing_util::EasyNet(data.train);
+  ExperimentConfig config;
+  config.epochs = 3;
+  config.batch_size = 16;
+  auto result = RunExperiment(net, config, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->method, "standard");
+  EXPECT_FALSE(result->architecture.empty());
+  ASSERT_EQ(result->epochs.size(), 3u);
+  for (size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(result->epochs[e].epoch, e + 1);
+    EXPECT_GT(result->epochs[e].seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(result->epochs[e].train_loss));
+  }
+  EXPECT_GT(result->final_test_accuracy, 0.5);
+  EXPECT_GT(result->final_validation_accuracy, 0.5);
+  EXPECT_GT(result->train_seconds, 0.0);
+  EXPECT_GT(result->forward_seconds, 0.0);
+  EXPECT_GT(result->backward_seconds, 0.0);
+  ASSERT_TRUE(result->confusion.has_value());
+  EXPECT_EQ(result->confusion->Total(), data.test.size());
+}
+
+TEST(RunExperimentTest, LearningImprovesAccuracyAcrossEpochs) {
+  DatasetSplits data = EasySplits();
+  MlpConfig net = testing_util::EasyNet(data.train);
+  ExperimentConfig config;
+  config.epochs = 5;
+  config.batch_size = 16;
+  auto result = std::move(RunExperiment(net, config, data)).value();
+  EXPECT_GT(result.epochs.back().test_accuracy,
+            result.epochs.front().test_accuracy - 0.05);
+  EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss);
+}
+
+TEST(RunExperimentTest, EvalOnlyAtEndWhenRequested) {
+  DatasetSplits data = EasySplits();
+  MlpConfig net = testing_util::EasyNet(data.train);
+  ExperimentConfig config;
+  config.epochs = 3;
+  config.eval_each_epoch = false;
+  auto result = std::move(RunExperiment(net, config, data)).value();
+  EXPECT_EQ(result.epochs[0].test_accuracy, 0.0);
+  EXPECT_EQ(result.epochs[1].test_accuracy, 0.0);
+  EXPECT_GT(result.epochs[2].test_accuracy, 0.0);
+}
+
+TEST(RunExperimentTest, ReproducibleAcrossRuns) {
+  DatasetSplits data = EasySplits();
+  MlpConfig net = testing_util::EasyNet(data.train);
+  ExperimentConfig config;
+  config.epochs = 2;
+  auto r1 = std::move(RunExperiment(net, config, data)).value();
+  auto r2 = std::move(RunExperiment(net, config, data)).value();
+  EXPECT_DOUBLE_EQ(r1.final_test_accuracy, r2.final_test_accuracy);
+  EXPECT_DOUBLE_EQ(r1.epochs[0].train_loss, r2.epochs[0].train_loss);
+}
+
+TEST(PaperMlpConfigTest, MatchesPaperDefaults) {
+  Dataset data = EasyDataset(20);
+  MlpConfig cfg = PaperMlpConfig(data, 3, 1000, 42);
+  EXPECT_EQ(cfg.input_dim, data.dim());
+  EXPECT_EQ(cfg.output_dim, data.num_classes());
+  ASSERT_EQ(cfg.hidden_dims.size(), 3u);
+  EXPECT_EQ(cfg.hidden_dims[0], 1000u);
+  EXPECT_EQ(cfg.hidden_activation, Activation::kRelu);
+}
+
+TEST(PaperTrainerOptionsTest, MethodSpecificDefaults) {
+  auto standard = PaperTrainerOptions(TrainerKind::kStandard, 20, 1);
+  EXPECT_FLOAT_EQ(standard.learning_rate, 1e-3f);
+  EXPECT_EQ(standard.optimizer, "adam");
+
+  auto dropout = PaperTrainerOptions(TrainerKind::kDropout, 1, 1);
+  EXPECT_FLOAT_EQ(dropout.dropout.keep_prob, 0.05f);
+
+  auto alsh = PaperTrainerOptions(TrainerKind::kAlsh, 1, 1);
+  EXPECT_EQ(alsh.alsh.index.bits, 6u);     // K = 6
+  EXPECT_EQ(alsh.alsh.index.tables, 5u);   // L = 5
+  EXPECT_EQ(alsh.alsh.index.transform.m, 3u);
+
+  auto mc_batch = PaperTrainerOptions(TrainerKind::kMc, 20, 1);
+  EXPECT_EQ(mc_batch.mc.grad_batch_samples, 10u);  // k = 10
+  EXPECT_FLOAT_EQ(mc_batch.learning_rate, 1e-3f);
+
+  auto mc_stochastic = PaperTrainerOptions(TrainerKind::kMc, 1, 1);
+  EXPECT_FLOAT_EQ(mc_stochastic.learning_rate, 1e-4f);  // §9.3
+}
+
+}  // namespace
+}  // namespace sampnn

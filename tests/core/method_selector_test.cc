@@ -1,0 +1,50 @@
+#include "src/core/method_selector.h"
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(MethodSelectorTest, MiniBatchAlwaysPicksMc) {
+  for (size_t batch : {2u, 20u, 128u}) {
+    for (size_t depth : {1u, 3u, 10u}) {
+      for (bool parallel : {false, true}) {
+        TrainingScenario s{batch, depth, parallel};
+        EXPECT_EQ(RecommendMethod(s).method, TrainerKind::kMc)
+            << "batch=" << batch << " depth=" << depth;
+      }
+    }
+  }
+}
+
+TEST(MethodSelectorTest, StochasticShallowParallelPicksAlsh) {
+  TrainingScenario s{1, 3, true};
+  EXPECT_EQ(RecommendMethod(s).method, TrainerKind::kAlsh);
+  TrainingScenario s4{1, 4, true};
+  EXPECT_EQ(RecommendMethod(s4).method, TrainerKind::kAlsh);
+}
+
+TEST(MethodSelectorTest, StochasticShallowSerialPicksAdaptiveDropout) {
+  TrainingScenario s{1, 2, false};
+  EXPECT_EQ(RecommendMethod(s).method, TrainerKind::kAdaptiveDropout);
+}
+
+TEST(MethodSelectorTest, StochasticDeepPicksStandardRegardlessOfParallelism) {
+  // Past the ~4-layer threshold ALSH's error compounds (Theorem 7.2).
+  TrainingScenario deep_parallel{1, 5, true};
+  EXPECT_EQ(RecommendMethod(deep_parallel).method, TrainerKind::kStandard);
+  TrainingScenario deep_serial{1, 7, false};
+  EXPECT_EQ(RecommendMethod(deep_serial).method, TrainerKind::kStandard);
+}
+
+TEST(MethodSelectorTest, RationaleIsNonEmptyAndCitesEvidence) {
+  for (const TrainingScenario& s :
+       {TrainingScenario{20, 3, false}, TrainingScenario{1, 2, true},
+        TrainingScenario{1, 2, false}, TrainingScenario{1, 8, true}}) {
+    const auto rec = RecommendMethod(s);
+    EXPECT_FALSE(rec.rationale.empty());
+  }
+}
+
+}  // namespace
+}  // namespace sampnn

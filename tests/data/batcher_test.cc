@@ -1,0 +1,115 @@
+#include "src/data/batcher.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+Dataset UniqueFeatureDataset(size_t n) {
+  Matrix features(n, 1);
+  std::vector<int32_t> labels(n, 0);
+  for (size_t i = 0; i < n; ++i) features(i, 0) = static_cast<float>(i);
+  return std::move(Dataset::Create(std::move(features), std::move(labels), 1))
+      .value();
+}
+
+TEST(BatcherTest, EpochCoversEverySampleOnce) {
+  Dataset d = UniqueFeatureDataset(23);
+  Batcher batcher(d, 5, 1);
+  Matrix x;
+  std::vector<int32_t> y;
+  std::map<float, int> seen;
+  size_t batches = 0;
+  while (batcher.Next(&x, &y)) {
+    ++batches;
+    for (size_t r = 0; r < x.rows(); ++r) ++seen[x(r, 0)];
+  }
+  EXPECT_EQ(batches, 5u);  // 4 full + 1 partial
+  EXPECT_EQ(seen.size(), 23u);
+  for (const auto& [_, count] : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(BatcherTest, BatchSizesAreFullThenRemainder) {
+  Dataset d = UniqueFeatureDataset(10);
+  Batcher batcher(d, 4, 2);
+  Matrix x;
+  std::vector<int32_t> y;
+  std::vector<size_t> sizes;
+  while (batcher.Next(&x, &y)) sizes.push_back(x.rows());
+  EXPECT_EQ(sizes, (std::vector<size_t>{4, 4, 2}));
+}
+
+TEST(BatcherTest, DropRemainderSkipsPartialBatch) {
+  Dataset d = UniqueFeatureDataset(10);
+  Batcher batcher(d, 4, 3, /*drop_remainder=*/true);
+  Matrix x;
+  std::vector<int32_t> y;
+  std::vector<size_t> sizes;
+  while (batcher.Next(&x, &y)) sizes.push_back(x.rows());
+  EXPECT_EQ(sizes, (std::vector<size_t>{4, 4}));
+  EXPECT_EQ(batcher.BatchesPerEpoch(), 2u);
+}
+
+TEST(BatcherTest, BatchesPerEpochRoundsUp) {
+  Dataset d = UniqueFeatureDataset(10);
+  EXPECT_EQ(Batcher(d, 4, 1).BatchesPerEpoch(), 3u);
+  EXPECT_EQ(Batcher(d, 10, 1).BatchesPerEpoch(), 1u);
+  EXPECT_EQ(Batcher(d, 1, 1).BatchesPerEpoch(), 10u);
+}
+
+TEST(BatcherTest, SecondEpochIsReshuffled) {
+  Dataset d = UniqueFeatureDataset(50);
+  Batcher batcher(d, 50, 4);
+  Matrix x;
+  std::vector<int32_t> y;
+  ASSERT_TRUE(batcher.Next(&x, &y));
+  std::vector<float> first_epoch(x.data(), x.data() + 50);
+  ASSERT_FALSE(batcher.Next(&x, &y));  // epoch boundary
+  ASSERT_TRUE(batcher.Next(&x, &y));
+  std::vector<float> second_epoch(x.data(), x.data() + 50);
+  EXPECT_NE(first_epoch, second_epoch);
+  // Still a permutation of the same samples.
+  std::sort(first_epoch.begin(), first_epoch.end());
+  std::sort(second_epoch.begin(), second_epoch.end());
+  EXPECT_EQ(first_epoch, second_epoch);
+}
+
+TEST(BatcherTest, StochasticSettingIsBatchSizeOne) {
+  Dataset d = UniqueFeatureDataset(7);
+  Batcher batcher(d, 1, 5);
+  Matrix x;
+  std::vector<int32_t> y;
+  size_t steps = 0;
+  while (batcher.Next(&x, &y)) {
+    EXPECT_EQ(x.rows(), 1u);
+    ++steps;
+  }
+  EXPECT_EQ(steps, 7u);
+}
+
+TEST(BatcherTest, DeterministicInSeed) {
+  Dataset d = UniqueFeatureDataset(20);
+  Batcher a(d, 20, 9), b(d, 20, 9);
+  Matrix xa, xb;
+  std::vector<int32_t> ya, yb;
+  ASSERT_TRUE(a.Next(&xa, &ya));
+  ASSERT_TRUE(b.Next(&xb, &yb));
+  EXPECT_TRUE(xa.AllClose(xb, 0.0f));
+}
+
+TEST(BatcherTest, RewindRestartsEpoch) {
+  Dataset d = UniqueFeatureDataset(6);
+  Batcher batcher(d, 3, 10);
+  Matrix x1, x2;
+  std::vector<int32_t> y;
+  ASSERT_TRUE(batcher.Next(&x1, &y));
+  batcher.Rewind();
+  ASSERT_TRUE(batcher.Next(&x2, &y));
+  EXPECT_TRUE(x1.AllClose(x2, 0.0f));
+}
+
+}  // namespace
+}  // namespace sampnn

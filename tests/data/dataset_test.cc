@@ -1,0 +1,156 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+Dataset MakeDataset(size_t n, size_t dim, size_t classes, uint64_t seed) {
+  Rng rng(seed);
+  Matrix features = Matrix::RandomUniform(n, dim, rng, 0.0f, 1.0f);
+  std::vector<int32_t> labels(n);
+  for (auto& y : labels) {
+    y = static_cast<int32_t>(rng.NextBounded(classes));
+  }
+  return std::move(Dataset::Create(std::move(features), std::move(labels),
+                                   classes))
+      .value();
+}
+
+TEST(DatasetTest, CreateValidatesLabelCount) {
+  Matrix features(3, 2);
+  std::vector<int32_t> labels{0, 1};  // one short
+  EXPECT_TRUE(Dataset::Create(std::move(features), labels, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatasetTest, CreateValidatesLabelRange) {
+  Matrix features(2, 2);
+  EXPECT_TRUE(Dataset::Create(Matrix(2, 2), {0, 2}, 2).status().IsOutOfRange());
+  EXPECT_TRUE(
+      Dataset::Create(Matrix(2, 2), {0, -1}, 2).status().IsOutOfRange());
+  EXPECT_TRUE(
+      Dataset::Create(Matrix(2, 2), {0, 1}, 0).status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, AccessorsWork) {
+  Dataset d = MakeDataset(10, 4, 3, 1);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.dim(), 4u);
+  EXPECT_EQ(d.num_classes(), 3u);
+  EXPECT_EQ(d.Example(0).size(), 4u);
+  EXPECT_GE(d.Label(5), 0);
+  EXPECT_LT(d.Label(5), 3);
+}
+
+TEST(DatasetTest, SubsetCopiesSelectedExamples) {
+  Dataset d = MakeDataset(10, 3, 2, 2);
+  std::vector<size_t> idx{7, 2, 2};
+  Dataset sub = d.Subset(idx);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.Label(0), d.Label(7));
+  EXPECT_EQ(sub.Label(1), d.Label(2));
+  EXPECT_EQ(sub.Label(2), d.Label(2));
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(sub.Example(0)[j], d.Example(7)[j]);
+  }
+}
+
+TEST(DatasetTest, SliceIsHalfOpen) {
+  Dataset d = MakeDataset(10, 2, 2, 3);
+  Dataset s = d.Slice(3, 7);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.Label(0), d.Label(3));
+  EXPECT_EQ(s.Label(3), d.Label(6));
+  EXPECT_EQ(d.Slice(5, 5).size(), 0u);
+}
+
+TEST(DatasetTest, FillBatchResizesAndCopies) {
+  Dataset d = MakeDataset(10, 4, 2, 4);
+  Matrix x;
+  std::vector<int32_t> y;
+  std::vector<size_t> idx{1, 9};
+  d.FillBatch(idx, &x, &y);
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), 4u);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], d.Label(1));
+  EXPECT_EQ(y[1], d.Label(9));
+  for (size_t j = 0; j < 4; ++j) EXPECT_EQ(x(1, j), d.Example(9)[j]);
+}
+
+TEST(DatasetTest, ClassCountsSumToSize) {
+  Dataset d = MakeDataset(100, 2, 5, 5);
+  const auto counts = d.ClassCounts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), size_t{0}), 100u);
+}
+
+TEST(DatasetTest, ShufflePreservesExamples) {
+  Dataset d = MakeDataset(50, 3, 4, 6);
+  // Collect multiset of (first feature, label) before/after.
+  auto signature = [](const Dataset& ds) {
+    std::vector<std::pair<float, int32_t>> sig;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      sig.emplace_back(ds.Example(i)[0], ds.Label(i));
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  const auto before = signature(d);
+  Rng rng(7);
+  d.Shuffle(rng);
+  EXPECT_EQ(signature(d), before);
+}
+
+TEST(SplitDatasetTest, SizesMatchRequest) {
+  Dataset d = MakeDataset(100, 2, 2, 8);
+  Rng rng(9);
+  auto splits = SplitDataset(d, 70, 20, 10, rng);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->train.size(), 70u);
+  EXPECT_EQ(splits->test.size(), 20u);
+  EXPECT_EQ(splits->validation.size(), 10u);
+}
+
+TEST(SplitDatasetTest, AllowsDroppingRemainder) {
+  Dataset d = MakeDataset(100, 2, 2, 10);
+  Rng rng(11);
+  auto splits = SplitDataset(d, 50, 20, 10, rng);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->train.size(), 50u);
+}
+
+TEST(SplitDatasetTest, RejectsOversizedRequest) {
+  Dataset d = MakeDataset(10, 2, 2, 12);
+  Rng rng(13);
+  EXPECT_TRUE(SplitDataset(d, 8, 2, 1, rng).status().IsInvalidArgument());
+}
+
+TEST(SplitDatasetTest, PartitionsAreDisjoint) {
+  // Give every example a unique feature value to detect overlap.
+  Matrix features(30, 1);
+  std::vector<int32_t> labels(30, 0);
+  for (size_t i = 0; i < 30; ++i) features(i, 0) = static_cast<float>(i);
+  Dataset d =
+      std::move(Dataset::Create(std::move(features), std::move(labels), 1))
+          .value();
+  Rng rng(14);
+  auto splits = std::move(SplitDataset(d, 10, 10, 10, rng)).value();
+  std::vector<float> seen;
+  for (const Dataset* part :
+       {&splits.train, &splits.test, &splits.validation}) {
+    for (size_t i = 0; i < part->size(); ++i) {
+      seen.push_back(part->Example(i)[0]);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,157 @@
+#include "src/data/idx_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+void WriteBigEndianU32(std::ofstream& out, uint32_t v) {
+  const uint8_t buf[4] = {static_cast<uint8_t>(v >> 24),
+                          static_cast<uint8_t>(v >> 16),
+                          static_cast<uint8_t>(v >> 8),
+                          static_cast<uint8_t>(v)};
+  out.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+class IdxIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = ::testing::TempDir(); }
+  void TearDown() override {
+    for (const auto& f : created_) std::remove(f.c_str());
+  }
+
+  std::string WriteImages(const std::string& name, uint32_t count,
+                          uint32_t rows, uint32_t cols,
+                          const std::vector<uint8_t>& pixels,
+                          uint32_t magic = 0x00000803,
+                          bool truncate_payload = false) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    WriteBigEndianU32(out, magic);
+    WriteBigEndianU32(out, count);
+    WriteBigEndianU32(out, rows);
+    WriteBigEndianU32(out, cols);
+    const size_t n = truncate_payload ? pixels.size() / 2 : pixels.size();
+    out.write(reinterpret_cast<const char*>(pixels.data()),
+              static_cast<std::streamsize>(n));
+    created_.push_back(path);
+    return path;
+  }
+
+  std::string WriteLabels(const std::string& name,
+                          const std::vector<uint8_t>& labels,
+                          uint32_t magic = 0x00000801) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    WriteBigEndianU32(out, magic);
+    WriteBigEndianU32(out, static_cast<uint32_t>(labels.size()));
+    out.write(reinterpret_cast<const char*>(labels.data()),
+              static_cast<std::streamsize>(labels.size()));
+    created_.push_back(path);
+    return path;
+  }
+
+  std::string dir_;
+  std::vector<std::string> created_;
+};
+
+TEST_F(IdxIoTest, ReadsImagesRoundTrip) {
+  std::vector<uint8_t> pixels(2 * 3 * 3);
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    pixels[i] = static_cast<uint8_t>(i * 10);
+  }
+  const std::string path = WriteImages("imgs", 2, 3, 3, pixels);
+  auto images = ReadIdxImages(path);
+  ASSERT_TRUE(images.ok());
+  EXPECT_EQ(images->count, 2u);
+  EXPECT_EQ(images->rows, 3u);
+  EXPECT_EQ(images->cols, 3u);
+  EXPECT_EQ(images->pixels, pixels);
+}
+
+TEST_F(IdxIoTest, ReadsLabelsRoundTrip) {
+  const std::string path = WriteLabels("labels", {0, 1, 2, 9});
+  auto labels = ReadIdxLabels(path);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, (std::vector<uint8_t>{0, 1, 2, 9}));
+}
+
+TEST_F(IdxIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadIdxImages(dir_ + "/nope").status().IsIOError());
+  EXPECT_TRUE(ReadIdxLabels(dir_ + "/nope").status().IsIOError());
+}
+
+TEST_F(IdxIoTest, WrongMagicIsInvalidArgument) {
+  const std::string imgs =
+      WriteImages("bad_magic", 1, 2, 2, std::vector<uint8_t>(4), 0xDEAD);
+  EXPECT_TRUE(ReadIdxImages(imgs).status().IsInvalidArgument());
+  const std::string labels = WriteLabels("bad_magic2", {0}, 0xBEEF);
+  EXPECT_TRUE(ReadIdxLabels(labels).status().IsInvalidArgument());
+}
+
+TEST_F(IdxIoTest, TruncatedPixelsIsIOError) {
+  const std::string path = WriteImages("trunc", 2, 4, 4,
+                                       std::vector<uint8_t>(32), 0x00000803,
+                                       /*truncate_payload=*/true);
+  EXPECT_TRUE(ReadIdxImages(path).status().IsIOError());
+}
+
+TEST_F(IdxIoTest, LoadIdxDatasetScalesAndLabels) {
+  std::vector<uint8_t> pixels{0, 255, 128, 64};  // 1 image of 2x2
+  const std::string imgs = WriteImages("ds_imgs", 1, 2, 2, pixels);
+  const std::string labels = WriteLabels("ds_labels", {3});
+  auto dataset = LoadIdxDataset(imgs, labels, 10);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 1u);
+  EXPECT_EQ(dataset->dim(), 4u);
+  EXPECT_EQ(dataset->num_classes(), 10u);
+  EXPECT_EQ(dataset->Label(0), 3);
+  EXPECT_FLOAT_EQ(dataset->Example(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(dataset->Example(0)[1], 1.0f);
+  EXPECT_NEAR(dataset->Example(0)[2], 128.0f / 255.0f, 1e-6f);
+}
+
+TEST_F(IdxIoTest, LoadIdxDatasetInfersClassesFromLabels) {
+  const std::string imgs =
+      WriteImages("infer_imgs", 3, 1, 1, std::vector<uint8_t>(3, 100));
+  const std::string labels = WriteLabels("infer_labels", {0, 4, 2});
+  auto dataset = LoadIdxDataset(imgs, labels, 0);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_classes(), 5u);
+}
+
+TEST_F(IdxIoTest, LoadIdxDatasetRejectsCountMismatch) {
+  const std::string imgs =
+      WriteImages("mm_imgs", 2, 1, 1, std::vector<uint8_t>(2));
+  const std::string labels = WriteLabels("mm_labels", {0, 1, 2});
+  EXPECT_TRUE(LoadIdxDataset(imgs, labels, 3).status().IsInvalidArgument());
+}
+
+TEST_F(IdxIoTest, LoadMnistDirectoryCarvesValidation) {
+  std::vector<uint8_t> train_pixels(10 * 4, 50);
+  std::vector<uint8_t> test_pixels(4 * 4, 60);
+  WriteImages("train-images-idx3-ubyte", 10, 2, 2, train_pixels);
+  WriteLabels("train-labels-idx1-ubyte",
+              {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  WriteImages("t10k-images-idx3-ubyte", 4, 2, 2, test_pixels);
+  WriteLabels("t10k-labels-idx1-ubyte", {1, 2, 3, 4});
+  auto splits = LoadMnistDirectory(dir_, /*validation_size=*/3);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->train.size(), 7u);
+  EXPECT_EQ(splits->validation.size(), 3u);
+  EXPECT_EQ(splits->test.size(), 4u);
+}
+
+TEST_F(IdxIoTest, LoadMnistDirectoryRejectsHugeValidation) {
+  WriteImages("train-images-idx3-ubyte", 2, 1, 1, {1, 2});
+  WriteLabels("train-labels-idx1-ubyte", {0, 1});
+  WriteImages("t10k-images-idx3-ubyte", 1, 1, 1, {3});
+  WriteLabels("t10k-labels-idx1-ubyte", {0});
+  EXPECT_TRUE(LoadMnistDirectory(dir_, 5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,169 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(BenchmarkSpecTest, AllSixDatasetsRegistered) {
+  const auto names = BenchmarkDatasetNames();
+  ASSERT_EQ(names.size(), 6u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(GetBenchmarkSpec(name).ok()) << name;
+  }
+  EXPECT_TRUE(GetBenchmarkSpec("imagenet").status().IsNotFound());
+}
+
+TEST(BenchmarkSpecTest, PaperDimensionsAndClasses) {
+  auto mnist = std::move(GetBenchmarkSpec("mnist")).value();
+  EXPECT_EQ(mnist.synthetic.dim(), 784u);
+  EXPECT_EQ(mnist.synthetic.num_classes, 10u);
+  EXPECT_EQ(mnist.splits.train, 55000u);
+  EXPECT_EQ(mnist.splits.test, 10000u);
+  EXPECT_EQ(mnist.splits.validation, 5000u);
+
+  auto emnist = std::move(GetBenchmarkSpec("emnist")).value();
+  EXPECT_EQ(emnist.synthetic.num_classes, 26u);
+  EXPECT_EQ(emnist.splits.train, 104800u);
+
+  auto norb = std::move(GetBenchmarkSpec("norb")).value();
+  EXPECT_EQ(norb.synthetic.dim(), 9216u);  // 96 x 96
+  EXPECT_EQ(norb.synthetic.num_classes, 5u);
+  EXPECT_EQ(norb.splits.test, 24300u);  // test larger than train, per paper
+
+  auto cifar = std::move(GetBenchmarkSpec("cifar10")).value();
+  EXPECT_EQ(cifar.synthetic.dim(), 3072u);  // 32 x 32 x 3
+  EXPECT_EQ(cifar.synthetic.channels, 3u);
+}
+
+TEST(GenerateSyntheticTest, ShapeAndRange) {
+  SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.image_height = 8;
+  spec.image_width = 8;
+  spec.num_classes = 4;
+  spec.num_examples = 200;
+  Dataset d = GenerateSynthetic(spec, 42);
+  EXPECT_EQ(d.size(), 200u);
+  EXPECT_EQ(d.dim(), 64u);
+  EXPECT_EQ(d.num_classes(), 4u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (float v : d.Example(i)) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(GenerateSyntheticTest, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.image_height = 6;
+  spec.image_width = 6;
+  spec.num_examples = 50;
+  Dataset a = GenerateSynthetic(spec, 7);
+  Dataset b = GenerateSynthetic(spec, 7);
+  EXPECT_TRUE(a.features().AllClose(b.features(), 0.0f));
+  EXPECT_EQ(a.labels(), b.labels());
+  Dataset c = GenerateSynthetic(spec, 8);
+  EXPECT_FALSE(a.features().AllClose(c.features(), 1e-6f));
+}
+
+TEST(GenerateSyntheticTest, AllClassesRepresented) {
+  SyntheticSpec spec;
+  spec.num_classes = 10;
+  spec.num_examples = 1000;
+  spec.image_height = 8;
+  spec.image_width = 8;
+  Dataset d = GenerateSynthetic(spec, 3);
+  const auto counts = d.ClassCounts();
+  for (size_t c = 0; c < 10; ++c) EXPECT_GT(counts[c], 50u) << "class " << c;
+}
+
+TEST(GenerateSyntheticTest, ClassesAreSeparable) {
+  // A nearest-class-mean classifier must beat chance by a wide margin on the
+  // easy (MNIST-profile) generator: the substitute datasets must be
+  // learnable for the training experiments to mean anything.
+  SyntheticSpec spec = std::move(GetBenchmarkSpec("mnist")).value().synthetic;
+  spec.num_examples = 600;
+  Dataset d = GenerateSynthetic(spec, 11);
+  // Class means from the first 400 examples.
+  const size_t dim = d.dim();
+  std::vector<std::vector<double>> means(10, std::vector<double>(dim, 0.0));
+  std::vector<size_t> counts(10, 0);
+  for (size_t i = 0; i < 400; ++i) {
+    const auto cls = static_cast<size_t>(d.Label(i));
+    ++counts[cls];
+    auto x = d.Example(i);
+    for (size_t j = 0; j < dim; ++j) means[cls][j] += x[j];
+  }
+  for (size_t c = 0; c < 10; ++c) {
+    if (counts[c] == 0) continue;
+    for (double& v : means[c]) v /= static_cast<double>(counts[c]);
+  }
+  size_t correct = 0;
+  for (size_t i = 400; i < 600; ++i) {
+    auto x = d.Example(i);
+    size_t best = 0;
+    double best_dist = 1e300;
+    for (size_t c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        const double diff = x[j] - means[c][j];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (best == static_cast<size_t>(d.Label(i))) ++correct;
+  }
+  EXPECT_GT(correct, 120u);  // >60% vs 10% chance
+}
+
+TEST(GenerateBenchmarkTest, ScaleDividesSampleCountsOnly) {
+  auto splits = GenerateBenchmark("mnist", 5, 100);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->train.size(), 550u);
+  EXPECT_EQ(splits->test.size(), 200u);  // floored at 200
+  EXPECT_EQ(splits->validation.size(), 50u);
+  EXPECT_EQ(splits->train.dim(), 784u);  // dimension untouched
+}
+
+TEST(GenerateBenchmarkTest, FloorsKeepSmallSplitsMeaningful) {
+  // NORB's train split is 22300; at scale 100 the floor of 400 applies.
+  auto norb = std::move(GenerateBenchmark("norb", 5, 100)).value();
+  EXPECT_EQ(norb.train.size(), 400u);
+  EXPECT_EQ(norb.test.size(), 243u);  // 24300/100 > floor
+  // scale=1 reproduces the paper's sizes exactly.
+  // (Not generated here — full NORB is 48600 x 9216 floats — but the spec
+  // arithmetic is what the floors must not disturb: n/1 >= min(n, floor).)
+}
+
+TEST(GenerateBenchmarkTest, RejectsZeroScaleAndUnknownName) {
+  EXPECT_TRUE(GenerateBenchmark("mnist", 5, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(GenerateBenchmark("svhn", 5, 10).status().IsNotFound());
+}
+
+TEST(GenerateBenchmarkTest, SplitsShareClassSpace) {
+  auto splits = std::move(GenerateBenchmark("emnist", 5, 200)).value();
+  EXPECT_EQ(splits.train.num_classes(), 26u);
+  EXPECT_EQ(splits.test.num_classes(), 26u);
+  EXPECT_EQ(splits.validation.num_classes(), 26u);
+}
+
+TEST(GenerateBenchmarkTest, HarderDatasetsHaveHigherDifficultyKnobs) {
+  // The difficulty ordering that stands in for the paper's empirical
+  // ordering (MNIST easiest, CIFAR-10 hardest).
+  auto mnist = std::move(GetBenchmarkSpec("mnist")).value().synthetic;
+  auto kmnist = std::move(GetBenchmarkSpec("kmnist")).value().synthetic;
+  auto cifar = std::move(GetBenchmarkSpec("cifar10")).value().synthetic;
+  EXPECT_LT(mnist.noise_stddev, kmnist.noise_stddev);
+  EXPECT_LT(kmnist.noise_stddev, cifar.noise_stddev);
+  EXPECT_LT(mnist.shared_structure, cifar.shared_structure);
+}
+
+}  // namespace
+}  // namespace sampnn

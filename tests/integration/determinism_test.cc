@@ -1,0 +1,90 @@
+// Reproducibility guarantees: every trainer, the data generators, and the
+// LSH structures must be bit-deterministic given equal seeds — the property
+// that makes the whole bench harness reproducible.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/data/batcher.h"
+#include "src/data/synthetic.h"
+#include "src/lsh/hash_table.h"
+
+namespace sampnn {
+namespace {
+
+class DeterminismTest : public ::testing::TestWithParam<TrainerKind> {
+ protected:
+  static DatasetSplits MakeData() {
+    return std::move(GenerateBenchmark("mnist", 7, 400)).ValueOrDie("data");
+  }
+};
+
+TEST_P(DeterminismTest, TwoRunsProduceIdenticalWeights) {
+  const TrainerKind kind = GetParam();
+  DatasetSplits data = MakeData();
+  const size_t batch = kind == TrainerKind::kMc ? 8 : 2;
+  MlpConfig net = PaperMlpConfig(data.train, 2, 32, 42);
+  ExperimentConfig config;
+  config.trainer = PaperTrainerOptions(kind, batch, 42);
+  config.batch_size = batch;
+  config.epochs = 2;
+  config.eval_each_epoch = false;
+
+  auto run = [&] {
+    auto trainer = std::move(MakeTrainer(net, config.trainer)).value();
+    Batcher batcher(data.train, batch, config.data_seed);
+    Matrix x;
+    std::vector<int32_t> y;
+    for (size_t e = 0; e < config.epochs; ++e) {
+      while (batcher.Next(&x, &y)) {
+        std::move(trainer->Step(x, y)).ValueOrDie("step");
+      }
+    }
+    return trainer->net().Clone();
+  };
+  Mlp net1 = run();
+  Mlp net2 = run();
+  for (size_t k = 0; k < net1.num_layers(); ++k) {
+    EXPECT_TRUE(
+        net1.layer(k).weights().AllClose(net2.layer(k).weights(), 0.0f))
+        << TrainerKindToString(kind) << " layer " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, DeterminismTest,
+    ::testing::Values(TrainerKind::kStandard, TrainerKind::kDropout,
+                      TrainerKind::kAdaptiveDropout, TrainerKind::kAlsh,
+                      TrainerKind::kMc),
+    [](const ::testing::TestParamInfo<TrainerKind>& info) {
+      std::string name = TrainerKindToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(DataDeterminismTest, BenchmarkGenerationIsSeedStable) {
+  auto a = std::move(GenerateBenchmark("fashion", 11, 500)).value();
+  auto b = std::move(GenerateBenchmark("fashion", 11, 500)).value();
+  EXPECT_TRUE(a.train.features().AllClose(b.train.features(), 0.0f));
+  EXPECT_EQ(a.test.labels(), b.test.labels());
+}
+
+TEST(LshDeterminismTest, IndexBuildAndQueryAreSeedStable) {
+  Rng data_rng(3);
+  Matrix w = Matrix::RandomGaussian(32, 100, data_rng);
+  AlshIndexOptions options;
+  auto i1 = std::move(AlshIndex::Create(32, options, 99)).value();
+  auto i2 = std::move(AlshIndex::Create(32, options, 99)).value();
+  i1.Build(w);
+  i2.Build(w);
+  std::vector<float> q(32, 0.25f);
+  std::vector<uint32_t> r1, r2;
+  i1.Query(q, &r1);
+  i2.Query(q, &r2);
+  EXPECT_EQ(r1, r2);
+}
+
+}  // namespace
+}  // namespace sampnn

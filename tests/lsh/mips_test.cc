@@ -1,0 +1,108 @@
+#include "src/lsh/mips.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+Matrix RandomDb(size_t dim, size_t items, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomGaussian(dim, items, rng);
+}
+
+TEST(ExactMipsTest, FindsTrueMaximum) {
+  // Columns: e0, 2*e0, -e0 -> query e0 ranks them 1, 0, 2.
+  auto db = std::move(Matrix::FromVector(2, 3, {1, 2, -1, 0, 0, 0})).value();
+  std::vector<float> q{1.0f, 0.0f};
+  const auto results = ExactMips(db, q, 3);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_FLOAT_EQ(results[0].inner_product, 2.0f);
+  EXPECT_EQ(results[1].id, 0u);
+  EXPECT_EQ(results[2].id, 2u);
+}
+
+TEST(ExactMipsTest, ClampsKToDatabaseSize) {
+  Matrix db = RandomDb(4, 5, 1);
+  std::vector<float> q(4, 1.0f);
+  EXPECT_EQ(ExactMips(db, q, 100).size(), 5u);
+}
+
+TEST(ExactMipsTest, SortedDescending) {
+  Matrix db = RandomDb(8, 40, 2);
+  std::vector<float> q(8, 0.3f);
+  const auto results = ExactMips(db, q, 10);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].inner_product, results[i].inner_product);
+  }
+}
+
+TEST(AlshMipsTest, CreateValidates) {
+  Matrix empty;
+  AlshIndexOptions options;
+  EXPECT_TRUE(AlshMips::Create(empty, options, 1).status().IsInvalidArgument());
+}
+
+TEST(AlshMipsTest, QueryReturnsExactInnerProducts) {
+  Matrix db = RandomDb(16, 100, 3);
+  AlshIndexOptions options;
+  options.bits = 4;
+  options.tables = 8;
+  auto mips = std::move(AlshMips::Create(db, options, 4)).value();
+  std::vector<float> q(16);
+  Rng rng(5);
+  for (auto& v : q) v = rng.NextGaussian();
+  const auto results = mips.Query(q, 5);
+  for (const auto& r : results) {
+    float expected = 0.0f;
+    for (size_t i = 0; i < 16; ++i) expected += q[i] * db(i, r.id);
+    EXPECT_NEAR(r.inner_product, expected, 1e-4f);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].inner_product, results[i].inner_product);
+  }
+}
+
+TEST(AlshMipsTest, RecallImprovesWithMoreTables) {
+  Matrix db = RandomDb(24, 400, 6);
+  Rng rng(7);
+  Matrix queries = Matrix::RandomGaussian(30, 24, rng);
+  AlshIndexOptions weak;
+  weak.bits = 8;
+  weak.tables = 1;
+  AlshIndexOptions strong;
+  strong.bits = 8;
+  strong.tables = 20;
+  auto mips_weak = std::move(AlshMips::Create(db, weak, 8)).value();
+  auto mips_strong = std::move(AlshMips::Create(db, strong, 8)).value();
+  const double recall_weak = mips_weak.RecallAtK(queries, 5);
+  const double recall_strong = mips_strong.RecallAtK(queries, 5);
+  EXPECT_GT(recall_strong, recall_weak);
+  EXPECT_GT(recall_strong, 0.3);
+}
+
+TEST(AlshMipsTest, RecallIsBetterThanRandomBaseline) {
+  Matrix db = RandomDb(16, 500, 9);
+  Rng rng(10);
+  Matrix queries = Matrix::RandomGaussian(20, 16, rng);
+  AlshIndexOptions options;  // paper defaults K=6, L=5
+  auto mips = std::move(AlshMips::Create(db, options, 11)).value();
+  // Random retrieval of ~b candidates out of 500 would recall ~b/500; the
+  // LSH index should far exceed a 10% baseline on top-5.
+  EXPECT_GT(mips.RecallAtK(queries, 5), 0.10);
+}
+
+TEST(AlshMipsTest, QueryCandidatesAreValidIds) {
+  Matrix db = RandomDb(8, 60, 12);
+  AlshIndexOptions options;
+  auto mips = std::move(AlshMips::Create(db, options, 13)).value();
+  std::vector<float> q(8, 0.5f);
+  std::vector<uint32_t> candidates;
+  mips.QueryCandidates(q, &candidates);
+  for (uint32_t id : candidates) EXPECT_LT(id, 60u);
+}
+
+}  // namespace
+}  // namespace sampnn

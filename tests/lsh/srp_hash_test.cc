@@ -1,0 +1,120 @@
+#include "src/lsh/srp_hash.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(SrpHashTest, CreateValidatesArguments) {
+  Rng rng(1);
+  EXPECT_TRUE(SrpHash::Create(0, 4, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(SrpHash::Create(8, 0, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(SrpHash::Create(8, 31, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(SrpHash::Create(8, 30, rng).ok());
+}
+
+TEST(SrpHashTest, CodeFitsInBits) {
+  Rng rng(2);
+  auto hash = std::move(SrpHash::Create(16, 5, rng)).value();
+  EXPECT_EQ(hash.num_buckets(), 32u);
+  Rng data_rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> v(16);
+    for (auto& x : v) x = data_rng.NextGaussian();
+    EXPECT_LT(hash.Hash(v), 32u);
+  }
+}
+
+TEST(SrpHashTest, DeterministicForSameInput) {
+  Rng rng(4);
+  auto hash = std::move(SrpHash::Create(8, 6, rng)).value();
+  std::vector<float> v{1, -2, 3, -4, 5, -6, 7, -8};
+  EXPECT_EQ(hash.Hash(v), hash.Hash(v));
+}
+
+TEST(SrpHashTest, ScaleInvariant) {
+  // Sign patterns are invariant to positive scaling of the input.
+  Rng rng(5);
+  auto hash = std::move(SrpHash::Create(8, 10, rng)).value();
+  std::vector<float> v{1, -2, 3, -4, 5, -6, 7, -8};
+  std::vector<float> scaled(v);
+  for (auto& x : scaled) x *= 42.0f;
+  EXPECT_EQ(hash.Hash(v), hash.Hash(scaled));
+}
+
+TEST(SrpHashTest, OppositeVectorsGetComplementCodes) {
+  Rng rng(6);
+  auto hash = std::move(SrpHash::Create(8, 12, rng)).value();
+  std::vector<float> v{0.3f, -1.2f, 0.8f, 2.0f, -0.1f, 0.5f, -0.9f, 1.1f};
+  std::vector<float> neg(v);
+  for (auto& x : neg) x = -x;
+  const uint32_t mask = (1u << 12) - 1;
+  EXPECT_EQ(hash.Hash(v) ^ hash.Hash(neg), mask);
+}
+
+TEST(SrpHashTest, NearbyVectorsCollideMoreThanFarOnes) {
+  Rng rng(7);
+  Rng data_rng(8);
+  constexpr size_t kDim = 32;
+  int near_collisions = 0, far_collisions = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng hash_rng(1000 + t);
+    auto hash = std::move(SrpHash::Create(kDim, 1, hash_rng)).value();
+    std::vector<float> base(kDim), near(kDim), far(kDim);
+    for (size_t i = 0; i < kDim; ++i) {
+      base[i] = data_rng.NextGaussian();
+      near[i] = base[i] + 0.1f * data_rng.NextGaussian();
+      far[i] = data_rng.NextGaussian();
+    }
+    if (hash.Hash(base) == hash.Hash(near)) ++near_collisions;
+    if (hash.Hash(base) == hash.Hash(far)) ++far_collisions;
+  }
+  EXPECT_GT(near_collisions, far_collisions);
+  EXPECT_GT(near_collisions, kTrials * 0.85);  // ~ 1 - theta/pi, theta small
+}
+
+TEST(SrpCollisionProbabilityTest, KnownValues) {
+  EXPECT_NEAR(SrpCollisionProbability(1.0), 1.0, 1e-9);
+  EXPECT_NEAR(SrpCollisionProbability(-1.0), 0.0, 1e-9);
+  EXPECT_NEAR(SrpCollisionProbability(0.0), 0.5, 1e-9);
+}
+
+TEST(SrpCollisionProbabilityTest, MonotonicInSimilarity) {
+  double prev = 0.0;
+  for (double c = -1.0; c <= 1.0; c += 0.1) {
+    const double p = SrpCollisionProbability(c);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SrpCollisionProbabilityTest, ClampsOutOfRangeInput) {
+  EXPECT_NEAR(SrpCollisionProbability(1.5), 1.0, 1e-9);
+  EXPECT_NEAR(SrpCollisionProbability(-2.0), 0.0, 1e-9);
+}
+
+TEST(SrpHashTest, EmpiricalCollisionRateMatchesTheory) {
+  // For unit vectors at a known angle, the 1-bit collision rate over many
+  // independent hash functions should approach 1 - theta/pi.
+  constexpr size_t kDim = 64;
+  const double target_cos = 0.7;
+  std::vector<float> a(kDim, 0.0f), b(kDim, 0.0f);
+  a[0] = 1.0f;
+  b[0] = static_cast<float>(target_cos);
+  b[1] = static_cast<float>(std::sqrt(1.0 - target_cos * target_cos));
+  int collisions = 0;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(t);
+    auto hash = std::move(SrpHash::Create(kDim, 1, rng)).value();
+    if (hash.Hash(a) == hash.Hash(b)) ++collisions;
+  }
+  const double expected = SrpCollisionProbability(target_cos);
+  EXPECT_NEAR(static_cast<double>(collisions) / kTrials, expected, 0.03);
+}
+
+}  // namespace
+}  // namespace sampnn

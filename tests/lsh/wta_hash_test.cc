@@ -1,0 +1,136 @@
+#include "src/lsh/wta_hash.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lsh/hash_table.h"
+
+namespace sampnn {
+namespace {
+
+TEST(WtaHashTest, CreateValidates) {
+  Rng rng(1);
+  EXPECT_TRUE(WtaHash::Create(0, 2, 8, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(WtaHash::Create(16, 0, 8, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(WtaHash::Create(16, 2, 3, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(WtaHash::Create(16, 2, 512, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(WtaHash::Create(4, 2, 8, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(WtaHash::Create(16, 11, 8, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(WtaHash::Create(16, 2, 8, rng).ok());
+}
+
+TEST(WtaHashTest, BitWidthIsSubhashesTimesLogWindow) {
+  Rng rng(2);
+  auto hash = std::move(WtaHash::Create(32, 3, 8, rng)).value();
+  EXPECT_EQ(hash.bits(), 9u);  // 3 * log2(8)
+  EXPECT_EQ(hash.num_buckets(), 512u);
+}
+
+TEST(WtaHashTest, CodeStaysInRange) {
+  Rng rng(3);
+  auto hash = std::move(WtaHash::Create(32, 2, 4, rng)).value();
+  Rng data_rng(4);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<float> x(32);
+    for (auto& v : x) v = data_rng.NextGaussian();
+    EXPECT_LT(hash.Hash(x), hash.num_buckets());
+  }
+}
+
+TEST(WtaHashTest, DeterministicAndRankInvariant) {
+  Rng rng(5);
+  auto hash = std::move(WtaHash::Create(16, 4, 4, rng)).value();
+  std::vector<float> x(16);
+  Rng data_rng(6);
+  for (auto& v : x) v = data_rng.NextFloat();
+  const uint32_t code = hash.Hash(x);
+  EXPECT_EQ(hash.Hash(x), code);
+  // WTA is invariant to any strictly monotone transform of the values.
+  std::vector<float> scaled(x);
+  for (auto& v : scaled) v = 3.0f * v + 7.0f;
+  EXPECT_EQ(hash.Hash(scaled), code);
+  std::vector<float> squared(x);
+  for (auto& v : squared) v = v * v;  // monotone on [0, 1)
+  EXPECT_EQ(hash.Hash(squared), code);
+}
+
+TEST(WtaHashTest, NearbyVectorsCollideMoreThanRandomPairs) {
+  Rng data_rng(7);
+  constexpr size_t kDim = 64;
+  int near_hits = 0, far_hits = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng hash_rng(100 + t);
+    auto hash = std::move(WtaHash::Create(kDim, 2, 8, hash_rng)).value();
+    std::vector<float> base(kDim), near(kDim), far(kDim);
+    for (size_t i = 0; i < kDim; ++i) {
+      base[i] = data_rng.NextGaussian();
+      near[i] = base[i] + 0.05f * data_rng.NextGaussian();
+      far[i] = data_rng.NextGaussian();
+    }
+    if (hash.Hash(base) == hash.Hash(near)) ++near_hits;
+    if (hash.Hash(base) == hash.Hash(far)) ++far_hits;
+  }
+  EXPECT_GT(near_hits, far_hits * 2);
+}
+
+TEST(LshFamilyTest, ParsesNames) {
+  EXPECT_EQ(std::move(LshFamilyFromString("srp")).value(), LshFamily::kSrp);
+  EXPECT_EQ(std::move(LshFamilyFromString("wta")).value(), LshFamily::kWta);
+  EXPECT_TRUE(LshFamilyFromString("minhash").status().IsInvalidArgument());
+  EXPECT_STREQ(LshFamilyToString(LshFamily::kSrp), "srp");
+  EXPECT_STREQ(LshFamilyToString(LshFamily::kWta), "wta");
+}
+
+TEST(AlshIndexWtaTest, BuildsAndQueriesWithWtaFamily) {
+  AlshIndexOptions options;
+  options.family = LshFamily::kWta;
+  options.bits = 6;       // 2 sub-hashes at window 8
+  options.wta_window = 8;
+  auto index = std::move(AlshIndex::Create(24, options, 9)).value();
+  Rng rng(10);
+  Matrix w = Matrix::RandomGaussian(24, 120, rng);
+  index.Build(w);
+  EXPECT_EQ(index.num_items(), 120u);
+  std::vector<float> q(24);
+  for (auto& v : q) v = rng.NextGaussian();
+  std::vector<uint32_t> out;
+  index.Query(q, &out);
+  for (uint32_t id : out) EXPECT_LT(id, 120u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(AlshIndexWtaTest, RejectsBitsSmallerThanWindowBits) {
+  AlshIndexOptions options;
+  options.family = LshFamily::kWta;
+  options.bits = 2;
+  options.wta_window = 8;  // needs 3 bits per sub-hash
+  EXPECT_TRUE(AlshIndex::Create(24, options, 9).status().IsInvalidArgument());
+}
+
+TEST(AlshIndexWtaTest, WtaRetrievalBeatsRandomBaseline) {
+  // Same qualitative LSH property as SRP: querying with an indexed column
+  // should retrieve that column more often than chance.
+  AlshIndexOptions options;
+  options.family = LshFamily::kWta;
+  options.bits = 9;  // 3 sub-hashes of window 8
+  auto index = std::move(AlshIndex::Create(32, options, 11)).value();
+  Rng rng(12);
+  Matrix w = Matrix::RandomGaussian(32, 100, rng);
+  index.Build(w);
+  size_t hits = 0;
+  std::vector<uint32_t> out;
+  for (size_t j = 0; j < 100; ++j) {
+    std::vector<float> q = w.Col(j);
+    index.Query(q, &out);
+    for (uint32_t id : out) {
+      if (id == j) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(hits, 40u);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,91 @@
+#include "src/metrics/accuracy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+
+namespace sampnn {
+namespace {
+
+TEST(AccuracyTest, BasicFraction) {
+  std::vector<int32_t> preds{0, 1, 2, 3};
+  std::vector<int32_t> labels{0, 1, 0, 3};
+  auto acc = Accuracy(preds, labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc.value(), 0.75);
+}
+
+TEST(AccuracyTest, EmptyIsZero) {
+  std::vector<int32_t> empty;
+  auto acc = Accuracy(empty, empty);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(acc.value(), 0.0);
+}
+
+TEST(AccuracyTest, SizeMismatchIsError) {
+  std::vector<int32_t> a{0, 1};
+  std::vector<int32_t> b{0};
+  EXPECT_TRUE(Accuracy(a, b).status().IsInvalidArgument());
+}
+
+class EvaluateTest : public ::testing::Test {
+ protected:
+  static Dataset MakeData() {
+    SyntheticSpec spec;
+    spec.image_height = 6;
+    spec.image_width = 6;
+    spec.num_classes = 3;
+    spec.num_examples = 100;
+    spec.noise_stddev = 0.05f;
+    return GenerateSynthetic(spec, 21);
+  }
+
+  static Mlp MakeNet(const Dataset& d) {
+    MlpConfig cfg = MlpConfig::Uniform(d.dim(), d.num_classes(), 1, 16);
+    cfg.seed = 5;
+    return std::move(Mlp::Create(cfg)).value();
+  }
+};
+
+TEST_F(EvaluateTest, AccuracyInUnitInterval) {
+  Dataset d = MakeData();
+  Mlp net = MakeNet(d);
+  const double acc = EvaluateAccuracy(net, d);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST_F(EvaluateTest, IndependentOfEvalBatchSize) {
+  Dataset d = MakeData();
+  Mlp net = MakeNet(d);
+  const double a1 = EvaluateAccuracy(net, d, 1);
+  const double a7 = EvaluateAccuracy(net, d, 7);
+  const double a256 = EvaluateAccuracy(net, d, 256);
+  EXPECT_DOUBLE_EQ(a1, a7);
+  EXPECT_DOUBLE_EQ(a7, a256);
+}
+
+TEST_F(EvaluateTest, LossIndependentOfEvalBatchSize) {
+  Dataset d = MakeData();
+  Mlp net = MakeNet(d);
+  EXPECT_NEAR(EvaluateLoss(net, d, 3), EvaluateLoss(net, d, 64), 1e-6);
+}
+
+TEST_F(EvaluateTest, UntrainedLossNearLogC) {
+  Dataset d = MakeData();
+  Mlp net = MakeNet(d);
+  EXPECT_NEAR(EvaluateLoss(net, d), std::log(3.0), 0.5);
+}
+
+TEST_F(EvaluateTest, EmptyDatasetGivesZero) {
+  Dataset d = MakeData();
+  Mlp net = MakeNet(d);
+  Dataset empty = d.Slice(0, 0);
+  EXPECT_EQ(EvaluateAccuracy(net, empty), 0.0);
+  EXPECT_EQ(EvaluateLoss(net, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,127 @@
+#include "src/metrics/confusion_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/metrics/accuracy.h"
+
+namespace sampnn {
+namespace {
+
+TEST(ConfusionMatrixTest, StartsEmpty) {
+  ConfusionMatrix cm(3);
+  EXPECT_EQ(cm.num_classes(), 3u);
+  EXPECT_EQ(cm.Total(), 0u);
+  EXPECT_EQ(cm.Accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, AddAccumulates) {
+  ConfusionMatrix cm(3);
+  ASSERT_TRUE(cm.Add(0, 0).ok());
+  ASSERT_TRUE(cm.Add(0, 1).ok());
+  ASSERT_TRUE(cm.Add(2, 2).ok());
+  EXPECT_EQ(cm.At(0, 0), 1u);
+  EXPECT_EQ(cm.At(0, 1), 1u);
+  EXPECT_EQ(cm.At(2, 2), 1u);
+  EXPECT_EQ(cm.At(1, 1), 0u);
+  EXPECT_EQ(cm.Total(), 3u);
+  EXPECT_NEAR(cm.Accuracy(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_TRUE(cm.Add(2, 0).IsOutOfRange());
+  EXPECT_TRUE(cm.Add(0, 2).IsOutOfRange());
+  EXPECT_TRUE(cm.Add(-1, 0).IsOutOfRange());
+}
+
+TEST(ConfusionMatrixTest, AddBatchValidatesSizes) {
+  ConfusionMatrix cm(2);
+  std::vector<int32_t> t{0, 1}, p{0};
+  EXPECT_TRUE(cm.AddBatch(t, p).IsInvalidArgument());
+  std::vector<int32_t> p2{0, 1};
+  EXPECT_TRUE(cm.AddBatch(t, p2).ok());
+  EXPECT_EQ(cm.Total(), 2u);
+}
+
+TEST(ConfusionMatrixTest, PerClassRecallAndPrecision) {
+  ConfusionMatrix cm(2);
+  // Class 0: 3 examples, 2 correct. Class 1: 2 examples, 1 correct.
+  cm.AddBatch(std::vector<int32_t>{0, 0, 0, 1, 1},
+              std::vector<int32_t>{0, 0, 1, 1, 0})
+      .Abort("add");
+  const auto recall = cm.PerClassRecall();
+  EXPECT_NEAR(recall[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(recall[1], 0.5, 1e-9);
+  const auto precision = cm.PerClassPrecision();
+  EXPECT_NEAR(precision[0], 2.0 / 3.0, 1e-9);  // predicted 0 three times
+  EXPECT_NEAR(precision[1], 0.5, 1e-9);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassesGiveZeroRecall) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0).Abort("add");
+  const auto recall = cm.PerClassRecall();
+  EXPECT_EQ(recall[1], 0.0);
+  EXPECT_EQ(recall[2], 0.0);
+}
+
+TEST(ConfusionMatrixTest, PredictionCountsAreColumnSums) {
+  ConfusionMatrix cm(3);
+  cm.AddBatch(std::vector<int32_t>{0, 1, 2, 0},
+              std::vector<int32_t>{1, 1, 1, 0})
+      .Abort("add");
+  const auto counts = cm.PredictionCounts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(ConfusionMatrixTest, DistinctPredictionsDetectsCollapse) {
+  // The §10.3 indicator: a collapsed model predicts few distinct classes.
+  ConfusionMatrix collapsed(5);
+  for (int32_t t = 0; t < 5; ++t) collapsed.Add(t, 2).Abort("add");
+  EXPECT_EQ(collapsed.NumDistinctPredictions(), 1u);
+
+  ConfusionMatrix healthy(5);
+  for (int32_t t = 0; t < 5; ++t) healthy.Add(t, t).Abort("add");
+  EXPECT_EQ(healthy.NumDistinctPredictions(), 5u);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0).Abort("add");
+  cm.Add(1, 0).Abort("add");
+  const std::string s = cm.ToString();
+  EXPECT_NE(s.find("true  0"), std::string::npos);
+  EXPECT_NE(s.find("pred"), std::string::npos);
+}
+
+TEST(ConfusionMatrixTest, CsvRowsAreRowNormalizedPercent) {
+  ConfusionMatrix cm(2);
+  cm.AddBatch(std::vector<int32_t>{0, 0, 0, 0}, std::vector<int32_t>{0, 0, 0, 1})
+      .Abort("add");
+  const auto rows = cm.ToCsvRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "75.00");
+  EXPECT_EQ(rows[0][1], "25.00");
+  EXPECT_EQ(rows[1][0], "0.00");  // empty row stays zero
+}
+
+TEST(ComputeConfusionTest, TotalsMatchDatasetSize) {
+  SyntheticSpec spec;
+  spec.image_height = 5;
+  spec.image_width = 5;
+  spec.num_classes = 4;
+  spec.num_examples = 60;
+  Dataset d = GenerateSynthetic(spec, 9);
+  MlpConfig cfg = MlpConfig::Uniform(d.dim(), 4, 1, 8);
+  auto net = std::move(Mlp::Create(cfg)).value();
+  ConfusionMatrix cm = ComputeConfusion(net, d, 16);
+  EXPECT_EQ(cm.Total(), 60u);
+  EXPECT_EQ(cm.num_classes(), 4u);
+  EXPECT_NEAR(cm.Accuracy(), EvaluateAccuracy(net, d), 1e-9);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,80 @@
+#include "src/metrics/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+Mlp TestNet() {
+  MlpConfig cfg = MlpConfig::Uniform(784, 10, 3, 100);
+  return std::move(Mlp::Create(cfg)).value();
+}
+
+TEST(ReadMemoryUsageTest, WorksOnProcfs) {
+  auto usage = ReadMemoryUsage();
+  ASSERT_TRUE(usage.ok());
+  EXPECT_GT(usage->rss_bytes, 0u);
+  EXPECT_GE(usage->peak_rss_bytes, usage->rss_bytes);
+}
+
+TEST(MemoryTrackerTest, DetectsLargeAllocation) {
+  MemoryTracker tracker;
+  // Touch 64 MB so it is actually resident.
+  std::vector<char> big(64 << 20);
+  for (size_t i = 0; i < big.size(); i += 4096) big[i] = 1;
+  EXPECT_GT(tracker.GrowthBytes(), 32u << 20);
+  EXPECT_GT(tracker.CurrentBytes(), 0u);
+}
+
+TEST(WorkingSetTest, ValidatesArguments) {
+  Mlp net = TestNet();
+  EXPECT_TRUE(
+      EstimateWorkingSet(net, "standard", 0, 0.05).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EstimateWorkingSet(net, "standard", 1, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EstimateWorkingSet(net, "standard", 1, 1.5).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EstimateWorkingSet(net, "svm", 1, 0.5).status().IsInvalidArgument());
+}
+
+TEST(WorkingSetTest, AllMethodsProduceNonzeroTotals) {
+  Mlp net = TestNet();
+  for (const char* method :
+       {"standard", "dropout", "adaptive-dropout", "alsh", "mc"}) {
+    auto ws = EstimateWorkingSet(net, method, 20, 0.1);
+    ASSERT_TRUE(ws.ok()) << method;
+    EXPECT_GT(ws->total(), 0u) << method;
+  }
+}
+
+TEST(WorkingSetTest, SparseMethodsTouchFewerWeightBytesThanStandard) {
+  Mlp net = TestNet();
+  auto standard = std::move(EstimateWorkingSet(net, "standard", 1, 1.0)).value();
+  auto alsh = std::move(EstimateWorkingSet(net, "alsh", 1, 0.05)).value();
+  auto mc = std::move(EstimateWorkingSet(net, "mc", 20, 0.1)).value();
+  EXPECT_LT(alsh.weights_touched, standard.weights_touched);
+  EXPECT_LT(mc.weights_touched, standard.weights_touched);
+}
+
+TEST(WorkingSetTest, McTouchesFewerBytesThanDropoutPair) {
+  // The §9.4 ordering: the dropout pair's full-width masks and dense
+  // activations cost more traffic than MC's sampled backward.
+  Mlp net = TestNet();
+  auto mc = std::move(EstimateWorkingSet(net, "mc", 20, 0.1)).value();
+  auto dropout = std::move(EstimateWorkingSet(net, "dropout", 20, 0.05)).value();
+  auto adaptive =
+      std::move(EstimateWorkingSet(net, "adaptive-dropout", 20, 0.05)).value();
+  EXPECT_LT(mc.total(), dropout.total());
+  EXPECT_LT(dropout.total(), adaptive.total());
+}
+
+TEST(FormatBytesTest, HumanReadable) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.0 MB");
+  EXPECT_EQ(FormatBytes(size_t{5} << 30), "5.0 GB");
+}
+
+}  // namespace
+}  // namespace sampnn

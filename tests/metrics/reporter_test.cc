@@ -1,0 +1,66 @@
+#include "src/metrics/reporter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(TableReporterTest, RenderContainsTitleHeaderAndRows) {
+  TableReporter table("Table X: demo", {"method", "accuracy"});
+  table.AddRow({"standard", "96.46"});
+  table.AddRow({"mc", "98.10"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("Table X: demo"), std::string::npos);
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("standard"), std::string::npos);
+  EXPECT_NE(out.find("98.10"), std::string::npos);
+}
+
+TEST(TableReporterTest, ColumnsAreAligned) {
+  TableReporter table("t", {"a", "long-header"});
+  table.AddRow({"xxxxxxxx", "1"});
+  const std::string out = table.Render();
+  // Find the header and the data row; the second column must start at the
+  // same offset in both lines.
+  std::istringstream is(out);
+  std::string line, header_line, data_line;
+  while (std::getline(is, line)) {
+    if (line.find("long-header") != std::string::npos) header_line = line;
+    if (line.find("xxxxxxxx") != std::string::npos) data_line = line;
+  }
+  ASSERT_FALSE(header_line.empty());
+  ASSERT_FALSE(data_line.empty());
+  EXPECT_EQ(header_line.find("long-header"), data_line.find("1"));
+}
+
+TEST(TableReporterTest, CellFormatsNumbers) {
+  EXPECT_EQ(TableReporter::Cell(3.14159), "3.14");
+  EXPECT_EQ(TableReporter::Cell(3.14159, 4), "3.1416");
+  EXPECT_EQ(TableReporter::Cell(100.0, 0), "100");
+}
+
+TEST(TableReporterTest, WriteCsvRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/reporter_test.csv";
+  TableReporter table("t", {"a", "b"});
+  table.AddRow({"1", "2"});
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableReporterTest, RowsAccessor) {
+  TableReporter table("t", {"a"});
+  table.AddRow({"x"});
+  ASSERT_EQ(table.rows().size(), 1u);
+  EXPECT_EQ(table.rows()[0][0], "x");
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,81 @@
+#include "src/metrics/split_timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(SplitTimerTest, StartsEmpty) {
+  SplitTimer timer;
+  EXPECT_EQ(timer.Seconds(kPhaseForward), 0.0);
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+  EXPECT_TRUE(timer.totals().empty());
+}
+
+TEST(SplitTimerTest, AddAccumulates) {
+  SplitTimer timer;
+  timer.Add(kPhaseForward, 1.5);
+  timer.Add(kPhaseForward, 0.5);
+  timer.Add(kPhaseBackward, 2.0);
+  EXPECT_DOUBLE_EQ(timer.Seconds(kPhaseForward), 2.0);
+  EXPECT_DOUBLE_EQ(timer.Seconds(kPhaseBackward), 2.0);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 4.0);
+}
+
+TEST(SplitTimerTest, ScopeChargesElapsedTime) {
+  SplitTimer timer;
+  {
+    SplitTimer::Scope scope(&timer, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(timer.Seconds("work"), 0.015);
+  EXPECT_LT(timer.Seconds("work"), 5.0);
+}
+
+TEST(SplitTimerTest, NullTimerScopeIsSafe) {
+  SplitTimer::Scope scope(nullptr, "ignored");
+  EXPECT_GE(scope.Elapsed(), 0.0);
+}
+
+TEST(SplitTimerTest, ResetClears) {
+  SplitTimer timer;
+  timer.Add("a", 1.0);
+  timer.Reset();
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+}
+
+TEST(SplitTimerTest, MergeSumsPhases) {
+  SplitTimer a, b;
+  a.Add(kPhaseForward, 1.0);
+  a.Add(kPhaseSampling, 0.5);
+  b.Add(kPhaseForward, 2.0);
+  b.Add(kPhaseHashRebuild, 3.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Seconds(kPhaseForward), 3.0);
+  EXPECT_DOUBLE_EQ(a.Seconds(kPhaseSampling), 0.5);
+  EXPECT_DOUBLE_EQ(a.Seconds(kPhaseHashRebuild), 3.0);
+  // b unchanged.
+  EXPECT_DOUBLE_EQ(b.Seconds(kPhaseForward), 2.0);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  const double t1 = watch.Elapsed();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double t2 = watch.Elapsed();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Restart();
+  EXPECT_LT(watch.Elapsed(), 0.01);
+}
+
+}  // namespace
+}  // namespace sampnn

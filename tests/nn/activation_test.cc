@@ -1,0 +1,96 @@
+#include "src/nn/activation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(ActivationParseTest, RoundTripsAllNames) {
+  for (Activation act : {Activation::kLinear, Activation::kRelu,
+                         Activation::kSigmoid, Activation::kTanh}) {
+    auto parsed = ActivationFromString(ActivationToString(act));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), act);
+  }
+  EXPECT_TRUE(ActivationFromString("swish").status().IsInvalidArgument());
+}
+
+TEST(ActivationValueTest, KnownValues) {
+  EXPECT_EQ(ActivationValue(Activation::kLinear, -3.0f), -3.0f);
+  EXPECT_EQ(ActivationValue(Activation::kRelu, -3.0f), 0.0f);
+  EXPECT_EQ(ActivationValue(Activation::kRelu, 3.0f), 3.0f);
+  EXPECT_FLOAT_EQ(ActivationValue(Activation::kSigmoid, 0.0f), 0.5f);
+  EXPECT_FLOAT_EQ(ActivationValue(Activation::kTanh, 0.0f), 0.0f);
+  EXPECT_NEAR(ActivationValue(Activation::kSigmoid, 100.0f), 1.0f, 1e-6f);
+}
+
+class ActivationGradTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradTest, MatchesNumericalDerivative) {
+  const Activation act = GetParam();
+  const float kEps = 1e-3f;
+  for (float z : {-2.0f, -0.5f, 0.3f, 1.7f, 4.0f}) {
+    const float numeric = (ActivationValue(act, z + kEps) -
+                           ActivationValue(act, z - kEps)) /
+                          (2.0f * kEps);
+    EXPECT_NEAR(ActivationGradValue(act, z), numeric, 5e-3f)
+        << ActivationToString(act) << " at z=" << z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradTest,
+                         ::testing::Values(Activation::kLinear,
+                                           Activation::kRelu,
+                                           Activation::kSigmoid,
+                                           Activation::kTanh));
+
+TEST(ActivationSpanTest, AppliesElementwise) {
+  std::vector<float> z{-1.0f, 0.0f, 2.0f};
+  std::vector<float> a(3);
+  ApplyActivation(Activation::kRelu, z, a);
+  EXPECT_EQ(a, (std::vector<float>{0.0f, 0.0f, 2.0f}));
+}
+
+TEST(ActivationSpanTest, InPlaceAliasingWorks) {
+  std::vector<float> z{-1.0f, 3.0f};
+  ApplyActivation(Activation::kRelu, z, z);
+  EXPECT_EQ(z, (std::vector<float>{0.0f, 3.0f}));
+}
+
+TEST(ActivationMatrixTest, AppliesOverWholeMatrix) {
+  auto m = std::move(Matrix::FromVector(2, 2, {-1, 2, -3, 4})).value();
+  ApplyActivation(Activation::kRelu, &m);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 2.0f);
+  EXPECT_EQ(m(1, 0), 0.0f);
+  EXPECT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(ActivationGradFromZTest, FillsDerivatives) {
+  std::vector<float> z{-1.0f, 1.0f};
+  std::vector<float> d(2);
+  ActivationGradFromZ(Activation::kRelu, z, d);
+  EXPECT_EQ(d, (std::vector<float>{0.0f, 1.0f}));
+}
+
+TEST(MultiplyActivationGradTest, HadamardWithFPrime) {
+  auto z = std::move(Matrix::FromVector(1, 3, {-1, 0.5f, 2})).value();
+  auto delta = std::move(Matrix::FromVector(1, 3, {10, 10, 10})).value();
+  MultiplyActivationGrad(Activation::kRelu, z, &delta);
+  EXPECT_EQ(delta(0, 0), 0.0f);
+  EXPECT_EQ(delta(0, 1), 10.0f);
+  EXPECT_EQ(delta(0, 2), 10.0f);
+}
+
+TEST(MultiplyActivationGradTest, LinearIsNoop) {
+  auto z = std::move(Matrix::FromVector(1, 2, {-5, 5})).value();
+  auto delta = std::move(Matrix::FromVector(1, 2, {3, 4})).value();
+  MultiplyActivationGrad(Activation::kLinear, z, &delta);
+  EXPECT_EQ(delta(0, 0), 3.0f);
+  EXPECT_EQ(delta(0, 1), 4.0f);
+}
+
+}  // namespace
+}  // namespace sampnn

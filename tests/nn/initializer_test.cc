@@ -1,0 +1,67 @@
+#include "src/nn/initializer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(InitializerParseTest, RoundTrips) {
+  for (Initializer init :
+       {Initializer::kHe, Initializer::kXavier, Initializer::kUniform}) {
+    auto parsed = InitializerFromString(InitializerToString(init));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), init);
+  }
+  EXPECT_TRUE(InitializerFromString("zeros").status().IsInvalidArgument());
+}
+
+TEST(InitializerTest, ShapesAreFanInByFanOut) {
+  Rng rng(1);
+  Matrix w = InitializeWeights(Initializer::kHe, 30, 20, rng);
+  EXPECT_EQ(w.rows(), 30u);
+  EXPECT_EQ(w.cols(), 20u);
+}
+
+TEST(InitializerTest, HeStddevMatchesFanIn) {
+  Rng rng(2);
+  const size_t fan_in = 400;
+  Matrix w = InitializeWeights(Initializer::kHe, fan_in, 400, rng);
+  double sq = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  }
+  const double stddev = std::sqrt(sq / w.size());
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / fan_in), 0.005);
+}
+
+TEST(InitializerTest, XavierStaysInBound) {
+  Rng rng(3);
+  Matrix w = InitializeWeights(Initializer::kXavier, 100, 50, rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w.data()[i], -bound);
+    EXPECT_LT(w.data()[i], bound);
+  }
+}
+
+TEST(InitializerTest, UniformStaysInBound) {
+  Rng rng(4);
+  Matrix w = InitializeWeights(Initializer::kUniform, 64, 32, rng);
+  const float bound = 1.0f / 8.0f;
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w.data()[i], -bound);
+    EXPECT_LT(w.data()[i], bound);
+  }
+}
+
+TEST(InitializerTest, DeterministicInRngState) {
+  Rng a(5), b(5);
+  Matrix wa = InitializeWeights(Initializer::kHe, 10, 10, a);
+  Matrix wb = InitializeWeights(Initializer::kHe, 10, 10, b);
+  EXPECT_TRUE(wa.AllClose(wb, 0.0f));
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,164 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace sampnn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  Matrix logits(2, 4);  // all zeros -> uniform softmax
+  std::vector<int32_t> labels{0, 3};
+  auto loss = SoftmaxCrossEntropy::Loss(logits, labels);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(loss.value(), std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionNearZeroLoss) {
+  auto logits = std::move(Matrix::FromVector(1, 3, {50, 0, 0})).value();
+  std::vector<int32_t> labels{0};
+  auto loss = SoftmaxCrossEntropy::Loss(logits, labels);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_LT(loss.value(), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, NumericallyStableForHugeLogits) {
+  auto logits = std::move(Matrix::FromVector(1, 2, {10000, 9999})).value();
+  std::vector<int32_t> labels{0};
+  auto loss = SoftmaxCrossEntropy::Loss(logits, labels);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_TRUE(std::isfinite(loss.value()));
+  EXPECT_NEAR(loss.value(), std::log(1.0 + std::exp(-1.0)), 1e-4);
+}
+
+TEST(SoftmaxCrossEntropyTest, ValidatesLabels) {
+  Matrix logits(2, 3);
+  std::vector<int32_t> wrong_size{0};
+  EXPECT_TRUE(SoftmaxCrossEntropy::Loss(logits, wrong_size)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<int32_t> out_of_range{0, 3};
+  EXPECT_TRUE(
+      SoftmaxCrossEntropy::Loss(logits, out_of_range).status().IsOutOfRange());
+  std::vector<int32_t> negative{0, -1};
+  EXPECT_TRUE(
+      SoftmaxCrossEntropy::Loss(logits, negative).status().IsOutOfRange());
+}
+
+TEST(SoftmaxCrossEntropyTest, GradMatchesSoftmaxMinusOnehot) {
+  auto logits = std::move(Matrix::FromVector(1, 3, {1, 2, 3})).value();
+  std::vector<int32_t> labels{1};
+  Matrix grad;
+  auto loss = SoftmaxCrossEntropy::LossAndGrad(logits, labels, &grad);
+  ASSERT_TRUE(loss.ok());
+  double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(grad(0, 0), std::exp(1.0) / denom, 1e-5);
+  EXPECT_NEAR(grad(0, 1), std::exp(2.0) / denom - 1.0, 1e-5);
+  EXPECT_NEAR(grad(0, 2), std::exp(3.0) / denom, 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradMatchesNumericalGradient) {
+  Rng rng(5);
+  Matrix logits = Matrix::RandomGaussian(3, 5, rng);
+  std::vector<int32_t> labels{0, 2, 4};
+  Matrix grad;
+  ASSERT_TRUE(SoftmaxCrossEntropy::LossAndGrad(logits, labels, &grad).ok());
+  const float kEps = 1e-3f;
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      Matrix plus = logits, minus = logits;
+      plus(i, j) += kEps;
+      minus(i, j) -= kEps;
+      const double lp = SoftmaxCrossEntropy::Loss(plus, labels).value();
+      const double lm = SoftmaxCrossEntropy::Loss(minus, labels).value();
+      EXPECT_NEAR(grad(i, j), (lp - lm) / (2.0 * kEps), 2e-3)
+          << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, GradRowsSumToZero) {
+  Rng rng(11);
+  Matrix logits = Matrix::RandomGaussian(4, 6, rng);
+  std::vector<int32_t> labels{1, 0, 5, 3};
+  Matrix grad;
+  ASSERT_TRUE(SoftmaxCrossEntropy::LossAndGrad(logits, labels, &grad).ok());
+  for (size_t i = 0; i < grad.rows(); ++i) {
+    float sum = 0.0f;
+    for (size_t j = 0; j < grad.cols(); ++j) sum += grad(i, j);
+    EXPECT_NEAR(sum, 0.0f, 1e-5f);
+  }
+}
+
+TEST(LogSoftmaxTest, RowsExponentiateToOne) {
+  Rng rng(7);
+  Matrix logits = Matrix::RandomGaussian(5, 8, rng);
+  Matrix out;
+  SoftmaxCrossEntropy::LogSoftmax(logits, &out);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < out.cols(); ++j) total += std::exp(out(i, j));
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(LogSoftmaxTest, PreservesArgmax) {
+  auto logits = std::move(Matrix::FromVector(1, 3, {0.1f, 5.0f, 2.0f})).value();
+  Matrix out;
+  SoftmaxCrossEntropy::LogSoftmax(logits, &out);
+  EXPECT_GT(out(0, 1), out(0, 0));
+  EXPECT_GT(out(0, 1), out(0, 2));
+}
+
+TEST(PredictTest, ReturnsArgmaxPerRow) {
+  auto logits =
+      std::move(Matrix::FromVector(2, 3, {1, 9, 2, 7, 0, 3})).value();
+  const auto preds = SoftmaxCrossEntropy::Predict(logits);
+  EXPECT_EQ(preds, (std::vector<int32_t>{1, 0}));
+}
+
+TEST(MseTest, ZeroForEqualMatrices) {
+  Matrix a = Matrix::Filled(2, 2, 3.0f);
+  auto loss = MeanSquaredError::Loss(a, a);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_EQ(loss.value(), 0.0);
+}
+
+TEST(MseTest, KnownValue) {
+  Matrix pred = Matrix::Filled(1, 2, 1.0f);
+  Matrix target = Matrix::Filled(1, 2, 3.0f);
+  // mean((2)^2)/2 = 2.
+  auto loss = MeanSquaredError::Loss(pred, target);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(loss.value(), 2.0, 1e-6);
+}
+
+TEST(MseTest, ShapeMismatchIsError) {
+  Matrix a(1, 2), b(2, 1);
+  EXPECT_TRUE(MeanSquaredError::Loss(a, b).status().IsInvalidArgument());
+}
+
+TEST(MseTest, GradMatchesNumerical) {
+  Rng rng(13);
+  Matrix pred = Matrix::RandomGaussian(2, 3, rng);
+  Matrix target = Matrix::RandomGaussian(2, 3, rng);
+  Matrix grad;
+  ASSERT_TRUE(MeanSquaredError::LossAndGrad(pred, target, &grad).ok());
+  const float kEps = 1e-3f;
+  for (size_t i = 0; i < pred.rows(); ++i) {
+    for (size_t j = 0; j < pred.cols(); ++j) {
+      Matrix plus = pred, minus = pred;
+      plus(i, j) += kEps;
+      minus(i, j) -= kEps;
+      const double lp = MeanSquaredError::Loss(plus, target).value();
+      const double lm = MeanSquaredError::Loss(minus, target).value();
+      EXPECT_NEAR(grad(i, j), (lp - lm) / (2.0 * kEps), 1e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,210 @@
+#include "src/nn/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/loss.h"
+
+namespace sampnn {
+namespace {
+
+MlpConfig SmallConfig() {
+  MlpConfig cfg = MlpConfig::Uniform(4, 3, 2, 6);
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(MlpCreateTest, ValidatesDimensions) {
+  MlpConfig cfg = SmallConfig();
+  cfg.input_dim = 0;
+  EXPECT_TRUE(Mlp::Create(cfg).status().IsInvalidArgument());
+  cfg = SmallConfig();
+  cfg.output_dim = 0;
+  EXPECT_TRUE(Mlp::Create(cfg).status().IsInvalidArgument());
+  cfg = SmallConfig();
+  cfg.hidden_dims = {5, 0, 5};
+  EXPECT_TRUE(Mlp::Create(cfg).status().IsInvalidArgument());
+}
+
+TEST(MlpCreateTest, LayerShapesChain) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  ASSERT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.num_hidden_layers(), 2u);
+  EXPECT_EQ(net.layer(0).in_dim(), 4u);
+  EXPECT_EQ(net.layer(0).out_dim(), 6u);
+  EXPECT_EQ(net.layer(1).in_dim(), 6u);
+  EXPECT_EQ(net.layer(2).out_dim(), 3u);
+  EXPECT_EQ(net.input_dim(), 4u);
+  EXPECT_EQ(net.output_dim(), 3u);
+}
+
+TEST(MlpCreateTest, NoHiddenLayersIsLogisticRegression) {
+  MlpConfig cfg = MlpConfig::Uniform(5, 2, 0, 0);
+  auto net = Mlp::Create(cfg);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_layers(), 1u);
+  EXPECT_EQ(net->num_hidden_layers(), 0u);
+}
+
+TEST(MlpCreateTest, OutputLayerIsLinear) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  EXPECT_EQ(net.layer(net.num_layers() - 1).activation(), Activation::kLinear);
+}
+
+TEST(MlpCreateTest, SameSeedSameWeights) {
+  auto a = std::move(Mlp::Create(SmallConfig())).value();
+  auto b = std::move(Mlp::Create(SmallConfig())).value();
+  for (size_t k = 0; k < a.num_layers(); ++k) {
+    EXPECT_TRUE(a.layer(k).weights().AllClose(b.layer(k).weights(), 0.0f));
+  }
+}
+
+TEST(MlpForwardTest, ShapesAndWorkspace) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  Rng rng(1);
+  Matrix x = Matrix::RandomGaussian(5, 4, rng);
+  MlpWorkspace ws;
+  const Matrix& logits = net.Forward(x, &ws);
+  EXPECT_EQ(logits.rows(), 5u);
+  EXPECT_EQ(logits.cols(), 3u);
+  ASSERT_EQ(ws.z.size(), 3u);
+  ASSERT_EQ(ws.a.size(), 3u);
+  EXPECT_EQ(ws.a[0].cols(), 6u);
+}
+
+TEST(MlpForwardTest, SampleMatchesBatchRow) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  Rng rng(2);
+  Matrix x = Matrix::RandomGaussian(3, 4, rng);
+  MlpWorkspace ws;
+  const Matrix& logits = net.Forward(x, &ws);
+  for (size_t r = 0; r < 3; ++r) {
+    const auto single = net.ForwardSample(x.Row(r));
+    ASSERT_EQ(single.size(), 3u);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(single[j], logits(r, j), 1e-4f);
+    }
+  }
+}
+
+TEST(MlpForwardTest, ReluZeroesNegativePreactivations) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  Rng rng(3);
+  Matrix x = Matrix::RandomGaussian(2, 4, rng);
+  MlpWorkspace ws;
+  net.Forward(x, &ws);
+  for (size_t k = 0; k < net.num_hidden_layers(); ++k) {
+    for (size_t i = 0; i < ws.a[k].size(); ++i) {
+      EXPECT_GE(ws.a[k].data()[i], 0.0f);
+    }
+  }
+}
+
+// The decisive correctness test: analytic backprop vs central differences on
+// the full loss, over every parameter of a small network.
+TEST(MlpBackwardTest, MatchesNumericalGradients) {
+  MlpConfig cfg = MlpConfig::Uniform(3, 2, 2, 4);
+  cfg.seed = 9;
+  cfg.hidden_activation = Activation::kTanh;  // smooth: finite diffs behave
+  auto net = std::move(Mlp::Create(cfg)).value();
+  Rng rng(4);
+  Matrix x = Matrix::RandomGaussian(4, 3, rng);
+  std::vector<int32_t> labels{0, 1, 1, 0};
+
+  MlpWorkspace ws;
+  Matrix grad_logits;
+  net.Forward(x, &ws);
+  ASSERT_TRUE(
+      SoftmaxCrossEntropy::LossAndGrad(ws.a.back(), labels, &grad_logits).ok());
+  MlpGrads grads;
+  net.Backward(x, ws, grad_logits, &grads);
+
+  auto loss_at = [&](Mlp& candidate) {
+    MlpWorkspace tmp;
+    const Matrix& logits = candidate.Forward(x, &tmp);
+    return SoftmaxCrossEntropy::Loss(logits, labels).value();
+  };
+  const float kEps = 1e-2f;
+  for (size_t k = 0; k < net.num_layers(); ++k) {
+    Matrix& w = net.layer(k).weights();
+    for (size_t i = 0; i < w.rows(); ++i) {
+      for (size_t j = 0; j < w.cols(); ++j) {
+        const float orig = w(i, j);
+        w(i, j) = orig + kEps;
+        const double lp = loss_at(net);
+        w(i, j) = orig - kEps;
+        const double lm = loss_at(net);
+        w(i, j) = orig;
+        EXPECT_NEAR(grads[k].weights(i, j), (lp - lm) / (2.0 * kEps), 5e-3)
+            << "layer " << k << " W(" << i << "," << j << ")";
+      }
+    }
+    auto bias = net.layer(k).bias();
+    for (size_t j = 0; j < bias.size(); ++j) {
+      const float orig = bias[j];
+      bias[j] = orig + kEps;
+      const double lp = loss_at(net);
+      bias[j] = orig - kEps;
+      const double lm = loss_at(net);
+      bias[j] = orig;
+      EXPECT_NEAR(grads[k].bias[j], (lp - lm) / (2.0 * kEps), 5e-3)
+          << "layer " << k << " b(" << j << ")";
+    }
+  }
+}
+
+TEST(MlpTest, ZeroGradsShapedLikeNetwork) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  MlpGrads grads = net.ZeroGrads();
+  ASSERT_EQ(grads.size(), net.num_layers());
+  for (size_t k = 0; k < grads.size(); ++k) {
+    EXPECT_EQ(grads[k].weights.rows(), net.layer(k).in_dim());
+    EXPECT_EQ(grads[k].weights.cols(), net.layer(k).out_dim());
+    EXPECT_EQ(grads[k].bias.size(), net.layer(k).out_dim());
+    EXPECT_EQ(grads[k].weights.FrobeniusNorm(), 0.0f);
+  }
+}
+
+TEST(MlpTest, NumParamsCountsWeightsAndBiases) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  // 4*6+6 + 6*6+6 + 6*3+3 = 30 + 42 + 21 = 93.
+  EXPECT_EQ(net.num_params(), 93u);
+}
+
+TEST(MlpTest, PredictReturnsClassIds) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  Rng rng(5);
+  Matrix x = Matrix::RandomGaussian(6, 4, rng);
+  const auto preds = net.Predict(x);
+  ASSERT_EQ(preds.size(), 6u);
+  for (int32_t p : preds) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+}
+
+TEST(MlpTest, CloneIsIndependent) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  Mlp clone = net.Clone();
+  clone.layer(0).weights()(0, 0) += 100.0f;
+  EXPECT_NE(clone.layer(0).weights()(0, 0), net.layer(0).weights()(0, 0));
+}
+
+TEST(MlpTest, ArchitectureString) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  EXPECT_EQ(net.ArchitectureString(), "4-6-6-3 (relu)");
+}
+
+TEST(LayerGradsTest, SetZeroClearsWithoutResize) {
+  auto net = std::move(Mlp::Create(SmallConfig())).value();
+  LayerGrads g = LayerGrads::ZerosLike(net.layer(0));
+  g.weights.Fill(3.0f);
+  g.bias.assign(g.bias.size(), 2.0f);
+  g.SetZero();
+  EXPECT_EQ(g.weights.FrobeniusNorm(), 0.0f);
+  for (float b : g.bias) EXPECT_EQ(b, 0.0f);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,97 @@
+#include "src/nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/sampnn_model_test.bin";
+};
+
+Mlp TrainedLikeNet(uint64_t seed = 9) {
+  MlpConfig cfg = MlpConfig::Uniform(6, 3, 2, 8);
+  cfg.seed = seed;
+  cfg.hidden_activation = Activation::kTanh;
+  Mlp net = std::move(Mlp::Create(cfg)).value();
+  // Perturb so the parameters differ from any fresh initialization.
+  net.layer(1).weights()(2, 3) = 42.5f;
+  net.layer(0).bias()[1] = -7.25f;
+  return net;
+}
+
+TEST_F(SerializeTest, RoundTripPreservesEverything) {
+  Mlp original = TrainedLikeNet();
+  ASSERT_TRUE(SaveMlp(original, path_).ok());
+  auto loaded = LoadMlp(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_layers(), original.num_layers());
+  EXPECT_EQ(loaded->ArchitectureString(), original.ArchitectureString());
+  for (size_t k = 0; k < original.num_layers(); ++k) {
+    EXPECT_TRUE(loaded->layer(k).weights().AllClose(
+        original.layer(k).weights(), 0.0f));
+    EXPECT_EQ(loaded->layer(k).activation(), original.layer(k).activation());
+    auto lb = loaded->layer(k).bias();
+    auto ob = original.layer(k).bias();
+    for (size_t j = 0; j < ob.size(); ++j) EXPECT_EQ(lb[j], ob[j]);
+  }
+}
+
+TEST_F(SerializeTest, LoadedModelPredictsIdentically) {
+  Mlp original = TrainedLikeNet();
+  ASSERT_TRUE(SaveMlp(original, path_).ok());
+  Mlp loaded = std::move(LoadMlp(path_)).value();
+  Rng rng(3);
+  Matrix x = Matrix::RandomGaussian(10, 6, rng);
+  MlpWorkspace ws1, ws2;
+  EXPECT_TRUE(
+      original.Forward(x, &ws1).AllClose(loaded.Forward(x, &ws2), 0.0f));
+}
+
+TEST_F(SerializeTest, NoHiddenLayerModelRoundTrips) {
+  MlpConfig cfg = MlpConfig::Uniform(4, 2, 0, 0);
+  Mlp net = std::move(Mlp::Create(cfg)).value();
+  ASSERT_TRUE(SaveMlp(net, path_).ok());
+  auto loaded = LoadMlp(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_layers(), 1u);
+}
+
+TEST_F(SerializeTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadMlp("/does/not/exist.bin").status().IsIOError());
+}
+
+TEST_F(SerializeTest, BadMagicIsInvalidArgument) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "JUNKJUNKJUNK";
+  out.close();
+  EXPECT_TRUE(LoadMlp(path_).status().IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, TruncatedFileIsInvalidArgument) {
+  Mlp net = TrainedLikeNet();
+  ASSERT_TRUE(SaveMlp(net, path_).ok());
+  // Chop the file in half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  EXPECT_TRUE(LoadMlp(path_).status().IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, UnwritablePathIsIOError) {
+  Mlp net = TrainedLikeNet();
+  EXPECT_TRUE(SaveMlp(net, "/nonexistent-dir-xyz/model.bin").IsIOError());
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,149 @@
+#include "src/tensor/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructorZeroInitializes) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0f);
+  }
+}
+
+TEST(MatrixTest, ElementAccessIsRowMajor) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 3;
+  m(1, 1) = 5;
+  EXPECT_EQ(m.data()[0], 1.0f);
+  EXPECT_EQ(m.data()[2], 3.0f);
+  EXPECT_EQ(m.data()[4], 5.0f);
+}
+
+TEST(MatrixTest, FromVectorValidatesSize) {
+  auto ok = Matrix::FromVector(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)(1, 0), 3.0f);
+  auto bad = Matrix::FromVector(2, 2, {1, 2, 3});
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(MatrixTest, FilledSetsEveryEntry) {
+  Matrix m = Matrix::Filled(2, 2, 7.5f);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 7.5f);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  Matrix id = Matrix::Identity(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, RandomGaussianMatchesMoments) {
+  Rng rng(42);
+  Matrix m = Matrix::RandomGaussian(100, 100, rng, 2.0f, 0.5f);
+  double sum = 0.0, sq = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  const double mean = sum / m.size();
+  const double var = sq / m.size() - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+TEST(MatrixTest, RandomUniformStaysInRange) {
+  Rng rng(7);
+  Matrix m = Matrix::RandomUniform(50, 50, rng, -1.0f, 2.0f);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -1.0f);
+    EXPECT_LT(m.data()[i], 2.0f);
+  }
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+  Matrix m(2, 3);
+  auto row = m.Row(1);
+  row[2] = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+  const Matrix& cm = m;
+  EXPECT_EQ(cm.Row(1)[2], 9.0f);
+}
+
+TEST(MatrixTest, SetZeroAndFill) {
+  Matrix m = Matrix::Filled(3, 3, 1.0f);
+  m.SetZero();
+  EXPECT_EQ(m.FrobeniusNorm(), 0.0f);
+  m.Fill(-2.0f);
+  EXPECT_EQ(m(2, 2), -2.0f);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  auto m = std::move(Matrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6})).value();
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(t(j, i), m(i, j));
+  }
+}
+
+TEST(MatrixTest, DoubleTransposeIsIdentity) {
+  Rng rng(3);
+  Matrix m = Matrix::RandomGaussian(5, 7, rng);
+  EXPECT_TRUE(m.Transposed().Transposed().AllClose(m, 0.0f));
+}
+
+TEST(MatrixTest, ColExtractsColumn) {
+  auto m = std::move(Matrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6})).value();
+  auto col = m.Col(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col[0], 2.0f);
+  EXPECT_EQ(col[1], 5.0f);
+}
+
+TEST(MatrixTest, Norms) {
+  auto m = std::move(Matrix::FromVector(2, 2, {3, 0, 4, 0})).value();
+  EXPECT_FLOAT_EQ(m.ColNorm(0), 5.0f);
+  EXPECT_FLOAT_EQ(m.ColNorm(1), 0.0f);
+  EXPECT_FLOAT_EQ(m.RowNorm(0), 3.0f);
+  EXPECT_FLOAT_EQ(m.FrobeniusNorm(), 5.0f);
+  EXPECT_FLOAT_EQ(m.MaxAbs(), 4.0f);
+}
+
+TEST(MatrixTest, AllCloseRespectsTolerance) {
+  Matrix a = Matrix::Filled(2, 2, 1.0f);
+  Matrix b = Matrix::Filled(2, 2, 1.0001f);
+  EXPECT_TRUE(a.AllClose(b, 1e-3f));
+  EXPECT_FALSE(a.AllClose(b, 1e-6f));
+  Matrix c(2, 3);
+  EXPECT_FALSE(a.AllClose(c));  // shape mismatch
+}
+
+TEST(MatrixTest, ToStringTruncatesLargeMatrices) {
+  Matrix m(100, 100);
+  const std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("Matrix 100x100"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,61 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv(kVar); }
+  void TearDown() override { unsetenv(kVar); }
+  static constexpr const char* kVar = "SAMPNN_ENV_TEST_VAR";
+};
+
+TEST_F(EnvTest, UnsetReturnsDefault) {
+  EXPECT_EQ(GetEnvOr(kVar, "fallback"), "fallback");
+  EXPECT_EQ(GetEnvIntOr(kVar, 42), 42);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr(kVar, 2.5), 2.5);
+}
+
+TEST_F(EnvTest, EmptyCountsAsUnset) {
+  setenv(kVar, "", 1);
+  EXPECT_EQ(GetEnvOr(kVar, "fallback"), "fallback");
+  EXPECT_EQ(GetEnvIntOr(kVar, 7), 7);
+}
+
+TEST_F(EnvTest, SetValueWins) {
+  setenv(kVar, "hello", 1);
+  EXPECT_EQ(GetEnvOr(kVar, "fallback"), "hello");
+}
+
+TEST_F(EnvTest, ParsesIntegers) {
+  setenv(kVar, "123", 1);
+  EXPECT_EQ(GetEnvIntOr(kVar, 0), 123);
+  setenv(kVar, "-5", 1);
+  EXPECT_EQ(GetEnvIntOr(kVar, 0), -5);
+}
+
+TEST_F(EnvTest, RejectsMalformedIntegers) {
+  setenv(kVar, "12abc", 1);
+  EXPECT_EQ(GetEnvIntOr(kVar, 9), 9);
+  setenv(kVar, "abc", 1);
+  EXPECT_EQ(GetEnvIntOr(kVar, 9), 9);
+}
+
+TEST_F(EnvTest, ParsesDoubles) {
+  setenv(kVar, "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr(kVar, 0.0), 0.25);
+  setenv(kVar, "1e-3", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr(kVar, 0.0), 1e-3);
+}
+
+TEST_F(EnvTest, RejectsMalformedDoubles) {
+  setenv(kVar, "1.5x", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr(kVar, 3.0), 3.0);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,149 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+// Builds argv from string literals (argv[0] is the program name).
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+Flags MakeFlags() {
+  Flags flags("test");
+  flags.AddInt("epochs", 10, "epochs");
+  flags.AddDouble("lr", 0.001, "learning rate");
+  flags.AddString("dataset", "mnist", "dataset");
+  flags.AddBool("verbose", false, "verbosity");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr"), 0.001);
+  EXPECT_EQ(flags.GetString("dataset"), "mnist");
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.IsSet("epochs"));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--epochs=5", "--lr=0.1", "--dataset=cifar10"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr"), 0.1);
+  EXPECT_EQ(flags.GetString("dataset"), "cifar10");
+  EXPECT_TRUE(flags.IsSet("epochs"));
+}
+
+TEST(FlagsTest, SpaceSeparatedForm) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--epochs", "7", "--dataset", "norb"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), 7);
+  EXPECT_EQ(flags.GetString("dataset"), "norb");
+}
+
+TEST(FlagsTest, BoolForms) {
+  {
+    Flags flags = MakeFlags();
+    ArgvBuilder args({"--verbose"});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+    EXPECT_TRUE(flags.GetBool("verbose"));
+  }
+  {
+    Flags flags = MakeFlags();
+    ArgvBuilder args({"--verbose", "--no-verbose"});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+    EXPECT_FALSE(flags.GetBool("verbose"));
+  }
+  {
+    Flags flags = MakeFlags();
+    ArgvBuilder args({"--verbose=true"});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+    EXPECT_TRUE(flags.GetBool("verbose"));
+  }
+  {
+    Flags flags = MakeFlags();
+    ArgvBuilder args({"--verbose=0"});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+    EXPECT_FALSE(flags.GetBool("verbose"));
+  }
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--bogus=1"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadIntegerIsError) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--epochs=abc"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, TrailingGarbageOnNumberIsError) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--epochs=5x"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--epochs"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"positional"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadBoolValueIsError) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--verbose=maybe"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, HelpReturnsFailedPrecondition) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--help"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsFailedPrecondition());
+}
+
+TEST(FlagsTest, UsageMentionsAllFlags) {
+  Flags flags = MakeFlags();
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--epochs"), std::string::npos);
+  EXPECT_NE(usage.find("--lr"), std::string::npos);
+  EXPECT_NE(usage.find("--dataset"), std::string::npos);
+  EXPECT_NE(usage.find("--no-verbose"), std::string::npos);
+}
+
+TEST(FlagsTest, NegativeNumbersParse) {
+  Flags flags = MakeFlags();
+  ArgvBuilder args({"--epochs=-3", "--lr=-0.5"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr"), -0.5);
+}
+
+}  // namespace
+}  // namespace sampnn

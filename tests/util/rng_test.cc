@@ -1,0 +1,179 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBound)];
+  // Each bucket should be within 10% of the expected count.
+  for (uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBound, kDraws / kBound * 0.10)
+        << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextFloatInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.NextFloat();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(RngTest, NextDoubleMomentsMatchUniform) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextDouble();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0 / 3.0, 0.01);
+}
+
+TEST(RngTest, NextUniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.NextUniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextGaussian(10.0f, 0.5f);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_FALSE(rng.NextBernoulli(-1.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_TRUE(rng.NextBernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(29);
+  Rng child = parent.Split();
+  // The child stream should not be a shifted copy of the parent's.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(31), b(31);
+  Rng ca = a.Split(), cb = b.Split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleHandlesSmallVectors) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, ShuffleIsRoughlyUniformOnFirstPosition) {
+  // Position 0 should receive each of the 5 values ~equally often.
+  std::vector<int> counts(5, 0);
+  Rng rng(43);
+  constexpr int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    rng.Shuffle(v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kTrials / 5, kTrials / 5 * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,124 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad thing");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(StatusTest, AllFactoryCodesMatch) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // shared state
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, MisuseWithOkCodeBecomesInternal) {
+  Status st(StatusCode::kOk, "should not happen");
+  EXPECT_TRUE(st.IsInternal());
+}
+
+TEST(StatusCodeToStringTest, CoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "Not implemented");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+namespace macros {
+
+Status Fails() { return Status::IOError("disk"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnNotOk(bool fail) {
+  SAMPNN_RETURN_NOT_OK(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+StatusOr<int> Source(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 5;
+}
+
+StatusOr<int> UseAssignOrReturn(bool fail) {
+  SAMPNN_ASSIGN_OR_RETURN(int x, Source(fail));
+  return x * 2;
+}
+
+}  // namespace macros
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(macros::UseReturnNotOk(false).ok());
+  EXPECT_TRUE(macros::UseReturnNotOk(true).IsIOError());
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  auto ok = macros::UseAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 10);
+  EXPECT_TRUE(macros::UseAssignOrReturn(true).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace sampnn
