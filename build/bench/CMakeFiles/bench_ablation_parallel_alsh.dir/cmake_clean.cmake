@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parallel_alsh.dir/bench_ablation_parallel_alsh.cpp.o"
+  "CMakeFiles/bench_ablation_parallel_alsh.dir/bench_ablation_parallel_alsh.cpp.o.d"
+  "bench_ablation_parallel_alsh"
+  "bench_ablation_parallel_alsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallel_alsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

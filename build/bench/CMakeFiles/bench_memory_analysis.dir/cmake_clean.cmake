@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_analysis.dir/bench_memory_analysis.cpp.o"
+  "CMakeFiles/bench_memory_analysis.dir/bench_memory_analysis.cpp.o.d"
+  "bench_memory_analysis"
+  "bench_memory_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

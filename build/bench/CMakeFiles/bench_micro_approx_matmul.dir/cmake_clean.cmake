@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_approx_matmul.dir/bench_micro_approx_matmul.cpp.o"
+  "CMakeFiles/bench_micro_approx_matmul.dir/bench_micro_approx_matmul.cpp.o.d"
+  "bench_micro_approx_matmul"
+  "bench_micro_approx_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_approx_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_micro_approx_matmul.
+# This may be replaced when dependencies are built.

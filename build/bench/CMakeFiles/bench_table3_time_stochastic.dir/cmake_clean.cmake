@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_time_stochastic.dir/bench_table3_time_stochastic.cpp.o"
+  "CMakeFiles/bench_table3_time_stochastic.dir/bench_table3_time_stochastic.cpp.o.d"
+  "bench_table3_time_stochastic"
+  "bench_table3_time_stochastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_time_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

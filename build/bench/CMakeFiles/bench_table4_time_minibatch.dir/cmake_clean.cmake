@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_time_minibatch.dir/bench_table4_time_minibatch.cpp.o"
+  "CMakeFiles/bench_table4_time_minibatch.dir/bench_table4_time_minibatch.cpp.o.d"
+  "bench_table4_time_minibatch"
+  "bench_table4_time_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_time_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

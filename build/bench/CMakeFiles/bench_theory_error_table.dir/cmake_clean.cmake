@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_error_table.dir/bench_theory_error_table.cpp.o"
+  "CMakeFiles/bench_theory_error_table.dir/bench_theory_error_table.cpp.o.d"
+  "bench_theory_error_table"
+  "bench_theory_error_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_error_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_image_classifier.dir/conv_image_classifier.cpp.o"
+  "CMakeFiles/conv_image_classifier.dir/conv_image_classifier.cpp.o.d"
+  "conv_image_classifier"
+  "conv_image_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_image_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

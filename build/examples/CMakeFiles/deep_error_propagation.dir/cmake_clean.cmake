@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_error_propagation.dir/deep_error_propagation.cpp.o"
+  "CMakeFiles/deep_error_propagation.dir/deep_error_propagation.cpp.o.d"
+  "deep_error_propagation"
+  "deep_error_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_error_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_personalization.dir/device_personalization.cpp.o"
+  "CMakeFiles/device_personalization.dir/device_personalization.cpp.o.d"
+  "device_personalization"
+  "device_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_selector.dir/method_selector.cpp.o"
+  "CMakeFiles/method_selector.dir/method_selector.cpp.o.d"
+  "method_selector"
+  "method_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_search.dir/mips_search.cpp.o"
+  "CMakeFiles/mips_search.dir/mips_search.cpp.o.d"
+  "mips_search"
+  "mips_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/adelman.cc" "src/CMakeFiles/sampnn.dir/approx/adelman.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/approx/adelman.cc.o.d"
+  "/root/repo/src/approx/approx_matmul.cc" "src/CMakeFiles/sampnn.dir/approx/approx_matmul.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/approx/approx_matmul.cc.o.d"
+  "/root/repo/src/approx/drineas.cc" "src/CMakeFiles/sampnn.dir/approx/drineas.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/approx/drineas.cc.o.d"
+  "/root/repo/src/approx/sampling.cc" "src/CMakeFiles/sampnn.dir/approx/sampling.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/approx/sampling.cc.o.d"
+  "/root/repo/src/cnn/conv2d.cc" "src/CMakeFiles/sampnn.dir/cnn/conv2d.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/cnn/conv2d.cc.o.d"
+  "/root/repo/src/cnn/conv_classifier.cc" "src/CMakeFiles/sampnn.dir/cnn/conv_classifier.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/cnn/conv_classifier.cc.o.d"
+  "/root/repo/src/cnn/feature_extractor.cc" "src/CMakeFiles/sampnn.dir/cnn/feature_extractor.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/cnn/feature_extractor.cc.o.d"
+  "/root/repo/src/core/alsh_trainer.cc" "src/CMakeFiles/sampnn.dir/core/alsh_trainer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/alsh_trainer.cc.o.d"
+  "/root/repo/src/core/dropout_trainer.cc" "src/CMakeFiles/sampnn.dir/core/dropout_trainer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/dropout_trainer.cc.o.d"
+  "/root/repo/src/core/error_propagation.cc" "src/CMakeFiles/sampnn.dir/core/error_propagation.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/error_propagation.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/sampnn.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/mc_trainer.cc" "src/CMakeFiles/sampnn.dir/core/mc_trainer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/mc_trainer.cc.o.d"
+  "/root/repo/src/core/method_selector.cc" "src/CMakeFiles/sampnn.dir/core/method_selector.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/method_selector.cc.o.d"
+  "/root/repo/src/core/standard_trainer.cc" "src/CMakeFiles/sampnn.dir/core/standard_trainer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/standard_trainer.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/sampnn.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/batcher.cc" "src/CMakeFiles/sampnn.dir/data/batcher.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/data/batcher.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/sampnn.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/idx_io.cc" "src/CMakeFiles/sampnn.dir/data/idx_io.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/data/idx_io.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/sampnn.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/lsh/alsh_transform.cc" "src/CMakeFiles/sampnn.dir/lsh/alsh_transform.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/lsh/alsh_transform.cc.o.d"
+  "/root/repo/src/lsh/hash_table.cc" "src/CMakeFiles/sampnn.dir/lsh/hash_table.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/lsh/hash_table.cc.o.d"
+  "/root/repo/src/lsh/mips.cc" "src/CMakeFiles/sampnn.dir/lsh/mips.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/lsh/mips.cc.o.d"
+  "/root/repo/src/lsh/srp_hash.cc" "src/CMakeFiles/sampnn.dir/lsh/srp_hash.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/lsh/srp_hash.cc.o.d"
+  "/root/repo/src/lsh/wta_hash.cc" "src/CMakeFiles/sampnn.dir/lsh/wta_hash.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/lsh/wta_hash.cc.o.d"
+  "/root/repo/src/metrics/accuracy.cc" "src/CMakeFiles/sampnn.dir/metrics/accuracy.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/metrics/accuracy.cc.o.d"
+  "/root/repo/src/metrics/confusion_matrix.cc" "src/CMakeFiles/sampnn.dir/metrics/confusion_matrix.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/metrics/confusion_matrix.cc.o.d"
+  "/root/repo/src/metrics/memory_tracker.cc" "src/CMakeFiles/sampnn.dir/metrics/memory_tracker.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/metrics/memory_tracker.cc.o.d"
+  "/root/repo/src/metrics/reporter.cc" "src/CMakeFiles/sampnn.dir/metrics/reporter.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/metrics/reporter.cc.o.d"
+  "/root/repo/src/metrics/split_timer.cc" "src/CMakeFiles/sampnn.dir/metrics/split_timer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/metrics/split_timer.cc.o.d"
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/sampnn.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/initializer.cc" "src/CMakeFiles/sampnn.dir/nn/initializer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/nn/initializer.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/sampnn.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/sampnn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/sampnn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/sampnn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/optim/adagrad.cc" "src/CMakeFiles/sampnn.dir/optim/adagrad.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/optim/adagrad.cc.o.d"
+  "/root/repo/src/optim/adam.cc" "src/CMakeFiles/sampnn.dir/optim/adam.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/optim/adam.cc.o.d"
+  "/root/repo/src/optim/factory.cc" "src/CMakeFiles/sampnn.dir/optim/factory.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/optim/factory.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/CMakeFiles/sampnn.dir/optim/sgd.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/optim/sgd.cc.o.d"
+  "/root/repo/src/tensor/kernels.cc" "src/CMakeFiles/sampnn.dir/tensor/kernels.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/tensor/kernels.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/sampnn.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/sampnn.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/sampnn.dir/util/env.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/util/env.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/sampnn.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/sampnn.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sampnn.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/util/status.cc.o.d"
+  "/root/repo/src/util/threadpool.cc" "src/CMakeFiles/sampnn.dir/util/threadpool.cc.o" "gcc" "src/CMakeFiles/sampnn.dir/util/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_approx_test.dir/approx/adelman_test.cc.o"
+  "CMakeFiles/sampnn_approx_test.dir/approx/adelman_test.cc.o.d"
+  "CMakeFiles/sampnn_approx_test.dir/approx/approx_matmul_test.cc.o"
+  "CMakeFiles/sampnn_approx_test.dir/approx/approx_matmul_test.cc.o.d"
+  "CMakeFiles/sampnn_approx_test.dir/approx/drineas_test.cc.o"
+  "CMakeFiles/sampnn_approx_test.dir/approx/drineas_test.cc.o.d"
+  "CMakeFiles/sampnn_approx_test.dir/approx/property_test.cc.o"
+  "CMakeFiles/sampnn_approx_test.dir/approx/property_test.cc.o.d"
+  "CMakeFiles/sampnn_approx_test.dir/approx/sampling_test.cc.o"
+  "CMakeFiles/sampnn_approx_test.dir/approx/sampling_test.cc.o.d"
+  "sampnn_approx_test"
+  "sampnn_approx_test.pdb"
+  "sampnn_approx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

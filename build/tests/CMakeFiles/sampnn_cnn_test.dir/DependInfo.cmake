@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cnn/conv2d_property_test.cc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_property_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_property_test.cc.o.d"
+  "/root/repo/tests/cnn/conv2d_test.cc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_test.cc.o.d"
+  "/root/repo/tests/cnn/conv_classifier_test.cc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/conv_classifier_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/conv_classifier_test.cc.o.d"
+  "/root/repo/tests/cnn/feature_extractor_test.cc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/feature_extractor_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_cnn_test.dir/cnn/feature_extractor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sampnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_property_test.cc.o"
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_property_test.cc.o.d"
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_test.cc.o"
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/conv2d_test.cc.o.d"
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/conv_classifier_test.cc.o"
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/conv_classifier_test.cc.o.d"
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/feature_extractor_test.cc.o"
+  "CMakeFiles/sampnn_cnn_test.dir/cnn/feature_extractor_test.cc.o.d"
+  "sampnn_cnn_test"
+  "sampnn_cnn_test.pdb"
+  "sampnn_cnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_cnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alsh_trainer_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/alsh_trainer_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/alsh_trainer_test.cc.o.d"
+  "/root/repo/tests/core/dropout_trainer_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/dropout_trainer_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/dropout_trainer_test.cc.o.d"
+  "/root/repo/tests/core/error_propagation_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/error_propagation_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/error_propagation_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/mc_trainer_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/mc_trainer_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/mc_trainer_test.cc.o.d"
+  "/root/repo/tests/core/method_selector_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/method_selector_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/method_selector_test.cc.o.d"
+  "/root/repo/tests/core/standard_trainer_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/standard_trainer_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/standard_trainer_test.cc.o.d"
+  "/root/repo/tests/core/trainer_test.cc" "tests/CMakeFiles/sampnn_core_test.dir/core/trainer_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_core_test.dir/core/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sampnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_core_test.dir/core/alsh_trainer_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/alsh_trainer_test.cc.o.d"
+  "CMakeFiles/sampnn_core_test.dir/core/dropout_trainer_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/dropout_trainer_test.cc.o.d"
+  "CMakeFiles/sampnn_core_test.dir/core/error_propagation_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/error_propagation_test.cc.o.d"
+  "CMakeFiles/sampnn_core_test.dir/core/experiment_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/experiment_test.cc.o.d"
+  "CMakeFiles/sampnn_core_test.dir/core/mc_trainer_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/mc_trainer_test.cc.o.d"
+  "CMakeFiles/sampnn_core_test.dir/core/method_selector_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/method_selector_test.cc.o.d"
+  "CMakeFiles/sampnn_core_test.dir/core/standard_trainer_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/standard_trainer_test.cc.o.d"
+  "CMakeFiles/sampnn_core_test.dir/core/trainer_test.cc.o"
+  "CMakeFiles/sampnn_core_test.dir/core/trainer_test.cc.o.d"
+  "sampnn_core_test"
+  "sampnn_core_test.pdb"
+  "sampnn_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

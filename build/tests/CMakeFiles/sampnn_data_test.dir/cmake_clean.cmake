@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_data_test.dir/data/batcher_test.cc.o"
+  "CMakeFiles/sampnn_data_test.dir/data/batcher_test.cc.o.d"
+  "CMakeFiles/sampnn_data_test.dir/data/dataset_test.cc.o"
+  "CMakeFiles/sampnn_data_test.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/sampnn_data_test.dir/data/idx_io_test.cc.o"
+  "CMakeFiles/sampnn_data_test.dir/data/idx_io_test.cc.o.d"
+  "CMakeFiles/sampnn_data_test.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/sampnn_data_test.dir/data/synthetic_test.cc.o.d"
+  "sampnn_data_test"
+  "sampnn_data_test.pdb"
+  "sampnn_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_integration_test.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/sampnn_integration_test.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/sampnn_integration_test.dir/integration/pipeline_test.cc.o"
+  "CMakeFiles/sampnn_integration_test.dir/integration/pipeline_test.cc.o.d"
+  "sampnn_integration_test"
+  "sampnn_integration_test.pdb"
+  "sampnn_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

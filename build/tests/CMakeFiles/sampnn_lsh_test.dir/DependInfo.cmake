@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lsh/alsh_transform_test.cc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/alsh_transform_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/alsh_transform_test.cc.o.d"
+  "/root/repo/tests/lsh/hash_table_test.cc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/hash_table_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/hash_table_test.cc.o.d"
+  "/root/repo/tests/lsh/mips_test.cc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/mips_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/mips_test.cc.o.d"
+  "/root/repo/tests/lsh/srp_hash_test.cc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/srp_hash_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/srp_hash_test.cc.o.d"
+  "/root/repo/tests/lsh/wta_hash_test.cc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/wta_hash_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_lsh_test.dir/lsh/wta_hash_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sampnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

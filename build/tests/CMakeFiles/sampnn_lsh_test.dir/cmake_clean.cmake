@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/alsh_transform_test.cc.o"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/alsh_transform_test.cc.o.d"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/hash_table_test.cc.o"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/hash_table_test.cc.o.d"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/mips_test.cc.o"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/mips_test.cc.o.d"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/srp_hash_test.cc.o"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/srp_hash_test.cc.o.d"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/wta_hash_test.cc.o"
+  "CMakeFiles/sampnn_lsh_test.dir/lsh/wta_hash_test.cc.o.d"
+  "sampnn_lsh_test"
+  "sampnn_lsh_test.pdb"
+  "sampnn_lsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

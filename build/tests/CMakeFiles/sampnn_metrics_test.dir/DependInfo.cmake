@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/accuracy_test.cc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/accuracy_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/accuracy_test.cc.o.d"
+  "/root/repo/tests/metrics/confusion_matrix_test.cc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/confusion_matrix_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/confusion_matrix_test.cc.o.d"
+  "/root/repo/tests/metrics/memory_tracker_test.cc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/memory_tracker_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/memory_tracker_test.cc.o.d"
+  "/root/repo/tests/metrics/reporter_test.cc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/reporter_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/reporter_test.cc.o.d"
+  "/root/repo/tests/metrics/split_timer_test.cc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/split_timer_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_metrics_test.dir/metrics/split_timer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sampnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

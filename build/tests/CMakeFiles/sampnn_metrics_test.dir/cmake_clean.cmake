@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/accuracy_test.cc.o"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/accuracy_test.cc.o.d"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/confusion_matrix_test.cc.o"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/confusion_matrix_test.cc.o.d"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/memory_tracker_test.cc.o"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/memory_tracker_test.cc.o.d"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/reporter_test.cc.o"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/reporter_test.cc.o.d"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/split_timer_test.cc.o"
+  "CMakeFiles/sampnn_metrics_test.dir/metrics/split_timer_test.cc.o.d"
+  "sampnn_metrics_test"
+  "sampnn_metrics_test.pdb"
+  "sampnn_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activation_test.cc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/activation_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/activation_test.cc.o.d"
+  "/root/repo/tests/nn/initializer_test.cc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/initializer_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/initializer_test.cc.o.d"
+  "/root/repo/tests/nn/loss_test.cc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/loss_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/loss_test.cc.o.d"
+  "/root/repo/tests/nn/mlp_test.cc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/mlp_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/mlp_test.cc.o.d"
+  "/root/repo/tests/nn/serialize_test.cc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/serialize_test.cc.o" "gcc" "tests/CMakeFiles/sampnn_nn_test.dir/nn/serialize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sampnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_nn_test.dir/nn/activation_test.cc.o"
+  "CMakeFiles/sampnn_nn_test.dir/nn/activation_test.cc.o.d"
+  "CMakeFiles/sampnn_nn_test.dir/nn/initializer_test.cc.o"
+  "CMakeFiles/sampnn_nn_test.dir/nn/initializer_test.cc.o.d"
+  "CMakeFiles/sampnn_nn_test.dir/nn/loss_test.cc.o"
+  "CMakeFiles/sampnn_nn_test.dir/nn/loss_test.cc.o.d"
+  "CMakeFiles/sampnn_nn_test.dir/nn/mlp_test.cc.o"
+  "CMakeFiles/sampnn_nn_test.dir/nn/mlp_test.cc.o.d"
+  "CMakeFiles/sampnn_nn_test.dir/nn/serialize_test.cc.o"
+  "CMakeFiles/sampnn_nn_test.dir/nn/serialize_test.cc.o.d"
+  "sampnn_nn_test"
+  "sampnn_nn_test.pdb"
+  "sampnn_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

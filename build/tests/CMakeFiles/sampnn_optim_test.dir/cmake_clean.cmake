@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_optim_test.dir/optim/optimizer_test.cc.o"
+  "CMakeFiles/sampnn_optim_test.dir/optim/optimizer_test.cc.o.d"
+  "sampnn_optim_test"
+  "sampnn_optim_test.pdb"
+  "sampnn_optim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_optim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_tensor_test.dir/tensor/kernels_test.cc.o"
+  "CMakeFiles/sampnn_tensor_test.dir/tensor/kernels_test.cc.o.d"
+  "CMakeFiles/sampnn_tensor_test.dir/tensor/matrix_test.cc.o"
+  "CMakeFiles/sampnn_tensor_test.dir/tensor/matrix_test.cc.o.d"
+  "sampnn_tensor_test"
+  "sampnn_tensor_test.pdb"
+  "sampnn_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampnn_util_test.dir/util/csv_test.cc.o"
+  "CMakeFiles/sampnn_util_test.dir/util/csv_test.cc.o.d"
+  "CMakeFiles/sampnn_util_test.dir/util/env_test.cc.o"
+  "CMakeFiles/sampnn_util_test.dir/util/env_test.cc.o.d"
+  "CMakeFiles/sampnn_util_test.dir/util/flags_test.cc.o"
+  "CMakeFiles/sampnn_util_test.dir/util/flags_test.cc.o.d"
+  "CMakeFiles/sampnn_util_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/sampnn_util_test.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/sampnn_util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/sampnn_util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/sampnn_util_test.dir/util/threadpool_test.cc.o"
+  "CMakeFiles/sampnn_util_test.dir/util/threadpool_test.cc.o.d"
+  "sampnn_util_test"
+  "sampnn_util_test.pdb"
+  "sampnn_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampnn_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sampnn_util_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_nn_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_optim_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_lsh_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_approx_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_cnn_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_data_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_core_test[1]_include.cmake")
+include("/root/repo/build/tests/sampnn_integration_test[1]_include.cmake")
