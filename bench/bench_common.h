@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "src/core/experiment.h"
@@ -28,7 +29,8 @@ inline void AddCommonFlags(Flags* flags) {
   flags->AddInt("hidden", GetEnvIntOr("SAMPNN_HIDDEN", 128),
                 "hidden units per layer (paper: 1000); env SAMPNN_HIDDEN");
   flags->AddInt("seed", 42, "experiment seed");
-  flags->AddString("out", "", "CSV output path ('' = <bench>.csv in cwd)");
+  flags->AddString("out", "",
+                   "CSV output path ('' = results/<bench>.csv)");
   flags->AddBool("verbose", false, "per-epoch progress on stderr");
 }
 
@@ -40,10 +42,15 @@ inline bool ParseOrHelp(Flags* flags, int argc, char** argv) {
   return true;
 }
 
-/// CSV path for a bench: --out if set, else "<name>.csv".
+/// CSV path for a bench: --out if set, else "results/<name>.csv". The
+/// results/ convention keeps bench outputs tracked in one place (loose
+/// CSVs elsewhere are gitignored).
 inline std::string CsvPath(const Flags& flags, const std::string& name) {
   const std::string out = flags.GetString("out");
-  return out.empty() ? name + ".csv" : out;
+  if (!out.empty()) return out;
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);  // best-effort
+  return "results/" + name + ".csv";
 }
 
 /// Loads a benchmark dataset at the configured scale; aborts on error.

@@ -73,8 +73,14 @@ int main(int argc, char** argv) {
       ExperimentResult result = RunPaperExperiment(
           data, TrainerKind::kMc, depth, 20,
           static_cast<size_t>(flags.GetInt("epochs-m")), flags);
-      row[slot++] = "d" + std::to_string(depth) + ": " +
-                    TableReporter::Cell(100.0 * result.final_test_accuracy, 1);
+      // Built left-to-right from an lvalue string: the rvalue
+      // operator+(const char*, string&&) overload trips a GCC 12
+      // -Wrestrict false positive (PR105651) under -Werror.
+      std::string cell = "d";
+      cell += std::to_string(depth);
+      cell += ": ";
+      cell += TableReporter::Cell(100.0 * result.final_test_accuracy, 1);
+      row[slot++] = std::move(cell);
       csv.WriteRow({"MC-approx^M", std::to_string(depth),
                     CsvWriter::Num(result.final_test_accuracy)});
     }

@@ -1,0 +1,50 @@
+# Sanitizer wiring for sampnn.
+#
+# Usage: configure with -DSAMPNN_SANITIZE="address;undefined" (or "thread",
+# or "" for none). The CMakePresets.json `asan-ubsan` and `tsan` presets set
+# this for you. Sanitizers apply to every target in the build so the static
+# library and the tests agree on the instrumented ABI.
+#
+# ASan/UBSan and TSan are mutually exclusive (they disagree about the
+# shadow-memory layout); configuring both is an error here rather than a
+# mysterious crash at load time.
+
+set(SAMPNN_SANITIZE "" CACHE STRING
+    "Semicolon- or comma-separated sanitizers: address, undefined, leak, thread")
+
+if(NOT SAMPNN_SANITIZE)
+  return()
+endif()
+
+string(REPLACE "," ";" _sampnn_sanitizers "${SAMPNN_SANITIZE}")
+
+set(_sampnn_have_thread FALSE)
+set(_sampnn_have_addr FALSE)
+foreach(_san IN LISTS _sampnn_sanitizers)
+  if(_san STREQUAL "thread")
+    set(_sampnn_have_thread TRUE)
+  elseif(_san STREQUAL "address" OR _san STREQUAL "leak")
+    set(_sampnn_have_addr TRUE)
+  elseif(NOT _san STREQUAL "undefined")
+    message(FATAL_ERROR "SAMPNN_SANITIZE: unknown sanitizer '${_san}' "
+                        "(expected address, undefined, leak, or thread)")
+  endif()
+endforeach()
+
+if(_sampnn_have_thread AND _sampnn_have_addr)
+  message(FATAL_ERROR "SAMPNN_SANITIZE: thread cannot be combined with "
+                      "address/leak (incompatible shadow memory)")
+endif()
+
+string(REPLACE ";" "," _sampnn_fsanitize "${_sampnn_sanitizers}")
+message(STATUS "sampnn: building with -fsanitize=${_sampnn_fsanitize}")
+
+# -fno-sanitize-recover turns every UBSan report into a hard failure so
+# `ctest` cannot pass while UB is being diagnosed. Frame pointers keep the
+# sanitizer backtraces usable at -O1/-O2.
+add_compile_options(
+  -fsanitize=${_sampnn_fsanitize}
+  -fno-omit-frame-pointer
+  -fno-sanitize-recover=all
+)
+add_link_options(-fsanitize=${_sampnn_fsanitize})

@@ -21,4 +21,4 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   "$b" 2>/dev/null | tee -a "$OUT"
   echo | tee -a "$OUT"
 done
-echo "done; tables in $OUT, CSVs in $(pwd)"
+echo "done; tables in $OUT, CSVs under $(pwd)/results"

@@ -54,7 +54,12 @@ void SelectAndScale(const std::vector<double>& scores, size_t k, Rng& rng,
   BernoulliSample(probs, rng, selected);
   scales->resize(selected->size());
   for (size_t s = 0; s < selected->size(); ++s) {
-    (*scales)[s] = static_cast<float>(1.0 / probs[(*selected)[s]]);
+    const uint32_t i = (*selected)[s];
+    // BernoulliSample only emits indices with p > 0, so the inverse scale
+    // is finite; the bound guards the scores/probs size contract.
+    SAMPNN_DCHECK_BOUNDS(i, probs.size());
+    SAMPNN_DCHECK_GT(probs[i], 0.0);
+    (*scales)[s] = static_cast<float>(1.0 / probs[i]);
   }
 }
 

@@ -27,6 +27,7 @@ const char* MatmulSchemeToString(MatmulScheme scheme) {
 
 Status SchemeMatmul(MatmulScheme scheme, const Matrix& a, const Matrix& b,
                     size_t k, Rng& rng, Matrix* out) {
+  SAMPNN_CHECK(out != nullptr);
   switch (scheme) {
     case MatmulScheme::kExact: {
       if (a.cols() != b.rows()) {

@@ -41,6 +41,7 @@ Status DrineasApproxMatmul(const Matrix& a, const Matrix& b,
   const float* bd = b.data();
   for (size_t s = 0; s < c; ++s) {
     const uint32_t i = table.Sample(rng);
+    SAMPNN_DCHECK_BOUNDS(i, a.cols());
     const double pi = table.Probability(i);
     if (pi <= 0.0) continue;  // unreachable under a valid alias table
     const float scale = static_cast<float>(1.0 / (static_cast<double>(c) * pi));

@@ -58,9 +58,13 @@ StatusOr<AliasTable> AliasTable::Create(std::span<const double> probs) {
 }
 
 uint32_t AliasTable::Sample(Rng& rng) const {
+  SAMPNN_DCHECK(!thresholds_.empty());
   const uint32_t cell =
       static_cast<uint32_t>(rng.NextBounded(thresholds_.size()));
-  return rng.NextDouble() < thresholds_[cell] ? cell : alias_[cell];
+  const uint32_t pick =
+      rng.NextDouble() < thresholds_[cell] ? cell : alias_[cell];
+  SAMPNN_DCHECK_BOUNDS(pick, probs_.size());
+  return pick;
 }
 
 std::vector<double> WaterFillProbabilities(std::span<const double> scores,
@@ -121,6 +125,8 @@ void BernoulliSample(std::span<const double> probs, Rng& rng,
   SAMPNN_CHECK(out != nullptr);
   out->clear();
   for (size_t i = 0; i < probs.size(); ++i) {
+    SAMPNN_DCHECK_MSG(probs[i] >= 0.0 && probs[i] <= 1.0,
+                      "BernoulliSample: probability outside [0, 1]");
     if (rng.NextBernoulli(probs[i])) out->push_back(static_cast<uint32_t>(i));
   }
 }

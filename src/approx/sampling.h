@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -30,7 +31,10 @@ class AliasTable {
   uint32_t Sample(Rng& rng) const;
 
   /// Probability of index i as encoded by the table.
-  double Probability(uint32_t i) const { return probs_[i]; }
+  double Probability(uint32_t i) const {
+    SAMPNN_DCHECK_BOUNDS(i, probs_.size());
+    return probs_[i];
+  }
 
   size_t size() const { return probs_.size(); }
 

@@ -312,8 +312,18 @@ void AlshTrainer::MaybeRebuild() {
   if (samples_seen_ - samples_at_last_rebuild_ < period) return;
   samples_at_last_rebuild_ = samples_seen_;
   SplitTimer::Scope scope(&timer_, kPhaseHashRebuild);
-  for (size_t k = 0; k < indexes_.size(); ++k) {
-    indexes_[k].Build(net_.layer(k).weights());
+  if (pool_ != nullptr && indexes_.size() > 1) {
+    // Per-layer indexes are independent and the weights are read-only
+    // during a rebuild, so the L-table reconstruction parallelizes cleanly
+    // across layers (unlike the HOGWILD sample loop, this path is
+    // race-free and runs under TSan in CI).
+    pool_->ParallelFor(indexes_.size(), [this](size_t k) {
+      indexes_[k].Build(net_.layer(k).weights());
+    });
+  } else {
+    for (size_t k = 0; k < indexes_.size(); ++k) {
+      indexes_[k].Build(net_.layer(k).weights());
+    }
   }
 }
 

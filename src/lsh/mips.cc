@@ -9,7 +9,8 @@ namespace sampnn {
 namespace {
 
 float ColumnDot(const Matrix& m, size_t col, std::span<const float> x) {
-  SAMPNN_DCHECK(x.size() == m.rows());
+  SAMPNN_DCHECK_EQ(x.size(), m.rows());
+  SAMPNN_DCHECK_BOUNDS(col, m.cols());
   const size_t n = m.cols();
   const float* d = m.data() + col;
   float acc = 0.0f;

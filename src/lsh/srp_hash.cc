@@ -17,7 +17,7 @@ StatusOr<SrpHash> SrpHash::Create(size_t dim, size_t bits, Rng& rng) {
 }
 
 uint32_t SrpHash::Hash(std::span<const float> x) const {
-  SAMPNN_DCHECK(x.size() == dim_);
+  SAMPNN_DCHECK_EQ(x.size(), dim_);
   uint32_t code = 0;
   const float* p = planes_.data();
   for (size_t b = 0; b < bits_; ++b, p += dim_) {

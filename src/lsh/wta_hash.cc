@@ -32,7 +32,7 @@ StatusOr<WtaHash> WtaHash::Create(size_t dim, size_t subhashes, size_t window,
 }
 
 uint32_t WtaHash::Hash(std::span<const float> x) const {
-  SAMPNN_DCHECK(x.size() == dim_);
+  SAMPNN_DCHECK_EQ(x.size(), dim_);
   const size_t bits_per = bits_ / subhashes_;
   uint32_t code = 0;
   const uint32_t* w = coords_.data();

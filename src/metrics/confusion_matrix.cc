@@ -101,17 +101,17 @@ std::string ConfusionMatrix::ToString() const {
   std::ostringstream os;
   os << "pred→  ";
   for (size_t j = 0; j < n_; ++j) {
-    char buf[16];
+    char buf[32];
     std::snprintf(buf, sizeof(buf), "%6zu", j);
     os << buf;
   }
   os << "\n";
   for (size_t i = 0; i < n_; ++i) {
-    char head[16];
+    char head[32];
     std::snprintf(head, sizeof(head), "true %2zu", i);
     os << head;
     for (size_t j = 0; j < n_; ++j) {
-      char buf[16];
+      char buf[32];
       std::snprintf(buf, sizeof(buf), "%6llu",
                     static_cast<unsigned long long>(counts_[i * n_ + j]));
       os << buf;

@@ -23,6 +23,8 @@ void Layer::ForwardLinear(const Matrix& input, Matrix* z) const {
 }
 
 void Layer::ForwardLinear(std::span<const float> x, std::span<float> z) const {
+  SAMPNN_DCHECK_EQ(x.size(), in_dim());
+  SAMPNN_DCHECK_EQ(z.size(), out_dim());
   VecMat(x, weights_, bias_, z);
 }
 
@@ -36,6 +38,7 @@ void Layer::Activate(const Matrix& z, Matrix* a) const {
 }
 
 void Layer::Activate(std::span<const float> z, std::span<float> a) const {
+  SAMPNN_DCHECK_EQ(z.size(), a.size());
   ApplyActivation(act_, z, a);
 }
 

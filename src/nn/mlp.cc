@@ -81,8 +81,10 @@ void Mlp::Backward(const Matrix& input, const MlpWorkspace& ws,
                    const Matrix& grad_logits, MlpGrads* grads) const {
   SAMPNN_CHECK(grads != nullptr);
   SAMPNN_CHECK_EQ(ws.z.size(), layers_.size());
+  SAMPNN_CHECK_EQ(ws.a.size(), layers_.size());
   SAMPNN_CHECK_EQ(grad_logits.rows(), input.rows());
   SAMPNN_CHECK_EQ(grad_logits.cols(), output_dim());
+  SAMPNN_DCHECK_EQ(input.cols(), input_dim());
   if (grads->size() != layers_.size()) *grads = ZeroGrads();
 
   // delta starts as dL/dlogits; the output layer is linear so f'(z) = 1.

@@ -169,7 +169,7 @@ void VecMatCols(std::span<const float> x, const Matrix& w,
   SAMPNN_CHECK_EQ(y.size(), n);
   const float* wd = w.data();
   for (uint32_t j : cols) {
-    SAMPNN_DCHECK(j < n);
+    SAMPNN_DCHECK_BOUNDS(j, n);
     float acc = bias.empty() ? 0.0f : bias[j];
     const float* col = wd + j;
     for (size_t i = 0; i < k; ++i) acc += x[i] * col[i * n];
@@ -179,12 +179,13 @@ void VecMatCols(std::span<const float> x, const Matrix& w,
 
 float SparseDot(std::span<const float> x, const Matrix& w, size_t col,
                 std::span<const uint32_t> rows) {
-  SAMPNN_DCHECK(col < w.cols());
+  SAMPNN_DCHECK_BOUNDS(col, w.cols());
+  SAMPNN_DCHECK_EQ(x.size(), w.rows());
   const size_t n = w.cols();
   const float* wd = w.data();
   float acc = 0.0f;
   for (uint32_t i : rows) {
-    SAMPNN_DCHECK(i < w.rows());
+    SAMPNN_DCHECK_BOUNDS(i, w.rows());
     acc += x[i] * wd[i * n + col];
   }
   return acc;
@@ -198,7 +199,7 @@ void BackpropActiveCols(std::span<const float> delta, const Matrix& w,
   SAMPNN_CHECK_EQ(delta_prev.size(), k);
   const float* wd = w.data();
   for (uint32_t j : cols) {
-    SAMPNN_DCHECK(j < n);
+    SAMPNN_DCHECK_BOUNDS(j, n);
     const float dv = delta[j];
     if (dv == 0.0f) continue;
     const float* col = wd + j;
@@ -217,7 +218,7 @@ void SparseOuterUpdate(std::span<const float> a_prev,
   SAMPNN_CHECK_EQ(bias.size(), n);
   float* wd = w->data();
   for (uint32_t j : cols) {
-    SAMPNN_DCHECK(j < n);
+    SAMPNN_DCHECK_BOUNDS(j, n);
     const float step = lr * delta[j];
     if (step == 0.0f) continue;
     float* col = wd + j;

@@ -7,7 +7,12 @@
 namespace sampnn {
 
 Matrix::Matrix(size_t rows, size_t cols)
-    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+  // rows * cols must not wrap: a silent overflow here would produce an
+  // undersized buffer that every unchecked accessor then overruns.
+  SAMPNN_CHECK_MSG(cols == 0 || rows <= data_.max_size() / cols,
+                   "Matrix dimensions overflow size_t");
+}
 
 StatusOr<Matrix> Matrix::FromVector(size_t rows, size_t cols,
                                     std::vector<float> data) {

@@ -56,22 +56,24 @@ class Matrix {
 
   /// Element access (unchecked in release builds).
   float& operator()(size_t i, size_t j) {
-    SAMPNN_DCHECK(i < rows_ && j < cols_);
+    SAMPNN_DCHECK_BOUNDS(i, rows_);
+    SAMPNN_DCHECK_BOUNDS(j, cols_);
     return data_[i * cols_ + j];
   }
   float operator()(size_t i, size_t j) const {
-    SAMPNN_DCHECK(i < rows_ && j < cols_);
+    SAMPNN_DCHECK_BOUNDS(i, rows_);
+    SAMPNN_DCHECK_BOUNDS(j, cols_);
     return data_[i * cols_ + j];
   }
 
   /// Mutable view of row i.
   std::span<float> Row(size_t i) {
-    SAMPNN_DCHECK(i < rows_);
+    SAMPNN_DCHECK_BOUNDS(i, rows_);
     return {data_.data() + i * cols_, cols_};
   }
   /// Const view of row i.
   std::span<const float> Row(size_t i) const {
-    SAMPNN_DCHECK(i < rows_);
+    SAMPNN_DCHECK_BOUNDS(i, rows_);
     return {data_.data() + i * cols_, cols_};
   }
 

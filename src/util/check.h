@@ -39,11 +39,38 @@ namespace sampnn::internal {
 #define SAMPNN_CHECK_GT(a, b) SAMPNN_CHECK((a) > (b))
 #define SAMPNN_CHECK_GE(a, b) SAMPNN_CHECK((a) >= (b))
 
-/// Debug-only check (compiled out in NDEBUG builds); use on hot paths.
+// Debug-only checks (compiled out in NDEBUG builds); use on hot paths —
+// per-element accessors, inner-loop index math, per-sample invariants.
+// Policy: SAMPNN_CHECK guards cold-path invariants (per-batch shapes, API
+// preconditions) and is always on; SAMPNN_DCHECK guards invariants whose
+// cost would be visible in the kernels the paper benchmarks. Sanitizer
+// presets build without NDEBUG, so every DCHECK is live under ASan/UBSan
+// and TSan.
+//
+// In NDEBUG builds the condition is not evaluated, but it stays inside a
+// sizeof so the expression is still compiled (no bit-rot, no
+// unused-variable warnings for check-only locals).
 #ifdef NDEBUG
-#define SAMPNN_DCHECK(cond) \
-  do {                      \
+#define SAMPNN_DCHECK(cond)               \
+  do {                                    \
+    (void)sizeof((cond) ? 1 : 0);         \
+  } while (false)
+#define SAMPNN_DCHECK_MSG(cond, msg)      \
+  do {                                    \
+    (void)sizeof((cond) ? 1 : 0);         \
+    (void)sizeof(msg);                    \
   } while (false)
 #else
 #define SAMPNN_DCHECK(cond) SAMPNN_CHECK(cond)
+#define SAMPNN_DCHECK_MSG(cond, msg) SAMPNN_CHECK_MSG(cond, msg)
 #endif
+
+#define SAMPNN_DCHECK_EQ(a, b) SAMPNN_DCHECK((a) == (b))
+#define SAMPNN_DCHECK_NE(a, b) SAMPNN_DCHECK((a) != (b))
+#define SAMPNN_DCHECK_LT(a, b) SAMPNN_DCHECK((a) < (b))
+#define SAMPNN_DCHECK_LE(a, b) SAMPNN_DCHECK((a) <= (b))
+#define SAMPNN_DCHECK_GT(a, b) SAMPNN_DCHECK((a) > (b))
+#define SAMPNN_DCHECK_GE(a, b) SAMPNN_DCHECK((a) >= (b))
+
+/// Bounds DCHECK for index math: asserts 0 <= (i) < (n) for unsigned `i`.
+#define SAMPNN_DCHECK_BOUNDS(i, n) SAMPNN_DCHECK((i) < (n))

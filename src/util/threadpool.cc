@@ -1,6 +1,7 @@
 #include "src/util/threadpool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -9,8 +10,20 @@ namespace sampnn {
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  try {
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (...) {
+    // Partial construction: release the workers that did start, or their
+    // joinable std::thread destructors would terminate the process.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    task_available_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
   }
 }
 
@@ -19,6 +32,9 @@ ThreadPool::~ThreadPool() {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
   }
+  // Workers drain the queue before honoring shutdown (see WorkerLoop), so
+  // tasks queued before this point all run; notify_all wakes every idle
+  // worker so none sleeps through its own shutdown.
   task_available_.notify_all();
   for (auto& w : workers_) w.join();
 }
@@ -35,23 +51,54 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  // Private completion latch: ParallelFor must not return while its chunks
+  // are still running (the caller's `fn` would dangle), and must not wait on
+  // unrelated tasks from concurrent callers.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending = 0;
+    std::exception_ptr error;
+  } latch;
   const size_t chunks = std::min(n, workers_.size() * 4);
   const size_t per_chunk = (n + chunks - 1) / chunks;
+  {
+    std::unique_lock<std::mutex> lock(latch.mu);
+    latch.pending = (n + per_chunk - 1) / per_chunk;
+  }
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(n, begin + per_chunk);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
+    Submit([begin, end, &fn, &latch] {
+      try {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(latch.mu);
+        if (!latch.error) latch.error = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(latch.mu);
+      if (--latch.pending == 0) latch.done.notify_all();
     });
   }
-  Wait();
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(latch.mu);
+    latch.done.wait(lock, [&latch] { return latch.pending == 0; });
+    err = std::exchange(latch.error, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -59,17 +106,21 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown_ is set and the queue is dry
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = std::move(err);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,20 +17,34 @@ namespace sampnn {
 /// \brief Fixed-size thread pool with a blocking Wait() barrier.
 ///
 /// Tasks are arbitrary std::function<void()>. Submission is thread-safe.
-/// Destruction waits for queued tasks to finish.
+///
+/// Shutdown ordering: the destructor first drains the queue — every task
+/// submitted before destruction runs to completion — and only then lets the
+/// workers exit and joins them. Queued-but-unstarted tasks are never
+/// dropped, and destruction cannot deadlock on them.
+///
+/// Exception safety: a task that throws does not take the process down and
+/// cannot wedge the completion count. The first exception is captured and
+/// rethrown from the next Wait(); later exceptions from the same batch are
+/// discarded. Exceptions still pending at destruction are swallowed — call
+/// Wait() before destroying the pool if you need them.
 class ThreadPool {
  public:
-  /// Creates a pool with `num_threads` workers (at least 1).
+  /// Creates a pool with `num_threads` workers (at least 1). If thread
+  /// creation fails partway, already-started workers are shut down and
+  /// joined before the exception escapes.
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. It is a programmer error (checked) to
+  /// submit after destruction has begun.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed, then rethrows the
+  /// first exception any of them raised (if any).
   void Wait();
 
   /// Number of worker threads.
@@ -37,6 +52,9 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Work is handed out in contiguous chunks to limit queue contention.
+  /// Completion is tracked by a private latch, so concurrent ParallelFor
+  /// calls from different threads do not wait on each other's work. If `fn`
+  /// throws, the first exception is rethrown here after all chunks finish.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
@@ -47,8 +65,9 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  size_t in_flight_ = 0;   // guarded by mu_
+  bool shutdown_ = false;  // guarded by mu_
+  std::exception_ptr first_error_;  // guarded by mu_
 };
 
 }  // namespace sampnn

@@ -55,7 +55,9 @@ TEST_P(WaterFillPropertyTest, InvariantsHoldForRandomScores) {
           std::accumulate(scores.begin(), scores.end(), 0.0);
       if (total > 0.0) {
         for (size_t i = 0; i < n; ++i) {
-          if (scores[i] == 0.0) EXPECT_EQ(probs[i], 0.0);
+          if (scores[i] == 0.0) {
+            EXPECT_EQ(probs[i], 0.0);
+          }
         }
       }
     }

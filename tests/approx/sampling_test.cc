@@ -121,7 +121,9 @@ TEST(WaterFillTest, MonotoneInScores) {
   const auto p = WaterFillProbabilities(scores, 2);
   for (size_t i = 0; i < scores.size(); ++i) {
     for (size_t j = 0; j < scores.size(); ++j) {
-      if (scores[i] < scores[j]) EXPECT_LE(p[i], p[j] + 1e-12);
+      if (scores[i] < scores[j]) {
+        EXPECT_LE(p[i], p[j] + 1e-12);
+      }
     }
   }
 }
