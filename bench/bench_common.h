@@ -11,12 +11,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "src/core/experiment.h"
 #include "src/data/synthetic.h"
 #include "src/metrics/reporter.h"
+#include "src/telemetry/epoch_recorder.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
 #include "src/util/env.h"
 #include "src/util/flags.h"
 
@@ -32,6 +37,37 @@ inline void AddCommonFlags(Flags* flags) {
   flags->AddString("out", "",
                    "CSV output path ('' = results/<bench>.csv)");
   flags->AddBool("verbose", false, "per-epoch progress on stderr");
+  flags->AddBool("telemetry", GetEnvIntOr("SAMPNN_TELEMETRY", 0) != 0,
+                 "dump results/<bench>.trace.json + .telemetry.jsonl; "
+                 "env SAMPNN_TELEMETRY=1");
+}
+
+/// Enables telemetry when requested (--telemetry / SAMPNN_TELEMETRY=1):
+/// installs a process-global JSONL recorder and registers an exit hook that
+/// flushes results/<program>.telemetry.jsonl and dumps the span ring to
+/// results/<program>.trace.json (chrome://tracing / Perfetto format). Called
+/// from Banner(), so individual benches need no telemetry code. Idempotent;
+/// a no-op when the flag is off, so disabled runs stay on the
+/// TelemetryEnabled() == false fast path throughout.
+inline void InitTelemetry(const Flags& flags) {
+  if (!flags.GetBool("telemetry")) return;
+  static std::unique_ptr<EpochRecorder> recorder;
+  static std::string trace_path;
+  if (recorder != nullptr) return;
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);  // best-effort
+  const std::string base = "results/" + flags.program();
+  recorder = std::make_unique<EpochRecorder>(
+      std::move(MakeSink(base + ".telemetry.jsonl"))
+          .ValueOrDie("telemetry sink"));
+  recorder->SetRunLabel(flags.program());
+  SetGlobalEpochRecorder(recorder.get());
+  trace_path = base + ".trace.json";
+  SetTelemetryEnabled(true);
+  std::atexit([] {
+    recorder->Flush().Abort("telemetry flush");
+    TraceRecorder::Get().WriteChromeTrace(trace_path).Abort("trace dump");
+  });
 }
 
 /// Parses flags, handling --help; aborts on error. Returns false on --help.
@@ -80,8 +116,16 @@ inline ExperimentResult RunPaperExperiment(const DatasetSplits& data,
       .ValueOrDie(std::string("experiment ") + TrainerKindToString(kind));
 }
 
-/// Prints the standard bench banner.
+/// Prints the standard bench banner and initializes telemetry output.
+///
+/// Timing-overhead note (micro-benchmarked in bench_micro_telemetry):
+/// SplitTimer::Scope with interned const char* labels costs two steady_clock
+/// reads plus a <= 6-entry pointer-compare scan (tens of ns); the previous
+/// std::string + std::map implementation allocated per scope, which at
+/// batch 1 was a measurable fraction of a small layer's step. With telemetry
+/// disabled the extra PhaseScope span is a single relaxed atomic load.
 inline void Banner(const std::string& artifact, const Flags& flags) {
+  InitTelemetry(flags);
   std::printf("[sampnn bench] %s | scale=%lld hidden=%lld (paper: scale=1 "
               "hidden=1000)\n",
               artifact.c_str(), flags.GetInt("scale"), flags.GetInt("hidden"));

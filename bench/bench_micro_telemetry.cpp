@@ -1,0 +1,109 @@
+// Micro benchmarks for the observability substrate: the disabled-path cost
+// that every training step pays (a relaxed atomic load), the enabled-path
+// cost of counters/histograms/spans, and the SplitTimer::Scope hot path the
+// trainers charge per batch (see the overhead note in bench_common.h).
+
+#include <benchmark/benchmark.h>
+
+#include "src/metrics/split_timer.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
+
+namespace sampnn {
+namespace {
+
+void BM_SplitTimerScope(benchmark::State& state) {
+  // The per-batch trainer pattern: one scope per phase, interned label.
+  SplitTimer timer;
+  for (auto _ : state) {
+    SplitTimer::Scope scope(&timer, kPhaseForward);
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_SplitTimerScope);
+
+void BM_SplitTimerScopeManyPhases(benchmark::State& state) {
+  // Worst-case linear scan: the label is the last of six entries.
+  SplitTimer timer;
+  timer.Add(kPhaseForward, 0.0);
+  timer.Add(kPhaseBackward, 0.0);
+  timer.Add(kPhaseSampling, 0.0);
+  timer.Add(kPhaseHashRebuild, 0.0);
+  timer.Add("parallel", 0.0);
+  timer.Add("conv_forward", 0.0);
+  for (auto _ : state) {
+    SplitTimer::Scope scope(&timer, "conv_forward");
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_SplitTimerScopeManyPhases);
+
+void BM_TelemetryEnabledCheck(benchmark::State& state) {
+  // The guard every instrumented kernel runs when telemetry is off.
+  SetTelemetryEnabled(false);
+  for (auto _ : state) {
+    bool enabled = TelemetryEnabled();
+    benchmark::DoNotOptimize(enabled);
+  }
+}
+BENCHMARK(BM_TelemetryEnabledCheck);
+
+void BM_CounterAdd(benchmark::State& state) {
+  SetTelemetryEnabled(true);
+  Counter& c = MetricsRegistry::Get().GetCounter("bench.counter");
+  for (auto _ : state) {
+    c.Add(64);
+  }
+  SetTelemetryEnabled(false);
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  SetTelemetryEnabled(true);
+  Histogram& h = MetricsRegistry::Get().GetHistogram("bench.histogram");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.Observe(v);
+    v = (v * 5 + 1) & 0xFFFF;
+  }
+  SetTelemetryEnabled(false);
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  SetTelemetryEnabled(false);
+  for (auto _ : state) {
+    TraceSpan span("bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  SetTelemetryEnabled(true);
+  TraceRecorder::Get().Clear();
+  for (auto _ : state) {
+    TraceSpan span("bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  SetTelemetryEnabled(false);
+  TraceRecorder::Get().Clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_PhaseScopeDisabled(benchmark::State& state) {
+  // What PhaseScope costs in a normal (telemetry-off) training run.
+  SetTelemetryEnabled(false);
+  SplitTimer timer;
+  for (auto _ : state) {
+    PhaseScope scope(&timer, kPhaseForward);
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_PhaseScopeDisabled);
+
+}  // namespace
+}  // namespace sampnn
+
+BENCHMARK_MAIN();

@@ -1,6 +1,8 @@
 #include "src/approx/adelman.h"
 
 #include "src/approx/sampling.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
@@ -60,6 +62,12 @@ void SelectAndScale(const std::vector<double>& scores, size_t k, Rng& rng,
     SAMPNN_DCHECK_BOUNDS(i, probs.size());
     SAMPNN_DCHECK_GT(probs[i], 0.0);
     (*scales)[s] = static_cast<float>(1.0 / probs[i]);
+  }
+  if (TelemetryEnabled()) {
+    // Realized (post-Bernoulli) sample count; expectation is k.
+    static Histogram& h =
+        MetricsRegistry::Get().GetHistogram("approx.adelman.samples");
+    h.Observe(selected->size());
   }
 }
 

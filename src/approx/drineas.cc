@@ -1,6 +1,8 @@
 #include "src/approx/drineas.h"
 
 #include "src/approx/sampling.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/check.h"
 
 namespace sampnn {
@@ -33,6 +35,11 @@ Status DrineasApproxMatmul(const Matrix& a, const Matrix& b,
     return Status::InvalidArgument("DrineasApproxMatmul: c must be > 0");
   }
   SAMPNN_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Create(probs));
+  if (TelemetryEnabled()) {
+    static Histogram& h =
+        MetricsRegistry::Get().GetHistogram("approx.drineas.samples");
+    h.Observe(c);
+  }
 
   const size_t m = a.rows(), n = b.cols();
   if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);

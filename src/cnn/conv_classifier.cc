@@ -6,6 +6,7 @@
 
 #include "src/approx/adelman.h"
 #include "src/nn/loss.h"
+#include "src/telemetry/trace.h"
 #include "src/tensor/kernels.h"
 
 namespace sampnn {
@@ -58,12 +59,12 @@ StatusOr<double> ConvClassifier::Step(const Matrix& x,
   // --- Forward: exact conv, exact FC (masked in dropout mode). ---
   const Matrix* feats = nullptr;
   {
-    SplitTimer::Scope scope(&timer_, "conv_forward");
+    PhaseScope scope(&timer_, "conv_forward");
     feats = &features_.Forward(x, &fx_ws_);
   }
   double loss = 0.0;
   {
-    SplitTimer::Scope scope(&timer_, kPhaseForward);
+    PhaseScope scope(&timer_, kPhaseForward);
     classifier_.Forward(*feats, &clf_ws_);
     if (config_.mode == ClassifierMode::kDropout) {
       Matrix& a1 = clf_ws_.a[0];
@@ -83,7 +84,7 @@ StatusOr<double> ConvClassifier::Step(const Matrix& x,
   }
   // --- Backward: classifier per mode, conv exact. ---
   {
-    SplitTimer::Scope scope(&timer_, kPhaseBackward);
+    PhaseScope scope(&timer_, kPhaseBackward);
     SAMPNN_ASSIGN_OR_RETURN(loss, SoftmaxCrossEntropy::LossAndGrad(
                                       clf_ws_.a.back(), y, &grad_logits_));
     Layer& fc1 = classifier_.layer(0);
@@ -144,7 +145,7 @@ StatusOr<double> ConvClassifier::Step(const Matrix& x,
     for (size_t j = 0; j < b1.size(); ++j) b1[j] -= lr * grad_b1[j];
 
     if (config_.train_features) {
-      SplitTimer::Scope conv_scope(&timer_, "conv_backward");
+      PhaseScope conv_scope(&timer_, "conv_backward");
       features_.BackwardAndUpdate(x, &fx_ws_, delta_feats, lr);
     }
   }

@@ -5,6 +5,8 @@
 
 #include "src/lsh/mips.h"
 #include "src/nn/loss.h"
+#include "src/telemetry/epoch_recorder.h"
+#include "src/telemetry/trace.h"
 #include "src/tensor/kernels.h"
 
 namespace sampnn {
@@ -189,11 +191,16 @@ double AlshTrainer::TrainSample(std::span<const float> x, int32_t label,
 
   // --- Feedforward over active nodes only ---
   {
-    SplitTimer::Scope scope(&scratch->timer, kPhaseForward);
+    PhaseScope scope(&scratch->timer, kPhaseForward);
     std::span<const float> a_prev = x;
     for (size_t k = 0; k < num_hidden; ++k) {
       const Layer& layer = net_.layer(k);
-      SelectActive(k, a_prev, scratch);
+      {
+        // Hash-probe selection, charged as a sub-phase nested inside
+        // forward (the paper folds it into feedforward time).
+        PhaseScope sampling(&scratch->timer, kPhaseSampling);
+        SelectActive(k, a_prev, scratch);
+      }
       auto& z = scratch->z[k];
       auto& a = scratch->a[k];
       z.assign(layer.out_dim(), 0.0f);
@@ -230,7 +237,7 @@ double AlshTrainer::TrainSample(std::span<const float> x, int32_t label,
 
   // --- Backpropagation through active nodes only ---
   {
-    SplitTimer::Scope scope(&scratch->timer, kPhaseBackward);
+    PhaseScope scope(&scratch->timer, kPhaseBackward);
     for (size_t k = num_layers; k-- > 0;) {
       Layer& layer = net_.layer(k);
       const bool is_output = (k == num_layers - 1);
@@ -311,7 +318,7 @@ void AlshTrainer::MaybeRebuild() {
                             : options_.late_rebuild_every;
   if (samples_seen_ - samples_at_last_rebuild_ < period) return;
   samples_at_last_rebuild_ = samples_seen_;
-  SplitTimer::Scope scope(&timer_, kPhaseHashRebuild);
+  PhaseScope scope(&timer_, kPhaseHashRebuild);
   if (pool_ != nullptr && indexes_.size() > 1) {
     // Per-layer indexes are independent and the weights are read-only
     // during a rebuild, so the L-table reconstruction parallelizes cleanly
@@ -350,7 +357,7 @@ StatusOr<double> AlshTrainer::Step(const Matrix& x,
     const size_t rows = x.rows();
     const size_t per_worker = (rows + workers - 1) / workers;
     std::vector<double> worker_loss(workers, 0.0);
-    SplitTimer::Scope scope(&timer_, "parallel");
+    PhaseScope scope(&timer_, "parallel");
     for (size_t w = 0; w < workers; ++w) {
       const size_t begin = w * per_worker;
       const size_t end = std::min(rows, begin + per_worker);
@@ -428,6 +435,25 @@ size_t AlshTrainer::TotalRebuilds() const {
   size_t total = 0;
   for (const auto& index : indexes_) total += index.build_count() - 1;
   return total;
+}
+
+void AlshTrainer::FillTelemetry(EpochTelemetry* record) const {
+  record->active_node_fraction = AverageActiveFraction();
+  record->hash_rebuilds = TotalRebuilds();
+  double occupancy_sum = 0.0;
+  uint64_t nonempty = 0;
+  uint64_t max_occupancy = 0;
+  for (const AlshIndex& index : indexes_) {
+    const AlshIndexStats stats = index.ComputeStats();
+    occupancy_sum +=
+        stats.avg_nonempty_occupancy * static_cast<double>(stats.nonempty_buckets);
+    nonempty += stats.nonempty_buckets;
+    max_occupancy = std::max<uint64_t>(max_occupancy, stats.max_bucket_occupancy);
+  }
+  record->alsh_nonempty_buckets = nonempty;
+  record->alsh_max_bucket_occupancy = max_occupancy;
+  record->alsh_avg_bucket_occupancy =
+      nonempty == 0 ? 0.0 : occupancy_sum / static_cast<double>(nonempty);
 }
 
 }  // namespace sampnn

@@ -70,6 +70,10 @@ class AlshTrainer : public Trainer {
   /// Total hash-table reconstructions so far, summed over layers.
   size_t TotalRebuilds() const;
 
+  /// Reports active-node fraction, rebuild count, and aggregated
+  /// bucket-occupancy stats across the per-layer indexes.
+  void FillTelemetry(EpochTelemetry* record) const override;
+
   const AlshOptions& options() const { return options_; }
 
  private:

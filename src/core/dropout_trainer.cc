@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/nn/loss.h"
+#include "src/telemetry/trace.h"
 #include "src/tensor/kernels.h"
 
 namespace sampnn {
@@ -24,7 +25,7 @@ StatusOr<double> MaskedTrainer::Step(const Matrix& x,
   // Masked feedforward: a^k = f(z^k) ⊙ mask^k for hidden layers; the output
   // layer stays dense.
   {
-    SplitTimer::Scope scope(&timer_, kPhaseForward);
+    PhaseScope scope(&timer_, kPhaseForward);
     const Matrix* prev = &x;
     for (size_t k = 0; k < num_layers; ++k) {
       const Layer& layer = net_.layer(k);
@@ -40,7 +41,7 @@ StatusOr<double> MaskedTrainer::Step(const Matrix& x,
 
   double loss = 0.0;
   {
-    SplitTimer::Scope scope(&timer_, kPhaseBackward);
+    PhaseScope scope(&timer_, kPhaseBackward);
     SAMPNN_ASSIGN_OR_RETURN(
         loss, SoftmaxCrossEntropy::LossAndGrad(ws_.a.back(), y, &grad_logits_));
     if (grads_.size() != num_layers) grads_ = net_.ZeroGrads();

@@ -6,6 +6,10 @@
 #include "src/metrics/accuracy.h"
 #include "src/metrics/memory_tracker.h"
 #include "src/metrics/split_timer.h"
+#include "src/telemetry/epoch_recorder.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
 
 namespace sampnn {
 
@@ -33,6 +37,24 @@ StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
                   config.drop_remainder);
   Matrix x;
   std::vector<int32_t> y;
+
+  EpochRecorder* recorder =
+      config.telemetry != nullptr ? config.telemetry : GlobalEpochRecorder();
+  // Cumulative baselines: the trainer SplitTimer and the registry FLOP
+  // counters only grow, so per-epoch values are deltas against these.
+  struct PhaseBaseline {
+    double forward = 0.0, backward = 0.0, sampling = 0.0;
+    double rebuild = 0.0, parallel = 0.0;
+    uint64_t gemm_flops = 0, sparse_flops = 0;
+  } prev;
+  if (recorder != nullptr && TelemetryEnabled()) {
+    // The FLOP counters are process-global; start from their current values
+    // so concurrent earlier runs do not leak into epoch 1's delta.
+    prev.gemm_flops =
+        MetricsRegistry::Get().GetCounter("tensor.gemm.flops").Value();
+    prev.sparse_flops =
+        MetricsRegistry::Get().GetCounter("tensor.sparse.flops").Value();
+  }
 
   for (size_t epoch = 1; epoch <= config.epochs; ++epoch) {
     Stopwatch epoch_watch;
@@ -66,6 +88,46 @@ StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
                    record.seconds);
     }
     result.epochs.push_back(record);
+
+    if (recorder != nullptr && TelemetryEnabled()) {
+      TraceSpan span("telemetry_record");
+      EpochTelemetry t;
+      t.run = config.run_label;
+      t.method = result.method;
+      t.architecture = result.architecture;
+      t.epoch = epoch;
+      t.train_loss = record.train_loss;
+      t.test_accuracy = record.test_accuracy;
+      t.validation_accuracy = record.validation_accuracy;
+      t.epoch_seconds = record.seconds;
+      const SplitTimer& phases = trainer->timer();
+      const double forward = phases.Seconds(kPhaseForward);
+      const double backward = phases.Seconds(kPhaseBackward);
+      const double sampling = phases.Seconds(kPhaseSampling);
+      const double rebuild = phases.Seconds(kPhaseHashRebuild);
+      const double parallel = phases.Seconds("parallel");
+      t.forward_seconds = forward - prev.forward;
+      t.backward_seconds = backward - prev.backward;
+      t.sampling_seconds = sampling - prev.sampling;
+      t.rebuild_seconds = rebuild - prev.rebuild;
+      t.parallel_seconds = parallel - prev.parallel;
+      prev.forward = forward;
+      prev.backward = backward;
+      prev.sampling = sampling;
+      prev.rebuild = rebuild;
+      prev.parallel = parallel;
+      MetricsRegistry& registry = MetricsRegistry::Get();
+      const uint64_t gemm = registry.GetCounter("tensor.gemm.flops").Value();
+      const uint64_t sparse =
+          registry.GetCounter("tensor.sparse.flops").Value();
+      t.gemm_flops = gemm - prev.gemm_flops;
+      t.sparse_flops = sparse - prev.sparse_flops;
+      prev.gemm_flops = gemm;
+      prev.sparse_flops = sparse;
+      trainer->FillTelemetry(&t);
+      t.rss_bytes = memory.CurrentBytes();
+      recorder->Record(t);
+    }
   }
 
   const SplitTimer& timer = trainer->timer();

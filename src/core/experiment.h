@@ -16,6 +16,8 @@
 
 namespace sampnn {
 
+class EpochRecorder;  // src/telemetry/epoch_recorder.h
+
 /// Knobs for one experiment run.
 struct ExperimentConfig {
   TrainerOptions trainer;
@@ -26,6 +28,11 @@ struct ExperimentConfig {
   size_t eval_batch = 256;
   uint64_t data_seed = 7;      ///< minibatch shuffling seed
   bool verbose = false;        ///< per-epoch progress on stderr
+  /// Destination for per-epoch EpochTelemetry records; nullptr falls back to
+  /// the process-global recorder (if installed). Either way nothing is
+  /// written unless telemetry is enabled (src/telemetry/telemetry.h).
+  EpochRecorder* telemetry = nullptr;
+  std::string run_label;       ///< stamps the "run" field of telemetry records
 };
 
 /// One epoch's record.

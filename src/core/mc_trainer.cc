@@ -5,6 +5,9 @@
 
 #include "src/approx/adelman.h"
 #include "src/nn/loss.h"
+#include "src/telemetry/epoch_recorder.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/trace.h"
 #include "src/tensor/kernels.h"
 
 namespace sampnn {
@@ -46,7 +49,7 @@ StatusOr<double> McTrainer::Step(const Matrix& x,
 
   // --- Feedforward (exact by default; sampled only in the ablation) ---
   {
-    SplitTimer::Scope scope(&timer_, kPhaseForward);
+    PhaseScope scope(&timer_, kPhaseForward);
     if (!options_.approx_forward) {
       net_.Forward(x, &ws_);
     } else {
@@ -70,7 +73,7 @@ StatusOr<double> McTrainer::Step(const Matrix& x,
 
   double loss = 0.0;
   {
-    SplitTimer::Scope scope(&timer_, kPhaseBackward);
+    PhaseScope scope(&timer_, kPhaseBackward);
     SAMPNN_ASSIGN_OR_RETURN(
         loss, SoftmaxCrossEntropy::LossAndGrad(ws_.a.back(), y, &grad_logits_));
     if (grads_.size() != num_layers) grads_ = net_.ZeroGrads();
@@ -83,23 +86,49 @@ StatusOr<double> McTrainer::Step(const Matrix& x,
       // grad_W ≈ sampled a_prev^T * delta over the batch dimension. When the
       // batch is <= k the estimator degrades to the exact product, which is
       // why MC^S pays the probability-estimation overhead for nothing.
-      SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransA(
-          a_prev, delta_, options_.grad_batch_samples, rng_, &g.weights));
+      {
+        // `sampling` is charged as a sub-phase nested inside backward.
+        PhaseScope span(&timer_, kPhaseSampling);
+        SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransA(
+            a_prev, delta_, options_.grad_batch_samples, rng_, &g.weights));
+      }
       g.bias.resize(layer.out_dim());
       ColumnSums(delta_, g.bias);
+      const size_t batch_samples =
+          std::min(a_prev.rows(), options_.grad_batch_samples);
       if (k > 0) {
         // delta_prev ≈ sampled delta * W^T over this layer's nodes.
-        SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransB(
-            delta_, layer.weights(), DeltaSamples(layer.out_dim()), rng_,
-            &delta_prev_));
+        const size_t delta_samples = DeltaSamples(layer.out_dim());
+        {
+          PhaseScope span(&timer_, kPhaseSampling);
+          SAMPNN_RETURN_NOT_OK(AdelmanApproxGemmTransB(
+              delta_, layer.weights(), delta_samples, rng_, &delta_prev_));
+        }
         MultiplyActivationGrad(net_.layer(k - 1).activation(), ws_.z[k - 1],
                                &delta_prev_);
         std::swap(delta_, delta_prev_);
+        delta_samples_total_ += delta_samples;
+        if (TelemetryEnabled()) {
+          static Histogram& h = MetricsRegistry::Get().GetHistogram(
+              "approx.mc.delta_samples");
+          h.Observe(delta_samples);
+        }
+      }
+      batch_samples_total_ += batch_samples;
+      if (TelemetryEnabled()) {
+        static Histogram& h =
+            MetricsRegistry::Get().GetHistogram("approx.mc.batch_samples");
+        h.Observe(batch_samples);
       }
     }
     optimizer_->Step(&net_, grads_);
   }
   return loss;
+}
+
+void McTrainer::FillTelemetry(EpochTelemetry* record) const {
+  record->mc_batch_samples = batch_samples_total_;
+  record->mc_delta_samples = delta_samples_total_;
 }
 
 }  // namespace sampnn

@@ -29,6 +29,9 @@ class McTrainer : public Trainer {
   StatusOr<double> Step(const Matrix& x, std::span<const int32_t> y) override;
   const char* name() const override { return "mc"; }
 
+  /// Reports cumulative realized sample counts (batch-dim and node-dim).
+  void FillTelemetry(EpochTelemetry* record) const override;
+
   const McOptions& options() const { return options_; }
 
  private:
@@ -40,6 +43,9 @@ class McTrainer : public Trainer {
 
   McOptions options_;
   std::unique_ptr<Optimizer> optimizer_;
+  // Realized Monte-Carlo sample counts across all Steps (telemetry).
+  uint64_t batch_samples_total_ = 0;
+  uint64_t delta_samples_total_ = 0;
   Rng rng_;
   MlpWorkspace ws_;
   MlpGrads grads_;

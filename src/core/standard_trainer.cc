@@ -1,6 +1,7 @@
 #include "src/core/standard_trainer.h"
 
 #include "src/nn/loss.h"
+#include "src/telemetry/trace.h"
 
 namespace sampnn {
 
@@ -13,11 +14,11 @@ StatusOr<double> StandardTrainer::Step(const Matrix& x,
                                        std::span<const int32_t> y) {
   double loss = 0.0;
   {
-    SplitTimer::Scope scope(&timer_, kPhaseForward);
+    PhaseScope scope(&timer_, kPhaseForward);
     net_.Forward(x, &ws_);
   }
   {
-    SplitTimer::Scope scope(&timer_, kPhaseBackward);
+    PhaseScope scope(&timer_, kPhaseBackward);
     SAMPNN_ASSIGN_OR_RETURN(
         loss, SoftmaxCrossEntropy::LossAndGrad(ws_.a.back(), y, &grad_logits_));
     net_.Backward(x, ws_, grad_logits_, &grads_);

@@ -20,6 +20,8 @@
 
 namespace sampnn {
 
+struct EpochTelemetry;  // src/telemetry/epoch_recorder.h
+
 /// The five training approaches evaluated by the paper.
 enum class TrainerKind {
   kStandard,         ///< exact training (STANDARD)
@@ -128,6 +130,11 @@ class Trainer {
 
   /// Called by drivers at epoch boundaries (hook for schedules).
   virtual void OnEpochEnd() {}
+
+  /// Fills method-specific fields of a per-epoch telemetry record
+  /// (ALSH active fractions / bucket stats, MC sample counts, ...). The
+  /// base implementation leaves the record untouched.
+  virtual void FillTelemetry(EpochTelemetry* /*record*/) const {}
 
  protected:
   explicit Trainer(Mlp net) : net_(std::move(net)) {}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/check.h"
 
 namespace sampnn {
@@ -120,13 +122,24 @@ void AlshIndex::Query(std::span<const float> a,
   if (num_items_ == 0) return;
   std::vector<float> transformed(transform_.TransformedDim(dim_));
   transform_.TransformQuery(a, transformed);
+  const bool telemetry = TelemetryEnabled();
   for (size_t t = 0; t < hashes_.size(); ++t) {
     const uint32_t code = HashWith(hashes_[t], transformed);
     const auto& bucket = buckets_[t][code];
     out->insert(out->end(), bucket.begin(), bucket.end());
+    if (telemetry) {
+      static Histogram& h =
+          MetricsRegistry::Get().GetHistogram("lsh.probe.bucket_size");
+      h.Observe(bucket.size());
+    }
   }
   std::sort(out->begin(), out->end());
   out->erase(std::unique(out->begin(), out->end()), out->end());
+  if (telemetry) {
+    static Histogram& h =
+        MetricsRegistry::Get().GetHistogram("lsh.query.active");
+    h.Observe(out->size());
+  }
 }
 
 AlshIndexStats AlshIndex::ComputeStats() const {

@@ -30,9 +30,16 @@ StatusOr<MemoryUsage> ReadMemoryUsage() {
   return usage;
 }
 
-MemoryTracker::MemoryTracker() {
+MemoryTracker::MemoryTracker() { Reset(); }
+
+void MemoryTracker::Reset() {
   auto usage = ReadMemoryUsage();
   baseline_ = usage.ok() ? usage->rss_bytes : 0;
+}
+
+size_t MemoryTracker::PeakBytes() const {
+  auto usage = ReadMemoryUsage();
+  return usage.ok() ? usage->peak_rss_bytes : 0;
 }
 
 size_t MemoryTracker::GrowthBytes() const {

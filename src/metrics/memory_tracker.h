@@ -32,10 +32,17 @@ class MemoryTracker {
   /// Captures the baseline now (0 baseline if procfs is unavailable).
   MemoryTracker();
 
-  /// RSS growth since construction (clamped at 0).
+  /// RSS growth since construction or the last Reset() (clamped at 0).
   size_t GrowthBytes() const;
   /// Current RSS.
   size_t CurrentBytes() const;
+  /// Peak RSS (VmHWM) — monotone over the process lifetime; Reset() does
+  /// not lower it because the kernel high-water mark never shrinks.
+  size_t PeakBytes() const;
+  /// Recaptures the baseline, so GrowthBytes() restarts from 0.
+  void Reset();
+  /// The captured baseline RSS (0 when procfs is unavailable).
+  size_t baseline_bytes() const { return baseline_; }
 
  private:
   size_t baseline_ = 0;

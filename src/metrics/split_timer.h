@@ -1,12 +1,23 @@
 // Phase-split wall-clock timing. The paper's Tables 3 and 4 report training
 // time split into feedforward and backpropagation; trainers charge their
 // time to named phases through this accumulator.
+//
+// Hot-path design: phases are identified by interned `const char*` labels
+// with static storage duration (the kPhase* constants below, or other string
+// literals). A Scope therefore costs two clock reads plus a short linear
+// scan over a handful of entries — no std::string construction and no
+// std::map node allocation per scope, which previously dominated the
+// per-batch timing overhead (see the micro-benchmark note in
+// bench/bench_common.h and BM_SplitTimerScope in bench_micro_telemetry).
 
 #pragma once
 
 #include <chrono>
+#include <cstring>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace sampnn {
 
@@ -17,6 +28,10 @@ inline constexpr const char* kPhaseSampling = "sampling";   ///< hash/MC overhea
 inline constexpr const char* kPhaseHashRebuild = "rebuild"; ///< ALSH table reconstruction
 
 /// \brief Accumulates wall-clock seconds per named phase.
+///
+/// Phase labels passed to Add()/Scope must outlive the timer (string
+/// literals in practice); lookups compare pointers first and fall back to
+/// strcmp so equal labels from different translation units still merge.
 class SplitTimer {
  public:
   using Clock = std::chrono::steady_clock;
@@ -24,7 +39,7 @@ class SplitTimer {
   /// RAII guard charging its lifetime to one phase.
   class Scope {
    public:
-    Scope(SplitTimer* timer, const std::string& phase)
+    Scope(SplitTimer* timer, const char* phase)
         : timer_(timer), phase_(phase), start_(Clock::now()) {}
     ~Scope() {
       if (timer_ != nullptr) timer_->Add(phase_, Elapsed());
@@ -38,41 +53,60 @@ class SplitTimer {
 
    private:
     SplitTimer* timer_;
-    std::string phase_;
+    const char* phase_;
     Clock::time_point start_;
   };
 
-  /// Adds `seconds` to `phase`.
-  void Add(const std::string& phase, double seconds) {
-    totals_[phase] += seconds;
+  /// Adds `seconds` to `phase`. `phase` must have static storage duration.
+  void Add(const char* phase, double seconds) {
+    for (Entry& e : entries_) {
+      if (e.phase == phase ||
+          (e.phase != nullptr && std::strcmp(e.phase, phase) == 0)) {
+        e.seconds += seconds;
+        return;
+      }
+    }
+    entries_.push_back(Entry{phase, seconds});
   }
 
   /// Accumulated seconds for `phase` (0 if never charged).
-  double Seconds(const std::string& phase) const {
-    auto it = totals_.find(phase);
-    return it == totals_.end() ? 0.0 : it->second;
+  double Seconds(std::string_view phase) const {
+    for (const Entry& e : entries_) {
+      if (phase == e.phase) return e.seconds;
+    }
+    return 0.0;
   }
 
   /// Sum across all phases.
   double TotalSeconds() const {
     double total = 0.0;
-    for (const auto& [_, s] : totals_) total += s;
+    for (const Entry& e : entries_) total += e.seconds;
     return total;
   }
 
-  /// All phase totals (phase name -> seconds).
-  const std::map<std::string, double>& totals() const { return totals_; }
+  /// All phase totals (phase name -> seconds). Built on demand; cold path.
+  std::map<std::string, double> totals() const {
+    std::map<std::string, double> out;
+    for (const Entry& e : entries_) out[e.phase] += e.seconds;
+    return out;
+  }
 
   /// Clears all accumulators.
-  void Reset() { totals_.clear(); }
+  void Reset() { entries_.clear(); }
 
   /// Merges another timer's phases into this one.
   void Merge(const SplitTimer& other) {
-    for (const auto& [phase, s] : other.totals_) totals_[phase] += s;
+    for (const Entry& e : other.entries_) Add(e.phase, e.seconds);
   }
 
  private:
-  std::map<std::string, double> totals_;
+  struct Entry {
+    const char* phase;
+    double seconds;
+  };
+  // Trainers use <= 6 phases; a linear scan over a flat vector beats any
+  // associative container at that size.
+  std::vector<Entry> entries_;
 };
 
 /// One-shot stopwatch for whole-block timing.

@@ -1,0 +1,110 @@
+#include "src/telemetry/metrics_registry.h"
+
+#include <sstream>
+
+#include "src/telemetry/telemetry.h"
+
+namespace sampnn {
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<const Counter*> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& [_, c] : counters_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Gauge*> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& [_, g] : gauges_) out.push_back(g.get());
+  return out;
+}
+
+std::vector<const Histogram*> MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_.size());
+  for (const auto& [_, h] : histograms_) out.push_back(h.get());
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const Counter* c : Counters()) {
+    os << (first ? "" : ",") << '"' << JsonEscape(c->name()) << "\":"
+       << c->Value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const Gauge* g : Gauges()) {
+    os << (first ? "" : ",") << '"' << JsonEscape(g->name()) << "\":"
+       << g->Value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const Histogram* h : Histograms()) {
+    os << (first ? "" : ",") << '"' << JsonEscape(h->name())
+       << "\":{\"count\":" << h->Count() << ",\"sum\":" << h->Sum()
+       << ",\"min\":" << h->Min() << ",\"max\":" << h->Max()
+       << ",\"mean\":" << h->Mean() << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, g] : gauges_) g->Reset();
+  for (auto& [_, h] : histograms_) h->Reset();
+}
+
+}  // namespace sampnn

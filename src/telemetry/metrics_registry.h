@@ -1,0 +1,185 @@
+// Process-wide metrics registry: counters, gauges, and log2-bucketed
+// histograms. Registration (name -> metric) is a mutex-guarded cold path;
+// every hot-path operation (Add / Set / Observe) is a handful of relaxed
+// atomic operations on a metric reference the caller obtained once and
+// cached, so concurrent writers never serialize on a lock.
+//
+// Usage at an instrumentation site:
+//
+//   if (TelemetryEnabled()) {
+//     static Counter& flops =
+//         MetricsRegistry::Get().GetCounter("tensor.gemm.flops");
+//     flops.Add(2 * m * n * k);
+//   }
+//
+// The registry owns the metrics and never deletes them, so cached references
+// stay valid for the life of the process. Names are interned: the metric
+// stores its name once and exposes it as a string_view.
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sampnn {
+
+class MetricsRegistry;
+
+/// Monotonically increasing event/quantity count.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::string_view name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, active fraction, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // CAS loop instead of atomic<double>::fetch_add for portability.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+  std::string_view name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Lock-free histogram over non-negative integer values with power-of-two
+/// buckets: bucket 0 holds zeros, bucket i >= 1 holds [2^(i-1), 2^i), and the
+/// last bucket absorbs everything above 2^(kNumBuckets-2).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 33;
+
+  void Observe(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    UpdateMin(value);
+    UpdateMax(value);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const uint64_t c = Count();
+    return c == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(c);
+  }
+  /// 0 when empty.
+  uint64_t Min() const {
+    return Count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Smallest value belonging to bucket `i`.
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+  static size_t BucketIndex(uint64_t value) {
+    if (value == 0) return 0;
+    const size_t width = static_cast<size_t>(std::bit_width(value));
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<uint64_t>::max(),
+               std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  std::string_view name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void UpdateMin(uint64_t v) {
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void UpdateMax(uint64_t v) {
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::string name_;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief Owns all metrics, keyed by name within each kind.
+///
+/// Get*() registers on first use and always returns the same reference for a
+/// given name, so call sites may cache it in a function-local static.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (leaked intentionally: cached metric
+  /// references must outlive every static destructor).
+  static MetricsRegistry& Get();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Sorted snapshots for export (pointers remain owned by the registry).
+  std::vector<const Counter*> Counters() const;
+  std::vector<const Gauge*> Gauges() const;
+  std::vector<const Histogram*> Histograms() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Zeroes every metric (tests and per-run isolation). Does not unregister.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sampnn

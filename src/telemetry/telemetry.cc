@@ -1,0 +1,62 @@
+#include "src/telemetry/telemetry.h"
+
+#include <cstdio>
+
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace telemetry_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace telemetry_internal
+
+void SetTelemetryEnabled(bool enabled) {
+#ifdef SAMPNN_TELEMETRY_DISABLED
+  (void)enabled;
+#else
+  telemetry_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+bool InitTelemetryFromEnv() {
+  const std::string v = GetEnvOr("SAMPNN_TELEMETRY", "");
+  const bool on = v == "1" || v == "true" || v == "on";
+  SetTelemetryEnabled(on);
+  return TelemetryEnabled();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sampnn

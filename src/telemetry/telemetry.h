@@ -1,0 +1,52 @@
+// Process-wide telemetry switch. Every instrumentation hook in the library
+// (trace spans, metric increments, per-epoch records) is guarded by
+// TelemetryEnabled(): a single relaxed atomic load plus a predictable branch,
+// so the disabled cost on hot paths is negligible. Building with
+// -DSAMPNN_TELEMETRY=OFF removes even that load (TelemetryEnabled() becomes
+// a constant false and the toggles become no-ops).
+
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace sampnn {
+
+/// True when telemetry instrumentation was compiled in (the default).
+constexpr bool TelemetryCompiled() {
+#ifdef SAMPNN_TELEMETRY_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+namespace telemetry_internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace telemetry_internal
+
+/// Hot-path guard for all instrumentation. Relaxed load: enabling mid-run
+/// takes effect "soon" on other threads, which is all telemetry needs.
+inline bool TelemetryEnabled() {
+#ifdef SAMPNN_TELEMETRY_DISABLED
+  return false;
+#else
+  return telemetry_internal::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Turns instrumentation on or off at runtime. No-op (stays off) when
+/// telemetry was compiled out.
+void SetTelemetryEnabled(bool enabled);
+
+/// Applies the SAMPNN_TELEMETRY environment variable ("1"/"true"/"on" enable)
+/// and returns the resulting state. Call explicitly from main-like entry
+/// points; nothing reads the environment during static initialization.
+bool InitTelemetryFromEnv();
+
+/// Escapes `s` for embedding inside a JSON string literal (the surrounding
+/// quotes are the caller's).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace sampnn

@@ -1,0 +1,117 @@
+#include "src/telemetry/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+namespace sampnn {
+
+TraceRecorder& TraceRecorder::Get() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder()
+    : capacity_(1 << 16), epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint32_t TraceRecorder::CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceRecorder::Append(const char* name, int64_t ts_us, int64_t dur_us) {
+  TraceEvent event;
+  event.name = name;
+  event.tid = CurrentThreadId();
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+  } else {
+    // Full ring: next_ is simultaneously the oldest slot.
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceRecorder::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceRecorder::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << (i ? "," : "") << "{\"name\":\"" << JsonEscape(e.name)
+       << "\",\"cat\":\"sampnn\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace file for writing: " + path);
+  }
+  out << ToJson();
+  out.flush();
+  if (!out) return Status::IOError("trace stream error: " + path);
+  return Status::OK();
+}
+
+}  // namespace sampnn

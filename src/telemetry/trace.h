@@ -1,0 +1,120 @@
+// chrome://tracing span recorder. Spans are complete events ("ph":"X") held
+// in a fixed-capacity ring buffer: recording never allocates after the first
+// SetCapacity/Append, old events are overwritten when the ring wraps, and
+// the buffer is serialized on demand to the Chrome Trace Event JSON format
+// (load the file in chrome://tracing or https://ui.perfetto.dev).
+//
+// TraceSpan / PhaseScope are the instrumentation entry points. When
+// telemetry is disabled a TraceSpan costs one relaxed atomic load and no
+// clock read.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/metrics/split_timer.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// One completed span. `name` must have static storage duration (phase
+/// labels are string literals), so events are 24 bytes and appends never
+/// copy strings.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint32_t tid = 0;     ///< small per-thread id (1, 2, ...), stable per thread
+  int64_t ts_us = 0;    ///< microseconds since the recorder's epoch
+  int64_t dur_us = 0;
+};
+
+/// \brief Process-wide ring buffer of trace spans.
+class TraceRecorder {
+ public:
+  /// The process-wide recorder (leaked intentionally, like MetricsRegistry).
+  static TraceRecorder& Get();
+
+  /// Microseconds since the recorder's epoch (process start, steady clock).
+  int64_t NowUs() const;
+
+  /// Appends one completed span, overwriting the oldest when full.
+  void Append(const char* name, int64_t ts_us, int64_t dur_us);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Retained / lifetime-appended counts. dropped() = overwritten by wraps.
+  size_t size() const;
+  uint64_t total_appended() const;
+  uint64_t dropped() const;
+
+  void Clear();
+
+  /// Resizes the ring (default 65536 events) and clears it.
+  void SetCapacity(size_t capacity);
+
+  /// Chrome Trace Event JSON ({"traceEvents":[...]}), oldest span first.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Small dense id for the calling thread (1-based, assigned on first use).
+  static uint32_t CurrentThreadId();
+
+ private:
+  TraceRecorder();
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // capacity_ slots, valid entries = count
+  size_t capacity_;
+  size_t next_ = 0;    // ring insertion point
+  uint64_t total_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records [construction, destruction) under `name` when
+/// telemetry is enabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TelemetryEnabled()) {
+      name_ = name;
+      start_us_ = TraceRecorder::Get().NowUs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder& recorder = TraceRecorder::Get();
+      recorder.Append(name_, start_us_, recorder.NowUs() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+/// Compatibility shim for the trainer hot paths: charges a SplitTimer phase
+/// (always, preserving the Tables 3-4 accounting) and emits a trace span
+/// (only when telemetry is enabled). Drop-in replacement for
+/// SplitTimer::Scope.
+class PhaseScope {
+ public:
+  PhaseScope(SplitTimer* timer, const char* phase)
+      : scope_(timer, phase), span_(phase) {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  SplitTimer::Scope scope_;
+  TraceSpan span_;
+};
+
+}  // namespace sampnn

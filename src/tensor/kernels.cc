@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+
 namespace sampnn {
 
 namespace {
 // Block sizes tuned for ~32 KiB L1: a 64x64 float tile of B is 16 KiB.
 constexpr size_t kBlockK = 64;
 constexpr size_t kBlockJ = 256;
+
+// Telemetry FLOP tallies (2 flops per multiply-accumulate), charged once per
+// kernel call so the inner loops stay untouched. SparseDot is left
+// uninstrumented: it runs once per active node per sample, where even a
+// gated atomic add is measurable.
+inline void CountDenseFlops(size_t flops) {
+  if (!TelemetryEnabled()) return;
+  static Counter& c = MetricsRegistry::Get().GetCounter("tensor.gemm.flops");
+  c.Add(flops);
+}
+
+inline void CountSparseFlops(size_t flops) {
+  if (!TelemetryEnabled()) return;
+  static Counter& c = MetricsRegistry::Get().GetCounter("tensor.sparse.flops");
+  c.Add(flops);
+}
 }  // namespace
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
@@ -23,6 +42,7 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
   } else if (beta != 1.0f) {
     Scale(c, beta);
   }
+  CountDenseFlops(2 * m * k * n);
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
@@ -58,6 +78,7 @@ void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
   } else if (beta != 1.0f) {
     Scale(c, beta);
   }
+  CountDenseFlops(2 * m * k * n);
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
@@ -83,6 +104,7 @@ void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
   SAMPNN_CHECK_EQ(b.cols(), k);
   SAMPNN_CHECK_EQ(c->rows(), m);
   SAMPNN_CHECK_EQ(c->cols(), n);
+  CountDenseFlops(2 * m * k * n);
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
@@ -110,6 +132,7 @@ void VecMat(std::span<const float> x, const Matrix& w,
   } else {
     std::fill(y.begin(), y.end(), 0.0f);
   }
+  CountDenseFlops(2 * k * n);
   const float* wd = w.data();
   for (size_t i = 0; i < k; ++i) {
     const float xv = x[i];
@@ -167,6 +190,7 @@ void VecMatCols(std::span<const float> x, const Matrix& w,
   const size_t k = w.rows(), n = w.cols();
   SAMPNN_CHECK_EQ(x.size(), k);
   SAMPNN_CHECK_EQ(y.size(), n);
+  CountSparseFlops(2 * k * cols.size());
   const float* wd = w.data();
   for (uint32_t j : cols) {
     SAMPNN_DCHECK_BOUNDS(j, n);
@@ -197,6 +221,7 @@ void BackpropActiveCols(std::span<const float> delta, const Matrix& w,
   const size_t k = w.rows(), n = w.cols();
   SAMPNN_CHECK_EQ(delta.size(), n);
   SAMPNN_CHECK_EQ(delta_prev.size(), k);
+  CountSparseFlops(2 * k * cols.size());
   const float* wd = w.data();
   for (uint32_t j : cols) {
     SAMPNN_DCHECK_BOUNDS(j, n);
@@ -216,6 +241,7 @@ void SparseOuterUpdate(std::span<const float> a_prev,
   SAMPNN_CHECK_EQ(a_prev.size(), k);
   SAMPNN_CHECK_EQ(delta.size(), n);
   SAMPNN_CHECK_EQ(bias.size(), n);
+  CountSparseFlops(2 * k * cols.size());
   float* wd = w->data();
   for (uint32_t j : cols) {
     SAMPNN_DCHECK_BOUNDS(j, n);

@@ -51,6 +51,10 @@ class Flags {
   /// True if the flag was explicitly set on the command line.
   bool IsSet(const std::string& name) const;
 
+  /// The program name passed to the constructor (used for default output
+  /// paths, e.g. results/<program>.csv).
+  const std::string& program() const { return program_; }
+
   /// Renders usage text.
   std::string Usage() const;
 

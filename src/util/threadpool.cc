@@ -1,11 +1,23 @@
 #include "src/util/threadpool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/check.h"
 
 namespace sampnn {
+
+namespace {
+// Pending-task gauge, updated under the pool mutex on submit/dequeue.
+inline void RecordQueueDepth(size_t depth) {
+  if (!TelemetryEnabled()) return;
+  static Gauge& g = MetricsRegistry::Get().GetGauge("threadpool.queue_depth");
+  g.Set(static_cast<double>(depth));
+}
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -46,6 +58,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     SAMPNN_CHECK_MSG(!shutdown_, "Submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
+    RecordQueueDepth(tasks_.size());
   }
   task_available_.notify_one();
 }
@@ -111,12 +124,24 @@ void ThreadPool::WorkerLoop() {
       if (tasks_.empty()) return;  // shutdown_ is set and the queue is dry
       task = std::move(tasks_.front());
       tasks_.pop();
+      RecordQueueDepth(tasks_.size());
     }
+    const bool telemetry = TelemetryEnabled();
+    const auto start = telemetry ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     std::exception_ptr err;
     try {
       task();
     } catch (...) {
       err = std::current_exception();
+    }
+    if (telemetry) {
+      static Histogram& h =
+          MetricsRegistry::Get().GetHistogram("threadpool.task_us");
+      h.Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
     }
     {
       std::unique_lock<std::mutex> lock(mu_);

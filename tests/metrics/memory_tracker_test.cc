@@ -1,5 +1,7 @@
 #include "src/metrics/memory_tracker.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace sampnn {
@@ -24,6 +26,43 @@ TEST(MemoryTrackerTest, DetectsLargeAllocation) {
   for (size_t i = 0; i < big.size(); i += 4096) big[i] = 1;
   EXPECT_GT(tracker.GrowthBytes(), 32u << 20);
   EXPECT_GT(tracker.CurrentBytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, PeakIsMonotoneAndAtLeastCurrent) {
+  MemoryTracker tracker;
+  // Read current before peak: RSS may grow between the two procfs reads,
+  // but the high-water mark can only ratchet up, so this order is safe.
+  const size_t current = tracker.CurrentBytes();
+  const size_t peak_before = tracker.PeakBytes();
+  ASSERT_GT(peak_before, 0u);
+  EXPECT_GE(peak_before, current);
+  // Touch enough memory to push RSS at least ~48 MB past the old high-water
+  // mark (sized against the old peak, not a constant: an earlier test in the
+  // same process may already have raised VmHWM well above current RSS). The
+  // mark must ratchet up and never read lower afterwards, even once the
+  // buffer is freed.
+  const size_t touch =
+      peak_before - std::min(current, peak_before) + (48u << 20);
+  {
+    std::vector<char> big(touch);
+    for (size_t i = 0; i < big.size(); i += 4096) big[i] = 1;
+    EXPECT_GE(tracker.PeakBytes(), peak_before + (32u << 20));
+  }
+  EXPECT_GE(tracker.PeakBytes(), peak_before + (32u << 20));
+}
+
+TEST(MemoryTrackerTest, ResetRebaselinesGrowth) {
+  MemoryTracker tracker;
+  // Keep the allocation alive across Reset(), so current RSS cannot shrink
+  // below the re-captured baseline (avoids allocator-release flakiness).
+  std::vector<char> big(64 << 20);
+  for (size_t i = 0; i < big.size(); i += 4096) big[i] = 1;
+  EXPECT_GT(tracker.GrowthBytes(), 32u << 20);
+  const size_t baseline_before = tracker.baseline_bytes();
+  tracker.Reset();
+  EXPECT_GT(tracker.baseline_bytes(), baseline_before);
+  // Growth restarts near zero: far below the still-resident 64 MB.
+  EXPECT_LT(tracker.GrowthBytes(), 32u << 20);
 }
 
 TEST(WorkingSetTest, ValidatesArguments) {

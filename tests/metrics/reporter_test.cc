@@ -55,6 +55,24 @@ TEST(TableReporterTest, WriteCsvRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(TableReporterTest, WriteCsvEscapesSpecialCharacters) {
+  // WriteCsv routes through the util CSV writer, so cells containing commas,
+  // quotes, or newlines must come out quoted with doubled inner quotes.
+  const std::string path = ::testing::TempDir() + "/reporter_escape_test.csv";
+  TableReporter table("t", {"method", "note"});
+  table.AddRow({"alsh", "K=6, L=5"});
+  table.AddRow({"mc", "says \"sampled\"\nline2"});
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(),
+            "method,note\n"
+            "alsh,\"K=6, L=5\"\n"
+            "mc,\"says \"\"sampled\"\"\nline2\"\n");
+  std::remove(path.c_str());
+}
+
 TEST(TableReporterTest, RowsAccessor) {
   TableReporter table("t", {"a"});
   table.AddRow({"x"});

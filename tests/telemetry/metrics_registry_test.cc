@@ -1,0 +1,170 @@
+#include "src/telemetry/metrics_registry.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(CounterTest, AddAccumulatesAndResets) {
+  Counter& c = MetricsRegistry::Get().GetCounter("test.counter.basic");
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 6u);
+  EXPECT_EQ(c.name(), "test.counter.basic");
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, SameNameReturnsSameReference) {
+  Counter& a = MetricsRegistry::Get().GetCounter("test.counter.same");
+  Counter& b = MetricsRegistry::Get().GetCounter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(CounterTest, ConcurrentAddsDoNotLoseIncrements) {
+  Counter& c = MetricsRegistry::Get().GetCounter("test.counter.mt");
+  c.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge& g = MetricsRegistry::Get().GetGauge("test.gauge.basic");
+  g.Reset();
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  Gauge& g = MetricsRegistry::Get().GetGauge("test.gauge.mt");
+  g.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketIndexIsLog2) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Huge values land in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketLowerBoundInvertsIndex) {
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << i;
+    EXPECT_EQ(Histogram::BucketIndex(2 * lo - 1), i) << i;
+  }
+}
+
+TEST(HistogramTest, ObserveTracksCountSumMinMax) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.basic");
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);  // empty histogram reports 0, not uint64 max
+  h.Observe(3);
+  h.Observe(9);
+  h.Observe(0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 12u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 9u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+  EXPECT_EQ(h.BucketCount(0), 1u);                          // the 0
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(3)), 1u);  // the 3
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(9)), 1u);  // the 9
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(HistogramTest, ConcurrentObservesKeepTotals) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.mt");
+  h.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<uint64_t>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSortedByName) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetCounter("test.sorted.b");
+  reg.GetCounter("test.sorted.a");
+  const auto counters = reg.Counters();
+  ASSERT_GE(counters.size(), 2u);
+  for (size_t i = 1; i < counters.size(); ++i) {
+    EXPECT_LT(counters[i - 1]->name(), counters[i]->name());
+  }
+}
+
+TEST(MetricsRegistryTest, ToJsonContainsRegisteredMetrics) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetCounter("test.json.counter").Add(7);
+  reg.GetGauge("test.json.gauge").Set(1.0);
+  reg.GetHistogram("test.json.hist").Observe(2);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEverything) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Counter& c = reg.GetCounter("test.resetall.counter");
+  Gauge& g = reg.GetGauge("test.resetall.gauge");
+  Histogram& h = reg.GetHistogram("test.resetall.hist");
+  c.Add(3);
+  g.Set(3.0);
+  h.Observe(3);
+  reg.ResetAll();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace sampnn

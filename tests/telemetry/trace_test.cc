@@ -1,0 +1,148 @@
+#include "src/telemetry/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/split_timer.h"
+#include "src/telemetry/telemetry.h"
+
+namespace sampnn {
+namespace {
+
+// Every test restores the disabled default so ordering cannot leak state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTelemetryEnabled(false);
+    TraceRecorder::Get().SetCapacity(1 << 10);
+  }
+  void TearDown() override {
+    SetTelemetryEnabled(false);
+    TraceRecorder::Get().SetCapacity(1 << 16);
+  }
+};
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  { TraceSpan span("should_not_appear"); }
+  EXPECT_EQ(TraceRecorder::Get().size(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpanRecordsNameAndDuration) {
+  SetTelemetryEnabled(true);
+  { TraceSpan span("unit_test_span"); }
+  const auto events = TraceRecorder::Get().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_test_span");
+  EXPECT_GE(events[0].dur_us, 0);
+  EXPECT_GE(events[0].ts_us, 0);
+  EXPECT_GT(events[0].tid, 0u);
+}
+
+TEST_F(TraceTest, PhaseScopeChargesTimerAlways) {
+  // Telemetry off: the SplitTimer half still runs (paper time splits must
+  // not depend on observability), the trace half stays silent.
+  SplitTimer timer;
+  { PhaseScope scope(&timer, kPhaseForward); }
+  EXPECT_GT(timer.Seconds(kPhaseForward), 0.0);
+  EXPECT_EQ(TraceRecorder::Get().size(), 0u);
+
+  SetTelemetryEnabled(true);
+  { PhaseScope scope(&timer, kPhaseBackward); }
+  EXPECT_GT(timer.Seconds(kPhaseBackward), 0.0);
+  ASSERT_EQ(TraceRecorder::Get().size(), 1u);
+  EXPECT_STREQ(TraceRecorder::Get().Snapshot()[0].name, kPhaseBackward);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestWhenFull) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.SetCapacity(4);
+  const char* names[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (int i = 0; i < 6; ++i) rec.Append(names[i], i, 1);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_appended(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  const auto events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: e0 and e1 were overwritten.
+  EXPECT_STREQ(events[0].name, "e2");
+  EXPECT_STREQ(events[3].name, "e5");
+}
+
+TEST_F(TraceTest, ClearEmptiesButKeepsLifetimeCounts) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.Append("x", 0, 1);
+  EXPECT_EQ(rec.size(), 1u);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.Snapshot().size(), 0u);
+}
+
+TEST_F(TraceTest, ToJsonIsChromeTraceShaped) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.Append("forward", 10, 5);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  // Valid JSON object bracketing.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.Append("span", 0, 2);
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  ASSERT_TRUE(rec.WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), rec.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ThreadIdsAreStablePerThreadAndDistinct) {
+  const uint32_t main_id = TraceRecorder::CurrentThreadId();
+  EXPECT_EQ(TraceRecorder::CurrentThreadId(), main_id);
+  uint32_t other_id = 0;
+  std::thread t([&other_id] { other_id = TraceRecorder::CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other_id, 0u);
+  EXPECT_NE(other_id, main_id);
+}
+
+TEST_F(TraceTest, ConcurrentAppendsRetainEverythingUnderCapacity) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.SetCapacity(1 << 12);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("mt_span");
+        (void)span;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.size(), static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace sampnn
