@@ -31,6 +31,7 @@ JSONL_KEYS = {
     "alsh_avg_bucket_occupancy", "alsh_max_bucket_occupancy",
     "alsh_nonempty_buckets",
     "mc_batch_samples", "mc_delta_samples",
+    "rollbacks", "nan_batches", "alsh_dense_fallbacks",
     "gemm_flops", "sparse_flops", "rss_bytes",
 }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Crash-resume smoke test: for each training method, run the resilient
+# example uninterrupted to get a reference per-epoch JSONL, then run the
+# same configuration again with a SIGKILL injected mid-training
+# (SAMPNN_FAULTS=kill@N), resume from the latest checkpoint, and require
+# the resumed run's per-epoch losses/accuracies to be bitwise identical to
+# the reference.
+#
+# Usage: scripts/crash_resume_smoke.sh [path/to/resilient_training]
+# (default binary: build/release/examples/resilient_training)
+
+set -u
+
+BIN="${1:-build/release/examples/resilient_training}"
+if [[ ! -x "$BIN" ]]; then
+  echo "crash_resume_smoke: binary not found: $BIN" >&2
+  echo "build it with: cmake --build --preset release --target resilient_training" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# scale=100 gives 600 train examples = 30 batches/epoch = 90 total steps,
+# so kill@50 lands mid-epoch-2, after several checkpoints (cadence 10).
+COMMON=(--dataset=mnist --scale=100 --epochs=3 --batch=20 --hidden=32
+        --depth=2 --seed=42 --checkpoint_every=10)
+KILL_STEP=50
+
+METHODS=(standard dropout adaptive-dropout alsh mc)
+FAILED=0
+
+for method in "${METHODS[@]}"; do
+  dir="$WORK/$method"
+  mkdir -p "$dir"
+  echo "== $method: reference run =="
+  "$BIN" "${COMMON[@]}" --method="$method" \
+      --checkpoint_dir="$dir/ckpt_ref" \
+      --epochs_jsonl="$dir/reference.jsonl" || { FAILED=1; continue; }
+
+  echo "== $method: crash run (SIGKILL at step $KILL_STEP) =="
+  SAMPNN_FAULTS="kill@$KILL_STEP" "$BIN" "${COMMON[@]}" --method="$method" \
+      --checkpoint_dir="$dir/ckpt" \
+      --epochs_jsonl="$dir/crashed.jsonl"
+  status=$?
+  if [[ $status -ne 137 ]]; then
+    echo "crash_resume_smoke: $method: expected SIGKILL exit 137, got $status" >&2
+    FAILED=1
+    continue
+  fi
+  if [[ -e "$dir/crashed.jsonl" ]]; then
+    echo "crash_resume_smoke: $method: killed run must not have written output" >&2
+    FAILED=1
+    continue
+  fi
+  if ! ls "$dir/ckpt"/ckpt-*.snnckpt >/dev/null 2>&1; then
+    echo "crash_resume_smoke: $method: no checkpoint survived the kill" >&2
+    FAILED=1
+    continue
+  fi
+
+  echo "== $method: resume run =="
+  "$BIN" "${COMMON[@]}" --method="$method" \
+      --checkpoint_dir="$dir/ckpt" --resume \
+      --epochs_jsonl="$dir/resumed.jsonl" || { FAILED=1; continue; }
+
+  if python3 "$(dirname "$0")/diff_epoch_jsonl.py" \
+      "$dir/reference.jsonl" "$dir/resumed.jsonl"; then
+    echo "== $method: OK (resume bitwise-identical) =="
+  else
+    echo "crash_resume_smoke: $method: resumed run diverged from reference" >&2
+    FAILED=1
+  fi
+done
+
+if [[ $FAILED -ne 0 ]]; then
+  echo "crash_resume_smoke: FAILED" >&2
+  exit 1
+fi
+echo "crash_resume_smoke: all ${#METHODS[@]} methods OK"

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compares two per-epoch JSONL files record by record.
+
+Usage:
+  scripts/diff_epoch_jsonl.py <reference.jsonl> <candidate.jsonl> \
+      [--ignore KEY ...]
+
+Every line is parsed as JSON; the files must have the same number of
+records, and record i must match record i on every key not listed via
+--ignore (wall-clock keys like "epoch_seconds" and "rss_bytes" are ignored
+by default). Values are compared for exact equality — this is the bitwise
+crash-resume check, not a tolerance comparison.
+
+Exit code 0 when identical; prints the first mismatch and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_IGNORE = {"epoch_seconds", "seconds", "rss_bytes"}
+
+
+def fail(msg: str) -> None:
+    print(f"diff_epoch_jsonl: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> list:
+    records = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: invalid JSON: {e}")
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not records:
+        fail(f"{path}: no records")
+    return records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reference", help="reference JSONL path")
+    parser.add_argument("candidate", help="candidate JSONL path")
+    parser.add_argument("--ignore", action="append", default=[],
+                        help="key to exclude from comparison "
+                             f"(in addition to {sorted(DEFAULT_IGNORE)})")
+    args = parser.parse_args()
+    ignore = DEFAULT_IGNORE | set(args.ignore)
+
+    ref = load(args.reference)
+    cand = load(args.candidate)
+    if len(ref) != len(cand):
+        fail(f"record count differs: {args.reference} has {len(ref)}, "
+             f"{args.candidate} has {len(cand)}")
+    for i, (r, c) in enumerate(zip(ref, cand)):
+        keys_r = set(r.keys()) - ignore
+        keys_c = set(c.keys()) - ignore
+        if keys_r != keys_c:
+            fail(f"record {i}: key sets differ: "
+                 f"{sorted(keys_r ^ keys_c)} not shared")
+        for k in sorted(keys_r):
+            if r[k] != c[k]:
+                fail(f"record {i}: field '{k}' differs: "
+                     f"reference={r[k]!r} candidate={c[k]!r}")
+    print(f"diff_epoch_jsonl: OK: {len(ref)} records identical "
+          f"(ignored: {sorted(ignore)})")
+
+
+if __name__ == "__main__":
+    main()

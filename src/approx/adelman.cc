@@ -1,5 +1,7 @@
 #include "src/approx/adelman.h"
 
+#include <cmath>
+
 #include "src/approx/sampling.h"
 #include "src/telemetry/metrics_registry.h"
 #include "src/telemetry/telemetry.h"
@@ -48,11 +50,26 @@ StatusOr<std::vector<double>> AdelmanScoresTransB(const Matrix& a,
 namespace {
 
 // Shared selection step: water-fill + Bernoulli draw + inverse-probability
-// scales for the selected indices.
-void SelectAndScale(const std::vector<double>& scores, size_t k, Rng& rng,
+// scales for the selected indices. Non-finite scores (a NaN/Inf norm from a
+// poisoned activation or weight) are clamped to zero first — the estimator
+// degrades toward uniform sampling instead of propagating the poison into
+// the probability water-fill; occurrences are counted for telemetry.
+void SelectAndScale(std::vector<double>* scores, size_t k, Rng& rng,
                     std::vector<uint32_t>* selected,
                     std::vector<float>* scales) {
-  const std::vector<double> probs = WaterFillProbabilities(scores, k);
+  size_t nonfinite = 0;
+  for (double& s : *scores) {
+    if (!std::isfinite(s)) {
+      s = 0.0;
+      ++nonfinite;
+    }
+  }
+  if (nonfinite > 0 && TelemetryEnabled()) {
+    static Counter& c =
+        MetricsRegistry::Get().GetCounter("resilience.mc_nonfinite_norms");
+    c.Add(nonfinite);
+  }
+  const std::vector<double> probs = WaterFillProbabilities(*scores, k);
   BernoulliSample(probs, rng, selected);
   scales->resize(selected->size());
   for (size_t s = 0; s < selected->size(); ++s) {
@@ -89,7 +106,7 @@ Status AdelmanApproxMatmul(const Matrix& a, const Matrix& b, size_t k,
   SAMPNN_ASSIGN_OR_RETURN(std::vector<double> scores, AdelmanScores(a, b));
   std::vector<uint32_t> selected;
   std::vector<float> scales;
-  SelectAndScale(scores, k, rng, &selected, &scales);
+  SelectAndScale(&scores, k, rng, &selected, &scales);
   out->SetZero();
   float* od = out->data();
   const float* bd = b.data();
@@ -124,7 +141,7 @@ Status AdelmanApproxGemmTransA(const Matrix& a, const Matrix& b, size_t k,
                           AdelmanScoresTransA(a, b));
   std::vector<uint32_t> selected;
   std::vector<float> scales;
-  SelectAndScale(scores, k, rng, &selected, &scales);
+  SelectAndScale(&scores, k, rng, &selected, &scales);
   out->SetZero();
   float* od = out->data();
   for (size_t s = 0; s < selected.size(); ++s) {
@@ -159,7 +176,7 @@ Status AdelmanApproxGemmTransB(const Matrix& a, const Matrix& b, size_t k,
                           AdelmanScoresTransB(a, b));
   std::vector<uint32_t> selected;
   std::vector<float> scales;
-  SelectAndScale(scores, k, rng, &selected, &scales);
+  SelectAndScale(&scores, k, rng, &selected, &scales);
   out->SetZero();
   float* od = out->data();
   const float* bd = b.data();

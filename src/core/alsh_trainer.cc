@@ -2,14 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "src/lsh/mips.h"
 #include "src/nn/loss.h"
+#include "src/resilience/fault_injector.h"
 #include "src/telemetry/epoch_recorder.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
 #include "src/telemetry/trace.h"
 #include "src/tensor/kernels.h"
+#include "src/util/binary_io.h"
 
 namespace sampnn {
+
+namespace {
+
+void WriteMatrixState(std::ostream& out, const Matrix& m) {
+  WriteU64(out, m.rows());
+  WriteU64(out, m.cols());
+  WriteFloats(out, {m.data(), m.size()});
+}
+
+Status ReadMatrixStateInto(std::istream& in, Matrix* m) {
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t rows, ReadU64(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t cols, ReadU64(in));
+  if (rows != m->rows() || cols != m->cols()) {
+    return Status::InvalidArgument(
+        "checkpointed matrix is " + std::to_string(rows) + "x" +
+        std::to_string(cols) + ", expected " + std::to_string(m->rows()) +
+        "x" + std::to_string(m->cols()));
+  }
+  std::vector<float> buf;
+  SAMPNN_RETURN_NOT_OK(ReadFloats(in, &buf));
+  if (buf.size() != m->size()) {
+    return Status::InvalidArgument("checkpointed matrix payload mismatch");
+  }
+  std::copy(buf.begin(), buf.end(), m->data());
+  return Status::OK();
+}
+
+Status ReadFloatsExact(std::istream& in, std::vector<float>* out,
+                       size_t expected) {
+  SAMPNN_RETURN_NOT_OK(ReadFloats(in, out));
+  if (out->size() != expected) {
+    return Status::InvalidArgument("checkpointed vector length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 StatusOr<SparseOptState> SparseOptState::Create(const Layer& layer,
                                                 const std::string& mode_name) {
@@ -156,6 +199,23 @@ void AlshTrainer::SelectActive(size_t hidden_layer,
     return;
   }
   indexes_[hidden_layer].Query(a_prev, &active);
+  if (active.empty() && options_.dense_fallback) {
+    // Graceful degradation: an empty probe union means the index has no
+    // signal for this query (degenerate tables, all-zero activations, a
+    // just-poisoned layer). Run the layer dense for this sample rather
+    // than training on the random-fill floor alone.
+    active.resize(n);
+    std::iota(active.begin(), active.end(), 0u);
+    ++scratch->dense_fallbacks;
+    if (TelemetryEnabled()) {
+      static Counter& c = MetricsRegistry::Get().GetCounter(
+          "resilience.alsh_dense_fallbacks");
+      c.Increment();
+    }
+    scratch->active_fraction_sum += 1.0;
+    ++scratch->active_fraction_count;
+    return;
+  }
   if (active.size() < options_.min_active && active.size() < n) {
     // Random fill keeps training alive when buckets come back (near) empty —
     // the floor is itself a uniform sample, like a tiny Dropout fallback.
@@ -379,7 +439,105 @@ StatusOr<double> AlshTrainer::Step(const Matrix& x,
     timer_.Merge(s.timer);
     s.timer.Reset();
   }
+  if (FaultArmed(FaultKind::kGradNan)) {
+    // Sparse updates write straight into the weights, so a poisoned
+    // gradient manifests as a poisoned parameter. Target the output layer:
+    // nothing sits between the logits and the loss to mask the NaN.
+    net_.layer(net_.num_layers() - 1).weights()(0, 0) =
+        std::numeric_limits<float>::quiet_NaN();
+  }
   return total_loss / static_cast<double>(x.rows());
+}
+
+uint64_t AlshTrainer::DenseFallbacks() const {
+  uint64_t total = 0;
+  for (const Scratch& s : scratches_) total += s.dense_fallbacks;
+  return total;
+}
+
+Status AlshTrainer::SaveExtraState(std::ostream& out) const {
+  WriteU64(out, samples_seen_);
+  WriteU64(out, samples_at_last_rebuild_);
+  WriteU64(out, indexes_.size());
+  for (const AlshIndex& index : indexes_) {
+    SAMPNN_RETURN_NOT_OK(index.SaveState(out));
+  }
+  WriteU64(out, opt_states_.size());
+  for (const SparseOptState& opt : opt_states_) {
+    WriteU64(out, static_cast<uint64_t>(opt.mode));
+    WriteMatrixState(out, opt.v_w);
+    WriteMatrixState(out, opt.m_w);
+    WriteFloats(out, opt.v_b);
+    WriteFloats(out, opt.m_b);
+    WriteU32s(out, opt.col_step);
+  }
+  WriteU64(out, scratches_.size());
+  for (const Scratch& s : scratches_) {
+    WriteRngState(out, s.rng.GetState());
+    WriteF64(out, s.active_fraction_sum);
+    WriteU64(out, s.active_fraction_count);
+    WriteU64(out, s.dense_fallbacks);
+  }
+  if (!out) return Status::IOError("ALSH trainer state write failure");
+  return Status::OK();
+}
+
+Status AlshTrainer::LoadExtraState(std::istream& in) {
+  SAMPNN_CHECK(initialized_);
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t samples_seen, ReadU64(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t samples_at_last_rebuild, ReadU64(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_indexes, ReadU64(in));
+  if (num_indexes != indexes_.size()) {
+    return Status::InvalidArgument(
+        "ALSH state has " + std::to_string(num_indexes) +
+        " indexes, trainer has " + std::to_string(indexes_.size()));
+  }
+  for (AlshIndex& index : indexes_) {
+    SAMPNN_RETURN_NOT_OK(index.LoadState(in));
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_opt, ReadU64(in));
+  if (num_opt != opt_states_.size()) {
+    return Status::InvalidArgument(
+        "ALSH state has " + std::to_string(num_opt) +
+        " optimizer states, trainer has " +
+        std::to_string(opt_states_.size()));
+  }
+  for (SparseOptState& opt : opt_states_) {
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t mode, ReadU64(in));
+    if (mode != static_cast<uint64_t>(opt.mode)) {
+      return Status::InvalidArgument(
+          "ALSH state sparse-optimizer mode mismatch");
+    }
+    SAMPNN_RETURN_NOT_OK(ReadMatrixStateInto(in, &opt.v_w));
+    SAMPNN_RETURN_NOT_OK(ReadMatrixStateInto(in, &opt.m_w));
+    SAMPNN_RETURN_NOT_OK(ReadFloatsExact(in, &opt.v_b, opt.v_b.size()));
+    SAMPNN_RETURN_NOT_OK(ReadFloatsExact(in, &opt.m_b, opt.m_b.size()));
+    std::vector<uint32_t> col_step;
+    SAMPNN_RETURN_NOT_OK(ReadU32s(in, &col_step));
+    if (col_step.size() != opt.col_step.size()) {
+      return Status::InvalidArgument("ALSH state col_step length mismatch");
+    }
+    opt.col_step = std::move(col_step);
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_scratches, ReadU64(in));
+  if (num_scratches != scratches_.size()) {
+    return Status::InvalidArgument(
+        "ALSH state was saved with " + std::to_string(num_scratches) +
+        " worker scratches, trainer has " +
+        std::to_string(scratches_.size()) +
+        " (threads must match to resume)");
+  }
+  for (Scratch& s : scratches_) {
+    SAMPNN_ASSIGN_OR_RETURN(RngState rng_state, ReadRngState(in));
+    SAMPNN_ASSIGN_OR_RETURN(s.active_fraction_sum, ReadF64(in));
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t count, ReadU64(in));
+    SAMPNN_ASSIGN_OR_RETURN(s.dense_fallbacks, ReadU64(in));
+    s.rng.SetState(rng_state);
+    s.active_fraction_count = static_cast<size_t>(count);
+  }
+  samples_seen_ = static_cast<size_t>(samples_seen);
+  samples_at_last_rebuild_ = static_cast<size_t>(samples_at_last_rebuild);
+  return Status::OK();
 }
 
 std::vector<float> AlshTrainer::ForwardSampleSparse(std::span<const float> x) {
@@ -454,6 +612,7 @@ void AlshTrainer::FillTelemetry(EpochTelemetry* record) const {
   record->alsh_max_bucket_occupancy = max_occupancy;
   record->alsh_avg_bucket_occupancy =
       nonempty == 0 ? 0.0 : occupancy_sum / static_cast<double>(nonempty);
+  record->alsh_dense_fallbacks = DenseFallbacks();
 }
 
 }  // namespace sampnn

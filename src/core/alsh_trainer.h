@@ -75,6 +75,16 @@ class AlshTrainer : public Trainer {
   void FillTelemetry(EpochTelemetry* record) const override;
 
   const AlshOptions& options() const { return options_; }
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+  /// Times the hash probe came back empty and the layer ran dense instead
+  /// (options().dense_fallback); summed across worker scratches.
+  uint64_t DenseFallbacks() const;
+
+ protected:
+  Status SaveExtraState(std::ostream& out) const override;
+  Status LoadExtraState(std::istream& in) override;
 
  private:
   AlshTrainer(Mlp net, const AlshOptions& options, float learning_rate,
@@ -96,6 +106,8 @@ class AlshTrainer : public Trainer {
     // Active-set accounting, aggregated by AverageActiveFraction().
     double active_fraction_sum = 0.0;
     size_t active_fraction_count = 0;
+    // Empty-probe dense fallbacks taken by this worker (resilience).
+    uint64_t dense_fallbacks = 0;
   };
 
   Status Init();

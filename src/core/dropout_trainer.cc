@@ -1,10 +1,13 @@
 #include "src/core/dropout_trainer.h"
 
 #include <cmath>
+#include <limits>
 
 #include "src/nn/loss.h"
+#include "src/resilience/fault_injector.h"
 #include "src/telemetry/trace.h"
 #include "src/tensor/kernels.h"
+#include "src/util/binary_io.h"
 
 namespace sampnn {
 
@@ -70,9 +73,26 @@ StatusOr<double> MaskedTrainer::Step(const Matrix& x,
         delta_prev = Matrix();
       }
     }
+    if (FaultArmed(FaultKind::kGradNan)) {
+      // Output layer: ReLU would mask a NaN in the hidden layers.
+      grads_.back().weights(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (track_grad_norm_) last_grad_norm2_ = GradSquaredNorm(grads_);
     optimizer_->Step(&net_, grads_);
   }
   return loss;
+}
+
+Status MaskedTrainer::SaveExtraState(std::ostream& out) const {
+  WriteRngState(out, rng_.GetState());
+  return optimizer_->SaveState(out);
+}
+
+Status MaskedTrainer::LoadExtraState(std::istream& in) {
+  SAMPNN_ASSIGN_OR_RETURN(RngState rng_state, ReadRngState(in));
+  SAMPNN_RETURN_NOT_OK(optimizer_->LoadState(in, net_));
+  rng_.SetState(rng_state);
+  return Status::OK();
 }
 
 DropoutTrainer::DropoutTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer,

@@ -21,9 +21,16 @@ namespace sampnn {
 class MaskedTrainer : public Trainer {
  public:
   StatusOr<double> Step(const Matrix& x, std::span<const int32_t> y) override;
+  float learning_rate() const override { return optimizer_->learning_rate(); }
+  void set_learning_rate(float lr) override {
+    optimizer_->set_learning_rate(lr);
+  }
 
  protected:
   MaskedTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer, uint64_t seed);
+
+  Status SaveExtraState(std::ostream& out) const override;
+  Status LoadExtraState(std::istream& in) override;
 
   /// Fills `mask` (same shape as `z`) with 0 for dropped units and the
   /// inverse keep probability for kept units. `layer` indexes hidden layers.

@@ -12,11 +12,24 @@
 #include "src/core/trainer.h"
 #include "src/data/dataset.h"
 #include "src/metrics/confusion_matrix.h"
+#include "src/resilience/sentinel.h"
 #include "src/util/status.h"
 
 namespace sampnn {
 
 class EpochRecorder;  // src/telemetry/epoch_recorder.h
+
+/// Crash-safety and divergence-recovery knobs for RunExperiment.
+struct ResilienceOptions {
+  std::string checkpoint_dir;   ///< empty = checkpointing disabled
+  size_t checkpoint_every = 0;  ///< batches between checkpoints; 0 = write
+                                ///< at epoch boundaries (when dir is set)
+  size_t retain = 3;            ///< keep the newest K checkpoints; 0 = all
+  bool resume = false;          ///< continue from the latest valid
+                                ///< checkpoint in checkpoint_dir (a fresh
+                                ///< start when none exists)
+  SentinelOptions sentinel;     ///< divergence detection + rollback
+};
 
 /// Knobs for one experiment run.
 struct ExperimentConfig {
@@ -33,6 +46,7 @@ struct ExperimentConfig {
   /// written unless telemetry is enabled (src/telemetry/telemetry.h).
   EpochRecorder* telemetry = nullptr;
   std::string run_label;       ///< stamps the "run" field of telemetry records
+  ResilienceOptions resilience;
 };
 
 /// One epoch's record.

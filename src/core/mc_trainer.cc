@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include <limits>
+
 #include "src/approx/adelman.h"
 #include "src/nn/loss.h"
+#include "src/resilience/fault_injector.h"
 #include "src/telemetry/epoch_recorder.h"
 #include "src/telemetry/metrics_registry.h"
 #include "src/telemetry/trace.h"
 #include "src/tensor/kernels.h"
+#include "src/util/binary_io.h"
 
 namespace sampnn {
 
@@ -121,6 +125,11 @@ StatusOr<double> McTrainer::Step(const Matrix& x,
         h.Observe(batch_samples);
       }
     }
+    if (FaultArmed(FaultKind::kGradNan)) {
+      // Output layer: ReLU would mask a NaN in the hidden layers.
+      grads_.back().weights(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (track_grad_norm_) last_grad_norm2_ = GradSquaredNorm(grads_);
     optimizer_->Step(&net_, grads_);
   }
   return loss;
@@ -129,6 +138,24 @@ StatusOr<double> McTrainer::Step(const Matrix& x,
 void McTrainer::FillTelemetry(EpochTelemetry* record) const {
   record->mc_batch_samples = batch_samples_total_;
   record->mc_delta_samples = delta_samples_total_;
+}
+
+Status McTrainer::SaveExtraState(std::ostream& out) const {
+  WriteRngState(out, rng_.GetState());
+  WriteU64(out, batch_samples_total_);
+  WriteU64(out, delta_samples_total_);
+  return optimizer_->SaveState(out);
+}
+
+Status McTrainer::LoadExtraState(std::istream& in) {
+  SAMPNN_ASSIGN_OR_RETURN(RngState rng_state, ReadRngState(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t batch_total, ReadU64(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t delta_total, ReadU64(in));
+  SAMPNN_RETURN_NOT_OK(optimizer_->LoadState(in, net_));
+  rng_.SetState(rng_state);
+  batch_samples_total_ = batch_total;
+  delta_samples_total_ = delta_total;
+  return Status::OK();
 }
 
 }  // namespace sampnn

@@ -33,6 +33,14 @@ class McTrainer : public Trainer {
   void FillTelemetry(EpochTelemetry* record) const override;
 
   const McOptions& options() const { return options_; }
+  float learning_rate() const override { return optimizer_->learning_rate(); }
+  void set_learning_rate(float lr) override {
+    optimizer_->set_learning_rate(lr);
+  }
+
+ protected:
+  Status SaveExtraState(std::ostream& out) const override;
+  Status LoadExtraState(std::istream& in) override;
 
  private:
   McTrainer(Mlp net, std::unique_ptr<Optimizer> optimizer,

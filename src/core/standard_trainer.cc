@@ -1,6 +1,9 @@
 #include "src/core/standard_trainer.h"
 
+#include <limits>
+
 #include "src/nn/loss.h"
+#include "src/resilience/fault_injector.h"
 #include "src/telemetry/trace.h"
 
 namespace sampnn {
@@ -22,9 +25,23 @@ StatusOr<double> StandardTrainer::Step(const Matrix& x,
     SAMPNN_ASSIGN_OR_RETURN(
         loss, SoftmaxCrossEntropy::LossAndGrad(ws_.a.back(), y, &grad_logits_));
     net_.Backward(x, ws_, grad_logits_, &grads_);
+    if (FaultArmed(FaultKind::kGradNan)) {
+      // Poison the output layer: a NaN hidden-layer weight can be masked by
+      // ReLU (NaN > 0 is false), but nothing sits between logits and loss.
+      grads_.back().weights(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (track_grad_norm_) last_grad_norm2_ = GradSquaredNorm(grads_);
     optimizer_->Step(&net_, grads_);
   }
   return loss;
+}
+
+Status StandardTrainer::SaveExtraState(std::ostream& out) const {
+  return optimizer_->SaveState(out);
+}
+
+Status StandardTrainer::LoadExtraState(std::istream& in) {
+  return optimizer_->LoadState(in, net_);
 }
 
 }  // namespace sampnn

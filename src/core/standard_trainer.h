@@ -14,6 +14,14 @@ class StandardTrainer : public Trainer {
 
   StatusOr<double> Step(const Matrix& x, std::span<const int32_t> y) override;
   const char* name() const override { return "standard"; }
+  float learning_rate() const override { return optimizer_->learning_rate(); }
+  void set_learning_rate(float lr) override {
+    optimizer_->set_learning_rate(lr);
+  }
+
+ protected:
+  Status SaveExtraState(std::ostream& out) const override;
+  Status LoadExtraState(std::istream& in) override;
 
  private:
   std::unique_ptr<Optimizer> optimizer_;

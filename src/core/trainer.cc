@@ -4,8 +4,31 @@
 #include "src/core/dropout_trainer.h"
 #include "src/core/mc_trainer.h"
 #include "src/core/standard_trainer.h"
+#include "src/nn/serialize.h"
 
 namespace sampnn {
+
+Status Trainer::SaveState(std::ostream& out) const {
+  SAMPNN_RETURN_NOT_OK(SaveMlp(net_, out));
+  return SaveExtraState(out);
+}
+
+Status Trainer::LoadState(std::istream& in) {
+  SAMPNN_RETURN_NOT_OK(LoadMlpParamsInto(in, &net_));
+  return LoadExtraState(in);
+}
+
+double GradSquaredNorm(const MlpGrads& grads) {
+  double sum = 0.0;
+  for (const LayerGrads& g : grads) {
+    const float* wd = g.weights.data();
+    for (size_t i = 0; i < g.weights.size(); ++i) {
+      sum += static_cast<double>(wd[i]) * wd[i];
+    }
+    for (float b : g.bias) sum += static_cast<double>(b) * b;
+  }
+  return sum;
+}
 
 StatusOr<TrainerKind> TrainerKindFromString(const std::string& name) {
   if (name == "standard") return TrainerKind::kStandard;

@@ -78,6 +78,11 @@ struct AlshOptions {
   size_t late_rebuild_every = 1000;
   size_t threads = 1;            ///< >1 = HOGWILD-parallel batch processing
   std::string optimizer = "adam";  ///< sparse update rule: sgd|adagrad|adam
+  bool dense_fallback = true;    ///< graceful degradation: when the hash
+                                 ///< probe returns an *empty* active set,
+                                 ///< run that layer dense for the sample
+                                 ///< instead of training on noise (counted
+                                 ///< in resilience telemetry)
 };
 
 /// Options for MC-approx (§6.2; paper §8.4: batch 20, k = 10).
@@ -136,12 +141,46 @@ class Trainer {
   /// base implementation leaves the record untouched.
   virtual void FillTelemetry(EpochTelemetry* /*record*/) const {}
 
+  /// Effective learning rate. The resilience layer's rollback applies
+  /// backoff through set_learning_rate(); checkpoints restore it.
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+
+  /// Serializes the complete mutable training state — network parameters
+  /// (an "SNN1" section) followed by method-specific state (optimizer
+  /// moments, RNG streams, hash tables, sample counters) — such that a
+  /// trainer built from the identical configuration, after LoadState(),
+  /// reproduces the uninterrupted run's batch stream bitwise.
+  Status SaveState(std::ostream& out) const;
+  /// Restores state written by SaveState(). The trainer must have been
+  /// constructed with the same configuration (architecture, optimizer,
+  /// seeds); mismatches return InvalidArgument.
+  Status LoadState(std::istream& in);
+
+  /// When enabled, trainers that materialize dense gradients record the
+  /// squared L2 norm of each Step's gradient for the divergence sentinel.
+  void set_track_grad_norm(bool enabled) { track_grad_norm_ = enabled; }
+  /// Squared gradient norm of the last Step(); -1 when unavailable
+  /// (tracking disabled, no step yet, or a sparse-update trainer).
+  double last_grad_norm2() const { return last_grad_norm2_; }
+
  protected:
   explicit Trainer(Mlp net) : net_(std::move(net)) {}
 
+  /// Method-specific state beyond the network parameters. Base: nothing.
+  virtual Status SaveExtraState(std::ostream& /*out*/) const {
+    return Status::OK();
+  }
+  virtual Status LoadExtraState(std::istream& /*in*/) { return Status::OK(); }
+
   Mlp net_;
   SplitTimer timer_;
+  bool track_grad_norm_ = false;
+  double last_grad_norm2_ = -1.0;
 };
+
+/// Squared L2 norm over all weight and bias gradients (sentinel support).
+double GradSquaredNorm(const MlpGrads& grads);
 
 /// Builds a trainer of `options.kind` around a freshly-created network.
 /// The network is constructed from `net_config` (seeded by it, so all

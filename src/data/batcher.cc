@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/util/binary_io.h"
 #include "src/util/check.h"
 
 namespace sampnn {
@@ -24,6 +25,44 @@ void Batcher::ShuffleOrder() { rng_.Shuffle(order_); }
 size_t Batcher::BatchesPerEpoch() const {
   if (drop_remainder_) return data_.size() / batch_size_;
   return (data_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Status Batcher::SaveState(std::ostream& out) const {
+  WriteRngState(out, rng_.GetState());
+  WriteU64(out, order_.size());
+  for (size_t idx : order_) WriteU64(out, idx);
+  WriteU64(out, cursor_);
+  if (!out) return Status::IOError("batcher state write failure");
+  return Status::OK();
+}
+
+Status Batcher::LoadState(std::istream& in) {
+  SAMPNN_ASSIGN_OR_RETURN(RngState rng_state, ReadRngState(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t count, ReadU64(in));
+  if (count != order_.size()) {
+    return Status::InvalidArgument(
+        "batcher state covers " + std::to_string(count) +
+        " examples, dataset has " + std::to_string(order_.size()));
+  }
+  if (!FitsRemaining(in, count + 1, sizeof(uint64_t))) {
+    return Status::InvalidArgument("batcher state truncated");
+  }
+  std::vector<size_t> order(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t idx, ReadU64(in));
+    if (idx >= data_.size()) {
+      return Status::InvalidArgument("batcher state index out of range");
+    }
+    order[i] = static_cast<size_t>(idx);
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t cursor, ReadU64(in));
+  if (cursor > data_.size()) {
+    return Status::InvalidArgument("batcher state cursor out of range");
+  }
+  rng_.SetState(rng_state);
+  order_ = std::move(order);
+  cursor_ = static_cast<size_t>(cursor);
+  return Status::OK();
 }
 
 bool Batcher::Next(Matrix* x, std::vector<int32_t>* y) {

@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "src/data/dataset.h"
 #include "src/util/rng.h"
+#include "src/util/status.h"
 
 namespace sampnn {
 
@@ -30,6 +33,13 @@ class Batcher {
   size_t BatchesPerEpoch() const;
 
   size_t batch_size() const { return batch_size_; }
+
+  /// Serializes the shuffle RNG, the current epoch's order, and the cursor
+  /// so a resumed run continues mid-epoch with the identical batch stream.
+  Status SaveState(std::ostream& out) const;
+  /// Restores state written by SaveState() for the *same* dataset size;
+  /// InvalidArgument if the order length or indices don't match.
+  Status LoadState(std::istream& in);
 
  private:
   void ShuffleOrder();

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <fstream>
 
+#include "src/util/binary_io.h"
+
 namespace sampnn {
 
 namespace {
 
 constexpr uint32_t kImagesMagic = 0x00000803;
 constexpr uint32_t kLabelsMagic = 0x00000801;
+// Plausibility caps: reject garbage headers before allocating. 2^16 pixels
+// per side and 2^30 examples are far beyond any IDX corpus.
+constexpr uint32_t kMaxSide = 1u << 16;
+constexpr uint32_t kMaxCount = 1u << 30;
 
 StatusOr<uint32_t> ReadBigEndianU32(std::ifstream& in) {
   uint8_t buf[4];
@@ -35,6 +41,23 @@ StatusOr<IdxImages> ReadIdxImages(const std::string& path) {
   if (rows == 0 || cols == 0) {
     return Status::InvalidArgument(path + ": zero image dimensions");
   }
+  if (rows > kMaxSide || cols > kMaxSide || count > kMaxCount) {
+    return Status::InvalidArgument(path + ": implausible IDX dimensions " +
+                                   std::to_string(count) + "x" +
+                                   std::to_string(rows) + "x" +
+                                   std::to_string(cols));
+  }
+  // Bounds-check the declared payload against the actual file length before
+  // allocating: a corrupt header must not trigger a giant allocation or a
+  // partial read of garbage.
+  const uint64_t expected =
+      static_cast<uint64_t>(count) * rows * cols;
+  if (!FitsRemaining(in, expected, 1)) {
+    // Truncation (vs. a garbage header) keeps the IOError contract.
+    return Status::IOError(
+        path + ": file too short for declared " + std::to_string(count) +
+        " images of " + std::to_string(rows) + "x" + std::to_string(cols));
+  }
   IdxImages images;
   images.count = count;
   images.rows = rows;
@@ -55,6 +78,14 @@ StatusOr<std::vector<uint8_t>> ReadIdxLabels(const std::string& path) {
                                    std::to_string(magic));
   }
   SAMPNN_ASSIGN_OR_RETURN(uint32_t count, ReadBigEndianU32(in));
+  if (count > kMaxCount) {
+    return Status::InvalidArgument(path + ": implausible label count " +
+                                   std::to_string(count));
+  }
+  if (!FitsRemaining(in, count, 1)) {
+    return Status::IOError(path + ": file too short for declared " +
+                          std::to_string(count) + " labels");
+  }
   std::vector<uint8_t> labels(count);
   in.read(reinterpret_cast<char*>(labels.data()),
           static_cast<std::streamsize>(labels.size()));

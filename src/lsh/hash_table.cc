@@ -5,6 +5,7 @@
 
 #include "src/telemetry/metrics_registry.h"
 #include "src/telemetry/telemetry.h"
+#include "src/util/binary_io.h"
 #include "src/util/check.h"
 
 namespace sampnn {
@@ -140,6 +141,62 @@ void AlshIndex::Query(std::span<const float> a,
         MetricsRegistry::Get().GetHistogram("lsh.query.active");
     h.Observe(out->size());
   }
+}
+
+Status AlshIndex::SaveState(std::ostream& out) const {
+  WriteU64(out, num_items_);
+  WriteU64(out, build_count_);
+  WriteF32(out, transform_.scale());
+  WriteRngState(out, reservoir_rng_.GetState());
+  WriteU64(out, buckets_.size());
+  for (const auto& table : buckets_) {
+    WriteU64(out, table.size());
+    for (const auto& bucket : table) {
+      WriteU32s(out, bucket);
+    }
+  }
+  if (!out) return Status::IOError("ALSH index state write failure");
+  return Status::OK();
+}
+
+Status AlshIndex::LoadState(std::istream& in) {
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_items, ReadU64(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t build_count, ReadU64(in));
+  SAMPNN_ASSIGN_OR_RETURN(float scale, ReadF32(in));
+  SAMPNN_ASSIGN_OR_RETURN(RngState reservoir_state, ReadRngState(in));
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_tables, ReadU64(in));
+  if (num_tables != buckets_.size()) {
+    return Status::InvalidArgument(
+        "ALSH state has " + std::to_string(num_tables) + " tables, index has " +
+        std::to_string(buckets_.size()));
+  }
+  std::vector<std::vector<std::vector<uint32_t>>> loaded(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t num_buckets, ReadU64(in));
+    if (num_buckets != buckets_[t].size()) {
+      return Status::InvalidArgument(
+          "ALSH state table " + std::to_string(t) + " has " +
+          std::to_string(num_buckets) + " buckets, index has " +
+          std::to_string(buckets_[t].size()));
+    }
+    loaded[t].resize(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) {
+      SAMPNN_RETURN_NOT_OK(ReadU32s(in, &loaded[t][b]));
+      for (uint32_t id : loaded[t][b]) {
+        if (id >= num_items) {
+          return Status::InvalidArgument(
+              "ALSH state bucket item " + std::to_string(id) +
+              " out of range (num_items=" + std::to_string(num_items) + ")");
+        }
+      }
+    }
+  }
+  num_items_ = num_items;
+  build_count_ = build_count;
+  transform_.SetScale(scale);
+  reservoir_rng_.SetState(reservoir_state);
+  buckets_ = std::move(loaded);
+  return Status::OK();
 }
 
 AlshIndexStats AlshIndex::ComputeStats() const {

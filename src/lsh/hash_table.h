@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <span>
 #include <variant>
 #include <vector>
@@ -80,6 +82,18 @@ class AlshIndex {
   size_t build_count() const { return build_count_; }
 
   AlshIndexStats ComputeStats() const;
+
+  /// Serializes the mutable index state for checkpointing: bucket contents,
+  /// item/build counters, fitted transform scale, and the reservoir RNG.
+  /// Hash functions are NOT serialized — they are deterministic in the
+  /// Create() seed, so save/load must pair indexes created with the same
+  /// (dim, options, seed). Buckets are saved verbatim because they were
+  /// built from *older* weights: rebuilding from current weights on resume
+  /// would diverge from the uninterrupted run.
+  Status SaveState(std::ostream& out) const;
+  /// Restores state written by SaveState(). Validates table/bucket layout
+  /// against this index's configuration; InvalidArgument on mismatch.
+  Status LoadState(std::istream& in);
 
  private:
   using LshFunction = std::variant<SrpHash, WtaHash>;

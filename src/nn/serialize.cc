@@ -3,28 +3,83 @@
 #include <cstring>
 #include <fstream>
 
+#include "src/util/binary_io.h"
+#include "src/util/check.h"
+
 namespace sampnn {
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'N', 'N', '1'};
+// Plausibility cap on a single layer dimension: rejects garbage headers
+// before any allocation (2^24 units is far beyond the paper's scale).
+constexpr uint64_t kMaxLayerDim = uint64_t{1} << 24;
 
-void WriteU64(std::ofstream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+struct RawLayer {
+  size_t in, out;
+  Activation act;
+  std::vector<float> weights, bias;
+};
 
-StatusOr<uint64_t> ReadU64(std::ifstream& in) {
-  uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) return Status::InvalidArgument("truncated model file");
-  return v;
+// Reads the "SNN1" image into raw per-layer buffers, validating structure
+// and bounds-checking every declared size against the remaining stream.
+StatusOr<std::vector<RawLayer>> ReadRawLayers(std::istream& in,
+                                              const std::string& context) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(context + ": bad model magic");
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_layers, ReadU64(in));
+  if (num_layers == 0 || num_layers > 1024) {
+    return Status::InvalidArgument(context + ": implausible layer count " +
+                                   std::to_string(num_layers));
+  }
+  std::vector<RawLayer> layers;
+  layers.reserve(num_layers);
+  size_t prev_out = 0;
+  for (uint64_t k = 0; k < num_layers; ++k) {
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t in_dim, ReadU64(in));
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t out_dim, ReadU64(in));
+    SAMPNN_ASSIGN_OR_RETURN(uint64_t act_raw, ReadU64(in));
+    if (in_dim == 0 || out_dim == 0) {
+      return Status::InvalidArgument(context + ": zero layer dimension");
+    }
+    if (in_dim > kMaxLayerDim || out_dim > kMaxLayerDim) {
+      return Status::InvalidArgument(context + ": implausible layer dimension");
+    }
+    if (k > 0 && in_dim != prev_out) {
+      return Status::InvalidArgument(context +
+                                     ": layer dimension chain broken");
+    }
+    if (act_raw > static_cast<uint64_t>(Activation::kTanh)) {
+      return Status::InvalidArgument(context + ": unknown activation id");
+    }
+    // Bounds-check the declared parameter block against the actual bytes
+    // left before allocating (kMaxLayerDim^2 * 4 still fits in u64).
+    if (!FitsRemaining(in, in_dim * out_dim + out_dim, sizeof(float))) {
+      return Status::InvalidArgument(context +
+                                     ": declared parameters past end of file");
+    }
+    prev_out = out_dim;
+    RawLayer layer;
+    layer.in = in_dim;
+    layer.out = out_dim;
+    layer.act = static_cast<Activation>(act_raw);
+    layer.weights.resize(in_dim * out_dim);
+    SAMPNN_RETURN_NOT_OK(ReadBytes(in, layer.weights.data(),
+                                   layer.weights.size() * sizeof(float)));
+    layer.bias.resize(out_dim);
+    SAMPNN_RETURN_NOT_OK(
+        ReadBytes(in, layer.bias.data(), layer.bias.size() * sizeof(float)));
+    layers.push_back(std::move(layer));
+  }
+  return layers;
 }
 
 }  // namespace
 
-Status SaveMlp(const Mlp& net, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IOError("cannot open " + path);
+Status SaveMlp(const Mlp& net, std::ostream& out) {
   out.write(kMagic, 4);
   WriteU64(out, net.num_layers());
   for (size_t k = 0; k < net.num_layers(); ++k) {
@@ -39,62 +94,24 @@ Status SaveMlp(const Mlp& net, const std::string& path) {
               static_cast<std::streamsize>(layer.bias().size() *
                                            sizeof(float)));
   }
+  if (!out) return Status::IOError("model write failure");
+  return Status::OK();
+}
+
+Status SaveMlp(const Mlp& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  SAMPNN_RETURN_NOT_OK(SaveMlp(net, out));
   out.flush();
   if (!out) return Status::IOError("write failure on " + path);
   return Status::OK();
 }
 
-StatusOr<Mlp> LoadMlp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument(path + ": bad model magic");
-  }
-  SAMPNN_ASSIGN_OR_RETURN(uint64_t num_layers, ReadU64(in));
-  if (num_layers == 0 || num_layers > 1024) {
-    return Status::InvalidArgument(path + ": implausible layer count " +
-                                   std::to_string(num_layers));
-  }
+StatusOr<Mlp> LoadMlp(std::istream& in) {
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<RawLayer> layers,
+                          ReadRawLayers(in, "model stream"));
   // Reconstruct via MlpConfig (hidden activation from layer 0), then
   // overwrite the parameters.
-  struct RawLayer {
-    size_t in, out;
-    Activation act;
-    std::vector<float> weights, bias;
-  };
-  std::vector<RawLayer> layers;
-  layers.reserve(num_layers);
-  size_t prev_out = 0;
-  for (uint64_t k = 0; k < num_layers; ++k) {
-    SAMPNN_ASSIGN_OR_RETURN(uint64_t in_dim, ReadU64(in));
-    SAMPNN_ASSIGN_OR_RETURN(uint64_t out_dim, ReadU64(in));
-    SAMPNN_ASSIGN_OR_RETURN(uint64_t act_raw, ReadU64(in));
-    if (in_dim == 0 || out_dim == 0) {
-      return Status::InvalidArgument(path + ": zero layer dimension");
-    }
-    if (k > 0 && in_dim != prev_out) {
-      return Status::InvalidArgument(path + ": layer dimension chain broken");
-    }
-    if (act_raw > static_cast<uint64_t>(Activation::kTanh)) {
-      return Status::InvalidArgument(path + ": unknown activation id");
-    }
-    prev_out = out_dim;
-    RawLayer layer;
-    layer.in = in_dim;
-    layer.out = out_dim;
-    layer.act = static_cast<Activation>(act_raw);
-    layer.weights.resize(in_dim * out_dim);
-    in.read(reinterpret_cast<char*>(layer.weights.data()),
-            static_cast<std::streamsize>(layer.weights.size() * sizeof(float)));
-    layer.bias.resize(out_dim);
-    in.read(reinterpret_cast<char*>(layer.bias.data()),
-            static_cast<std::streamsize>(layer.bias.size() * sizeof(float)));
-    if (!in) return Status::InvalidArgument(path + ": truncated parameters");
-    layers.push_back(std::move(layer));
-  }
-
   MlpConfig cfg;
   cfg.input_dim = layers.front().in;
   cfg.output_dim = layers.back().out;
@@ -107,7 +124,7 @@ StatusOr<Mlp> LoadMlp(const std::string& path) {
   for (size_t k = 0; k < layers.size(); ++k) {
     if (net.layer(k).activation() != layers[k].act) {
       return Status::InvalidArgument(
-          path + ": mixed hidden activations are not representable");
+          "mixed hidden activations are not representable");
     }
     std::memcpy(net.layer(k).weights().data(), layers[k].weights.data(),
                 layers[k].weights.size() * sizeof(float));
@@ -115,6 +132,44 @@ StatusOr<Mlp> LoadMlp(const std::string& path) {
                 layers[k].bias.size() * sizeof(float));
   }
   return net;
+}
+
+StatusOr<Mlp> LoadMlp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  auto result = LoadMlp(in);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  path + ": " + result.status().message());
+  }
+  return result;
+}
+
+Status LoadMlpParamsInto(std::istream& in, Mlp* net) {
+  SAMPNN_CHECK(net != nullptr);
+  SAMPNN_ASSIGN_OR_RETURN(std::vector<RawLayer> layers,
+                          ReadRawLayers(in, "model stream"));
+  if (layers.size() != net->num_layers()) {
+    return Status::InvalidArgument(
+        "checkpointed model has " + std::to_string(layers.size()) +
+        " layers, network has " + std::to_string(net->num_layers()));
+  }
+  for (size_t k = 0; k < layers.size(); ++k) {
+    const Layer& layer = net->layer(k);
+    if (layers[k].in != layer.in_dim() || layers[k].out != layer.out_dim() ||
+        layers[k].act != layer.activation()) {
+      return Status::InvalidArgument("checkpointed layer " +
+                                     std::to_string(k) +
+                                     " does not match network architecture");
+    }
+  }
+  for (size_t k = 0; k < layers.size(); ++k) {
+    std::memcpy(net->layer(k).weights().data(), layers[k].weights.data(),
+                layers[k].weights.size() * sizeof(float));
+    std::memcpy(net->layer(k).bias().data(), layers[k].bias.data(),
+                layers[k].bias.size() * sizeof(float));
+  }
+  return Status::OK();
 }
 
 }  // namespace sampnn

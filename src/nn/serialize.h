@@ -2,9 +2,17 @@
 // "SNN1": magic, layer count, then per layer (in, out, activation id,
 // weights row-major, bias). Little-endian, float32 — matching the in-memory
 // representation on every supported platform.
+//
+// The stream overloads let checkpoints (src/resilience/checkpoint.*) embed
+// a model section inside a larger CRC-protected payload. All readers
+// bounds-check declared sizes against the bytes actually remaining before
+// allocating, so truncated or corrupt inputs fail with InvalidArgument
+// instead of crashing or over-allocating.
 
 #pragma once
 
+#include <istream>
+#include <ostream>
 #include <string>
 
 #include "src/nn/mlp.h"
@@ -15,8 +23,20 @@ namespace sampnn {
 /// Writes `net`'s architecture and parameters to `path` (truncates).
 Status SaveMlp(const Mlp& net, const std::string& path);
 
+/// Writes the same "SNN1" image to an open stream.
+Status SaveMlp(const Mlp& net, std::ostream& out);
+
 /// Reads a model written by SaveMlp. Returns InvalidArgument on malformed
 /// files and IOError on filesystem failures.
 StatusOr<Mlp> LoadMlp(const std::string& path);
+
+/// Stream form of LoadMlp (reads one "SNN1" image from the current
+/// position; trailing bytes are left unread).
+StatusOr<Mlp> LoadMlp(std::istream& in);
+
+/// Reads an "SNN1" image and copies its parameters into `net`, which must
+/// have the identical architecture (layer dims and activations). Used by
+/// checkpoint restore, where the network object already exists.
+Status LoadMlpParamsInto(std::istream& in, Mlp* net);
 
 }  // namespace sampnn

@@ -4,7 +4,9 @@
 
 #pragma once
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 
 #include "src/nn/mlp.h"
@@ -34,7 +36,22 @@ class Optimizer {
 
   /// Short identifier, e.g. "sgd".
   virtual const char* name() const = 0;
+
+  /// Serializes accumulated state (moments, step counters) for
+  /// checkpointing. The learning rate is configuration, not state, and is
+  /// restored separately by the caller.
+  virtual Status SaveState(std::ostream& out) const = 0;
+
+  /// Restores state written by SaveState(). `net` provides the expected
+  /// shapes; a mismatch returns InvalidArgument. A state saved before the
+  /// first Step() restores to the lazily-uninitialized condition.
+  virtual Status LoadState(std::istream& in, const Mlp& net) = 0;
 };
+
+/// Shared helpers for the MlpGrads-shaped state every optimizer carries.
+/// An empty `grads` (lazy, never stepped) round-trips as such.
+Status SaveGradsShapedState(std::ostream& out, const MlpGrads& grads);
+Status LoadGradsShapedState(std::istream& in, const Mlp& net, MlpGrads* grads);
 
 /// \brief Plain SGD with optional momentum.
 class SgdOptimizer : public Optimizer {
@@ -46,6 +63,8 @@ class SgdOptimizer : public Optimizer {
   float learning_rate() const override { return lr_; }
   void set_learning_rate(float lr) override { lr_ = lr; }
   const char* name() const override { return "sgd"; }
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in, const Mlp& net) override;
 
  private:
   float lr_;
@@ -64,6 +83,8 @@ class AdamOptimizer : public Optimizer {
   float learning_rate() const override { return lr_; }
   void set_learning_rate(float lr) override { lr_ = lr; }
   const char* name() const override { return "adam"; }
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in, const Mlp& net) override;
 
  private:
   float lr_, beta1_, beta2_, eps_;
@@ -81,6 +102,8 @@ class AdagradOptimizer : public Optimizer {
   float learning_rate() const override { return lr_; }
   void set_learning_rate(float lr) override { lr_ = lr; }
   const char* name() const override { return "adagrad"; }
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in, const Mlp& net) override;
 
  private:
   float lr_, eps_;

@@ -1,0 +1,254 @@
+#include "src/resilience/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/resilience/fault_injector.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/crc32.h"
+
+namespace fs = std::filesystem;
+
+namespace sampnn {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'N', 'C', 'K', 'P', 'T', '1'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
+constexpr const char* kSuffix = ".snnckpt";
+constexpr const char* kPrefix = "ckpt-";
+
+void AppendU64Le(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+void AppendU32Le(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+uint64_t ReadU64Le(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint32_t ReadU32Le(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+// "ckpt-<digits>.snnckpt" -> step; false when the name doesn't match.
+bool ParseCheckpointStep(const std::string& name, uint64_t* step) {
+  const size_t prefix_len = std::strlen(kPrefix);
+  const size_t suffix_len = std::strlen(kSuffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty()) return false;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *step = v;
+  return true;
+}
+
+void CountSkippedCorrupt() {
+  if (TelemetryEnabled()) {
+    static Counter& c = MetricsRegistry::Get().GetCounter(
+        "resilience.corrupt_checkpoints_skipped");
+    c.Increment();
+  }
+}
+
+}  // namespace
+
+std::string CheckpointFileName(uint64_t step) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", kPrefix,
+                static_cast<unsigned long long>(step), kSuffix);
+  return buf;
+}
+
+StatusOr<CheckpointWriter> CheckpointWriter::Create(
+    const CheckpointWriterOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("CheckpointWriter: empty directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + options.dir +
+                           ": " + ec.message());
+  }
+  return CheckpointWriter(options);
+}
+
+Status CheckpointWriter::Write(uint64_t step, std::string_view payload) {
+  // Assemble the full frame in memory first: one sequential write keeps
+  // the torn-write window minimal and makes the fault hooks precise.
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size() + sizeof(uint32_t));
+  frame.append(kMagic, sizeof(kMagic));
+  AppendU64Le(&frame, payload.size());
+  frame.append(payload.data(), payload.size());
+  AppendU32Le(&frame, Crc32(payload.data(), payload.size()));
+
+  if (FaultArmed(FaultKind::kCkptCorrupt) && !payload.empty()) {
+    // Simulated bit rot: flip one payload byte after the CRC was computed.
+    frame[kHeaderSize + payload.size() / 2] ^= static_cast<char>(0x40);
+  }
+  if (FaultArmed(FaultKind::kCkptTruncate)) {
+    // Simulated torn write: drop the tail (always at least the CRC).
+    frame.resize(kHeaderSize + payload.size() / 2);
+  }
+
+  const std::string final_path =
+      (fs::path(options_.dir) / CheckpointFileName(step)).string();
+  const std::string tmp_path = final_path + ".tmp";
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return Status::IOError("write failure on " + tmp_path + ": " + err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  const bool fsync_failed =
+      FaultArmed(FaultKind::kFsyncFail) || ::fsync(fd) != 0;
+  ::close(fd);
+  if (fsync_failed) {
+    ::unlink(tmp_path.c_str());
+    return Status::IOError("fsync failure on " + tmp_path);
+  }
+  if (FaultArmed(FaultKind::kRenameFail) ||
+      std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::IOError("rename failure " + tmp_path + " -> " + final_path);
+  }
+  // Durability of the rename itself: fsync the directory. A failure here is
+  // not fatal — the data is safe, only the direntry might replay.
+  const int dirfd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return Prune();
+}
+
+Status CheckpointWriter::Prune() const {
+  if (options_.retain == 0) return Status::OK();
+  std::vector<uint64_t> steps = ListCheckpointSteps(options_.dir);
+  if (steps.size() <= options_.retain) return Status::OK();
+  const size_t drop = steps.size() - options_.retain;
+  for (size_t i = 0; i < drop; ++i) {
+    std::error_code ec;
+    fs::remove(fs::path(options_.dir) / CheckpointFileName(steps[i]), ec);
+    // Best effort: a leftover old checkpoint is harmless.
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadCheckpointPayload(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (file_size < kHeaderSize + sizeof(uint32_t)) {
+    return Status::InvalidArgument(path + ": shorter than a checkpoint frame");
+  }
+  char header[kHeaderSize];
+  in.read(header, kHeaderSize);
+  if (!in || std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": bad checkpoint magic");
+  }
+  const uint64_t payload_size = ReadU64Le(header + sizeof(kMagic));
+  // Bounds-check the declared size against the file length before
+  // allocating; a corrupt length field must not drive a giant allocation.
+  if (payload_size != file_size - kHeaderSize - sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        path + ": declared payload size " + std::to_string(payload_size) +
+        " does not match file length " + std::to_string(file_size));
+  }
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  char crc_buf[4];
+  in.read(crc_buf, 4);
+  if (!in) return Status::IOError(path + ": truncated checkpoint read");
+  const uint32_t expected = ReadU32Le(crc_buf);
+  const uint32_t actual = Crc32(payload.data(), payload.size());
+  if (expected != actual) {
+    return Status::InvalidArgument(path + ": checkpoint CRC mismatch");
+  }
+  return payload;
+}
+
+std::vector<uint64_t> ListCheckpointSteps(const std::string& dir) {
+  std::vector<uint64_t> steps;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return steps;
+  for (const auto& entry : it) {
+    uint64_t step = 0;
+    if (ParseCheckpointStep(entry.path().filename().string(), &step)) {
+      steps.push_back(step);
+    }
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+StatusOr<LoadedCheckpoint> LatestValidCheckpoint(const std::string& dir) {
+  std::vector<uint64_t> steps = ListCheckpointSteps(dir);
+  for (size_t i = steps.size(); i-- > 0;) {
+    const std::string path =
+        (fs::path(dir) / CheckpointFileName(steps[i])).string();
+    auto payload = ReadCheckpointPayload(path);
+    if (!payload.ok()) {
+      CountSkippedCorrupt();
+      continue;
+    }
+    LoadedCheckpoint loaded;
+    loaded.path = path;
+    loaded.step = steps[i];
+    loaded.payload = std::move(payload).value();
+    return loaded;
+  }
+  return Status::NotFound("no valid checkpoint in " + dir);
+}
+
+}  // namespace sampnn

@@ -1,0 +1,84 @@
+// Crash-safe checkpoint files. A checkpoint is an opaque payload (the
+// experiment loop serializes model, optimizer, RNG and cursor state into
+// it) wrapped in a self-validating frame:
+//
+//   "SNNCKPT1" | u64 payload_size | payload | u32 CRC32(payload)
+//
+// Writes are atomic: the frame goes to a temp file in the same directory,
+// is fsync'd, and only then renamed over the final "ckpt-<step>.snnckpt"
+// name, so a crash at any instant leaves either the previous checkpoint or
+// a complete new one — never a half-written file under the final name.
+// Readers verify the magic, the declared size against the file length, and
+// the CRC, so torn or bit-flipped files are rejected; LatestValidCheckpoint
+// then falls back to the newest file that does validate.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Knobs for CheckpointWriter.
+struct CheckpointWriterOptions {
+  std::string dir;    ///< created (recursively) if missing
+  size_t retain = 3;  ///< keep the newest K checkpoints; 0 = keep all
+};
+
+/// \brief Atomically writes framed, CRC-protected checkpoint files.
+///
+/// Honors the checkpoint fault kinds of FaultInjector: kCkptTruncate and
+/// kCkptCorrupt silently damage the file (simulating a torn write — the
+/// write still "succeeds", and recovery must detect it on read), while
+/// kFsyncFail and kRenameFail surface as IOError from Write().
+class CheckpointWriter {
+ public:
+  /// Creates `options.dir` if needed; IOError if that fails.
+  static StatusOr<CheckpointWriter> Create(
+      const CheckpointWriterOptions& options);
+
+  /// Writes `payload` as "ckpt-<step>.snnckpt" via temp + fsync + rename,
+  /// then prunes checkpoints beyond the retention count.
+  Status Write(uint64_t step, std::string_view payload);
+
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  explicit CheckpointWriter(CheckpointWriterOptions options)
+      : options_(std::move(options)) {}
+
+  Status Prune() const;
+
+  CheckpointWriterOptions options_;
+};
+
+/// One successfully validated checkpoint.
+struct LoadedCheckpoint {
+  std::string path;
+  uint64_t step = 0;
+  std::string payload;
+};
+
+/// Canonical file name for a step: "ckpt-%020llu.snnckpt" (zero-padded so
+/// lexicographic order equals step order).
+std::string CheckpointFileName(uint64_t step);
+
+/// Reads and validates one checkpoint file; InvalidArgument on bad magic,
+/// size mismatch, or CRC failure, IOError on filesystem errors.
+StatusOr<std::string> ReadCheckpointPayload(const std::string& path);
+
+/// Returns the newest checkpoint in `dir` that passes validation, skipping
+/// (and leaving in place) corrupt ones. NotFound when the directory holds
+/// no valid checkpoint (including when it doesn't exist) — callers treat
+/// that as "start fresh".
+StatusOr<LoadedCheckpoint> LatestValidCheckpoint(const std::string& dir);
+
+/// Checkpoint steps present in `dir` (valid or not), ascending. Test/debug
+/// helper and the retention scan.
+std::vector<uint64_t> ListCheckpointSteps(const std::string& dir);
+
+}  // namespace sampnn

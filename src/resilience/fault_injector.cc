@@ -1,0 +1,111 @@
+#include "src/resilience/fault_injector.h"
+
+#include <cstdlib>
+
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+// Intentionally leaked (trivially destructible pointer): the injector must
+// outlive every training loop, including those running at exit.
+FaultInjector* g_injector = nullptr;
+
+}  // namespace
+
+StatusOr<FaultKind> FaultKindFromString(const std::string& name) {
+  if (name == "grad-nan") return FaultKind::kGradNan;
+  if (name == "kill") return FaultKind::kKill;
+  if (name == "halt") return FaultKind::kHaltTraining;
+  if (name == "ckpt-truncate") return FaultKind::kCkptTruncate;
+  if (name == "ckpt-corrupt") return FaultKind::kCkptCorrupt;
+  if (name == "fsync-fail") return FaultKind::kFsyncFail;
+  if (name == "rename-fail") return FaultKind::kRenameFail;
+  return Status::InvalidArgument("unknown fault kind: " + name);
+}
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGradNan:
+      return "grad-nan";
+    case FaultKind::kKill:
+      return "kill";
+    case FaultKind::kHaltTraining:
+      return "halt";
+    case FaultKind::kCkptTruncate:
+      return "ckpt-truncate";
+    case FaultKind::kCkptCorrupt:
+      return "ckpt-corrupt";
+    case FaultKind::kFsyncFail:
+      return "fsync-fail";
+    case FaultKind::kRenameFail:
+      return "rename-fail";
+  }
+  return "unknown";
+}
+
+StatusOr<FaultInjector> FaultInjector::Parse(const std::string& spec) {
+  FaultInjector injector;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    FaultSpec fault;
+    const size_t at = item.find('@');
+    std::string kind_name = item.substr(0, at);
+    if (at != std::string::npos) {
+      const std::string step_str = item.substr(at + 1);
+      char* end = nullptr;
+      const unsigned long long step = std::strtoull(step_str.c_str(), &end, 10);
+      if (step_str.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad fault step in spec item: " + item);
+      }
+      fault.step = step;
+    }
+    SAMPNN_ASSIGN_OR_RETURN(fault.kind, FaultKindFromString(kind_name));
+    injector.specs_.push_back(fault);
+  }
+  injector.fired_.assign(injector.specs_.size(), false);
+  return injector;
+}
+
+FaultInjector* FaultInjector::Global() { return g_injector; }
+
+void FaultInjector::InstallGlobal(FaultInjector injector) {
+  ClearGlobal();
+  g_injector = new FaultInjector(std::move(injector));
+}
+
+void FaultInjector::ClearGlobal() {
+  delete g_injector;
+  g_injector = nullptr;
+}
+
+Status FaultInjector::InstallGlobalFromEnv() {
+  const std::string spec = GetEnvOr("SAMPNN_FAULTS", "");
+  if (spec.empty()) return Status::OK();
+  SAMPNN_ASSIGN_OR_RETURN(FaultInjector injector, Parse(spec));
+  InstallGlobal(std::move(injector));
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldFire(FaultKind kind) {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (fired_[i] || specs_[i].kind != kind) continue;
+    if (step_ >= specs_[i].step) {
+      fired_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultArmed(FaultKind kind) {
+  return g_injector != nullptr && g_injector->ShouldFire(kind);
+}
+
+}  // namespace sampnn

@@ -1,0 +1,99 @@
+// Deterministic fault injection for the resilience test suite and the CI
+// crash-resume smoke job. A FaultInjector is parsed from a spec string like
+//
+//   "grad-nan@120,kill@350"
+//
+// meaning: poison a gradient with NaN at global batch step 120, SIGKILL the
+// process at step 350. The step counter is advanced once per training batch
+// by the experiment loop; each armed fault fires exactly once, on the first
+// query at or after its step (">=" so faults that are only polled at
+// checkpoint cadence, e.g. fsync-fail, still trigger).
+//
+// The injector is process-global by design: production code paths query
+// FaultArmed(kind), which is a cheap null check when no injector is
+// installed, so the hooks cost nothing outside tests. Specs can also come
+// from the SAMPNN_FAULTS environment variable (read by drivers), which is
+// how the CI smoke job kills a child trainer mid-epoch without test-only
+// binaries.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Injectable fault kinds. The "where it is queried" site defines the
+/// observable effect.
+enum class FaultKind {
+  kGradNan,       ///< trainer Step(): poison a gradient entry with NaN
+  kKill,          ///< experiment loop: raise(SIGKILL) — a real crash
+  kHaltTraining,  ///< experiment loop: return an Internal error mid-run
+                  ///< (in-process stand-in for kKill so tests can resume)
+  kCkptTruncate,  ///< checkpoint writer: drop the tail of the temp file
+  kCkptCorrupt,   ///< checkpoint writer: flip a payload byte before rename
+  kFsyncFail,     ///< checkpoint writer: report fsync failure
+  kRenameFail,    ///< checkpoint writer: report rename failure
+};
+
+/// Parses "grad-nan" | "kill" | "halt" | "ckpt-truncate" | "ckpt-corrupt" |
+/// "fsync-fail" | "rename-fail".
+StatusOr<FaultKind> FaultKindFromString(const std::string& name);
+/// Canonical spec-string name.
+const char* FaultKindToString(FaultKind kind);
+
+/// One armed fault: fires once, at the first query at step >= `step`.
+struct FaultSpec {
+  FaultKind kind;
+  uint64_t step = 0;
+};
+
+/// \brief Deterministic, step-indexed fault schedule.
+///
+/// Not thread-safe: queried only from the training-loop thread.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Parses a comma-separated spec: "<kind>@<step>[,<kind>@<step>...]".
+  /// "<kind>" alone means step 0. An empty spec yields no faults.
+  static StatusOr<FaultInjector> Parse(const std::string& spec);
+
+  /// The process-global injector, or nullptr when none is installed.
+  static FaultInjector* Global();
+  /// Installs `injector` as the process-global instance (replacing any).
+  static void InstallGlobal(FaultInjector injector);
+  /// Removes the process-global instance.
+  static void ClearGlobal();
+  /// Installs from the SAMPNN_FAULTS environment variable if set; no-op
+  /// (and OK) when unset.
+  static Status InstallGlobalFromEnv();
+
+  /// Advances the global batch step (once per training batch).
+  void AdvanceStep() { ++step_; }
+  uint64_t step() const { return step_; }
+  /// Resumed runs restore the batch cursor so "@step" stays aligned with
+  /// the uninterrupted run's numbering.
+  void set_step(uint64_t step) { step_ = step; }
+
+  /// True exactly once per armed fault of `kind`: at the first call with
+  /// the current step at or past the fault's step.
+  bool ShouldFire(FaultKind kind);
+
+  size_t num_armed() const { return specs_.size(); }
+
+ private:
+  std::vector<FaultSpec> specs_;
+  std::vector<bool> fired_;
+  uint64_t step_ = 0;
+};
+
+/// True iff a global injector is installed and a fault of `kind` fires now.
+/// The one-line hook used by production code paths.
+bool FaultArmed(FaultKind kind);
+
+}  // namespace sampnn

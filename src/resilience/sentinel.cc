@@ -1,0 +1,41 @@
+#include "src/resilience/sentinel.h"
+
+#include <cmath>
+
+namespace sampnn {
+
+DivergenceSentinel::Verdict DivergenceSentinel::Observe(double loss,
+                                                        double grad_norm2) {
+  if (!std::isfinite(loss)) return Verdict::kNonFiniteLoss;
+  // "Unavailable" is encoded as a negative value; NaN compares false here,
+  // so a NaN gradient norm counts as available — and trips the scan.
+  const bool grad_available = !(grad_norm2 < 0.0);
+  if (grad_available && !std::isfinite(grad_norm2)) {
+    return Verdict::kNonFiniteGrad;
+  }
+  if (observed_ >= options_.warmup_batches && ewma_ > 0.0 &&
+      loss > options_.spike_factor * ewma_) {
+    return Verdict::kLossSpike;
+  }
+  ewma_ = observed_ == 0
+              ? loss
+              : (1.0 - options_.ewma_alpha) * ewma_ + options_.ewma_alpha * loss;
+  ++observed_;
+  return Verdict::kOk;
+}
+
+const char* SentinelVerdictToString(DivergenceSentinel::Verdict verdict) {
+  switch (verdict) {
+    case DivergenceSentinel::Verdict::kOk:
+      return "ok";
+    case DivergenceSentinel::Verdict::kNonFiniteLoss:
+      return "non-finite loss";
+    case DivergenceSentinel::Verdict::kNonFiniteGrad:
+      return "non-finite gradient norm";
+    case DivergenceSentinel::Verdict::kLossSpike:
+      return "loss spike";
+  }
+  return "unknown";
+}
+
+}  // namespace sampnn

@@ -1,0 +1,67 @@
+// Divergence sentinels: per-batch scans that catch a training run going off
+// the rails — a non-finite loss, a non-finite gradient norm, or a loss
+// spike far above the recent EWMA — so the experiment loop can roll back to
+// the last good snapshot, back off the learning rate, and retry instead of
+// silently converging to garbage (or crashing in a CHECK downstream).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sampnn {
+
+/// Sentinel + recovery knobs. The defaults are deliberately loose: a factor
+/// of 25 over the EWMA is far beyond normal minibatch noise, so false trips
+/// on healthy runs are essentially impossible while genuine divergence
+/// (loss exploding by orders of magnitude) still triggers within batches.
+struct SentinelOptions {
+  bool enabled = false;
+  double ewma_alpha = 0.02;    ///< smoothing of the batch-loss EWMA
+  double spike_factor = 25.0;  ///< trip when loss > spike_factor * EWMA
+  size_t warmup_batches = 50;  ///< spike detection arms after the EWMA
+                               ///< settles; NaN/Inf scans are always armed
+  size_t max_retries = 3;      ///< rollbacks before giving up with an error
+  float lr_backoff = 0.5f;     ///< learning-rate multiplier per rollback
+};
+
+/// \brief Streaming divergence detector over per-batch loss (and, when the
+/// trainer tracks it, gradient norm).
+class DivergenceSentinel {
+ public:
+  enum class Verdict {
+    kOk,
+    kNonFiniteLoss,
+    kNonFiniteGrad,
+    kLossSpike,
+  };
+
+  explicit DivergenceSentinel(const SentinelOptions& options)
+      : options_(options) {}
+
+  /// Scans one batch. `grad_norm2` is the squared gradient norm, or any
+  /// negative value when unavailable. A healthy observation updates the
+  /// EWMA; a tripped one does not (the poisoned value must not drag the
+  /// baseline up before the rollback rewinds it).
+  Verdict Observe(double loss, double grad_norm2);
+
+  /// EWMA state, checkpointed so a resumed run trips identically.
+  double ewma() const { return ewma_; }
+  uint64_t observed() const { return observed_; }
+  void RestoreState(double ewma, uint64_t observed) {
+    ewma_ = ewma;
+    observed_ = observed;
+  }
+
+  const SentinelOptions& options() const { return options_; }
+
+ private:
+  SentinelOptions options_;
+  double ewma_ = 0.0;
+  uint64_t observed_ = 0;
+};
+
+/// Human-readable verdict for error messages and logs.
+const char* SentinelVerdictToString(DivergenceSentinel::Verdict verdict);
+
+}  // namespace sampnn

@@ -64,6 +64,9 @@ std::string EpochTelemetryToJson(const EpochTelemetry& rec) {
      << ",\"alsh_nonempty_buckets\":" << rec.alsh_nonempty_buckets
      << ",\"mc_batch_samples\":" << rec.mc_batch_samples
      << ",\"mc_delta_samples\":" << rec.mc_delta_samples
+     << ",\"rollbacks\":" << rec.rollbacks
+     << ",\"nan_batches\":" << rec.nan_batches
+     << ",\"alsh_dense_fallbacks\":" << rec.alsh_dense_fallbacks
      << ",\"gemm_flops\":" << rec.gemm_flops
      << ",\"sparse_flops\":" << rec.sparse_flops
      << ",\"rss_bytes\":" << rec.rss_bytes << "}";

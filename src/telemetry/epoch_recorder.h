@@ -102,6 +102,13 @@ struct EpochTelemetry {
   uint64_t mc_batch_samples = 0;
   uint64_t mc_delta_samples = 0;
 
+  // Resilience (cumulative-so-far within the run): sentinel-triggered
+  // rollbacks, batches whose loss/grad scan found a non-finite value, and
+  // ALSH empty-probe dense fallbacks.
+  uint64_t rollbacks = 0;
+  uint64_t nan_batches = 0;
+  uint64_t alsh_dense_fallbacks = 0;
+
   // FLOPs charged to the dense gemm family / the sparse active-set kernels
   // during this epoch (deltas of the registry counters).
   uint64_t gemm_flops = 0;

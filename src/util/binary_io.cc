@@ -1,0 +1,132 @@
+#include "src/util/binary_io.h"
+
+#include <limits>
+
+namespace sampnn {
+
+namespace {
+
+template <typename T>
+void WriteRaw(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+StatusOr<T> ReadRaw(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) return Status::InvalidArgument("truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void WriteU32(std::ostream& out, uint32_t v) { WriteRaw(out, v); }
+void WriteU64(std::ostream& out, uint64_t v) { WriteRaw(out, v); }
+void WriteF32(std::ostream& out, float v) { WriteRaw(out, v); }
+void WriteF64(std::ostream& out, double v) { WriteRaw(out, v); }
+
+void WriteString(std::ostream& out, std::string_view s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteFloats(std::ostream& out, std::span<const float> v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void WriteU32s(std::ostream& out, std::span<const uint32_t> v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
+}
+
+void WriteRngState(std::ostream& out, const RngState& state) {
+  for (uint64_t s : state.s) WriteU64(out, s);
+  WriteU32(out, state.has_cached_gaussian ? 1u : 0u);
+  WriteF32(out, state.cached_gaussian);
+}
+
+StatusOr<uint32_t> ReadU32(std::istream& in) { return ReadRaw<uint32_t>(in); }
+StatusOr<uint64_t> ReadU64(std::istream& in) { return ReadRaw<uint64_t>(in); }
+StatusOr<float> ReadF32(std::istream& in) { return ReadRaw<float>(in); }
+StatusOr<double> ReadF64(std::istream& in) { return ReadRaw<double>(in); }
+
+Status ReadBytes(std::istream& in, void* dst, size_t size) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  if (!in) return Status::InvalidArgument("truncated stream");
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadString(std::istream& in, uint64_t max_len) {
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t len, ReadU64(in));
+  if (len > max_len) {
+    return Status::InvalidArgument("string length " + std::to_string(len) +
+                                   " exceeds limit");
+  }
+  if (!FitsRemaining(in, len, 1)) {
+    return Status::InvalidArgument("string length past end of stream");
+  }
+  std::string s(len, '\0');
+  SAMPNN_RETURN_NOT_OK(ReadBytes(in, s.data(), len));
+  return s;
+}
+
+Status ReadFloats(std::istream& in, std::vector<float>* out) {
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t count, ReadU64(in));
+  if (!FitsRemaining(in, count, sizeof(float))) {
+    return Status::InvalidArgument("float array length past end of stream");
+  }
+  out->resize(count);
+  return ReadBytes(in, out->data(), count * sizeof(float));
+}
+
+Status ReadU32s(std::istream& in, std::vector<uint32_t>* out) {
+  SAMPNN_ASSIGN_OR_RETURN(uint64_t count, ReadU64(in));
+  if (!FitsRemaining(in, count, sizeof(uint32_t))) {
+    return Status::InvalidArgument("u32 array length past end of stream");
+  }
+  out->resize(count);
+  return ReadBytes(in, out->data(), count * sizeof(uint32_t));
+}
+
+StatusOr<RngState> ReadRngState(std::istream& in) {
+  RngState state;
+  for (uint64_t& s : state.s) {
+    SAMPNN_ASSIGN_OR_RETURN(s, ReadU64(in));
+  }
+  SAMPNN_ASSIGN_OR_RETURN(uint32_t cached, ReadU32(in));
+  state.has_cached_gaussian = cached != 0;
+  SAMPNN_ASSIGN_OR_RETURN(state.cached_gaussian, ReadF32(in));
+  return state;
+}
+
+uint64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(end - pos);
+}
+
+bool FitsRemaining(std::istream& in, uint64_t declared_count,
+                   uint64_t elem_size) {
+  if (declared_count == 0) return true;
+  const uint64_t remaining = RemainingBytes(in);
+  if (remaining == std::numeric_limits<uint64_t>::max()) return true;
+  if (elem_size != 0 &&
+      declared_count > std::numeric_limits<uint64_t>::max() / elem_size) {
+    return false;
+  }
+  return declared_count * elem_size <= remaining;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,66 @@
+// Length-checked little-endian binary stream I/O shared by model
+// serialization (src/nn/serialize.*) and the checkpoint subsystem
+// (src/resilience/). Every Read* returns a Status instead of reading
+// garbage past EOF, and the variable-length readers validate declared
+// sizes against the bytes actually remaining in the stream *before*
+// allocating, so truncated or corrupt files are rejected with a clean
+// error rather than an allocation blow-up or a crash.
+
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+// --- Writers (plain fixed-width little-endian; matches the in-memory
+// representation on every supported platform, like SaveMlp) ---
+
+void WriteU32(std::ostream& out, uint32_t v);
+void WriteU64(std::ostream& out, uint64_t v);
+void WriteF32(std::ostream& out, float v);
+void WriteF64(std::ostream& out, double v);
+/// u64 length prefix + raw bytes.
+void WriteString(std::ostream& out, std::string_view s);
+/// u64 count prefix + raw float32 payload.
+void WriteFloats(std::ostream& out, std::span<const float> v);
+/// u64 count prefix + raw u32 payload.
+void WriteU32s(std::ostream& out, std::span<const uint32_t> v);
+/// Fixed-layout Rng state (4x u64 + gaussian cache).
+void WriteRngState(std::ostream& out, const RngState& state);
+
+// --- Readers ---
+
+StatusOr<uint32_t> ReadU32(std::istream& in);
+StatusOr<uint64_t> ReadU64(std::istream& in);
+StatusOr<float> ReadF32(std::istream& in);
+StatusOr<double> ReadF64(std::istream& in);
+/// Reads exactly `size` bytes into `dst`; InvalidArgument on short read.
+Status ReadBytes(std::istream& in, void* dst, size_t size);
+/// Length-prefixed string; rejects lengths above `max_len` or past EOF.
+StatusOr<std::string> ReadString(std::istream& in, uint64_t max_len = 1 << 20);
+/// Count-prefixed float32 vector; validates count * 4 bytes remain.
+Status ReadFloats(std::istream& in, std::vector<float>* out);
+/// Count-prefixed u32 vector; validates count * 4 bytes remain.
+Status ReadU32s(std::istream& in, std::vector<uint32_t>* out);
+StatusOr<RngState> ReadRngState(std::istream& in);
+
+/// Bytes between the current read position and EOF for seekable streams
+/// (files, string streams); UINT64_MAX when the stream cannot be seeked.
+/// Used to bounds-check declared payload sizes before allocating.
+uint64_t RemainingBytes(std::istream& in);
+
+/// True iff `declared_count` elements of `elem_size` bytes fit in the
+/// stream's remaining bytes (multiplication is overflow-checked).
+bool FitsRemaining(std::istream& in, uint64_t declared_count,
+                   uint64_t elem_size);
+
+}  // namespace sampnn

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320), table-driven. Used as
+// the integrity footer of checkpoint files (src/resilience/checkpoint.*):
+// a truncated or bit-flipped checkpoint fails the CRC and is rejected
+// instead of silently restoring garbage training state.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sampnn {
+
+/// One-shot CRC-32 of `size` bytes. Equals zlib's crc32(0, data, size).
+uint32_t Crc32(const void* data, size_t size);
+
+/// Convenience overload for string payloads.
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace sampnn

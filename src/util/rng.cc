@@ -98,4 +98,19 @@ bool Rng::NextBernoulli(double p) {
 
 Rng Rng::Split() { return Rng(NextU64() ^ 0xA5A5A5A55A5A5A5Aull); }
 
+RngState Rng::GetState() const {
+  RngState state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace sampnn

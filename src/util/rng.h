@@ -14,6 +14,18 @@
 
 namespace sampnn {
 
+/// Complete serializable generator state: the xoshiro256** words plus the
+/// Box–Muller gaussian cache. Restoring a saved state reproduces the stream
+/// exactly — resumed training runs draw the same dropout masks and MC
+/// samples as uninterrupted ones.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  float cached_gaussian = 0.0f;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// \brief Fast deterministic PRNG (xoshiro256**).
 ///
 /// Not thread-safe; use Split() to derive independent per-thread streams.
@@ -47,6 +59,13 @@ class Rng {
 
   /// Derives an independent generator; deterministic in the parent state.
   Rng Split();
+
+  /// Snapshot of the full generator state (for checkpointing).
+  RngState GetState() const;
+  /// Restores a state captured by GetState(); the stream continues exactly
+  /// where the snapshot left off. An all-zero state is replaced by the
+  /// canonical nonzero state (all-zero is invalid for xoshiro).
+  void SetState(const RngState& state);
 
   /// Fisher–Yates shuffles `v` in place.
   template <typename T>

@@ -99,6 +99,48 @@ TEST_F(IdxIoTest, TruncatedPixelsIsIOError) {
   EXPECT_TRUE(ReadIdxImages(path).status().IsIOError());
 }
 
+TEST_F(IdxIoTest, ImplausibleHeaderDimensionsRejectedBeforeAllocating) {
+  // A garbage header declaring ~4 billion images or 2^20-pixel sides must
+  // be rejected by plausibility checks, never drive the allocation.
+  const std::string huge_count =
+      WriteImages("huge_count", 0xF0000000u, 28, 28, {});
+  EXPECT_TRUE(ReadIdxImages(huge_count).status().IsInvalidArgument());
+  const std::string huge_side =
+      WriteImages("huge_side", 1, 1u << 20, 28, {});
+  EXPECT_TRUE(ReadIdxImages(huge_side).status().IsInvalidArgument());
+}
+
+TEST_F(IdxIoTest, DeclaredImageCountPastEndOfFileIsIOError) {
+  // Plausible-looking header, but the payload for the declared count is
+  // simply not there: caught against the file length before allocating.
+  const std::string path = WriteImages("short_payload", 1000, 28, 28,
+                                       std::vector<uint8_t>(64));
+  EXPECT_TRUE(ReadIdxImages(path).status().IsIOError());
+}
+
+TEST_F(IdxIoTest, DeclaredLabelCountPastEndOfFileIsIOError) {
+  const std::string path = dir_ + "/label_short";
+  {
+    std::ofstream out(path, std::ios::binary);
+    WriteBigEndianU32(out, 0x00000801);
+    WriteBigEndianU32(out, 5000);  // declares 5000 labels...
+    out.put(7);                    // ...provides one
+  }
+  created_.push_back(path);
+  EXPECT_TRUE(ReadIdxLabels(path).status().IsIOError());
+}
+
+TEST_F(IdxIoTest, ImplausibleLabelCountIsInvalidArgument) {
+  const std::string path = dir_ + "/label_huge";
+  {
+    std::ofstream out(path, std::ios::binary);
+    WriteBigEndianU32(out, 0x00000801);
+    WriteBigEndianU32(out, 0xF0000000u);
+  }
+  created_.push_back(path);
+  EXPECT_TRUE(ReadIdxLabels(path).status().IsInvalidArgument());
+}
+
 TEST_F(IdxIoTest, LoadIdxDatasetScalesAndLabels) {
   std::vector<uint8_t> pixels{0, 255, 128, 64};  // 1 image of 2x2
   const std::string imgs = WriteImages("ds_imgs", 1, 2, 2, pixels);

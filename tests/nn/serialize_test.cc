@@ -93,5 +93,78 @@ TEST_F(SerializeTest, UnwritablePathIsIOError) {
   EXPECT_TRUE(SaveMlp(net, "/nonexistent-dir-xyz/model.bin").IsIOError());
 }
 
+// Helpers for crafting deliberately corrupt "SNN1" images: little-endian
+// u64 fields after the 4-byte magic, matching src/nn/serialize.cc.
+void PutU64Le(std::ofstream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 8);
+}
+
+TEST_F(SerializeTest, GarbageLayerCountRejectedBeforeAllocating) {
+  std::ofstream out(path_, std::ios::binary);
+  out.write("SNN1", 4);
+  // A corrupt count must be rejected by the plausibility check, not drive
+  // a ~2^64-element reserve.
+  PutU64Le(out, 0xFFFFFFFFFFFFFFFFull);
+  out.close();
+  EXPECT_TRUE(LoadMlp(path_).status().IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, ImplausibleLayerDimensionRejectedBeforeAllocating) {
+  std::ofstream out(path_, std::ios::binary);
+  out.write("SNN1", 4);
+  PutU64Le(out, 1);          // one layer
+  PutU64Le(out, 1ull << 40); // in_dim: absurd
+  PutU64Le(out, 8);          // out_dim
+  PutU64Le(out, 0);          // activation
+  out.close();
+  EXPECT_TRUE(LoadMlp(path_).status().IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, DeclaredParametersPastEndOfFileRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out.write("SNN1", 4);
+  PutU64Le(out, 1);   // one layer
+  PutU64Le(out, 64);  // in_dim
+  PutU64Le(out, 64);  // out_dim: 64x64 weights declared...
+  PutU64Le(out, 0);   // activation
+  out.write("tiny", 4);  // ...but almost no payload present
+  out.close();
+  EXPECT_TRUE(LoadMlp(path_).status().IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, UnknownActivationIdRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out.write("SNN1", 4);
+  PutU64Le(out, 1);
+  PutU64Le(out, 2);
+  PutU64Le(out, 2);
+  PutU64Le(out, 9999);  // no such activation
+  const std::vector<float> params(6, 0.5f);  // 2x2 weights + 2 bias
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  out.close();
+  EXPECT_TRUE(LoadMlp(path_).status().IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, EveryTruncationPointIsRejectedCleanly) {
+  Mlp net = TrainedLikeNet();
+  ASSERT_TRUE(SaveMlp(net, path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  // A file cut at ANY byte offset must produce a clean error, never a
+  // crash or a silently short model (ASan/UBSan guard the "never a crash").
+  for (size_t cut = 0; cut < content.size(); cut += 97) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    const Status status = LoadMlp(path_).status();
+    EXPECT_FALSE(status.ok()) << "cut at byte " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace sampnn

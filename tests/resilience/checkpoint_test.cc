@@ -1,0 +1,181 @@
+#include "src/resilience/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/resilience/fault_injector.h"
+
+namespace fs = std::filesystem;
+
+namespace sampnn {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("ckpt_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::ClearGlobal();
+    fs::remove_all(dir_);
+  }
+
+  CheckpointWriter MakeWriter(size_t retain = 3) {
+    CheckpointWriterOptions options;
+    options.dir = dir_;
+    options.retain = retain;
+    return std::move(CheckpointWriter::Create(options)).value();
+  }
+
+  std::string PathFor(uint64_t step) const {
+    return (fs::path(dir_) / CheckpointFileName(step)).string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, CreateRejectsEmptyDir) {
+  EXPECT_TRUE(CheckpointWriter::Create(CheckpointWriterOptions())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, WriteReadRoundTrip) {
+  CheckpointWriter writer = MakeWriter();
+  const std::string payload = "model+optimizer+rng state \x00\x01\x02 blob";
+  ASSERT_TRUE(writer.Write(42, payload).ok());
+  auto read = ReadCheckpointPayload(PathFor(42));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  // No temp file left behind.
+  EXPECT_FALSE(fs::exists(PathFor(42) + ".tmp"));
+}
+
+TEST_F(CheckpointTest, EmptyPayloadRoundTrips) {
+  CheckpointWriter writer = MakeWriter();
+  ASSERT_TRUE(writer.Write(1, "").ok());
+  auto read = ReadCheckpointPayload(PathFor(1));
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST_F(CheckpointTest, RetentionKeepsNewestK) {
+  CheckpointWriter writer = MakeWriter(/*retain=*/2);
+  for (uint64_t step : {10, 20, 30, 40}) {
+    ASSERT_TRUE(writer.Write(step, "payload").ok());
+  }
+  EXPECT_EQ(ListCheckpointSteps(dir_), (std::vector<uint64_t>{30, 40}));
+}
+
+TEST_F(CheckpointTest, RetainZeroKeepsAll) {
+  CheckpointWriter writer = MakeWriter(/*retain=*/0);
+  for (uint64_t step : {1, 2, 3, 4, 5}) {
+    ASSERT_TRUE(writer.Write(step, "payload").ok());
+  }
+  EXPECT_EQ(ListCheckpointSteps(dir_).size(), 5u);
+}
+
+TEST_F(CheckpointTest, RejectsMissingAndTinyFiles) {
+  EXPECT_TRUE(ReadCheckpointPayload(PathFor(7)).status().IsIOError());
+  fs::create_directories(dir_);
+  std::ofstream(PathFor(7), std::ios::binary) << "short";
+  EXPECT_TRUE(ReadCheckpointPayload(PathFor(7)).status().IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, RejectsBadMagic) {
+  CheckpointWriter writer = MakeWriter();
+  ASSERT_TRUE(writer.Write(7, "payload").ok());
+  {
+    std::fstream f(PathFor(7), std::ios::in | std::ios::out | std::ios::binary);
+    f.put('X');  // clobber the first magic byte
+  }
+  EXPECT_TRUE(ReadCheckpointPayload(PathFor(7)).status().IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, RejectsFlippedPayloadByte) {
+  CheckpointWriter writer = MakeWriter();
+  ASSERT_TRUE(writer.Write(7, "a perfectly healthy payload").ok());
+  {
+    std::fstream f(PathFor(7), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    f.put('!');
+  }
+  EXPECT_TRUE(ReadCheckpointPayload(PathFor(7)).status().IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, InjectedCorruptionIsSilentOnWriteCaughtOnRead) {
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("ckpt-corrupt@0")).value());
+  CheckpointWriter writer = MakeWriter();
+  // A torn/bit-rotted write still "succeeds" — that is the point.
+  ASSERT_TRUE(writer.Write(5, "payload bytes that will rot").ok());
+  EXPECT_TRUE(ReadCheckpointPayload(PathFor(5)).status().IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, InjectedTruncationIsSilentOnWriteCaughtOnRead) {
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("ckpt-truncate@0")).value());
+  CheckpointWriter writer = MakeWriter();
+  ASSERT_TRUE(writer.Write(5, "payload bytes that will tear").ok());
+  EXPECT_TRUE(ReadCheckpointPayload(PathFor(5)).status().IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, InjectedFsyncFailureSurfacesAsIOError) {
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("fsync-fail@0")).value());
+  CheckpointWriter writer = MakeWriter();
+  EXPECT_TRUE(writer.Write(5, "payload").IsIOError());
+  EXPECT_FALSE(fs::exists(PathFor(5)));
+  EXPECT_FALSE(fs::exists(PathFor(5) + ".tmp"));  // temp cleaned up
+}
+
+TEST_F(CheckpointTest, InjectedRenameFailureSurfacesAsIOError) {
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("rename-fail@0")).value());
+  CheckpointWriter writer = MakeWriter();
+  EXPECT_TRUE(writer.Write(5, "payload").IsIOError());
+  EXPECT_FALSE(fs::exists(PathFor(5)));
+  EXPECT_FALSE(fs::exists(PathFor(5) + ".tmp"));
+}
+
+TEST_F(CheckpointTest, LatestValidSkipsCorruptNewest) {
+  CheckpointWriter writer = MakeWriter();
+  ASSERT_TRUE(writer.Write(10, "older good payload").ok());
+  ASSERT_TRUE(writer.Write(20, "newer payload, about to rot").ok());
+  {
+    std::fstream f(PathFor(20),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(18);
+    f.put('?');
+  }
+  auto latest = LatestValidCheckpoint(dir_);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 10u);
+  EXPECT_EQ(latest->payload, "older good payload");
+}
+
+TEST_F(CheckpointTest, LatestValidIsNotFoundWhenNothingValidates) {
+  EXPECT_TRUE(LatestValidCheckpoint(dir_).status().IsNotFound());  // no dir
+  CheckpointWriter writer = MakeWriter();
+  EXPECT_TRUE(LatestValidCheckpoint(dir_).status().IsNotFound());  // empty
+  ASSERT_TRUE(writer.Write(3, "doomed").ok());
+  {
+    std::fstream f(PathFor(3), std::ios::in | std::ios::out | std::ios::binary);
+    f.put('X');
+  }
+  EXPECT_TRUE(LatestValidCheckpoint(dir_).status().IsNotFound());
+}
+
+TEST_F(CheckpointTest, FileNamesSortLexicographicallyByStep) {
+  EXPECT_LT(CheckpointFileName(9), CheckpointFileName(10));
+  EXPECT_LT(CheckpointFileName(99), CheckpointFileName(100));
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,234 @@
+// End-to-end resilience: RunExperiment with checkpointing, an injected
+// mid-run halt (the in-process stand-in for SIGKILL), resume from the
+// latest checkpoint, and a bitwise comparison of the per-epoch trajectory
+// against the uninterrupted same-seed run — for all five trainers. Plus the
+// divergence-sentinel recovery paths: NaN-gradient injection rolls back and
+// the run still finishes with finite losses, and exhausted retries surface
+// as an error Status.
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/fault_injector.h"
+#include "tests/core/test_util.h"
+
+namespace fs = std::filesystem;
+
+namespace sampnn {
+namespace {
+
+using testing_util::EasyDataset;
+using testing_util::EasyNet;
+
+class CrashResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("crash_resume_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::ClearGlobal();
+    fs::remove_all(dir_);
+  }
+
+  static DatasetSplits Splits() {
+    Dataset all = EasyDataset(480);
+    Rng rng(3);
+    return std::move(SplitDataset(all, 320, 96, 64, rng)).value();
+  }
+
+  // 320 train examples / batch 16 = 20 batches per epoch.
+  static ExperimentConfig BaseConfig(TrainerKind kind) {
+    ExperimentConfig config;
+    config.trainer = PaperTrainerOptions(kind, 16, 42);
+    config.trainer.alsh.threads = 1;  // bitwise resume needs determinism
+    config.batch_size = 16;
+    config.epochs = 3;
+    return config;
+  }
+
+  static void ExpectBitwiseEqual(const ExperimentResult& a,
+                                 const ExperimentResult& b) {
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (size_t i = 0; i < a.epochs.size(); ++i) {
+      EXPECT_EQ(a.epochs[i].epoch, b.epochs[i].epoch);
+      EXPECT_EQ(a.epochs[i].train_loss, b.epochs[i].train_loss)
+          << "epoch " << i + 1;
+      EXPECT_EQ(a.epochs[i].test_accuracy, b.epochs[i].test_accuracy)
+          << "epoch " << i + 1;
+      EXPECT_EQ(a.epochs[i].validation_accuracy,
+                b.epochs[i].validation_accuracy)
+          << "epoch " << i + 1;
+    }
+    EXPECT_EQ(a.final_test_accuracy, b.final_test_accuracy);
+  }
+
+  std::string dir_;
+};
+
+class CrashResumeAllTrainersTest
+    : public CrashResumeTest,
+      public ::testing::WithParamInterface<TrainerKind> {};
+
+TEST_P(CrashResumeAllTrainersTest, HaltAndResumeReproducesBitwise) {
+  const DatasetSplits data = Splits();
+  const MlpConfig net = EasyNet(data.train);
+
+  // Reference: same seeds, no faults, no checkpointing.
+  const ExperimentResult reference =
+      std::move(RunExperiment(net, BaseConfig(GetParam()), data)).value();
+
+  // Interrupted: checkpoint every 7 batches, halt mid-epoch-2 at step 33.
+  ExperimentConfig config = BaseConfig(GetParam());
+  config.resilience.checkpoint_dir = dir_;
+  config.resilience.checkpoint_every = 7;
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("halt@33")).value());
+  auto halted = RunExperiment(net, config, data);
+  FaultInjector::ClearGlobal();
+  ASSERT_TRUE(halted.status().IsInternal()) << halted.status().ToString();
+  ASSERT_FALSE(ListCheckpointSteps(dir_).empty());
+
+  // Resumed: picks up from the newest checkpoint and must land exactly on
+  // the uninterrupted trajectory.
+  config.resilience.resume = true;
+  const ExperimentResult resumed =
+      std::move(RunExperiment(net, config, data)).value();
+  ExpectBitwiseEqual(reference, resumed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrainers, CrashResumeAllTrainersTest,
+    ::testing::Values(TrainerKind::kStandard, TrainerKind::kDropout,
+                      TrainerKind::kAdaptiveDropout, TrainerKind::kAlsh,
+                      TrainerKind::kMc),
+    [](const ::testing::TestParamInfo<TrainerKind>& info) {
+      std::string name = TrainerKindToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_F(CrashResumeTest, ResumeWithEmptyDirStartsFreshAndMatches) {
+  const DatasetSplits data = Splits();
+  const MlpConfig net = EasyNet(data.train);
+  const ExperimentResult reference =
+      std::move(RunExperiment(net, BaseConfig(TrainerKind::kStandard), data))
+          .value();
+
+  ExperimentConfig config = BaseConfig(TrainerKind::kStandard);
+  config.resilience.checkpoint_dir = dir_;
+  config.resilience.resume = true;  // nothing to resume from: fresh start
+  const ExperimentResult fresh =
+      std::move(RunExperiment(net, config, data)).value();
+  ExpectBitwiseEqual(reference, fresh);
+}
+
+TEST_F(CrashResumeTest, ResumeSkipsCorruptNewestCheckpoint) {
+  const DatasetSplits data = Splits();
+  const MlpConfig net = EasyNet(data.train);
+  const ExperimentResult reference =
+      std::move(RunExperiment(net, BaseConfig(TrainerKind::kStandard), data))
+          .value();
+
+  ExperimentConfig config = BaseConfig(TrainerKind::kStandard);
+  config.resilience.checkpoint_dir = dir_;
+  config.resilience.checkpoint_every = 5;
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("halt@27")).value());
+  auto halted = RunExperiment(net, config, data);
+  FaultInjector::ClearGlobal();
+  ASSERT_TRUE(halted.status().IsInternal());
+
+  // Flip one byte in the newest checkpoint: resume must fall back to the
+  // next-older valid one and still reproduce the reference bitwise.
+  std::vector<uint64_t> steps = ListCheckpointSteps(dir_);
+  ASSERT_GE(steps.size(), 2u);
+  const std::string newest =
+      (fs::path(dir_) / CheckpointFileName(steps.back())).string();
+  {
+    std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24);
+    f.put('~');
+  }
+  ASSERT_TRUE(ReadCheckpointPayload(newest).status().IsInvalidArgument());
+
+  config.resilience.resume = true;
+  const ExperimentResult resumed =
+      std::move(RunExperiment(net, config, data)).value();
+  ExpectBitwiseEqual(reference, resumed);
+}
+
+TEST_F(CrashResumeTest, ResumeWithoutCheckpointDirIsInvalid) {
+  const DatasetSplits data = Splits();
+  const MlpConfig net = EasyNet(data.train);
+  ExperimentConfig config = BaseConfig(TrainerKind::kStandard);
+  config.resilience.resume = true;
+  EXPECT_TRUE(RunExperiment(net, config, data).status().IsInvalidArgument());
+}
+
+TEST_F(CrashResumeTest, NanGradientRollsBackAndRunStaysFinite) {
+  const DatasetSplits data = Splits();
+  const MlpConfig net = EasyNet(data.train);
+
+  // Without the sentinel an injected NaN gradient poisons the weights and
+  // the epoch-mean loss goes NaN — the failure mode we are defending
+  // against.
+  {
+    ExperimentConfig config = BaseConfig(TrainerKind::kStandard);
+    FaultInjector::InstallGlobal(
+        std::move(FaultInjector::Parse("grad-nan@25")).value());
+    const ExperimentResult poisoned =
+        std::move(RunExperiment(net, config, data)).value();
+    FaultInjector::ClearGlobal();
+    EXPECT_TRUE(std::isnan(poisoned.epochs.back().train_loss));
+  }
+
+  // With the sentinel the poisoned batch is detected, rolled back past, and
+  // every recorded loss stays finite while the run still learns.
+  {
+    ExperimentConfig config = BaseConfig(TrainerKind::kStandard);
+    config.resilience.sentinel.enabled = true;
+    FaultInjector::InstallGlobal(
+        std::move(FaultInjector::Parse("grad-nan@25")).value());
+    const ExperimentResult recovered =
+        std::move(RunExperiment(net, config, data)).value();
+    FaultInjector::ClearGlobal();
+    for (const EpochRecord& r : recovered.epochs) {
+      EXPECT_TRUE(std::isfinite(r.train_loss)) << "epoch " << r.epoch;
+    }
+    EXPECT_LT(recovered.epochs.back().train_loss,
+              recovered.epochs.front().train_loss);
+    EXPECT_GT(recovered.final_test_accuracy, 0.5);
+  }
+}
+
+TEST_F(CrashResumeTest, ExhaustedRetriesSurfaceAsError) {
+  const DatasetSplits data = Splits();
+  const MlpConfig net = EasyNet(data.train);
+  ExperimentConfig config = BaseConfig(TrainerKind::kStandard);
+  config.resilience.sentinel.enabled = true;
+  config.resilience.sentinel.max_retries = 2;
+  // Four armed NaN faults at the same step: every retry re-poisons the
+  // same batch, so the run can never get past it.
+  FaultInjector::InstallGlobal(
+      std::move(
+          FaultInjector::Parse("grad-nan@5,grad-nan@5,grad-nan@5,grad-nan@5"))
+          .value());
+  auto result = RunExperiment(net, config, data);
+  FaultInjector::ClearGlobal();
+  ASSERT_TRUE(result.status().IsInternal()) << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find("diverged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,111 @@
+#include "src/resilience/fault_injector.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+// Every test owns the process-global injector slot.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::ClearGlobal(); }
+};
+
+TEST_F(FaultInjectorTest, ParsesEmptySpec) {
+  auto injector = FaultInjector::Parse("");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_EQ(injector->num_armed(), 0u);
+}
+
+TEST_F(FaultInjectorTest, ParsesMultiFaultSpec) {
+  auto injector = FaultInjector::Parse("grad-nan@120,kill@350");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_EQ(injector->num_armed(), 2u);
+}
+
+TEST_F(FaultInjectorTest, KindWithoutStepMeansStepZero) {
+  auto injector = FaultInjector::Parse("halt");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_TRUE(injector->ShouldFire(FaultKind::kHaltTraining));
+}
+
+TEST_F(FaultInjectorTest, RejectsUnknownKindAndBadStep) {
+  EXPECT_TRUE(FaultInjector::Parse("explode@3").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultInjector::Parse("kill@abc").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultInjector::Parse("kill@").status().IsInvalidArgument());
+}
+
+TEST_F(FaultInjectorTest, KindNamesRoundTrip) {
+  const FaultKind kinds[] = {
+      FaultKind::kGradNan,      FaultKind::kKill,
+      FaultKind::kHaltTraining, FaultKind::kCkptTruncate,
+      FaultKind::kCkptCorrupt,  FaultKind::kFsyncFail,
+      FaultKind::kRenameFail,
+  };
+  for (FaultKind kind : kinds) {
+    auto parsed = FaultKindFromString(FaultKindToString(kind));
+    ASSERT_TRUE(parsed.ok()) << FaultKindToString(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST_F(FaultInjectorTest, FiresOnceAtOrAfterArmedStep) {
+  FaultInjector injector =
+      std::move(FaultInjector::Parse("grad-nan@3")).value();
+  EXPECT_FALSE(injector.ShouldFire(FaultKind::kGradNan));  // step 0
+  injector.AdvanceStep();
+  injector.AdvanceStep();
+  EXPECT_FALSE(injector.ShouldFire(FaultKind::kGradNan));  // step 2
+  injector.AdvanceStep();
+  EXPECT_TRUE(injector.ShouldFire(FaultKind::kGradNan));   // step 3: fires
+  EXPECT_FALSE(injector.ShouldFire(FaultKind::kGradNan));  // exactly once
+  injector.AdvanceStep();
+  EXPECT_FALSE(injector.ShouldFire(FaultKind::kGradNan));
+}
+
+TEST_F(FaultInjectorTest, FiresWhenFirstQueriedPastTheStep) {
+  // Faults polled at coarse cadence (e.g. fsync-fail, only queried at
+  // checkpoint writes) still fire on the first query past their step.
+  FaultInjector injector =
+      std::move(FaultInjector::Parse("fsync-fail@5")).value();
+  injector.set_step(40);
+  EXPECT_TRUE(injector.ShouldFire(FaultKind::kFsyncFail));
+}
+
+TEST_F(FaultInjectorTest, SetStepRealignsAfterResume) {
+  FaultInjector injector = std::move(FaultInjector::Parse("kill@10")).value();
+  injector.set_step(9);
+  EXPECT_FALSE(injector.ShouldFire(FaultKind::kKill));
+  injector.set_step(10);
+  EXPECT_TRUE(injector.ShouldFire(FaultKind::kKill));
+}
+
+TEST_F(FaultInjectorTest, FaultArmedIsFalseWithoutGlobalInjector) {
+  FaultInjector::ClearGlobal();
+  EXPECT_FALSE(FaultArmed(FaultKind::kGradNan));
+}
+
+TEST_F(FaultInjectorTest, FaultArmedUsesTheGlobalInjector) {
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("ckpt-corrupt@0")).value());
+  EXPECT_TRUE(FaultArmed(FaultKind::kCkptCorrupt));
+  EXPECT_FALSE(FaultArmed(FaultKind::kCkptCorrupt));  // fired once
+  EXPECT_FALSE(FaultArmed(FaultKind::kCkptTruncate));
+}
+
+TEST_F(FaultInjectorTest, InstallsFromEnvironment) {
+  ::setenv("SAMPNN_FAULTS", "halt@7", 1);
+  ASSERT_TRUE(FaultInjector::InstallGlobalFromEnv().ok());
+  ::unsetenv("SAMPNN_FAULTS");
+  ASSERT_NE(FaultInjector::Global(), nullptr);
+  EXPECT_EQ(FaultInjector::Global()->num_armed(), 1u);
+
+  ::setenv("SAMPNN_FAULTS", "not-a-fault", 1);
+  EXPECT_TRUE(FaultInjector::InstallGlobalFromEnv().IsInvalidArgument());
+  ::unsetenv("SAMPNN_FAULTS");
+}
+
+}  // namespace
+}  // namespace sampnn

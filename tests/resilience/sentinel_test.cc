@@ -1,0 +1,92 @@
+#include "src/resilience/sentinel.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+using Verdict = DivergenceSentinel::Verdict;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+SentinelOptions FastOptions() {
+  SentinelOptions options;
+  options.enabled = true;
+  options.warmup_batches = 3;
+  options.spike_factor = 10.0;
+  return options;
+}
+
+TEST(DivergenceSentinelTest, HealthyLossesPass) {
+  DivergenceSentinel sentinel(FastOptions());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sentinel.Observe(2.0, -1.0), Verdict::kOk);
+  }
+  EXPECT_NEAR(sentinel.ewma(), 2.0, 1e-9);
+  EXPECT_EQ(sentinel.observed(), 100u);
+}
+
+TEST(DivergenceSentinelTest, NonFiniteLossTripsImmediately) {
+  DivergenceSentinel sentinel(FastOptions());
+  // NaN/Inf scans are armed from batch 0, before any warmup.
+  EXPECT_EQ(sentinel.Observe(kNan, -1.0), Verdict::kNonFiniteLoss);
+  EXPECT_EQ(sentinel.Observe(kInf, -1.0), Verdict::kNonFiniteLoss);
+  EXPECT_EQ(sentinel.Observe(-kInf, -1.0), Verdict::kNonFiniteLoss);
+}
+
+TEST(DivergenceSentinelTest, NonFiniteGradNormTrips) {
+  DivergenceSentinel sentinel(FastOptions());
+  EXPECT_EQ(sentinel.Observe(1.0, kNan), Verdict::kNonFiniteGrad);
+  EXPECT_EQ(sentinel.Observe(1.0, kInf), Verdict::kNonFiniteGrad);
+  // Negative = "trainer does not track grad norms": no grad scan.
+  EXPECT_EQ(sentinel.Observe(1.0, -1.0), Verdict::kOk);
+  EXPECT_EQ(sentinel.Observe(1.0, 123.0), Verdict::kOk);
+}
+
+TEST(DivergenceSentinelTest, SpikeTripsOnlyAfterWarmup) {
+  DivergenceSentinel sentinel(FastOptions());
+  // Within warmup a wild loss passes the spike scan (EWMA not settled).
+  EXPECT_EQ(sentinel.Observe(2.0, -1.0), Verdict::kOk);
+  EXPECT_EQ(sentinel.Observe(500.0, -1.0), Verdict::kOk);
+  EXPECT_EQ(sentinel.Observe(2.0, -1.0), Verdict::kOk);
+  // Warmup (3 observations) done; EWMA is near 2-12. A 10x spike trips.
+  EXPECT_EQ(sentinel.Observe(1e6, -1.0), Verdict::kLossSpike);
+}
+
+TEST(DivergenceSentinelTest, TrippedObservationDoesNotMoveTheEwma) {
+  DivergenceSentinel sentinel(FastOptions());
+  for (int i = 0; i < 10; ++i) sentinel.Observe(2.0, -1.0);
+  const double ewma_before = sentinel.ewma();
+  const uint64_t observed_before = sentinel.observed();
+  EXPECT_EQ(sentinel.Observe(1e9, -1.0), Verdict::kLossSpike);
+  EXPECT_EQ(sentinel.Observe(kNan, -1.0), Verdict::kNonFiniteLoss);
+  EXPECT_EQ(sentinel.ewma(), ewma_before);
+  EXPECT_EQ(sentinel.observed(), observed_before);
+}
+
+TEST(DivergenceSentinelTest, RestoreStateRewindsTheBaseline) {
+  DivergenceSentinel a(FastOptions());
+  for (int i = 0; i < 20; ++i) a.Observe(3.0, -1.0);
+
+  DivergenceSentinel b(FastOptions());
+  b.RestoreState(a.ewma(), a.observed());
+  EXPECT_EQ(b.ewma(), a.ewma());
+  EXPECT_EQ(b.observed(), a.observed());
+  // Identical verdicts from the restored baseline.
+  EXPECT_EQ(b.Observe(1e5, -1.0), Verdict::kLossSpike);
+  EXPECT_EQ(b.Observe(3.1, -1.0), Verdict::kOk);
+}
+
+TEST(DivergenceSentinelTest, VerdictNamesAreDistinct) {
+  EXPECT_STRNE(SentinelVerdictToString(Verdict::kOk),
+               SentinelVerdictToString(Verdict::kNonFiniteLoss));
+  EXPECT_STRNE(SentinelVerdictToString(Verdict::kNonFiniteGrad),
+               SentinelVerdictToString(Verdict::kLossSpike));
+}
+
+}  // namespace
+}  // namespace sampnn

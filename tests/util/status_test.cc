@@ -55,7 +55,16 @@ TEST(StatusTest, MisuseWithOkCodeBecomesInternal) {
 
 TEST(StatusCodeToStringTest, CoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "Invalid argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "Out of range");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "Already exists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "Failed precondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
                "Not implemented");
 }
@@ -106,7 +115,34 @@ StatusOr<int> UseAssignOrReturn(bool fail) {
   return x * 2;
 }
 
+// The checkpoint paths chain SAMPNN_ASSIGN_OR_RETURN across several
+// fallible reads, including over move-only payloads; model that shape.
+StatusOr<std::unique_ptr<int>> MoveOnlySource(bool fail) {
+  if (fail) return Status::IOError("torn read");
+  return std::make_unique<int>(21);
+}
+
+StatusOr<int> ChainTwoLevels(bool fail_first, bool fail_second) {
+  SAMPNN_ASSIGN_OR_RETURN(std::unique_ptr<int> p, MoveOnlySource(fail_first));
+  SAMPNN_ASSIGN_OR_RETURN(int x, Source(fail_second));
+  return *p + x;
+}
+
 }  // namespace macros
+
+TEST(StatusMacrosTest, AssignOrReturnHandlesMoveOnlyValues) {
+  auto ok = macros::MoveOnlySource(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*std::move(ok).value(), 21);
+}
+
+TEST(StatusMacrosTest, ChainedAssignsPropagateTheFirstError) {
+  auto ok = macros::ChainTwoLevels(false, false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 26);
+  EXPECT_TRUE(macros::ChainTwoLevels(true, false).status().IsIOError());
+  EXPECT_TRUE(macros::ChainTwoLevels(false, true).status().IsOutOfRange());
+}
 
 TEST(StatusMacrosTest, ReturnNotOkPropagates) {
   EXPECT_TRUE(macros::UseReturnNotOk(false).ok());
