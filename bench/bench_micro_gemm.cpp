@@ -1,9 +1,26 @@
 // Micro benchmarks for the dense and sparse linear-algebra kernels — the
 // Θ(n²)-per-layer operations the paper identifies as the training
 // bottleneck (§4.1), and the active-set kernels that replace them.
+//
+// Two modes:
+//   (default)  google-benchmark suite over the kernel family.
+//   --sweep    packed-vs-scalar GFLOP/s sweep across thread counts
+//              (1/2/4/hardware max), written as JSON for
+//              scripts/check_gemm_perf.py and the CI perf-smoke job.
+//              Flags: --shapes=256,512  --out=results/BENCH_gemm.json
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/tensor/gemm.h"
+#include "src/tensor/kernel_config.h"
 #include "src/tensor/kernels.h"
 #include "src/util/rng.h"
 
@@ -122,7 +139,133 @@ void BM_SparseOuterUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseOuterUpdate)->Args({1000, 50})->Args({1000, 1000});
 
+// ---------------------------------------------------------------------------
+// --sweep mode: packed vs seed-scalar GFLOP/s across shapes x thread counts.
+// ---------------------------------------------------------------------------
+
+struct SweepRecord {
+  std::string op;
+  size_t m, k, n, threads;
+  std::string variant;  // "packed" or "scalar_seed"
+  double gflops;
+};
+
+// Times one configured kernel call: one warmup, then enough repetitions to
+// accumulate ~200 ms of wall clock (at least 3), reporting the best-rep
+// throughput so a scheduler hiccup cannot make the CI floor check flaky.
+template <typename Fn>
+double MeasureGflops(uint64_t flops_per_call, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup: page in operands, resolve dispatch, grow pack scratch
+  double best_secs = 1e300;
+  double total = 0.0;
+  int reps = 0;
+  while ((total < 0.2 || reps < 3) && reps < 50) {
+    const auto t0 = Clock::now();
+    fn();
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    best_secs = std::min(best_secs, secs);
+    total += secs;
+    ++reps;
+  }
+  return static_cast<double>(flops_per_call) / best_secs / 1e9;
+}
+
+std::vector<size_t> SweepThreadCounts() {
+  const size_t hw = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  std::vector<size_t> counts = {1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+void SweepShape(size_t s, std::vector<SweepRecord>* out) {
+  Rng rng(20250806);
+  Matrix a = Matrix::RandomGaussian(s, s, rng);
+  Matrix b = Matrix::RandomGaussian(s, s, rng);
+  Matrix c(s, s);
+  const uint64_t flops = uint64_t{2} * s * s * s;
+
+  // Seed baseline: the deterministic path is the seed's serial scalar
+  // blocked loop, unchanged ordering.
+  SetDeterministicKernels(true);
+  const double scalar =
+      MeasureGflops(flops, [&] { Gemm(a, b, &c, 1.0f, 0.0f); });
+  out->push_back({"gemm", s, s, s, 1, "scalar_seed", scalar});
+  std::printf("  %4zu^3  scalar_seed          %8.2f GFLOP/s\n", s, scalar);
+
+  SetDeterministicKernels(false);
+  SetGemmParallelMinFlops(1);  // always take the requested-thread path
+  for (size_t t : SweepThreadCounts()) {
+    SetGemmThreads(t);
+    const double packed =
+        MeasureGflops(flops, [&] { Gemm(a, b, &c, 1.0f, 0.0f); });
+    out->push_back({"gemm", s, s, s, t, "packed", packed});
+    std::printf("  %4zu^3  packed  %2zu threads  %8.2f GFLOP/s  (%.2fx)\n", s,
+                t, packed, packed / scalar);
+  }
+  SetGemmThreads(0);
+  SetGemmParallelMinFlops(0);
+}
+
+int RunSweep(const std::vector<std::string>& args) {
+  std::vector<size_t> shapes = {256, 512};
+  std::string out_path = "results/BENCH_gemm.json";
+  for (const auto& arg : args) {
+    if (arg.rfind("--shapes=", 0) == 0) {
+      shapes.clear();
+      std::string list = arg.substr(9);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        shapes.push_back(std::stoul(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  const bool avx2 = gemm_internal::MicroKernelIsAvx2();
+  std::printf("gemm sweep: avx2_fma=%d hardware_concurrency=%u\n", avx2,
+              std::thread::hardware_concurrency());
+  std::vector<SweepRecord> records;
+  for (size_t s : shapes) SweepShape(s, &records);
+
+  const auto parent = std::filesystem::path(out_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream f(out_path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  f << "{\n  \"avx2_fma\": " << (avx2 ? "true" : "false")
+    << ",\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+    << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    f << "    {\"op\": \"" << r.op << "\", \"m\": " << r.m
+      << ", \"k\": " << r.k << ", \"n\": " << r.n
+      << ", \"threads\": " << r.threads << ", \"variant\": \"" << r.variant
+      << "\", \"gflops\": " << r.gflops << "}"
+      << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  std::printf("wrote %s (%zu records)\n", out_path.c_str(), records.size());
+  return 0;
+}
+
 }  // namespace
 }  // namespace sampnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--sweep") return sampnn::RunSweep(args);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

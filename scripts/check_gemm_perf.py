@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Gates the packed GEMM's throughput against the seed scalar baseline.
+
+Usage:
+  scripts/check_gemm_perf.py <BENCH_gemm.json> [--shape N] [--min-ratio R]
+
+Reads the JSON the `bench_micro_gemm --sweep` mode writes and fails if the
+packed single-thread GEMM is slower than the seed scalar loop at the gate
+shape (default 512^3). The default ratio floor is deliberately modest (1.0:
+"never slower than the code it replaced") so the CI gate stays robust on
+noisy shared runners; the ISSUE-4 target of >= 4x is checked locally and
+recorded in results/BENCH_gemm.json. A higher floor can be enforced with
+--min-ratio once runner variance is known.
+
+Exit code 0 on success; prints the first problem and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_gemm_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_gemm.json from --sweep")
+    parser.add_argument("--shape", type=int, default=512,
+                        help="square gate shape (default 512)")
+    parser.add_argument("--min-ratio", type=float, default=1.0,
+                        help="required packed/scalar ratio at 1 thread")
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench_json, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.bench_json}: {e}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail(f"{args.bench_json}: missing or empty results array")
+
+    scalar = None
+    packed1 = None
+    for rec in results:
+        if rec.get("op") != "gemm" or rec.get("m") != args.shape:
+            continue
+        if rec.get("variant") == "scalar_seed":
+            scalar = rec.get("gflops")
+        elif rec.get("variant") == "packed" and rec.get("threads") == 1:
+            packed1 = rec.get("gflops")
+    if scalar is None:
+        fail(f"no scalar_seed record at shape {args.shape}")
+    if packed1 is None:
+        fail(f"no packed 1-thread record at shape {args.shape}")
+    if scalar <= 0:
+        fail(f"scalar_seed gflops is non-positive: {scalar}")
+
+    ratio = packed1 / scalar
+    print(f"check_gemm_perf: shape {args.shape}^3: scalar {scalar:.2f} "
+          f"GFLOP/s, packed(1t) {packed1:.2f} GFLOP/s, ratio {ratio:.2f}x "
+          f"(avx2_fma={doc.get('avx2_fma')})")
+    if ratio < args.min_ratio:
+        fail(f"packed 1-thread GEMM ratio {ratio:.2f}x is below the "
+             f"{args.min_ratio:.2f}x floor at {args.shape}^3")
+    print("check_gemm_perf: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,8 @@ JSONL_KEYS = {
     "alsh_nonempty_buckets",
     "mc_batch_samples", "mc_delta_samples",
     "rollbacks", "nan_batches", "alsh_dense_fallbacks",
-    "gemm_flops", "sparse_flops", "rss_bytes",
+    "gemm_flops", "gemm_flops_realized", "sparse_flops",
+    "gemm_parallel_dispatches", "gemm_serial_dispatches", "rss_bytes",
 }
 
 

@@ -11,6 +11,11 @@
 
 set -u
 
+# Bitwise reference/resume comparison requires bitwise-reproducible math:
+# force the serial scalar kernels so results cannot depend on the host's
+# SIMD support or thread count (see src/tensor/kernel_config.h).
+export SAMPNN_DETERMINISTIC_KERNELS=1
+
 BIN="${1:-build/release/examples/resilient_training}"
 if [[ ! -x "$BIN" ]]; then
   echo "crash_resume_smoke: binary not found: $BIN" >&2

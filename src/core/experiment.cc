@@ -210,15 +210,21 @@ StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
   struct PhaseBaseline {
     double forward = 0.0, backward = 0.0, sampling = 0.0;
     double rebuild = 0.0, parallel = 0.0;
-    uint64_t gemm_flops = 0, sparse_flops = 0;
+    uint64_t gemm_flops = 0, gemm_flops_realized = 0, sparse_flops = 0;
+    uint64_t gemm_parallel = 0, gemm_serial = 0;
   } prev;
   if (recorder != nullptr && TelemetryEnabled()) {
     // The FLOP counters are process-global; start from their current values
     // so concurrent earlier runs do not leak into epoch 1's delta.
-    prev.gemm_flops =
-        MetricsRegistry::Get().GetCounter("tensor.gemm.flops").Value();
-    prev.sparse_flops =
-        MetricsRegistry::Get().GetCounter("tensor.sparse.flops").Value();
+    MetricsRegistry& registry = MetricsRegistry::Get();
+    prev.gemm_flops = registry.GetCounter("tensor.gemm.flops").Value();
+    prev.gemm_flops_realized =
+        registry.GetCounter("tensor.gemm.flops_realized").Value();
+    prev.sparse_flops = registry.GetCounter("tensor.sparse.flops").Value();
+    prev.gemm_parallel =
+        registry.GetCounter("tensor.gemm.parallel_dispatches").Value();
+    prev.gemm_serial =
+        registry.GetCounter("tensor.gemm.serial_dispatches").Value();
   }
 
   // The loop is flat — one iteration per batch, epoch boundaries detected
@@ -381,12 +387,24 @@ StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
       prev.parallel = parallel;
       MetricsRegistry& registry = MetricsRegistry::Get();
       const uint64_t gemm = registry.GetCounter("tensor.gemm.flops").Value();
+      const uint64_t gemm_realized =
+          registry.GetCounter("tensor.gemm.flops_realized").Value();
       const uint64_t sparse =
           registry.GetCounter("tensor.sparse.flops").Value();
+      const uint64_t gemm_parallel =
+          registry.GetCounter("tensor.gemm.parallel_dispatches").Value();
+      const uint64_t gemm_serial =
+          registry.GetCounter("tensor.gemm.serial_dispatches").Value();
       t.gemm_flops = gemm - prev.gemm_flops;
+      t.gemm_flops_realized = gemm_realized - prev.gemm_flops_realized;
       t.sparse_flops = sparse - prev.sparse_flops;
+      t.gemm_parallel_dispatches = gemm_parallel - prev.gemm_parallel;
+      t.gemm_serial_dispatches = gemm_serial - prev.gemm_serial;
       prev.gemm_flops = gemm;
+      prev.gemm_flops_realized = gemm_realized;
       prev.sparse_flops = sparse;
+      prev.gemm_parallel = gemm_parallel;
+      prev.gemm_serial = gemm_serial;
       trainer->FillTelemetry(&t);
       t.rss_bytes = memory.CurrentBytes();
       recorder->Record(t);

@@ -1,7 +1,9 @@
 #include "src/nn/activation.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "src/tensor/simd.h"
 #include "src/util/check.h"
 
 namespace sampnn {
@@ -65,13 +67,17 @@ void ApplyActivation(Activation act, std::span<const float> z,
   SAMPNN_CHECK_EQ(z.size(), a.size());
   switch (act) {
     case Activation::kLinear:
-      if (a.data() != z.data()) {
-        for (size_t i = 0; i < z.size(); ++i) a[i] = z[i];
+      if (a.data() != z.data() && !z.empty()) {
+        std::memcpy(a.data(), z.data(), z.size() * sizeof(float));
       }
       break;
     case Activation::kRelu:
-      for (size_t i = 0; i < z.size(); ++i) a[i] = z[i] > 0.0f ? z[i] : 0.0f;
+      simd::Relu(z.size(), z.data(), a.data());
       break;
+    // Sigmoid and tanh stay scalar on purpose: a vector exp approximation
+    // would change activations beyond FMA-contraction tolerance and break
+    // loss parity with the seed (DESIGN.md §9). ReLU is the paper's hidden
+    // activation, so it is the one that matters for wall-clock.
     case Activation::kSigmoid:
       for (size_t i = 0; i < z.size(); ++i)
         a[i] = 1.0f / (1.0f + std::exp(-z[i]));
@@ -101,6 +107,10 @@ void MultiplyActivationGrad(Activation act, const Matrix& z, Matrix* delta) {
   if (act == Activation::kLinear) return;
   const float* zd = z.data();
   float* dd = delta->data();
+  if (act == Activation::kRelu) {
+    simd::ReluGradMul(z.size(), zd, dd);
+    return;
+  }
   for (size_t i = 0; i < z.size(); ++i) {
     dd[i] *= ActivationGradValue(act, zd[i]);
   }

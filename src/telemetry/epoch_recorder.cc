@@ -68,7 +68,10 @@ std::string EpochTelemetryToJson(const EpochTelemetry& rec) {
      << ",\"nan_batches\":" << rec.nan_batches
      << ",\"alsh_dense_fallbacks\":" << rec.alsh_dense_fallbacks
      << ",\"gemm_flops\":" << rec.gemm_flops
+     << ",\"gemm_flops_realized\":" << rec.gemm_flops_realized
      << ",\"sparse_flops\":" << rec.sparse_flops
+     << ",\"gemm_parallel_dispatches\":" << rec.gemm_parallel_dispatches
+     << ",\"gemm_serial_dispatches\":" << rec.gemm_serial_dispatches
      << ",\"rss_bytes\":" << rec.rss_bytes << "}";
   return os.str();
 }

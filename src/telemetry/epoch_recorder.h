@@ -110,9 +110,18 @@ struct EpochTelemetry {
   uint64_t alsh_dense_fallbacks = 0;
 
   // FLOPs charged to the dense gemm family / the sparse active-set kernels
-  // during this epoch (deltas of the registry counters).
+  // during this epoch (deltas of the registry counters). `gemm_flops` is
+  // the nominal 2*m*n*k cost; `gemm_flops_realized` subtracts the work the
+  // input-sparsity shortcuts skipped (VecMat zero rows), so the gap is the
+  // FLOP count dropout actually saved.
   uint64_t gemm_flops = 0;
+  uint64_t gemm_flops_realized = 0;
   uint64_t sparse_flops = 0;
+
+  // Dense GEMM dispatch fate during this epoch (deltas): products large
+  // enough to be partitioned across the kernel pool vs run serially.
+  uint64_t gemm_parallel_dispatches = 0;
+  uint64_t gemm_serial_dispatches = 0;
 
   uint64_t rss_bytes = 0;  ///< process RSS at epoch end
 };

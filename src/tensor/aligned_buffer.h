@@ -1,0 +1,148 @@
+// 64-byte-aligned float storage for Matrix and the GEMM pack buffers.
+//
+// Alignment serves two purposes: (1) the packed GEMM microkernel uses
+// aligned 32-byte vector loads on its scratch panels, and (2) Matrix data
+// starts on a cache-line boundary so the vectorized elementwise kernels
+// never straddle a line on their first access. The logical size is padded
+// up to a whole cache line (16 floats) and the padding is kept
+// zero-initialized, so full-width vector *loads* over the tail of a buffer
+// are always in-bounds — kernels still never write past size().
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <new>
+
+#include "src/util/check.h"
+
+namespace sampnn {
+
+/// \brief Fixed-size, 64-byte-aligned float array with value semantics.
+///
+/// Replaces std::vector<float> as Matrix storage. Not resizable in place
+/// (Resize discards contents); Matrix shapes are immutable after
+/// construction, and the GEMM scratch buffers only ever grow-and-overwrite.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;  // bytes; one cache line
+  static constexpr size_t kPadFloats = kAlignment / sizeof(float);
+
+  AlignedBuffer() = default;
+
+  /// Allocates `n` floats, zero-initialized (padding included).
+  explicit AlignedBuffer(size_t n) { Allocate(n); }
+
+  AlignedBuffer(const AlignedBuffer& other) {
+    Allocate(other.size_);
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this == &other) return *this;
+    if (PaddedSize(size_) != PaddedSize(other.size_)) {
+      Deallocate();
+      Allocate(other.size_);
+    } else {
+      size_ = other.size_;
+    }
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+    return *this;
+  }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    Deallocate();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    return *this;
+  }
+
+  ~AlignedBuffer() { Deallocate(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Floats actually allocated (size rounded up to a cache line).
+  size_t padded_size() const { return PaddedSize(size_); }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+
+  float& operator[](size_t i) {
+    SAMPNN_DCHECK_BOUNDS(i, size_);
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    SAMPNN_DCHECK_BOUNDS(i, size_);
+    return data_[i];
+  }
+
+  float* begin() { return data_; }
+  float* end() { return data_ + size_; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+
+  /// Largest representable element count (used by shape-overflow checks).
+  static constexpr size_t max_size() {
+    return (std::numeric_limits<size_t>::max() - kAlignment) / sizeof(float);
+  }
+
+  /// Reallocates to exactly `n` floats, zero-initialized. Discards
+  /// contents — scratch-buffer semantics, not std::vector::resize.
+  void Resize(size_t n) {
+    if (PaddedSize(n) == PaddedSize(size_)) {
+      size_ = n;
+      if (size_ != 0) std::memset(data_, 0, padded_size() * sizeof(float));
+      return;
+    }
+    Deallocate();
+    Allocate(n);
+  }
+
+  /// Grows to at least `n` floats (discarding contents when growing);
+  /// never shrinks. The GEMM pack-scratch entry point.
+  void GrowTo(size_t n) {
+    if (n > size_) Resize(n);
+  }
+
+ private:
+  static size_t PaddedSize(size_t n) {
+    return (n + kPadFloats - 1) / kPadFloats * kPadFloats;
+  }
+
+  void Allocate(size_t n) {
+    SAMPNN_CHECK_MSG(n <= max_size(), "AlignedBuffer size overflows");
+    size_ = n;
+    if (n == 0) {
+      data_ = nullptr;
+      return;
+    }
+    const size_t bytes = PaddedSize(n) * sizeof(float);
+    data_ = static_cast<float*>(
+        ::operator new(bytes, std::align_val_t{kAlignment}));
+    std::memset(data_, 0, bytes);
+  }
+
+  void Deallocate() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  float* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sampnn

@@ -1,0 +1,278 @@
+#include "src/tensor/gemm.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/tensor/aligned_buffer.h"
+#include "src/util/check.h"
+#include "src/util/threadpool.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SAMPNN_GEMM_X86 1
+#include <immintrin.h>
+#endif
+
+namespace sampnn::gemm_internal {
+
+namespace {
+
+// Cache blocking. One B panel (kKC x kNC floats) is 1 MiB — streams through
+// L2/L3 once per k-block; one A block (kMC x kKC) is 96 KiB and stays
+// L2-resident while its kMC rows sweep the whole B panel.
+constexpr size_t kKC = 256;
+constexpr size_t kMC = 96;  // 16 microtiles of kMR rows
+constexpr size_t kNC = 1024;
+
+// ---------------------------------------------------------------------------
+// Microkernels: C_tile(kMR x kNR) += sum_p apanel[p][0..kMR) ⊗ bpanel[p][0..kNR).
+// Panels are packed (contiguous, aligned, zero-padded), so the k-loop is
+// two aligned B loads + kMR broadcasts + 2*kMR FMAs per step with no edge
+// branches; tails only affect the final store.
+// ---------------------------------------------------------------------------
+
+#ifdef SAMPNN_GEMM_X86
+
+__attribute__((target("avx2,fma"))) void MicroKernelAvx2(
+    size_t kc, const float* ap, const float* bp, float* c, size_t ldc,
+    size_t mr, size_t nr) {
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
+  __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+  for (size_t p = 0; p < kc; ++p, ap += kMR, bp += kNR) {
+    const __m256 b0 = _mm256_load_ps(bp);
+    const __m256 b1 = _mm256_load_ps(bp + 8);
+    __m256 a = _mm256_broadcast_ss(ap + 0);
+    acc00 = _mm256_fmadd_ps(a, b0, acc00);
+    acc01 = _mm256_fmadd_ps(a, b1, acc01);
+    a = _mm256_broadcast_ss(ap + 1);
+    acc10 = _mm256_fmadd_ps(a, b0, acc10);
+    acc11 = _mm256_fmadd_ps(a, b1, acc11);
+    a = _mm256_broadcast_ss(ap + 2);
+    acc20 = _mm256_fmadd_ps(a, b0, acc20);
+    acc21 = _mm256_fmadd_ps(a, b1, acc21);
+    a = _mm256_broadcast_ss(ap + 3);
+    acc30 = _mm256_fmadd_ps(a, b0, acc30);
+    acc31 = _mm256_fmadd_ps(a, b1, acc31);
+    a = _mm256_broadcast_ss(ap + 4);
+    acc40 = _mm256_fmadd_ps(a, b0, acc40);
+    acc41 = _mm256_fmadd_ps(a, b1, acc41);
+    a = _mm256_broadcast_ss(ap + 5);
+    acc50 = _mm256_fmadd_ps(a, b0, acc50);
+    acc51 = _mm256_fmadd_ps(a, b1, acc51);
+  }
+  if (mr == kMR && nr == kNR) {
+    float* cr = c;
+    _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc00));
+    _mm256_storeu_ps(cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc01));
+    cr += ldc;
+    _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc10));
+    _mm256_storeu_ps(cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc11));
+    cr += ldc;
+    _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc20));
+    _mm256_storeu_ps(cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc21));
+    cr += ldc;
+    _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc30));
+    _mm256_storeu_ps(cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc31));
+    cr += ldc;
+    _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc40));
+    _mm256_storeu_ps(cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc41));
+    cr += ldc;
+    _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc50));
+    _mm256_storeu_ps(cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc51));
+    return;
+  }
+  // Edge tile: spill the full register tile and add the live mr x nr
+  // corner. The packed zero padding makes the dead lanes exact zeros.
+  alignas(32) float tmp[kMR * kNR];
+  _mm256_store_ps(tmp + 0 * kNR, acc00);
+  _mm256_store_ps(tmp + 0 * kNR + 8, acc01);
+  _mm256_store_ps(tmp + 1 * kNR, acc10);
+  _mm256_store_ps(tmp + 1 * kNR + 8, acc11);
+  _mm256_store_ps(tmp + 2 * kNR, acc20);
+  _mm256_store_ps(tmp + 2 * kNR + 8, acc21);
+  _mm256_store_ps(tmp + 3 * kNR, acc30);
+  _mm256_store_ps(tmp + 3 * kNR + 8, acc31);
+  _mm256_store_ps(tmp + 4 * kNR, acc40);
+  _mm256_store_ps(tmp + 4 * kNR + 8, acc41);
+  _mm256_store_ps(tmp + 5 * kNR, acc50);
+  _mm256_store_ps(tmp + 5 * kNR + 8, acc51);
+  for (size_t r = 0; r < mr; ++r) {
+    for (size_t j = 0; j < nr; ++j) c[r * ldc + j] += tmp[r * kNR + j];
+  }
+}
+
+#endif  // SAMPNN_GEMM_X86
+
+// Portable microkernel: same packed layout, same per-lane accumulation
+// order; auto-vectorizes at the baseline ISA (and never FMA-contracts under
+// the project's default flags, matching the scalar deterministic path's
+// rounding per lane).
+void MicroKernelPortable(size_t kc, const float* __restrict__ ap,
+                         const float* __restrict__ bp, float* c, size_t ldc,
+                         size_t mr, size_t nr) {
+  float acc[kMR][kNR] = {};
+  for (size_t p = 0; p < kc; ++p, ap += kMR, bp += kNR) {
+    for (size_t r = 0; r < kMR; ++r) {
+      const float a = ap[r];
+      for (size_t j = 0; j < kNR; ++j) acc[r][j] += a * bp[j];
+    }
+  }
+  for (size_t r = 0; r < mr; ++r) {
+    for (size_t j = 0; j < nr; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+using MicroKernelFn = void (*)(size_t, const float*, const float*, float*,
+                               size_t, size_t, size_t);
+
+MicroKernelFn PickMicroKernel() {
+#ifdef SAMPNN_GEMM_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return MicroKernelAvx2;
+  }
+#endif
+  return MicroKernelPortable;
+}
+
+MicroKernelFn ActiveMicroKernel() {
+  static const MicroKernelFn fn = PickMicroKernel();
+  return fn;
+}
+
+// ---------------------------------------------------------------------------
+// Packing. Panels are written tile-contiguous — B as [jr-tile][p][kNR],
+// A as [ir-tile][p][kMR] — so the microkernel streams both with unit
+// stride. Out-of-range rows/columns are written as zeros, which keeps the
+// microkernel edge-free and makes full-width loads on the last tile exact.
+// ---------------------------------------------------------------------------
+
+void PackB(const float* b, size_t b_rs, size_t b_cs, size_t pc, size_t kc,
+           size_t jc, size_t nc, float* __restrict__ out) {
+  const size_t tiles = (nc + kNR - 1) / kNR;
+  for (size_t t = 0; t < tiles; ++t) {
+    const size_t j0 = jc + t * kNR;
+    const size_t jw = std::min(kNR, jc + nc - j0);
+    for (size_t p = 0; p < kc; ++p) {
+      const float* src = b + (pc + p) * b_rs + j0 * b_cs;
+      float* dst = out + (t * kc + p) * kNR;
+      if (b_cs == 1) {
+        for (size_t j = 0; j < jw; ++j) dst[j] = src[j];
+      } else {
+        for (size_t j = 0; j < jw; ++j) dst[j] = src[j * b_cs];
+      }
+      for (size_t j = jw; j < kNR; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+void PackA(const float* a, size_t a_rs, size_t a_cs, size_t ic, size_t mc,
+           size_t pc, size_t kc, float alpha, float* __restrict__ out) {
+  const size_t tiles = (mc + kMR - 1) / kMR;
+  for (size_t t = 0; t < tiles; ++t) {
+    const size_t i0 = ic + t * kMR;
+    const size_t iw = std::min(kMR, ic + mc - i0);
+    for (size_t p = 0; p < kc; ++p) {
+      const float* src = a + i0 * a_rs + (pc + p) * a_cs;
+      float* dst = out + (t * kc + p) * kMR;
+      for (size_t r = 0; r < iw; ++r) dst[r] = alpha * src[r * a_rs];
+      for (size_t r = iw; r < kMR; ++r) dst[r] = 0.0f;
+    }
+  }
+}
+
+// Per-thread pack scratch. Workers in the kernel pool are long-lived, so
+// these warm up once and are reused across dispatches.
+thread_local AlignedBuffer t_apack;
+thread_local AlignedBuffer t_bpack;
+
+// One A row-block against one packed B panel: pack, then sweep microtiles.
+void RunRowBlock(const float* a, size_t a_rs, size_t a_cs, size_t ic,
+                 size_t mc, size_t pc, size_t kc, size_t jc, size_t nc,
+                 float alpha, const float* bpack, float* c, size_t ldc,
+                 MicroKernelFn micro) {
+  t_apack.GrowTo(((kMC + kMR - 1) / kMR) * kMR * kKC);
+  PackA(a, a_rs, a_cs, ic, mc, pc, kc, alpha, t_apack.data());
+  const float* apack = t_apack.data();
+  for (size_t jr = 0; jr < nc; jr += kNR) {
+    const size_t nr = std::min(kNR, nc - jr);
+    const float* bp = bpack + (jr / kNR) * kc * kNR;
+    for (size_t ir = 0; ir < mc; ir += kMR) {
+      const size_t mr = std::min(kMR, mc - ir);
+      const float* ap = apack + (ir / kMR) * kc * kMR;
+      micro(kc, ap, bp, c + (ic + ir) * ldc + jc + jr, ldc, mr, nr);
+    }
+  }
+}
+
+// Kernel pools, one per worker count, created lazily and kept for the
+// process lifetime (drained and joined by static destruction). Keeping a
+// pool per size sidesteps destroy-while-in-use races when tests flip
+// SetGemmThreads between dispatches.
+ThreadPool& PoolFor(size_t threads) {
+  static std::mutex mu;
+  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = pools[threads];
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(threads);
+  return *slot;
+}
+
+}  // namespace
+
+bool MicroKernelIsAvx2() {
+#ifdef SAMPNN_GEMM_X86
+  return ActiveMicroKernel() == MicroKernelAvx2;
+#else
+  return false;
+#endif
+}
+
+void PackedGemm(size_t m, size_t n, size_t k, float alpha, const float* a,
+                size_t a_rs, size_t a_cs, const float* b, size_t b_rs,
+                size_t b_cs, float* c, size_t ldc) {
+  PackedGemmParallel(m, n, k, alpha, a, a_rs, a_cs, b, b_rs, b_cs, c, ldc, 1);
+}
+
+void PackedGemmParallel(size_t m, size_t n, size_t k, float alpha,
+                        const float* a, size_t a_rs, size_t a_cs,
+                        const float* b, size_t b_rs, size_t b_cs, float* c,
+                        size_t ldc, size_t threads) {
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) return;  // C += 0
+  const MicroKernelFn micro = ActiveMicroKernel();
+  ThreadPool* pool = threads > 1 ? &PoolFor(threads) : nullptr;
+  for (size_t jc = 0; jc < n; jc += kNC) {
+    const size_t nc = std::min(kNC, n - jc);
+    for (size_t pc = 0; pc < k; pc += kKC) {
+      const size_t kc = std::min(kKC, k - pc);
+      // The B panel is packed once on the dispatching thread, then read
+      // concurrently by the row-block tasks (ThreadPool::Submit's mutex
+      // publishes it). Each task packs its own A block into its
+      // thread-local scratch, and owns a disjoint range of C rows — no
+      // write sharing, and a fixed per-element accumulation order
+      // independent of the thread count.
+      t_bpack.GrowTo(((kNC + kNR - 1) / kNR) * kNR * kKC);
+      PackB(b, b_rs, b_cs, pc, kc, jc, nc, t_bpack.data());
+      const float* bpack = t_bpack.data();
+      const size_t blocks = (m + kMC - 1) / kMC;
+      auto run_block = [&](size_t blk) {
+        const size_t ic = blk * kMC;
+        const size_t mc = std::min(kMC, m - ic);
+        RunRowBlock(a, a_rs, a_cs, ic, mc, pc, kc, jc, nc, alpha, bpack, c,
+                    ldc, micro);
+      };
+      if (pool != nullptr && blocks > 1) {
+        pool->ParallelFor(blocks, run_block);
+      } else {
+        for (size_t blk = 0; blk < blocks; ++blk) run_block(blk);
+      }
+    }
+  }
+}
+
+}  // namespace sampnn::gemm_internal

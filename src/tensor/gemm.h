@@ -1,0 +1,52 @@
+// Packed, register-blocked GEMM driver — the shared engine behind
+// Gemm / GemmTransA / GemmTransB (src/tensor/kernels.h).
+//
+// The driver computes C(m x n) += alpha * op(A) * op(B) where both operands
+// are described by (row stride, column stride) pairs, so the three public
+// transpose variants are one code path with different strides:
+//
+//     Gemm        A: (k, 1)   B: (n, 1)
+//     GemmTransA  A: (1, k)   B: (n, 1)     (reads A transposed)
+//     GemmTransB  A: (k, 1)   B: (1, k)     (reads B transposed)
+//
+// Both operands are packed into 64-byte-aligned, zero-padded panels
+// (B into kKC x kNC column panels of kNR-wide tiles, A into kMC x kKC row
+// panels of kMR-tall tiles, alpha folded into the A pack), and a kMR x kNR
+// register-tile microkernel runs over the panels: AVX2+FMA via a
+// function-level target attribute when the CPU supports it, otherwise a
+// portable lane-ordered loop the compiler vectorizes at the baseline ISA.
+//
+// Parallel execution partitions the kMC row blocks of each panel across the
+// shared kernel pool. Every output tile is computed by exactly one task in
+// a fixed block order, so results are bitwise-identical for every thread
+// count (including serial packed execution) — only the deterministic-mode
+// scalar path (kernels.cc) is ordered differently. See DESIGN.md §9.
+
+#pragma once
+
+#include <cstddef>
+
+namespace sampnn::gemm_internal {
+
+/// Microkernel register-tile shape (rows x columns).
+inline constexpr size_t kMR = 6;
+inline constexpr size_t kNR = 16;
+
+/// True when the AVX2+FMA microkernel is selected at runtime.
+bool MicroKernelIsAvx2();
+
+/// C += alpha * op(A) * op(B), serial packed path. C is row-major with
+/// leading dimension ldc; callers apply beta before dispatching.
+void PackedGemm(size_t m, size_t n, size_t k, float alpha, const float* a,
+                size_t a_rs, size_t a_cs, const float* b, size_t b_rs,
+                size_t b_cs, float* c, size_t ldc);
+
+/// Same product with the row blocks of each panel partitioned across the
+/// shared kernel pool (`threads` workers; <= 1 falls back to serial).
+/// Bitwise-identical to PackedGemm for any thread count.
+void PackedGemmParallel(size_t m, size_t n, size_t k, float alpha,
+                        const float* a, size_t a_rs, size_t a_cs,
+                        const float* b, size_t b_rs, size_t b_cs, float* c,
+                        size_t ldc, size_t threads);
+
+}  // namespace sampnn::gemm_internal

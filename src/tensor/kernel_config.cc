@@ -1,0 +1,74 @@
+#include "src/tensor/kernel_config.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+// 0 = unresolved (read env/hardware on next query).
+std::atomic<size_t> g_threads{0};
+
+// Default threshold: a 128^3 product (~4 MFLOP) is roughly where the pack +
+// ParallelFor wake cost drops under 10% of kernel time on the recording
+// host; everything smaller stays serial.
+constexpr uint64_t kDefaultParallelMinFlops = 4'000'000;
+std::atomic<uint64_t> g_parallel_min_flops{0};  // 0 = unresolved
+
+enum : int { kUnresolved = -1 };
+std::atomic<int> g_deterministic{kUnresolved};
+
+size_t ResolveThreads() {
+  long long env = GetEnvIntOr("SAMPNN_THREADS", 0);
+  if (env > 0) return static_cast<size_t>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+size_t GemmThreads() {
+  size_t t = g_threads.load(std::memory_order_relaxed);
+  if (t == 0) {
+    t = ResolveThreads();
+    g_threads.store(t, std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void SetGemmThreads(size_t n) {
+  g_threads.store(n, std::memory_order_relaxed);
+}
+
+uint64_t GemmParallelMinFlops() {
+  uint64_t v = g_parallel_min_flops.load(std::memory_order_relaxed);
+  if (v == 0) {
+    const long long env = GetEnvIntOr("SAMPNN_GEMM_PARALLEL_MIN_FLOPS", 0);
+    v = env > 0 ? static_cast<uint64_t>(env) : kDefaultParallelMinFlops;
+    g_parallel_min_flops.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void SetGemmParallelMinFlops(uint64_t flops) {
+  g_parallel_min_flops.store(flops == 0 ? 1 : flops,
+                             std::memory_order_relaxed);
+}
+
+bool DeterministicKernels() {
+  int v = g_deterministic.load(std::memory_order_relaxed);
+  if (v == kUnresolved) {
+    v = GetEnvIntOr("SAMPNN_DETERMINISTIC_KERNELS", 0) != 0 ? 1 : 0;
+    g_deterministic.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetDeterministicKernels(bool on) {
+  g_deterministic.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace sampnn

@@ -1,0 +1,44 @@
+// Runtime configuration for the dense kernel layer: worker count, the
+// FLOP threshold below which GEMM stays serial, and the deterministic-mode
+// switch. All knobs are process-global relaxed atomics — cheap to read on
+// every dispatch, safe to flip from tests.
+//
+// Environment:
+//   SAMPNN_THREADS                 worker count for partitioned GEMM
+//                                  (default: hardware concurrency)
+//   SAMPNN_DETERMINISTIC_KERNELS   1 = force the serial, scalar, seed-ordered
+//                                  kernels everywhere (bitwise-stable across
+//                                  hosts and thread settings; used by the
+//                                  crash-resume smoke job)
+//   SAMPNN_GEMM_PARALLEL_MIN_FLOPS override the serial/parallel threshold
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sampnn {
+
+/// Worker threads the partitioned GEMM path may use. Resolved on first call
+/// from SAMPNN_THREADS, else std::thread::hardware_concurrency (min 1).
+size_t GemmThreads();
+
+/// Overrides the GEMM worker count. 0 re-resolves from the environment /
+/// hardware on the next GemmThreads() call. The shared kernel pool is
+/// re-created lazily on the next parallel dispatch.
+void SetGemmThreads(size_t n);
+
+/// 2*m*n*k threshold at or above which a GEMM dispatch is partitioned
+/// across the kernel pool. Small products stay serial: the pack + wake cost
+/// exceeds the work well below this size.
+uint64_t GemmParallelMinFlops();
+void SetGemmParallelMinFlops(uint64_t flops);
+
+/// When true, every dense kernel takes its serial, scalar, fixed-order
+/// path: no SIMD microkernel, no FMA contraction, no thread partitioning.
+/// Results are then bitwise-identical across hosts, ISAs, and thread
+/// settings — the mode checkpoint/resume verification runs under.
+bool DeterministicKernels();
+void SetDeterministicKernels(bool on);
+
+}  // namespace sampnn

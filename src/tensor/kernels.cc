@@ -3,24 +3,36 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/tensor/gemm.h"
+#include "src/tensor/kernel_config.h"
+#include "src/tensor/simd.h"
 #include "src/telemetry/metrics_registry.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
 
 namespace sampnn {
 
 namespace {
-// Block sizes tuned for ~32 KiB L1: a 64x64 float tile of B is 16 KiB.
+// Block sizes for the deterministic scalar path, tuned for ~32 KiB L1:
+// a 64x64 float tile of B is 16 KiB.
 constexpr size_t kBlockK = 64;
 constexpr size_t kBlockJ = 256;
 
 // Telemetry FLOP tallies (2 flops per multiply-accumulate), charged once per
-// kernel call so the inner loops stay untouched. SparseDot is left
-// uninstrumented: it runs once per active node per sample, where even a
-// gated atomic add is measurable.
-inline void CountDenseFlops(size_t flops) {
+// kernel call so the inner loops stay untouched. `nominal` is the dense
+// 2*m*n*k cost of the product; `realized` is the work actually executed
+// after input-sparsity shortcuts. The packed GEMM path skips nothing, so
+// the two coincide there; VecMat still skips zero input rows (dropout
+// produces exact zeros on the SGD path), so its realized count is lower.
+// SparseDot is left uninstrumented: it runs once per active node per
+// sample, where even a gated atomic add is measurable.
+inline void CountDenseFlops(size_t nominal, size_t realized) {
   if (!TelemetryEnabled()) return;
-  static Counter& c = MetricsRegistry::Get().GetCounter("tensor.gemm.flops");
-  c.Add(flops);
+  static Counter& n = MetricsRegistry::Get().GetCounter("tensor.gemm.flops");
+  static Counter& r =
+      MetricsRegistry::Get().GetCounter("tensor.gemm.flops_realized");
+  n.Add(nominal);
+  r.Add(realized);
 }
 
 inline void CountSparseFlops(size_t flops) {
@@ -28,24 +40,52 @@ inline void CountSparseFlops(size_t flops) {
   static Counter& c = MetricsRegistry::Get().GetCounter("tensor.sparse.flops");
   c.Add(flops);
 }
-}  // namespace
 
-void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
-          float beta) {
-  SAMPNN_CHECK(c != nullptr);
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  SAMPNN_CHECK_EQ(b.rows(), k);
-  SAMPNN_CHECK_EQ(c->rows(), m);
-  SAMPNN_CHECK_EQ(c->cols(), n);
+// Serial/parallel dispatch tallies for the batch GEMM family, exported per
+// epoch (scripts/check_telemetry.py keys gemm_*_dispatches).
+inline void CountDispatch(bool parallel) {
+  if (!TelemetryEnabled()) return;
+  static Counter& p =
+      MetricsRegistry::Get().GetCounter("tensor.gemm.parallel_dispatches");
+  static Counter& s =
+      MetricsRegistry::Get().GetCounter("tensor.gemm.serial_dispatches");
+  (parallel ? p : s).Increment();
+}
+
+// Applies beta to C before the accumulating product: C = beta * C.
+inline void ApplyBeta(Matrix* c, float beta) {
   if (beta == 0.0f) {
     c->SetZero();
   } else if (beta != 1.0f) {
     Scale(c, beta);
   }
-  CountDenseFlops(2 * m * k * n);
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c->data();
+}
+
+// Chooses the execution mode for one dense product of `flops` nominal
+// FLOPs and runs it: deterministic scalar (caller-provided), packed serial,
+// or packed ThreadPool-partitioned when the product is big enough to
+// amortize packing and worker wakeup.
+template <typename DetFn>
+void DispatchGemm(size_t m, size_t n, size_t k, float alpha, const float* a,
+                  size_t a_rs, size_t a_cs, const float* b, size_t b_rs,
+                  size_t b_cs, float* c, size_t ldc, DetFn&& deterministic) {
+  if (DeterministicKernels()) {
+    deterministic();
+    return;
+  }
+  TraceSpan span("gemm");
+  const uint64_t flops = uint64_t{2} * m * n * k;
+  const size_t threads =
+      flops >= GemmParallelMinFlops() ? GemmThreads() : size_t{1};
+  CountDispatch(threads > 1);
+  gemm_internal::PackedGemmParallel(m, n, k, alpha, a, a_rs, a_cs, b, b_rs,
+                                    b_cs, c, ldc, threads);
+}
+
+// --- Deterministic scalar kernels: the seed's serial loop orderings. ---
+
+void GemmScalar(const float* ad, const float* bd, float* cd, size_t m,
+                size_t k, size_t n, float alpha) {
   for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
     const size_t k1 = std::min(k, k0 + kBlockK);
     for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
@@ -55,7 +95,6 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
         float* crow = cd + i * n;
         for (size_t l = k0; l < k1; ++l) {
           const float av = alpha * arow[l];
-          if (av == 0.0f) continue;
           const float* brow = bd + l * n;
           for (size_t j = j0; j < j1; ++j) {
             crow[j] += av * brow[j];
@@ -66,6 +105,56 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
   }
 }
 
+void GemmTransAScalar(const float* ad, const float* bd, float* cd, size_t m,
+                      size_t k, size_t n, float alpha) {
+  // C[l, j] += A[i, l] * B[i, j]: stream rows of A and B, scatter into C
+  // rows.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    const float* brow = bd + i * n;
+    for (size_t l = 0; l < k; ++l) {
+      const float av = alpha * arow[l];
+      float* crow = cd + l * n;
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void GemmTransBScalar(const float* ad, const float* bd, float* cd, size_t m,
+                      size_t k, size_t n, float alpha) {
+  // C[i, j] += <A row i, B row j>: both operands stream row-major.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
+      for (size_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
+          float beta) {
+  SAMPNN_CHECK(c != nullptr);
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  SAMPNN_CHECK_EQ(b.rows(), k);
+  SAMPNN_CHECK_EQ(c->rows(), m);
+  SAMPNN_CHECK_EQ(c->cols(), n);
+  ApplyBeta(c, beta);
+  CountDenseFlops(2 * m * k * n, 2 * m * k * n);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c->data();
+  DispatchGemm(m, n, k, alpha, ad, k, 1, bd, n, 1, cd, n,
+               [&] { GemmScalar(ad, bd, cd, m, k, n, alpha); });
+}
+
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
                 float beta) {
   SAMPNN_CHECK(c != nullptr);
@@ -73,28 +162,16 @@ void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
   SAMPNN_CHECK_EQ(b.rows(), m);
   SAMPNN_CHECK_EQ(c->rows(), k);
   SAMPNN_CHECK_EQ(c->cols(), n);
-  if (beta == 0.0f) {
-    c->SetZero();
-  } else if (beta != 1.0f) {
-    Scale(c, beta);
-  }
-  CountDenseFlops(2 * m * k * n);
+  ApplyBeta(c, beta);
+  CountDenseFlops(2 * m * k * n, 2 * m * k * n);
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
-  // C[l, j] += A[i, l] * B[i, j]: stream rows of A and B, scatter into C rows.
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = ad + i * k;
-    const float* brow = bd + i * n;
-    for (size_t l = 0; l < k; ++l) {
-      const float av = alpha * arow[l];
-      if (av == 0.0f) continue;
-      float* crow = cd + l * n;
-      for (size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  // op(A) = A^T: the packed path partitions over C's rows (the gradient's
+  // output neurons), so each worker owns a disjoint row range and the
+  // weight-gradient scatter is race-free by construction.
+  DispatchGemm(k, n, m, alpha, ad, 1, k, bd, n, 1, cd, n,
+               [&] { GemmTransAScalar(ad, bd, cd, m, k, n, alpha); });
 }
 
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
@@ -104,21 +181,13 @@ void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
   SAMPNN_CHECK_EQ(b.cols(), k);
   SAMPNN_CHECK_EQ(c->rows(), m);
   SAMPNN_CHECK_EQ(c->cols(), n);
-  CountDenseFlops(2 * m * k * n);
+  ApplyBeta(c, beta);
+  CountDenseFlops(2 * m * k * n, 2 * m * k * n);
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
-  // C[i, j] = <A row i, B row j>: both operands stream row-major.
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = ad + i * k;
-    float* crow = cd + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = bd + j * k;
-      float acc = 0.0f;
-      for (size_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
-    }
-  }
+  DispatchGemm(m, n, k, alpha, ad, k, 1, bd, 1, k, cd, n,
+               [&] { GemmTransBScalar(ad, bd, cd, m, k, n, alpha); });
 }
 
 void VecMat(std::span<const float> x, const Matrix& w,
@@ -132,22 +201,26 @@ void VecMat(std::span<const float> x, const Matrix& w,
   } else {
     std::fill(y.begin(), y.end(), 0.0f);
   }
-  CountDenseFlops(2 * k * n);
+  // The SGD hot path keeps the sparse-input fast path: dropout zeroes
+  // entire input coordinates, so skipping x[i] == 0 rows skips real work.
   const float* wd = w.data();
+  size_t nonzero = 0;
   for (size_t i = 0; i < k; ++i) {
     const float xv = x[i];
     if (xv == 0.0f) continue;
-    const float* wrow = wd + i * n;
-    for (size_t j = 0; j < n; ++j) y[j] += xv * wrow[j];
+    ++nonzero;
+    simd::Axpy(n, xv, wd + i * n, y.data());
   }
+  CountDenseFlops(2 * k * n, 2 * nonzero * n);
 }
 
 void AddRowVector(Matrix* m, std::span<const float> v) {
   SAMPNN_CHECK(m != nullptr);
   SAMPNN_CHECK_EQ(v.size(), m->cols());
+  const size_t cols = m->cols();
+  float* d = m->data();
   for (size_t i = 0; i < m->rows(); ++i) {
-    auto row = m->Row(i);
-    for (size_t j = 0; j < row.size(); ++j) row[j] += v[j];
+    simd::Add(cols, v.data(), d + i * cols);
   }
 }
 
@@ -155,32 +228,28 @@ void HadamardInPlace(Matrix* a, const Matrix& b) {
   SAMPNN_CHECK(a != nullptr);
   SAMPNN_CHECK_EQ(a->rows(), b.rows());
   SAMPNN_CHECK_EQ(a->cols(), b.cols());
-  float* ad = a->data();
-  const float* bd = b.data();
-  for (size_t i = 0; i < a->size(); ++i) ad[i] *= bd[i];
+  simd::Mul(a->size(), b.data(), a->data());
 }
 
 void Axpy(float alpha, const Matrix& x, Matrix* y) {
   SAMPNN_CHECK(y != nullptr);
   SAMPNN_CHECK_EQ(x.rows(), y->rows());
   SAMPNN_CHECK_EQ(x.cols(), y->cols());
-  const float* xd = x.data();
-  float* yd = y->data();
-  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+  simd::Axpy(x.size(), alpha, x.data(), y->data());
 }
 
 void Scale(Matrix* m, float alpha) {
   SAMPNN_CHECK(m != nullptr);
-  float* d = m->data();
-  for (size_t i = 0; i < m->size(); ++i) d[i] *= alpha;
+  simd::Scale(m->size(), alpha, m->data());
 }
 
 void ColumnSums(const Matrix& m, std::span<float> out) {
   SAMPNN_CHECK_EQ(out.size(), m.cols());
   std::fill(out.begin(), out.end(), 0.0f);
+  const size_t cols = m.cols();
+  const float* d = m.data();
   for (size_t i = 0; i < m.rows(); ++i) {
-    auto row = m.Row(i);
-    for (size_t j = 0; j < row.size(); ++j) out[j] += row[j];
+    simd::Add(cols, d + i * cols, out.data());
   }
 }
 

@@ -6,6 +6,14 @@
 //   - full gemm family (standard training, minibatch),
 //   - column-subset products (ALSH-approx: "sampling from current layer"),
 //   - row-subset products (MC-approx: "sampling from previous layer").
+//
+// The gemm family runs on a packed, register-blocked microkernel
+// (src/tensor/gemm.h): AVX2+FMA when the CPU supports it, ThreadPool
+// row-partitioned above a FLOP threshold (SAMPNN_THREADS workers), with a
+// bitwise-stable serial scalar path under SAMPNN_DETERMINISTIC_KERNELS=1.
+// Elementwise ops vectorize through src/tensor/simd.h. Tuning knobs and
+// the determinism switch live in src/tensor/kernel_config.h; DESIGN.md §9
+// documents the architecture and the float-reassociation tolerance.
 
 #pragma once
 
@@ -17,8 +25,7 @@
 
 namespace sampnn {
 
-/// C = alpha * A(m x k) * B(k x n) + beta * C(m x n). Cache-blocked i-k-j
-/// loop order with the innermost loop vectorizable over n.
+/// C = alpha * A(m x k) * B(k x n) + beta * C(m x n).
 void Gemm(const Matrix& a, const Matrix& b, Matrix* c, float alpha = 1.0f,
           float beta = 0.0f);
 

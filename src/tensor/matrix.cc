@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace sampnn {
 
-Matrix::Matrix(size_t rows, size_t cols)
-    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+Matrix::Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols) {
   // rows * cols must not wrap: a silent overflow here would produce an
   // undersized buffer that every unchecked accessor then overruns.
-  SAMPNN_CHECK_MSG(cols == 0 || rows <= data_.max_size() / cols,
+  SAMPNN_CHECK_MSG(cols == 0 || rows <= AlignedBuffer::max_size() / cols,
                    "Matrix dimensions overflow size_t");
+  data_ = AlignedBuffer(rows * cols);
 }
 
 StatusOr<Matrix> Matrix::FromVector(size_t rows, size_t cols,
@@ -21,10 +22,10 @@ StatusOr<Matrix> Matrix::FromVector(size_t rows, size_t cols,
         "FromVector: buffer size " + std::to_string(data.size()) +
         " != " + std::to_string(rows) + "x" + std::to_string(cols));
   }
-  Matrix m;
-  m.rows_ = rows;
-  m.cols_ = cols;
-  m.data_ = std::move(data);
+  Matrix m(rows, cols);
+  if (!data.empty()) {
+    std::memcpy(m.data_.data(), data.data(), data.size() * sizeof(float));
+  }
   return m;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/aligned_buffer.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -22,6 +23,9 @@ namespace sampnn {
 ///
 /// A (rows x cols) matrix stored contiguously. Vectors are represented as
 /// 1 x n matrices (matching the paper's row-vector convention a^k ∈ R^{1×n}).
+/// Storage is 64-byte aligned with a zero-kept cache-line tail pad
+/// (AlignedBuffer), so the SIMD kernels may issue aligned vector loads and
+/// full-width loads over a row tail without leaving the allocation.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -110,7 +114,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedBuffer data_;
 };
 
 }  // namespace sampnn
