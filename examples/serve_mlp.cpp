@@ -1,0 +1,221 @@
+// serve_mlp: train a small MLP on the synthetic benchmark, stand it up
+// behind the deadline-aware InferenceService, and hammer it with concurrent
+// clients — optionally with injected serving faults — then print the
+// outcome mix as JSON. This is the binary behind the CI overload-smoke job
+// (scripts/check_serve_smoke.py asserts on its output).
+//
+//   ./serve_mlp --backend=alsh --requests=400 --queue-cap=16
+//               --deadline-ms=50 --faults="delay@20,hang@40"
+//
+// Exit code 0 unless setup itself fails; overload outcomes (sheds, expired
+// deadlines, watchdog trips) are data, not errors.
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/synthetic.h"
+#include "src/resilience/fault_injector.h"
+#include "src/serve/inference_service.h"
+#include "src/util/flags.h"
+
+using namespace sampnn;
+
+namespace {
+
+// Brief training loop (the serving demo needs a plausible model, not a
+// converged one).
+void TrainBriefly(Trainer* trainer, const Dataset& train, size_t epochs,
+                  size_t batch_size) {
+  Rng rng(7);
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  Matrix x;
+  std::vector<int32_t> y;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t begin = 0; begin + batch_size <= train.size();
+         begin += batch_size) {
+      const std::span<const size_t> indices(order.data() + begin, batch_size);
+      train.FillBatch(indices, &x, &y);
+      std::move(trainer->Step(x, y)).ValueOrDie("train step");
+    }
+  }
+}
+
+std::string StatsToJson(const ServeStats& s, const std::string& backend,
+                        const ServeOptions& options, uint64_t client_ok,
+                        uint64_t client_degraded) {
+  std::ostringstream out;
+  out << "{\"backend\":\"" << backend << "\""
+      << ",\"queue_capacity\":" << options.queue_capacity
+      << ",\"workers\":" << options.workers
+      << ",\"default_deadline_ms\":" << options.default_deadline_ms
+      << ",\"submitted\":" << s.submitted << ",\"admitted\":" << s.admitted
+      << ",\"shed\":" << s.shed << ",\"completed\":" << s.completed
+      << ",\"completed_degraded\":" << s.completed_degraded
+      << ",\"deadline_exceeded\":" << s.deadline_exceeded
+      << ",\"cancelled\":" << s.cancelled
+      << ",\"watchdog_trips\":" << s.watchdog_trips
+      << ",\"degrade_transitions\":" << s.degrade_transitions
+      << ",\"client_ok\":" << client_ok
+      << ",\"client_degraded\":" << client_degraded << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("serve_mlp");
+  flags.AddString("backend", "dense", "dense | alsh | mc");
+  flags.AddInt("epochs", 1, "brief training epochs before serving");
+  flags.AddInt("scale", 50, "dataset downscale factor");
+  flags.AddInt("hidden", 64, "hidden units per layer");
+  flags.AddInt("requests", 200, "total requests across all clients");
+  flags.AddInt("client-threads", 4, "concurrent submitting threads");
+  flags.AddInt("inflight-per-client", 8,
+               "outstanding requests per client before it waits on the "
+               "oldest (keeps admissions flowing instead of one burst)");
+  flags.AddInt("queue-cap", 0, "admission queue bound (0 = env/default)");
+  flags.AddInt("deadline-ms", 0, "per-request deadline (0 = env/default)");
+  flags.AddInt("workers", 2, "inference worker threads");
+  flags.AddInt("max-batch", 8, "micro-batch cap when healthy");
+  flags.AddInt("watchdog-budget-ms", 200, "batch runtime before a trip");
+  flags.AddString("faults", "",
+                  "fault spec (delay@N,hang@N,reject-admission@N); "
+                  "overrides SAMPNN_FAULTS");
+  flags.AddString("json-out", "", "also write the JSON summary to this file");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsFailedPrecondition()) return 0;  // --help
+  st.Abort("flags");
+
+  // 1. Data + a briefly trained model.
+  DatasetSplits data =
+      std::move(GenerateBenchmark("mnist", /*seed=*/7,
+                                  static_cast<size_t>(flags.GetInt("scale"))))
+          .ValueOrDie("generate data");
+  const std::string backend_name = flags.GetString("backend");
+  const TrainerKind kind =
+      backend_name == "alsh" ? TrainerKind::kAlsh : TrainerKind::kMc;
+  const MlpConfig net_config = PaperMlpConfig(
+      data.train, /*depth=*/3, static_cast<size_t>(flags.GetInt("hidden")),
+      /*seed=*/42);
+  TrainerOptions trainer_options =
+      PaperTrainerOptions(kind, /*batch_size=*/20, /*seed=*/42);
+
+  std::unique_ptr<ModelBackend> backend;
+  if (backend_name == "alsh") {
+    // The ALSH backend owns the trainer: serving probes the same hash
+    // tables training built.
+    Mlp net = std::move(Mlp::Create(net_config)).ValueOrDie("net");
+    std::unique_ptr<AlshTrainer> trainer =
+        std::move(AlshTrainer::Create(std::move(net), trainer_options.alsh,
+                                      trainer_options.learning_rate,
+                                      trainer_options.seed))
+            .ValueOrDie("alsh trainer");
+    TrainBriefly(trainer.get(), data.train,
+                 static_cast<size_t>(flags.GetInt("epochs")), 20);
+    backend = MakeAlshBackend(std::move(trainer));
+  } else if (backend_name == "mc" || backend_name == "dense") {
+    std::unique_ptr<Trainer> trainer =
+        std::move(MakeTrainer(net_config, trainer_options)).ValueOrDie("trainer");
+    TrainBriefly(trainer.get(), data.train,
+                 static_cast<size_t>(flags.GetInt("epochs")), 20);
+    backend = backend_name == "mc"
+                  ? MakeMcBackend(trainer->net(), McBackendOptions{})
+                  : MakeDenseBackend(trainer->net());
+  } else {
+    std::fprintf(stderr, "unknown --backend=%s\n", backend_name.c_str());
+    return 1;
+  }
+
+  // 2. Faults: --faults wins over SAMPNN_FAULTS. Installed after training
+  // so the admitted-request step counter starts at zero.
+  if (!flags.GetString("faults").empty()) {
+    FaultInjector::InstallGlobal(
+        std::move(FaultInjector::Parse(flags.GetString("faults")))
+            .ValueOrDie("faults"));
+  } else {
+    FaultInjector::InstallGlobalFromEnv().Abort("SAMPNN_FAULTS");
+  }
+
+  // 3. The service. Env defaults (SAMPNN_SERVE_QUEUE_CAP /
+  // SAMPNN_SERVE_DEADLINE_MS), explicit flags override.
+  ServeOptions options = ServeOptions::FromEnv();
+  if (flags.GetInt("queue-cap") > 0) {
+    options.queue_capacity = static_cast<size_t>(flags.GetInt("queue-cap"));
+  }
+  if (flags.GetInt("deadline-ms") > 0) {
+    options.default_deadline_ms = flags.GetInt("deadline-ms");
+  }
+  options.workers = static_cast<size_t>(flags.GetInt("workers"));
+  options.max_batch = static_cast<size_t>(flags.GetInt("max-batch"));
+  options.watchdog_budget_ms = flags.GetInt("watchdog-budget-ms");
+  std::unique_ptr<InferenceService> service =
+      std::move(InferenceService::Create(std::move(backend), options))
+          .ValueOrDie("service");
+
+  // 4. Concurrent clients submitting as fast as the service will listen.
+  const size_t total_requests = static_cast<size_t>(flags.GetInt("requests"));
+  const size_t client_threads =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("client-threads")));
+  std::atomic<uint64_t> client_ok{0}, client_degraded{0};
+  std::vector<std::thread> clients;
+  clients.reserve(client_threads);
+  for (size_t c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      const size_t window = std::max<size_t>(
+          1, static_cast<size_t>(flags.GetInt("inflight-per-client")));
+      std::deque<std::future<InferenceResult>> inflight;
+      const auto settle = [&](std::future<InferenceResult> f) {
+        const InferenceResult result = f.get();
+        if (result.status.ok()) {
+          client_ok.fetch_add(1, std::memory_order_relaxed);
+          if (result.degraded) {
+            client_degraded.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      };
+      for (size_t i = c; i < total_requests; i += client_threads) {
+        const std::span<const float> row =
+            data.test.Example(i % data.test.size());
+        inflight.push_back(
+            service->Submit(std::vector<float>(row.begin(), row.end())));
+        if (inflight.size() >= window) {
+          settle(std::move(inflight.front()));
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        settle(std::move(inflight.front()));
+        inflight.pop_front();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service->Stop(InferenceService::StopMode::kDrain);
+
+  // 5. Report.
+  const ServeStats stats = service->Stats();
+  const std::string json = StatsToJson(
+      stats, backend_name, service->options(),
+      client_ok.load(), client_degraded.load());
+  std::printf("%s\n", json.c_str());
+  const std::string json_out = flags.GetString("json-out");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  FaultInjector::ClearGlobal();
+  return 0;
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Asserts on serve_mlp's JSON outcome mix (CI overload-smoke job).
+
+Usage: check_serve_smoke.py <serve_mlp_json_file>
+
+The smoke run drives the service into overload with injected faults
+(delay@N, hang@N) and more clients than the queue admits, so a healthy
+run MUST show load shedding and expired deadlines — their absence means
+the admission control or deadline enforcement silently stopped working.
+Exits 0 when every invariant holds, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_serve_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <serve_mlp_json_file>")
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            stats = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read stats: {e}")
+
+    required = [
+        "submitted", "admitted", "shed", "completed", "completed_degraded",
+        "deadline_exceeded", "cancelled", "watchdog_trips",
+        "degrade_transitions", "client_ok",
+    ]
+    missing = [k for k in required if k not in stats]
+    if missing:
+        fail(f"missing keys: {missing}")
+
+    # Conservation: every submitted request was admitted or shed, and every
+    # admitted request reached exactly one terminal outcome (Stop(kDrain)
+    # ran before the stats were printed, so nothing is still in flight).
+    if stats["submitted"] != stats["admitted"] + stats["shed"]:
+        fail(f"submitted ({stats['submitted']}) != admitted "
+             f"({stats['admitted']}) + shed ({stats['shed']})")
+    terminal = (stats["completed"] + stats["completed_degraded"]
+                + stats["deadline_exceeded"] + stats["cancelled"])
+    if stats["admitted"] != terminal:
+        fail(f"admitted ({stats['admitted']}) != terminal outcomes "
+             f"({terminal})")
+    if stats["client_ok"] != stats["completed"] + stats["completed_degraded"]:
+        fail(f"client_ok ({stats['client_ok']}) != completions "
+             f"({stats['completed'] + stats['completed_degraded']})")
+
+    # Overload behavior actually engaged.
+    if stats["shed"] == 0:
+        fail("no requests were shed — admission control never engaged")
+    if stats["deadline_exceeded"] == 0:
+        fail("no deadlines expired — deadline enforcement never engaged")
+    if stats["degrade_transitions"] == 0:
+        fail("service never degraded under sustained queue pressure")
+    # The hang@N fault wedges a worker; only a watchdog trip frees it, so a
+    # run that finished at all must have tripped at least once.
+    if stats["watchdog_trips"] == 0:
+        fail("injected hang did not produce a watchdog trip")
+
+    # The service must still do useful work under overload.
+    if stats["client_ok"] == 0:
+        fail("no request succeeded — overload handling shed everything")
+
+    print(f"check_serve_smoke: OK "
+          f"(submitted={stats['submitted']} ok={stats['client_ok']} "
+          f"shed={stats['shed']} deadline={stats['deadline_exceeded']} "
+          f"cancelled={stats['cancelled']} trips={stats['watchdog_trips']})")
+
+
+if __name__ == "__main__":
+    main()

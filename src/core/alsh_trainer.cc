@@ -579,6 +579,26 @@ std::vector<int32_t> AlshTrainer::PredictSparse(const Matrix& inputs) {
   return out;
 }
 
+Status AlshTrainer::PredictCancellable(const Matrix& x,
+                                       const CancelContext& ctx,
+                                       std::vector<int32_t>* preds) {
+  SAMPNN_CHECK(preds != nullptr);
+  if (x.cols() != net_.input_dim()) {
+    return Status::InvalidArgument("PredictCancellable: input has " +
+                                   std::to_string(x.cols()) +
+                                   " features, network expects " +
+                                   std::to_string(net_.input_dim()));
+  }
+  preds->assign(x.rows(), -1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    if (ctx.ShouldStop()) return ctx.StopStatus();
+    const std::vector<float> logits = ForwardSampleSparse(x.Row(r));
+    (*preds)[r] = static_cast<int32_t>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  return Status::OK();
+}
+
 double AlshTrainer::AverageActiveFraction() const {
   double sum = 0.0;
   size_t count = 0;

@@ -63,6 +63,12 @@ class AlshTrainer : public Trainer {
   /// Argmax predictions over `data` rows using ForwardSampleSparse.
   std::vector<int32_t> PredictSparse(const Matrix& inputs);
 
+  /// Serving entry point: hash-probe sparse inference with a cancellation
+  /// poll between samples — ALSH serves with the same active-node selection
+  /// it trained with, and an expired request stops probing mid-batch.
+  Status PredictCancellable(const Matrix& x, const CancelContext& ctx,
+                            std::vector<int32_t>* preds) override;
+
   /// Average active-set fraction observed so far (diagnostic; the paper
   /// reports ~5% of nodes per layer).
   double AverageActiveFraction() const;

@@ -4,9 +4,19 @@
 #include "src/core/dropout_trainer.h"
 #include "src/core/mc_trainer.h"
 #include "src/core/standard_trainer.h"
+#include "src/nn/loss.h"
 #include "src/nn/serialize.h"
 
 namespace sampnn {
+
+Status Trainer::PredictCancellable(const Matrix& x, const CancelContext& ctx,
+                                   std::vector<int32_t>* preds) {
+  SAMPNN_CHECK(preds != nullptr);
+  MlpWorkspace ws;
+  SAMPNN_RETURN_NOT_OK(net_.ForwardCancellable(x, ctx, &ws));
+  *preds = SoftmaxCrossEntropy::Predict(ws.a.back());
+  return Status::OK();
+}
 
 Status Trainer::SaveState(std::ostream& out) const {
   SAMPNN_RETURN_NOT_OK(SaveMlp(net_, out));

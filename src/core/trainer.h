@@ -129,6 +129,16 @@ class Trainer {
   Mlp& net() { return net_; }
   const Mlp& net() const { return net_; }
 
+  /// Deadline-aware batch inference — the serving layer's entry point into
+  /// a trained method. Fills `preds` with argmax class predictions for the
+  /// rows of `x`, polling `ctx` so an expired request stops mid-flight
+  /// (kDeadlineExceeded / kResourceExhausted; `preds` is then unspecified).
+  /// Base: the exact dense cancellable forward. Sampling methods override
+  /// with their own inference path (ALSH probes its hash tables, the same
+  /// selection it trained with).
+  virtual Status PredictCancellable(const Matrix& x, const CancelContext& ctx,
+                                    std::vector<int32_t>* preds);
+
   /// Phase-split timing accumulated across Step() calls.
   SplitTimer& timer() { return timer_; }
   const SplitTimer& timer() const { return timer_; }

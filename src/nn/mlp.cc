@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/nn/loss.h"
+#include "src/tensor/kernel_config.h"
 #include "src/tensor/kernels.h"
 #include "src/util/rng.h"
 
@@ -62,6 +63,31 @@ const Matrix& Mlp::Forward(const Matrix& input, MlpWorkspace* ws) const {
     prev = &ws->a[k];
   }
   return ws->a.back();
+}
+
+Status Mlp::ForwardCancellable(const Matrix& input, const CancelContext& ctx,
+                               MlpWorkspace* ws) const {
+  SAMPNN_CHECK(ws != nullptr);
+  if (input.cols() != input_dim()) {
+    return Status::InvalidArgument("ForwardCancellable: input has " +
+                                   std::to_string(input.cols()) +
+                                   " features, network expects " +
+                                   std::to_string(input_dim()));
+  }
+  // Row-block-granular cancellation inside the parallel GEMM dispatch.
+  ScopedKernelCancellation scope(&ctx);
+  ws->z.resize(layers_.size());
+  ws->a.resize(layers_.size());
+  const Matrix* prev = &input;
+  for (size_t k = 0; k < layers_.size(); ++k) {
+    if (ctx.ShouldStop()) return ctx.StopStatus();
+    layers_[k].ForwardLinear(*prev, &ws->z[k]);
+    layers_[k].Activate(ws->z[k], &ws->a[k]);
+    prev = &ws->a[k];
+  }
+  // A dispatch cancelled mid-product leaves the last z/a garbage; report it.
+  if (ctx.ShouldStop()) return ctx.StopStatus();
+  return Status::OK();
 }
 
 std::vector<float> Mlp::ForwardSample(std::span<const float> x) const {

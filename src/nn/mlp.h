@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/nn/layer.h"
+#include "src/util/deadline.h"
 #include "src/util/status.h"
 
 namespace sampnn {
@@ -71,6 +72,15 @@ class Mlp {
   /// Single-sample forward; returns logits. Scratch kept internally-free:
   /// caller supplies the workspace via the batch API if needed repeatedly.
   std::vector<float> ForwardSample(std::span<const float> x) const;
+
+  /// Cancellable dense forward for the serving layer: polls `ctx` between
+  /// layers and inside the parallel GEMM dispatch (row-block granularity,
+  /// via ScopedKernelCancellation). On OK the logits are in ws->a.back(),
+  /// exactly as Forward() leaves them; on kDeadlineExceeded /
+  /// kResourceExhausted the workspace contents are unspecified and must be
+  /// discarded.
+  Status ForwardCancellable(const Matrix& input, const CancelContext& ctx,
+                            MlpWorkspace* ws) const;
 
   /// Exact backpropagation (Eq. 1). `grad_logits` is dL/dlogits from the
   /// loss; `ws` must come from a matching Forward on `input`. Writes layer

@@ -22,6 +22,9 @@ StatusOr<FaultKind> FaultKindFromString(const std::string& name) {
   if (name == "ckpt-corrupt") return FaultKind::kCkptCorrupt;
   if (name == "fsync-fail") return FaultKind::kFsyncFail;
   if (name == "rename-fail") return FaultKind::kRenameFail;
+  if (name == "delay") return FaultKind::kServeDelay;
+  if (name == "hang") return FaultKind::kServeHang;
+  if (name == "reject-admission") return FaultKind::kRejectAdmission;
   return Status::InvalidArgument("unknown fault kind: " + name);
 }
 
@@ -41,6 +44,12 @@ const char* FaultKindToString(FaultKind kind) {
       return "fsync-fail";
     case FaultKind::kRenameFail:
       return "rename-fail";
+    case FaultKind::kServeDelay:
+      return "delay";
+    case FaultKind::kServeHang:
+      return "hang";
+    case FaultKind::kRejectAdmission:
+      return "reject-admission";
   }
   return "unknown";
 }
@@ -94,9 +103,11 @@ Status FaultInjector::InstallGlobalFromEnv() {
 }
 
 bool FaultInjector::ShouldFire(FaultKind kind) {
+  const uint64_t step = step_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(*mu_);
   for (size_t i = 0; i < specs_.size(); ++i) {
     if (fired_[i] || specs_[i].kind != kind) continue;
-    if (step_ >= specs_[i].step) {
+    if (step >= specs_[i].step) {
       fired_[i] = true;
       return true;
     }

@@ -18,8 +18,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,10 +40,15 @@ enum class FaultKind {
   kCkptCorrupt,   ///< checkpoint writer: flip a payload byte before rename
   kFsyncFail,     ///< checkpoint writer: report fsync failure
   kRenameFail,    ///< checkpoint writer: report rename failure
+  // Serving faults (src/serve/): the step counter counts admitted requests.
+  kServeDelay,       ///< inference worker: sleep before executing a batch
+  kServeHang,        ///< inference worker: spin until the batch is cancelled
+                     ///< (the watchdog's rescue path is the only way out)
+  kRejectAdmission,  ///< InferenceService::Submit: shed as if saturated
 };
 
 /// Parses "grad-nan" | "kill" | "halt" | "ckpt-truncate" | "ckpt-corrupt" |
-/// "fsync-fail" | "rename-fail".
+/// "fsync-fail" | "rename-fail" | "delay" | "hang" | "reject-admission".
 StatusOr<FaultKind> FaultKindFromString(const std::string& name);
 /// Canonical spec-string name.
 const char* FaultKindToString(FaultKind kind);
@@ -54,7 +61,10 @@ struct FaultSpec {
 
 /// \brief Deterministic, step-indexed fault schedule.
 ///
-/// Not thread-safe: queried only from the training-loop thread.
+/// Thread-safe: the serving layer queries and advances the injector from
+/// submitter and worker threads concurrently (training loops remain
+/// single-threaded queriers and pay one uncontended lock per query).
+/// Copies share the lock but snapshot the armed/fired state.
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -73,23 +83,47 @@ class FaultInjector {
   /// (and OK) when unset.
   static Status InstallGlobalFromEnv();
 
-  /// Advances the global batch step (once per training batch).
-  void AdvanceStep() { ++step_; }
-  uint64_t step() const { return step_; }
+  /// Advances the global batch step (once per training batch; once per
+  /// admitted request in the serving layer).
+  void AdvanceStep() { step_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t step() const { return step_.load(std::memory_order_relaxed); }
   /// Resumed runs restore the batch cursor so "@step" stays aligned with
   /// the uninterrupted run's numbering.
-  void set_step(uint64_t step) { step_ = step; }
+  void set_step(uint64_t step) {
+    step_.store(step, std::memory_order_relaxed);
+  }
 
   /// True exactly once per armed fault of `kind`: at the first call with
-  /// the current step at or past the fault's step.
+  /// the current step at or past the fault's step. Concurrent callers see
+  /// exactly one true per armed fault.
   bool ShouldFire(FaultKind kind);
 
   size_t num_armed() const { return specs_.size(); }
 
+  // Copies snapshot the armed/fired state under the source's lock and then
+  // share that lock (the atomic step is re-seated by hand).
+  FaultInjector(const FaultInjector& other) { *this = other; }
+  FaultInjector(FaultInjector&& other) noexcept { *this = other; }
+  FaultInjector& operator=(const FaultInjector& other) {
+    if (this == &other) return *this;
+    std::lock_guard<std::mutex> lock(*other.mu_);
+    specs_ = other.specs_;
+    fired_ = other.fired_;
+    mu_ = other.mu_;
+    step_.store(other.step_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+  FaultInjector& operator=(FaultInjector&& other) noexcept {
+    return *this = other;
+  }
+
  private:
   std::vector<FaultSpec> specs_;
-  std::vector<bool> fired_;
-  uint64_t step_ = 0;
+  std::vector<bool> fired_;  // guarded by *mu_
+  // shared_ptr keeps the injector copyable; copies share the lock.
+  std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();
+  std::atomic<uint64_t> step_{0};
 };
 
 /// True iff a global injector is installed and a fault of `kind` fires now.

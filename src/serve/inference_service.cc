@@ -1,0 +1,466 @@
+#include "src/serve/inference_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "src/resilience/fault_injector.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/check.h"
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+// Telemetry mirror of the always-on ServeStats atomics. Metric references
+// are registered once and cached (the registry never deletes them).
+void MirrorCount(const char* name, uint64_t delta = 1) {
+  if (!TelemetryEnabled()) return;
+  MetricsRegistry::Get().GetCounter(name).Add(delta);
+}
+
+void MirrorGauge(const char* name, double value) {
+  if (!TelemetryEnabled()) return;
+  MetricsRegistry::Get().GetGauge(name).Set(value);
+}
+
+void MirrorHistogram(const char* name, uint64_t value) {
+  if (!TelemetryEnabled()) return;
+  MetricsRegistry::Get().GetHistogram(name).Observe(value);
+}
+
+}  // namespace
+
+ServeOptions ServeOptions::FromEnv() {
+  ServeOptions options;
+  options.queue_capacity = static_cast<size_t>(GetEnvIntInRangeOr(
+      "SAMPNN_SERVE_QUEUE_CAP", static_cast<long long>(options.queue_capacity),
+      1, 1 << 20));
+  options.default_deadline_ms = static_cast<int64_t>(GetEnvIntInRangeOr(
+      "SAMPNN_SERVE_DEADLINE_MS",
+      static_cast<long long>(options.default_deadline_ms), 1, 86'400'000));
+  return options;
+}
+
+StatusOr<std::unique_ptr<InferenceService>> InferenceService::Create(
+    std::unique_ptr<ModelBackend> backend, const ServeOptions& options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("InferenceService: null backend");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("InferenceService: queue_capacity must be >= 1");
+  }
+  if (options.max_batch == 0 || options.degraded_max_batch == 0) {
+    return Status::InvalidArgument("InferenceService: batch caps must be >= 1");
+  }
+  if (options.workers == 0) {
+    return Status::InvalidArgument("InferenceService: workers must be >= 1");
+  }
+  if (options.default_deadline_ms <= 0) {
+    return Status::InvalidArgument(
+        "InferenceService: default_deadline_ms must be positive");
+  }
+  if (options.degrade_above_fraction < 0.0 ||
+      options.degrade_above_fraction > 1.0 ||
+      options.recover_below_fraction < 0.0 ||
+      options.recover_below_fraction > options.degrade_above_fraction) {
+    return Status::InvalidArgument(
+        "InferenceService: need 0 <= recover_below_fraction <= "
+        "degrade_above_fraction <= 1");
+  }
+  if (options.watchdog_budget_ms <= 0 || options.watchdog_poll_ms <= 0) {
+    return Status::InvalidArgument(
+        "InferenceService: watchdog budget and poll must be positive");
+  }
+  std::unique_ptr<InferenceService> service(
+      new InferenceService(std::move(backend), options));
+  service->Start();
+  return service;
+}
+
+InferenceService::InferenceService(std::unique_ptr<ModelBackend> backend,
+                                   const ServeOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      backend_(std::move(backend)) {}
+
+void InferenceService::Start() {
+  slots_.reserve(options_.workers);
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+InferenceService::~InferenceService() { Stop(StopMode::kDrain); }
+
+std::future<InferenceResult> InferenceService::Submit(
+    std::vector<float> input) {
+  return Submit(std::move(input),
+                Deadline::FromNowMillis(options_.default_deadline_ms, clock_));
+}
+
+std::future<InferenceResult> InferenceService::Submit(std::vector<float> input,
+                                                      Deadline deadline) {
+  std::promise<InferenceResult> promise;
+  std::future<InferenceResult> future = promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  MirrorCount("serve.submitted");
+
+  InferenceResult immediate;
+  if (input.size() != backend_->input_dim()) {
+    immediate.status = Status::InvalidArgument(
+        "Submit: input has " + std::to_string(input.size()) +
+        " features, model expects " + std::to_string(backend_->input_dim()));
+  }
+
+  if (immediate.status.ok()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      immediate.status =
+          Status::FailedPrecondition("InferenceService is stopped");
+    } else if (FaultArmed(FaultKind::kRejectAdmission) ||
+               queue_.size() >= options_.queue_capacity) {
+      // Shedding: the last rung of the overload ladder. The hint tells the
+      // client when a retry has a chance of finding queue space.
+      immediate.status = Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.queue_capacity) +
+          " pending); retry later");
+      immediate.retry_after_ms = RetryAfterHintLocked();
+    } else {
+      PendingRequest req;
+      req.input = std::move(input);
+      req.deadline = deadline;
+      req.promise = std::move(promise);
+      req.enqueue_ms = NowMs();
+      queue_.push_back(std::move(req));
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      // One injector step per admitted request: "hang@5" means "the batch
+      // containing the 5th admitted request hangs".
+      if (FaultInjector* injector = FaultInjector::Global()) {
+        injector->AdvanceStep();
+      }
+      UpdateLadderLocked();
+      MirrorCount("serve.admitted");
+      MirrorGauge("serve.queue_depth", static_cast<double>(queue_.size()));
+      lock.unlock();
+      work_cv_.notify_one();
+      return future;
+    }
+  }
+
+  if (immediate.status.IsResourceExhausted()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    MirrorCount("serve.shed");
+  }
+  promise.set_value(std::move(immediate));
+  return future;
+}
+
+void InferenceService::WorkerLoop(size_t worker_index) {
+  WorkerSlot* slot = slots_[worker_index].get();
+  for (;;) {
+    std::vector<PendingRequest> batch;
+    ServeQuality quality = ServeQuality::kFull;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Pick the rung from occupancy *before* popping, so a full queue
+      // serves every drain batch degraded rather than recovering mid-drain.
+      UpdateLadderLocked();
+      quality = degraded_.load(std::memory_order_relaxed)
+                    ? ServeQuality::kDegraded
+                    : ServeQuality::kFull;
+      const size_t cap = quality == ServeQuality::kDegraded
+                             ? options_.degraded_max_batch
+                             : options_.max_batch;
+      while (!queue_.empty() && batch.size() < cap) {
+        PendingRequest req = std::move(queue_.front());
+        queue_.pop_front();
+        if (req.deadline.expired()) {
+          CompleteDeadline(&req, "deadline expired while queued");
+          continue;
+        }
+        if (quality == ServeQuality::kDegraded &&
+            !req.deadline.is_never() &&
+            req.deadline.remaining_millis() < options_.degraded_min_slack_ms) {
+          CompleteDeadline(&req, "insufficient deadline slack under degraded "
+                                 "service");
+          continue;
+        }
+        batch.push_back(std::move(req));
+      }
+      MirrorGauge("serve.queue_depth", static_cast<double>(queue_.size()));
+    }
+    if (!batch.empty()) {
+      RunBatch(std::move(batch), quality, slot);
+    }
+  }
+}
+
+void InferenceService::RunBatch(std::vector<PendingRequest> batch,
+                                ServeQuality quality, WorkerSlot* slot) {
+  executing_.fetch_add(batch.size(), std::memory_order_relaxed);
+  MirrorHistogram("serve.batch_size", batch.size());
+
+  // Arm the watchdog heartbeat: fresh token first, then the start stamp
+  // (the watchdog only reads the token after it has seen a live stamp).
+  CancellationToken batch_token;
+  {
+    std::lock_guard<std::mutex> lock(slot->token_mu);
+    slot->batch_token = batch_token;
+  }
+  slot->batch_start_ms.store(NowMs(), std::memory_order_release);
+
+  // Injected serving faults, queried at batch execution.
+  if (FaultArmed(FaultKind::kServeDelay)) {
+    clock_->SleepMillis(options_.fault_delay_ms);
+  }
+  if (FaultArmed(FaultKind::kServeHang)) {
+    // Simulated wedged worker: spin until the batch token is revoked. The
+    // watchdog's trip (or a kCancelPending stop) is the only way out.
+    while (!batch_token.cancelled()) {
+      std::this_thread::yield();
+    }
+  }
+
+  // The batch runs under the tightest member deadline, so one slow request
+  // cannot hold hostages past their own budgets.
+  Deadline batch_deadline = Deadline::Never();
+  for (const PendingRequest& req : batch) {
+    if (req.deadline.is_never()) continue;
+    if (batch_deadline.is_never() ||
+        req.deadline.expires_at_millis() < batch_deadline.expires_at_millis()) {
+      batch_deadline = req.deadline;
+    }
+  }
+  CancelContext ctx{batch_token, batch_deadline};
+
+  Matrix inputs(batch.size(), backend_->input_dim());
+  for (size_t r = 0; r < batch.size(); ++r) {
+    std::copy(batch[r].input.begin(), batch[r].input.end(),
+              inputs.Row(r).begin());
+  }
+  Matrix logits;
+  Status status = batch_token.cancelled() ? ctx.StopStatus()
+                                          : backend_->Forward(inputs, ctx,
+                                                              quality, &logits);
+
+  // Disarm the heartbeat before resolving promises so the watchdog never
+  // trips on a finished batch.
+  slot->batch_start_ms.store(WorkerSlot::kIdle, std::memory_order_release);
+
+  const int64_t now = NowMs();
+  for (size_t r = 0; r < batch.size(); ++r) {
+    PendingRequest& req = batch[r];
+    InferenceResult result;
+    result.latency_ms = now - req.enqueue_ms;
+    if (status.ok() && !req.deadline.expired()) {
+      result.status = Status::OK();
+      result.degraded = quality == ServeQuality::kDegraded;
+      result.logits.assign(logits.Row(r).begin(), logits.Row(r).end());
+      result.predicted = static_cast<int32_t>(
+          std::max_element(result.logits.begin(), result.logits.end()) -
+          result.logits.begin());
+      if (result.degraded) {
+        completed_degraded_.fetch_add(1, std::memory_order_relaxed);
+        MirrorCount("serve.completed_degraded");
+      } else {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        MirrorCount("serve.completed");
+      }
+      ObserveLatency(result.latency_ms);
+      MirrorHistogram("serve.request_latency_ms",
+                      static_cast<uint64_t>(std::max<int64_t>(
+                          0, result.latency_ms)));
+    } else if (req.deadline.expired()) {
+      result.status =
+          Status::DeadlineExceeded("request deadline expired in flight");
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      MirrorCount("serve.deadline_exceeded");
+    } else if (status.IsResourceExhausted() || status.IsDeadlineExceeded()) {
+      // Batch-level cancellation (watchdog trip or shutdown) on a request
+      // whose own deadline still had slack.
+      result.status = Status::ResourceExhausted(
+          "request cancelled: " + std::string(status.message()));
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      MirrorCount("serve.cancelled");
+    } else {
+      result.status = status;  // backend error, propagated verbatim
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      MirrorCount("serve.cancelled");
+    }
+    req.promise.set_value(std::move(result));
+  }
+  executing_.fetch_sub(batch.size(), std::memory_order_relaxed);
+}
+
+void InferenceService::WatchdogLoop() {
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    // Poll cadence is real time even under an injected service clock — a
+    // wedged worker cannot advance a ManualClock, so the watchdog must not
+    // depend on it for its own scheduling. Overdue math uses the service
+    // clock, keeping the budget deterministic in tests.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.watchdog_poll_ms));
+    const int64_t now = NowMs();
+    for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
+      int64_t start = slot->batch_start_ms.load(std::memory_order_acquire);
+      if (start < 0) continue;  // idle or already tripped
+      if (now - start < options_.watchdog_budget_ms) continue;
+      // CAS so one overdue batch produces exactly one trip even if the
+      // budget stays exceeded across polls.
+      if (!slot->batch_start_ms.compare_exchange_strong(
+              start, WorkerSlot::kTripped, std::memory_order_acq_rel)) {
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(slot->token_mu);
+        slot->batch_token.Cancel();
+      }
+      watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+      MirrorCount("serve.watchdog_trips");
+      TripDegraded();
+    }
+  }
+}
+
+void InferenceService::Stop(StopMode mode) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (mode == StopMode::kCancelPending && !cancel_pending_) {
+      cancel_pending_ = true;
+      std::deque<PendingRequest> abandoned;
+      abandoned.swap(queue_);
+      lock.unlock();
+      for (PendingRequest& req : abandoned) {
+        CompleteShed(&req, "service stopping");
+      }
+      lock.lock();
+      MirrorGauge("serve.queue_depth", 0.0);
+    }
+  }
+  work_cv_.notify_all();
+  if (mode == StopMode::kCancelPending) {
+    for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
+      std::lock_guard<std::mutex> lock(slot->token_mu);
+      slot->batch_token.Cancel();
+    }
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+bool InferenceService::degraded() const {
+  return degraded_.load(std::memory_order_relaxed);
+}
+
+ServeStats InferenceService::Stats() const {
+  ServeStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.completed_degraded =
+      completed_degraded_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  stats.degrade_transitions =
+      degrade_transitions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.executing = executing_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void InferenceService::CompleteShed(PendingRequest* req,
+                                    const std::string& why) {
+  InferenceResult result;
+  result.status = Status::ResourceExhausted(why);
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  MirrorCount("serve.cancelled");
+  req->promise.set_value(std::move(result));
+}
+
+void InferenceService::CompleteDeadline(PendingRequest* req,
+                                        const std::string& why) {
+  InferenceResult result;
+  result.status = Status::DeadlineExceeded(why);
+  result.latency_ms = NowMs() - req->enqueue_ms;
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  MirrorCount("serve.deadline_exceeded");
+  req->promise.set_value(std::move(result));
+}
+
+void InferenceService::UpdateLadderLocked() {
+  const double occupancy = static_cast<double>(queue_.size()) /
+                           static_cast<double>(options_.queue_capacity);
+  const bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (!degraded && occupancy >= options_.degrade_above_fraction) {
+    degraded_.store(true, std::memory_order_relaxed);
+    degrade_transitions_.fetch_add(1, std::memory_order_relaxed);
+    MirrorCount("serve.degrade_transitions");
+    MirrorGauge("serve.degraded", 1.0);
+  } else if (degraded && occupancy <= options_.recover_below_fraction) {
+    degraded_.store(false, std::memory_order_relaxed);
+    MirrorGauge("serve.degraded", 0.0);
+  }
+}
+
+void InferenceService::TripDegraded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!degraded_.load(std::memory_order_relaxed)) {
+    degraded_.store(true, std::memory_order_relaxed);
+    degrade_transitions_.fetch_add(1, std::memory_order_relaxed);
+    MirrorCount("serve.degrade_transitions");
+    MirrorGauge("serve.degraded", 1.0);
+  }
+}
+
+int64_t InferenceService::RetryAfterHintLocked() const {
+  // Expected drain time for the queued work, from the latency EWMA. With no
+  // completed requests yet, fall back to the default deadline.
+  const int64_t ewma_q10 = latency_ewma_q10_.load(std::memory_order_relaxed);
+  if (ewma_q10 == 0) return options_.default_deadline_ms;
+  const int64_t per_request_ms = std::max<int64_t>(1, ewma_q10 >> 10);
+  const int64_t depth = static_cast<int64_t>(queue_.size());
+  const int64_t workers = static_cast<int64_t>(options_.workers);
+  return std::max<int64_t>(1, per_request_ms * depth / workers);
+}
+
+void InferenceService::ObserveLatency(int64_t latency_ms) {
+  const int64_t sample_q10 = std::max<int64_t>(0, latency_ms) << 10;
+  int64_t cur = latency_ewma_q10_.load(std::memory_order_relaxed);
+  for (;;) {
+    // EWMA with alpha = 1/4; the first sample seeds the average.
+    const int64_t next =
+        cur == 0 ? std::max<int64_t>(1, sample_q10)
+                 : cur + ((sample_q10 - cur) >> 2);
+    if (latency_ewma_q10_.compare_exchange_weak(cur, next,
+                                                std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace sampnn

@@ -1,0 +1,215 @@
+// Deadline-aware inference service (DESIGN.md §10): a multi-threaded
+// front-end that serves a trained model behind a bounded admission queue
+// with micro-batching, per-request deadlines, explicit overload behavior,
+// and a watchdog that rescues hung workers.
+//
+// Request lifecycle:
+//
+//   Submit ──admission──▶ queue ──micro-batcher──▶ backend Forward ──▶ future
+//      │                    │                          │
+//      │ queue full /       │ deadline already         │ deadline expires /
+//      │ injected reject    │ expired at dequeue       │ watchdog cancels
+//      ▼                    ▼                          ▼
+//   kResourceExhausted   kDeadlineExceeded          kDeadlineExceeded /
+//   (+ retry-after hint)                            kResourceExhausted
+//
+// Overload ladder (in escalation order, before any request is shed):
+//   1. healthy  — full-quality inference, micro-batches up to max_batch;
+//   2. degraded — queue occupancy crossed degrade_above_fraction (or the
+//      watchdog tripped): batches shrink to degraded_max_batch, requests
+//      without degraded_min_slack_ms of deadline left are failed fast, and
+//      the backend runs its cheaper rung (ALSH: dense fallback; MC-approx:
+//      reduced Adelman sample counts);
+//   3. shedding — the queue is full: Submit fails immediately with
+//      kResourceExhausted and a retry-after hint.
+// Recovery back to healthy uses hysteresis (recover_below_fraction).
+//
+// All timing runs on an injectable Clock, so tests drive deadlines and the
+// watchdog budget with a ManualClock — outcome mixes are exact, never
+// wall-clock-flaky.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/serve/model_backend.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Tuning for an InferenceService.
+struct ServeOptions {
+  size_t queue_capacity = 64;  ///< admission bound (SAMPNN_SERVE_QUEUE_CAP)
+  size_t max_batch = 8;        ///< micro-batch cap when healthy
+  size_t workers = 1;          ///< inference worker threads
+  int64_t default_deadline_ms = 100;  ///< for Submit() without a deadline
+                                      ///< (SAMPNN_SERVE_DEADLINE_MS)
+
+  // Degradation ladder.
+  double degrade_above_fraction = 0.5;   ///< occupancy that trips degraded
+  double recover_below_fraction = 0.25;  ///< occupancy that restores healthy
+  size_t degraded_max_batch = 2;         ///< micro-batch cap when degraded
+  int64_t degraded_min_slack_ms = 1;     ///< fail-fast floor on remaining
+                                         ///< deadline when degraded
+
+  // Watchdog.
+  int64_t watchdog_budget_ms = 500;  ///< batch runtime before a trip
+  int64_t watchdog_poll_ms = 5;      ///< real-time poll cadence
+
+  int64_t fault_delay_ms = 50;  ///< duration of an injected delay@ fault
+
+  const Clock* clock = nullptr;  ///< nullptr = the real monotonic clock
+
+  /// Defaults with SAMPNN_SERVE_QUEUE_CAP / SAMPNN_SERVE_DEADLINE_MS
+  /// applied (hardened parse: garbage warns once and is clamped).
+  static ServeOptions FromEnv();
+};
+
+/// Terminal outcome of one request. `status` is kOk, kDeadlineExceeded
+/// (ran out of time in queue or mid-flight), kResourceExhausted (shed at
+/// admission, cancelled by the watchdog, or cancelled at shutdown), or a
+/// backend error.
+struct InferenceResult {
+  Status status;
+  std::vector<float> logits;  ///< on kOk: one logit per class
+  int32_t predicted = -1;     ///< on kOk: argmax class
+  bool degraded = false;      ///< served on the degraded rung
+  int64_t retry_after_ms = 0;  ///< on shed: back-off hint for the client
+  int64_t latency_ms = 0;      ///< admission -> completion (service clock)
+};
+
+/// Monotonic outcome counters plus instantaneous depth/state. Snapshot via
+/// InferenceService::Stats(); totals satisfy
+///   submitted == admitted + shed  and
+///   admitted == completed + completed_degraded + deadline_exceeded
+///               + cancelled        (once all futures are resolved).
+/// The first identity counts well-formed, pre-stop submissions only:
+/// malformed inputs (kInvalidArgument) and submissions after Stop
+/// (kFailedPrecondition) increment `submitted` but are neither admitted
+/// nor shed.
+struct ServeStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;           ///< full-quality successes
+  uint64_t completed_degraded = 0;  ///< degraded-rung successes
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;  ///< watchdog / shutdown cancellations
+  uint64_t watchdog_trips = 0;
+  uint64_t degrade_transitions = 0;  ///< healthy -> degraded edges
+  size_t queue_depth = 0;
+  size_t executing = 0;  ///< requests inside running micro-batches
+  bool degraded = false;
+};
+
+/// \brief The deadline-aware serving front-end. Thread-safe; one instance
+/// serves concurrent Submit() callers.
+class InferenceService {
+ public:
+  /// Validates options and starts worker + watchdog threads.
+  static StatusOr<std::unique_ptr<InferenceService>> Create(
+      std::unique_ptr<ModelBackend> backend, const ServeOptions& options);
+
+  /// Stops with StopMode::kDrain.
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Submits one input row under the default deadline.
+  std::future<InferenceResult> Submit(std::vector<float> input);
+  /// Submits one input row with an explicit deadline. The returned future
+  /// always becomes ready: sheds and validation failures resolve
+  /// immediately, admitted requests resolve when their batch completes or
+  /// their deadline is enforced.
+  std::future<InferenceResult> Submit(std::vector<float> input,
+                                      Deadline deadline);
+
+  enum class StopMode {
+    kDrain,          ///< process everything already admitted, then stop
+    kCancelPending,  ///< fail queued requests and cancel running batches
+  };
+  /// Stops the service. Idempotent; safe to call concurrently. After Stop,
+  /// Submit fails with kFailedPrecondition.
+  void Stop(StopMode mode = StopMode::kDrain);
+
+  /// True while the degradation ladder is on the degraded rung.
+  bool degraded() const;
+
+  ServeStats Stats() const;
+  const ServeOptions& options() const { return options_; }
+  const ModelBackend& backend() const { return *backend_; }
+
+ private:
+  struct PendingRequest {
+    std::vector<float> input;
+    Deadline deadline;
+    std::promise<InferenceResult> promise;
+    int64_t enqueue_ms = 0;
+  };
+
+  // Watchdog heartbeat per worker. batch_start_ms: kIdle when between
+  // batches, kTripped after the watchdog cancelled the current batch,
+  // otherwise the service-clock instant the batch started.
+  struct WorkerSlot {
+    static constexpr int64_t kIdle = -1;
+    static constexpr int64_t kTripped = -2;
+    std::atomic<int64_t> batch_start_ms{kIdle};
+    std::mutex token_mu;
+    CancellationToken batch_token;  // guarded by token_mu
+  };
+
+  InferenceService(std::unique_ptr<ModelBackend> backend,
+                   const ServeOptions& options);
+  void Start();
+
+  void WorkerLoop(size_t worker_index);
+  void WatchdogLoop();
+  void RunBatch(std::vector<PendingRequest> batch, ServeQuality quality,
+                WorkerSlot* slot);
+  void CompleteShed(PendingRequest* req, const std::string& why);
+  void CompleteDeadline(PendingRequest* req, const std::string& why);
+  // Evaluates the occupancy hysteresis; callers hold mu_.
+  void UpdateLadderLocked();
+  // Trips the ladder to degraded (watchdog path); takes mu_ itself.
+  void TripDegraded();
+  int64_t RetryAfterHintLocked() const;
+  int64_t NowMs() const { return clock_->NowMillis(); }
+  void ObserveLatency(int64_t latency_ms);
+
+  const ServeOptions options_;
+  const Clock* const clock_;
+  std::unique_ptr<ModelBackend> backend_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<PendingRequest> queue_;  // guarded by mu_
+  bool stopping_ = false;             // guarded by mu_
+  bool cancel_pending_ = false;       // guarded by mu_
+
+  // Serializes Stop() callers (including the destructor) across the joins.
+  std::mutex lifecycle_mu_;
+
+  std::atomic<bool> degraded_{false};
+  std::atomic<bool> watchdog_stop_{false};
+
+  // Outcome counters (see ServeStats).
+  std::atomic<uint64_t> submitted_{0}, admitted_{0}, shed_{0}, completed_{0},
+      completed_degraded_{0}, deadline_exceeded_{0}, cancelled_{0},
+      watchdog_trips_{0}, degrade_transitions_{0};
+  std::atomic<size_t> executing_{0};
+  // EWMA of per-request latency in ms * 1024 (fixed point), 0 = no data.
+  std::atomic<int64_t> latency_ewma_q10_{0};
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace sampnn

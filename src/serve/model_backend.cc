@@ -1,0 +1,183 @@
+#include "src/serve/model_backend.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "src/approx/adelman.h"
+#include "src/tensor/kernel_config.h"
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace sampnn {
+
+const char* ServeQualityToString(ServeQuality q) {
+  switch (q) {
+    case ServeQuality::kFull:
+      return "full";
+    case ServeQuality::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status CheckBatchShape(const Matrix& batch, size_t input_dim,
+                       const char* who) {
+  if (batch.rows() == 0) {
+    return Status::InvalidArgument(std::string(who) + ": empty batch");
+  }
+  if (batch.cols() != input_dim) {
+    return Status::InvalidArgument(
+        std::string(who) + ": batch has " + std::to_string(batch.cols()) +
+        " features, model expects " + std::to_string(input_dim));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Dense: the exact cancellable forward at every rung.
+// ---------------------------------------------------------------------------
+
+class DenseBackend : public ModelBackend {
+ public:
+  explicit DenseBackend(Mlp model) : model_(std::move(model)) {}
+
+  const char* name() const override { return "dense"; }
+  size_t input_dim() const override { return model_.input_dim(); }
+  size_t output_dim() const override { return model_.output_dim(); }
+
+  Status Forward(const Matrix& batch, const CancelContext& ctx,
+                 ServeQuality /*quality*/, Matrix* logits) override {
+    SAMPNN_CHECK(logits != nullptr);
+    SAMPNN_RETURN_NOT_OK(CheckBatchShape(batch, input_dim(), "DenseBackend"));
+    MlpWorkspace ws;
+    SAMPNN_RETURN_NOT_OK(model_.ForwardCancellable(batch, ctx, &ws));
+    *logits = ws.a.back();
+    return Status::OK();
+  }
+
+ private:
+  const Mlp model_;
+};
+
+// ---------------------------------------------------------------------------
+// ALSH: hash-probe sparse inference, dense batched fallback when degraded.
+// ---------------------------------------------------------------------------
+
+class AlshBackend : public ModelBackend {
+ public:
+  explicit AlshBackend(std::unique_ptr<AlshTrainer> trainer)
+      : trainer_(std::move(trainer)) {}
+
+  const char* name() const override { return "alsh"; }
+  size_t input_dim() const override { return trainer_->net().input_dim(); }
+  size_t output_dim() const override { return trainer_->net().output_dim(); }
+
+  Status Forward(const Matrix& batch, const CancelContext& ctx,
+                 ServeQuality quality, Matrix* logits) override {
+    SAMPNN_CHECK(logits != nullptr);
+    SAMPNN_RETURN_NOT_OK(CheckBatchShape(batch, input_dim(), "AlshBackend"));
+    if (quality == ServeQuality::kDegraded) {
+      // Degraded rung: one batched dense pass — no per-sample probing.
+      MlpWorkspace ws;
+      SAMPNN_RETURN_NOT_OK(trainer_->net().ForwardCancellable(batch, ctx, &ws));
+      *logits = ws.a.back();
+      return Status::OK();
+    }
+    // Full rung: per-sample hash probing, polled between samples. The
+    // trainer's probe scratch is single-stream, so concurrent service
+    // workers serialize here.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (logits->rows() != batch.rows() || logits->cols() != output_dim()) {
+      *logits = Matrix(batch.rows(), output_dim());
+    }
+    for (size_t r = 0; r < batch.rows(); ++r) {
+      if (ctx.ShouldStop()) return ctx.StopStatus();
+      const std::vector<float> row = trainer_->ForwardSampleSparse(batch.Row(r));
+      std::copy(row.begin(), row.end(), logits->Row(r).begin());
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<AlshTrainer> trainer_;
+};
+
+// ---------------------------------------------------------------------------
+// MC-approx: exact when healthy, Adelman-sampled products when degraded.
+// ---------------------------------------------------------------------------
+
+class McBackend : public ModelBackend {
+ public:
+  McBackend(Mlp model, const McBackendOptions& options)
+      : model_(std::move(model)), options_(options), rng_(options.seed) {}
+
+  const char* name() const override { return "mc"; }
+  size_t input_dim() const override { return model_.input_dim(); }
+  size_t output_dim() const override { return model_.output_dim(); }
+
+  Status Forward(const Matrix& batch, const CancelContext& ctx,
+                 ServeQuality quality, Matrix* logits) override {
+    SAMPNN_CHECK(logits != nullptr);
+    SAMPNN_RETURN_NOT_OK(CheckBatchShape(batch, input_dim(), "McBackend"));
+    if (quality == ServeQuality::kFull) {
+      MlpWorkspace ws;
+      SAMPNN_RETURN_NOT_OK(model_.ForwardCancellable(batch, ctx, &ws));
+      *logits = ws.a.back();
+      return Status::OK();
+    }
+    // Degraded rung: every layer's product estimated from
+    // `degraded_samples` Adelman column-row samples — per-request compute
+    // shrinks roughly by k / in_dim per layer. The estimator RNG is a
+    // single stream, so workers serialize.
+    std::lock_guard<std::mutex> lock(mu_);
+    Matrix a_prev = batch;
+    Matrix z;
+    for (size_t k = 0; k < model_.num_layers(); ++k) {
+      if (ctx.ShouldStop()) return ctx.StopStatus();
+      const Layer& layer = model_.layer(k);
+      // Sample count never exceeds the inner dimension.
+      const size_t samples =
+          std::max<size_t>(1, std::min(options_.degraded_samples,
+                                       layer.weights().rows()));
+      SAMPNN_RETURN_NOT_OK(AdelmanApproxMatmul(a_prev, layer.weights(),
+                                               samples, rng_, &z));
+      AddRowVector(&z, layer.bias());
+      Matrix a(z.rows(), z.cols());
+      layer.Activate(z, &a);
+      a_prev = std::move(a);
+    }
+    if (ctx.ShouldStop()) return ctx.StopStatus();
+    *logits = std::move(a_prev);
+    return Status::OK();
+  }
+
+ private:
+  std::mutex mu_;
+  const Mlp model_;
+  const McBackendOptions options_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<ModelBackend> MakeDenseBackend(Mlp model) {
+  return std::make_unique<DenseBackend>(std::move(model));
+}
+
+std::unique_ptr<ModelBackend> MakeAlshBackend(
+    std::unique_ptr<AlshTrainer> trainer) {
+  SAMPNN_CHECK(trainer != nullptr);
+  return std::make_unique<AlshBackend>(std::move(trainer));
+}
+
+std::unique_ptr<ModelBackend> MakeMcBackend(Mlp model,
+                                            const McBackendOptions& options) {
+  return std::make_unique<McBackend>(std::move(model), options);
+}
+
+}  // namespace sampnn

@@ -1,0 +1,75 @@
+// Model backends for the inference service (DESIGN.md §10): one interface
+// over "compute logits for a micro-batch, cooperatively cancellable, at a
+// quality rung the degradation ladder selects".
+//
+// The ladder exploits the paper's own accuracy-for-speed trades (§8):
+//   - dense MLP      : full == degraded (exact forward is the floor),
+//   - ALSH-backed    : full = per-sample hash-probe sparse inference (the
+//                      selection the method trained with); degraded = one
+//                      batched dense pass through the packed GEMM — cheaper
+//                      under load than per-sample probing, at the cost of
+//                      the train/inference distribution gap,
+//   - MC-approx      : full = exact forward; degraded = Adelman-sampled
+//                      (arXiv:1805.08079) forward products with a reduced
+//                      sample count — the smooth per-request compute knob.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "src/core/alsh_trainer.h"
+#include "src/nn/mlp.h"
+#include "src/tensor/matrix.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Degradation rung the service requests from a backend.
+enum class ServeQuality {
+  kFull,      ///< healthy service: the method's native inference path
+  kDegraded,  ///< overloaded service: the backend's cheaper fallback
+};
+
+const char* ServeQualityToString(ServeQuality q);
+
+/// \brief One servable model. Forward() must poll `ctx` cooperatively and
+/// must be safe to call from the service's worker threads (backends with
+/// mutable scratch serialize internally).
+class ModelBackend {
+ public:
+  virtual ~ModelBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual size_t input_dim() const = 0;
+  virtual size_t output_dim() const = 0;
+
+  /// Computes logits (batch.rows() x output_dim) for a micro-batch. On a
+  /// cancelled or expired `ctx` returns ctx.StopStatus() and leaves
+  /// `logits` unspecified.
+  virtual Status Forward(const Matrix& batch, const CancelContext& ctx,
+                         ServeQuality quality, Matrix* logits) = 0;
+};
+
+/// Exact dense serving: the cancellable Mlp forward at every quality rung.
+std::unique_ptr<ModelBackend> MakeDenseBackend(Mlp model);
+
+/// ALSH serving over a trained AlshTrainer (owns it; hash tables must be
+/// built, which AlshTrainer::Create guarantees). Full quality hash-probes
+/// per sample; degraded runs the batched dense fallback.
+std::unique_ptr<ModelBackend> MakeAlshBackend(
+    std::unique_ptr<AlshTrainer> trainer);
+
+/// MC-approx serving options: Adelman sample counts per quality rung.
+struct McBackendOptions {
+  size_t degraded_samples = 8;  ///< k for the degraded forward products
+  uint64_t seed = 42;           ///< estimator RNG seed
+};
+
+/// MC-approx serving: exact forward at full quality, Adelman-sampled
+/// forward products at `degraded_samples` when degraded.
+std::unique_ptr<ModelBackend> MakeMcBackend(Mlp model,
+                                            const McBackendOptions& options);
+
+}  // namespace sampnn

@@ -6,7 +6,9 @@
 #include <mutex>
 
 #include "src/tensor/aligned_buffer.h"
+#include "src/tensor/kernel_config.h"
 #include "src/util/check.h"
+#include "src/util/deadline.h"
 #include "src/util/threadpool.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -245,10 +247,16 @@ void PackedGemmParallel(size_t m, size_t n, size_t k, float alpha,
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == 0.0f) return;  // C += 0
   const MicroKernelFn micro = ActiveMicroKernel();
+  // Serving-layer cancellation: the dispatching thread's context, if any,
+  // is captured here and polled between panels and row blocks (including by
+  // the pool workers the blocks fan out to). A cancelled product leaves C
+  // partially written; the cancellable caller discards it.
+  const CancelContext* cancel = CurrentKernelCancellation();
   ThreadPool* pool = threads > 1 ? &PoolFor(threads) : nullptr;
   for (size_t jc = 0; jc < n; jc += kNC) {
     const size_t nc = std::min(kNC, n - jc);
     for (size_t pc = 0; pc < k; pc += kKC) {
+      if (cancel != nullptr && cancel->ShouldStop()) return;
       const size_t kc = std::min(kKC, k - pc);
       // The B panel is packed once on the dispatching thread, then read
       // concurrently by the row-block tasks (ThreadPool::Submit's mutex
@@ -261,6 +269,7 @@ void PackedGemmParallel(size_t m, size_t n, size_t k, float alpha,
       const float* bpack = t_bpack.data();
       const size_t blocks = (m + kMC - 1) / kMC;
       auto run_block = [&](size_t blk) {
+        if (cancel != nullptr && cancel->ShouldStop()) return;
         const size_t ic = blk * kMC;
         const size_t mc = std::min(kMC, m - ic);
         RunRowBlock(a, a_rs, a_cs, ic, mc, pc, kc, jc, nc, alpha, bpack, c,

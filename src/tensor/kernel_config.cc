@@ -21,14 +21,33 @@ std::atomic<uint64_t> g_parallel_min_flops{0};  // 0 = unresolved
 enum : int { kUnresolved = -1 };
 std::atomic<int> g_deterministic{kUnresolved};
 
+// Ceiling on SAMPNN_THREADS: far above any real machine, low enough that a
+// mistyped value cannot ask for a million workers.
+constexpr long long kMaxThreads = 1024;
+
 size_t ResolveThreads() {
-  long long env = GetEnvIntOr("SAMPNN_THREADS", 0);
+  // Hardened parse: garbage falls back to 0 (= auto), negative values clamp
+  // to 0, absurd values clamp to kMaxThreads; each correction warns once.
+  long long env = GetEnvIntInRangeOr("SAMPNN_THREADS", 0, 0, kMaxThreads);
   if (env > 0) return static_cast<size_t>(env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
+thread_local const CancelContext* t_kernel_cancel = nullptr;
+
 }  // namespace
+
+const CancelContext* CurrentKernelCancellation() { return t_kernel_cancel; }
+
+ScopedKernelCancellation::ScopedKernelCancellation(const CancelContext* ctx)
+    : prev_(t_kernel_cancel) {
+  t_kernel_cancel = ctx;
+}
+
+ScopedKernelCancellation::~ScopedKernelCancellation() {
+  t_kernel_cancel = prev_;
+}
 
 size_t GemmThreads() {
   size_t t = g_threads.load(std::memory_order_relaxed);

@@ -19,6 +19,8 @@
 
 namespace sampnn {
 
+struct CancelContext;  // src/util/deadline.h
+
 /// Worker threads the partitioned GEMM path may use. Resolved on first call
 /// from SAMPNN_THREADS, else std::thread::hardware_concurrency (min 1).
 size_t GemmThreads();
@@ -40,5 +42,26 @@ void SetGemmParallelMinFlops(uint64_t flops);
 /// settings — the mode checkpoint/resume verification runs under.
 bool DeterministicKernels();
 void SetDeterministicKernels(bool on);
+
+/// The cancel context the current thread's GEMM dispatches poll, or nullptr.
+/// The packed driver captures this pointer at dispatch time, so row-block
+/// tasks fanned out to the kernel pool poll the dispatching request's
+/// context — an expired serving request stops burning CPU between row
+/// blocks instead of finishing a doomed product (DESIGN.md §10).
+const CancelContext* CurrentKernelCancellation();
+
+/// RAII installer for CurrentKernelCancellation on this thread. Nests:
+/// restores the previous context on destruction. The context must outlive
+/// the scope and every dispatch made inside it.
+class ScopedKernelCancellation {
+ public:
+  explicit ScopedKernelCancellation(const CancelContext* ctx);
+  ~ScopedKernelCancellation();
+  ScopedKernelCancellation(const ScopedKernelCancellation&) = delete;
+  ScopedKernelCancellation& operator=(const ScopedKernelCancellation&) = delete;
+
+ private:
+  const CancelContext* prev_;
+};
 
 }  // namespace sampnn

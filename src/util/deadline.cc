@@ -1,0 +1,54 @@
+#include "src/util/deadline.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sampnn {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  int64_t NowMillis() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepMillis(int64_t ms) const override {
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  // Leaked intentionally: deadlines cached in statics may outlive exit-time
+  // destructors.
+  static const Clock* const kReal = new SteadyClock();
+  return kReal;
+}
+
+Deadline Deadline::FromNowMillis(int64_t ms, const Clock* clock) {
+  if (clock == nullptr) clock = Clock::Real();
+  return Deadline(clock, clock->NowMillis() + ms);
+}
+
+Deadline Deadline::AtMillis(int64_t at_ms, const Clock* clock) {
+  if (clock == nullptr) clock = Clock::Real();
+  return Deadline(clock, at_ms);
+}
+
+int64_t Deadline::remaining_millis() const {
+  if (is_never()) return INT64_MAX;
+  const int64_t rem = expires_at_ms_ - clock_->NowMillis();
+  return rem > 0 ? rem : 0;
+}
+
+Status CancelContext::StopStatus() const {
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("request deadline expired");
+  }
+  return Status::ResourceExhausted("request cancelled");
+}
+
+}  // namespace sampnn

@@ -1,0 +1,119 @@
+// Deadline and cancellation primitives for the serving layer (DESIGN.md
+// §10): a request carries a Deadline (absolute expiry on an injectable
+// Clock) and a CancellationToken (cooperative stop flag the watchdog or a
+// shutdown path can trip). Long-running compute — the dense forward pass,
+// the parallel GEMM dispatch, ALSH per-sample probing — polls a
+// CancelContext between units of work so an expired or cancelled request
+// stops consuming CPU mid-flight instead of running to completion.
+//
+// Tests inject a ManualClock so deadline behavior is step-exact: no
+// wall-clock sleeps, no timing flakiness.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// \brief Millisecond clock abstraction. The process-wide real clock is
+/// monotonic (steady_clock); tests substitute a ManualClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in milliseconds on this clock's timeline.
+  virtual int64_t NowMillis() const = 0;
+  /// Blocks for `ms` milliseconds of this clock's time. The real clock
+  /// sleeps the thread; a ManualClock advances itself instead, so injected
+  /// delays stay deterministic under test.
+  virtual void SleepMillis(int64_t ms) const = 0;
+
+  /// The monotonic wall clock (process-wide singleton, never destroyed).
+  static const Clock* Real();
+};
+
+/// \brief Test clock that only moves when told to. Thread-safe: readers and
+/// the advancing thread may race freely.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_ms = 0) : now_ms_(start_ms) {}
+
+  int64_t NowMillis() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  /// "Sleeping" on a manual clock drags the clock forward — injected
+  /// delay faults remain deterministic in tests.
+  void SleepMillis(int64_t ms) const override { AdvanceMillis(ms); }
+
+  void AdvanceMillis(int64_t ms) const {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<int64_t> now_ms_;
+};
+
+/// \brief An absolute expiry instant on a Clock, or "never". Cheap value
+/// type; copies share the clock pointer (which must outlive the deadline).
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  Deadline() : clock_(Clock::Real()), expires_at_ms_(kNever) {}
+  static Deadline Never() { return Deadline(); }
+
+  /// Expires `ms` from now on `clock` (nullptr = the real clock).
+  static Deadline FromNowMillis(int64_t ms, const Clock* clock = nullptr);
+  /// Expires at absolute instant `at_ms` on `clock` (nullptr = real clock).
+  static Deadline AtMillis(int64_t at_ms, const Clock* clock = nullptr);
+
+  bool is_never() const { return expires_at_ms_ == kNever; }
+  bool expired() const {
+    return !is_never() && clock_->NowMillis() >= expires_at_ms_;
+  }
+  /// Milliseconds until expiry; 0 when expired, INT64_MAX when never.
+  int64_t remaining_millis() const;
+  int64_t expires_at_millis() const { return expires_at_ms_; }
+  const Clock* clock() const { return clock_; }
+
+ private:
+  static constexpr int64_t kNever = INT64_MAX;
+  Deadline(const Clock* clock, int64_t at_ms)
+      : clock_(clock), expires_at_ms_(at_ms) {}
+
+  const Clock* clock_;
+  int64_t expires_at_ms_;
+};
+
+/// \brief Cooperative cancellation flag. Copies share state, so a token
+/// handed to a worker can be cancelled from the watchdog or a shutdown
+/// path. Default-constructed tokens are live (not cancelled).
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief What a cancellable computation polls: a token plus a deadline.
+/// Passed by const reference down the compute path; all members are safe to
+/// read concurrently from worker threads.
+struct CancelContext {
+  CancellationToken token;
+  Deadline deadline = Deadline::Never();
+
+  bool ShouldStop() const { return token.cancelled() || deadline.expired(); }
+
+  /// The status a stopped computation returns: kDeadlineExceeded when the
+  /// deadline has passed, otherwise kResourceExhausted ("cancelled" — the
+  /// watchdog or a shutdown path revoked the request's compute budget).
+  Status StopStatus() const;
+};
+
+}  // namespace sampnn

@@ -1,8 +1,39 @@
 #include "src/util/env.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
 
 namespace sampnn {
+
+namespace {
+
+// Warn-once ledger: a misconfigured knob is reported a single time per
+// variable, not once per query site.
+std::mutex g_warned_mu;
+std::set<std::string>& WarnedVars() {
+  static std::set<std::string>* vars = new std::set<std::string>();
+  return *vars;
+}
+
+void WarnOnce(const std::string& name, const std::string& value,
+              const std::string& action) {
+  {
+    std::lock_guard<std::mutex> lock(g_warned_mu);
+    if (!WarnedVars().insert(name).second) return;
+  }
+  std::fprintf(stderr, "[sampnn] warning: %s=\"%s\" is invalid; %s\n",
+               name.c_str(), value.c_str(), action.c_str());
+}
+
+}  // namespace
+
+void ResetEnvWarningsForTest() {
+  std::lock_guard<std::mutex> lock(g_warned_mu);
+  WarnedVars().clear();
+}
 
 std::string GetEnvOr(const std::string& name, const std::string& def) {
   const char* v = std::getenv(name.c_str());
@@ -20,6 +51,36 @@ long long GetEnvIntOr(const std::string& name, long long def) {
   } catch (const std::exception&) {
     return def;
   }
+}
+
+long long GetEnvIntInRangeOr(const std::string& name, long long def,
+                             long long min_value, long long max_value) {
+  const std::string v = GetEnvOr(name, "");
+  if (v.empty()) return def;
+  long long out = 0;
+  try {
+    size_t pos = 0;
+    out = std::stoll(v, &pos);
+    if (pos != v.size()) {
+      WarnOnce(name, v, "using default " + std::to_string(def));
+      return def;
+    }
+  } catch (const std::out_of_range&) {
+    // Overflows long long: clamp by sign so "huge" behaves like "too big".
+    const bool negative = v.find('-') != std::string::npos;
+    out = negative ? min_value : max_value;
+    WarnOnce(name, v, "clamping to " + std::to_string(out));
+    return out;
+  } catch (const std::exception&) {
+    WarnOnce(name, v, "using default " + std::to_string(def));
+    return def;
+  }
+  if (out < min_value || out > max_value) {
+    const long long clamped = out < min_value ? min_value : max_value;
+    WarnOnce(name, v, "clamping to " + std::to_string(clamped));
+    return clamped;
+  }
+  return out;
 }
 
 double GetEnvDoubleOr(const std::string& name, double def) {

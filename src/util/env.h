@@ -13,6 +13,18 @@ std::string GetEnvOr(const std::string& name, const std::string& def);
 /// Returns `name` parsed as a long long, or `def` if unset/unparseable.
 long long GetEnvIntOr(const std::string& name, long long def);
 
+/// Like GetEnvIntOr, but hardened for thread-count-style knobs
+/// (SAMPNN_THREADS, SAMPNN_SERVE_QUEUE_CAP, ...): a parseable value outside
+/// [min_value, max_value] — including values that overflow long long — is
+/// clamped to the nearest bound, and garbage is replaced by `def`. Any
+/// correction is reported to stderr once per variable name per process, so
+/// a mistyped knob never falls through silently.
+long long GetEnvIntInRangeOr(const std::string& name, long long def,
+                             long long min_value, long long max_value);
+
+/// Clears the warn-once ledger of GetEnvIntInRangeOr (tests only).
+void ResetEnvWarningsForTest();
+
 /// Returns `name` parsed as a double, or `def` if unset/unparseable.
 double GetEnvDoubleOr(const std::string& name, double def);
 

@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kFailedPrecondition = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  kDeadlineExceeded = 9,    ///< a request ran out of time (serving layer)
+  kResourceExhausted = 10,  ///< admission rejected / compute budget revoked
 };
 
 /// Returns a short human-readable name for a status code ("Invalid argument").
@@ -74,6 +76,14 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  /// Returns a DeadlineExceeded status with the given message.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Returns a ResourceExhausted status with the given message.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return state_ == nullptr; }
@@ -89,6 +99,8 @@ class Status {
   bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -63,6 +63,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+bool ThreadPool::TryPost(std::function<void()> task, size_t max_pending) {
+  SAMPNN_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    SAMPNN_CHECK_MSG(!shutdown_, "TryPost after shutdown");
+    if (tasks_.size() >= max_pending) return false;
+    tasks_.push(std::move(task));
+    ++in_flight_;
+    RecordQueueDepth(tasks_.size());
+  }
+  task_available_.notify_one();
+  return true;
+}
+
 void ThreadPool::Wait() {
   std::exception_ptr err;
   {

@@ -43,6 +43,15 @@ class ThreadPool {
   /// submit after destruction has begun.
   void Submit(std::function<void()> task);
 
+  /// Bounded-queue submission for admission-controlled callers: enqueues
+  /// `task` unless the number of queued-but-unstarted tasks has reached
+  /// `max_pending`, in which case it returns false and the task is NOT
+  /// enqueued (the caller sheds it explicitly — nothing is dropped
+  /// silently). An accepted task has exactly the same guarantees as
+  /// Submit(): it runs to completion before destruction, and its exceptions
+  /// surface from the next Wait().
+  bool TryPost(std::function<void()> task, size_t max_pending);
+
   /// Blocks until all submitted tasks have completed, then rethrows the
   /// first exception any of them raised (if any).
   void Wait();

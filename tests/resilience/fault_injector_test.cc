@@ -1,6 +1,9 @@
 #include "src/resilience/fault_injector.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -42,7 +45,8 @@ TEST_F(FaultInjectorTest, KindNamesRoundTrip) {
       FaultKind::kGradNan,      FaultKind::kKill,
       FaultKind::kHaltTraining, FaultKind::kCkptTruncate,
       FaultKind::kCkptCorrupt,  FaultKind::kFsyncFail,
-      FaultKind::kRenameFail,
+      FaultKind::kRenameFail,   FaultKind::kServeDelay,
+      FaultKind::kServeHang,    FaultKind::kRejectAdmission,
   };
   for (FaultKind kind : kinds) {
     auto parsed = FaultKindFromString(FaultKindToString(kind));
@@ -105,6 +109,45 @@ TEST_F(FaultInjectorTest, InstallsFromEnvironment) {
   ::setenv("SAMPNN_FAULTS", "not-a-fault", 1);
   EXPECT_TRUE(FaultInjector::InstallGlobalFromEnv().IsInvalidArgument());
   ::unsetenv("SAMPNN_FAULTS");
+}
+
+TEST_F(FaultInjectorTest, ParsesServingFaultSpec) {
+  auto injector = FaultInjector::Parse("delay@20,hang@40,reject-admission@5");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_EQ(injector->num_armed(), 3u);
+  injector->set_step(40);
+  EXPECT_TRUE(injector->ShouldFire(FaultKind::kServeDelay));
+  EXPECT_TRUE(injector->ShouldFire(FaultKind::kServeHang));
+  EXPECT_TRUE(injector->ShouldFire(FaultKind::kRejectAdmission));
+  EXPECT_FALSE(injector->ShouldFire(FaultKind::kServeHang));  // fired once
+}
+
+TEST_F(FaultInjectorTest, ConcurrentQueriesSeeExactlyOneFirePerFault) {
+  // The serving layer queries and advances the injector from submitter and
+  // worker threads; each armed fault must fire exactly once total.
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 200;
+  FaultInjector injector =
+      std::move(FaultInjector::Parse("hang@50,delay@50")).value();
+  std::atomic<int> hang_fires{0}, delay_fires{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        injector.AdvanceStep();
+        if (injector.ShouldFire(FaultKind::kServeHang)) {
+          hang_fires.fetch_add(1);
+        }
+        if (injector.ShouldFire(FaultKind::kServeDelay)) {
+          delay_fires.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hang_fires.load(), 1);
+  EXPECT_EQ(delay_fires.load(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,365 @@
+// Deterministic service tests: all timing runs on a ManualClock, so
+// deadline expiry, the watchdog budget, and injected delays are step-exact.
+// Real time is only ever used to *wait for* an event that is already
+// guaranteed to happen (a worker entering the backend, a future resolving),
+// never to decide an outcome.
+
+#include "src/serve/inference_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/mlp.h"
+#include "src/resilience/fault_injector.h"
+#include "src/serve/model_backend.h"
+
+namespace sampnn {
+namespace {
+
+Mlp SmallNet() {
+  return std::move(Mlp::Create(MlpConfig::Uniform(/*input_dim=*/4,
+                                                  /*output_dim=*/3,
+                                                  /*depth=*/1, /*width=*/8)))
+      .ValueOrDie("net");
+}
+
+std::vector<float> SmallInput(float scale = 1.0f) {
+  return {0.1f * scale, 0.2f * scale, 0.3f * scale, 0.4f * scale};
+}
+
+// Test backend: the first `blocking_calls` Forward invocations park until
+// their CancelContext stops them (standing in for a wedged worker); later
+// calls return zero logits immediately and record the quality rung served.
+class GateBackend : public ModelBackend {
+ public:
+  explicit GateBackend(int blocking_calls)
+      : blocking_calls_(blocking_calls) {}
+
+  const char* name() const override { return "gate"; }
+  size_t input_dim() const override { return 4; }
+  size_t output_dim() const override { return 3; }
+
+  Status Forward(const Matrix& batch, const CancelContext& ctx,
+                 ServeQuality quality, Matrix* logits) override {
+    entered_rows_.fetch_add(batch.rows());
+    if (blocking_calls_.fetch_sub(1) > 0) {
+      // A truly wedged worker does not poll deadlines: only an explicit
+      // cancellation (the watchdog's trip, or a kCancelPending stop) frees
+      // it — which makes the watchdog-trip count deterministic.
+      while (!ctx.token.cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return ctx.StopStatus();
+    }
+    if (quality == ServeQuality::kDegraded) {
+      degraded_rows_.fetch_add(batch.rows());
+    }
+    *logits = Matrix(batch.rows(), output_dim());
+    return Status::OK();
+  }
+
+  size_t entered_rows() const { return entered_rows_.load(); }
+  size_t degraded_rows() const { return degraded_rows_.load(); }
+
+ private:
+  std::atomic<int> blocking_calls_;
+  std::atomic<size_t> entered_rows_{0};
+  std::atomic<size_t> degraded_rows_{0};
+};
+
+// Spin (real time) until `pred` holds; the events awaited are guaranteed,
+// the timeout only turns a wedged test into a failure instead of a hang.
+template <typename Pred>
+bool WaitFor(Pred pred, int timeout_ms = 10000) {
+  for (int waited = 0; waited < timeout_ms; ++waited) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+class InferenceServiceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::ClearGlobal(); }
+};
+
+TEST_F(InferenceServiceTest, CreateValidatesOptions) {
+  ServeOptions bad;
+  bad.queue_capacity = 0;
+  EXPECT_TRUE(InferenceService::Create(MakeDenseBackend(SmallNet()), bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad = ServeOptions();
+  bad.workers = 0;
+  EXPECT_TRUE(InferenceService::Create(MakeDenseBackend(SmallNet()), bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad = ServeOptions();
+  bad.recover_below_fraction = 0.9;  // above degrade_above_fraction
+  EXPECT_TRUE(InferenceService::Create(MakeDenseBackend(SmallNet()), bad)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(InferenceService::Create(nullptr, ServeOptions())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(InferenceServiceTest, ServesSimpleRequests) {
+  auto service = std::move(InferenceService::Create(
+                               MakeDenseBackend(SmallNet()), ServeOptions()))
+                     .ValueOrDie("service");
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service->Submit(SmallInput(), Deadline::Never()));
+  }
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.logits.size(), 3u);
+    EXPECT_GE(r.predicted, 0);
+    EXPECT_LT(r.predicted, 3);
+    EXPECT_FALSE(r.degraded);
+  }
+  const ServeStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.admitted, 8u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.completed, 8u);
+}
+
+TEST_F(InferenceServiceTest, RejectsWrongInputWidth) {
+  auto service = std::move(InferenceService::Create(
+                               MakeDenseBackend(SmallNet()), ServeOptions()))
+                     .ValueOrDie("service");
+  InferenceResult r = service->Submit({1.0f, 2.0f}).get();
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+}
+
+TEST_F(InferenceServiceTest, ExpiredAtSubmitFailsAtDequeue) {
+  ManualClock clock;
+  ServeOptions options;
+  options.clock = &clock;
+  auto service = std::move(InferenceService::Create(
+                               MakeDenseBackend(SmallNet()), options))
+                     .ValueOrDie("service");
+  // Expires at "now": already expired when a worker dequeues it.
+  InferenceResult r =
+      service->Submit(SmallInput(), Deadline::FromNowMillis(0, &clock)).get();
+  EXPECT_TRUE(r.status.IsDeadlineExceeded());
+  EXPECT_EQ(service->Stats().deadline_exceeded, 1u);
+}
+
+// The ISSUE's acceptance scenario: queue capacity Q, N >> Q requests, one
+// wedged worker — the outcome mix is exact, driven entirely by the manual
+// clock and a deterministic gate, never by wall-clock races.
+TEST_F(InferenceServiceTest, DeterministicOverloadMixWithWatchdogRescue) {
+  ManualClock clock;
+  auto backend = std::make_unique<GateBackend>(/*blocking_calls=*/1);
+  GateBackend* gate = backend.get();
+
+  ServeOptions options;
+  options.clock = &clock;
+  options.queue_capacity = 4;   // Q
+  options.workers = 1;
+  options.max_batch = 1;
+  options.degraded_max_batch = 2;
+  options.watchdog_budget_ms = 100;  // manual-clock budget
+  options.watchdog_poll_ms = 1;      // real-time poll cadence
+  auto service = std::move(InferenceService::Create(std::move(backend),
+                                                    options))
+                     .ValueOrDie("service");
+
+  // R0 enters the backend and wedges there (the gate blocks until its
+  // context stops). Waiting for entered_rows() guarantees the worker has
+  // popped R0, so the queue below fills deterministically.
+  std::future<InferenceResult> r0 =
+      service->Submit(SmallInput(), Deadline::FromNowMillis(50, &clock));
+  ASSERT_TRUE(WaitFor([&] { return gate->entered_rows() == 1; }));
+
+  // N = 20 >> Q = 4: exactly 4 admitted, 16 shed, all decided at Submit.
+  std::vector<std::future<InferenceResult>> queued;
+  for (int i = 0; i < 20; ++i) {
+    queued.push_back(
+        service->Submit(SmallInput(), Deadline::FromNowMillis(10000, &clock)));
+  }
+  ServeStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 21u);
+  EXPECT_EQ(stats.admitted, 5u);  // R0 + 4 queued
+  EXPECT_EQ(stats.shed, 16u);
+  EXPECT_EQ(stats.queue_depth, 4u);
+  EXPECT_EQ(stats.executing, 1u);  // R0, wedged in the gate
+  // Occupancy crossed 0.5 while the queue filled: degraded before any shed.
+  EXPECT_TRUE(service->degraded());
+  EXPECT_EQ(stats.degrade_transitions, 1u);
+
+  // Shed futures resolve at Submit; the 4 admitted ones stay pending while
+  // the worker is wedged. Every shed result carries a retry-after hint.
+  std::vector<std::future<InferenceResult>> admitted_futures;
+  size_t shed_count = 0;
+  for (auto& f : queued) {
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      const InferenceResult r = f.get();
+      EXPECT_TRUE(r.status.IsResourceExhausted()) << r.status.ToString();
+      EXPECT_GT(r.retry_after_ms, 0);
+      ++shed_count;
+    } else {
+      admitted_futures.push_back(std::move(f));
+    }
+  }
+  EXPECT_EQ(shed_count, 16u);
+  ASSERT_EQ(admitted_futures.size(), 4u);
+
+  // Advance past both R0's deadline (50ms) and the watchdog budget
+  // (100ms). The watchdog — polling in real time but measuring on the
+  // injected clock — trips exactly once, cancels the wedged batch, and R0
+  // resolves as kDeadlineExceeded.
+  clock.AdvanceMillis(200);
+  const InferenceResult r0_result = r0.get();
+  EXPECT_TRUE(r0_result.status.IsDeadlineExceeded())
+      << r0_result.status.ToString();
+
+  // The rescued worker drains the 4 admitted requests on the degraded rung
+  // (occupancy stays above the recovery threshold until the queue empties).
+  for (auto& f : admitted_futures) {
+    const InferenceResult r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.degraded);
+  }
+  service->Stop();
+
+  stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 21u);
+  EXPECT_EQ(stats.admitted, 5u);
+  EXPECT_EQ(stats.shed, 16u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);  // R0
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.completed_degraded, 4u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.watchdog_trips, 1u);      // exactly one trip, CAS-guarded
+  EXPECT_EQ(stats.degrade_transitions, 1u);  // trip found it already degraded
+  EXPECT_EQ(gate->degraded_rows(), 4u);
+}
+
+TEST_F(InferenceServiceTest, RecoversToHealthyAfterDrain) {
+  ManualClock clock;
+  auto backend = std::make_unique<GateBackend>(/*blocking_calls=*/1);
+  GateBackend* gate = backend.get();
+  ServeOptions options;
+  options.clock = &clock;
+  options.queue_capacity = 4;
+  options.workers = 1;
+  options.max_batch = 4;
+  options.watchdog_budget_ms = 100;
+  options.watchdog_poll_ms = 1;
+  auto service = std::move(InferenceService::Create(std::move(backend),
+                                                    options))
+                     .ValueOrDie("service");
+
+  // Wedge the worker, fill the queue past the degrade threshold, rescue.
+  std::future<InferenceResult> r0 =
+      service->Submit(SmallInput(), Deadline::FromNowMillis(50, &clock));
+  ASSERT_TRUE(WaitFor([&] { return gate->entered_rows() == 1; }));
+  std::vector<std::future<InferenceResult>> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(
+        service->Submit(SmallInput(), Deadline::FromNowMillis(10000, &clock)));
+  }
+  EXPECT_TRUE(service->degraded());
+  clock.AdvanceMillis(200);
+  EXPECT_TRUE(r0.get().status.IsDeadlineExceeded());
+  for (auto& f : queued) EXPECT_TRUE(f.get().status.ok());
+
+  // Queue is empty now: the next request is served healthy (hysteresis
+  // recovery at 1/4 <= recover_below_fraction).
+  InferenceResult after = service->Submit(SmallInput(), Deadline::Never()).get();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.degraded);
+  EXPECT_FALSE(service->degraded());
+}
+
+TEST_F(InferenceServiceTest, InjectedDelayFaultExpiresDeadlineDeterministically) {
+  // delay@1 + ManualClock: the injected sleep advances the service clock by
+  // fault_delay_ms, pushing the first admitted request past its deadline.
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("delay@1")).value());
+  ManualClock clock;
+  ServeOptions options;
+  options.clock = &clock;
+  options.fault_delay_ms = 30;
+  auto service = std::move(InferenceService::Create(
+                               MakeDenseBackend(SmallNet()), options))
+                     .ValueOrDie("service");
+  InferenceResult r =
+      service->Submit(SmallInput(), Deadline::FromNowMillis(20, &clock)).get();
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  EXPECT_EQ(clock.NowMillis(), 30);  // the fault's sleep, nothing else
+}
+
+TEST_F(InferenceServiceTest, InjectedAdmissionRejectShedsOneRequest) {
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("reject-admission@1")).value());
+  auto service = std::move(InferenceService::Create(
+                               MakeDenseBackend(SmallNet()), ServeOptions()))
+                     .ValueOrDie("service");
+  // Step counts admitted requests: the first is admitted (step 0 -> 1), the
+  // second hits the armed fault, the third is admitted again.
+  EXPECT_TRUE(service->Submit(SmallInput(), Deadline::Never()).get().status.ok());
+  EXPECT_TRUE(service->Submit(SmallInput(), Deadline::Never())
+                  .get()
+                  .status.IsResourceExhausted());
+  EXPECT_TRUE(service->Submit(SmallInput(), Deadline::Never()).get().status.ok());
+  const ServeStats stats = service->Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.admitted, 2u);
+}
+
+TEST_F(InferenceServiceTest, SubmitAfterStopFailsPrecondition) {
+  auto service = std::move(InferenceService::Create(
+                               MakeDenseBackend(SmallNet()), ServeOptions()))
+                     .ValueOrDie("service");
+  service->Stop();
+  InferenceResult r = service->Submit(SmallInput()).get();
+  EXPECT_TRUE(r.status.IsFailedPrecondition());
+}
+
+TEST_F(InferenceServiceTest, StatsConservationUnderConcurrentLoad) {
+  ServeOptions options;
+  options.queue_capacity = 8;
+  options.workers = 2;
+  auto service = std::move(InferenceService::Create(
+                               MakeDenseBackend(SmallNet()), options))
+                     .ValueOrDie("service");
+  std::vector<std::thread> clients;
+  std::atomic<uint64_t> ok{0}, shed{0}, other{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const InferenceResult r =
+            service->Submit(SmallInput(), Deadline::Never()).get();
+        if (r.status.ok()) {
+          ok.fetch_add(1);
+        } else if (r.status.IsResourceExhausted()) {
+          shed.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service->Stop();
+  const ServeStats stats = service->Stats();
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_EQ(stats.submitted, 200u);
+  EXPECT_EQ(stats.admitted + stats.shed, 200u);
+  EXPECT_EQ(stats.completed + stats.completed_degraded, ok.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  EXPECT_EQ(stats.admitted, stats.completed + stats.completed_degraded +
+                                stats.deadline_exceeded + stats.cancelled);
+}
+
+}  // namespace
+}  // namespace sampnn

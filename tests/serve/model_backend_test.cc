@@ -1,0 +1,195 @@
+#include "src/serve/model_backend.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/alsh_trainer.h"
+#include "src/core/trainer.h"
+#include "src/nn/mlp.h"
+#include "src/util/deadline.h"
+
+namespace sampnn {
+namespace {
+
+Mlp SmallNet() {
+  return std::move(Mlp::Create(MlpConfig::Uniform(/*input_dim=*/6,
+                                                  /*output_dim=*/3,
+                                                  /*depth=*/2, /*width=*/16)))
+      .ValueOrDie("net");
+}
+
+Matrix SmallBatch(size_t rows = 4, size_t cols = 6) {
+  Matrix batch(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      batch(i, j) = 0.1f * static_cast<float>(i + 1) * static_cast<float>(j);
+    }
+  }
+  return batch;
+}
+
+TEST(DenseBackendTest, MatchesExactForwardAtBothRungs) {
+  Mlp net = SmallNet();
+  MlpWorkspace ws;
+  const Matrix batch = SmallBatch();
+  const Matrix& expected = net.Forward(batch, &ws);
+
+  auto backend = MakeDenseBackend(SmallNet());
+  EXPECT_STREQ(backend->name(), "dense");
+  EXPECT_EQ(backend->input_dim(), 6u);
+  EXPECT_EQ(backend->output_dim(), 3u);
+  for (ServeQuality q : {ServeQuality::kFull, ServeQuality::kDegraded}) {
+    Matrix logits;
+    CancelContext ctx;
+    ASSERT_TRUE(backend->Forward(batch, ctx, q, &logits).ok());
+    ASSERT_EQ(logits.rows(), batch.rows());
+    ASSERT_EQ(logits.cols(), 3u);
+    for (size_t i = 0; i < logits.rows(); ++i) {
+      for (size_t j = 0; j < logits.cols(); ++j) {
+        EXPECT_FLOAT_EQ(logits(i, j), expected(i, j));
+      }
+    }
+  }
+}
+
+TEST(DenseBackendTest, RejectsBadBatchShapes) {
+  auto backend = MakeDenseBackend(SmallNet());
+  Matrix logits;
+  CancelContext ctx;
+  EXPECT_TRUE(backend
+                  ->Forward(Matrix(0, 6), ctx, ServeQuality::kFull, &logits)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(backend
+                  ->Forward(Matrix(2, 5), ctx, ServeQuality::kFull, &logits)
+                  .IsInvalidArgument());
+}
+
+TEST(DenseBackendTest, HonorsCancellationAndDeadline) {
+  auto backend = MakeDenseBackend(SmallNet());
+  Matrix logits;
+
+  CancelContext cancelled;
+  cancelled.token.Cancel();
+  EXPECT_TRUE(backend
+                  ->Forward(SmallBatch(), cancelled, ServeQuality::kFull,
+                            &logits)
+                  .IsResourceExhausted());
+
+  ManualClock clock;
+  CancelContext expired;
+  expired.deadline = Deadline::FromNowMillis(0, &clock);
+  EXPECT_TRUE(backend
+                  ->Forward(SmallBatch(), expired, ServeQuality::kFull,
+                            &logits)
+                  .IsDeadlineExceeded());
+}
+
+TEST(McBackendTest, FullIsExactDegradedIsSampled) {
+  Mlp net = SmallNet();
+  MlpWorkspace ws;
+  const Matrix batch = SmallBatch();
+  const Matrix& expected = net.Forward(batch, &ws);
+
+  McBackendOptions options;
+  options.degraded_samples = 4;
+  auto backend = MakeMcBackend(SmallNet(), options);
+  EXPECT_STREQ(backend->name(), "mc");
+
+  Matrix full;
+  CancelContext ctx;
+  ASSERT_TRUE(
+      backend->Forward(batch, ctx, ServeQuality::kFull, &full).ok());
+  for (size_t i = 0; i < full.rows(); ++i) {
+    for (size_t j = 0; j < full.cols(); ++j) {
+      EXPECT_FLOAT_EQ(full(i, j), expected(i, j));
+    }
+  }
+
+  // The degraded rung estimates the products from 4 Adelman samples: right
+  // shape, finite values — not the exact logits.
+  Matrix degraded;
+  ASSERT_TRUE(
+      backend->Forward(batch, ctx, ServeQuality::kDegraded, &degraded).ok());
+  ASSERT_EQ(degraded.rows(), batch.rows());
+  ASSERT_EQ(degraded.cols(), 3u);
+  for (size_t i = 0; i < degraded.rows(); ++i) {
+    for (size_t j = 0; j < degraded.cols(); ++j) {
+      EXPECT_TRUE(std::isfinite(degraded(i, j)));
+    }
+  }
+}
+
+TEST(McBackendTest, DegradedHonorsCancellation) {
+  auto backend = MakeMcBackend(SmallNet(), McBackendOptions{});
+  Matrix logits;
+  CancelContext cancelled;
+  cancelled.token.Cancel();
+  EXPECT_TRUE(backend
+                  ->Forward(SmallBatch(), cancelled, ServeQuality::kDegraded,
+                            &logits)
+                  .IsResourceExhausted());
+}
+
+class AlshBackendTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ModelBackend> MakeBackend() {
+    TrainerOptions options;
+    options.kind = TrainerKind::kAlsh;
+    std::unique_ptr<AlshTrainer> trainer =
+        std::move(AlshTrainer::Create(SmallNet(), options.alsh,
+                                      /*learning_rate=*/1e-3f, /*seed=*/42))
+            .ValueOrDie("alsh");
+    return MakeAlshBackend(std::move(trainer));
+  }
+};
+
+TEST_F(AlshBackendTest, FullQualityProbesPerSample) {
+  auto backend = MakeBackend();
+  EXPECT_STREQ(backend->name(), "alsh");
+  Matrix logits;
+  CancelContext ctx;
+  const Matrix batch = SmallBatch();
+  ASSERT_TRUE(
+      backend->Forward(batch, ctx, ServeQuality::kFull, &logits).ok());
+  ASSERT_EQ(logits.rows(), batch.rows());
+  ASSERT_EQ(logits.cols(), 3u);
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      EXPECT_TRUE(std::isfinite(logits(i, j)));
+    }
+  }
+}
+
+TEST_F(AlshBackendTest, DegradedFallsBackToBatchedDense) {
+  // The degraded rung must equal the exact dense forward of the same net.
+  Mlp reference = SmallNet();
+  MlpWorkspace ws;
+  const Matrix batch = SmallBatch();
+  const Matrix& expected = reference.Forward(batch, &ws);
+
+  auto backend = MakeBackend();
+  Matrix logits;
+  CancelContext ctx;
+  ASSERT_TRUE(
+      backend->Forward(batch, ctx, ServeQuality::kDegraded, &logits).ok());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      EXPECT_FLOAT_EQ(logits(i, j), expected(i, j));
+    }
+  }
+}
+
+TEST_F(AlshBackendTest, FullQualityHonorsCancellationBetweenSamples) {
+  auto backend = MakeBackend();
+  Matrix logits;
+  CancelContext cancelled;
+  cancelled.token.Cancel();
+  EXPECT_TRUE(backend
+                  ->Forward(SmallBatch(), cancelled, ServeQuality::kFull,
+                            &logits)
+                  .IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace sampnn

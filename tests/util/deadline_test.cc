@@ -1,0 +1,112 @@
+#include "src/util/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+TEST(ManualClockTest, AdvancesOnlyWhenTold) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMillis(), 100);
+  clock.AdvanceMillis(50);
+  EXPECT_EQ(clock.NowMillis(), 150);
+}
+
+TEST(ManualClockTest, SleepAdvancesTheClockItself) {
+  // Injected delay faults "sleep" deterministically under test.
+  ManualClock clock;
+  clock.SleepMillis(25);
+  EXPECT_EQ(clock.NowMillis(), 25);
+}
+
+TEST(RealClockTest, IsMonotonicNonDecreasing) {
+  const Clock* clock = Clock::Real();
+  const int64_t a = clock->NowMillis();
+  const int64_t b = clock->NowMillis();
+  EXPECT_LE(a, b);
+}
+
+TEST(DeadlineTest, NeverNeverExpires) {
+  Deadline never = Deadline::Never();
+  EXPECT_TRUE(never.is_never());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.remaining_millis(), INT64_MAX);
+}
+
+TEST(DeadlineTest, ExpiresExactlyAtTheInstant) {
+  ManualClock clock;
+  Deadline d = Deadline::FromNowMillis(50, &clock);
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_millis(), 50);
+  clock.AdvanceMillis(49);
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_millis(), 1);
+  clock.AdvanceMillis(1);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_millis(), 0);
+}
+
+TEST(DeadlineTest, AtMillisIsAbsolute) {
+  ManualClock clock(10);
+  Deadline d = Deadline::AtMillis(30, &clock);
+  EXPECT_EQ(d.expires_at_millis(), 30);
+  EXPECT_EQ(d.remaining_millis(), 20);
+  clock.AdvanceMillis(100);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, CopiesShareTheClockTimeline) {
+  ManualClock clock;
+  Deadline a = Deadline::FromNowMillis(10, &clock);
+  Deadline b = a;
+  clock.AdvanceMillis(10);
+  EXPECT_TRUE(a.expired());
+  EXPECT_TRUE(b.expired());
+}
+
+TEST(CancellationTokenTest, CopiesShareTheFlag) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancelContextTest, StopsOnCancelOrExpiry) {
+  ManualClock clock;
+  CancelContext ctx;
+  ctx.deadline = Deadline::FromNowMillis(10, &clock);
+  EXPECT_FALSE(ctx.ShouldStop());
+
+  clock.AdvanceMillis(10);
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.StopStatus().IsDeadlineExceeded());
+}
+
+TEST(CancelContextTest, CancelledBeforeExpiryIsResourceExhausted) {
+  ManualClock clock;
+  CancelContext ctx;
+  ctx.deadline = Deadline::FromNowMillis(10, &clock);
+  ctx.token.Cancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.StopStatus().IsResourceExhausted());
+}
+
+TEST(CancelContextTest, ExpiredDeadlineWinsOverCancellation) {
+  // A request that is both cancelled and out of time reports the deadline:
+  // that is the client-actionable cause.
+  ManualClock clock;
+  CancelContext ctx;
+  ctx.deadline = Deadline::FromNowMillis(5, &clock);
+  ctx.token.Cancel();
+  clock.AdvanceMillis(5);
+  EXPECT_TRUE(ctx.StopStatus().IsDeadlineExceeded());
+}
+
+TEST(CancelContextTest, DefaultContextNeverStops) {
+  CancelContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -57,5 +57,68 @@ TEST_F(EnvTest, RejectsMalformedDoubles) {
   EXPECT_DOUBLE_EQ(GetEnvDoubleOr(kVar, 3.0), 3.0);
 }
 
+// --- GetEnvIntInRangeOr: hardened parsing for serving/thread knobs. ---
+
+class EnvRangeTest : public EnvTest {
+ protected:
+  void SetUp() override {
+    EnvTest::SetUp();
+    ResetEnvWarningsForTest();
+  }
+};
+
+TEST_F(EnvRangeTest, UnsetAndEmptyReturnDefault) {
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 5, 0, 100), 5);
+  setenv(kVar, "", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 5, 0, 100), 5);
+}
+
+TEST_F(EnvRangeTest, InRangeValueWins) {
+  setenv(kVar, "42", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 5, 0, 100), 42);
+}
+
+TEST_F(EnvRangeTest, GarbageFallsBackToDefaultAndWarns) {
+  setenv(kVar, "not-a-number", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 7);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find(kVar), std::string::npos);
+  EXPECT_NE(warning.find("invalid"), std::string::npos);
+}
+
+TEST_F(EnvRangeTest, TrailingGarbageFallsBackToDefault) {
+  setenv(kVar, "12abc", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 7);
+}
+
+TEST_F(EnvRangeTest, NegativeBelowRangeClampsToMin) {
+  setenv(kVar, "-9999", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 0);
+}
+
+TEST_F(EnvRangeTest, AboveRangeClampsToMax) {
+  setenv(kVar, "1000000", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 100);
+}
+
+TEST_F(EnvRangeTest, HugeValueOverflowingLongLongClampsBySign) {
+  setenv(kVar, "99999999999999999999999999", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 100);
+  setenv(kVar, "-99999999999999999999999999", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 0);
+}
+
+TEST_F(EnvRangeTest, WarnsOnlyOncePerVariable) {
+  setenv(kVar, "garbage", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 7);
+  EXPECT_EQ(GetEnvIntInRangeOr(kVar, 7, 0, 100), 7);
+  const std::string warnings = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warnings.find("invalid"), std::string::npos);
+  // One warning line, not one per query.
+  EXPECT_EQ(warnings.find("invalid"), warnings.rfind("invalid"));
+}
+
 }  // namespace
 }  // namespace sampnn

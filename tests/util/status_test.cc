@@ -31,6 +31,8 @@ TEST(StatusTest, AllFactoryCodesMatch) {
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
 }
 
@@ -67,6 +69,17 @@ TEST(StatusCodeToStringTest, CoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
                "Not implemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "Deadline exceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "Resource exhausted");
+}
+
+TEST(StatusCodeToStringTest, ServingCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "Deadline exceeded: late");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "Resource exhausted: full");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -170,6 +170,68 @@ TEST(ThreadPoolStressTest, WaitFromMultipleThreads) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolStressTest, TryPostRejectsWhenSaturatedWithoutLosingWork) {
+  // One slow worker + a tiny pending bound: concurrent producers race
+  // TryPost against a mostly-full queue. Accounting must be airtight —
+  // every accepted task runs exactly once, every rejection is visible to
+  // its producer, and nothing is silently dropped.
+  ThreadPool pool(1);
+  constexpr size_t kMaxPending = 4;
+  constexpr int kProducers = 8;
+  constexpr int kAttemptsPerProducer = 500;
+  std::atomic<int> accepted{0}, rejected{0}, executed{0};
+  // Hold the single worker so the queue actually saturates.
+  pool.Submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kAttemptsPerProducer; ++i) {
+        if (pool.TryPost([&executed] { executed.fetch_add(1); },
+                         kMaxPending)) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            kProducers * kAttemptsPerProducer);
+  // No silent drops, no duplicates: accepted == executed exactly.
+  EXPECT_EQ(executed.load(), accepted.load());
+  // The bound actually bit under this load (1 slow worker, bound of 4,
+  // 8 producers posting 500 each).
+  EXPECT_GT(rejected.load(), 0);
+}
+
+TEST(ThreadPoolStressTest, TryPostTasksStillRethrowFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  int posted = 0;
+  while (posted < 8) {
+    // Generous bound: acceptance is not the interesting part here.
+    if (pool.TryPost(
+            [&ran, posted] {
+              ran.fetch_add(1);
+              if (posted == 3) throw std::runtime_error("trypost failure");
+            },
+            /*max_pending=*/64)) {
+      ++posted;
+    }
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
+  // Error consumed; the pool is reusable afterwards.
+  EXPECT_TRUE(pool.TryPost([&ran] { ran.fetch_add(1); }, 64));
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 9);
+}
+
 TEST(ThreadPoolStressTest, SubmitFromInsideTasks) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
