@@ -45,6 +45,7 @@ def main() -> None:
 
     scalar = None
     packed1 = None
+    packed_mt = []  # (threads, gflops) for threads > 1
     for rec in results:
         if rec.get("op") != "gemm" or rec.get("m") != args.shape:
             continue
@@ -52,6 +53,11 @@ def main() -> None:
             scalar = rec.get("gflops")
         elif rec.get("variant") == "packed" and rec.get("threads") == 1:
             packed1 = rec.get("gflops")
+        elif (rec.get("variant") == "packed"
+              and isinstance(rec.get("threads"), int)
+              and rec.get("threads") > 1
+              and isinstance(rec.get("gflops"), (int, float))):
+            packed_mt.append((rec["threads"], rec["gflops"]))
     if scalar is None:
         fail(f"no scalar_seed record at shape {args.shape}")
     if packed1 is None:
@@ -66,6 +72,24 @@ def main() -> None:
     if ratio < args.min_ratio:
         fail(f"packed 1-thread GEMM ratio {ratio:.2f}x is below the "
              f"{args.min_ratio:.2f}x floor at {args.shape}^3")
+
+    # Multi-thread sanity: on a healthy partitioning, the best multi-thread
+    # run is at least as fast as one thread. Parallel slowdown (oversized
+    # thread count on a small runner, broken partitioning, false sharing)
+    # must not pass silently — but it is a WARNING, not a failure: CI
+    # runners with 2 shared vCPUs legitimately show it under noise.
+    if packed_mt:
+        best_threads, best_mt = max(packed_mt, key=lambda tg: tg[1])
+        if best_mt < packed1:
+            print(f"check_gemm_perf: WARNING: best multi-thread packed GEMM "
+                  f"({best_mt:.2f} GFLOP/s at {best_threads} threads) is "
+                  f"slower than single-thread ({packed1:.2f} GFLOP/s) at "
+                  f"{args.shape}^3 — parallel partitioning is losing to its "
+                  f"own overhead on this host", file=sys.stderr)
+        else:
+            print(f"check_gemm_perf: multi-thread best {best_mt:.2f} GFLOP/s "
+                  f"at {best_threads} threads "
+                  f"({best_mt / packed1:.2f}x single-thread)")
     print("check_gemm_perf: OK")
 
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# [[nodiscard]] discard gate: every `(void)` cast that throws away a call
+# result must carry a written reason.
+#
+# Status and StatusOr are [[nodiscard]]; the only sanctioned way to drop one
+# on purpose is
+#
+#   (void)expr;  // status-ignored: <why this failure cannot matter>
+#
+# This gate greps src/, bench/, examples/, and tests/ for `(void)` casts of
+# call expressions (anything with a `(`, `.`, or `->` after the cast) and
+# fails unless the same line or the line above carries a `status-ignored:`
+# reason. Exempt by construction:
+#   - `(void)sizeof(...)` — the SAMPNN_DCHECK NDEBUG idiom (compile-time
+#     only, nothing is discarded at runtime);
+#   - `(void)identifier;` — silencing an unused variable/parameter, which
+#     discards nothing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r -d '' file; do
+  violations="$(awk '
+    {
+      line = $0
+      if (match(line, /\(void\)[A-Za-z_:(]/)) {
+        rest = substr(line, RSTART + 6)
+        # Exempt the DCHECK sizeof idiom.
+        if (rest ~ /^sizeof/) { prev = line; next }
+        # A discard of a *call* has a paren or member access after the cast
+        # before the terminating semicolon; a bare identifier cast does not.
+        head = rest
+        sub(/;.*/, "", head)
+        if (head !~ /[(]|\.|->/) { prev = line; next }
+        if (line !~ /status-ignored:/ && prev !~ /status-ignored:/) {
+          printf "%d: %s\n", NR, line
+        }
+      }
+      prev = line
+    }
+  ' "$file")"
+  if [[ -n "$violations" ]]; then
+    echo "$file:"
+    echo "$violations"
+    fail=1
+  fi
+done < <(find src bench examples tests \
+           \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) -print0)
+
+if [[ "$fail" -ne 0 ]]; then
+  cat >&2 <<'EOF'
+
+error: (void)-discarded call results without a reason.
+Status/StatusOr are [[nodiscard]]; if dropping the result is genuinely
+safe, say why:
+    (void)expr;  // status-ignored: <reason>
+EOF
+  exit 1
+fi
+
+echo "ok: no unexplained (void) discards of call results"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Proves the lock-rank validator is compiled out of release (NDEBUG) builds.
+#
+#   usage: scripts/check_release_symbols.sh <libsampnn.a>
+#
+# The validator (src/util/sync.cc) lives behind #ifndef NDEBUG; if its
+# LockRank* symbols appear in a release archive, every lock/unlock in the
+# hot serving and threadpool paths is paying for bookkeeping that is
+# supposed to be debug-only. As a sanity check that we are looking at the
+# right archive (and that `nm` works), sampnn::Mutex::lock must be present.
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 <path/to/libsampnn.a (release build)>" >&2
+  exit 2
+fi
+lib="$1"
+if [[ ! -f "$lib" ]]; then
+  echo "error: no such archive: $lib" >&2
+  echo "hint: build the release preset first: cmake --preset release && cmake --build --preset release" >&2
+  exit 2
+fi
+
+symbols="$(nm -C "$lib" 2>/dev/null || true)"
+
+if ! grep -q 'sampnn::Mutex::lock()' <<<"$symbols"; then
+  echo "error: sampnn::Mutex::lock() not found in $lib — wrong archive, or nm failed" >&2
+  exit 1
+fi
+
+if grep -n 'LockRank' <<<"$symbols"; then
+  echo "error: lock-rank validator symbols present in release archive $lib" >&2
+  echo "       the validator must be compiled out under NDEBUG (src/util/sync.cc)" >&2
+  exit 1
+fi
+
+echo "ok: $lib has Mutex::lock and no LockRank validator symbols"

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Static-analysis gate for src/.
+# Static-analysis gate for src/. Four stages, in order:
 #
-# Primary mode: clang-tidy over the build tree's compile_commands.json with
-# the repo's .clang-tidy config; any finding fails the script
-# (WarningsAsErrors: '*').
-#
-# Fallback mode: containers without clang-tidy (the pinned dev image ships
-# only GCC) get a strict-warning pass instead — every src/ translation unit
-# is recompiled with -fsyntax-only and a warning set stricter than the
-# normal build, under -Werror. This keeps the gate meaningful everywhere
-# while CI (which installs clang-tidy) enforces the full check set.
+#   1. clang-tidy over the build tree's compile_commands.json with the
+#      repo's .clang-tidy config; any finding fails (WarningsAsErrors: '*').
+#      Containers without clang-tidy (the pinned dev image ships only GCC)
+#      get a strict-warning fallback instead: every src/ translation unit
+#      recompiled with -fsyntax-only under -Werror and a warning set
+#      stricter than the normal build.
+#   2. Clang thread-safety analysis (-Wthread-safety -Wthread-safety-beta
+#      -Werror, syntax-only) over every src/ TU, proving the locking
+#      protocol declared in src/util/sync.h. Skipped with a note when no
+#      clang++ is installed — the annotations are a Clang-only analysis —
+#      and enforced by the CI thread-safety job either way.
+#   3. scripts/check_nodiscard.sh — no silent `(void)` discards of call
+#      results without a `// status-ignored:` reason.
+#   4. scripts/check_release_symbols.sh — when a release archive exists,
+#      prove the lock-rank validator is compiled out of it.
 #
 # Usage: scripts/static_analysis.sh [build-dir]
 #   build-dir defaults to build/release and is configured on demand.
@@ -32,6 +38,8 @@ if [[ ${#SOURCES[@]} -eq 0 ]]; then
   exit 1
 fi
 
+# --- Stage 1: clang-tidy (or GCC strict-warning fallback) -------------------
+
 CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
 if command -v "$CLANG_TIDY" > /dev/null 2>&1; then
   echo "[static_analysis] clang-tidy over ${#SOURCES[@]} files ($($CLANG_TIDY --version | head -1))"
@@ -49,31 +57,79 @@ if command -v "$CLANG_TIDY" > /dev/null 2>&1; then
     }
   fi
   echo "[static_analysis] OK: clang-tidy clean"
-  exit 0
+else
+  echo "[static_analysis] clang-tidy not found; running GCC strict-warning fallback"
+  GCC_CXX="${CXX:-g++}"
+  STRICT_FLAGS=(
+    -std=c++20 -fsyntax-only -Werror
+    -Wall -Wextra -Wpedantic
+    -Wshadow -Wnon-virtual-dtor -Woverloaded-virtual
+    -Wcast-qual -Wold-style-cast -Wundef
+    -Wunused -Wmisleading-indentation -Wduplicated-cond
+    -Wduplicated-branches -Wlogical-op -Wnull-dereference
+    "-I$REPO_ROOT"
+  )
+  FAILED=0
+  for f in "${SOURCES[@]}"; do
+    if ! "$GCC_CXX" "${STRICT_FLAGS[@]}" "$f"; then
+      echo "[static_analysis] finding(s) in $f" >&2
+      FAILED=1
+    fi
+  done
+  if [[ $FAILED -ne 0 ]]; then
+    echo "[static_analysis] FAIL: strict-warning findings above" >&2
+    exit 1
+  fi
+  echo "[static_analysis] OK: ${#SOURCES[@]} files clean under strict warnings"
 fi
 
-echo "[static_analysis] clang-tidy not found; running GCC strict-warning fallback"
-CXX="${CXX:-g++}"
-STRICT_FLAGS=(
-  -std=c++20 -fsyntax-only -Werror
-  -Wall -Wextra -Wpedantic
-  -Wshadow -Wnon-virtual-dtor -Woverloaded-virtual
-  -Wcast-qual -Wold-style-cast -Wundef
-  -Wunused -Wmisleading-indentation -Wduplicated-cond
-  -Wduplicated-branches -Wlogical-op -Wnull-dereference
-  "-I$REPO_ROOT"
-)
+# --- Stage 2: Clang thread-safety analysis ----------------------------------
 
-FAILED=0
-for f in "${SOURCES[@]}"; do
-  if ! "$CXX" "${STRICT_FLAGS[@]}" "$f"; then
-    echo "[static_analysis] finding(s) in $f" >&2
-    FAILED=1
+CLANGXX="${SAMPNN_CLANGXX:-clang++}"
+if command -v "$CLANGXX" > /dev/null 2>&1; then
+  echo "[static_analysis] thread-safety analysis over ${#SOURCES[@]} files ($($CLANGXX --version | head -1))"
+  TS_FLAGS=(
+    -std=c++20 -fsyntax-only -Werror
+    -Wthread-safety -Wthread-safety-beta
+    "-I$REPO_ROOT"
+  )
+  FAILED=0
+  for f in "${SOURCES[@]}"; do
+    if ! "$CLANGXX" "${TS_FLAGS[@]}" "$f"; then
+      echo "[static_analysis] thread-safety finding(s) in $f" >&2
+      FAILED=1
+    fi
+  done
+  if [[ $FAILED -ne 0 ]]; then
+    echo "[static_analysis] FAIL: thread-safety findings above" >&2
+    exit 1
+  fi
+  echo "[static_analysis] OK: thread-safety clean"
+else
+  echo "[static_analysis] SKIP: no clang++ on this host — thread-safety analysis" \
+       "is Clang-only (the CI thread-safety job enforces it)"
+fi
+
+# --- Stage 3: [[nodiscard]] discard gate ------------------------------------
+
+bash "$REPO_ROOT/scripts/check_nodiscard.sh"
+
+# --- Stage 4: release archive carries no lock-rank validator ----------------
+
+RELEASE_LIB=""
+for dir in "$BUILD_DIR" "$REPO_ROOT/build"; do
+  # Only a Release (NDEBUG) archive is expected to be validator-free.
+  if [[ -f "$dir/src/libsampnn.a" ]] &&
+     grep -q "CMAKE_BUILD_TYPE:STRING=Release" "$dir/CMakeCache.txt" 2>/dev/null; then
+    RELEASE_LIB="$dir/src/libsampnn.a"
+    break
   fi
 done
-
-if [[ $FAILED -ne 0 ]]; then
-  echo "[static_analysis] FAIL: strict-warning findings above" >&2
-  exit 1
+if [[ -n "$RELEASE_LIB" ]]; then
+  bash "$REPO_ROOT/scripts/check_release_symbols.sh" "$RELEASE_LIB"
+else
+  echo "[static_analysis] SKIP: no release archive built yet — symbol check" \
+       "runs as a ctest in Release builds"
 fi
-echo "[static_analysis] OK: ${#SOURCES[@]} files clean under strict warnings"
+
+echo "[static_analysis] OK: all stages passed"

@@ -104,7 +104,7 @@ Status FaultInjector::InstallGlobalFromEnv() {
 
 bool FaultInjector::ShouldFire(FaultKind kind) {
   const uint64_t step = step_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   for (size_t i = 0; i < specs_.size(); ++i) {
     if (fired_[i] || specs_[i].kind != kind) continue;
     if (step >= specs_[i].step) {

@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -101,12 +101,15 @@ class FaultInjector {
   size_t num_armed() const { return specs_.size(); }
 
   // Copies snapshot the armed/fired state under the source's lock and then
-  // share that lock (the atomic step is re-seated by hand).
+  // share that lock (the atomic step is re-seated by hand). The analysis
+  // cannot see that this->mu_ aliases other.mu_ after the reseat, so the
+  // assignment opts out.
   FaultInjector(const FaultInjector& other) { *this = other; }
   FaultInjector(FaultInjector&& other) noexcept { *this = other; }
-  FaultInjector& operator=(const FaultInjector& other) {
+  FaultInjector& operator=(const FaultInjector& other)
+      SAMPNN_NO_THREAD_SAFETY_ANALYSIS {
     if (this == &other) return *this;
-    std::lock_guard<std::mutex> lock(*other.mu_);
+    MutexLock lock(*other.mu_);
     specs_ = other.specs_;
     fired_ = other.fired_;
     mu_ = other.mu_;
@@ -120,9 +123,10 @@ class FaultInjector {
 
  private:
   std::vector<FaultSpec> specs_;
-  std::vector<bool> fired_;  // guarded by *mu_
+  std::vector<bool> fired_ SAMPNN_GUARDED_BY(*mu_);
   // shared_ptr keeps the injector copyable; copies share the lock.
-  std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();
+  std::shared_ptr<Mutex> mu_ = std::make_shared<Mutex>(
+      "resilience.fault_injector", lockrank::kFaultInjector);
   std::atomic<uint64_t> step_{0};
 };
 

@@ -122,7 +122,7 @@ std::future<InferenceResult> InferenceService::Submit(std::vector<float> input,
   }
 
   if (immediate.status.ok()) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       immediate.status =
           Status::FailedPrecondition("InferenceService is stopped");
@@ -150,8 +150,8 @@ std::future<InferenceResult> InferenceService::Submit(std::vector<float> input,
       UpdateLadderLocked();
       MirrorCount("serve.admitted");
       MirrorGauge("serve.queue_depth", static_cast<double>(queue_.size()));
-      lock.unlock();
-      work_cv_.notify_one();
+      lock.Unlock();
+      work_cv_.NotifyOne();
       return future;
     }
   }
@@ -170,8 +170,8 @@ void InferenceService::WorkerLoop(size_t worker_index) {
     std::vector<PendingRequest> batch;
     ServeQuality quality = ServeQuality::kFull;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -218,7 +218,7 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
   // (the watchdog only reads the token after it has seen a live stamp).
   CancellationToken batch_token;
   {
-    std::lock_guard<std::mutex> lock(slot->token_mu);
+    MutexLock lock(slot->token_mu);
     slot->batch_token = batch_token;
   }
   slot->batch_start_ms.store(NowMs(), std::memory_order_release);
@@ -326,7 +326,7 @@ void InferenceService::WatchdogLoop() {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(slot->token_mu);
+        MutexLock lock(slot->token_mu);
         slot->batch_token.Cancel();
       }
       watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
@@ -337,26 +337,28 @@ void InferenceService::WatchdogLoop() {
 }
 
 void InferenceService::Stop(StopMode mode) {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
+  std::deque<PendingRequest> abandoned;
+  bool cancelled_now = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     if (mode == StopMode::kCancelPending && !cancel_pending_) {
       cancel_pending_ = true;
-      std::deque<PendingRequest> abandoned;
+      cancelled_now = true;
       abandoned.swap(queue_);
-      lock.unlock();
-      for (PendingRequest& req : abandoned) {
-        CompleteShed(&req, "service stopping");
-      }
-      lock.lock();
-      MirrorGauge("serve.queue_depth", 0.0);
     }
   }
-  work_cv_.notify_all();
+  // Queued promises resolve outside the queue lock: CompleteShed touches no
+  // guarded state, and a future's continuation must never run under mu_.
+  for (PendingRequest& req : abandoned) {
+    CompleteShed(&req, "service stopping");
+  }
+  if (cancelled_now) MirrorGauge("serve.queue_depth", 0.0);
+  work_cv_.NotifyAll();
   if (mode == StopMode::kCancelPending) {
     for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
-      std::lock_guard<std::mutex> lock(slot->token_mu);
+      MutexLock lock(slot->token_mu);
       slot->batch_token.Cancel();
     }
   }
@@ -385,7 +387,7 @@ ServeStats InferenceService::Stats() const {
   stats.degrade_transitions =
       degrade_transitions_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats.queue_depth = queue_.size();
   }
   stats.executing = executing_.load(std::memory_order_relaxed);
@@ -428,7 +430,7 @@ void InferenceService::UpdateLadderLocked() {
 }
 
 void InferenceService::TripDegraded() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!degraded_.load(std::memory_order_relaxed)) {
     degraded_.store(true, std::memory_order_relaxed);
     degrade_transitions_.fetch_add(1, std::memory_order_relaxed);

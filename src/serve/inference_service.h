@@ -40,6 +40,7 @@
 #include "src/serve/model_backend.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -161,8 +162,9 @@ class InferenceService {
     static constexpr int64_t kIdle = -1;
     static constexpr int64_t kTripped = -2;
     std::atomic<int64_t> batch_start_ms{kIdle};
-    std::mutex token_mu;
-    CancellationToken batch_token;  // guarded by token_mu
+    // All token mutexes share one rank: no path holds two slots' tokens.
+    Mutex token_mu{"serve.worker_token", lockrank::kServeWorkerToken};
+    CancellationToken batch_token SAMPNN_GUARDED_BY(token_mu);
   };
 
   InferenceService(std::unique_ptr<ModelBackend> backend,
@@ -176,10 +178,10 @@ class InferenceService {
   void CompleteShed(PendingRequest* req, const std::string& why);
   void CompleteDeadline(PendingRequest* req, const std::string& why);
   // Evaluates the occupancy hysteresis; callers hold mu_.
-  void UpdateLadderLocked();
+  void UpdateLadderLocked() SAMPNN_REQUIRES(mu_);
   // Trips the ladder to degraded (watchdog path); takes mu_ itself.
-  void TripDegraded();
-  int64_t RetryAfterHintLocked() const;
+  void TripDegraded() SAMPNN_EXCLUDES(mu_);
+  int64_t RetryAfterHintLocked() const SAMPNN_REQUIRES(mu_);
   int64_t NowMs() const { return clock_->NowMillis(); }
   void ObserveLatency(int64_t latency_ms);
 
@@ -187,14 +189,16 @@ class InferenceService {
   const Clock* const clock_;
   std::unique_ptr<ModelBackend> backend_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<PendingRequest> queue_;  // guarded by mu_
-  bool stopping_ = false;             // guarded by mu_
-  bool cancel_pending_ = false;       // guarded by mu_
+  mutable Mutex mu_{"serve.queue", lockrank::kServeQueue};
+  CondVar work_cv_;
+  std::deque<PendingRequest> queue_ SAMPNN_GUARDED_BY(mu_);
+  bool stopping_ SAMPNN_GUARDED_BY(mu_) = false;
+  bool cancel_pending_ SAMPNN_GUARDED_BY(mu_) = false;
 
   // Serializes Stop() callers (including the destructor) across the joins.
-  std::mutex lifecycle_mu_;
+  // Lowest rank in the process: it wraps acquisitions of mu_ and the worker
+  // token mutexes.
+  Mutex lifecycle_mu_{"serve.lifecycle", lockrank::kServeLifecycle};
 
   std::atomic<bool> degraded_{false};
   std::atomic<bool> watchdog_stop_{false};

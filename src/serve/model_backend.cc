@@ -1,7 +1,6 @@
 #include "src/serve/model_backend.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "src/approx/adelman.h"
@@ -9,6 +8,7 @@
 #include "src/tensor/kernels.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -90,7 +90,7 @@ class AlshBackend : public ModelBackend {
     // Full rung: per-sample hash probing, polled between samples. The
     // trainer's probe scratch is single-stream, so concurrent service
     // workers serialize here.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (logits->rows() != batch.rows() || logits->cols() != output_dim()) {
       *logits = Matrix(batch.rows(), output_dim());
     }
@@ -103,7 +103,9 @@ class AlshBackend : public ModelBackend {
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_{"serve.backend", lockrank::kServeBackend};
+  // Not SAMPNN_GUARDED_BY(mu_): const accessors (net() dimensions) are
+  // lock-free by design; only the mutable probe path serializes on mu_.
   std::unique_ptr<AlshTrainer> trainer_;
 };
 
@@ -134,7 +136,7 @@ class McBackend : public ModelBackend {
     // `degraded_samples` Adelman column-row samples — per-request compute
     // shrinks roughly by k / in_dim per layer. The estimator RNG is a
     // single stream, so workers serialize.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Matrix a_prev = batch;
     Matrix z;
     for (size_t k = 0; k < model_.num_layers(); ++k) {
@@ -157,10 +159,10 @@ class McBackend : public ModelBackend {
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_{"serve.backend", lockrank::kServeBackend};
   const Mlp model_;
   const McBackendOptions options_;
-  Rng rng_;
+  Rng rng_ SAMPNN_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -95,7 +95,7 @@ void EpochRecorder::Record(const EpochTelemetry& rec) {
   } else {
     line = EpochTelemetryToJson(rec);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sink_->WriteLine(line);
 }
 

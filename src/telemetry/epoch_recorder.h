@@ -9,11 +9,11 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -150,7 +150,9 @@ class EpochRecorder {
  private:
   std::unique_ptr<TelemetrySink> sink_;
   std::string run_label_;
-  std::mutex mu_;  // serializes Record() lines
+  // Serializes Record() lines. The sink pointer itself is set once at
+  // construction; only WriteLine needs mutual exclusion.
+  Mutex mu_{"telemetry.epoch_recorder", lockrank::kEpochRecorder};
 };
 
 /// Installs/reads the process-wide default recorder used by RunExperiment

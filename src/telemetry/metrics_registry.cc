@@ -12,7 +12,7 @@ MetricsRegistry& MetricsRegistry::Get() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -24,7 +24,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -36,7 +36,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -48,7 +48,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 std::vector<const Counter*> MetricsRegistry::Counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<const Counter*> out;
   out.reserve(counters_.size());
   for (const auto& [_, c] : counters_) out.push_back(c.get());
@@ -56,7 +56,7 @@ std::vector<const Counter*> MetricsRegistry::Counters() const {
 }
 
 std::vector<const Gauge*> MetricsRegistry::Gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<const Gauge*> out;
   out.reserve(gauges_.size());
   for (const auto& [_, g] : gauges_) out.push_back(g.get());
@@ -64,7 +64,7 @@ std::vector<const Gauge*> MetricsRegistry::Gauges() const {
 }
 
 std::vector<const Histogram*> MetricsRegistry::Histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<const Histogram*> out;
   out.reserve(histograms_.size());
   for (const auto& [_, h] : histograms_) out.push_back(h.get());
@@ -101,7 +101,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [_, c] : counters_) c->Reset();
   for (auto& [_, g] : gauges_) g->Reset();
   for (auto& [_, h] : histograms_) h->Reset();

@@ -24,10 +24,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -176,10 +177,16 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Registration-path lock. Ranked near the leaves: instrumentation sites
+  // register metrics while holding subsystem locks (threadpool.pool,
+  // serve.queue), never the other way around.
+  mutable Mutex mu_{"telemetry.metrics", lockrank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SAMPNN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SAMPNN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SAMPNN_GUARDED_BY(mu_);
 };
 
 }  // namespace sampnn

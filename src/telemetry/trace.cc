@@ -32,7 +32,7 @@ void TraceRecorder::Append(const char* name, int64_t ts_us, int64_t dur_us) {
   event.tid = CurrentThreadId();
   event.ts_us = ts_us;
   event.dur_us = dur_us;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
@@ -43,7 +43,7 @@ void TraceRecorder::Append(const char* name, int64_t ts_us, int64_t dur_us) {
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -59,29 +59,29 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t TraceRecorder::total_appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_ - ring_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
 }
 
 void TraceRecorder::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity > 0 ? capacity : 1;
   ring_.clear();
   ring_.shrink_to_fit();

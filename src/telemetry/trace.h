@@ -12,13 +12,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/metrics/split_timer.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -69,12 +69,13 @@ class TraceRecorder {
  private:
   TraceRecorder();
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // capacity_ slots, valid entries = count
-  size_t capacity_;
-  size_t next_ = 0;    // ring insertion point
-  uint64_t total_ = 0;
-  std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mu_{"telemetry.trace", lockrank::kTrace};
+  // capacity_ slots, valid entries = count
+  std::vector<TraceEvent> ring_ SAMPNN_GUARDED_BY(mu_);
+  size_t capacity_ SAMPNN_GUARDED_BY(mu_);
+  size_t next_ SAMPNN_GUARDED_BY(mu_) = 0;  // ring insertion point
+  uint64_t total_ SAMPNN_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point epoch_;  // const after construction
 };
 
 /// RAII span: records [construction, destruction) under `name` when

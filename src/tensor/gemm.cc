@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "src/util/sync.h"
 
 #include "src/tensor/aligned_buffer.h"
 #include "src/tensor/kernel_config.h"
@@ -216,9 +217,11 @@ void RunRowBlock(const float* a, size_t a_rs, size_t a_cs, size_t ic,
 // pool per size sidesteps destroy-while-in-use races when tests flip
 // SetGemmThreads between dispatches.
 ThreadPool& PoolFor(size_t threads) {
-  static std::mutex mu;
+  // Ranked below threadpool.pool: constructing a ThreadPool under this lock
+  // may touch the pool's own mutex on its exception path.
+  static Mutex mu{"tensor.gemm_pools", lockrank::kGemmPools};
   static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   auto& slot = pools[threads];
   if (slot == nullptr) slot = std::make_unique<ThreadPool>(threads);
   return *slot;

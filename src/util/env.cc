@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <stdexcept>
+
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -12,7 +13,7 @@ namespace {
 
 // Warn-once ledger: a misconfigured knob is reported a single time per
 // variable, not once per query site.
-std::mutex g_warned_mu;
+Mutex g_warned_mu{"util.warn_once", lockrank::kWarnOnce};
 std::set<std::string>& WarnedVars() {
   static std::set<std::string>* vars = new std::set<std::string>();
   return *vars;
@@ -21,7 +22,7 @@ std::set<std::string>& WarnedVars() {
 void WarnOnce(const std::string& name, const std::string& value,
               const std::string& action) {
   {
-    std::lock_guard<std::mutex> lock(g_warned_mu);
+    MutexLock lock(g_warned_mu);
     if (!WarnedVars().insert(name).second) return;
   }
   std::fprintf(stderr, "[sampnn] warning: %s=\"%s\" is invalid; %s\n",
@@ -31,7 +32,7 @@ void WarnOnce(const std::string& name, const std::string& value,
 }  // namespace
 
 void ResetEnvWarningsForTest() {
-  std::lock_guard<std::mutex> lock(g_warned_mu);
+  MutexLock lock(g_warned_mu);
   WarnedVars().clear();
 }
 

@@ -33,7 +33,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// An OK status carries no allocation; error statuses carry a code and a
 /// message. Modeled on arrow::Status.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures; callers must
+/// propagate (SAMPNN_RETURN_NOT_OK), handle, or explicitly discard with
+/// `(void)expr;  // status-ignored: <reason>` (scripts/check_nodiscard.sh
+/// rejects discards without a reason).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -127,8 +132,9 @@ class Status {
 /// \brief Either a value of type T or an error Status.
 ///
 /// A light-weight analogue of arrow::Result. Access via ok()/value()/status().
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit for ergonomic returns).
   StatusOr(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -1,0 +1,111 @@
+#include "src/util/sync.h"
+
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+namespace sampnn {
+
+#ifndef NDEBUG
+
+namespace internal {
+
+namespace {
+
+// Per-thread stack of held locks, in acquisition order. Ranks are enforced
+// strictly increasing on acquire, so the top entry always has the highest
+// rank. std::mutex requires unlock on the owning thread, so a lock never
+// has to be removed from another thread's stack.
+//
+// Deliberately a trivially-destructible POD array, NOT a std::vector: locks
+// are taken during static destruction (e.g. the gemm pool cache destroys
+// its ThreadPools at exit, and ~ThreadPool locks its mutex), which can run
+// after a thread_local vector's destructor — a use-after-free. A plain
+// array has no destructor, so the bookkeeping stays valid to the last
+// unlock of the process.
+constexpr int kMaxHeldLocks = 16;
+thread_local const Mutex* t_held_locks[kMaxHeldLocks];
+thread_local int t_held_count = 0;
+
+[[noreturn]] void LockRankFail(const char* what, const Mutex& incoming,
+                               const Mutex* held) {
+  std::fprintf(stderr, "[sampnn] lock-rank violation: %s \"%s\" (rank %d)",
+               what, incoming.name(), incoming.rank());
+  if (held != nullptr) {
+    std::fprintf(stderr, " while holding \"%s\" (rank %d)", held->name(),
+                 held->rank());
+  }
+  std::fprintf(
+      stderr,
+      "; acquisition order must be strictly increasing in rank "
+      "(see DESIGN.md §11)\n");
+  std::abort();
+}
+
+}  // namespace
+
+void LockRankOnAcquire(const Mutex& mu) {
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held_locks[i] == &mu) {
+      LockRankFail("re-entrant acquire of", mu, t_held_locks[i]);
+    }
+  }
+  if (t_held_count > 0) {
+    const Mutex* top = t_held_locks[t_held_count - 1];
+    if (mu.rank() <= top->rank()) LockRankFail("acquiring", mu, top);
+  }
+  if (t_held_count == kMaxHeldLocks) {
+    LockRankFail("holding too many locks while acquiring", mu,
+                 t_held_locks[t_held_count - 1]);
+  }
+  t_held_locks[t_held_count++] = &mu;
+}
+
+void LockRankOnRelease(const Mutex& mu) {
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held_locks[i] == &mu) {
+      for (int j = i; j + 1 < t_held_count; ++j) {
+        t_held_locks[j] = t_held_locks[j + 1];
+      }
+      --t_held_count;
+      return;
+    }
+  }
+  LockRankFail("releasing un-held", mu, nullptr);
+}
+
+int LockRankHeldCount() { return t_held_count; }
+
+}  // namespace internal
+
+void Mutex::lock() {
+  // Validate before blocking, so a would-be ABBA deadlock aborts with both
+  // names instead of hanging.
+  internal::LockRankOnAcquire(*this);
+  mu_.lock();
+}
+
+void Mutex::unlock() {
+  mu_.unlock();
+  internal::LockRankOnRelease(*this);
+}
+
+bool Mutex::try_lock() {
+  // try_lock cannot deadlock, but it follows the same discipline so the
+  // rank table stays the single source of truth for lock ordering.
+  internal::LockRankOnAcquire(*this);
+  if (mu_.try_lock()) return true;
+  internal::LockRankOnRelease(*this);
+  return false;
+}
+
+#else  // NDEBUG: straight pass-through, no validator symbols in the binary.
+
+void Mutex::lock() { mu_.lock(); }
+void Mutex::unlock() { mu_.unlock(); }
+bool Mutex::try_lock() { return mu_.try_lock(); }
+
+#endif
+
+}  // namespace sampnn

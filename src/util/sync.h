@@ -1,0 +1,190 @@
+// Annotated synchronization primitives (DESIGN.md §11).
+//
+// Every mutex in the concurrent subsystems (threadpool, serve, telemetry,
+// resilience) is a sampnn::Mutex, which layers two defenses over std::mutex:
+//
+//  1. Clang Thread Safety Analysis annotations. Guarded fields are declared
+//     with SAMPNN_GUARDED_BY(mu_), lock-requiring methods with
+//     SAMPNN_REQUIRES(mu_), and `-Wthread-safety -Wthread-safety-beta
+//     -Werror` (the CI thread-safety job, or scripts/static_analysis.sh
+//     under clang) proves the locking protocol at compile time. Off-Clang
+//     the macros compile to nothing, so GCC builds are unchanged.
+//
+//  2. A debug-build lock-rank validator. Each Mutex carries a name and an
+//     integer rank (the table lives in lockrank:: below and in DESIGN.md
+//     §11); a thread may only acquire a mutex whose rank is strictly
+//     greater than every rank it already holds. Out-of-rank or re-entrant
+//     acquisition aborts immediately with both lock names, so a dynamic
+//     ordering violation is caught deterministically on the first
+//     interleaving that attempts it — even where the static analysis cannot
+//     see through callbacks. The validator is compiled out under NDEBUG
+//     (scripts/check_release_symbols.sh verifies no LockRank symbols reach
+//     the release archive).
+//
+// New mutexes MUST declare a rank: pick the subsystem's constant from
+// lockrank::, or add a new one to the table (and to DESIGN.md §11) that is
+// consistent with every nesting the mutex participates in.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// --- Clang Thread Safety Analysis attribute macros -------------------------
+// No-ops on compilers without the analysis (GCC), so the annotations are
+// zero-cost documentation there and compile-time proof under Clang.
+#if defined(__clang__)
+#define SAMPNN_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SAMPNN_TS_ATTRIBUTE(x)
+#endif
+
+/// Declares a type to be a capability (lockable).
+#define SAMPNN_CAPABILITY(x) SAMPNN_TS_ATTRIBUTE(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SAMPNN_SCOPED_CAPABILITY SAMPNN_TS_ATTRIBUTE(scoped_lockable)
+/// Field may only be accessed while holding the given capability.
+#define SAMPNN_GUARDED_BY(x) SAMPNN_TS_ATTRIBUTE(guarded_by(x))
+/// Pointer field whose pointee may only be accessed while holding `x`.
+#define SAMPNN_PT_GUARDED_BY(x) SAMPNN_TS_ATTRIBUTE(pt_guarded_by(x))
+/// Function requires the capability to be held on entry (and keeps it held).
+#define SAMPNN_REQUIRES(...) \
+  SAMPNN_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+/// Function acquires the capability and holds it on return.
+#define SAMPNN_ACQUIRE(...) \
+  SAMPNN_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+/// Function releases a held capability.
+#define SAMPNN_RELEASE(...) \
+  SAMPNN_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `result`.
+#define SAMPNN_TRY_ACQUIRE(result, ...) \
+  SAMPNN_TS_ATTRIBUTE(try_acquire_capability(result, __VA_ARGS__))
+/// Caller must NOT hold the capability (documents non-reentrant entry
+/// points that take the lock themselves).
+#define SAMPNN_EXCLUDES(...) SAMPNN_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+/// Asserts (without acquiring) that the capability is held.
+#define SAMPNN_ASSERT_CAPABILITY(x) \
+  SAMPNN_TS_ATTRIBUTE(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define SAMPNN_RETURN_CAPABILITY(x) SAMPNN_TS_ATTRIBUTE(lock_returned(x))
+/// Escape hatch for functions the analysis cannot verify (lock aliasing,
+/// copy-assignment across instances sharing a lock). Use with a comment.
+#define SAMPNN_NO_THREAD_SAFETY_ANALYSIS \
+  SAMPNN_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace sampnn {
+
+// --- Lock-rank table (DESIGN.md §11 has the rationale per row) -------------
+// Acquisition order must be strictly increasing in rank. Mutexes sharing a
+// rank may never be held together (e.g. two worker slots' token mutexes).
+namespace lockrank {
+inline constexpr int kServeLifecycle = 10;    ///< serve.lifecycle
+inline constexpr int kServeQueue = 20;        ///< serve.queue
+inline constexpr int kServeWorkerToken = 30;  ///< serve.worker_token
+inline constexpr int kServeBackend = 40;      ///< serve.backend
+inline constexpr int kGemmPools = 45;         ///< tensor.gemm_pools
+inline constexpr int kThreadPool = 50;        ///< threadpool.pool
+inline constexpr int kThreadPoolLatch = 60;   ///< threadpool.latch
+inline constexpr int kFaultInjector = 70;     ///< resilience.fault_injector
+inline constexpr int kEpochRecorder = 80;     ///< telemetry.epoch_recorder
+inline constexpr int kTrace = 84;             ///< telemetry.trace
+inline constexpr int kMetricsRegistry = 88;   ///< telemetry.metrics
+inline constexpr int kWarnOnce = 95;          ///< util.warn_once
+}  // namespace lockrank
+
+/// \brief std::mutex with thread-safety annotations and a named rank.
+///
+/// Satisfies BasicLockable/Lockable, so it works with CondVar (and, in a
+/// pinch, std::scoped_lock) — but prefer MutexLock, which carries the
+/// scoped-capability annotation the analysis needs.
+class SAMPNN_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` must have static storage duration (it is stored, not copied,
+  /// and printed by the rank validator on violation).
+  Mutex(const char* name, int rank) noexcept : name_(name), rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SAMPNN_ACQUIRE();
+  void unlock() SAMPNN_RELEASE();
+  bool try_lock() SAMPNN_TRY_ACQUIRE(true);
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  std::mutex mu_;
+  const char* const name_;
+  const int rank_;
+};
+
+/// \brief Scoped lock over a Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement).
+///
+/// Unlock()/Lock() support the unlock-early pattern (notify a CondVar after
+/// releasing); the destructor only releases if the lock is still owned.
+class SAMPNN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SAMPNN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SAMPNN_RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before scope exit.
+  void Unlock() SAMPNN_RELEASE() {
+    mu_.unlock();
+    owns_ = false;
+  }
+  /// Re-acquires after Unlock().
+  void Lock() SAMPNN_ACQUIRE() {
+    mu_.lock();
+    owns_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owns_ = true;
+};
+
+/// \brief Condition variable for use with Mutex.
+///
+/// Wait() releases and re-acquires through Mutex::unlock/lock, so the
+/// lock-rank bookkeeping stays exact across the wait. There is no predicate
+/// overload on purpose: write the `while (!cond) cv.Wait(mu);` loop in the
+/// annotated function body, where the analysis can see the guarded reads
+/// (a predicate lambda is analyzed as a separate, capability-less function).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. `mu` must be held by the calling thread; it is
+  /// released for the duration of the wait and re-held on return.
+  void Wait(Mutex& mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+namespace internal {
+#ifndef NDEBUG
+// Lock-rank validator hooks (sync.cc). Debug-only: release builds call
+// straight into std::mutex (scripts/check_release_symbols.sh proves these
+// symbols are absent from the release archive).
+void LockRankOnAcquire(const Mutex& mu);
+void LockRankOnRelease(const Mutex& mu);
+/// Number of Mutexes the calling thread currently holds (tests).
+int LockRankHeldCount();
+#endif
+}  // namespace internal
+
+}  // namespace sampnn

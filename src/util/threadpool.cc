@@ -12,6 +12,8 @@ namespace sampnn {
 
 namespace {
 // Pending-task gauge, updated under the pool mutex on submit/dequeue.
+// (Registry registration on first use nests telemetry.metrics inside
+// threadpool.pool, which the rank table allows.)
 inline void RecordQueueDepth(size_t depth) {
   if (!TelemetryEnabled()) return;
   static Gauge& g = MetricsRegistry::Get().GetGauge("threadpool.queue_depth");
@@ -30,10 +32,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
     // Partial construction: release the workers that did start, or their
     // joinable std::thread destructors would terminate the process.
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
-    task_available_.notify_all();
+    task_available_.NotifyAll();
     for (auto& w : workers_) w.join();
     throw;
   }
@@ -41,47 +43,47 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   // Workers drain the queue before honoring shutdown (see WorkerLoop), so
-  // tasks queued before this point all run; notify_all wakes every idle
+  // tasks queued before this point all run; NotifyAll wakes every idle
   // worker so none sleeps through its own shutdown.
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   SAMPNN_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SAMPNN_CHECK_MSG(!shutdown_, "Submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
     RecordQueueDepth(tasks_.size());
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 bool ThreadPool::TryPost(std::function<void()> task, size_t max_pending) {
   SAMPNN_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SAMPNN_CHECK_MSG(!shutdown_, "TryPost after shutdown");
     if (tasks_.size() >= max_pending) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
     RecordQueueDepth(tasks_.size());
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.Wait(mu_);
     err = std::exchange(first_error_, nullptr);
   }
   if (err) std::rethrow_exception(err);
@@ -93,15 +95,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // are still running (the caller's `fn` would dangle), and must not wait on
   // unrelated tasks from concurrent callers.
   struct Latch {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t pending = 0;
-    std::exception_ptr error;
+    Mutex mu{"threadpool.latch", lockrank::kThreadPoolLatch};
+    CondVar done;
+    size_t pending SAMPNN_GUARDED_BY(mu) = 0;
+    std::exception_ptr error SAMPNN_GUARDED_BY(mu);
   } latch;
   const size_t chunks = std::min(n, workers_.size() * 4);
   const size_t per_chunk = (n + chunks - 1) / chunks;
   {
-    std::unique_lock<std::mutex> lock(latch.mu);
+    MutexLock lock(latch.mu);
     latch.pending = (n + per_chunk - 1) / per_chunk;
   }
   for (size_t c = 0; c < chunks; ++c) {
@@ -112,17 +114,17 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       try {
         for (size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::unique_lock<std::mutex> lock(latch.mu);
+        MutexLock lock(latch.mu);
         if (!latch.error) latch.error = std::current_exception();
       }
-      std::unique_lock<std::mutex> lock(latch.mu);
-      if (--latch.pending == 0) latch.done.notify_all();
+      MutexLock lock(latch.mu);
+      if (--latch.pending == 0) latch.done.NotifyAll();
     });
   }
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(latch.mu);
-    latch.done.wait(lock, [&latch] { return latch.pending == 0; });
+    MutexLock lock(latch.mu);
+    while (latch.pending != 0) latch.done.Wait(latch.mu);
     err = std::exchange(latch.error, nullptr);
   }
   if (err) std::rethrow_exception(err);
@@ -132,9 +134,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) task_available_.Wait(mu_);
       if (tasks_.empty()) return;  // shutdown_ is set and the queue is dry
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -158,9 +159,9 @@ void ThreadPool::WorkerLoop() {
               .count()));
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (err && !first_error_) first_error_ = std::move(err);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -3,14 +3,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace sampnn {
 
@@ -70,13 +70,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;   // guarded by mu_
-  bool shutdown_ = false;  // guarded by mu_
-  std::exception_ptr first_error_;  // guarded by mu_
+  Mutex mu_{"threadpool.pool", lockrank::kThreadPool};
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ SAMPNN_GUARDED_BY(mu_);
+  size_t in_flight_ SAMPNN_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SAMPNN_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ SAMPNN_GUARDED_BY(mu_);
 };
 
 }  // namespace sampnn

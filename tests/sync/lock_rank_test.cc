@@ -1,0 +1,183 @@
+// Tests for the debug-build lock-rank validator (src/util/sync.{h,cc}).
+//
+// The validator is compiled out under NDEBUG (the tier-1 Release build), so
+// the death tests GTEST_SKIP there; they run for real under the asan-ubsan
+// Debug preset. Release builds are covered separately by
+// scripts/check_release_symbols.sh, which proves the LockRank symbols are
+// absent from the release archive.
+
+#include "src/util/sync.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace sampnn {
+namespace {
+
+#ifndef NDEBUG
+constexpr bool kValidatorActive = true;
+#else
+constexpr bool kValidatorActive = false;
+#endif
+
+// Test ranks sit above every production rank in lockrank:: so these mutexes
+// nest under anything the test infrastructure might hold.
+constexpr int kLowRank = 1000;
+constexpr int kHighRank = 1001;
+
+TEST(LockRankTest, IncreasingRankAcquisitionIsAllowed) {
+  Mutex low("test.low", kLowRank);
+  Mutex high("test.high", kHighRank);
+  MutexLock hold_low(low);
+  MutexLock hold_high(high);
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 2);
+#endif
+}
+
+TEST(LockRankTest, OutOfOrderReleaseIsAllowed) {
+  // Rank discipline constrains acquisition order only; releasing the
+  // lower-ranked lock first (while the higher one stays held) is legal.
+  Mutex low("test.low", kLowRank);
+  Mutex high("test.high", kHighRank);
+  MutexLock hold_low(low);
+  MutexLock hold_high(high);
+  hold_low.Unlock();
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 1);
+#endif
+  hold_high.Unlock();
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 0);
+#endif
+}
+
+TEST(LockRankTest, MutexLockUnlockLockRoundTrip) {
+  Mutex mu("test.roundtrip", kLowRank);
+  MutexLock lock(mu);
+  lock.Unlock();
+  lock.Lock();
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 1);
+#endif
+}
+
+TEST(LockRankTest, TryLockSuccessTracksTheLock) {
+  Mutex mu("test.trylock", kLowRank);
+  ASSERT_TRUE(mu.try_lock());
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 1);
+#endif
+  mu.unlock();
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 0);
+#endif
+}
+
+TEST(LockRankTest, FailedTryLockLeavesNothingHeld) {
+  Mutex mu("test.trylock", kLowRank);
+  mu.lock();
+  std::thread contender([&mu] {
+    EXPECT_FALSE(mu.try_lock());
+#ifndef NDEBUG
+    // The speculative push must have been rolled back.
+    EXPECT_EQ(internal::LockRankHeldCount(), 0);
+#endif
+  });
+  contender.join();
+  mu.unlock();
+}
+
+TEST(LockRankTest, CondVarWaitKeepsBookkeepingExact) {
+  // Wait() releases and re-acquires through Mutex::unlock/lock, so the
+  // rank stack must show the lock held both before and after the wait.
+  Mutex mu("test.cv", kLowRank);
+  CondVar cv;
+  bool ready = false;  // guarded by mu (annotation elided: local)
+  MutexLock lock(mu);
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 1);
+#endif
+  std::thread producer([&] {
+    MutexLock producer_lock(mu);
+    ready = true;
+    producer_lock.Unlock();
+    cv.NotifyOne();
+  });
+  while (!ready) cv.Wait(mu);
+#ifndef NDEBUG
+  EXPECT_EQ(internal::LockRankHeldCount(), 1);
+#endif
+  lock.Unlock();
+  producer.join();
+}
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, OutOfRankAcquisitionAborts) {
+  if (!kValidatorActive) {
+    GTEST_SKIP() << "lock-rank validator compiled out under NDEBUG";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low("test.low", kLowRank);
+  Mutex high("test.high", kHighRank);
+  EXPECT_DEATH(
+      {
+        MutexLock hold_high(high);
+        MutexLock hold_low(low);  // rank goes down: must abort
+      },
+      "lock-rank violation.*test\\.low.*while holding.*test\\.high");
+}
+
+TEST(LockRankDeathTest, EqualRankAcquisitionAborts) {
+  if (!kValidatorActive) {
+    GTEST_SKIP() << "lock-rank validator compiled out under NDEBUG";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Equal-rank mutexes may never be held together (e.g. two serve worker
+  // slots' token mutexes).
+  Mutex a("test.peer_a", kLowRank);
+  Mutex b("test.peer_b", kLowRank);
+  EXPECT_DEATH(
+      {
+        MutexLock hold_a(a);
+        MutexLock hold_b(b);
+      },
+      "lock-rank violation.*test\\.peer_b.*while holding.*test\\.peer_a");
+}
+
+TEST(LockRankDeathTest, ReentrantAcquisitionAborts) {
+  if (!kValidatorActive) {
+    GTEST_SKIP() << "lock-rank validator compiled out under NDEBUG";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu("test.reentrant", kLowRank);
+  EXPECT_DEATH(
+      {
+        MutexLock first(mu);
+        mu.lock();  // same thread, same mutex: must abort, not deadlock
+      },
+      "lock-rank violation: re-entrant acquire of.*test\\.reentrant");
+}
+
+TEST(LockRankDeathTest, ViolationNamesBothLocksAndTheDesignDoc) {
+  if (!kValidatorActive) {
+    GTEST_SKIP() << "lock-rank validator compiled out under NDEBUG";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The abort message is the debugging artifact: it must carry both lock
+  // names, both ranks, and point at the rank table.
+  Mutex low("test.low", kLowRank);
+  Mutex high("test.high", kHighRank);
+  EXPECT_DEATH(
+      {
+        MutexLock hold_high(high);
+        MutexLock hold_low(low);
+      },
+      "\"test\\.low\" \\(rank 1000\\).*\"test\\.high\" \\(rank 1001\\).*"
+      "DESIGN\\.md");
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,35 @@
+// Positive control for the negative-compile gate in tests/CMakeLists.txt:
+// identical shape to thread_safety_violation.cc but with correct locking.
+// This TU must compile cleanly under `clang++ -Wthread-safety
+// -Wthread-safety-beta -Werror`; if it does not, the harness (include
+// paths, flags) is broken and the violation check would fail for the wrong
+// reason.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    sampnn::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Get() {
+    sampnn::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  sampnn::Mutex mu_{"test.counter", 1000};
+  int value_ SAMPNN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

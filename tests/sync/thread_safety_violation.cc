@@ -1,0 +1,35 @@
+// Negative-compile fixture: this translation unit must FAIL to compile
+// under `clang++ -Wthread-safety -Wthread-safety-beta -Werror`.
+//
+// tests/CMakeLists.txt try_compiles it (Clang configures only) and aborts
+// the configure if it *succeeds* — that would mean the SAMPNN_GUARDED_BY
+// plumbing has rotted and the analysis is no longer protecting anything.
+// tests/sync/thread_safety_ok.cc is the positive control proving the
+// harness itself compiles.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): writes the guarded field without holding mu_.
+  void Increment() { ++value_; }
+
+  int Get() {
+    sampnn::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  sampnn::Mutex mu_{"test.counter", 1000};
+  int value_ SAMPNN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}

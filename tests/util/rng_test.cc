@@ -196,6 +196,7 @@ TEST(RngTest, StateRoundTripContinuesIdentically) {
 TEST(RngTest, GetStateDoesNotPerturbTheStream) {
   Rng a(7);
   Rng b(7);
+  // status-ignored: the test is that the call itself is side-effect-free
   (void)a.GetState();
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(a.NextU64(), b.NextU64());
