@@ -11,6 +11,7 @@
 // deadlines, watchdog trips) are data, not errors.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <fstream>
@@ -91,6 +92,13 @@ int main(int argc, char** argv) {
                   "fault spec (delay@N,hang@N,reject-admission@N); "
                   "overrides SAMPNN_FAULTS");
   flags.AddString("json-out", "", "also write the JSON summary to this file");
+  flags.AddInt("statusz-port", -1,
+               "loopback introspection port (-1 = off, 0 = ephemeral); the "
+               "bound port is announced on stderr as 'statusz: ...'");
+  flags.AddInt("hold-ms", 0,
+               "keep the service (and its statusz endpoints) up this long "
+               "after the client load finishes, so external scrapers can "
+               "read the post-traffic metrics");
   Status st = flags.Parse(argc, argv);
   if (st.IsFailedPrecondition()) return 0;  // --help
   st.Abort("flags");
@@ -157,9 +165,17 @@ int main(int argc, char** argv) {
   options.workers = static_cast<size_t>(flags.GetInt("workers"));
   options.max_batch = static_cast<size_t>(flags.GetInt("max-batch"));
   options.watchdog_budget_ms = flags.GetInt("watchdog-budget-ms");
+  if (flags.GetInt("statusz-port") >= 0) {
+    options.statusz_port = flags.GetInt("statusz-port");
+  }
   std::unique_ptr<InferenceService> service =
       std::move(InferenceService::Create(std::move(backend), options))
           .ValueOrDie("service");
+  if (service->statusz_port() >= 0) {
+    // Parseable announcement for scrapers (scripts/obs_smoke.sh greps it).
+    std::fprintf(stderr, "statusz: listening on 127.0.0.1:%d\n",
+                 service->statusz_port());
+  }
 
   // 4. Concurrent clients submitting as fast as the service will listen.
   const size_t total_requests = static_cast<size_t>(flags.GetInt("requests"));
@@ -199,6 +215,10 @@ int main(int argc, char** argv) {
     });
   }
   for (std::thread& t : clients) t.join();
+  if (flags.GetInt("hold-ms") > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.GetInt("hold-ms")));
+  }
   service->Stop(InferenceService::StopMode::kDrain);
 
   // 5. Report.

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validates a /metricsz scrape from the embedded introspection server.
+
+Usage: check_statusz.py <metricsz_file> [--require-traffic]
+
+Structural checks (always):
+  - every non-comment line is `name{labels} value [# exemplar]` with a
+    parseable value;
+  - every metric series is preceded by its # HELP and # TYPE comments, and
+    the HELP line carries the dotted in-code name (e.g. serve.slo.p99);
+  - for each histogram: bucket le values are numerically non-decreasing,
+    cumulative counts are monotone, the +Inf bucket equals _count, and
+    _overflow is present.
+
+Content checks (--require-traffic, used after an overload smoke run):
+  - the serve.slo.* gauges, per-phase histograms, the retry-after gauge,
+    and at least one request_id exemplar are all present.
+
+Exits 0 when every invariant holds, 1 otherwise.
+"""
+
+import re
+import sys
+
+BUCKET_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{le="(?P<le>[^"]+)"\} '
+    r"(?P<value>\d+)"
+    r"(?P<exemplar> # \{request_id=\"\d+\"\} [0-9.eE+-]+)?$"
+)
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (?P<value>[0-9.eE+-]+|NaN|[+-]Inf)$"
+)
+
+
+def fail(msg: str) -> None:
+    print(f"check_statusz: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} <metricsz_file> [--require-traffic]")
+    require_traffic = "--require-traffic" in sys.argv[2:]
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"cannot read scrape: {e}")
+
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    # histogram base name -> list of (le, cumulative_count)
+    buckets: dict[str, list[tuple[float, int]]] = {}
+    exemplars = 0
+    samples: dict[str, float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, doc = rest.partition(" ")
+            helps[name] = doc
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        m = BUCKET_RE.match(line)
+        if m:
+            le = float("inf") if m.group("le") == "+Inf" else float(m.group("le"))
+            buckets.setdefault(m.group("name"), []).append(
+                (le, int(m.group("value")))
+            )
+            if m.group("exemplar"):
+                exemplars += 1
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail(f"line {lineno}: unparseable sample: {line!r}")
+        samples[m.group("name")] = float(m.group("value"))
+
+    if not samples and not buckets:
+        fail("scrape contains no samples at all")
+
+    # Every sample family must carry HELP + TYPE, and the HELP text must
+    # name the dotted in-code metric (operators grep the source by it).
+    for name in samples:
+        base = re.sub(r"_(bucket|sum|count|overflow)$", "", name)
+        if base not in types and name not in types:
+            fail(f"sample {name} has no # TYPE")
+        doc = helps.get(base, helps.get(name, ""))
+        if "." not in doc:
+            fail(f"HELP for {base or name} lacks the dotted in-code name: {doc!r}")
+
+    # Histogram invariants.
+    for name, series in buckets.items():
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            fail(f"{name}: bucket le values out of order: {les}")
+        counts = [c for _, c in series]
+        if counts != sorted(counts):
+            fail(f"{name}: cumulative counts not monotone: {counts}")
+        if les[-1] != float("inf"):
+            fail(f"{name}: missing +Inf bucket")
+        count = samples.get(f"{name}_count")
+        if count is None:
+            fail(f"{name}: missing _count")
+        if counts[-1] != count:
+            fail(f"{name}: +Inf bucket {counts[-1]} != _count {count}")
+        if f"{name}_overflow" not in samples:
+            fail(f"{name}: missing _overflow series")
+        if f"{name}_sum" not in samples:
+            fail(f"{name}: missing _sum series")
+
+    if require_traffic:
+        for required in (
+            "sampnn_serve_slo_p50",
+            "sampnn_serve_slo_p95",
+            "sampnn_serve_slo_p99",
+            "sampnn_serve_slo_violation_rate",
+            "sampnn_serve_retry_after_ms",
+        ):
+            if required not in samples:
+                fail(f"missing required gauge {required}")
+        if helps.get("sampnn_serve_slo_p99") != "serve.slo.p99":
+            fail("HELP for sampnn_serve_slo_p99 must be 'serve.slo.p99'")
+        for required_hist in (
+            "sampnn_serve_request_latency_ms",
+            "sampnn_serve_phase_queue_ms",
+            "sampnn_serve_phase_backend_compute_ms",
+        ):
+            if required_hist not in buckets:
+                fail(f"missing required histogram {required_hist}")
+        if exemplars == 0:
+            fail("no request_id exemplar on any +Inf bucket after traffic")
+
+    print(
+        f"check_statusz: OK ({len(samples)} samples, {len(buckets)} "
+        f"histograms, {exemplars} exemplars)"
+    )
+
+
+if __name__ == "__main__":
+    main()

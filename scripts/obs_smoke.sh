@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Introspection-plane smoke test (CI obs-smoke job): run serve_mlp with the
+# embedded statusz server on an ephemeral loopback port and the same
+# injected-fault overload as the serve smoke, scrape every endpoint over a
+# real socket while the service is live, and validate the /metricsz
+# exposition with scripts/check_statusz.py.
+#
+# Usage: scripts/obs_smoke.sh [path/to/serve_mlp]
+# (default binary: build/asan-ubsan/examples/serve_mlp)
+
+set -u
+
+BIN="${1:-build/asan-ubsan/examples/serve_mlp}"
+if [[ ! -x "$BIN" ]]; then
+  echo "obs_smoke: binary not found: $BIN" >&2
+  echo "build it with: cmake --build --preset asan-ubsan --target serve_mlp" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "obs_smoke: FAIL: $*" >&2
+  echo "--- serve_mlp stderr ---" >&2
+  cat "$WORK/stderr" >&2
+  exit 1
+}
+
+# Same overload shape as the serve smoke (sheds, expired deadlines, a
+# watchdog trip from the injected hang), plus --hold-ms so the endpoints
+# stay scrapeable after the traffic settles into the SLO window. The JSON
+# summary is only written after the hold, so the scrape below runs against
+# a live, post-traffic service.
+"$BIN" --backend=mc --requests=400 --client-threads=8 \
+       --inflight-per-client=8 --queue-cap=16 --deadline-ms=50 --workers=2 \
+       --watchdog-budget-ms=150 --faults="delay@20,hang@40" \
+       --statusz-port=0 --hold-ms=6000 \
+       --json-out="$WORK/stats.json" \
+       >"$WORK/stdout" 2>"$WORK/stderr" &
+SERVE_PID=$!
+
+# The bound ephemeral port is announced on stderr.
+PORT=""
+for _ in $(seq 1 600); do
+  PORT="$(sed -n 's/^statusz: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+          "$WORK/stderr" | head -n1)"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "serve_mlp exited before binding"
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || fail "no statusz port announced"
+echo "obs_smoke: statusz on port $PORT"
+
+# Poll /metricsz until the full post-traffic exposition validates: SLO
+# gauges need a watchdog tick past the traffic, the retry-after gauge needs
+# a shed, exemplars need completed requests. Converges well inside the hold.
+CHECK="$(dirname "$0")/check_statusz.py"
+VALID=""
+for _ in $(seq 1 600); do
+  if curl -sf --max-time 5 "http://127.0.0.1:$PORT/metricsz" \
+       -o "$WORK/metricsz" \
+     && python3 "$CHECK" "$WORK/metricsz" --require-traffic \
+          >"$WORK/check.log" 2>&1; then
+    VALID=1
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [[ -z "$VALID" ]]; then
+  cat "$WORK/check.log" >&2
+  fail "metricsz never validated while the service was live"
+fi
+cat "$WORK/check.log"
+
+scrape() {
+  curl -sf --max-time 5 "http://127.0.0.1:$PORT$1" -o "$2" \
+    || fail "GET $1 failed"
+}
+scrape /statusz "$WORK/statusz"
+scrape /tracez  "$WORK/tracez"
+
+grep -q 'queue_occupancy:' "$WORK/statusz" || fail "/statusz lacks queue_occupancy"
+grep -q '\[workers\]'      "$WORK/statusz" || fail "/statusz lacks the worker table"
+grep -q 'traceEvents'      "$WORK/tracez"  || fail "/tracez is not a trace JSON"
+
+# Once the clients are done and the queue drained, health flips to 200 ok.
+HEALTHY=""
+for _ in $(seq 1 600); do
+  if curl -sf --max-time 5 "http://127.0.0.1:$PORT/healthz" \
+       -o "$WORK/healthz" && grep -q 'ok' "$WORK/healthz"; then
+    HEALTHY=1
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+[[ -n "$HEALTHY" ]] || fail "/healthz never reported ok after the drain"
+
+wait "$SERVE_PID" || fail "serve_mlp exited non-zero"
+SERVE_PID=""
+
+# The overload mix itself must still hold (same gate as the serve smoke).
+python3 "$(dirname "$0")/check_serve_smoke.py" "$WORK/stats.json" \
+  || fail "serve smoke invariants failed"
+
+echo "obs_smoke: OK"

@@ -1,0 +1,73 @@
+#include "src/obs/phase_sampler.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sampnn {
+
+namespace {
+
+// Marks the slot dead when its thread exits, so Snapshot() stops listing
+// it. The slot itself is never freed (snapshotting threads may hold the
+// registry vector open), matching the leaked-singleton convention.
+struct SlotHandle {
+  PhaseSampler::Slot* slot = nullptr;
+  ~SlotHandle();
+};
+
+}  // namespace
+
+PhaseSampler& PhaseSampler::Get() {
+  static PhaseSampler* sampler = new PhaseSampler();
+  return *sampler;
+}
+
+PhaseSampler::Slot* PhaseSampler::SlotForCurrentThread(const char* role) {
+  thread_local SlotHandle handle;
+  if (handle.slot == nullptr) {
+    auto slot = std::make_unique<Slot>();
+    slot->role_ = role;
+    handle.slot = slot.get();
+    MutexLock lock(mu_);
+    slot->tid_ = static_cast<uint32_t>(slots_.size() + 1);
+    slots_.push_back(std::move(slot));
+  }
+  return handle.slot;
+}
+
+namespace {
+SlotHandle::~SlotHandle() {
+  if (slot != nullptr) slot->Retire();
+}
+}  // namespace
+
+std::vector<PhaseSample> PhaseSampler::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<PhaseSample> out;
+  out.reserve(slots_.size());
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    if (!slot->alive_.load(std::memory_order_relaxed)) continue;
+    PhaseSample sample;
+    sample.tid = slot->tid_;
+    sample.role = slot->role_;
+    sample.phase = slot->phase_.load(std::memory_order_relaxed);
+    sample.detail_id = slot->detail_id_.load(std::memory_order_relaxed);
+    out.push_back(sample);
+  }
+  return out;
+}
+
+std::string PhaseSampler::RenderTable() const {
+  std::ostringstream os;
+  os << "tid  role              phase             request\n";
+  for (const PhaseSample& s : Snapshot()) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-4u %-17s %-17s %llu\n", s.tid,
+                  s.role, s.phase,
+                  static_cast<unsigned long long>(s.detail_id));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace sampnn

@@ -1,0 +1,115 @@
+// Worker phase sampler (DESIGN.md §12): every thread doing interesting work
+// advertises a thread-local "current phase" tag — a static string set by
+// ScopedPhase (and, transitively, by every PhaseScope in the trainers) —
+// plus an optional detail id (the request id the phase is serving). The
+// statusz thread snapshots all live slots, so `/statusz` shows what each
+// worker is doing *right now* without signals, ptrace, or symbolization.
+//
+// Costs: setting a phase is two relaxed stores on a thread-local slot;
+// registration (first ScopedPhase on a thread) takes the sampler mutex
+// once. There is no per-phase allocation and no global synchronization on
+// the hot path, so phase tags stay on even when telemetry is disabled.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/sync.h"
+
+namespace sampnn {
+
+/// One thread's advertised state at snapshot time.
+struct PhaseSample {
+  uint32_t tid = 0;          ///< small dense thread id (1-based)
+  const char* role = "";     ///< thread role ("serve_worker", "main", ...)
+  const char* phase = "";    ///< current phase tag ("idle", "gemm", ...)
+  uint64_t detail_id = 0;    ///< request id the phase serves, 0 = none
+};
+
+/// \brief Process-wide registry of per-thread phase slots.
+class PhaseSampler {
+ public:
+  /// The process-wide sampler (leaked intentionally, like MetricsRegistry:
+  /// thread-local slot handles may outlive static destruction order).
+  static PhaseSampler& Get();
+
+  /// Slot for the calling thread, registering it on first use. `role` is
+  /// only applied at registration (later calls with a different role keep
+  /// the original); it must have static storage duration.
+  class Slot;
+  Slot* SlotForCurrentThread(const char* role = "worker");
+
+  /// Names the calling thread for the /statusz worker table. Must be called
+  /// before (or instead of) the first ScopedPhase to take effect.
+  void SetCurrentThreadRole(const char* role) { SlotForCurrentThread(role); }
+
+  /// All live threads' current phases, registration order.
+  std::vector<PhaseSample> Snapshot() const;
+
+  /// Plain-text table ("tid role phase detail") for /statusz.
+  std::string RenderTable() const;
+
+  class Slot {
+   public:
+    void Set(const char* phase, uint64_t detail_id) {
+      detail_id_.store(detail_id, std::memory_order_relaxed);
+      phase_.store(phase, std::memory_order_relaxed);
+    }
+    const char* phase() const {
+      return phase_.load(std::memory_order_relaxed);
+    }
+    uint64_t detail_id() const {
+      return detail_id_.load(std::memory_order_relaxed);
+    }
+    /// Called from the owning thread's exit path: the slot stops appearing
+    /// in snapshots but is never freed (a concurrent snapshot may still be
+    /// reading it).
+    void Retire() {
+      Set("exited", 0);
+      alive_.store(false, std::memory_order_relaxed);
+    }
+
+   private:
+    friend class PhaseSampler;
+    friend class ScopedPhase;
+    uint32_t tid_ = 0;
+    const char* role_ = "";
+    std::atomic<const char*> phase_{"idle"};
+    std::atomic<uint64_t> detail_id_{0};
+    std::atomic<bool> alive_{true};
+  };
+
+ private:
+  PhaseSampler() = default;
+
+  mutable Mutex mu_{"obs.phase_sampler", lockrank::kPhaseSampler};
+  std::vector<std::unique_ptr<Slot>> slots_ SAMPNN_GUARDED_BY(mu_);
+};
+
+/// RAII phase tag: sets the calling thread's phase (and optional detail id)
+/// for the lifetime of the scope, restoring the previous tag on exit so
+/// nested scopes unwind correctly ("serve_batch" > "gemm" > back).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* phase, uint64_t detail_id = 0)
+      : slot_(PhaseSampler::Get().SlotForCurrentThread()),
+        prev_phase_(slot_->phase_.load(std::memory_order_relaxed)),
+        prev_detail_(slot_->detail_id_.load(std::memory_order_relaxed)) {
+    slot_->Set(phase, detail_id);
+  }
+  ~ScopedPhase() { slot_->Set(prev_phase_, prev_detail_); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseSampler::Slot* slot_;
+  const char* prev_phase_;
+  uint64_t prev_detail_;
+};
+
+}  // namespace sampnn

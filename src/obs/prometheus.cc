@@ -1,0 +1,88 @@
+#include "src/obs/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "src/telemetry/metrics_registry.h"
+
+namespace sampnn {
+
+namespace {
+
+// Doubles rendered with enough precision to round-trip gauges; trailing
+// zeros are harmless in the exposition format.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void RenderHeader(std::ostringstream& os, const std::string& sanitized,
+                  std::string_view original, const char* type) {
+  os << "# HELP " << sanitized << " " << original << "\n";
+  os << "# TYPE " << sanitized << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string PrometheusSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  out += "sampnn_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusRender(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  for (const Counter* c : registry.Counters()) {
+    const std::string name = PrometheusSanitizeName(std::string(c->name()));
+    RenderHeader(os, name, c->name(), "counter");
+    os << name << " " << c->Value() << "\n";
+  }
+  for (const Gauge* g : registry.Gauges()) {
+    const std::string name = PrometheusSanitizeName(std::string(g->name()));
+    RenderHeader(os, name, g->name(), "gauge");
+    os << name << " " << FormatDouble(g->Value()) << "\n";
+  }
+  for (const Histogram* h : registry.Histograms()) {
+    const std::string name = PrometheusSanitizeName(std::string(h->name()));
+    RenderHeader(os, name, h->name(), "histogram");
+    const HistogramSnapshot snap = h->Snapshot();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      cumulative += snap.buckets[i];
+      // Skip interior empty buckets to keep the payload small, but always
+      // emit the first and last finite bucket so the series is never empty.
+      if (snap.buckets[i] == 0 && i != 0 &&
+          i + 1 != HistogramSnapshot::kNumBuckets) {
+        continue;
+      }
+      // Upper bound of bucket i: bucket 0 holds exact zeros (le=0), bucket
+      // i holds [2^(i-1), 2^i), so le = 2^i - 1 in integer terms.
+      const uint64_t le =
+          i == 0 ? 0 : (Histogram::BucketLowerBound(i) * 2 - 1);
+      os << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    // +Inf includes the overflow bucket, restoring count == +Inf.
+    os << name << "_bucket{le=\"+Inf\"} " << snap.count;
+    if (h->HasExemplar()) {
+      os << " # {request_id=\"" << h->ExemplarId() << "\"} "
+         << h->ExemplarValue();
+    }
+    os << "\n";
+    os << name << "_overflow " << snap.overflow << "\n";
+    os << name << "_sum " << snap.sum << "\n";
+    os << name << "_count " << snap.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sampnn

@@ -1,0 +1,35 @@
+// Prometheus text-exposition rendering of the MetricsRegistry (the body of
+// /metricsz, DESIGN.md §12).
+//
+// Mapping:
+//   Counter    -> `sampnn_<name> <value>` with `# TYPE ... counter`
+//   Gauge      -> `sampnn_<name> <value>` with `# TYPE ... gauge`
+//   Histogram  -> cumulative `_bucket{le="..."}` series over the log2
+//                 buckets, `_sum`, `_count`, plus `_overflow` (observations
+//                 above the top finite bucket — without it a saturating
+//                 metric is indistinguishable from a busy top bucket).
+//                 When the histogram holds an exemplar, the `le="+Inf"`
+//                 bucket carries it in OpenMetrics syntax:
+//                 `... # {request_id="1234"} <value>`.
+//
+// Metric names are sanitized ('.' and every other illegal character become
+// '_'); the original dotted name is preserved in the `# HELP` line so
+// operators can grep for the in-code name.
+
+#pragma once
+
+#include <string>
+
+namespace sampnn {
+
+class MetricsRegistry;
+
+/// `name` with every character outside [a-zA-Z0-9_:] replaced by '_', and a
+/// leading digit guarded with '_'.
+std::string PrometheusSanitizeName(const std::string& name);
+
+/// Renders the full registry in the Prometheus text exposition format
+/// (version 0.0.4, with OpenMetrics-style exemplars on histogram buckets).
+std::string PrometheusRender(const MetricsRegistry& registry);
+
+}  // namespace sampnn

@@ -1,0 +1,55 @@
+// Per-request trace propagation (DESIGN.md §12): every admitted inference
+// request carries a RequestContext — a process-monotonic request id plus
+// the service-clock instants at which it crossed each lifecycle boundary:
+//
+//   admit ──▶ queue ──▶ batch_assembly ──▶ backend_compute ──▶ respond
+//
+// The serving layer stamps the boundaries as the request flows through
+// Submit, micro-batch assembly, ModelBackend::Forward, and promise
+// resolution; each closed segment is observed into a per-phase latency
+// histogram with the request id as the exemplar, so `/metricsz` can answer
+// "which phase is eating the p99, and which request was slowest there".
+// All stamps come from the service's injectable Clock, so phase breakdowns
+// are step-exact under a ManualClock in tests.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sampnn {
+
+/// Process-monotonic request id (1-based; 0 means "no request").
+inline uint64_t NextRequestId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// \brief Identity and phase-boundary stamps for one inference request.
+/// Plain value type owned by the serving layer's PendingRequest; all
+/// stamps are on the service clock, in milliseconds, -1 = not reached.
+struct RequestContext {
+  uint64_t id = 0;
+
+  int64_t submit_ms = -1;    ///< Submit() entry (admission check starts)
+  int64_t enqueue_ms = -1;   ///< admitted into the bounded queue
+  int64_t dequeue_ms = -1;   ///< popped by a worker (assembly starts)
+  int64_t compute_start_ms = -1;  ///< handed to ModelBackend::Forward
+  int64_t compute_end_ms = -1;    ///< Forward returned
+  int64_t respond_ms = -1;   ///< promise resolved
+
+  /// Closed-segment durations; -1 while the segment is still open.
+  int64_t AdmitMs() const { return Seg(submit_ms, enqueue_ms); }
+  int64_t QueueMs() const { return Seg(enqueue_ms, dequeue_ms); }
+  int64_t AssemblyMs() const { return Seg(dequeue_ms, compute_start_ms); }
+  int64_t ComputeMs() const { return Seg(compute_start_ms, compute_end_ms); }
+  int64_t RespondMs() const { return Seg(compute_end_ms, respond_ms); }
+
+ private:
+  static int64_t Seg(int64_t from, int64_t to) {
+    if (from < 0 || to < 0) return -1;
+    return to >= from ? to - from : 0;
+  }
+};
+
+}  // namespace sampnn

@@ -1,0 +1,109 @@
+#include "src/obs/slo_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace sampnn {
+
+SloTracker::SloTracker(const Histogram* latency,
+                       std::function<uint64_t()> violations,
+                       std::function<uint64_t()> terminals,
+                       const Options& options)
+    : options_(options),
+      latency_(latency),
+      violations_(std::move(violations)),
+      terminals_(std::move(terminals)) {
+  MutexLock lock(mu_);
+  slots_.resize(std::max<size_t>(1, options_.slots));
+}
+
+void SloTracker::Tick(int64_t now_ms) {
+  const HistogramSnapshot hist = latency_->Snapshot();
+  const uint64_t viol = violations_ ? violations_() : 0;
+  const uint64_t term = terminals_ ? terminals_() : 0;
+
+  MutexLock lock(mu_);
+  const int64_t slot_ms =
+      std::max<int64_t>(1, options_.window_ms /
+                               static_cast<int64_t>(slots_.size()));
+  if (!primed_) {
+    // First tick establishes the baseline; nothing before it is windowable.
+    primed_ = true;
+    slots_[current_].start_ms = now_ms;
+  } else {
+    // Fold the deltas since the previous tick into the current slot.
+    // Counter deltas saturate so a concurrent ResetAll cannot wrap them.
+    Slot& slot = slots_[current_];
+    slot.delta.Merge(hist.DeltaSince(last_hist_));
+    slot.violations += viol >= last_violations_ ? viol - last_violations_ : 0;
+    slot.terminals += term >= last_terminals_ ? term - last_terminals_ : 0;
+  }
+  last_hist_ = hist;
+  last_violations_ = viol;
+  last_terminals_ = term;
+
+  // Rotate when the current slot has covered its share of the window.
+  if (slots_[current_].start_ms >= 0 &&
+      now_ms - slots_[current_].start_ms >= slot_ms) {
+    current_ = (current_ + 1) % slots_.size();
+    slots_[current_] = Slot{};
+    slots_[current_].start_ms = now_ms;
+  }
+
+  // Merge every slot still inside the window.
+  HistogramSnapshot window;
+  uint64_t violations_in_window = 0;
+  uint64_t terminals_in_window = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.start_ms < 0) continue;
+    if (now_ms - slot.start_ms > options_.window_ms) continue;
+    window.Merge(slot.delta);
+    violations_in_window += slot.violations;
+    terminals_in_window += slot.terminals;
+  }
+
+  SloSnapshot snap;
+  snap.p50_ms = window.Quantile(0.50);
+  snap.p95_ms = window.Quantile(0.95);
+  snap.p99_ms = window.Quantile(0.99);
+  snap.window_count = window.count;
+  snap.window_violations = violations_in_window;
+  snap.violation_rate =
+      terminals_in_window == 0
+          ? 0.0
+          : static_cast<double>(violations_in_window) /
+                static_cast<double>(terminals_in_window);
+  snap.window_ms = options_.window_ms;
+  latest_ = snap;
+  lock.Unlock();
+
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  const std::string& p = options_.gauge_prefix;
+  reg.GetGauge(p + ".p50").Set(snap.p50_ms);
+  reg.GetGauge(p + ".p95").Set(snap.p95_ms);
+  reg.GetGauge(p + ".p99").Set(snap.p99_ms);
+  reg.GetGauge(p + ".violation_rate").Set(snap.violation_rate);
+  reg.GetGauge(p + ".window_count")
+      .Set(static_cast<double>(snap.window_count));
+}
+
+SloSnapshot SloTracker::Snapshot() const {
+  MutexLock lock(mu_);
+  return latest_;
+}
+
+std::string SloTracker::Render() const {
+  const SloSnapshot s = Snapshot();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "window_ms=%lld observations=%llu violations=%llu\n"
+                "p50_ms=%.2f p95_ms=%.2f p99_ms=%.2f violation_rate=%.4f\n",
+                static_cast<long long>(s.window_ms),
+                static_cast<unsigned long long>(s.window_count),
+                static_cast<unsigned long long>(s.window_violations),
+                s.p50_ms, s.p95_ms, s.p99_ms, s.violation_rate);
+  return buf;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,94 @@
+// Sliding-window SLO tracking (DESIGN.md §12): turns a lifetime latency
+// histogram plus violation/terminal counters into *windowed* p50/p95/p99
+// and a deadline-violation rate, without any per-request bookkeeping.
+//
+// Mechanism: Tick() (driven from the serving watchdog thread) snapshots the
+// histogram, takes the delta since the previous tick (lock-free reads,
+// saturating subtraction), and accumulates it into the current slot of a
+// ring of time slots. The window estimate merges every slot younger than
+// `window_ms`, so quantiles reflect roughly the last window, sliding
+// forward one slot at a time — the classic decay-by-bucketed-deltas scheme
+// (no sample reservoir, O(slots * 33) memory, exact counts).
+//
+// All timestamps come from the caller (the service clock), so the window is
+// deterministic under a ManualClock.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/metrics_registry.h"
+#include "src/util/sync.h"
+
+namespace sampnn {
+
+/// Windowed service-level estimate, produced by SloTracker::Snapshot().
+struct SloSnapshot {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  /// violations / terminal outcomes over the window, in [0, 1].
+  double violation_rate = 0.0;
+  uint64_t window_count = 0;       ///< latency observations in the window
+  uint64_t window_violations = 0;  ///< deadline violations in the window
+  int64_t window_ms = 0;           ///< configured window length
+};
+
+/// \brief Computes windowed latency quantiles and violation rates from
+/// snapshot deltas. Thread-safe: Tick() runs on one thread (the watchdog),
+/// Snapshot() may be called concurrently from the statusz thread.
+class SloTracker {
+ public:
+  struct Options {
+    int64_t window_ms = 10'000;  ///< sliding window (SAMPNN_SLO_WINDOW_MS)
+    size_t slots = 10;           ///< ring granularity (window_ms / slots each)
+    /// Gauge name prefix; "<prefix>.p99" etc. are exported on every Tick.
+    std::string gauge_prefix = "serve.slo";
+  };
+
+  /// `latency` is the lifetime histogram to window (must outlive the
+  /// tracker). `violations` / `terminals` return lifetime counts (deadline
+  /// violations, terminal outcomes); they are read on the Tick thread only.
+  SloTracker(const Histogram* latency, std::function<uint64_t()> violations,
+             std::function<uint64_t()> terminals, const Options& options);
+
+  /// Advances the window to `now_ms` (service clock), folds the latest
+  /// deltas in, and exports <prefix>.{p50,p95,p99,violation_rate,
+  /// window_count} gauges.
+  void Tick(int64_t now_ms);
+
+  /// The most recent windowed estimate (cheap copy).
+  SloSnapshot Snapshot() const;
+
+  /// Plain-text rendering for /statusz.
+  std::string Render() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Slot {
+    int64_t start_ms = -1;  ///< -1 = never used
+    HistogramSnapshot delta;
+    uint64_t violations = 0;
+    uint64_t terminals = 0;
+  };
+
+  const Options options_;
+  const Histogram* const latency_;
+  const std::function<uint64_t()> violations_;
+  const std::function<uint64_t()> terminals_;
+
+  mutable Mutex mu_{"obs.slo", lockrank::kSloTracker};
+  std::vector<Slot> slots_ SAMPNN_GUARDED_BY(mu_);
+  size_t current_ SAMPNN_GUARDED_BY(mu_) = 0;
+  bool primed_ SAMPNN_GUARDED_BY(mu_) = false;
+  HistogramSnapshot last_hist_ SAMPNN_GUARDED_BY(mu_);
+  uint64_t last_violations_ SAMPNN_GUARDED_BY(mu_) = 0;
+  uint64_t last_terminals_ SAMPNN_GUARDED_BY(mu_) = 0;
+  SloSnapshot latest_ SAMPNN_GUARDED_BY(mu_);
+};
+
+}  // namespace sampnn

@@ -1,0 +1,261 @@
+#include "src/obs/statusz.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "src/obs/phase_sampler.h"
+#include "src/obs/prometheus.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/trace.h"
+
+namespace sampnn {
+
+namespace {
+
+std::atomic<uint64_t> g_sockets_opened{0};
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status_line << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("statusz: write failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t StatuszServer::SocketsOpenedForTest() {
+  return g_sockets_opened.load(std::memory_order_relaxed);
+}
+
+StatusOr<std::unique_ptr<StatuszServer>> StatuszServer::Start(
+    const Options& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("statusz: socket() failed");
+  g_sockets_opened.fetch_add(1, std::memory_order_relaxed);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::IOError("statusz: cannot bind 127.0.0.1:" +
+                           std::to_string(options.port));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return Status::IOError("statusz: listen() failed");
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    return Status::IOError("statusz: getsockname() failed");
+  }
+
+  auto server = std::unique_ptr<StatuszServer>(new StatuszServer(options));
+  server->listen_fd_ = fd;
+  server->port_ = static_cast<int>(ntohs(bound.sin_port));
+  server->start_ms_ = SteadyNowMs();
+  server->accept_thread_ = std::thread([s = server.get()] {
+    PhaseSampler::Get().SetCurrentThreadRole("statusz");
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+StatuszServer::~StatuszServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void StatuszServer::AddSection(std::string name,
+                               std::function<std::string()> render) {
+  MutexLock lock(mu_);
+  sections_.emplace_back(std::move(name), std::move(render));
+}
+
+void StatuszServer::SetHealthCallback(std::function<bool()> healthy) {
+  MutexLock lock(mu_);
+  healthy_ = std::move(healthy);
+}
+
+void StatuszServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // Bound the time one slow or stalled client can hold the accept
+    // thread; introspection must never wedge on a bad peer.
+    timeval tv{};
+    tv.tv_sec = 1;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    ScopedPhase phase("statusz_request");
+    // Malformed/over-long/timed-out requests drop the connection; the
+    // dropped counter on /statusz is the only place the failure surfaces
+    // (introspection must never log-spam or abort the process).
+    if (const Status st = HandleConnection(conn); st.ok()) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(conn);
+  }
+}
+
+Status StatuszServer::HandleConnection(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < options_.max_request_bytes) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("statusz: read failed");
+    }
+    if (n == 0) break;  // peer closed
+    request.append(buf, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      break;  // end of headers; GET carries no body
+    }
+  }
+  if (request.size() >= options_.max_request_bytes) {
+    return Status::IOError("statusz: request exceeds max_request_bytes");
+  }
+
+  // Request line: "GET <path> HTTP/1.x". Anything else is a 400-class
+  // problem, answered with 404 to keep the responder single-pathed.
+  std::string path = "/";
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (line.compare(0, 4, "GET ") == 0) {
+    const size_t sp = line.find(' ', 4);
+    path = line.substr(4, sp == std::string::npos ? std::string::npos
+                                                  : sp - 4);
+    // Strip a query string; endpoints take no parameters.
+    const size_t q = path.find('?');
+    if (q != std::string::npos) path.resize(q);
+  } else {
+    return Status::IOError("statusz: not a GET request");
+  }
+
+  return WriteAll(fd, BuildResponse(path));
+}
+
+std::string StatuszServer::BuildResponse(const std::string& path) {
+  if (path == "/metricsz") {
+    return HttpResponse("200 OK", "text/plain; version=0.0.4",
+                        PrometheusRender(MetricsRegistry::Get()));
+  }
+  if (path == "/tracez") {
+    return HttpResponse("200 OK", "application/json",
+                        TraceRecorder::Get().ToJson());
+  }
+  if (path == "/healthz") {
+    std::function<bool()> healthy;
+    {
+      MutexLock lock(mu_);
+      healthy = healthy_;
+    }
+    const bool ok = !healthy || healthy();
+    return ok ? HttpResponse("200 OK", "text/plain", "ok\n")
+              : HttpResponse("503 Service Unavailable", "text/plain",
+                             "shedding or draining\n");
+  }
+  if (path == "/statusz" || path == "/") {
+    return HttpResponse("200 OK", "text/plain", RenderStatusz());
+  }
+  return HttpResponse(
+      "404 Not Found", "text/plain",
+      "unknown path; try /statusz /metricsz /tracez /healthz\n");
+}
+
+std::string StatuszServer::RenderStatusz() {
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections;
+  {
+    // Copy the callbacks out so they run with no server lock held: section
+    // renderers take subsystem locks (serve.queue and friends) that rank
+    // above obs.statusz.
+    MutexLock lock(mu_);
+    sections = sections_;
+  }
+
+  std::ostringstream os;
+  os << "sampnn statusz\n";
+  os << "==============\n";
+  os << "compiler: " <<
+#if defined(__VERSION__)
+      __VERSION__
+#else
+      "unknown"
+#endif
+     << "\n";
+  os << "c++: " << __cplusplus << "\n";
+  const int64_t up_ms = SteadyNowMs() - start_ms_;
+  char upbuf[64];
+  std::snprintf(upbuf, sizeof(upbuf), "%lld.%03llds",
+                static_cast<long long>(up_ms / 1000),
+                static_cast<long long>(up_ms % 1000));
+  os << "uptime: " << upbuf << "\n";
+  os << "requests_served: "
+     << requests_.load(std::memory_order_relaxed) << "\n";
+  os << "requests_dropped: "
+     << dropped_.load(std::memory_order_relaxed) << "\n";
+
+  for (const auto& [name, render] : sections) {
+    os << "\n[" << name << "]\n";
+    os << (render ? render() : std::string("(null section)\n"));
+  }
+
+  os << "\n[workers]\n";
+  os << PhaseSampler::Get().RenderTable();
+  return os.str();
+}
+
+}  // namespace sampnn

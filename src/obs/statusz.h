@@ -1,0 +1,118 @@
+// Embedded introspection server (DESIGN.md §12): a minimal HTTP/1.0
+// endpoint for pull-based scraping and operator debugging. Serves:
+//
+//   /metricsz  Prometheus text exposition of the MetricsRegistry
+//   /statusz   human-readable process state: build info, uptime,
+//              registered sections (serve stats, SLO window, queue
+//              occupancy, ...) and the worker phase table
+//   /tracez    TraceRecorder ring contents as Chrome Trace JSON
+//   /healthz   200 when the health callback says "accepting",
+//              503 when shedding or draining
+//
+// Scope and safety: this is an *introspection* plane, not a serving
+// frontend. The listener binds to 127.0.0.1 only, is off by default
+// (ServeOptions::statusz_port = -1 unless SAMPNN_STATUSZ_PORT is set),
+// runs one accept thread handling one connection at a time, reads at
+// most `max_request_bytes` per request, and understands just enough of
+// HTTP/1.0 GET to answer curl and a Prometheus scraper. There is no TLS,
+// no auth, and no request concurrency — deliberately, to keep the attack
+// surface at "local operator with shell access", who could read the same
+// state from the process anyway.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace sampnn {
+
+/// \brief Loopback-only HTTP/1.0 server exposing /metricsz, /statusz,
+/// /tracez and /healthz. Create with Start(); the destructor stops the
+/// accept thread and closes the listener.
+class StatuszServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1. 0 picks an ephemeral port (tests); the bound
+    /// port is available from port() either way.
+    int port = 0;
+    /// Upper bound on bytes read from one request (headers included).
+    size_t max_request_bytes = 4096;
+    /// Accept-loop poll granularity; bounds shutdown latency.
+    int poll_interval_ms = 50;
+  };
+
+  /// Binds, listens, and spawns the accept thread. Fails with IOError if
+  /// the port cannot be bound.
+  static StatusOr<std::unique_ptr<StatuszServer>> Start(
+      const Options& options);
+
+  ~StatuszServer();
+
+  StatuszServer(const StatuszServer&) = delete;
+  StatuszServer& operator=(const StatuszServer&) = delete;
+
+  /// The bound port (resolved even when Options::port was 0).
+  int port() const { return port_; }
+
+  /// Registers a named plain-text section rendered into /statusz, in
+  /// registration order. `render` is invoked on the accept thread with no
+  /// server lock held, so it may take subsystem locks freely.
+  void AddSection(std::string name, std::function<std::string()> render);
+
+  /// Health probe for /healthz: return true to answer 200, false for 503.
+  /// Without a callback /healthz answers 200.
+  void SetHealthCallback(std::function<bool()> healthy);
+
+  /// Requests served since Start (any endpoint, including 404s).
+  uint64_t RequestsServed() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections dropped without a response (malformed, over-long, or
+  /// timed-out requests).
+  uint64_t RequestsDropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime count of listener sockets opened by any StatuszServer in
+  /// this process. The zero-overhead guard test asserts this stays 0 when
+  /// introspection is disabled.
+  static uint64_t SocketsOpenedForTest();
+
+ private:
+  explicit StatuszServer(const Options& options) : options_(options) {}
+
+  void AcceptLoop();
+  /// Reads one request from `fd`, writes one response. IOError on a
+  /// malformed or over-long request (the connection is just dropped).
+  Status HandleConnection(int fd);
+  /// Routes `path` to a (status line, content type, body) response.
+  std::string BuildResponse(const std::string& path);
+  std::string RenderStatusz();
+
+  const Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> dropped_{0};
+  int64_t start_ms_ = 0;  ///< wall-clock start, for uptime
+
+  mutable Mutex mu_{"obs.statusz", lockrank::kStatusz};
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections_
+      SAMPNN_GUARDED_BY(mu_);
+  std::function<bool()> healthy_ SAMPNN_GUARDED_BY(mu_);
+
+  std::thread accept_thread_;  ///< started last, joined in the destructor
+};
+
+}  // namespace sampnn

@@ -2,37 +2,59 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
 #include <string>
 #include <utility>
 
+#include "src/obs/phase_sampler.h"
+#include "src/obs/slo_tracker.h"
+#include "src/obs/statusz.h"
 #include "src/resilience/fault_injector.h"
 #include "src/telemetry/metrics_registry.h"
-#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
 #include "src/util/check.h"
 #include "src/util/env.h"
 
 namespace sampnn {
 
-namespace {
-
-// Telemetry mirror of the always-on ServeStats atomics. Metric references
-// are registered once and cached (the registry never deletes them).
-void MirrorCount(const char* name, uint64_t delta = 1) {
-  if (!TelemetryEnabled()) return;
+// Observability mirror of the always-on ServeStats atomics, gated on
+// ObsEnabled() (telemetry switch OR a configured introspection server).
+void InferenceService::MirrorCount(const char* name, uint64_t delta) const {
+  if (!ObsEnabled()) return;
   MetricsRegistry::Get().GetCounter(name).Add(delta);
 }
 
-void MirrorGauge(const char* name, double value) {
-  if (!TelemetryEnabled()) return;
+void InferenceService::MirrorGauge(const char* name, double value) const {
+  if (!ObsEnabled()) return;
   MetricsRegistry::Get().GetGauge(name).Set(value);
 }
 
-void MirrorHistogram(const char* name, uint64_t value) {
-  if (!TelemetryEnabled()) return;
+void InferenceService::MirrorHistogram(const char* name,
+                                       uint64_t value) const {
+  if (!ObsEnabled()) return;
   MetricsRegistry::Get().GetHistogram(name).Observe(value);
 }
 
-}  // namespace
+void InferenceService::ObservePhases(const RequestContext& rc) const {
+  if (!ObsEnabled()) return;
+  const struct {
+    const char* name;
+    int64_t ms;
+  } phases[] = {
+      {"serve.phase.admit_ms", rc.AdmitMs()},
+      {"serve.phase.queue_ms", rc.QueueMs()},
+      {"serve.phase.batch_assembly_ms", rc.AssemblyMs()},
+      {"serve.phase.backend_compute_ms", rc.ComputeMs()},
+      {"serve.phase.respond_ms", rc.RespondMs()},
+  };
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  for (const auto& p : phases) {
+    if (p.ms < 0) continue;  // segment never closed for this request
+    reg.GetHistogram(p.name).ObserveWithExemplar(static_cast<uint64_t>(p.ms),
+                                                 rc.id);
+  }
+}
 
 ServeOptions ServeOptions::FromEnv() {
   ServeOptions options;
@@ -42,6 +64,11 @@ ServeOptions ServeOptions::FromEnv() {
   options.default_deadline_ms = static_cast<int64_t>(GetEnvIntInRangeOr(
       "SAMPNN_SERVE_DEADLINE_MS",
       static_cast<long long>(options.default_deadline_ms), 1, 86'400'000));
+  options.statusz_port = static_cast<int>(
+      GetEnvIntInRangeOr("SAMPNN_STATUSZ_PORT", -1, -1, 65535));
+  options.slo_window_ms = static_cast<int64_t>(GetEnvIntInRangeOr(
+      "SAMPNN_SLO_WINDOW_MS", static_cast<long long>(options.slo_window_ms),
+      100, 86'400'000));
   return options;
 }
 
@@ -75,6 +102,14 @@ StatusOr<std::unique_ptr<InferenceService>> InferenceService::Create(
     return Status::InvalidArgument(
         "InferenceService: watchdog budget and poll must be positive");
   }
+  if (options.statusz_port < -1 || options.statusz_port > 65535) {
+    return Status::InvalidArgument(
+        "InferenceService: statusz_port must be -1 (off) or a valid port");
+  }
+  if (options.slo_window_ms <= 0) {
+    return Status::InvalidArgument(
+        "InferenceService: slo_window_ms must be positive");
+  }
   std::unique_ptr<InferenceService> service(
       new InferenceService(std::move(backend), options));
   service->Start();
@@ -88,6 +123,23 @@ InferenceService::InferenceService(std::unique_ptr<ModelBackend> backend,
       backend_(std::move(backend)) {}
 
 void InferenceService::Start() {
+  // The SLO tracker exists only when observability is on at start; it is
+  // ticked from the watchdog thread, so it must be created before the
+  // watchdog starts and is immutable afterwards (no pointer races).
+  if (ObsEnabled()) {
+    SloTracker::Options slo_options;
+    slo_options.window_ms = options_.slo_window_ms;
+    slo_ = std::make_unique<SloTracker>(
+        &MetricsRegistry::Get().GetHistogram("serve.request_latency_ms"),
+        [this] { return deadline_exceeded_.load(std::memory_order_relaxed); },
+        [this] {
+          return completed_.load(std::memory_order_relaxed) +
+                 completed_degraded_.load(std::memory_order_relaxed) +
+                 deadline_exceeded_.load(std::memory_order_relaxed) +
+                 cancelled_.load(std::memory_order_relaxed);
+        },
+        slo_options);
+  }
   slots_.reserve(options_.workers);
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
@@ -97,6 +149,28 @@ void InferenceService::Start() {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   watchdog_ = std::thread([this] { WatchdogLoop(); });
+  if (options_.statusz_port >= 0) {
+    StatuszServer::Options statusz_options;
+    statusz_options.port = options_.statusz_port;
+    auto server = StatuszServer::Start(statusz_options);
+    if (server.ok()) {
+      statusz_ = std::move(server).value();
+      statusz_->SetHealthCallback([this] {
+        MutexLock lock(mu_);
+        return !stopping_ && queue_.size() < options_.queue_capacity;
+      });
+      statusz_->AddSection("serve", [this] { return RenderServeSection(); });
+      statusz_->AddSection("slo", [this] {
+        return slo_ != nullptr ? slo_->Render()
+                               : std::string("(slo tracking off)\n");
+      });
+    } else {
+      // Introspection is best-effort: a failed bind must not take down
+      // serving. statusz_port() reports -1 so callers can tell.
+      std::fprintf(stderr, "sampnn: statusz disabled: %s\n",
+                   server.status().ToString().c_str());
+    }
+  }
 }
 
 InferenceService::~InferenceService() { Stop(StopMode::kDrain); }
@@ -111,6 +185,9 @@ std::future<InferenceResult> InferenceService::Submit(std::vector<float> input,
                                                       Deadline deadline) {
   std::promise<InferenceResult> promise;
   std::future<InferenceResult> future = promise.get_future();
+  RequestContext rc;
+  rc.id = NextRequestId();
+  rc.submit_ms = NowMs();
   submitted_.fetch_add(1, std::memory_order_relaxed);
   MirrorCount("serve.submitted");
 
@@ -134,12 +211,18 @@ std::future<InferenceResult> InferenceService::Submit(std::vector<float> input,
           "admission queue full (" + std::to_string(options_.queue_capacity) +
           " pending); retry later");
       immediate.retry_after_ms = RetryAfterHintLocked();
+      // Export the hint clients are being given right now, so a dashboard
+      // can see the advertised back-off alongside the shed rate.
+      MirrorGauge("serve.retry_after_ms",
+                  static_cast<double>(immediate.retry_after_ms));
     } else {
       PendingRequest req;
       req.input = std::move(input);
       req.deadline = deadline;
       req.promise = std::move(promise);
       req.enqueue_ms = NowMs();
+      req.rc = rc;
+      req.rc.enqueue_ms = req.enqueue_ms;  // admit segment closes here
       queue_.push_back(std::move(req));
       admitted_.fetch_add(1, std::memory_order_relaxed);
       // One injector step per admitted request: "hang@5" means "the batch
@@ -165,6 +248,7 @@ std::future<InferenceResult> InferenceService::Submit(std::vector<float> input,
 }
 
 void InferenceService::WorkerLoop(size_t worker_index) {
+  PhaseSampler::Get().SetCurrentThreadRole("serve_worker");
   WorkerSlot* slot = slots_[worker_index].get();
   for (;;) {
     std::vector<PendingRequest> batch;
@@ -188,6 +272,7 @@ void InferenceService::WorkerLoop(size_t worker_index) {
       while (!queue_.empty() && batch.size() < cap) {
         PendingRequest req = std::move(queue_.front());
         queue_.pop_front();
+        req.rc.dequeue_ms = NowMs();  // queue segment closes here
         if (req.deadline.expired()) {
           CompleteDeadline(&req, "deadline expired while queued");
           continue;
@@ -213,6 +298,11 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
                                 ServeQuality quality, WorkerSlot* slot) {
   executing_.fetch_add(batch.size(), std::memory_order_relaxed);
   MirrorHistogram("serve.batch_size", batch.size());
+  // Worker phase tag + trace span for the whole batch, attributed to the
+  // lead request (the one whose admission opened the batch).
+  const uint64_t lead_id = batch.front().rc.id;
+  ScopedPhase batch_phase("serve_batch", lead_id);
+  TraceSpan batch_span("serve_batch");
 
   // Arm the watchdog heartbeat: fresh token first, then the start stamp
   // (the watchdog only reads the token after it has seen a live stamp).
@@ -246,11 +336,16 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
     }
   }
   CancelContext ctx{batch_token, batch_deadline};
+  ctx.trace_id = lead_id;  // tags the GEMM dispatch's phase slots
 
   Matrix inputs(batch.size(), backend_->input_dim());
   for (size_t r = 0; r < batch.size(); ++r) {
     std::copy(batch[r].input.begin(), batch[r].input.end(),
               inputs.Row(r).begin());
+  }
+  const int64_t compute_start = NowMs();
+  for (PendingRequest& req : batch) {
+    req.rc.compute_start_ms = compute_start;  // assembly segment closes here
   }
   Matrix logits;
   Status status = batch_token.cancelled() ? ctx.StopStatus()
@@ -264,6 +359,7 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
   const int64_t now = NowMs();
   for (size_t r = 0; r < batch.size(); ++r) {
     PendingRequest& req = batch[r];
+    req.rc.compute_end_ms = now;
     InferenceResult result;
     result.latency_ms = now - req.enqueue_ms;
     if (status.ok() && !req.deadline.expired()) {
@@ -281,9 +377,15 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
         MirrorCount("serve.completed");
       }
       ObserveLatency(result.latency_ms);
-      MirrorHistogram("serve.request_latency_ms",
-                      static_cast<uint64_t>(std::max<int64_t>(
-                          0, result.latency_ms)));
+      if (ObsEnabled()) {
+        // Exemplar = this request's id, so the latency histogram's +Inf
+        // bucket names the slowest successful request.
+        MetricsRegistry::Get()
+            .GetHistogram("serve.request_latency_ms")
+            .ObserveWithExemplar(static_cast<uint64_t>(std::max<int64_t>(
+                                     0, result.latency_ms)),
+                                 req.rc.id);
+      }
     } else if (req.deadline.expired()) {
       result.status =
           Status::DeadlineExceeded("request deadline expired in flight");
@@ -301,12 +403,15 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       MirrorCount("serve.cancelled");
     }
+    req.rc.respond_ms = NowMs();
+    ObservePhases(req.rc);
     req.promise.set_value(std::move(result));
   }
   executing_.fetch_sub(batch.size(), std::memory_order_relaxed);
 }
 
 void InferenceService::WatchdogLoop() {
+  PhaseSampler::Get().SetCurrentThreadRole("watchdog");
   while (!watchdog_stop_.load(std::memory_order_acquire)) {
     // Poll cadence is real time even under an injected service clock — a
     // wedged worker cannot advance a ManualClock, so the watchdog must not
@@ -315,6 +420,9 @@ void InferenceService::WatchdogLoop() {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.watchdog_poll_ms));
     const int64_t now = NowMs();
+    // The SLO window also advances on the service clock, so windowed
+    // quantiles are step-exact under a ManualClock.
+    if (slo_ != nullptr) slo_->Tick(now);
     for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
       int64_t start = slot->batch_start_ms.load(std::memory_order_acquire);
       if (start < 0) continue;  // idle or already tripped
@@ -373,6 +481,29 @@ bool InferenceService::degraded() const {
   return degraded_.load(std::memory_order_relaxed);
 }
 
+int InferenceService::statusz_port() const {
+  return statusz_ != nullptr ? statusz_->port() : -1;
+}
+
+std::string InferenceService::RenderServeSection() const {
+  const ServeStats s = Stats();
+  std::ostringstream os;
+  os << "backend: " << backend_->name() << "\n";
+  os << "quality_rung: " << (s.degraded ? "degraded" : "full") << "\n";
+  os << "queue_occupancy: " << s.queue_depth << "/" << options_.queue_capacity
+     << "\n";
+  os << "executing: " << s.executing << "\n";
+  os << "submitted: " << s.submitted << " admitted: " << s.admitted
+     << " shed: " << s.shed << "\n";
+  os << "completed: " << s.completed
+     << " completed_degraded: " << s.completed_degraded
+     << " deadline_exceeded: " << s.deadline_exceeded
+     << " cancelled: " << s.cancelled << "\n";
+  os << "watchdog_trips: " << s.watchdog_trips
+     << " degrade_transitions: " << s.degrade_transitions << "\n";
+  return os.str();
+}
+
 ServeStats InferenceService::Stats() const {
   ServeStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
@@ -401,6 +532,7 @@ void InferenceService::CompleteShed(PendingRequest* req,
   result.status = Status::ResourceExhausted(why);
   cancelled_.fetch_add(1, std::memory_order_relaxed);
   MirrorCount("serve.cancelled");
+  ObservePhases(req->rc);  // whatever segments closed before the cut
   req->promise.set_value(std::move(result));
 }
 
@@ -411,6 +543,7 @@ void InferenceService::CompleteDeadline(PendingRequest* req,
   result.latency_ms = NowMs() - req->enqueue_ms;
   deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   MirrorCount("serve.deadline_exceeded");
+  ObservePhases(req->rc);
   req->promise.set_value(std::move(result));
 }
 

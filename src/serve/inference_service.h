@@ -34,15 +34,21 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/obs/request_context.h"
 #include "src/serve/model_backend.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
 #include "src/util/sync.h"
 
 namespace sampnn {
+
+class SloTracker;     // src/obs/slo_tracker.h
+class StatuszServer;  // src/obs/statusz.h
 
 /// Tuning for an InferenceService.
 struct ServeOptions {
@@ -65,10 +71,18 @@ struct ServeOptions {
 
   int64_t fault_delay_ms = 50;  ///< duration of an injected delay@ fault
 
+  // Introspection plane (DESIGN.md §12).
+  int statusz_port = -1;  ///< 127.0.0.1 port for /statusz, /metricsz, ...;
+                          ///< -1 = off (default), 0 = ephemeral
+                          ///< (SAMPNN_STATUSZ_PORT)
+  int64_t slo_window_ms = 10'000;  ///< SLO sliding window length
+                                   ///< (SAMPNN_SLO_WINDOW_MS)
+
   const Clock* clock = nullptr;  ///< nullptr = the real monotonic clock
 
-  /// Defaults with SAMPNN_SERVE_QUEUE_CAP / SAMPNN_SERVE_DEADLINE_MS
-  /// applied (hardened parse: garbage warns once and is clamped).
+  /// Defaults with SAMPNN_SERVE_QUEUE_CAP / SAMPNN_SERVE_DEADLINE_MS /
+  /// SAMPNN_STATUSZ_PORT / SAMPNN_SLO_WINDOW_MS applied (hardened parse:
+  /// garbage warns once and is clamped).
   static ServeOptions FromEnv();
 };
 
@@ -147,12 +161,17 @@ class InferenceService {
   const ServeOptions& options() const { return options_; }
   const ModelBackend& backend() const { return *backend_; }
 
+  /// Bound port of the embedded introspection server, or -1 when it is off
+  /// (options.statusz_port == -1 or the bind failed).
+  int statusz_port() const;
+
  private:
   struct PendingRequest {
     std::vector<float> input;
     Deadline deadline;
     std::promise<InferenceResult> promise;
     int64_t enqueue_ms = 0;
+    RequestContext rc;  ///< id + phase-boundary stamps (DESIGN.md §12)
   };
 
   // Watchdog heartbeat per worker. batch_start_ms: kIdle when between
@@ -185,6 +204,23 @@ class InferenceService {
   int64_t NowMs() const { return clock_->NowMillis(); }
   void ObserveLatency(int64_t latency_ms);
 
+  // Observability gate: metrics flow to the registry when telemetry is on
+  // OR the introspection server is configured (a /metricsz scrape must see
+  // serve metrics even without SAMPNN_TELEMETRY). When both are off the
+  // Mirror* helpers are single-branch no-ops and the registry is never
+  // touched from the serving path (the zero-overhead guard test relies on
+  // this).
+  bool ObsEnabled() const {
+    return TelemetryEnabled() || options_.statusz_port >= 0;
+  }
+  void MirrorCount(const char* name, uint64_t delta = 1) const;
+  void MirrorGauge(const char* name, double value) const;
+  void MirrorHistogram(const char* name, uint64_t value) const;
+  /// Observes every closed phase segment of `rc` into the serve.phase.*
+  /// histograms, with the request id as the exemplar.
+  void ObservePhases(const RequestContext& rc) const;
+  std::string RenderServeSection() const;
+
   const ServeOptions options_;
   const Clock* const clock_;
   std::unique_ptr<ModelBackend> backend_;
@@ -214,6 +250,12 @@ class InferenceService {
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;
   std::thread watchdog_;
+
+  // Introspection plane; null when ObsEnabled() / statusz_port say off.
+  std::unique_ptr<SloTracker> slo_;  ///< ticked by the watchdog thread
+  // Declared last so it is destroyed first: the accept thread's callbacks
+  // read every other member, so it must be joined before they die.
+  std::unique_ptr<StatuszServer> statusz_;
 };
 
 }  // namespace sampnn

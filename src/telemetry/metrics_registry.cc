@@ -6,6 +6,82 @@
 
 namespace sampnn {
 
+namespace {
+uint64_t SatSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    delta.buckets[i] = SatSub(buckets[i], earlier.buckets[i]);
+  }
+  delta.overflow = SatSub(overflow, earlier.overflow);
+  delta.count = SatSub(count, earlier.count);
+  delta.sum = SatSub(sum, earlier.sum);
+  // min/max cannot be recovered for a window from lifetime totals; keep the
+  // newer snapshot's values as the best available clamp for Quantile().
+  delta.min = min;
+  delta.max = max;
+  return delta;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  overflow += other.overflow;
+  count += other.count;
+  sum += other.sum;
+  if (other.count > 0) {
+    if (count == other.count || other.min < min) min = other.min;
+    max = std::max(max, other.max);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly: answer them without interpolating.
+  if (q == 0.0) return static_cast<double>(min);
+  if (q == 1.0) return static_cast<double>(max);
+  // Rank of the target observation (1-based, ceil so q=1 hits the last).
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i == 0) return 0.0;  // the zero bucket holds exact zeros
+    const double lo =
+        static_cast<double>(Histogram::BucketLowerBound(i));
+    const double hi = lo * 2.0;
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    double estimate = lo + frac * (hi - lo);
+    // Clamp into the observed range so a sparse top bucket cannot report
+    // a value beyond anything actually seen.
+    if (max > 0) estimate = std::min(estimate, static_cast<double>(max));
+    if (min > 0) estimate = std::max(estimate, static_cast<double>(min));
+    return estimate;
+  }
+  // Target rank lies in the overflow region: everything there is at least
+  // 2^(kNumBuckets-1); max is the only honest point estimate.
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.overflow = overflow_.load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = Min();
+  snap.max = Max();
+  return snap;
+}
+
 MetricsRegistry& MetricsRegistry::Get() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
@@ -93,7 +169,8 @@ std::string MetricsRegistry::ToJson() const {
     os << (first ? "" : ",") << '"' << JsonEscape(h->name())
        << "\":{\"count\":" << h->Count() << ",\"sum\":" << h->Sum()
        << ",\"min\":" << h->Min() << ",\"max\":" << h->Max()
-       << ",\"mean\":" << h->Mean() << '}';
+       << ",\"mean\":" << h->Mean() << ",\"overflow\":" << h->OverflowCount()
+       << '}';
     first = false;
   }
   os << "}}";

@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdint>
@@ -74,22 +75,99 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Lock-free histogram over non-negative integer values with power-of-two
-/// buckets: bucket 0 holds zeros, bucket i >= 1 holds [2^(i-1), 2^i), and the
-/// last bucket absorbs everything above 2^(kNumBuckets-2).
-class Histogram {
- public:
+class Histogram;
+
+/// Point-in-time copy of a Histogram's atomics, read lock-free. Snapshots
+/// support delta-merge (what happened *between* two snapshots) and a
+/// log2-bucket quantile estimate over whatever the snapshot holds — the
+/// building blocks of sliding-window SLO tracking (DESIGN.md §12).
+struct HistogramSnapshot {
   static constexpr size_t kNumBuckets = 33;
 
+  uint64_t buckets[kNumBuckets] = {};
+  uint64_t overflow = 0;  ///< observations above the top finite bucket
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when empty
+  uint64_t max = 0;
+
+  /// Counts accumulated since `earlier` (same histogram, taken earlier).
+  /// Per-field saturating subtraction, so a Reset() between the two
+  /// snapshots yields an empty delta instead of wrapping. min/max are not
+  /// windowable from totals; the delta keeps this snapshot's values.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+
+  /// Adds `other`'s bucket counts into this snapshot (window merge).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Estimated value at quantile `q` in [0, 1]: walks the log2 buckets to
+  /// the target rank and interpolates linearly inside the bucket, clamped
+  /// to [min, max]. Overflow observations sit above every finite bucket
+  /// and resolve to `max`. Returns 0 for an empty snapshot.
+  double Quantile(double q) const;
+};
+
+/// Lock-free histogram over non-negative integer values with power-of-two
+/// buckets: bucket 0 holds zeros, bucket i >= 1 holds [2^(i-1), 2^i).
+/// Observations at or above 2^(kNumBuckets-1) do not fit any finite bucket
+/// and are counted in a separate overflow bucket instead of being silently
+/// clamped — sum(BucketCount) + OverflowCount() == Count() always holds,
+/// and the exporter surfaces the overflow so a saturating metric is
+/// detectable instead of masquerading as a full top bucket.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramSnapshot::kNumBuckets;
+
   void Observe(uint64_t value) {
-    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    if (Overflows(value)) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    }
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
     UpdateMin(value);
     UpdateMax(value);
   }
 
+  /// Observe() plus exemplar retention: the largest observation's `id`
+  /// (e.g. a request id) is kept so an operator can jump from "p99 is bad"
+  /// to the specific slowest request. Value is clamped to 32 bits for the
+  /// packed compare-and-swap; ids wrap at 32 bits (documented best-effort).
+  void ObserveWithExemplar(uint64_t value, uint64_t id) {
+    Observe(value);
+    const uint64_t packed =
+        (std::min<uint64_t>(value, 0xffffffffu) << 32) | (id & 0xffffffffu);
+    uint64_t cur = exemplar_.load(std::memory_order_relaxed);
+    while ((packed >> 32) >= (cur >> 32) && packed != cur &&
+           !exemplar_.compare_exchange_weak(cur, packed,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Largest observation seen via ObserveWithExemplar (0 when none).
+  uint64_t ExemplarValue() const {
+    return exemplar_.load(std::memory_order_relaxed) >> 32;
+  }
+  /// The id recorded with the largest observation.
+  uint64_t ExemplarId() const {
+    return exemplar_.load(std::memory_order_relaxed) & 0xffffffffu;
+  }
+  /// True when ObserveWithExemplar has recorded at least one exemplar.
+  bool HasExemplar() const {
+    return exemplar_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Lock-free point-in-time copy. Individual fields are read relaxed, so
+  /// a snapshot taken concurrently with writers may be off by in-flight
+  /// observations — fine for monitoring, never for conservation proofs.
+  HistogramSnapshot Snapshot() const;
+
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  /// Observations above the top finite bucket (see class comment).
+  uint64_t OverflowCount() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Mean() const {
     const uint64_t c = Count();
@@ -112,14 +190,22 @@ class Histogram {
     const size_t width = static_cast<size_t>(std::bit_width(value));
     return width < kNumBuckets ? width : kNumBuckets - 1;
   }
+  /// True when `value` is too large for any finite bucket and Observe()
+  /// will count it in the overflow bucket.
+  static bool Overflows(uint64_t value) {
+    return value != 0 &&
+           static_cast<size_t>(std::bit_width(value)) >= kNumBuckets;
+  }
 
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    overflow_.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
     min_.store(std::numeric_limits<uint64_t>::max(),
                std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
+    exemplar_.store(0, std::memory_order_relaxed);
   }
 
   std::string_view name() const { return name_; }
@@ -143,10 +229,13 @@ class Histogram {
 
   std::string name_;
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> overflow_{0};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
   std::atomic<uint64_t> max_{0};
+  // Packed (value:32 | id:32) exemplar of the largest observation; 0 = none.
+  std::atomic<uint64_t> exemplar_{0};
 };
 
 /// \brief Owns all metrics, keyed by name within each kind.

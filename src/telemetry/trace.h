@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/metrics/split_timer.h"
+#include "src/obs/phase_sampler.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/status.h"
 #include "src/util/sync.h"
@@ -103,18 +104,20 @@ class TraceSpan {
 };
 
 /// Compatibility shim for the trainer hot paths: charges a SplitTimer phase
-/// (always, preserving the Tables 3-4 accounting) and emits a trace span
-/// (only when telemetry is enabled). Drop-in replacement for
-/// SplitTimer::Scope.
+/// (always, preserving the Tables 3-4 accounting), advertises the phase in
+/// the worker phase table (always — /statusz must work with telemetry off),
+/// and emits a trace span (only when telemetry is enabled). Drop-in
+/// replacement for SplitTimer::Scope.
 class PhaseScope {
  public:
   PhaseScope(SplitTimer* timer, const char* phase)
-      : scope_(timer, phase), span_(phase) {}
+      : scope_(timer, phase), tag_(phase), span_(phase) {}
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
   SplitTimer::Scope scope_;
+  ScopedPhase tag_;
   TraceSpan span_;
 };
 

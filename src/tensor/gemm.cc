@@ -6,6 +6,7 @@
 
 #include "src/util/sync.h"
 
+#include "src/obs/phase_sampler.h"
 #include "src/tensor/aligned_buffer.h"
 #include "src/tensor/kernel_config.h"
 #include "src/util/check.h"
@@ -255,6 +256,10 @@ void PackedGemmParallel(size_t m, size_t n, size_t k, float alpha,
   // the pool workers the blocks fan out to). A cancelled product leaves C
   // partially written; the cancellable caller discards it.
   const CancelContext* cancel = CurrentKernelCancellation();
+  // Phase tag for /statusz: the dispatching thread advertises "gemm" with
+  // the serving request id (0 outside the serving path) for the duration of
+  // the product. Two relaxed stores; numerics are untouched.
+  ScopedPhase gemm_phase("gemm", cancel != nullptr ? cancel->trace_id : 0);
   ThreadPool* pool = threads > 1 ? &PoolFor(threads) : nullptr;
   for (size_t jc = 0; jc < n; jc += kNC) {
     const size_t nc = std::min(kNC, n - jc);
@@ -279,7 +284,13 @@ void PackedGemmParallel(size_t m, size_t n, size_t k, float alpha,
                     ldc, micro);
       };
       if (pool != nullptr && blocks > 1) {
-        pool->ParallelFor(blocks, run_block);
+        // Pool workers tag themselves too, so a snapshot mid-product shows
+        // which threads are inside this request's row blocks.
+        pool->ParallelFor(blocks, [&](size_t blk) {
+          ScopedPhase block_phase(
+              "gemm_block", cancel != nullptr ? cancel->trace_id : 0);
+          run_block(blk);
+        });
       } else {
         for (size_t blk = 0; blk < blocks; ++blk) run_block(blk);
       }

@@ -107,6 +107,10 @@ class CancellationToken {
 struct CancelContext {
   CancellationToken token;
   Deadline deadline = Deadline::Never();
+  /// Request id of the work this context serves (0 = none). Pure
+  /// observability: the GEMM dispatch tags its worker phase slots with it,
+  /// so /statusz can attribute a busy core to a specific request.
+  uint64_t trace_id = 0;
 
   bool ShouldStop() const { return token.cancelled() || deadline.expired(); }
 

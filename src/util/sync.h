@@ -80,6 +80,8 @@ namespace sampnn {
 // rank may never be held together (e.g. two worker slots' token mutexes).
 namespace lockrank {
 inline constexpr int kServeLifecycle = 10;    ///< serve.lifecycle
+inline constexpr int kStatusz = 14;           ///< obs.statusz
+inline constexpr int kSloTracker = 16;        ///< obs.slo
 inline constexpr int kServeQueue = 20;        ///< serve.queue
 inline constexpr int kServeWorkerToken = 30;  ///< serve.worker_token
 inline constexpr int kServeBackend = 40;      ///< serve.backend
@@ -89,6 +91,7 @@ inline constexpr int kThreadPoolLatch = 60;   ///< threadpool.latch
 inline constexpr int kFaultInjector = 70;     ///< resilience.fault_injector
 inline constexpr int kEpochRecorder = 80;     ///< telemetry.epoch_recorder
 inline constexpr int kTrace = 84;             ///< telemetry.trace
+inline constexpr int kPhaseSampler = 86;      ///< obs.phase_sampler
 inline constexpr int kMetricsRegistry = 88;   ///< telemetry.metrics
 inline constexpr int kWarnOnce = 95;          ///< util.warn_once
 }  // namespace lockrank

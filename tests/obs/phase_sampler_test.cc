@@ -1,0 +1,90 @@
+#include "src/obs/phase_sampler.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace sampnn {
+namespace {
+
+// The sampler is a process-wide singleton shared with every other test in
+// this binary's process, so assertions always key on this thread's (or a
+// child thread's) own slot rather than on global snapshot sizes.
+
+PhaseSample SampleForTid(uint32_t tid) {
+  for (const PhaseSample& s : PhaseSampler::Get().Snapshot()) {
+    if (s.tid == tid) return s;
+  }
+  return PhaseSample{};
+}
+
+uint32_t CurrentTid() {
+  // Registering is idempotent; grab this thread's slot to learn its tid via
+  // the snapshot (tids are dense and stable).
+  PhaseSampler::Get().SetCurrentThreadRole("test_main");
+  ScopedPhase probe("probe", 0);
+  for (const PhaseSample& s : PhaseSampler::Get().Snapshot()) {
+    if (std::string(s.phase) == "probe") return s.tid;
+  }
+  return 0;
+}
+
+TEST(PhaseSamplerTest, ScopedPhaseSetsAndRestores) {
+  const uint32_t tid = CurrentTid();
+  ASSERT_NE(tid, 0u);
+  {
+    ScopedPhase outer("outer_phase", 11);
+    PhaseSample s = SampleForTid(tid);
+    EXPECT_STREQ(s.phase, "outer_phase");
+    EXPECT_EQ(s.detail_id, 11u);
+    {
+      ScopedPhase inner("inner_phase", 22);
+      s = SampleForTid(tid);
+      EXPECT_STREQ(s.phase, "inner_phase");
+      EXPECT_EQ(s.detail_id, 22u);
+    }
+    // Unwound: the outer tag (and its detail id) is back.
+    s = SampleForTid(tid);
+    EXPECT_STREQ(s.phase, "outer_phase");
+    EXPECT_EQ(s.detail_id, 11u);
+  }
+}
+
+TEST(PhaseSamplerTest, ThreadsGetDistinctSlotsAndRetireOnExit) {
+  std::atomic<bool> release{false};
+  std::thread child([&] {
+    PhaseSampler::Get().SetCurrentThreadRole("child_role");
+    ScopedPhase phase("child_phase", 99);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the child registered and tagged itself.
+  uint32_t tid = 0;
+  for (int i = 0; i < 10000 && tid == 0; ++i) {
+    for (const PhaseSample& s : PhaseSampler::Get().Snapshot()) {
+      if (std::string(s.phase) == "child_phase") tid = s.tid;
+    }
+    if (tid == 0) std::this_thread::yield();
+  }
+  ASSERT_NE(tid, 0u);
+  PhaseSample s = SampleForTid(tid);
+  EXPECT_STREQ(s.role, "child_role");
+  EXPECT_EQ(s.detail_id, 99u);
+
+  release.store(true);
+  child.join();
+  // The joined thread's slot no longer appears in snapshots.
+  EXPECT_EQ(SampleForTid(tid).tid, 0u);
+}
+
+TEST(PhaseSamplerTest, RenderTableListsRolesAndPhases) {
+  PhaseSampler::Get().SetCurrentThreadRole("table_role");
+  ScopedPhase phase("table_phase", 7);
+  const std::string table = PhaseSampler::Get().RenderTable();
+  EXPECT_NE(table.find("table_phase"), std::string::npos) << table;
+  EXPECT_NE(table.find("7"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace sampnn

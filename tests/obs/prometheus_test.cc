@@ -1,0 +1,110 @@
+#include "src/obs/prometheus.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/metrics_registry.h"
+
+namespace sampnn {
+namespace {
+
+// Splits the exposition text into lines for structural checks.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusSanitizeTest, DotsAndIllegalCharsBecomeUnderscores) {
+  EXPECT_EQ(PrometheusSanitizeName("serve.slo.p99"), "sampnn_serve_slo_p99");
+  EXPECT_EQ(PrometheusSanitizeName("a-b c"), "sampnn_a_b_c");
+  EXPECT_EQ(PrometheusSanitizeName("ok_name:x"), "sampnn_ok_name:x");
+}
+
+TEST(PrometheusRenderTest, CountersAndGaugesCarryHelpWithOriginalName) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetCounter("prom.test.counter").Add(7);
+  reg.GetGauge("prom.test.gauge").Set(2.5);
+  const std::string text = PrometheusRender(reg);
+  // The HELP line preserves the dotted in-code name so operators can grep
+  // for what the source calls the metric.
+  EXPECT_NE(text.find("# HELP sampnn_prom_test_counter prom.test.counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sampnn_prom_test_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sampnn_prom_test_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sampnn_prom_test_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("sampnn_prom_test_gauge 2.5"), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, HistogramBucketsAreCumulativeAndConsistent) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Histogram& h = reg.GetHistogram("prom.test.hist");
+  h.Reset();
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(3);
+  h.Observe(200);
+  h.Observe(uint64_t{1} << 50);  // overflow
+  const std::string text = PrometheusRender(reg);
+
+  // Parse this histogram's bucket series: le values must be non-decreasing
+  // in cumulative count, and the +Inf bucket must equal _count.
+  uint64_t prev_cum = 0;
+  uint64_t inf_count = 0, count = 0, overflow = 0;
+  bool saw_bucket = false;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("sampnn_prom_test_hist_bucket{le=\"+Inf\"}", 0) == 0) {
+      inf_count = std::stoull(line.substr(line.rfind("} ") + 2));
+    } else if (line.rfind("sampnn_prom_test_hist_bucket{", 0) == 0) {
+      const uint64_t cum = std::stoull(line.substr(line.rfind("} ") + 2));
+      EXPECT_GE(cum, prev_cum) << line;
+      prev_cum = cum;
+      saw_bucket = true;
+    } else if (line.rfind("sampnn_prom_test_hist_count ", 0) == 0) {
+      count = std::stoull(line.substr(line.rfind(' ') + 1));
+    } else if (line.rfind("sampnn_prom_test_hist_overflow ", 0) == 0) {
+      overflow = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_TRUE(saw_bucket);
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ(inf_count, 5u);  // +Inf includes the overflow observation
+  EXPECT_EQ(prev_cum, 4u);   // finite buckets hold everything else
+  EXPECT_EQ(overflow, 1u);
+}
+
+TEST(PrometheusRenderTest, ExemplarRendersInOpenMetricsSyntax) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Histogram& h = reg.GetHistogram("prom.test.exemplar_hist");
+  h.Reset();
+  h.ObserveWithExemplar(10, /*id=*/7);
+  h.ObserveWithExemplar(90, /*id=*/42);  // slowest: becomes the exemplar
+  const std::string text = PrometheusRender(reg);
+  EXPECT_NE(text.find("sampnn_prom_test_exemplar_hist_bucket{le=\"+Inf\"} 2 "
+                      "# {request_id=\"42\"} 90"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusRenderTest, HistogramWithoutExemplarOmitsAnnotation) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Histogram& h = reg.GetHistogram("prom.test.plain_hist");
+  h.Reset();
+  h.Observe(4);
+  const std::string text = PrometheusRender(reg);
+  const size_t pos = text.find("sampnn_prom_test_plain_hist_bucket{le=\"+Inf\"}");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string line = text.substr(pos, text.find('\n', pos) - pos);
+  EXPECT_EQ(line.find("request_id"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace sampnn

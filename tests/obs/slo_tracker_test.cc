@@ -1,0 +1,147 @@
+// SloTracker windows are driven entirely by caller-supplied timestamps, so
+// every test here is step-exact: Tick(t) with hand-picked t values plays the
+// role a ManualClock plays in the serving tests.
+
+#include "src/obs/slo_tracker.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/metrics_registry.h"
+
+namespace sampnn {
+namespace {
+
+class SloTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hist_ = &MetricsRegistry::Get().GetHistogram("test.slo.latency");
+    hist_->Reset();
+    violations_ = 0;
+    terminals_ = 0;
+  }
+
+  SloTracker MakeTracker(int64_t window_ms = 1000, size_t slots = 10) {
+    SloTracker::Options options;
+    options.window_ms = window_ms;
+    options.slots = slots;
+    options.gauge_prefix = "test.slo";
+    return SloTracker(
+        hist_, [this] { return violations_.load(); },
+        [this] { return terminals_.load(); }, options);
+  }
+
+  Histogram* hist_ = nullptr;
+  std::atomic<uint64_t> violations_{0};
+  std::atomic<uint64_t> terminals_{0};
+};
+
+TEST_F(SloTrackerTest, FirstTickPrimesWithoutCountingHistory) {
+  // Traffic before the tracker's first tick is pre-window history: it must
+  // baseline, not count.
+  for (int i = 0; i < 50; ++i) hist_->Observe(10);
+  violations_ = 5;
+  terminals_ = 50;
+  SloTracker tracker = MakeTracker();
+  tracker.Tick(0);
+  SloSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.window_count, 0u);
+  EXPECT_EQ(snap.window_violations, 0u);
+  EXPECT_DOUBLE_EQ(snap.violation_rate, 0.0);
+
+  // A later tick with no new traffic stays empty.
+  tracker.Tick(100);
+  EXPECT_EQ(tracker.Snapshot().window_count, 0u);
+}
+
+TEST_F(SloTrackerTest, WindowedQuantilesAndViolationRate) {
+  SloTracker tracker = MakeTracker();
+  tracker.Tick(0);
+  // 90 fast (2ms) + 10 slow (100ms) in the window; 1 violation out of 10
+  // terminal outcomes.
+  for (int i = 0; i < 90; ++i) hist_->Observe(2);
+  for (int i = 0; i < 10; ++i) hist_->Observe(100);
+  violations_ = 1;
+  terminals_ = 10;
+  tracker.Tick(50);
+
+  const SloSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.window_count, 100u);
+  EXPECT_EQ(snap.window_violations, 1u);
+  EXPECT_DOUBLE_EQ(snap.violation_rate, 0.1);
+  EXPECT_GE(snap.p50_ms, 2.0);
+  EXPECT_LE(snap.p50_ms, 4.0);
+  EXPECT_GE(snap.p99_ms, 64.0);   // in the slow observations' bucket
+  EXPECT_LE(snap.p99_ms, 100.0);  // clamped to the window max
+  EXPECT_EQ(snap.window_ms, 1000);
+
+  // Gauges exported on the same tick.
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  EXPECT_DOUBLE_EQ(reg.GetGauge("test.slo.p50").Value(), snap.p50_ms);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("test.slo.p99").Value(), snap.p99_ms);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("test.slo.violation_rate").Value(), 0.1);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("test.slo.window_count").Value(), 100.0);
+}
+
+TEST_F(SloTrackerTest, OldSlotsSlideOutOfTheWindow) {
+  SloTracker tracker = MakeTracker(/*window_ms=*/1000, /*slots=*/10);
+  tracker.Tick(0);
+  for (int i = 0; i < 20; ++i) hist_->Observe(8);
+  violations_ = 2;
+  terminals_ = 20;
+  tracker.Tick(100);
+  EXPECT_EQ(tracker.Snapshot().window_count, 20u);
+
+  // Jump past the window: the old slots age out and the estimate empties.
+  tracker.Tick(1200);
+  tracker.Tick(1350);
+  const SloSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.window_count, 0u);
+  EXPECT_EQ(snap.window_violations, 0u);
+  EXPECT_DOUBLE_EQ(snap.violation_rate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_ms, 0.0);
+}
+
+TEST_F(SloTrackerTest, CounterDeltasSaturateAcrossResets) {
+  SloTracker tracker = MakeTracker();
+  violations_ = 10;
+  terminals_ = 100;
+  tracker.Tick(0);
+  // Counters go backwards (a ResetAll ran): the delta must clamp to zero,
+  // never wrap to ~2^64.
+  violations_ = 0;
+  terminals_ = 0;
+  tracker.Tick(50);
+  const SloSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.window_violations, 0u);
+  EXPECT_DOUBLE_EQ(snap.violation_rate, 0.0);
+}
+
+TEST_F(SloTrackerTest, SuccessiveTicksAccumulateWithinTheWindow) {
+  SloTracker tracker = MakeTracker();
+  tracker.Tick(0);
+  for (int i = 0; i < 5; ++i) hist_->Observe(4);
+  tracker.Tick(30);
+  for (int i = 0; i < 7; ++i) hist_->Observe(4);
+  tracker.Tick(60);
+  EXPECT_EQ(tracker.Snapshot().window_count, 12u);
+}
+
+TEST_F(SloTrackerTest, RenderMentionsTheHeadlineNumbers) {
+  SloTracker tracker = MakeTracker();
+  tracker.Tick(0);
+  hist_->Observe(16);
+  violations_ = 0;
+  terminals_ = 1;
+  tracker.Tick(10);
+  const std::string text = tracker.Render();
+  EXPECT_NE(text.find("window_ms=1000"), std::string::npos);
+  EXPECT_NE(text.find("observations=1"), std::string::npos);
+  EXPECT_NE(text.find("p99_ms="), std::string::npos);
+  EXPECT_NE(text.find("violation_rate="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,317 @@
+// End-to-end introspection-plane tests (ISSUE acceptance): real HTTP GETs
+// against the embedded server while a ManualClock-driven overload scenario
+// runs, plus the zero-overhead guard proving a disabled plane opens no
+// sockets and perturbs nothing.
+
+#include "src/obs/statusz.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/inference_service.h"
+#include "src/serve/model_backend.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+
+namespace sampnn {
+namespace {
+
+// Minimal blocking HTTP/1.0 GET against 127.0.0.1:port. Returns the full
+// response (status line + headers + body), or "" on connect failure.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+Mlp TinyNet() {
+  return std::move(Mlp::Create(MlpConfig::Uniform(/*input_dim=*/4,
+                                                  /*output_dim=*/3,
+                                                  /*depth=*/1, /*width=*/8)))
+      .ValueOrDie("net");
+}
+
+std::vector<float> TinyInput() { return {0.1f, 0.2f, 0.3f, 0.4f}; }
+
+// Backend that parks every Forward call while `hold` is set, standing in
+// for a slow model so the test controls exactly when the queue drains.
+class HoldBackend : public ModelBackend {
+ public:
+  const char* name() const override { return "hold"; }
+  size_t input_dim() const override { return 4; }
+  size_t output_dim() const override { return 3; }
+
+  Status Forward(const Matrix& batch, const CancelContext& ctx,
+                 ServeQuality /*quality*/, Matrix* logits) override {
+    entered_rows_.fetch_add(batch.rows());
+    while (hold_.load() && !ctx.token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (ctx.token.cancelled()) return ctx.StopStatus();
+    *logits = Matrix(batch.rows(), output_dim());
+    return Status::OK();
+  }
+
+  void Release() { hold_.store(false); }
+  size_t entered_rows() const { return entered_rows_.load(); }
+
+ private:
+  std::atomic<bool> hold_{true};
+  std::atomic<size_t> entered_rows_{0};
+};
+
+template <typename Pred>
+bool WaitFor(Pred pred, int timeout_ms = 10000) {
+  for (int waited = 0; waited < timeout_ms; ++waited) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(StatuszServerTest, StartServeStopStandalone) {
+  StatuszServer::Options options;
+  options.port = 0;  // ephemeral
+  auto server = std::move(StatuszServer::Start(options)).ValueOrDie("statusz");
+  ASSERT_GT(server->port(), 0);
+
+  server->AddSection("custom", [] { return std::string("hello_section\n"); });
+  const std::string statusz = HttpGet(server->port(), "/statusz");
+  EXPECT_NE(statusz.find("200 OK"), std::string::npos);
+  EXPECT_NE(statusz.find("uptime:"), std::string::npos);
+  EXPECT_NE(statusz.find("[custom]"), std::string::npos);
+  EXPECT_NE(statusz.find("hello_section"), std::string::npos);
+  EXPECT_NE(statusz.find("[workers]"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server->port(), "/metricsz").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server->port(), "/tracez").find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server->port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_GE(server->RequestsServed(), 5u);
+}
+
+TEST(StatuszServerTest, HealthCallbackDrives503) {
+  StatuszServer::Options options;
+  auto server = std::move(StatuszServer::Start(options)).ValueOrDie("statusz");
+  std::atomic<bool> healthy{true};
+  server->SetHealthCallback([&healthy] { return healthy.load(); });
+  EXPECT_NE(HttpGet(server->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  healthy.store(false);
+  EXPECT_NE(HttpGet(server->port(), "/healthz").find("503"),
+            std::string::npos);
+}
+
+TEST(StatuszServerTest, OversizedRequestIsDroppedNotServed) {
+  StatuszServer::Options options;
+  options.max_request_bytes = 128;
+  auto server = std::move(StatuszServer::Start(options)).ValueOrDie("statusz");
+  // A request line longer than the bound: the server must drop the
+  // connection (empty or truncated response) and keep serving afterwards.
+  const std::string huge(1024, 'A');
+  const std::string bad = HttpGet(server->port(), "/" + huge);
+  EXPECT_EQ(bad.find("200 OK"), std::string::npos);
+  EXPECT_GE(server->RequestsDropped(), 1u);
+  EXPECT_NE(HttpGet(server->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
+// The ISSUE's acceptance scenario: a live /metricsz scrape during a
+// ManualClock overload must return parseable Prometheus text containing the
+// windowed SLO gauges, per-phase histograms with exemplar request ids, and
+// the histogram overflow counter.
+TEST(StatuszIntegrationTest, LiveMetricszDuringManualClockOverload) {
+  SetTelemetryEnabled(false);  // statusz alone must light the metrics up
+  MetricsRegistry::Get().ResetAll();
+  ManualClock clock;
+  auto backend = std::make_unique<HoldBackend>();
+  HoldBackend* hold = backend.get();
+
+  ServeOptions options;
+  options.clock = &clock;
+  options.queue_capacity = 4;
+  options.workers = 1;
+  options.max_batch = 1;
+  options.watchdog_poll_ms = 1;  // fast SLO ticks
+  options.statusz_port = 0;      // ephemeral
+  options.slo_window_ms = 10'000;
+  auto service =
+      std::move(InferenceService::Create(std::move(backend), options))
+          .ValueOrDie("service");
+  const int port = service->statusz_port();
+  ASSERT_GT(port, 0);
+
+  // R0 wedges the worker; fill the queue; overflow sheds with a hint.
+  std::vector<std::future<InferenceResult>> futures;
+  futures.push_back(service->Submit(TinyInput(), Deadline::Never()));
+  ASSERT_TRUE(WaitFor([&] { return hold->entered_rows() == 1; }));
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service->Submit(TinyInput(), Deadline::Never()));
+  }
+  EXPECT_GT(service->Stats().shed, 0u);
+
+  // Overloaded: /healthz reports 503, /statusz shows the full queue.
+  EXPECT_NE(HttpGet(port, "/healthz").find("503"), std::string::npos);
+  const std::string statusz = HttpGet(port, "/statusz");
+  EXPECT_NE(statusz.find("queue_occupancy: 4/4"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("quality_rung: degraded"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("serve_worker"), std::string::npos) << statusz;
+
+  // Drain: release the gate, advance the service clock so latencies are
+  // non-zero, and wait for every admitted future.
+  clock.AdvanceMillis(7);
+  hold->Release();
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_TRUE(r.status.ok() || r.status.IsResourceExhausted())
+        << r.status.ToString();
+  }
+
+  // The SLO gauges appear once the watchdog has ticked past the traffic.
+  ASSERT_TRUE(WaitFor([&] {
+    return HttpGet(port, "/metricsz").find("serve.slo.p99") !=
+           std::string::npos;
+  }));
+  const std::string metricsz = HttpGet(port, "/metricsz");
+  // Prometheus text shape.
+  EXPECT_NE(metricsz.find("# TYPE sampnn_serve_slo_p99 gauge"),
+            std::string::npos);
+  EXPECT_NE(metricsz.find("# HELP sampnn_serve_slo_p99 serve.slo.p99"),
+            std::string::npos);
+  // Per-phase latency histograms, with the exemplar request id on +Inf.
+  EXPECT_NE(metricsz.find("sampnn_serve_phase_queue_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(metricsz.find("sampnn_serve_phase_backend_compute_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(metricsz.find("# {request_id=\""), std::string::npos);
+  // The overflow counter is exported for every histogram.
+  EXPECT_NE(metricsz.find("sampnn_serve_request_latency_ms_overflow"),
+            std::string::npos);
+  // The shed path exported the retry-after hint it handed to clients.
+  EXPECT_NE(metricsz.find("sampnn_serve_retry_after_ms"), std::string::npos);
+  EXPECT_GT(MetricsRegistry::Get().GetGauge("serve.retry_after_ms").Value(),
+            0.0);
+
+  // Healthy again after the drain.
+  ASSERT_TRUE(WaitFor([&] {
+    return HttpGet(port, "/healthz").find("200 OK") != std::string::npos;
+  }));
+  service->Stop();
+  // Stopped: the plane stays up for post-mortem reads but reports draining.
+  EXPECT_NE(HttpGet(port, "/healthz").find("503"), std::string::npos);
+}
+
+// Zero-overhead guard: telemetry off + statusz unset => no sockets, no
+// serve metrics registered, and results identical to an observed run.
+TEST(StatuszGuardTest, DisabledPlaneOpensNoSocketsAndRegistersNothing) {
+  SetTelemetryEnabled(false);
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  const uint64_t sockets_before = StatuszServer::SocketsOpenedForTest();
+  const size_t counters_before = reg.Counters().size();
+  const size_t gauges_before = reg.Gauges().size();
+  const size_t histograms_before = reg.Histograms().size();
+
+  {
+    ManualClock clock;
+    ServeOptions options;  // statusz_port = -1: plane off
+    options.clock = &clock;
+    auto service =
+        std::move(InferenceService::Create(MakeDenseBackend(TinyNet()),
+                                           options))
+            .ValueOrDie("service");
+    EXPECT_EQ(service->statusz_port(), -1);
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(service->Submit(TinyInput(), Deadline::Never()));
+    }
+    for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+    service->Stop();
+  }
+
+  EXPECT_EQ(StatuszServer::SocketsOpenedForTest(), sockets_before);
+  EXPECT_EQ(reg.Counters().size(), counters_before);
+  EXPECT_EQ(reg.Gauges().size(), gauges_before);
+  EXPECT_EQ(reg.Histograms().size(), histograms_before);
+}
+
+TEST(StatuszGuardTest, ObservabilityDoesNotPerturbServing) {
+  SetTelemetryEnabled(false);
+  // Two identical ManualClock sessions over the same model, one dark and
+  // one fully observed: logits, outcomes, and latencies must match bitwise
+  // (observability reads clocks and bumps atomics; it never touches the
+  // math or the scheduling decisions).
+  auto run = [](int statusz_port) {
+    ManualClock clock;
+    ServeOptions options;
+    options.clock = &clock;
+    options.statusz_port = statusz_port;
+    Mlp net = TinyNet();
+    auto service = std::move(InferenceService::Create(
+                                 MakeDenseBackend(std::move(net)), options))
+                       .ValueOrDie("service");
+    std::vector<InferenceResult> results;
+    for (int i = 0; i < 12; ++i) {
+      results.push_back(
+          service->Submit(TinyInput(), Deadline::Never()).get());
+    }
+    service->Stop();
+    return results;
+  };
+
+  const std::vector<InferenceResult> dark = run(-1);
+  const std::vector<InferenceResult> observed = run(0);
+  ASSERT_EQ(dark.size(), observed.size());
+  for (size_t i = 0; i < dark.size(); ++i) {
+    EXPECT_EQ(dark[i].status.code(), observed[i].status.code()) << i;
+    EXPECT_EQ(dark[i].latency_ms, observed[i].latency_ms) << i;
+    EXPECT_EQ(dark[i].predicted, observed[i].predicted) << i;
+    ASSERT_EQ(dark[i].logits.size(), observed[i].logits.size()) << i;
+    for (size_t j = 0; j < dark[i].logits.size(); ++j) {
+      EXPECT_EQ(dark[i].logits[j], observed[i].logits[j]) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sampnn

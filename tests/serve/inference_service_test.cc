@@ -15,6 +15,8 @@
 #include "src/nn/mlp.h"
 #include "src/resilience/fault_injector.h"
 #include "src/serve/model_backend.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
 
 namespace sampnn {
 namespace {
@@ -83,7 +85,10 @@ bool WaitFor(Pred pred, int timeout_ms = 10000) {
 
 class InferenceServiceTest : public ::testing::Test {
  protected:
-  void TearDown() override { FaultInjector::ClearGlobal(); }
+  void TearDown() override {
+    FaultInjector::ClearGlobal();
+    SetTelemetryEnabled(false);
+  }
 };
 
 TEST_F(InferenceServiceTest, CreateValidatesOptions) {
@@ -156,6 +161,10 @@ TEST_F(InferenceServiceTest, ExpiredAtSubmitFailsAtDequeue) {
 // wedged worker — the outcome mix is exact, driven entirely by the manual
 // clock and a deterministic gate, never by wall-clock races.
 TEST_F(InferenceServiceTest, DeterministicOverloadMixWithWatchdogRescue) {
+  // Telemetry on for this scenario: the shed path must export the same
+  // retry-after hint it hands to clients as a gauge (DESIGN.md §12).
+  SetTelemetryEnabled(true);
+  MetricsRegistry::Get().GetGauge("serve.retry_after_ms").Set(0.0);
   ManualClock clock;
   auto backend = std::make_unique<GateBackend>(/*blocking_calls=*/1);
   GateBackend* gate = backend.get();
@@ -211,6 +220,9 @@ TEST_F(InferenceServiceTest, DeterministicOverloadMixWithWatchdogRescue) {
   }
   EXPECT_EQ(shed_count, 16u);
   ASSERT_EQ(admitted_futures.size(), 4u);
+  // The last shed's hint was mirrored to the registry for /metricsz.
+  EXPECT_GT(MetricsRegistry::Get().GetGauge("serve.retry_after_ms").Value(),
+            0.0);
 
   // Advance past both R0's deadline (50ms) and the watchdog budget
   // (100ms). The watchdog — polling in real time but measuring on the

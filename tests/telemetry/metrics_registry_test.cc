@@ -152,6 +152,152 @@ TEST(MetricsRegistryTest, ToJsonContainsRegisteredMetrics) {
   EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
 }
 
+TEST(HistogramTest, OverflowValuesAreCountedNotClamped) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.overflow");
+  h.Reset();
+  const uint64_t huge = uint64_t{1} << 40;  // bit_width 41 >= kNumBuckets
+  ASSERT_TRUE(Histogram::Overflows(huge));
+  ASSERT_FALSE(Histogram::Overflows((uint64_t{1} << 31) + 5));
+  h.Observe(3);
+  h.Observe(huge);
+  h.Observe(~uint64_t{0});
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.OverflowCount(), 2u);
+  // Regression: the top finite bucket must NOT absorb the huge values.
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 0u);
+  // Conservation: finite buckets + overflow == count.
+  uint64_t finite = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) finite += h.BucketCount(i);
+  EXPECT_EQ(finite + h.OverflowCount(), h.Count());
+  h.Reset();
+  EXPECT_EQ(h.OverflowCount(), 0u);
+}
+
+TEST(HistogramTest, SnapshotCopiesEveryField) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.snapshot");
+  h.Reset();
+  h.Observe(0);
+  h.Observe(5);
+  h.Observe(uint64_t{1} << 60);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.overflow, 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[Histogram::BucketIndex(5)], 1u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, uint64_t{1} << 60);
+}
+
+TEST(HistogramSnapshotTest, DeltaSinceIsolatesTheWindow) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.delta");
+  h.Reset();
+  h.Observe(4);
+  h.Observe(4);
+  const HistogramSnapshot before = h.Snapshot();
+  h.Observe(4);
+  h.Observe(100);
+  const HistogramSnapshot delta = h.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 104u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketIndex(4)], 1u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketIndex(100)], 1u);
+}
+
+TEST(HistogramSnapshotTest, DeltaSinceSaturatesAcrossReset) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.delta_reset");
+  h.Reset();
+  h.Observe(8);
+  h.Observe(8);
+  const HistogramSnapshot before = h.Snapshot();
+  h.Reset();
+  h.Observe(8);
+  const HistogramSnapshot delta = h.Snapshot().DeltaSince(before);
+  // A reset in between must yield an empty-ish delta, never a wrapped one.
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketIndex(8)], 0u);
+}
+
+TEST(HistogramSnapshotTest, MergeAddsCounts) {
+  HistogramSnapshot a, b;
+  a.buckets[3] = 2;
+  a.count = 2;
+  a.sum = 10;
+  a.max = 7;
+  b.buckets[3] = 1;
+  b.buckets[5] = 1;
+  b.overflow = 1;
+  b.count = 3;
+  b.sum = 40;
+  b.max = 20;
+  a.Merge(b);
+  EXPECT_EQ(a.buckets[3], 3u);
+  EXPECT_EQ(a.buckets[5], 1u);
+  EXPECT_EQ(a.overflow, 1u);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.sum, 50u);
+  EXPECT_EQ(a.max, 20u);
+}
+
+TEST(HistogramSnapshotTest, QuantileWalksBucketsAndClamps) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.quantile");
+  h.Reset();
+  // 90 fast observations at 2ms, 10 slow at 100ms: p50 must sit in the
+  // 2ms bucket, p99 in the 100ms bucket, and every estimate within
+  // [min, max].
+  for (int i = 0; i < 90; ++i) h.Observe(2);
+  for (int i = 0; i < 10; ++i) h.Observe(100);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Quantile(0.0), 2.0);  // clamped to min
+  EXPECT_LE(s.Quantile(0.50), 4.0);
+  EXPECT_GE(s.Quantile(0.50), 2.0);
+  EXPECT_GE(s.Quantile(0.99), 64.0);  // inside the [64,128) bucket
+  EXPECT_LE(s.Quantile(0.99), 100.0);  // clamped to max
+  EXPECT_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(HistogramTest, ExemplarTracksLargestObservation) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.exemplar");
+  h.Reset();
+  EXPECT_FALSE(h.HasExemplar());
+  h.ObserveWithExemplar(10, 101);
+  h.ObserveWithExemplar(50, 202);
+  h.ObserveWithExemplar(20, 303);  // smaller: must not displace
+  EXPECT_TRUE(h.HasExemplar());
+  EXPECT_EQ(h.ExemplarValue(), 50u);
+  EXPECT_EQ(h.ExemplarId(), 202u);
+  h.Reset();
+  EXPECT_FALSE(h.HasExemplar());
+}
+
+TEST(HistogramTest, ConcurrentExemplarsConvergeToTheMaximum) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("test.hist.exemplar_mt");
+  h.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t v = static_cast<uint64_t>(t * kPerThread + i);
+        h.ObserveWithExemplar(v, /*id=*/v + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t max_v = kThreads * kPerThread - 1;
+  EXPECT_EQ(h.ExemplarValue(), max_v);
+  EXPECT_EQ(h.ExemplarId(), max_v + 1);
+}
+
+TEST(MetricsRegistryTest, ToJsonIncludesOverflowField) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Histogram& h = reg.GetHistogram("test.json.overflow_hist");
+  h.Reset();
+  h.Observe(uint64_t{1} << 50);
+  EXPECT_NE(reg.ToJson().find("\"overflow\":1"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ResetAllZeroesEverything) {
   MetricsRegistry& reg = MetricsRegistry::Get();
   Counter& c = reg.GetCounter("test.resetall.counter");

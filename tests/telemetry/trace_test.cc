@@ -124,6 +124,78 @@ TEST_F(TraceTest, ThreadIdsAreStablePerThreadAndDistinct) {
   EXPECT_NE(other_id, main_id);
 }
 
+TEST_F(TraceTest, ExactlyFullRingRetainsEverythingInOrder) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.SetCapacity(4);
+  const char* names[] = {"f0", "f1", "f2", "f3"};
+  for (int i = 0; i < 4; ++i) rec.Append(names[i], i, 1);
+  // Exactly full: next_ has wrapped to 0 but nothing was dropped yet — the
+  // boundary the snapshot's unwrap logic must get right.
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_STREQ(events[i].name, names[i]) << i;
+    EXPECT_EQ(events[i].ts_us, i);
+  }
+}
+
+TEST_F(TraceTest, WrappedRingSerializesToWellFormedJson) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.SetCapacity(3);
+  for (int i = 0; i < 8; ++i) rec.Append("wrap_span", i * 10, 3);
+  const std::string json = rec.ToJson();
+  // Well-formed after wrapping: balanced brackets, exactly size() events,
+  // no trailing comma before the array close.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  size_t occurrences = 0;
+  for (size_t pos = 0; (pos = json.find("wrap_span", pos)) != std::string::npos;
+       ++pos) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 3u);
+  // Oldest retained span first: ts 50, 60, 70.
+  EXPECT_LT(json.find("\"ts\":50"), json.find("\"ts\":70"));
+  EXPECT_EQ(json.find("\"ts\":40"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentEmittersWrapWithoutTearing) {
+  SetTelemetryEnabled(true);
+  TraceRecorder& rec = TraceRecorder::Get();
+  rec.SetCapacity(64);  // far below the append volume: constant wrapping
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("wrap_mt");
+        (void)span;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.size(), 64u);
+  EXPECT_EQ(rec.total_appended(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rec.dropped(),
+            static_cast<uint64_t>(kThreads) * kPerThread - 64);
+  // Every retained event is intact (no torn name pointers or negative
+  // durations), and the serialization still parses shape-wise.
+  for (const TraceEvent& e : rec.Snapshot()) {
+    EXPECT_STREQ(e.name, "wrap_mt");
+    EXPECT_GE(e.dur_us, 0);
+  }
+  const std::string json = rec.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
 TEST_F(TraceTest, ConcurrentAppendsRetainEverythingUnderCapacity) {
   SetTelemetryEnabled(true);
   TraceRecorder& rec = TraceRecorder::Get();
