@@ -7,6 +7,20 @@
 //   ./serve_mlp --backend=alsh --requests=400 --queue-cap=16
 //               --deadline-ms=50 --faults="delay@20,hang@40"
 //
+// Multi-tenant / hot-swap mode (the CI hot-swap-smoke job,
+// scripts/check_hot_swap.py asserts on the output):
+//
+//   ./serve_mlp --tenants="heavy=24:3,light=12"
+//               --promote-script="good,corrupt,regressed"
+//               --promote-interval-ms=50 --registry-dir=/tmp/reg
+//
+// --promote-script drives one promotion attempt per entry while the client
+// load runs: "good" promotes a healthy copy of the served model, "corrupt"
+// and "regressed" arm the registry's local fault injector so that attempt
+// is rejected at the matching gate. With --registry-dir, good candidates
+// round-trip through a framed checkpoint (PromoteFromDir) so provenance is
+// real.
+//
 // Exit code 0 unless setup itself fails; overload outcomes (sheds, expired
 // deadlines, watchdog trips) are data, not errors.
 
@@ -16,6 +30,7 @@
 #include <deque>
 #include <fstream>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -23,6 +38,9 @@
 
 #include "src/core/experiment.h"
 #include "src/data/synthetic.h"
+#include "src/nn/serialize.h"
+#include "src/registry/model_registry.h"
+#include "src/resilience/checkpoint.h"
 #include "src/resilience/fault_injector.h"
 #include "src/serve/inference_service.h"
 #include "src/util/flags.h"
@@ -52,7 +70,8 @@ void TrainBriefly(Trainer* trainer, const Dataset& train, size_t epochs,
 
 std::string StatsToJson(const ServeStats& s, const std::string& backend,
                         const ServeOptions& options, uint64_t client_ok,
-                        uint64_t client_degraded) {
+                        uint64_t client_degraded,
+                        const ModelRegistry* registry) {
   std::ostringstream out;
   out << "{\"backend\":\"" << backend << "\""
       << ",\"queue_capacity\":" << options.queue_capacity
@@ -66,8 +85,64 @@ std::string StatsToJson(const ServeStats& s, const std::string& backend,
       << ",\"watchdog_trips\":" << s.watchdog_trips
       << ",\"degrade_transitions\":" << s.degrade_transitions
       << ",\"client_ok\":" << client_ok
-      << ",\"client_degraded\":" << client_degraded << "}";
+      << ",\"client_degraded\":" << client_degraded;
+  out << ",\"tenants\":[";
+  for (size_t i = 0; i < s.tenants.size(); ++i) {
+    const TenantStats& t = s.tenants[i];
+    out << (i == 0 ? "" : ",") << "{\"name\":\"" << t.name << "\""
+        << ",\"quota\":" << t.quota << ",\"weight\":" << t.weight
+        << ",\"submitted\":" << t.submitted << ",\"admitted\":" << t.admitted
+        << ",\"shed\":" << t.shed << ",\"completed\":" << t.completed
+        << ",\"completed_degraded\":" << t.completed_degraded
+        << ",\"deadline_exceeded\":" << t.deadline_exceeded
+        << ",\"cancelled\":" << t.cancelled << "}";
+  }
+  out << "]";
+  if (registry != nullptr) {
+    const RegistryStats r = registry->stats();
+    out << ",\"registry\":{\"live_version\":" << registry->live_version()
+        << ",\"promote_attempted\":" << r.promotions_attempted
+        << ",\"promoted\":" << r.promoted
+        << ",\"rejected_corrupt\":" << r.rejected_corrupt
+        << ",\"rejected_regressed\":" << r.rejected_regressed
+        << ",\"rejected_incompatible\":" << r.rejected_incompatible
+        << ",\"rejected_raced\":" << r.rejected_raced
+        << ",\"rollbacks\":" << r.rollbacks << "}";
+  }
+  out << "}";
   return out.str();
+}
+
+// Turns a promote script ("good,corrupt,regressed,...") into the registry's
+// local fault spec: attempt i (1-based) is armed to fail at the named gate,
+// "good" attempts are left alone. Returns nullopt on an unknown word.
+std::optional<std::string> PromoteScriptToFaultSpec(
+    const std::vector<std::string>& script) {
+  std::string spec;
+  for (size_t i = 0; i < script.size(); ++i) {
+    const std::string& word = script[i];
+    std::string kind;
+    if (word == "good") continue;
+    if (word == "corrupt") kind = "promote-corrupt";
+    else if (word == "regressed") kind = "promote-regressed";
+    else if (word == "raced") kind = "swap-race";
+    else return std::nullopt;
+    if (!spec.empty()) spec += ",";
+    spec += kind + "@" + std::to_string(i + 1);
+  }
+  return spec;
+}
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > pos) parts.push_back(text.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return parts;
 }
 
 }  // namespace
@@ -91,6 +166,17 @@ int main(int argc, char** argv) {
   flags.AddString("faults", "",
                   "fault spec (delay@N,hang@N,reject-admission@N); "
                   "overrides SAMPNN_FAULTS");
+  flags.AddString("tenants", "",
+                  "per-tenant quotas 'name=quota[:weight],...'; overrides "
+                  "SAMPNN_TENANT_QUOTAS");
+  flags.AddString("promote-script", "",
+                  "comma list of good|corrupt|regressed|raced: one "
+                  "promotion attempt per entry while the load runs");
+  flags.AddInt("promote-interval-ms", 50,
+               "delay before each scripted promotion attempt");
+  flags.AddString("registry-dir", "",
+                  "stage good candidates through framed checkpoints here "
+                  "(PromoteFromDir) instead of promoting in-memory models");
   flags.AddString("json-out", "", "also write the JSON summary to this file");
   flags.AddInt("statusz-port", -1,
                "loopback introspection port (-1 = off, 0 = ephemeral); the "
@@ -117,7 +203,10 @@ int main(int argc, char** argv) {
   TrainerOptions trainer_options =
       PaperTrainerOptions(kind, /*batch_size=*/20, /*seed=*/42);
 
+  // trained_model is kept aside as the "good" promotion candidate: promoting
+  // a copy of the served model is guaranteed to clear the canary gate.
   std::unique_ptr<ModelBackend> backend;
+  std::optional<Mlp> trained_model;
   if (backend_name == "alsh") {
     // The ALSH backend owns the trainer: serving probes the same hash
     // tables training built.
@@ -129,12 +218,14 @@ int main(int argc, char** argv) {
             .ValueOrDie("alsh trainer");
     TrainBriefly(trainer.get(), data.train,
                  static_cast<size_t>(flags.GetInt("epochs")), 20);
+    trained_model = trainer->net();
     backend = MakeAlshBackend(std::move(trainer));
   } else if (backend_name == "mc" || backend_name == "dense") {
     std::unique_ptr<Trainer> trainer =
         std::move(MakeTrainer(net_config, trainer_options)).ValueOrDie("trainer");
     TrainBriefly(trainer.get(), data.train,
                  static_cast<size_t>(flags.GetInt("epochs")), 20);
+    trained_model = trainer->net();
     backend = backend_name == "mc"
                   ? MakeMcBackend(trainer->net(), McBackendOptions{})
                   : MakeDenseBackend(trainer->net());
@@ -168,9 +259,53 @@ int main(int argc, char** argv) {
   if (flags.GetInt("statusz-port") >= 0) {
     options.statusz_port = flags.GetInt("statusz-port");
   }
-  std::unique_ptr<InferenceService> service =
-      std::move(InferenceService::Create(std::move(backend), options))
-          .ValueOrDie("service");
+  if (!flags.GetString("tenants").empty()) {
+    options.tenants = std::move(ParseTenantQuotas(flags.GetString("tenants")))
+                          .ValueOrDie("tenants");
+  }
+  // Client threads spread their requests round-robin over the configured
+  // tenant names (before the service appends "default").
+  std::vector<std::string> tenant_names;
+  for (const TenantConfig& tenant : options.tenants) {
+    tenant_names.push_back(tenant.name);
+  }
+  if (tenant_names.empty()) tenant_names.push_back(std::string(kDefaultTenant));
+
+  const std::vector<std::string> promote_script =
+      SplitCommas(flags.GetString("promote-script"));
+  const std::optional<std::string> promote_faults =
+      PromoteScriptToFaultSpec(promote_script);
+  if (!promote_faults.has_value()) {
+    std::fprintf(stderr, "bad --promote-script (want good|corrupt|regressed|"
+                         "raced, comma separated)\n");
+    return 1;
+  }
+
+  std::shared_ptr<ModelRegistry> registry;
+  std::unique_ptr<InferenceService> service;
+  if (!promote_script.empty()) {
+    RegistryOptions registry_options = RegistryOptions::FromEnv();
+    registry_options.promote_fault_spec = *promote_faults;
+    // Mirror the service's observability gate: a /metricsz scrape must see
+    // registry.* series even when SAMPNN_TELEMETRY is unset.
+    const bool statusz_on = options.statusz_port >= 0;
+    registry_options.obs_enabled = [statusz_on] {
+      return statusz_on || TelemetryEnabled();
+    };
+    registry = std::move(ModelRegistry::Create(
+                             std::shared_ptr<ModelBackend>(std::move(backend)),
+                             [](Mlp model) -> StatusOr<std::shared_ptr<ModelBackend>> {
+                               return std::shared_ptr<ModelBackend>(
+                                   MakeDenseBackend(std::move(model)));
+                             },
+                             registry_options))
+                   .ValueOrDie("registry");
+    service = std::move(InferenceService::Create(registry, options))
+                  .ValueOrDie("service");
+  } else {
+    service = std::move(InferenceService::Create(std::move(backend), options))
+                  .ValueOrDie("service");
+  }
   if (service->statusz_port() >= 0) {
     // Parseable announcement for scrapers (scripts/obs_smoke.sh greps it).
     std::fprintf(stderr, "statusz: listening on 127.0.0.1:%d\n",
@@ -201,8 +336,9 @@ int main(int argc, char** argv) {
       for (size_t i = c; i < total_requests; i += client_threads) {
         const std::span<const float> row =
             data.test.Example(i % data.test.size());
-        inflight.push_back(
-            service->Submit(std::vector<float>(row.begin(), row.end())));
+        inflight.push_back(service->Submit(
+            tenant_names[i % tenant_names.size()],
+            std::vector<float>(row.begin(), row.end())));
         if (inflight.size() >= window) {
           settle(std::move(inflight.front()));
           inflight.pop_front();
@@ -214,7 +350,48 @@ int main(int argc, char** argv) {
       }
     });
   }
+  // 4b. Scripted promotions, concurrent with the client load: good entries
+  // hot-swap the model mid-traffic, corrupt/regressed/raced entries are
+  // rejected by the matching gate while the prior version keeps serving.
+  std::thread promoter;
+  if (!promote_script.empty()) {
+    promoter = std::thread([&] {
+      // Canary: a small labelled slice of the held-out test set.
+      CanaryBatch canary;
+      std::vector<size_t> indices(std::min<size_t>(16, data.test.size()));
+      std::iota(indices.begin(), indices.end(), size_t{0});
+      data.test.FillBatch(indices, &canary.inputs, &canary.labels);
+      const std::string dir = flags.GetString("registry-dir");
+      const int64_t interval =
+          std::max<int64_t>(1, flags.GetInt("promote-interval-ms"));
+      for (size_t i = 0; i < promote_script.size(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval));
+        StatusOr<uint64_t> version = [&]() -> StatusOr<uint64_t> {
+          if (dir.empty()) return registry->Promote(*trained_model, {}, canary);
+          // Stage through a framed checkpoint so provenance (path, step,
+          // payload CRC) is real; injected faults still hit their gates.
+          std::ostringstream payload;
+          SAMPNN_RETURN_NOT_OK(SaveMlp(*trained_model, payload));
+          SAMPNN_ASSIGN_OR_RETURN(
+              CheckpointWriter writer,
+              CheckpointWriter::Create({dir, /*retain=*/4}));
+          SAMPNN_RETURN_NOT_OK(writer.Write(i + 1, payload.str()));
+          return registry->PromoteFromDir(dir, canary);
+        }();
+        if (version.ok()) {
+          std::fprintf(stderr, "promote[%zu] %s: live v%llu\n", i + 1,
+                       promote_script[i].c_str(),
+                       static_cast<unsigned long long>(version.value()));
+        } else {
+          std::fprintf(stderr, "promote[%zu] %s: %s\n", i + 1,
+                       promote_script[i].c_str(),
+                       version.status().ToString().c_str());
+        }
+      }
+    });
+  }
   for (std::thread& t : clients) t.join();
+  if (promoter.joinable()) promoter.join();
   if (flags.GetInt("hold-ms") > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(flags.GetInt("hold-ms")));
@@ -225,7 +402,7 @@ int main(int argc, char** argv) {
   const ServeStats stats = service->Stats();
   const std::string json = StatsToJson(
       stats, backend_name, service->options(),
-      client_ok.load(), client_degraded.load());
+      client_ok.load(), client_degraded.load(), service->registry());
   std::printf("%s\n", json.c_str());
   const std::string json_out = flags.GetString("json-out");
   if (!json_out.empty()) {

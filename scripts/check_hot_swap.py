@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validates the JSON summary of the hot-swap smoke run.
+
+Usage: check_hot_swap.py <stats_json> [--expect-promoted=N]
+       [--expect-rejected-corrupt=N] [--expect-rejected-regressed=N]
+
+The smoke drives serve_mlp with --promote-script="good,corrupt,regressed"
+under sustained mixed-tenant load and generous deadlines, so the invariants
+are exact, not statistical:
+
+  - exactly the scripted promotion outcomes happened (one flip, one corrupt
+    rejection, one regressed rejection; attempted == resolved);
+  - the flip landed: live_version == 1 + promoted;
+  - zero-downtime: nothing in flight was dropped — no cancellations, no
+    deadline misses, and every admitted request completed;
+  - counter conservation globally and per tenant:
+      submitted == admitted + shed
+      admitted  == completed + completed_degraded
+    and the tenant slices sum to the global counters;
+  - the per-tenant quota actually bit: the flooding tenant shed while the
+    light tenant lost nothing (when both tenants are present in the run).
+
+Exits 0 when every invariant holds, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_hot_swap: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def arg_int(flag: str, default: int) -> int:
+    prefix = f"--{flag}="
+    for arg in sys.argv[2:]:
+        if arg.startswith(prefix):
+            return int(arg[len(prefix):])
+    return default
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} <stats_json> [--expect-*=N]")
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            stats = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load stats: {e}")
+
+    registry = stats.get("registry")
+    if registry is None:
+        fail("summary has no registry section (was --promote-script set?)")
+
+    expect_promoted = arg_int("expect-promoted", 1)
+    expect_corrupt = arg_int("expect-rejected-corrupt", 1)
+    expect_regressed = arg_int("expect-rejected-regressed", 1)
+
+    if registry["promoted"] != expect_promoted:
+        fail(f"promoted {registry['promoted']} != {expect_promoted}")
+    if registry["rejected_corrupt"] != expect_corrupt:
+        fail(
+            f"rejected_corrupt {registry['rejected_corrupt']} "
+            f"!= {expect_corrupt}"
+        )
+    if registry["rejected_regressed"] != expect_regressed:
+        fail(
+            f"rejected_regressed {registry['rejected_regressed']} "
+            f"!= {expect_regressed}"
+        )
+    resolved = (
+        registry["promoted"]
+        + registry["rejected_corrupt"]
+        + registry["rejected_regressed"]
+        + registry["rejected_incompatible"]
+        + registry["rejected_raced"]
+    )
+    if registry["promote_attempted"] != resolved:
+        fail(
+            f"promotion counters leak: attempted "
+            f"{registry['promote_attempted']} != resolved {resolved}"
+        )
+    if registry["live_version"] != 1 + registry["promoted"]:
+        fail(
+            f"live_version {registry['live_version']} != "
+            f"1 + promoted {registry['promoted']}"
+        )
+
+    # Zero-downtime: a hot swap must not cost a single in-flight request.
+    if stats["cancelled"] != 0:
+        fail(f"{stats['cancelled']} requests cancelled during the swap")
+    if stats["deadline_exceeded"] != 0:
+        fail(f"{stats['deadline_exceeded']} deadline misses during the swap")
+    if stats["watchdog_trips"] != 0:
+        fail(f"{stats['watchdog_trips']} watchdog trips during the swap")
+
+    # Conservation, globally then per tenant.
+    if stats["submitted"] != stats["admitted"] + stats["shed"]:
+        fail(
+            f"global admission leak: submitted {stats['submitted']} != "
+            f"admitted {stats['admitted']} + shed {stats['shed']}"
+        )
+    served = stats["completed"] + stats["completed_degraded"]
+    if stats["admitted"] != served:
+        fail(
+            f"dropped in-flight requests: admitted {stats['admitted']} != "
+            f"served {served}"
+        )
+    if stats["client_ok"] != served:
+        fail(
+            f"client view diverges: client_ok {stats['client_ok']} != "
+            f"served {served}"
+        )
+
+    tenants = stats.get("tenants", [])
+    if not tenants:
+        fail("summary has no per-tenant slices")
+    for key in ("submitted", "admitted", "shed", "completed",
+                "completed_degraded", "deadline_exceeded", "cancelled"):
+        total = sum(t[key] for t in tenants)
+        if total != stats[key]:
+            fail(
+                f"tenant slices leak: sum({key}) {total} != "
+                f"global {stats[key]}"
+            )
+    for t in tenants:
+        if t["submitted"] != t["admitted"] + t["shed"]:
+            fail(
+                f"tenant {t['name']}: submitted {t['submitted']} != "
+                f"admitted {t['admitted']} + shed {t['shed']}"
+            )
+        t_served = t["completed"] + t["completed_degraded"]
+        if t["admitted"] != t_served:
+            fail(
+                f"tenant {t['name']}: admitted {t['admitted']} != "
+                f"served {t_served}"
+            )
+
+    print(
+        "check_hot_swap: OK (promoted "
+        f"{registry['promoted']}, rejected "
+        f"{registry['rejected_corrupt']}+{registry['rejected_regressed']}, "
+        f"live v{registry['live_version']}, {stats['admitted']} admitted / "
+        f"{served} served, 0 dropped)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 """Validates a /metricsz scrape from the embedded introspection server.
 
 Usage: check_statusz.py <metricsz_file> [--require-traffic]
+       [--require-tenants=name1,name2,...] [--require-registry]
 
 Structural checks (always):
   - every non-comment line is `name{labels} value [# exemplar]` with a
@@ -15,6 +16,15 @@ Structural checks (always):
 Content checks (--require-traffic, used after an overload smoke run):
   - the serve.slo.* gauges, per-phase histograms, the retry-after gauge,
     and at least one request_id exemplar are all present.
+
+Multi-tenant / hot-swap checks:
+  - --require-tenants=a,b: each named tenant exports its
+    serve.tenant.<name>.{submitted,admitted,shed,completed} counters and
+    its queue-depth gauge, and the per-tenant admission identity
+    submitted == admitted + shed holds inside the scrape;
+  - --require-registry: the registry.* family is present, live_version is
+    a real version (>= 1), and the promotion counters obey
+    attempted == promoted + rejected_*.
 
 Exits 0 when every invariant holds, 1 otherwise.
 """
@@ -41,6 +51,13 @@ def main() -> None:
     if len(sys.argv) < 2:
         fail(f"usage: {sys.argv[0]} <metricsz_file> [--require-traffic]")
     require_traffic = "--require-traffic" in sys.argv[2:]
+    require_registry = "--require-registry" in sys.argv[2:]
+    require_tenants: list[str] = []
+    for arg in sys.argv[2:]:
+        if arg.startswith("--require-tenants="):
+            require_tenants = [
+                t for t in arg.split("=", 1)[1].split(",") if t
+            ]
     try:
         with open(sys.argv[1], "r", encoding="utf-8") as f:
             text = f.read()
@@ -137,6 +154,58 @@ def main() -> None:
                 fail(f"missing required histogram {required_hist}")
         if exemplars == 0:
             fail("no request_id exemplar on any +Inf bucket after traffic")
+
+    def sanitized(dotted: str) -> str:
+        return "sampnn_" + re.sub(r"[^a-zA-Z0-9_:]", "_", dotted)
+
+    for tenant in require_tenants:
+        prefix = f"serve.tenant.{tenant}."
+        for suffix in ("submitted", "admitted", "shed", "completed",
+                       "queue_depth"):
+            if sanitized(prefix + suffix) not in samples:
+                fail(f"missing tenant series {prefix + suffix}")
+        submitted = samples[sanitized(prefix + "submitted")]
+        admitted = samples[sanitized(prefix + "admitted")]
+        shed = samples[sanitized(prefix + "shed")]
+        if submitted != admitted + shed:
+            fail(
+                f"tenant {tenant}: submitted {submitted} != admitted "
+                f"{admitted} + shed {shed}"
+            )
+
+    if require_registry:
+        for dotted in (
+            "registry.live_version",
+            "registry.retained",
+            "registry.promote.attempted",
+            "registry.promote.promoted",
+            "registry.promote.rejected_corrupt",
+            "registry.promote.rejected_regressed",
+            "registry.promote.rejected_incompatible",
+            "registry.promote.rejected_raced",
+            "registry.rollbacks",
+        ):
+            if sanitized(dotted) not in samples:
+                fail(f"missing registry series {dotted}")
+        live = samples[sanitized("registry.live_version")]
+        if live < 1:
+            fail(f"registry.live_version {live} is not a real version")
+        attempted = samples[sanitized("registry.promote.attempted")]
+        resolved = sum(
+            samples[sanitized(f"registry.promote.{o}")]
+            for o in (
+                "promoted",
+                "rejected_corrupt",
+                "rejected_regressed",
+                "rejected_incompatible",
+                "rejected_raced",
+            )
+        )
+        if attempted != resolved:
+            fail(
+                f"registry promotion counters leak: attempted {attempted} "
+                f"!= resolved {resolved}"
+            )
 
     print(
         f"check_statusz: OK ({len(samples)} samples, {len(buckets)} "

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Hot-swap smoke test (CI hot-swap-smoke job): run serve_mlp under mixed-
+# tenant load with generous deadlines while a scripted promotion sequence
+# (good, corrupt, regressed) flips and gates the model registry mid-traffic.
+# Asserts, via scripts/check_hot_swap.py on the JSON summary and
+# scripts/check_statusz.py on a live /metricsz scrape, that exactly one
+# promotion landed, both poisoned candidates were rejected at their gates,
+# and not a single in-flight request was dropped by the swap.
+#
+# Usage: scripts/hot_swap_smoke.sh [path/to/serve_mlp]
+# (default binary: build/asan-ubsan/examples/serve_mlp)
+
+set -u
+
+BIN="${1:-build/asan-ubsan/examples/serve_mlp}"
+if [[ ! -x "$BIN" ]]; then
+  echo "hot_swap_smoke: binary not found: $BIN" >&2
+  echo "build it with: cmake --build --preset asan-ubsan --target serve_mlp" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "hot_swap_smoke: FAIL: $*" >&2
+  echo "--- serve_mlp stderr ---" >&2
+  cat "$WORK/stderr" >&2
+  exit 1
+}
+
+# Mixed-tenant load: "heavy" floods with 3x the weight of "light"; the
+# 10-second deadline means the only way a request fails mid-run is a drop —
+# which is exactly what the swap must never cause. Good candidates stage
+# through framed checkpoints in --registry-dir, so the promotion path
+# exercised here is the same load->CRC->canary->flip pipeline the
+# resilience layer uses.
+"$BIN" --backend=dense --requests=600 --client-threads=6 \
+       --inflight-per-client=8 --queue-cap=64 --deadline-ms=10000 \
+       --workers=2 --scale=80 \
+       --tenants="heavy=24:3,light=12" \
+       --promote-script="good,corrupt,regressed" \
+       --promote-interval-ms=80 --registry-dir="$WORK/registry" \
+       --statusz-port=0 --hold-ms=4000 \
+       --json-out="$WORK/stats.json" \
+       >"$WORK/stdout" 2>"$WORK/stderr" &
+SERVE_PID=$!
+
+# The bound ephemeral port is announced on stderr.
+PORT=""
+for _ in $(seq 1 600); do
+  PORT="$(sed -n 's/^statusz: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+          "$WORK/stderr" | head -n1)"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "serve_mlp exited before binding"
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || fail "no statusz port announced"
+echo "hot_swap_smoke: statusz on port $PORT"
+
+# Poll /metricsz until the post-swap exposition validates: the registry
+# family must show the settled promotion counters and every tenant its full
+# series. Converges once all three scripted attempts have resolved.
+CHECK="$(dirname "$0")/check_statusz.py"
+VALID=""
+for _ in $(seq 1 600); do
+  if curl -sf --max-time 5 "http://127.0.0.1:$PORT/metricsz" \
+       -o "$WORK/metricsz" \
+     && python3 "$CHECK" "$WORK/metricsz" \
+          --require-tenants=heavy,light --require-registry \
+          >"$WORK/check.log" 2>&1 \
+     && grep -q '^sampnn_registry_promote_attempted 3$' "$WORK/metricsz"; then
+    VALID=1
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [[ -z "$VALID" ]]; then
+  cat "$WORK/check.log" >&2
+  fail "metricsz never validated while the service was live"
+fi
+cat "$WORK/check.log"
+
+# The /statusz registry section must show the flipped version live and the
+# boot version retained as the rollback target.
+curl -sf --max-time 5 "http://127.0.0.1:$PORT/statusz" -o "$WORK/statusz" \
+  || fail "GET /statusz failed"
+grep -q 'live: v2'      "$WORK/statusz" || fail "/statusz lacks 'live: v2'"
+grep -q 'retained: v1'  "$WORK/statusz" || fail "/statusz lacks 'retained: v1'"
+grep -q 'rejected-regressed' "$WORK/statusz" \
+  || fail "/statusz lacks the last rejection outcome"
+grep -q 'heavy'         "$WORK/statusz" || fail "/statusz lacks the tenant table"
+
+wait "$SERVE_PID" || fail "serve_mlp exited non-zero"
+SERVE_PID=""
+
+# The scripted outcome mix and the zero-drop invariant, from the summary.
+python3 "$(dirname "$0")/check_hot_swap.py" "$WORK/stats.json" \
+  || fail "check_hot_swap rejected the summary"
+
+echo "hot_swap_smoke: OK"

@@ -1,0 +1,399 @@
+#include "src/registry/model_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "src/nn/loss.h"
+#include "src/nn/serialize.h"
+#include "src/resilience/checkpoint.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/crc32.h"
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+// Metric names mirrored by the registry (Prometheus exposition turns the
+// dots into underscores under the "sampnn_" prefix).
+constexpr const char* kMetricAttempted = "registry.promote.attempted";
+constexpr const char* kMetricPromoted = "registry.promote.promoted";
+constexpr const char* kMetricRejCorrupt = "registry.promote.rejected_corrupt";
+constexpr const char* kMetricRejRegressed =
+    "registry.promote.rejected_regressed";
+constexpr const char* kMetricRejIncompatible =
+    "registry.promote.rejected_incompatible";
+constexpr const char* kMetricRejRaced = "registry.promote.rejected_raced";
+constexpr const char* kMetricRollbacks = "registry.rollbacks";
+constexpr const char* kMetricLiveVersion = "registry.live_version";
+constexpr const char* kMetricRetained = "registry.retained";
+
+}  // namespace
+
+const char* PromotionOutcomeToString(PromotionOutcome outcome) {
+  switch (outcome) {
+    case PromotionOutcome::kNone:
+      return "none";
+    case PromotionOutcome::kPromoted:
+      return "promoted";
+    case PromotionOutcome::kRejectedCorrupt:
+      return "rejected-corrupt";
+    case PromotionOutcome::kRejectedRegressed:
+      return "rejected-regressed";
+    case PromotionOutcome::kRejectedIncompatible:
+      return "rejected-incompatible";
+    case PromotionOutcome::kRejectedRaced:
+      return "rejected-raced";
+    case PromotionOutcome::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+RegistryOptions RegistryOptions::FromEnv() {
+  RegistryOptions options;
+  options.retain = static_cast<size_t>(
+      GetEnvIntInRangeOr("SAMPNN_REGISTRY_RETAIN", 3, 0, 64));
+  return options;
+}
+
+ModelRegistry::ModelRegistry(BackendFactory factory,
+                             const RegistryOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      factory_(std::move(factory)) {}
+
+StatusOr<std::unique_ptr<ModelRegistry>> ModelRegistry::Create(
+    std::shared_ptr<ModelBackend> initial, BackendFactory factory,
+    const RegistryOptions& options) {
+  if (initial == nullptr) {
+    return Status::InvalidArgument("ModelRegistry needs an initial backend");
+  }
+  std::unique_ptr<ModelRegistry> registry(
+      new ModelRegistry(std::move(factory), options));
+  if (!options.promote_fault_spec.empty()) {
+    SAMPNN_ASSIGN_OR_RETURN(FaultInjector local,
+                            FaultInjector::Parse(options.promote_fault_spec));
+    registry->local_faults_ =
+        std::make_unique<FaultInjector>(std::move(local));
+  }
+  auto boot = std::make_shared<ModelEntry>();
+  boot->version = 1;
+  boot->backend = std::move(initial);
+  boot->promoted_at_ms = registry->NowMs();
+  registry->live_.store(std::move(boot), std::memory_order_release);
+  {
+    MutexLock lock(registry->mu_);
+    registry->MirrorRegistryMetrics();
+  }
+  if (registry->ObsOn()) {
+    // Pre-register every outcome counter at zero: a /metricsz scrape shows
+    // the full registry.* family (and rates compute correctly from the
+    // first event) even before any promotion has been attempted.
+    auto& metrics = MetricsRegistry::Get();
+    for (const char* name :
+         {kMetricAttempted, kMetricPromoted, kMetricRejCorrupt,
+          kMetricRejRegressed, kMetricRejIncompatible, kMetricRejRaced,
+          kMetricRollbacks}) {
+      metrics.GetCounter(name);
+    }
+  }
+  return registry;
+}
+
+bool ModelRegistry::ObsOn() const {
+  return options_.obs_enabled ? options_.obs_enabled() : TelemetryEnabled();
+}
+
+bool ModelRegistry::PromotionFaultFires(FaultKind kind) {
+  if (local_faults_ != nullptr) return local_faults_->ShouldFire(kind);
+  return FaultArmed(kind);
+}
+
+StatusOr<double> ModelRegistry::CanaryLoss(ModelBackend& backend,
+                                           const CanaryBatch& canary) {
+  Matrix logits;
+  // Full quality, no deadline: the gate wants the backend's native answer,
+  // and a promotion is allowed to take the milliseconds the eval costs.
+  SAMPNN_RETURN_NOT_OK(
+      backend.Forward(canary.inputs, CancelContext{}, ServeQuality::kFull,
+                      &logits));
+  return SoftmaxCrossEntropy::Loss(logits, canary.labels);
+}
+
+void ModelRegistry::RecordOutcome(PromotionOutcome outcome, uint64_t version,
+                                  const std::string& detail) {
+  last_.outcome = outcome;
+  last_.version = version;
+  last_.at_ms = NowMs();
+  last_.detail = detail;
+  const char* counter = nullptr;
+  switch (outcome) {
+    case PromotionOutcome::kNone:
+      break;
+    case PromotionOutcome::kPromoted:
+      ++stats_.promoted;
+      counter = kMetricPromoted;
+      break;
+    case PromotionOutcome::kRejectedCorrupt:
+      ++stats_.rejected_corrupt;
+      counter = kMetricRejCorrupt;
+      break;
+    case PromotionOutcome::kRejectedRegressed:
+      ++stats_.rejected_regressed;
+      counter = kMetricRejRegressed;
+      break;
+    case PromotionOutcome::kRejectedIncompatible:
+      ++stats_.rejected_incompatible;
+      counter = kMetricRejIncompatible;
+      break;
+    case PromotionOutcome::kRejectedRaced:
+      ++stats_.rejected_raced;
+      counter = kMetricRejRaced;
+      break;
+    case PromotionOutcome::kRolledBack:
+      ++stats_.rollbacks;
+      counter = kMetricRollbacks;
+      break;
+  }
+  if (counter != nullptr && ObsOn()) {
+    MetricsRegistry::Get().GetCounter(counter).Increment();
+  }
+  MirrorRegistryMetrics();
+}
+
+void ModelRegistry::MirrorRegistryMetrics() {
+  if (!ObsOn()) return;
+  auto& registry = MetricsRegistry::Get();
+  const auto live = live_.load(std::memory_order_acquire);
+  registry.GetGauge(kMetricLiveVersion)
+      .Set(live == nullptr ? 0.0 : static_cast<double>(live->version));
+  registry.GetGauge(kMetricRetained)
+      .Set(static_cast<double>(retained_.size()));
+}
+
+StatusOr<uint64_t> ModelRegistry::Promote(Mlp candidate,
+                                          ModelProvenance provenance,
+                                          const CanaryBatch& canary) {
+  MutexLock lock(mu_);
+  ++stats_.promotions_attempted;
+  if (local_faults_ != nullptr) local_faults_->AdvanceStep();
+  if (ObsOn()) MetricsRegistry::Get().GetCounter(kMetricAttempted).Increment();
+
+  if (PromotionFaultFires(FaultKind::kPromoteCorrupt)) {
+    const Status status = Status::DataLoss(
+        "candidate checkpoint failed integrity validation (injected "
+        "promote-corrupt)");
+    RecordOutcome(PromotionOutcome::kRejectedCorrupt, 0, status.message());
+    return status;
+  }
+
+  if (factory_ == nullptr) {
+    const Status status = Status::FailedPrecondition(
+        "registry has no backend factory; promotion is disabled");
+    RecordOutcome(PromotionOutcome::kRejectedIncompatible, 0,
+                  status.message());
+    return status;
+  }
+
+  const std::shared_ptr<const ModelEntry> live =
+      live_.load(std::memory_order_acquire);
+  if (candidate.input_dim() != live->backend->input_dim() ||
+      candidate.output_dim() != live->backend->output_dim()) {
+    std::ostringstream msg;
+    msg << "candidate dims " << candidate.input_dim() << "x"
+        << candidate.output_dim() << " incompatible with live model "
+        << live->backend->input_dim() << "x" << live->backend->output_dim();
+    const Status status = Status::FailedPrecondition(msg.str());
+    RecordOutcome(PromotionOutcome::kRejectedIncompatible, 0,
+                  status.message());
+    return status;
+  }
+
+  auto built = factory_(std::move(candidate));
+  if (!built.ok()) {
+    RecordOutcome(PromotionOutcome::kRejectedIncompatible, 0,
+                  built.status().message());
+    return built.status();
+  }
+  std::shared_ptr<ModelBackend> backend = std::move(built).value();
+
+  // Canary gate: the sentinel's spike detector, seeded with the live
+  // model's loss on the same batch so "regressed" means "worse than what is
+  // serving right now", not "worse than some absolute floor". NaN/Inf in
+  // the candidate's loss trips the non-finite scan regardless.
+  if (canary.inputs.rows() > 0) {
+    SAMPNN_ASSIGN_OR_RETURN(const double baseline,
+                            CanaryLoss(*live->backend, canary));
+    SAMPNN_ASSIGN_OR_RETURN(double candidate_loss,
+                            CanaryLoss(*backend, canary));
+    if (PromotionFaultFires(FaultKind::kPromoteRegressed)) {
+      // Simulate a gate-worthy regression: a loss far past the spike factor.
+      candidate_loss =
+          (std::abs(baseline) + 1.0) * options_.sentinel.spike_factor * 4.0;
+    }
+    SentinelOptions gate = options_.sentinel;
+    gate.enabled = true;  // the registry always gates; opting out is not
+                          // a supported promotion mode
+    DivergenceSentinel sentinel(gate);
+    // Seeding past the warmup arms the spike detector on the very first
+    // (and only) observation.
+    sentinel.RestoreState(baseline, gate.warmup_batches + 1);
+    const DivergenceSentinel::Verdict verdict =
+        sentinel.Observe(candidate_loss, /*grad_norm2=*/-1.0);
+    if (verdict != DivergenceSentinel::Verdict::kOk) {
+      std::ostringstream msg;
+      msg << "canary eval rejected candidate: "
+          << SentinelVerdictToString(verdict) << " (candidate loss "
+          << candidate_loss << " vs live baseline " << baseline << ")";
+      const Status status = Status::FailedPrecondition(msg.str());
+      RecordOutcome(PromotionOutcome::kRejectedRegressed, 0,
+                    status.message());
+      return status;
+    }
+  }
+
+  if (PromotionFaultFires(FaultKind::kSwapRace)) {
+    const Status status = Status::Aborted(
+        "promotion raced with a drain (injected swap-race); candidate "
+        "discarded, prior version stays live");
+    RecordOutcome(PromotionOutcome::kRejectedRaced, 0, status.message());
+    return status;
+  }
+
+  // All gates passed: publish. Readers that already hold the previous entry
+  // keep serving it; new Current() calls see the candidate.
+  auto entry = std::make_shared<ModelEntry>();
+  entry->version = next_version_++;
+  entry->backend = std::move(backend);
+  entry->provenance = std::move(provenance);
+  entry->promoted_at_ms = NowMs();
+  retained_.insert(retained_.begin(), live);
+  if (retained_.size() > options_.retain) retained_.resize(options_.retain);
+  live_.store(entry, std::memory_order_release);
+  RecordOutcome(PromotionOutcome::kPromoted, entry->version, "");
+  return entry->version;
+}
+
+StatusOr<uint64_t> ModelRegistry::PromoteFromDir(const std::string& dir,
+                                                 const CanaryBatch& canary) {
+  auto loaded = LatestValidCheckpoint(dir);
+  if (!loaded.ok()) {
+    // No valid frame (or no directory): record the rejection so /statusz
+    // shows the failed attempt, then surface the loader's status.
+    MutexLock lock(mu_);
+    ++stats_.promotions_attempted;
+    if (local_faults_ != nullptr) local_faults_->AdvanceStep();
+    if (ObsOn()) {
+      MetricsRegistry::Get().GetCounter(kMetricAttempted).Increment();
+    }
+    RecordOutcome(PromotionOutcome::kRejectedCorrupt, 0,
+                  loaded.status().message());
+    return loaded.status();
+  }
+  std::istringstream payload(loaded.value().payload);
+  auto model = LoadMlp(payload);
+  if (!model.ok()) {
+    MutexLock lock(mu_);
+    ++stats_.promotions_attempted;
+    if (local_faults_ != nullptr) local_faults_->AdvanceStep();
+    if (ObsOn()) {
+      MetricsRegistry::Get().GetCounter(kMetricAttempted).Increment();
+    }
+    const Status status = Status::DataLoss(
+        "checkpoint " + loaded.value().path +
+        " passed frame validation but does not carry a parseable model: " +
+        model.status().message());
+    RecordOutcome(PromotionOutcome::kRejectedCorrupt, 0, status.message());
+    return status;
+  }
+  ModelProvenance provenance;
+  provenance.checkpoint_path = loaded.value().path;
+  provenance.checkpoint_step = loaded.value().step;
+  provenance.payload_crc32 = Crc32(loaded.value().payload);
+  return Promote(std::move(model).value(), std::move(provenance), canary);
+}
+
+Status ModelRegistry::Rollback(uint64_t version) {
+  MutexLock lock(mu_);
+  const std::shared_ptr<const ModelEntry> live =
+      live_.load(std::memory_order_acquire);
+  if (live->version == version) {
+    return Status::FailedPrecondition("version " + std::to_string(version) +
+                                      " is already live");
+  }
+  auto it = std::find_if(retained_.begin(), retained_.end(),
+                         [version](const auto& entry) {
+                           return entry->version == version;
+                         });
+  if (it == retained_.end()) {
+    return Status::NotFound("version " + std::to_string(version) +
+                            " is not retained (retain=" +
+                            std::to_string(options_.retain) + ")");
+  }
+  const std::shared_ptr<const ModelEntry> target = *it;
+  retained_.erase(it);
+  retained_.insert(retained_.begin(), live);
+  if (retained_.size() > options_.retain) retained_.resize(options_.retain);
+  live_.store(target, std::memory_order_release);
+  RecordOutcome(PromotionOutcome::kRolledBack, version, "");
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<const ModelEntry>>
+ModelRegistry::RetainedEntries() const {
+  MutexLock lock(mu_);
+  std::vector<std::shared_ptr<const ModelEntry>> entries;
+  entries.reserve(retained_.size() + 1);
+  entries.push_back(live_.load(std::memory_order_acquire));
+  entries.insert(entries.end(), retained_.begin(), retained_.end());
+  return entries;
+}
+
+PromotionRecord ModelRegistry::LastPromotion() const {
+  MutexLock lock(mu_);
+  return last_;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+std::string ModelRegistry::RenderStatuszSection() const {
+  MutexLock lock(mu_);
+  const std::shared_ptr<const ModelEntry> live =
+      live_.load(std::memory_order_acquire);
+  std::ostringstream out;
+  out << "live: v" << live->version << " (" << live->backend->name()
+      << ") promoted_at_ms=" << live->promoted_at_ms;
+  if (!live->provenance.checkpoint_path.empty()) {
+    out << " ckpt=" << live->provenance.checkpoint_path
+        << " step=" << live->provenance.checkpoint_step << " crc=0x"
+        << std::hex << live->provenance.payload_crc32 << std::dec;
+  }
+  out << "\nretained:";
+  if (retained_.empty()) {
+    out << " (none)";
+  } else {
+    for (const auto& entry : retained_) out << " v" << entry->version;
+  }
+  out << "\nlast promotion: " << PromotionOutcomeToString(last_.outcome);
+  if (last_.outcome != PromotionOutcome::kNone) {
+    if (last_.version != 0) out << " v" << last_.version;
+    out << " at_ms=" << last_.at_ms;
+    if (!last_.detail.empty()) out << " -- " << last_.detail;
+  }
+  out << "\nattempted=" << stats_.promotions_attempted
+      << " promoted=" << stats_.promoted << " rejected{corrupt="
+      << stats_.rejected_corrupt << ",regressed=" << stats_.rejected_regressed
+      << ",incompatible=" << stats_.rejected_incompatible
+      << ",raced=" << stats_.rejected_raced << "} rollbacks="
+      << stats_.rollbacks << "\n";
+  return out.str();
+}
+
+}  // namespace sampnn

@@ -1,0 +1,254 @@
+// Zero-downtime model registry (DESIGN.md §13): versioned, immutable
+// ModelEntry snapshots behind an RCU-style atomic std::shared_ptr flip.
+//
+// Readers (the serving workers) call Current() — one lock-free atomic
+// acquire-load — and pin the entry they got for the lifetime of the batch,
+// so an in-flight micro-batch always finishes on the model version it
+// started with and a promotion never blocks or drops a request. Writers
+// (the promotion pipeline) build the complete candidate entry off to the
+// side and publish it with a single release-store; the previous entry stays
+// alive (and servable by batches that already hold it) until the last
+// shared_ptr drops.
+//
+// Promotion is a guarded pipeline, not a blind swap:
+//
+//   load checkpoint ──▶ parse model ──▶ dims match? ──▶ build backend
+//        │ (CRC frame)       │ (SNN1)        │                 │
+//        ▼                   ▼               ▼                 ▼
+//     kDataLoss /      kDataLoss      kFailedPrecondition   canary eval
+//     kNotFound                       (incompatible)            │
+//                                                               ▼
+//                                              divergence sentinel verdict
+//                                              (non-finite / loss spike vs.
+//                                               the live model's canary
+//                                               loss) ──▶ kFailedPrecondition
+//                                                               │ ok
+//                                                               ▼
+//                                                          RCU flip
+//
+// A rejected candidate leaves the previous version live and untouched;
+// Rollback() re-pins any retained prior version. Every terminal outcome is
+// recorded (LastPromotion()) and mirrored to registry.* metrics for the
+// introspection plane.
+//
+// The promotion fault kinds of FaultInjector (promote-corrupt@N,
+// promote-regressed@N, swap-race@N) are honored either from the process
+// global injector or — so a serving workload's admitted-request step counter
+// cannot skew promotion schedules — from a registry-local injector whose
+// step counts promotion attempts (RegistryOptions::promote_fault_spec).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/mlp.h"
+#include "src/resilience/fault_injector.h"
+#include "src/resilience/sentinel.h"
+#include "src/serve/model_backend.h"
+#include "src/tensor/matrix.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace sampnn {
+
+/// Where a servable model came from: checkpoint path + integrity footprint
+/// for audit ("which bytes is version 7 serving?"). Empty path = registered
+/// in-memory (the boot model).
+struct ModelProvenance {
+  std::string checkpoint_path;
+  uint64_t checkpoint_step = 0;
+  uint32_t payload_crc32 = 0;
+};
+
+/// \brief One immutable registry snapshot. Everything in an entry is frozen
+/// at promotion time; the backend is internally thread-safe (ModelBackend
+/// contract), so concurrent batches may share one entry freely.
+struct ModelEntry {
+  uint64_t version = 0;  ///< monotonically increasing, never reused
+  std::shared_ptr<ModelBackend> backend;
+  ModelProvenance provenance;
+  int64_t promoted_at_ms = 0;  ///< registry-clock instant of the flip
+};
+
+/// Terminal outcome of the most recent promotion or rollback attempt.
+enum class PromotionOutcome {
+  kNone,                 ///< no promotion attempted yet
+  kPromoted,             ///< candidate passed every gate; flip happened
+  kRejectedCorrupt,      ///< checkpoint failed CRC / framing / parse
+  kRejectedRegressed,    ///< canary eval tripped the divergence sentinel
+  kRejectedIncompatible, ///< candidate dims differ from the live model
+  kRejectedRaced,        ///< promotion lost a race with a drain/stop
+  kRolledBack,           ///< Rollback() re-pinned a retained version
+};
+
+const char* PromotionOutcomeToString(PromotionOutcome outcome);
+
+/// What happened last, for /statusz and tests.
+struct PromotionRecord {
+  PromotionOutcome outcome = PromotionOutcome::kNone;
+  uint64_t version = 0;  ///< version promoted / re-pinned; 0 on rejection
+  int64_t at_ms = 0;     ///< registry-clock instant of the attempt
+  std::string detail;    ///< status message on rejection, "" on success
+};
+
+/// Labeled eval batch the promotion gate scores candidates on. Typically a
+/// held-out slice of the serving distribution; a few dozen rows suffice —
+/// the gate catches corruption and gross regression, not a 0.1% accuracy
+/// drift.
+struct CanaryBatch {
+  Matrix inputs;
+  std::vector<int32_t> labels;
+};
+
+/// Monotonic counters over the registry's lifetime (always on; mirrored to
+/// registry.* metrics only when observability is enabled).
+struct RegistryStats {
+  uint64_t promotions_attempted = 0;
+  uint64_t promoted = 0;
+  uint64_t rejected_corrupt = 0;
+  uint64_t rejected_regressed = 0;
+  uint64_t rejected_incompatible = 0;
+  uint64_t rejected_raced = 0;
+  uint64_t rollbacks = 0;
+};
+
+/// Tuning for a ModelRegistry.
+struct RegistryOptions {
+  /// Prior versions kept flippable after a promotion (SAMPNN_REGISTRY_RETAIN).
+  /// The live version is always retained; 0 keeps only the live version
+  /// (Rollback then has nothing to re-pin).
+  size_t retain = 3;
+
+  /// Canary gate: the sentinel's spike detector compares the candidate's
+  /// canary loss against the live model's canary loss on the same batch.
+  /// `warmup_batches` is ignored (the baseline seeds the EWMA directly);
+  /// NaN/Inf scans are always armed.
+  SentinelOptions sentinel;
+
+  /// Promotion-fault schedule local to this registry ("promote-corrupt@2",
+  /// steps count promotion attempts starting at 1). Empty = consult the
+  /// process-global FaultInjector instead (steps then follow whatever that
+  /// injector counts).
+  std::string promote_fault_spec;
+
+  /// Gates registry.* metric mirroring; nullptr = TelemetryEnabled().
+  std::function<bool()> obs_enabled;
+
+  const Clock* clock = nullptr;  ///< nullptr = the real monotonic clock
+
+  /// Defaults with SAMPNN_REGISTRY_RETAIN applied (hardened parse).
+  static RegistryOptions FromEnv();
+};
+
+/// \brief The versioned model registry. Thread-safe: any number of
+/// concurrent Current() readers against one promotion/rollback writer at a
+/// time (writers serialize on an internal mutex; readers never block).
+class ModelRegistry {
+ public:
+  /// Builds a servable backend from loaded model parameters. Called by the
+  /// promotion pipeline outside any lock; must be thread-compatible.
+  using BackendFactory =
+      std::function<StatusOr<std::shared_ptr<ModelBackend>>(Mlp model)>;
+
+  /// Creates a registry with `initial` live as version 1. `factory` may be
+  /// nullptr, in which case Promote/PromoteFromDir fail with
+  /// kFailedPrecondition (a fixed single-model registry, the wrap the
+  /// serving layer uses for backends handed to it directly).
+  static StatusOr<std::unique_ptr<ModelRegistry>> Create(
+      std::shared_ptr<ModelBackend> initial, BackendFactory factory,
+      const RegistryOptions& options);
+
+  /// The live entry: one lock-free acquire-load. Never null. Callers that
+  /// run work against the entry keep the shared_ptr for the duration, which
+  /// is what pins an in-flight batch to its version across a concurrent
+  /// flip.
+  std::shared_ptr<const ModelEntry> Current() const {
+    return live_.load(std::memory_order_acquire);
+  }
+
+  uint64_t live_version() const { return Current()->version; }
+
+  /// Full promotion pipeline over an in-memory candidate: compatibility
+  /// gate, backend build, canary eval through the divergence sentinel, RCU
+  /// flip. Returns the new live version, or the rejection:
+  ///   kFailedPrecondition  no factory / incompatible dims / canary verdict
+  ///   kDataLoss            injected promote-corrupt (checkpoint-path
+  ///                        corruption surfaces from PromoteFromDir)
+  ///   kAborted             promotion raced with a drain (swap-race)
+  StatusOr<uint64_t> Promote(Mlp candidate, ModelProvenance provenance,
+                             const CanaryBatch& canary);
+
+  /// Loads the newest checkpoint in `dir` that passes the PR 3 frame
+  /// validation (magic / declared size / CRC32), parses the SNN1 model
+  /// image from its payload, and runs the Promote pipeline. kNotFound when
+  /// the directory holds no valid checkpoint; kDataLoss when the newest
+  /// valid frame does not carry a parseable model.
+  StatusOr<uint64_t> PromoteFromDir(const std::string& dir,
+                                    const CanaryBatch& canary);
+
+  /// Re-pins retained `version` as live (the emergency lever after a bad —
+  /// but gate-passing — promotion). The displaced entry joins the retained
+  /// set. kNotFound if `version` is not retained; kFailedPrecondition if it
+  /// is already live.
+  Status Rollback(uint64_t version);
+
+  /// Every flippable entry: the live one first, then retained priors,
+  /// newest first.
+  std::vector<std::shared_ptr<const ModelEntry>> RetainedEntries() const;
+
+  PromotionRecord LastPromotion() const;
+  RegistryStats stats() const;
+  const RegistryOptions& options() const { return options_; }
+
+  /// Plain-text /statusz section: live version + provenance, retained
+  /// versions, last promotion outcome + timestamp, lifetime counters.
+  std::string RenderStatuszSection() const;
+
+ private:
+  ModelRegistry(BackendFactory factory, const RegistryOptions& options);
+
+  /// Scores `backend` on the canary batch (full quality, no deadline).
+  /// Returns the mean softmax cross-entropy loss.
+  static StatusOr<double> CanaryLoss(ModelBackend& backend,
+                                     const CanaryBatch& canary);
+
+  /// True exactly once per armed fault: the registry-local injector when
+  /// configured, else the process-global one.
+  bool PromotionFaultFires(FaultKind kind);
+
+  /// Records the outcome, bumps counters, mirrors metrics. `version` is the
+  /// promoted/re-pinned version (0 for rejections).
+  void RecordOutcome(PromotionOutcome outcome, uint64_t version,
+                     const std::string& detail) SAMPNN_REQUIRES(mu_);
+
+  void MirrorRegistryMetrics() SAMPNN_REQUIRES(mu_);
+  bool ObsOn() const;
+  int64_t NowMs() const { return clock_->NowMillis(); }
+
+  const RegistryOptions options_;
+  const Clock* const clock_;
+  const BackendFactory factory_;
+
+  // RCU publication point. Writers store under mu_; readers never lock.
+  std::atomic<std::shared_ptr<const ModelEntry>> live_;
+
+  // Serializes promotions, rollbacks, and retained-set maintenance. Held
+  // across the canary eval on purpose: two concurrent promotions racing
+  // their canary runs would make "which one wins" depend on eval timing.
+  mutable Mutex mu_{"registry.swap", lockrank::kRegistrySwap};
+  std::vector<std::shared_ptr<const ModelEntry>> retained_
+      SAMPNN_GUARDED_BY(mu_);  ///< newest first, excludes live
+  uint64_t next_version_ SAMPNN_GUARDED_BY(mu_) = 2;
+  PromotionRecord last_ SAMPNN_GUARDED_BY(mu_);
+  RegistryStats stats_ SAMPNN_GUARDED_BY(mu_);
+  // Registry-local promotion-fault schedule (empty spec = unused).
+  std::unique_ptr<FaultInjector> local_faults_;
+};
+
+}  // namespace sampnn

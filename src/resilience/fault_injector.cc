@@ -25,6 +25,9 @@ StatusOr<FaultKind> FaultKindFromString(const std::string& name) {
   if (name == "delay") return FaultKind::kServeDelay;
   if (name == "hang") return FaultKind::kServeHang;
   if (name == "reject-admission") return FaultKind::kRejectAdmission;
+  if (name == "promote-corrupt") return FaultKind::kPromoteCorrupt;
+  if (name == "promote-regressed") return FaultKind::kPromoteRegressed;
+  if (name == "swap-race") return FaultKind::kSwapRace;
   return Status::InvalidArgument("unknown fault kind: " + name);
 }
 
@@ -50,6 +53,12 @@ const char* FaultKindToString(FaultKind kind) {
       return "hang";
     case FaultKind::kRejectAdmission:
       return "reject-admission";
+    case FaultKind::kPromoteCorrupt:
+      return "promote-corrupt";
+    case FaultKind::kPromoteRegressed:
+      return "promote-regressed";
+    case FaultKind::kSwapRace:
+      return "swap-race";
   }
   return "unknown";
 }

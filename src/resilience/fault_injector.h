@@ -45,10 +45,19 @@ enum class FaultKind {
   kServeHang,        ///< inference worker: spin until the batch is cancelled
                      ///< (the watchdog's rescue path is the only way out)
   kRejectAdmission,  ///< InferenceService::Submit: shed as if saturated
+  // Hot-swap faults (src/registry/): queried by the promotion pipeline. A
+  // registry with its own injector (RegistryOptions::promote_fault_spec)
+  // counts promotion attempts instead of admitted requests, so a spec like
+  // "promote-corrupt@2" deterministically rejects the second promotion even
+  // while serving traffic advances the global step counter.
+  kPromoteCorrupt,    ///< ModelRegistry: candidate checkpoint fails CRC
+  kPromoteRegressed,  ///< ModelRegistry: canary eval trips the sentinel
+  kSwapRace,          ///< ModelRegistry: promotion raced with a drain
 };
 
 /// Parses "grad-nan" | "kill" | "halt" | "ckpt-truncate" | "ckpt-corrupt" |
-/// "fsync-fail" | "rename-fail" | "delay" | "hang" | "reject-admission".
+/// "fsync-fail" | "rename-fail" | "delay" | "hang" | "reject-admission" |
+/// "promote-corrupt" | "promote-regressed" | "swap-race".
 StatusOr<FaultKind> FaultKindFromString(const std::string& name);
 /// Canonical spec-string name.
 const char* FaultKindToString(FaultKind kind);

@@ -18,19 +18,37 @@
 
 namespace sampnn {
 
+namespace {
+
+// EWMA with alpha = 1/4 over q10 fixed-point samples; the first sample
+// seeds the average (0 means "no data", so a seeded average is >= 1).
+void UpdateEwmaQ10(std::atomic<int64_t>& ewma, int64_t sample_q10) {
+  int64_t cur = ewma.load(std::memory_order_relaxed);
+  for (;;) {
+    const int64_t next = cur == 0 ? std::max<int64_t>(1, sample_q10)
+                                  : cur + ((sample_q10 - cur) >> 2);
+    if (ewma.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 // Observability mirror of the always-on ServeStats atomics, gated on
 // ObsEnabled() (telemetry switch OR a configured introspection server).
-void InferenceService::MirrorCount(const char* name, uint64_t delta) const {
+void InferenceService::MirrorCount(std::string_view name,
+                                   uint64_t delta) const {
   if (!ObsEnabled()) return;
   MetricsRegistry::Get().GetCounter(name).Add(delta);
 }
 
-void InferenceService::MirrorGauge(const char* name, double value) const {
+void InferenceService::MirrorGauge(std::string_view name, double value) const {
   if (!ObsEnabled()) return;
   MetricsRegistry::Get().GetGauge(name).Set(value);
 }
 
-void InferenceService::MirrorHistogram(const char* name,
+void InferenceService::MirrorHistogram(std::string_view name,
                                        uint64_t value) const {
   if (!ObsEnabled()) return;
   MetricsRegistry::Get().GetHistogram(name).Observe(value);
@@ -56,6 +74,21 @@ void InferenceService::ObservePhases(const RequestContext& rc) const {
   }
 }
 
+InferenceService::TenantState::TenantState(TenantConfig c)
+    : config(std::move(c)),
+      m_submitted("serve.tenant." + config.name + ".submitted"),
+      m_admitted("serve.tenant." + config.name + ".admitted"),
+      m_shed("serve.tenant." + config.name + ".shed"),
+      m_completed("serve.tenant." + config.name + ".completed"),
+      m_completed_degraded("serve.tenant." + config.name +
+                           ".completed_degraded"),
+      m_deadline_exceeded("serve.tenant." + config.name +
+                          ".deadline_exceeded"),
+      m_cancelled("serve.tenant." + config.name + ".cancelled"),
+      m_queue_depth("serve.tenant." + config.name + ".queue_depth"),
+      m_retry_after_ms("serve.tenant." + config.name + ".retry_after_ms"),
+      m_latency_ms("serve.tenant." + config.name + ".latency_ms") {}
+
 ServeOptions ServeOptions::FromEnv() {
   ServeOptions options;
   options.queue_capacity = static_cast<size_t>(GetEnvIntInRangeOr(
@@ -69,6 +102,7 @@ ServeOptions ServeOptions::FromEnv() {
   options.slo_window_ms = static_cast<int64_t>(GetEnvIntInRangeOr(
       "SAMPNN_SLO_WINDOW_MS", static_cast<long long>(options.slo_window_ms),
       100, 86'400'000));
+  options.tenants = TenantQuotasFromEnv();
   return options;
 }
 
@@ -76,6 +110,27 @@ StatusOr<std::unique_ptr<InferenceService>> InferenceService::Create(
     std::unique_ptr<ModelBackend> backend, const ServeOptions& options) {
   if (backend == nullptr) {
     return Status::InvalidArgument("InferenceService: null backend");
+  }
+  // Single-model mode: wrap the backend in a fixed registry (no factory, so
+  // promotion is disabled). The registry's metric mirroring follows the
+  // service's observability gate, evaluated once here — when both telemetry
+  // and statusz are off, registry creation must register nothing.
+  RegistryOptions registry_options;
+  registry_options.clock = options.clock;
+  const bool obs = TelemetryEnabled() || options.statusz_port >= 0;
+  registry_options.obs_enabled = [obs] { return obs; };
+  SAMPNN_ASSIGN_OR_RETURN(
+      std::unique_ptr<ModelRegistry> registry,
+      ModelRegistry::Create(
+          std::shared_ptr<ModelBackend>(std::move(backend)),
+          /*factory=*/nullptr, registry_options));
+  return Create(std::shared_ptr<ModelRegistry>(std::move(registry)), options);
+}
+
+StatusOr<std::unique_ptr<InferenceService>> InferenceService::Create(
+    std::shared_ptr<ModelRegistry> registry, const ServeOptions& options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("InferenceService: null registry");
   }
   if (options.queue_capacity == 0) {
     return Status::InvalidArgument("InferenceService: queue_capacity must be >= 1");
@@ -110,17 +165,53 @@ StatusOr<std::unique_ptr<InferenceService>> InferenceService::Create(
     return Status::InvalidArgument(
         "InferenceService: slo_window_ms must be positive");
   }
+  // Normalize the tenant list: validate, then guarantee a default tenant
+  // whose quota is the whole queue (single-tenant behavior is unchanged).
+  ServeOptions normalized = options;
+  bool has_default = false;
+  for (size_t i = 0; i < normalized.tenants.size(); ++i) {
+    const TenantConfig& tenant = normalized.tenants[i];
+    if (tenant.name.empty()) {
+      return Status::InvalidArgument("InferenceService: empty tenant name");
+    }
+    if (tenant.quota == 0 || tenant.weight == 0) {
+      return Status::InvalidArgument("InferenceService: tenant " +
+                                     tenant.name +
+                                     " needs quota >= 1 and weight >= 1");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (normalized.tenants[j].name == tenant.name) {
+        return Status::InvalidArgument("InferenceService: duplicate tenant " +
+                                       tenant.name);
+      }
+    }
+    if (tenant.name == kDefaultTenant) has_default = true;
+  }
+  if (!has_default) {
+    TenantConfig fallback;
+    fallback.name = kDefaultTenant;
+    fallback.quota = normalized.queue_capacity;
+    fallback.weight = 1;
+    normalized.tenants.push_back(std::move(fallback));
+  }
   std::unique_ptr<InferenceService> service(
-      new InferenceService(std::move(backend), options));
+      new InferenceService(std::move(registry), normalized));
   service->Start();
   return service;
 }
 
-InferenceService::InferenceService(std::unique_ptr<ModelBackend> backend,
+InferenceService::InferenceService(std::shared_ptr<ModelRegistry> registry,
                                    const ServeOptions& options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock : Clock::Real()),
-      backend_(std::move(backend)) {}
+      registry_(std::move(registry)),
+      input_dim_(registry_->Current()->backend->input_dim()) {
+  tenants_.reserve(options_.tenants.size());
+  for (size_t i = 0; i < options_.tenants.size(); ++i) {
+    tenants_.push_back(std::make_unique<TenantState>(options_.tenants[i]));
+    if (options_.tenants[i].name == kDefaultTenant) default_tenant_ = i;
+  }
+}
 
 void InferenceService::Start() {
   // The SLO tracker exists only when observability is on at start; it is
@@ -140,6 +231,21 @@ void InferenceService::Start() {
         },
         slo_options);
   }
+  if (ObsEnabled()) {
+    // Pre-register the per-tenant families at zero so a scrape always shows
+    // every tenant's full series (a tenant that never sheds still exports a
+    // zero shed counter — dashboards and check_statusz.py rely on this).
+    auto& metrics = MetricsRegistry::Get();
+    for (const auto& tenant : tenants_) {
+      for (const std::string* name :
+           {&tenant->m_submitted, &tenant->m_admitted, &tenant->m_shed,
+            &tenant->m_completed, &tenant->m_completed_degraded,
+            &tenant->m_deadline_exceeded, &tenant->m_cancelled}) {
+        metrics.GetCounter(*name);
+      }
+      metrics.GetGauge(tenant->m_queue_depth);
+    }
+  }
   slots_.reserve(options_.workers);
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
@@ -157,9 +263,12 @@ void InferenceService::Start() {
       statusz_ = std::move(server).value();
       statusz_->SetHealthCallback([this] {
         MutexLock lock(mu_);
-        return !stopping_ && queue_.size() < options_.queue_capacity;
+        return !stopping_ && total_queued_ < options_.queue_capacity;
       });
       statusz_->AddSection("serve", [this] { return RenderServeSection(); });
+      statusz_->AddSection("registry", [this] {
+        return registry_->RenderStatuszSection();
+      });
       statusz_->AddSection("slo", [this] {
         return slo_ != nullptr ? slo_->Render()
                                : std::string("(slo tracking off)\n");
@@ -175,76 +284,166 @@ void InferenceService::Start() {
 
 InferenceService::~InferenceService() { Stop(StopMode::kDrain); }
 
+InferenceService::TenantState* InferenceService::ResolveTenant(
+    std::string_view name) {
+  for (const auto& tenant : tenants_) {
+    if (tenant->config.name == name) return tenant.get();
+  }
+  return tenants_[default_tenant_].get();
+}
+
 std::future<InferenceResult> InferenceService::Submit(
     std::vector<float> input) {
-  return Submit(std::move(input),
+  return Submit(kDefaultTenant, std::move(input),
                 Deadline::FromNowMillis(options_.default_deadline_ms, clock_));
 }
 
 std::future<InferenceResult> InferenceService::Submit(std::vector<float> input,
                                                       Deadline deadline) {
+  return Submit(kDefaultTenant, std::move(input), deadline);
+}
+
+std::future<InferenceResult> InferenceService::Submit(
+    std::string_view tenant, std::vector<float> input) {
+  return Submit(tenant, std::move(input),
+                Deadline::FromNowMillis(options_.default_deadline_ms, clock_));
+}
+
+std::future<InferenceResult> InferenceService::Submit(std::string_view tenant,
+                                                      std::vector<float> input,
+                                                      Deadline deadline) {
+  TenantState* ts = ResolveTenant(tenant);
   std::promise<InferenceResult> promise;
   std::future<InferenceResult> future = promise.get_future();
   RequestContext rc;
   rc.id = NextRequestId();
   rc.submit_ms = NowMs();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  ts->submitted.fetch_add(1, std::memory_order_relaxed);
   MirrorCount("serve.submitted");
+  MirrorCount(ts->m_submitted);
 
   InferenceResult immediate;
-  if (input.size() != backend_->input_dim()) {
+  if (input.size() != input_dim_) {
     immediate.status = Status::InvalidArgument(
         "Submit: input has " + std::to_string(input.size()) +
-        " features, model expects " + std::to_string(backend_->input_dim()));
+        " features, model expects " + std::to_string(input_dim_));
   }
 
+  bool shed_now = false;
   if (immediate.status.ok()) {
     MutexLock lock(mu_);
     if (stopping_) {
       immediate.status =
           Status::FailedPrecondition("InferenceService is stopped");
-    } else if (FaultArmed(FaultKind::kRejectAdmission) ||
-               queue_.size() >= options_.queue_capacity) {
-      // Shedding: the last rung of the overload ladder. The hint tells the
-      // client when a retry has a chance of finding queue space.
-      immediate.status = Status::ResourceExhausted(
-          "admission queue full (" + std::to_string(options_.queue_capacity) +
-          " pending); retry later");
-      immediate.retry_after_ms = RetryAfterHintLocked();
-      // Export the hint clients are being given right now, so a dashboard
-      // can see the advertised back-off alongside the shed rate.
-      MirrorGauge("serve.retry_after_ms",
-                  static_cast<double>(immediate.retry_after_ms));
     } else {
-      PendingRequest req;
-      req.input = std::move(input);
-      req.deadline = deadline;
-      req.promise = std::move(promise);
-      req.enqueue_ms = NowMs();
-      req.rc = rc;
-      req.rc.enqueue_ms = req.enqueue_ms;  // admit segment closes here
-      queue_.push_back(std::move(req));
-      admitted_.fetch_add(1, std::memory_order_relaxed);
-      // One injector step per admitted request: "hang@5" means "the batch
-      // containing the 5th admitted request hangs".
-      if (FaultInjector* injector = FaultInjector::Global()) {
-        injector->AdvanceStep();
+      const bool tenant_full = ts->queue.size() >= ts->config.quota;
+      const bool global_full = total_queued_ >= options_.queue_capacity;
+      if (FaultArmed(FaultKind::kRejectAdmission) || tenant_full ||
+          global_full) {
+        // Shedding: the last rung of the overload ladder. The hint tells
+        // the client when a retry has a chance of finding space in the
+        // backlog that actually rejected it (its own tenant's quota, or
+        // the whole queue).
+        immediate.status = Status::ResourceExhausted(
+            tenant_full && !global_full
+                ? "tenant " + ts->config.name + " quota full (" +
+                      std::to_string(ts->config.quota) + " pending); retry later"
+                : "admission queue full (" +
+                      std::to_string(options_.queue_capacity) +
+                      " pending); retry later");
+        immediate.retry_after_ms =
+            RetryAfterHintLocked(*ts, tenant_full && !global_full);
+        shed_now = true;
+        // Export the hint clients are being given right now, so a dashboard
+        // can see the advertised back-off alongside the shed rate.
+        MirrorGauge("serve.retry_after_ms",
+                    static_cast<double>(immediate.retry_after_ms));
+        MirrorGauge(ts->m_retry_after_ms,
+                    static_cast<double>(immediate.retry_after_ms));
+      } else {
+        PendingRequest req;
+        req.input = std::move(input);
+        req.deadline = deadline;
+        req.promise = std::move(promise);
+        req.enqueue_ms = NowMs();
+        req.rc = rc;
+        req.rc.enqueue_ms = req.enqueue_ms;  // admit segment closes here
+        req.tenant = ts;
+        ts->queue.push_back(std::move(req));
+        ++total_queued_;
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        ts->admitted.fetch_add(1, std::memory_order_relaxed);
+        // One injector step per admitted request: "hang@5" means "the batch
+        // containing the 5th admitted request hangs".
+        if (FaultInjector* injector = FaultInjector::Global()) {
+          injector->AdvanceStep();
+        }
+        UpdateLadderLocked();
+        MirrorCount("serve.admitted");
+        MirrorCount(ts->m_admitted);
+        MirrorGauge("serve.queue_depth", static_cast<double>(total_queued_));
+        MirrorGauge(ts->m_queue_depth, static_cast<double>(ts->queue.size()));
+        lock.Unlock();
+        work_cv_.NotifyOne();
+        return future;
       }
-      UpdateLadderLocked();
-      MirrorCount("serve.admitted");
-      MirrorGauge("serve.queue_depth", static_cast<double>(queue_.size()));
-      lock.Unlock();
-      work_cv_.NotifyOne();
-      return future;
     }
   }
 
-  if (immediate.status.IsResourceExhausted()) {
+  if (shed_now) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    ts->shed.fetch_add(1, std::memory_order_relaxed);
     MirrorCount("serve.shed");
+    MirrorCount(ts->m_shed);
   }
   promise.set_value(std::move(immediate));
   return future;
+}
+
+std::vector<InferenceService::PendingRequest>
+InferenceService::AssembleBatchLocked(size_t cap, ServeQuality quality) {
+  std::vector<PendingRequest> batch;
+  // Deficit round-robin over the tenant sub-queues: visiting a backlogged
+  // tenant tops its deficit up by its weight, and each request popped into
+  // the batch costs 1, so over consecutive batches tenants receive worker
+  // slots in weight proportion. Cursor and deficits persist across batches
+  // (classic DRR); an emptied queue forfeits its credit, so a tenant cannot
+  // bank service time while idle.
+  while (batch.size() < cap && total_queued_ > 0) {
+    TenantState& tenant = *tenants_[drr_cursor_];
+    if (tenant.queue.empty()) {
+      tenant.deficit = 0;
+      drr_cursor_ = (drr_cursor_ + 1) % tenants_.size();
+      continue;
+    }
+    if (tenant.deficit <= 0) {
+      tenant.deficit += static_cast<int64_t>(tenant.config.weight);
+    }
+    while (tenant.deficit > 0 && !tenant.queue.empty() &&
+           batch.size() < cap) {
+      PendingRequest req = std::move(tenant.queue.front());
+      tenant.queue.pop_front();
+      --total_queued_;
+      req.rc.dequeue_ms = NowMs();  // queue segment closes here
+      if (req.deadline.expired()) {
+        CompleteDeadline(&req, "deadline expired while queued");
+        continue;  // fail-fast costs no deficit: it consumed no service
+      }
+      if (quality == ServeQuality::kDegraded && !req.deadline.is_never() &&
+          req.deadline.remaining_millis() < options_.degraded_min_slack_ms) {
+        CompleteDeadline(&req, "insufficient deadline slack under degraded "
+                               "service");
+        continue;
+      }
+      batch.push_back(std::move(req));
+      --tenant.deficit;
+    }
+    if (tenant.queue.empty()) tenant.deficit = 0;
+    if (batch.size() >= cap) break;
+    drr_cursor_ = (drr_cursor_ + 1) % tenants_.size();
+  }
+  return batch;
 }
 
 void InferenceService::WorkerLoop(size_t worker_index) {
@@ -255,8 +454,8 @@ void InferenceService::WorkerLoop(size_t worker_index) {
     ServeQuality quality = ServeQuality::kFull;
     {
       MutexLock lock(mu_);
-      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
-      if (queue_.empty()) {
+      while (!stopping_ && total_queued_ == 0) work_cv_.Wait(mu_);
+      if (total_queued_ == 0) {
         if (stopping_) return;
         continue;
       }
@@ -269,24 +468,14 @@ void InferenceService::WorkerLoop(size_t worker_index) {
       const size_t cap = quality == ServeQuality::kDegraded
                              ? options_.degraded_max_batch
                              : options_.max_batch;
-      while (!queue_.empty() && batch.size() < cap) {
-        PendingRequest req = std::move(queue_.front());
-        queue_.pop_front();
-        req.rc.dequeue_ms = NowMs();  // queue segment closes here
-        if (req.deadline.expired()) {
-          CompleteDeadline(&req, "deadline expired while queued");
-          continue;
+      batch = AssembleBatchLocked(cap, quality);
+      MirrorGauge("serve.queue_depth", static_cast<double>(total_queued_));
+      if (ObsEnabled()) {
+        for (const auto& tenant : tenants_) {
+          MirrorGauge(tenant->m_queue_depth,
+                      static_cast<double>(tenant->queue.size()));
         }
-        if (quality == ServeQuality::kDegraded &&
-            !req.deadline.is_never() &&
-            req.deadline.remaining_millis() < options_.degraded_min_slack_ms) {
-          CompleteDeadline(&req, "insufficient deadline slack under degraded "
-                                 "service");
-          continue;
-        }
-        batch.push_back(std::move(req));
       }
-      MirrorGauge("serve.queue_depth", static_cast<double>(queue_.size()));
     }
     if (!batch.empty()) {
       RunBatch(std::move(batch), quality, slot);
@@ -298,6 +487,11 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
                                 ServeQuality quality, WorkerSlot* slot) {
   executing_.fetch_add(batch.size(), std::memory_order_relaxed);
   MirrorHistogram("serve.batch_size", batch.size());
+  // Pin the live model entry for the whole batch: one lock-free load, and
+  // the shared_ptr keeps this exact version alive and servable even if a
+  // promotion flips the registry before the batch resolves. In-flight work
+  // never migrates versions mid-batch.
+  const std::shared_ptr<const ModelEntry> entry = registry_->Current();
   // Worker phase tag + trace span for the whole batch, attributed to the
   // lead request (the one whose admission opened the batch).
   const uint64_t lead_id = batch.front().rc.id;
@@ -338,7 +532,7 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
   CancelContext ctx{batch_token, batch_deadline};
   ctx.trace_id = lead_id;  // tags the GEMM dispatch's phase slots
 
-  Matrix inputs(batch.size(), backend_->input_dim());
+  Matrix inputs(batch.size(), input_dim_);
   for (size_t r = 0; r < batch.size(); ++r) {
     std::copy(batch[r].input.begin(), batch[r].input.end(),
               inputs.Row(r).begin());
@@ -348,9 +542,9 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
     req.rc.compute_start_ms = compute_start;  // assembly segment closes here
   }
   Matrix logits;
-  Status status = batch_token.cancelled() ? ctx.StopStatus()
-                                          : backend_->Forward(inputs, ctx,
-                                                              quality, &logits);
+  Status status = batch_token.cancelled()
+                      ? ctx.StopStatus()
+                      : entry->backend->Forward(inputs, ctx, quality, &logits);
 
   // Disarm the heartbeat before resolving promises so the watchdog never
   // trips on a finished batch.
@@ -359,24 +553,33 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
   const int64_t now = NowMs();
   for (size_t r = 0; r < batch.size(); ++r) {
     PendingRequest& req = batch[r];
+    TenantState* tenant = req.tenant;
     req.rc.compute_end_ms = now;
     InferenceResult result;
     result.latency_ms = now - req.enqueue_ms;
     if (status.ok() && !req.deadline.expired()) {
       result.status = Status::OK();
       result.degraded = quality == ServeQuality::kDegraded;
+      result.model_version = entry->version;
       result.logits.assign(logits.Row(r).begin(), logits.Row(r).end());
       result.predicted = static_cast<int32_t>(
           std::max_element(result.logits.begin(), result.logits.end()) -
           result.logits.begin());
       if (result.degraded) {
         completed_degraded_.fetch_add(1, std::memory_order_relaxed);
+        tenant->completed_degraded.fetch_add(1, std::memory_order_relaxed);
         MirrorCount("serve.completed_degraded");
+        MirrorCount(tenant->m_completed_degraded);
       } else {
         completed_.fetch_add(1, std::memory_order_relaxed);
+        tenant->completed.fetch_add(1, std::memory_order_relaxed);
         MirrorCount("serve.completed");
+        MirrorCount(tenant->m_completed);
       }
-      ObserveLatency(result.latency_ms);
+      ObserveLatency(tenant, result.latency_ms);
+      MirrorHistogram(tenant->m_latency_ms,
+                      static_cast<uint64_t>(
+                          std::max<int64_t>(0, result.latency_ms)));
       if (ObsEnabled()) {
         // Exemplar = this request's id, so the latency histogram's +Inf
         // bucket names the slowest successful request.
@@ -390,18 +593,24 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
       result.status =
           Status::DeadlineExceeded("request deadline expired in flight");
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      tenant->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
       MirrorCount("serve.deadline_exceeded");
+      MirrorCount(tenant->m_deadline_exceeded);
     } else if (status.IsResourceExhausted() || status.IsDeadlineExceeded()) {
       // Batch-level cancellation (watchdog trip or shutdown) on a request
       // whose own deadline still had slack.
       result.status = Status::ResourceExhausted(
           "request cancelled: " + std::string(status.message()));
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      tenant->cancelled.fetch_add(1, std::memory_order_relaxed);
       MirrorCount("serve.cancelled");
+      MirrorCount(tenant->m_cancelled);
     } else {
       result.status = status;  // backend error, propagated verbatim
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      tenant->cancelled.fetch_add(1, std::memory_order_relaxed);
       MirrorCount("serve.cancelled");
+      MirrorCount(tenant->m_cancelled);
     }
     req.rc.respond_ms = NowMs();
     ObservePhases(req.rc);
@@ -446,7 +655,7 @@ void InferenceService::WatchdogLoop() {
 
 void InferenceService::Stop(StopMode mode) {
   MutexLock lifecycle(lifecycle_mu_);
-  std::deque<PendingRequest> abandoned;
+  std::vector<PendingRequest> abandoned;
   bool cancelled_now = false;
   {
     MutexLock lock(mu_);
@@ -454,7 +663,14 @@ void InferenceService::Stop(StopMode mode) {
     if (mode == StopMode::kCancelPending && !cancel_pending_) {
       cancel_pending_ = true;
       cancelled_now = true;
-      abandoned.swap(queue_);
+      for (const auto& tenant : tenants_) {
+        for (PendingRequest& req : tenant->queue) {
+          abandoned.push_back(std::move(req));
+        }
+        tenant->queue.clear();
+        tenant->deficit = 0;
+      }
+      total_queued_ = 0;
     }
   }
   // Queued promises resolve outside the queue lock: CompleteShed touches no
@@ -488,7 +704,8 @@ int InferenceService::statusz_port() const {
 std::string InferenceService::RenderServeSection() const {
   const ServeStats s = Stats();
   std::ostringstream os;
-  os << "backend: " << backend_->name() << "\n";
+  os << "backend: " << registry_->Current()->backend->name() << " (v"
+     << registry_->live_version() << ")\n";
   os << "quality_rung: " << (s.degraded ? "degraded" : "full") << "\n";
   os << "queue_occupancy: " << s.queue_depth << "/" << options_.queue_capacity
      << "\n";
@@ -501,6 +718,16 @@ std::string InferenceService::RenderServeSection() const {
      << " cancelled: " << s.cancelled << "\n";
   os << "watchdog_trips: " << s.watchdog_trips
      << " degrade_transitions: " << s.degrade_transitions << "\n";
+  os << "tenants:\n";
+  for (const TenantStats& t : s.tenants) {
+    os << "  " << t.name << " quota=" << t.quota << " weight=" << t.weight
+       << " queued=" << t.queue_depth << " submitted=" << t.submitted
+       << " admitted=" << t.admitted << " shed=" << t.shed
+       << " completed=" << t.completed
+       << " completed_degraded=" << t.completed_degraded
+       << " deadline_exceeded=" << t.deadline_exceeded
+       << " cancelled=" << t.cancelled << "\n";
+  }
   return os.str();
 }
 
@@ -517,9 +744,27 @@ ServeStats InferenceService::Stats() const {
   stats.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
   stats.degrade_transitions =
       degrade_transitions_.load(std::memory_order_relaxed);
+  stats.tenants.reserve(tenants_.size());
   {
     MutexLock lock(mu_);
-    stats.queue_depth = queue_.size();
+    stats.queue_depth = total_queued_;
+    for (const auto& tenant : tenants_) {
+      TenantStats t;
+      t.name = tenant->config.name;
+      t.quota = tenant->config.quota;
+      t.weight = tenant->config.weight;
+      t.submitted = tenant->submitted.load(std::memory_order_relaxed);
+      t.admitted = tenant->admitted.load(std::memory_order_relaxed);
+      t.shed = tenant->shed.load(std::memory_order_relaxed);
+      t.completed = tenant->completed.load(std::memory_order_relaxed);
+      t.completed_degraded =
+          tenant->completed_degraded.load(std::memory_order_relaxed);
+      t.deadline_exceeded =
+          tenant->deadline_exceeded.load(std::memory_order_relaxed);
+      t.cancelled = tenant->cancelled.load(std::memory_order_relaxed);
+      t.queue_depth = tenant->queue.size();
+      stats.tenants.push_back(std::move(t));
+    }
   }
   stats.executing = executing_.load(std::memory_order_relaxed);
   stats.degraded = degraded_.load(std::memory_order_relaxed);
@@ -532,6 +777,10 @@ void InferenceService::CompleteShed(PendingRequest* req,
   result.status = Status::ResourceExhausted(why);
   cancelled_.fetch_add(1, std::memory_order_relaxed);
   MirrorCount("serve.cancelled");
+  if (req->tenant != nullptr) {
+    req->tenant->cancelled.fetch_add(1, std::memory_order_relaxed);
+    MirrorCount(req->tenant->m_cancelled);
+  }
   ObservePhases(req->rc);  // whatever segments closed before the cut
   req->promise.set_value(std::move(result));
 }
@@ -543,12 +792,16 @@ void InferenceService::CompleteDeadline(PendingRequest* req,
   result.latency_ms = NowMs() - req->enqueue_ms;
   deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   MirrorCount("serve.deadline_exceeded");
+  if (req->tenant != nullptr) {
+    req->tenant->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    MirrorCount(req->tenant->m_deadline_exceeded);
+  }
   ObservePhases(req->rc);
   req->promise.set_value(std::move(result));
 }
 
 void InferenceService::UpdateLadderLocked() {
-  const double occupancy = static_cast<double>(queue_.size()) /
+  const double occupancy = static_cast<double>(total_queued_) /
                            static_cast<double>(options_.queue_capacity);
   const bool degraded = degraded_.load(std::memory_order_relaxed);
   if (!degraded && occupancy >= options_.degrade_above_fraction) {
@@ -572,30 +825,29 @@ void InferenceService::TripDegraded() {
   }
 }
 
-int64_t InferenceService::RetryAfterHintLocked() const {
-  // Expected drain time for the queued work, from the latency EWMA. With no
-  // completed requests yet, fall back to the default deadline.
-  const int64_t ewma_q10 = latency_ewma_q10_.load(std::memory_order_relaxed);
+int64_t InferenceService::RetryAfterHintLocked(const TenantState& tenant,
+                                               bool tenant_bound) const {
+  // Expected drain time for the backlog that shed this request, priced at
+  // the shedding tenant's own pace: a light tenant's hint must not inflate
+  // because a heavy tenant is slow or backlogged. Fallbacks: global EWMA
+  // (young tenant), then the default deadline (cold service).
+  int64_t ewma_q10 = tenant.latency_ewma_q10.load(std::memory_order_relaxed);
+  if (ewma_q10 == 0) {
+    ewma_q10 = latency_ewma_q10_.load(std::memory_order_relaxed);
+  }
   if (ewma_q10 == 0) return options_.default_deadline_ms;
   const int64_t per_request_ms = std::max<int64_t>(1, ewma_q10 >> 10);
-  const int64_t depth = static_cast<int64_t>(queue_.size());
+  const int64_t depth = static_cast<int64_t>(
+      tenant_bound ? tenant.queue.size() : total_queued_);
   const int64_t workers = static_cast<int64_t>(options_.workers);
   return std::max<int64_t>(1, per_request_ms * depth / workers);
 }
 
-void InferenceService::ObserveLatency(int64_t latency_ms) {
+void InferenceService::ObserveLatency(TenantState* tenant,
+                                      int64_t latency_ms) {
   const int64_t sample_q10 = std::max<int64_t>(0, latency_ms) << 10;
-  int64_t cur = latency_ewma_q10_.load(std::memory_order_relaxed);
-  for (;;) {
-    // EWMA with alpha = 1/4; the first sample seeds the average.
-    const int64_t next =
-        cur == 0 ? std::max<int64_t>(1, sample_q10)
-                 : cur + ((sample_q10 - cur) >> 2);
-    if (latency_ewma_q10_.compare_exchange_weak(cur, next,
-                                                std::memory_order_relaxed)) {
-      return;
-    }
-  }
+  UpdateEwmaQ10(latency_ewma_q10_, sample_q10);
+  if (tenant != nullptr) UpdateEwmaQ10(tenant->latency_ewma_q10, sample_q10);
 }
 
 }  // namespace sampnn

@@ -24,6 +24,22 @@
 //      kResourceExhausted and a retry-after hint.
 // Recovery back to healthy uses hysteresis (recover_below_fraction).
 //
+// Multi-tenant serving (DESIGN.md §13.4): requests carry a tenant name.
+// Each configured tenant gets its own admission quota (a sub-queue bound
+// inside the global queue_capacity) and a weighted-fair share of batch
+// assembly via deficit round-robin, so a flooding tenant exhausts its own
+// quota and its own share of worker time without starving anyone else.
+// Shed hints are per-tenant: the retry-after estimate is computed from the
+// shedding tenant's own backlog and latency EWMA, not a global average that
+// a heavy tenant would inflate for everyone.
+//
+// The model itself lives in a ModelRegistry (src/registry/): each batch
+// pins the live ModelEntry with one lock-free Current() call and finishes
+// on that version even if a promotion flips the registry mid-batch —
+// zero-downtime hot swap with no request drops. Create(backend) wraps the
+// backend in a single-entry registry, so single-model callers see no
+// difference.
+//
 // All timing runs on an injectable Clock, so tests drive deadlines and the
 // watchdog budget with a ManualClock — outcome mixes are exact, never
 // wall-clock-flaky.
@@ -39,7 +55,9 @@
 #include <vector>
 
 #include "src/obs/request_context.h"
+#include "src/registry/model_registry.h"
 #include "src/serve/model_backend.h"
+#include "src/serve/tenant.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
@@ -78,11 +96,16 @@ struct ServeOptions {
   int64_t slo_window_ms = 10'000;  ///< SLO sliding window length
                                    ///< (SAMPNN_SLO_WINDOW_MS)
 
+  /// Tenant quotas and weights (SAMPNN_TENANT_QUOTAS, see tenant.h). A
+  /// "default" tenant with quota == queue_capacity and weight 1 is appended
+  /// when the list omits it; an empty list yields single-tenant serving.
+  std::vector<TenantConfig> tenants;
+
   const Clock* clock = nullptr;  ///< nullptr = the real monotonic clock
 
   /// Defaults with SAMPNN_SERVE_QUEUE_CAP / SAMPNN_SERVE_DEADLINE_MS /
-  /// SAMPNN_STATUSZ_PORT / SAMPNN_SLO_WINDOW_MS applied (hardened parse:
-  /// garbage warns once and is clamped).
+  /// SAMPNN_STATUSZ_PORT / SAMPNN_SLO_WINDOW_MS / SAMPNN_TENANT_QUOTAS
+  /// applied (hardened parse: garbage warns once and is clamped).
   static ServeOptions FromEnv();
 };
 
@@ -95,8 +118,27 @@ struct InferenceResult {
   std::vector<float> logits;  ///< on kOk: one logit per class
   int32_t predicted = -1;     ///< on kOk: argmax class
   bool degraded = false;      ///< served on the degraded rung
-  int64_t retry_after_ms = 0;  ///< on shed: back-off hint for the client
+  int64_t retry_after_ms = 0;  ///< on shed: back-off hint for the client,
+                               ///< estimated from the shedding tenant's own
+                               ///< backlog and latency EWMA
   int64_t latency_ms = 0;      ///< admission -> completion (service clock)
+  uint64_t model_version = 0;  ///< on kOk: registry version that served it
+};
+
+/// Per-tenant slice of ServeStats. The same conservation identities hold
+/// within each tenant (a shed or completion is accounted to exactly one).
+struct TenantStats {
+  std::string name;
+  size_t quota = 0;
+  size_t weight = 1;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  uint64_t completed_degraded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  size_t queue_depth = 0;
 };
 
 /// Monotonic outcome counters plus instantaneous depth/state. Snapshot via
@@ -121,15 +163,23 @@ struct ServeStats {
   size_t queue_depth = 0;
   size_t executing = 0;  ///< requests inside running micro-batches
   bool degraded = false;
+  std::vector<TenantStats> tenants;  ///< per-tenant slices, config order
 };
 
 /// \brief The deadline-aware serving front-end. Thread-safe; one instance
 /// serves concurrent Submit() callers.
 class InferenceService {
  public:
-  /// Validates options and starts worker + watchdog threads.
+  /// Wraps `backend` in a fixed single-entry registry (promotion disabled)
+  /// and starts the service — the single-model entry point.
   static StatusOr<std::unique_ptr<InferenceService>> Create(
       std::unique_ptr<ModelBackend> backend, const ServeOptions& options);
+
+  /// Serves whatever `registry` holds live. The registry is shared: the
+  /// caller keeps its handle and drives promotions/rollbacks concurrently
+  /// with traffic; each batch pins the entry it started on.
+  static StatusOr<std::unique_ptr<InferenceService>> Create(
+      std::shared_ptr<ModelRegistry> registry, const ServeOptions& options);
 
   /// Stops with StopMode::kDrain.
   ~InferenceService();
@@ -137,13 +187,22 @@ class InferenceService {
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
 
-  /// Submits one input row under the default deadline.
+  /// Submits one input row under the default deadline, as the default
+  /// tenant.
   std::future<InferenceResult> Submit(std::vector<float> input);
-  /// Submits one input row with an explicit deadline. The returned future
-  /// always becomes ready: sheds and validation failures resolve
-  /// immediately, admitted requests resolve when their batch completes or
-  /// their deadline is enforced.
+  /// Submits one input row with an explicit deadline, as the default
+  /// tenant. The returned future always becomes ready: sheds and validation
+  /// failures resolve immediately, admitted requests resolve when their
+  /// batch completes or their deadline is enforced.
   std::future<InferenceResult> Submit(std::vector<float> input,
+                                      Deadline deadline);
+  /// Tenant-attributed submission under the default deadline. Unknown
+  /// tenant names are accounted to (and bounded by) the default tenant.
+  std::future<InferenceResult> Submit(std::string_view tenant,
+                                      std::vector<float> input);
+  /// Tenant-attributed submission with an explicit deadline.
+  std::future<InferenceResult> Submit(std::string_view tenant,
+                                      std::vector<float> input,
                                       Deadline deadline);
 
   enum class StopMode {
@@ -159,19 +218,51 @@ class InferenceService {
 
   ServeStats Stats() const;
   const ServeOptions& options() const { return options_; }
-  const ModelBackend& backend() const { return *backend_; }
+  /// The live backend (a convenience over registry()->Current(); the
+  /// reference is only stable while no promotion flips the registry).
+  const ModelBackend& backend() const { return *registry_->Current()->backend; }
+  /// The registry this service serves from. Never null; single-model
+  /// services own a fixed registry with promotion disabled.
+  ModelRegistry* registry() const { return registry_.get(); }
 
   /// Bound port of the embedded introspection server, or -1 when it is off
   /// (options.statusz_port == -1 or the bind failed).
   int statusz_port() const;
 
  private:
+  struct TenantState;
+
   struct PendingRequest {
     std::vector<float> input;
     Deadline deadline;
     std::promise<InferenceResult> promise;
     int64_t enqueue_ms = 0;
     RequestContext rc;  ///< id + phase-boundary stamps (DESIGN.md §12)
+    TenantState* tenant = nullptr;  ///< owning sub-queue (stable pointer)
+  };
+
+  /// One tenant's sub-queue plus its always-on counters (ServeStats slice)
+  /// and the precomputed serve.tenant.<name>.* metric names, built once at
+  /// startup so the hot path never concatenates strings. Queue, deficit and
+  /// depth live under mu_; the counters are relaxed atomics like the global
+  /// ones.
+  struct TenantState {
+    explicit TenantState(TenantConfig config);
+
+    const TenantConfig config;
+    std::deque<PendingRequest> queue;  // guarded by mu_ (see tenants_)
+    int64_t deficit = 0;               // DRR credit, guarded by mu_
+
+    std::atomic<uint64_t> submitted{0}, admitted{0}, shed{0}, completed{0},
+        completed_degraded{0}, deadline_exceeded{0}, cancelled{0};
+    // Per-tenant latency EWMA (ms * 1024 fixed point), feeding the
+    // per-tenant retry-after hint. 0 = no data yet.
+    std::atomic<int64_t> latency_ewma_q10{0};
+
+    // serve.tenant.<name>.{submitted,admitted,shed,...} etc.
+    const std::string m_submitted, m_admitted, m_shed, m_completed,
+        m_completed_degraded, m_deadline_exceeded, m_cancelled,
+        m_queue_depth, m_retry_after_ms, m_latency_ms;
   };
 
   // Watchdog heartbeat per worker. batch_start_ms: kIdle when between
@@ -186,7 +277,7 @@ class InferenceService {
     CancellationToken batch_token SAMPNN_GUARDED_BY(token_mu);
   };
 
-  InferenceService(std::unique_ptr<ModelBackend> backend,
+  InferenceService(std::shared_ptr<ModelRegistry> registry,
                    const ServeOptions& options);
   void Start();
 
@@ -200,9 +291,24 @@ class InferenceService {
   void UpdateLadderLocked() SAMPNN_REQUIRES(mu_);
   // Trips the ladder to degraded (watchdog path); takes mu_ itself.
   void TripDegraded() SAMPNN_EXCLUDES(mu_);
-  int64_t RetryAfterHintLocked() const SAMPNN_REQUIRES(mu_);
+  /// Deficit-round-robin batch assembly: pops up to `cap` ready requests
+  /// across the tenant sub-queues in weight proportion (fail-fasting
+  /// expired ones as it goes). Deterministic given queue contents: the
+  /// round-robin cursor and per-tenant deficits persist across batches.
+  std::vector<PendingRequest> AssembleBatchLocked(size_t cap,
+                                                  ServeQuality quality)
+      SAMPNN_REQUIRES(mu_);
+  /// Tenant lookup by name; unknown names map to the default tenant.
+  TenantState* ResolveTenant(std::string_view name);
+  /// Back-off hint for a shed on `tenant`: expected drain time of the
+  /// backlog the shed actually hit — the tenant's own queue when its quota
+  /// rejected the request, the whole queue when global capacity did —
+  /// priced at the tenant's latency EWMA (global EWMA, then the default
+  /// deadline, as fallbacks).
+  int64_t RetryAfterHintLocked(const TenantState& tenant,
+                               bool tenant_bound) const SAMPNN_REQUIRES(mu_);
   int64_t NowMs() const { return clock_->NowMillis(); }
-  void ObserveLatency(int64_t latency_ms);
+  void ObserveLatency(TenantState* tenant, int64_t latency_ms);
 
   // Observability gate: metrics flow to the registry when telemetry is on
   // OR the introspection server is configured (a /metricsz scrape must see
@@ -213,9 +319,9 @@ class InferenceService {
   bool ObsEnabled() const {
     return TelemetryEnabled() || options_.statusz_port >= 0;
   }
-  void MirrorCount(const char* name, uint64_t delta = 1) const;
-  void MirrorGauge(const char* name, double value) const;
-  void MirrorHistogram(const char* name, uint64_t value) const;
+  void MirrorCount(std::string_view name, uint64_t delta = 1) const;
+  void MirrorGauge(std::string_view name, double value) const;
+  void MirrorHistogram(std::string_view name, uint64_t value) const;
   /// Observes every closed phase segment of `rc` into the serve.phase.*
   /// histograms, with the request id as the exemplar.
   void ObservePhases(const RequestContext& rc) const;
@@ -223,11 +329,21 @@ class InferenceService {
 
   const ServeOptions options_;
   const Clock* const clock_;
-  std::unique_ptr<ModelBackend> backend_;
+  // The model source. Dim compatibility is a promotion invariant, so the
+  // input dim is cached once instead of chasing the live entry per Submit.
+  const std::shared_ptr<ModelRegistry> registry_;
+  const size_t input_dim_;
 
   mutable Mutex mu_{"serve.queue", lockrank::kServeQueue};
   CondVar work_cv_;
-  std::deque<PendingRequest> queue_ SAMPNN_GUARDED_BY(mu_);
+  // Tenant sub-queues, config order with "default" guaranteed present.
+  // The vector itself is immutable after Start(); each element's queue /
+  // deficit are guarded by mu_ (annotated inside TenantState by comment —
+  // the analysis cannot tie a nested struct's fields to an outer mutex).
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+  size_t default_tenant_ = 0;  ///< index of kDefaultTenant in tenants_
+  size_t total_queued_ SAMPNN_GUARDED_BY(mu_) = 0;
+  size_t drr_cursor_ SAMPNN_GUARDED_BY(mu_) = 0;
   bool stopping_ SAMPNN_GUARDED_BY(mu_) = false;
   bool cancel_pending_ SAMPNN_GUARDED_BY(mu_) = false;
 

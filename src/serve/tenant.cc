@@ -1,0 +1,79 @@
+#include "src/serve/tenant.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+// Parses a strictly positive decimal integer; false on garbage/overflow.
+bool ParsePositive(const std::string& text, size_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 ||
+      value > 1ull << 30) {
+    return false;
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<TenantConfig>> ParseTenantQuotas(
+    const std::string& spec) {
+  std::vector<TenantConfig> tenants;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad tenant spec item (want "
+                                     "name=quota[:weight]): " +
+                                     item);
+    }
+    TenantConfig tenant;
+    tenant.name = item.substr(0, eq);
+    for (const auto& existing : tenants) {
+      if (existing.name == tenant.name) {
+        return Status::InvalidArgument("duplicate tenant: " + tenant.name);
+      }
+    }
+    const std::string rest = item.substr(eq + 1);
+    const size_t colon = rest.find(':');
+    const std::string quota_str =
+        colon == std::string::npos ? rest : rest.substr(0, colon);
+    if (!ParsePositive(quota_str, &tenant.quota)) {
+      return Status::InvalidArgument("bad tenant quota in item: " + item);
+    }
+    if (colon != std::string::npos &&
+        !ParsePositive(rest.substr(colon + 1), &tenant.weight)) {
+      return Status::InvalidArgument("bad tenant weight in item: " + item);
+    }
+    tenants.push_back(std::move(tenant));
+  }
+  return tenants;
+}
+
+std::vector<TenantConfig> TenantQuotasFromEnv() {
+  const std::string spec = GetEnvOr("SAMPNN_TENANT_QUOTAS", "");
+  if (spec.empty()) return {};
+  auto tenants = ParseTenantQuotas(spec);
+  if (!tenants.ok()) {
+    std::fprintf(stderr,
+                 "[sampnn] SAMPNN_TENANT_QUOTAS ignored: %s\n",
+                 tenants.status().ToString().c_str());
+    return {};
+  }
+  return std::move(tenants).value();
+}
+
+}  // namespace sampnn

@@ -1,0 +1,48 @@
+// Multi-tenant serving configuration (DESIGN.md §13.4). A tenant is a
+// traffic class with its own admission quota (bound on queued requests) and
+// a weighted-fair share of batch assembly (deficit round-robin quantum), so
+// a tenant flooding the service saturates its own quota and its own share
+// of worker time — it cannot starve a light tenant out of either.
+//
+// Specs come from the SAMPNN_TENANT_QUOTAS environment variable or the
+// serve_mlp --tenants flag, one comma-separated item per tenant:
+//
+//   "batch=8:1,interactive=4:3"        name=quota:weight
+//   "batch=8"                          weight defaults to 1
+//
+// A service always has a "default" tenant (unknown submitters land there);
+// when the spec omits it, one is appended with the service-wide defaults.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Name every request without an explicit tenant is accounted under.
+inline constexpr const char* kDefaultTenant = "default";
+
+/// One traffic class.
+struct TenantConfig {
+  std::string name;
+  size_t quota = 0;   ///< max queued requests; above it, Submit sheds
+  size_t weight = 1;  ///< deficit-round-robin quantum (relative share)
+};
+
+/// Parses a tenant spec ("name=quota[:weight],..."). Rules: names must be
+/// non-empty and unique, quota >= 1, weight >= 1. An empty spec yields an
+/// empty vector (the service then runs single-tenant with its global
+/// defaults). Does NOT append the default tenant — the service does that,
+/// because the fallback quota is the service's global queue capacity.
+StatusOr<std::vector<TenantConfig>> ParseTenantQuotas(
+    const std::string& spec);
+
+/// ParseTenantQuotas over SAMPNN_TENANT_QUOTAS; empty vector when unset.
+/// A malformed value is reported (stderr, once) and treated as unset, so a
+/// typo degrades to single-tenant serving instead of failing startup.
+std::vector<TenantConfig> TenantQuotasFromEnv();
+
+}  // namespace sampnn

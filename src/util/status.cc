@@ -29,6 +29,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

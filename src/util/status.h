@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kNotImplemented = 8,
   kDeadlineExceeded = 9,    ///< a request ran out of time (serving layer)
   kResourceExhausted = 10,  ///< admission rejected / compute budget revoked
+  kAborted = 11,   ///< operation lost a race (e.g. promotion vs. drain)
+  kDataLoss = 12,  ///< payload failed integrity checks (CRC, framing)
 };
 
 /// Returns a short human-readable name for a status code ("Invalid argument").
@@ -89,6 +91,14 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// Returns an Aborted status with the given message.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// Returns a DataLoss status with the given message.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return state_ == nullptr; }
@@ -106,6 +116,8 @@ class [[nodiscard]] Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,0 +1,392 @@
+// ModelRegistry tests: RCU pinning semantics, every gate of the promotion
+// pipeline (corrupt / incompatible / regressed / raced), rollback, retention
+// pruning, checkpoint-backed promotion, and the registry-local fault
+// injector's attempt-counted schedule. All deterministic: faults come from
+// specs, timing from a ManualClock, and "regression" from either an
+// injected fault or a genuinely poisoned candidate.
+
+#include "src/registry/model_registry.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/mlp.h"
+#include "src/nn/serialize.h"
+#include "src/resilience/checkpoint.h"
+#include "src/serve/model_backend.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/crc32.h"
+#include "src/util/deadline.h"
+
+namespace sampnn {
+namespace {
+
+Mlp SmallNet(uint64_t seed = 42) {
+  MlpConfig config = MlpConfig::Uniform(/*input_dim=*/4, /*output_dim=*/3,
+                                        /*depth=*/1, /*width=*/8);
+  config.seed = seed;
+  return std::move(Mlp::Create(config)).ValueOrDie("net");
+}
+
+CanaryBatch SmallCanary() {
+  CanaryBatch canary;
+  canary.inputs = Matrix(4, 4);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      canary.inputs(r, c) = 0.1f * static_cast<float>(r + c + 1);
+    }
+  }
+  canary.labels = {0, 1, 2, 0};
+  return canary;
+}
+
+ModelRegistry::BackendFactory DenseFactory() {
+  return [](Mlp model) -> StatusOr<std::shared_ptr<ModelBackend>> {
+    return std::shared_ptr<ModelBackend>(MakeDenseBackend(std::move(model)));
+  };
+}
+
+std::unique_ptr<ModelRegistry> MakeRegistry(RegistryOptions options = {}) {
+  return std::move(ModelRegistry::Create(MakeDenseBackend(SmallNet()),
+                                         DenseFactory(), options))
+      .ValueOrDie("registry");
+}
+
+// Unique per-test scratch directory under the build tree.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("sampnn_registry_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Writes `net` as the payload of a framed checkpoint at `step`.
+void WriteModelCheckpoint(const std::string& dir, uint64_t step,
+                          const Mlp& net) {
+  std::ostringstream payload;
+  ASSERT_TRUE(SaveMlp(net, payload).ok());
+  auto writer =
+      std::move(CheckpointWriter::Create({dir, /*retain=*/0}))
+          .ValueOrDie("writer");
+  ASSERT_TRUE(writer.Write(step, payload.str()).ok());
+}
+
+class ModelRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::ClearGlobal();
+    SetTelemetryEnabled(false);
+  }
+};
+
+TEST_F(ModelRegistryTest, CreateRejectsNullBackendAndBootsAtVersionOne) {
+  EXPECT_TRUE(ModelRegistry::Create(nullptr, DenseFactory(), {})
+                  .status()
+                  .IsInvalidArgument());
+  auto registry = MakeRegistry();
+  EXPECT_EQ(registry->live_version(), 1u);
+  EXPECT_EQ(registry->Current()->provenance.checkpoint_path, "");
+  EXPECT_EQ(registry->LastPromotion().outcome, PromotionOutcome::kNone);
+  EXPECT_EQ(registry->RetainedEntries().size(), 1u);
+}
+
+TEST_F(ModelRegistryTest, PromoteFlipsAndRetainsPriorVersion) {
+  auto registry = MakeRegistry();
+  auto version = registry->Promote(SmallNet(7), {}, SmallCanary());
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(version.value(), 2u);
+  EXPECT_EQ(registry->live_version(), 2u);
+  EXPECT_EQ(registry->LastPromotion().outcome, PromotionOutcome::kPromoted);
+  const auto entries = registry->RetainedEntries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0]->version, 2u);
+  EXPECT_EQ(entries[1]->version, 1u);
+  const RegistryStats stats = registry->stats();
+  EXPECT_EQ(stats.promotions_attempted, 1u);
+  EXPECT_EQ(stats.promoted, 1u);
+}
+
+TEST_F(ModelRegistryTest, InFlightHoldersKeepServingTheirPinnedVersion) {
+  auto registry = MakeRegistry();
+  // A "batch" pins the entry it started on.
+  const std::shared_ptr<const ModelEntry> pinned = registry->Current();
+  ASSERT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  EXPECT_EQ(registry->live_version(), 2u);
+  // The pinned v1 entry is still fully servable after the flip.
+  EXPECT_EQ(pinned->version, 1u);
+  const CanaryBatch canary = SmallCanary();
+  Matrix logits;
+  EXPECT_TRUE(pinned->backend
+                  ->Forward(canary.inputs, CancelContext{},
+                            ServeQuality::kFull, &logits)
+                  .ok());
+  EXPECT_EQ(logits.rows(), canary.inputs.rows());
+}
+
+TEST_F(ModelRegistryTest, PromotionWithoutFactoryIsRejected) {
+  auto registry =
+      std::move(ModelRegistry::Create(MakeDenseBackend(SmallNet()),
+                                      /*factory=*/nullptr, {}))
+          .ValueOrDie("registry");
+  const auto result = registry->Promote(SmallNet(7), {}, SmallCanary());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  EXPECT_EQ(registry->live_version(), 1u);
+}
+
+TEST_F(ModelRegistryTest, IncompatibleDimsAreRejected) {
+  auto registry = MakeRegistry();
+  Mlp wrong = std::move(Mlp::Create(MlpConfig::Uniform(5, 3, 1, 8)))
+                  .ValueOrDie("wrong");
+  const auto result = registry->Promote(std::move(wrong), {}, SmallCanary());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  EXPECT_EQ(registry->live_version(), 1u);
+  EXPECT_EQ(registry->LastPromotion().outcome,
+            PromotionOutcome::kRejectedIncompatible);
+  EXPECT_EQ(registry->stats().rejected_incompatible, 1u);
+}
+
+TEST_F(ModelRegistryTest, GenuinelyPoisonedCandidateTripsTheCanaryGate) {
+  auto registry = MakeRegistry();
+  Mlp poisoned = SmallNet(7);
+  // Poison the (linear) output layer: a NaN there reaches the logits — a
+  // hidden-layer NaN would be squashed to 0 by ReLU and evade the gate.
+  poisoned.layer(poisoned.num_layers() - 1).weights()(0, 0) =
+      std::numeric_limits<float>::quiet_NaN();
+  const auto result = registry->Promote(std::move(poisoned), {}, SmallCanary());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  EXPECT_EQ(registry->LastPromotion().outcome,
+            PromotionOutcome::kRejectedRegressed);
+  EXPECT_EQ(registry->live_version(), 1u);
+  // A rejected candidate must not enter the retained set.
+  EXPECT_EQ(registry->RetainedEntries().size(), 1u);
+}
+
+TEST_F(ModelRegistryTest, InjectedPromotionFaultsRejectWithTypedStatuses) {
+  RegistryOptions options;
+  options.promote_fault_spec =
+      "promote-corrupt@1,promote-regressed@2,swap-race@3";
+  auto registry = MakeRegistry(options);
+
+  auto corrupt = registry->Promote(SmallNet(7), {}, SmallCanary());
+  EXPECT_TRUE(corrupt.status().IsDataLoss());
+  EXPECT_EQ(registry->LastPromotion().outcome,
+            PromotionOutcome::kRejectedCorrupt);
+
+  auto regressed = registry->Promote(SmallNet(8), {}, SmallCanary());
+  EXPECT_TRUE(regressed.status().IsFailedPrecondition());
+  EXPECT_EQ(registry->LastPromotion().outcome,
+            PromotionOutcome::kRejectedRegressed);
+
+  auto raced = registry->Promote(SmallNet(9), {}, SmallCanary());
+  EXPECT_TRUE(raced.status().IsAborted());
+  EXPECT_EQ(registry->LastPromotion().outcome,
+            PromotionOutcome::kRejectedRaced);
+
+  // Three rejections, zero flips: v1 never stopped serving.
+  EXPECT_EQ(registry->live_version(), 1u);
+  const RegistryStats stats = registry->stats();
+  EXPECT_EQ(stats.promotions_attempted, 3u);
+  EXPECT_EQ(stats.rejected_corrupt, 1u);
+  EXPECT_EQ(stats.rejected_regressed, 1u);
+  EXPECT_EQ(stats.rejected_raced, 1u);
+  EXPECT_EQ(stats.promoted, 0u);
+
+  // The schedule is spent: the fourth attempt sails through.
+  auto ok = registry->Promote(SmallNet(10), {}, SmallCanary());
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(registry->live_version(), 2u);
+}
+
+TEST_F(ModelRegistryTest, LocalFaultScheduleCountsPromotionAttempts) {
+  // "@2" on the registry-local injector means "the second promotion
+  // attempt", regardless of any global injector traffic.
+  RegistryOptions options;
+  options.promote_fault_spec = "promote-corrupt@2";
+  auto registry = MakeRegistry(options);
+  EXPECT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  EXPECT_TRUE(registry->Promote(SmallNet(8), {}, SmallCanary())
+                  .status()
+                  .IsDataLoss());
+  EXPECT_TRUE(registry->Promote(SmallNet(9), {}, SmallCanary()).ok());
+  EXPECT_EQ(registry->live_version(), 3u);
+}
+
+TEST_F(ModelRegistryTest, RollbackRepinsARetainedVersion) {
+  auto registry = MakeRegistry();
+  ASSERT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  ASSERT_TRUE(registry->Promote(SmallNet(8), {}, SmallCanary()).ok());
+  EXPECT_EQ(registry->live_version(), 3u);
+
+  EXPECT_TRUE(registry->Rollback(3).IsFailedPrecondition());  // already live
+  EXPECT_TRUE(registry->Rollback(99).IsNotFound());
+
+  ASSERT_TRUE(registry->Rollback(1).ok());
+  EXPECT_EQ(registry->live_version(), 1u);
+  EXPECT_EQ(registry->LastPromotion().outcome, PromotionOutcome::kRolledBack);
+  EXPECT_EQ(registry->stats().rollbacks, 1u);
+  // The displaced v3 is itself retained, so the rollback can be rolled back.
+  ASSERT_TRUE(registry->Rollback(3).ok());
+  EXPECT_EQ(registry->live_version(), 3u);
+}
+
+TEST_F(ModelRegistryTest, RetentionPrunesOldestFirst) {
+  RegistryOptions options;
+  options.retain = 1;
+  auto registry = MakeRegistry(options);
+  ASSERT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  ASSERT_TRUE(registry->Promote(SmallNet(8), {}, SmallCanary()).ok());
+  ASSERT_TRUE(registry->Promote(SmallNet(9), {}, SmallCanary()).ok());
+  const auto entries = registry->RetainedEntries();
+  ASSERT_EQ(entries.size(), 2u);  // live + 1 retained
+  EXPECT_EQ(entries[0]->version, 4u);
+  EXPECT_EQ(entries[1]->version, 3u);
+  // v1/v2 aged out: not rollback targets anymore.
+  EXPECT_TRUE(registry->Rollback(1).IsNotFound());
+}
+
+TEST_F(ModelRegistryTest, PromoteFromDirLoadsValidatesAndStampsProvenance) {
+  const std::string dir = ScratchDir("from_dir");
+  const Mlp candidate = SmallNet(7);
+  WriteModelCheckpoint(dir, /*step=*/12, candidate);
+  std::ostringstream payload;
+  ASSERT_TRUE(SaveMlp(candidate, payload).ok());
+
+  auto registry = MakeRegistry();
+  auto version = registry->PromoteFromDir(dir, SmallCanary());
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  const auto live = registry->Current();
+  EXPECT_EQ(live->version, 2u);
+  EXPECT_EQ(live->provenance.checkpoint_step, 12u);
+  EXPECT_EQ(live->provenance.payload_crc32, Crc32(payload.str()));
+  EXPECT_NE(live->provenance.checkpoint_path.find("ckpt-"),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ModelRegistryTest, PromoteFromDirRejectsMissingAndCorruptInputs) {
+  auto registry = MakeRegistry();
+  // No directory at all -> the loader's NotFound, recorded as a rejection.
+  EXPECT_TRUE(registry->PromoteFromDir(ScratchDir("missing"), SmallCanary())
+                  .status()
+                  .IsNotFound());
+  EXPECT_EQ(registry->LastPromotion().outcome,
+            PromotionOutcome::kRejectedCorrupt);
+
+  // A frame whose payload is not a model -> kDataLoss.
+  const std::string dir = ScratchDir("garbage");
+  auto writer = std::move(CheckpointWriter::Create({dir, 0}))
+                    .ValueOrDie("writer");
+  ASSERT_TRUE(writer.Write(1, "definitely not an SNN1 image").ok());
+  const auto result = registry->PromoteFromDir(dir, SmallCanary());
+  EXPECT_TRUE(result.status().IsDataLoss());
+  EXPECT_EQ(registry->stats().rejected_corrupt, 2u);
+  EXPECT_EQ(registry->live_version(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ModelRegistryTest, EmptyCanarySkipsTheGate) {
+  auto registry = MakeRegistry();
+  Mlp poisoned = SmallNet(7);
+  poisoned.layer(poisoned.num_layers() - 1).weights()(0, 0) =
+      std::numeric_limits<float>::quiet_NaN();
+  // Explicitly opting out of the canary batch promotes even a bad model:
+  // the gate only protects callers who feed it.
+  EXPECT_TRUE(registry->Promote(std::move(poisoned), {}, CanaryBatch{}).ok());
+  EXPECT_EQ(registry->live_version(), 2u);
+}
+
+TEST_F(ModelRegistryTest, ManualClockStampsPromotionRecords) {
+  ManualClock clock(1000);
+  RegistryOptions options;
+  options.clock = &clock;
+  auto registry = MakeRegistry(options);
+  EXPECT_EQ(registry->Current()->promoted_at_ms, 1000);
+  clock.AdvanceMillis(250);
+  ASSERT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  EXPECT_EQ(registry->Current()->promoted_at_ms, 1250);
+  EXPECT_EQ(registry->LastPromotion().at_ms, 1250);
+}
+
+TEST_F(ModelRegistryTest, StatuszSectionShowsLiveRetainedAndLastOutcome) {
+  RegistryOptions options;
+  options.promote_fault_spec = "promote-regressed@2";
+  auto registry = MakeRegistry(options);
+  ASSERT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  EXPECT_TRUE(registry->Promote(SmallNet(8), {}, SmallCanary())
+                  .status()
+                  .IsFailedPrecondition());
+  const std::string section = registry->RenderStatuszSection();
+  EXPECT_NE(section.find("live: v2"), std::string::npos) << section;
+  EXPECT_NE(section.find("retained: v1"), std::string::npos) << section;
+  EXPECT_NE(section.find("rejected-regressed"), std::string::npos) << section;
+  EXPECT_NE(section.find("attempted=2"), std::string::npos) << section;
+  EXPECT_NE(section.find("promoted=1"), std::string::npos) << section;
+}
+
+TEST_F(ModelRegistryTest, MetricsMirrorOnlyWhenObservabilityIsOn) {
+  MetricsRegistry::Get().ResetAll();
+  {
+    RegistryOptions off;
+    off.obs_enabled = [] { return false; };
+    auto registry = MakeRegistry(off);
+    ASSERT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  }
+  // Nothing registered: the gauge reads as freshly created (0).
+  EXPECT_EQ(MetricsRegistry::Get().GetGauge("registry.live_version").Value(),
+            0.0);
+
+  RegistryOptions on;
+  on.obs_enabled = [] { return true; };
+  auto registry = MakeRegistry(on);
+  ASSERT_TRUE(registry->Promote(SmallNet(7), {}, SmallCanary()).ok());
+  EXPECT_EQ(MetricsRegistry::Get().GetGauge("registry.live_version").Value(),
+            2.0);
+  EXPECT_EQ(MetricsRegistry::Get()
+                .GetCounter("registry.promote.promoted")
+                .Value(),
+            1u);
+  MetricsRegistry::Get().ResetAll();
+}
+
+TEST_F(ModelRegistryTest, ConcurrentReadersNeverSeeANullOrTornEntry) {
+  auto registry = MakeRegistry();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> max_seen{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto entry = registry->Current();
+      ASSERT_NE(entry, nullptr);
+      ASSERT_NE(entry->backend, nullptr);
+      // Versions only move forward under promotion-only traffic.
+      const uint64_t v = entry->version;
+      uint64_t prev = max_seen.load(std::memory_order_relaxed);
+      while (v > prev && !max_seen.compare_exchange_weak(prev, v)) {
+      }
+      ASSERT_GE(v, 1u);
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        registry->Promote(SmallNet(100 + i), {}, SmallCanary()).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(registry->live_version(), 9u);
+}
+
+TEST_F(ModelRegistryTest, FromEnvParsesRetention) {
+  const RegistryOptions defaults = RegistryOptions::FromEnv();
+  EXPECT_EQ(defaults.retain, 3u);
+}
+
+}  // namespace
+}  // namespace sampnn

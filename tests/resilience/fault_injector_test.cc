@@ -47,6 +47,8 @@ TEST_F(FaultInjectorTest, KindNamesRoundTrip) {
       FaultKind::kCkptCorrupt,  FaultKind::kFsyncFail,
       FaultKind::kRenameFail,   FaultKind::kServeDelay,
       FaultKind::kServeHang,    FaultKind::kRejectAdmission,
+      FaultKind::kPromoteCorrupt, FaultKind::kPromoteRegressed,
+      FaultKind::kSwapRace,
   };
   for (FaultKind kind : kinds) {
     auto parsed = FaultKindFromString(FaultKindToString(kind));

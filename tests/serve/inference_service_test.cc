@@ -107,7 +107,12 @@ TEST_F(InferenceServiceTest, CreateValidatesOptions) {
   EXPECT_TRUE(InferenceService::Create(MakeDenseBackend(SmallNet()), bad)
                   .status()
                   .IsInvalidArgument());
-  EXPECT_TRUE(InferenceService::Create(nullptr, ServeOptions())
+  EXPECT_TRUE(InferenceService::Create(std::unique_ptr<ModelBackend>(),
+                                       ServeOptions())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(InferenceService::Create(std::shared_ptr<ModelRegistry>(),
+                                       ServeOptions())
                   .status()
                   .IsInvalidArgument());
 }

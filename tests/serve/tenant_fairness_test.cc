@@ -1,0 +1,404 @@
+// Multi-tenant serving tests: quota isolation, deficit-round-robin batch
+// assembly, per-tenant retry-after hints, and zero-drop hot swap under
+// sustained load. The overload test runs entirely on a frozen ManualClock:
+// every latency is 0, so the EWMA seeds to its 1-q10 floor, per-request
+// cost prices at exactly 1 ms, and the retry hints are exact integers —
+// the admitted/shed mix and the batch compositions are asserted equal, not
+// approximately.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/mlp.h"
+#include "src/registry/model_registry.h"
+#include "src/resilience/fault_injector.h"
+#include "src/serve/inference_service.h"
+#include "src/serve/model_backend.h"
+#include "src/serve/tenant.h"
+#include "src/telemetry/telemetry.h"
+
+namespace sampnn {
+namespace {
+
+Mlp SmallNet(uint64_t seed = 42) {
+  MlpConfig config = MlpConfig::Uniform(/*input_dim=*/4, /*output_dim=*/3,
+                                        /*depth=*/1, /*width=*/8);
+  config.seed = seed;
+  return std::move(Mlp::Create(config)).ValueOrDie("net");
+}
+
+// Tenant-coded input row: the first feature identifies the submitter, so a
+// recording backend can reconstruct batch compositions.
+constexpr int kHeavy = 1;
+constexpr int kLight = 2;
+constexpr int kPlug = 3;
+
+std::vector<float> CodedInput(int code) {
+  return {static_cast<float>(code), 0.2f, 0.3f, 0.4f};
+}
+
+// Records the tenant-code composition of every batch it serves, and parks
+// (wedging its worker) while the gate is closed.
+class RecordingBackend : public ModelBackend {
+ public:
+  const char* name() const override { return "recording"; }
+  size_t input_dim() const override { return 4; }
+  size_t output_dim() const override { return 3; }
+
+  Status Forward(const Matrix& batch, const CancelContext& ctx,
+                 ServeQuality /*quality*/, Matrix* logits) override {
+    std::vector<int> codes;
+    codes.reserve(batch.rows());
+    for (size_t r = 0; r < batch.rows(); ++r) {
+      codes.push_back(static_cast<int>(batch(r, 0)));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batches_.push_back(std::move(codes));
+    }
+    entered_.fetch_add(1);
+    while (!gate_open_.load() && !ctx.token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (ctx.token.cancelled()) return ctx.StopStatus();
+    *logits = Matrix(batch.rows(), output_dim());
+    return Status::OK();
+  }
+
+  void OpenGate() { gate_open_.store(true); }
+  void CloseGate() { gate_open_.store(false); }
+  size_t entered() const { return entered_.load(); }
+  std::vector<std::vector<int>> batches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_;
+  }
+
+ private:
+  std::atomic<bool> gate_open_{true};
+  std::atomic<size_t> entered_{0};
+  mutable std::mutex mu_;
+  std::vector<std::vector<int>> batches_;
+};
+
+template <typename Pred>
+bool WaitFor(Pred pred, int timeout_ms = 10000) {
+  for (int waited = 0; waited < timeout_ms; ++waited) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+const TenantStats* FindTenant(const ServeStats& stats,
+                              const std::string& name) {
+  for (const auto& tenant : stats.tenants) {
+    if (tenant.name == name) return &tenant;
+  }
+  return nullptr;
+}
+
+class TenantFairnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::ClearGlobal();
+    SetTelemetryEnabled(false);
+  }
+};
+
+TEST_F(TenantFairnessTest, ParseTenantQuotasAcceptsWellFormedSpecs) {
+  auto tenants = ParseTenantQuotas("alpha=4:2,beta=8");
+  ASSERT_TRUE(tenants.ok()) << tenants.status().ToString();
+  ASSERT_EQ(tenants->size(), 2u);
+  EXPECT_EQ((*tenants)[0].name, "alpha");
+  EXPECT_EQ((*tenants)[0].quota, 4u);
+  EXPECT_EQ((*tenants)[0].weight, 2u);
+  EXPECT_EQ((*tenants)[1].name, "beta");
+  EXPECT_EQ((*tenants)[1].quota, 8u);
+  EXPECT_EQ((*tenants)[1].weight, 1u);  // weight defaults to 1
+  EXPECT_TRUE(ParseTenantQuotas("")->empty());
+}
+
+TEST_F(TenantFairnessTest, ParseTenantQuotasRejectsMalformedSpecs) {
+  EXPECT_TRUE(ParseTenantQuotas("alpha").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseTenantQuotas("=4").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseTenantQuotas("alpha=0").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseTenantQuotas("alpha=4:0").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseTenantQuotas("alpha=x").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseTenantQuotas("alpha=4,alpha=8").status().IsInvalidArgument());
+}
+
+TEST_F(TenantFairnessTest, CreateValidatesTenantConfigs) {
+  ServeOptions options;
+  options.tenants = {{"a", 4, 1}, {"a", 8, 1}};
+  EXPECT_TRUE(InferenceService::Create(MakeDenseBackend(SmallNet()), options)
+                  .status()
+                  .IsInvalidArgument());
+  options.tenants = {{"", 4, 1}};
+  EXPECT_TRUE(InferenceService::Create(MakeDenseBackend(SmallNet()), options)
+                  .status()
+                  .IsInvalidArgument());
+  options.tenants = {{"a", 0, 1}};
+  EXPECT_TRUE(InferenceService::Create(MakeDenseBackend(SmallNet()), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(TenantFairnessTest, StatsExposePerTenantSlicesInConfigOrder) {
+  ServeOptions options;
+  options.tenants = {{"heavy", 8, 3}, {"light", 4, 1}};
+  auto service =
+      std::move(InferenceService::Create(MakeDenseBackend(SmallNet()),
+                                         options))
+          .ValueOrDie("service");
+  const ServeStats stats = service->Stats();
+  ASSERT_EQ(stats.tenants.size(), 3u);  // heavy, light, appended default
+  EXPECT_EQ(stats.tenants[0].name, "heavy");
+  EXPECT_EQ(stats.tenants[0].quota, 8u);
+  EXPECT_EQ(stats.tenants[0].weight, 3u);
+  EXPECT_EQ(stats.tenants[1].name, "light");
+  EXPECT_EQ(stats.tenants[2].name, kDefaultTenant);
+  EXPECT_EQ(stats.tenants[2].quota, options.queue_capacity);
+  service->Stop();
+}
+
+// The centerpiece: a wedged worker, a flooding heavy tenant and a modest
+// light one. Quotas bound each tenant's backlog (heavy sheds at 8, light at
+// 4 — both tenant-bound, the global queue still has room), the retry hints
+// price each tenant's own backlog, and once the worker resumes, DRR hands
+// out batch slots 3:1 — the exact compositions are asserted.
+TEST_F(TenantFairnessTest, MixedTenantOverloadShedsAndSchedulesExactly) {
+  ManualClock clock(0);  // frozen: every latency is 0, every hint exact
+  auto backend = std::make_unique<RecordingBackend>();
+  RecordingBackend* be = backend.get();
+
+  ServeOptions options;
+  options.clock = &clock;
+  options.workers = 1;
+  options.max_batch = 4;
+  options.queue_capacity = 16;
+  options.degrade_above_fraction = 1.0;  // occupancy never trips the ladder
+  options.recover_below_fraction = 0.25;
+  options.tenants = {{"heavy", /*quota=*/8, /*weight=*/3},
+                     {"light", /*quota=*/4, /*weight=*/1}};
+  auto service = std::move(InferenceService::Create(std::move(backend),
+                                                    options))
+                     .ValueOrDie("service");
+
+  // Seed one completion per paying tenant so each has a latency EWMA (it
+  // seeds to the >=1 floor at latency 0) and the DRR cursor lands on the
+  // default tenant's sub-queue.
+  ASSERT_EQ(service->Submit("heavy", CodedInput(kHeavy), Deadline::Never())
+                .get()
+                .status.code(),
+            StatusCode::kOk);
+  ASSERT_EQ(service->Submit("light", CodedInput(kLight), Deadline::Never())
+                .get()
+                .status.code(),
+            StatusCode::kOk);
+
+  // Wedge the single worker on a default-tenant plug.
+  be->CloseGate();
+  std::future<InferenceResult> plug =
+      service->Submit(CodedInput(kPlug), Deadline::Never());
+  ASSERT_TRUE(WaitFor([&] { return be->entered() == 3; }));
+
+  // Flood while wedged: heavy 10 (quota 8), light 5 (quota 4). Total
+  // admitted backlog is 12 < 16, so every shed is tenant-quota-bound.
+  std::vector<std::future<InferenceResult>> heavy_futures, light_futures;
+  for (int i = 0; i < 10; ++i) {
+    heavy_futures.push_back(
+        service->Submit("heavy", CodedInput(kHeavy), Deadline::Never()));
+  }
+  for (int i = 0; i < 5; ++i) {
+    light_futures.push_back(
+        service->Submit("light", CodedInput(kLight), Deadline::Never()));
+  }
+
+  // Exactly the overflow sheds, with per-tenant hints: a full quota of N
+  // requests at 1 ms each on 1 worker is an N ms wait. Heavy's hint must
+  // reflect heavy's backlog (8), light's only its own (4).
+  int heavy_ok = 0, light_ok = 0;
+  for (auto& f : heavy_futures) {
+    InferenceResult r = f.wait_for(std::chrono::seconds(0)) ==
+                                std::future_status::ready
+                            ? f.get()
+                            : InferenceResult{};
+    if (r.status.IsResourceExhausted()) {
+      EXPECT_EQ(r.retry_after_ms, 8);
+      EXPECT_NE(r.status.message().find("tenant heavy quota full"),
+                std::string::npos);
+    } else {
+      ++heavy_ok;  // still pending: admitted
+    }
+  }
+  for (auto& f : light_futures) {
+    InferenceResult r = f.wait_for(std::chrono::seconds(0)) ==
+                                std::future_status::ready
+                            ? f.get()
+                            : InferenceResult{};
+    if (r.status.IsResourceExhausted()) {
+      EXPECT_EQ(r.retry_after_ms, 4);
+      EXPECT_NE(r.status.message().find("tenant light quota full"),
+                std::string::npos);
+    } else {
+      ++light_ok;
+    }
+  }
+  EXPECT_EQ(heavy_ok, 8);
+  EXPECT_EQ(light_ok, 4);
+  EXPECT_FALSE(service->degraded());  // quotas shed before the ladder moves
+
+  // Resume the worker and drain. Every admitted request completes.
+  be->OpenGate();
+  ASSERT_EQ(plug.get().status.code(), StatusCode::kOk);
+  std::vector<std::future<InferenceResult>*> pending;
+  for (auto& f : heavy_futures) if (f.valid()) pending.push_back(&f);
+  for (auto& f : light_futures) if (f.valid()) pending.push_back(&f);
+  for (auto* f : pending) {
+    const InferenceResult r = f->get();
+    EXPECT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+    EXPECT_FALSE(r.degraded);
+  }
+
+  // Deficit round-robin, weights heavy:light = 3:1, max_batch 4, queues
+  // H=8 / L=4 at drain start, cursor on heavy: the drain batches are
+  // exactly [H,H,H,L], [L,H,H,H], [H,H,L,L]. (The first three batches are
+  // the two seeds and the plug.)
+  const auto batches = be->batches();
+  ASSERT_EQ(batches.size(), 6u);
+  EXPECT_EQ(batches[0], std::vector<int>({kHeavy}));
+  EXPECT_EQ(batches[1], std::vector<int>({kLight}));
+  EXPECT_EQ(batches[2], std::vector<int>({kPlug}));
+  EXPECT_EQ(batches[3], std::vector<int>({kHeavy, kHeavy, kHeavy, kLight}));
+  EXPECT_EQ(batches[4], std::vector<int>({kLight, kHeavy, kHeavy, kHeavy}));
+  EXPECT_EQ(batches[5], std::vector<int>({kHeavy, kHeavy, kLight, kLight}));
+
+  // Per-tenant conservation: submitted == admitted + shed, and every
+  // admitted request completed full-quality. No starvation anywhere.
+  const ServeStats stats = service->Stats();
+  const TenantStats* heavy = FindTenant(stats, "heavy");
+  const TenantStats* light = FindTenant(stats, "light");
+  const TenantStats* dflt = FindTenant(stats, kDefaultTenant);
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  ASSERT_NE(dflt, nullptr);
+  EXPECT_EQ(heavy->submitted, 11u);
+  EXPECT_EQ(heavy->admitted, 9u);
+  EXPECT_EQ(heavy->shed, 2u);
+  EXPECT_EQ(heavy->completed, 9u);
+  EXPECT_EQ(light->submitted, 6u);
+  EXPECT_EQ(light->admitted, 5u);
+  EXPECT_EQ(light->shed, 1u);
+  EXPECT_EQ(light->completed, 5u);
+  EXPECT_EQ(dflt->submitted, 1u);
+  EXPECT_EQ(dflt->completed, 1u);
+  EXPECT_EQ(heavy->deadline_exceeded + light->deadline_exceeded +
+                dflt->deadline_exceeded,
+            0u);
+  EXPECT_EQ(heavy->cancelled + light->cancelled + dflt->cancelled, 0u);
+  EXPECT_EQ(stats.watchdog_trips, 0u);
+  EXPECT_EQ(stats.shed, 3u);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.shed);
+
+  service->Stop();
+}
+
+// Hot swap under sustained mixed-tenant load: promotions (including
+// sentinel rejections) flip the registry while batches are in flight, and
+// not one request is dropped, cancelled, or deadline-exceeded — each batch
+// finishes on the version it pinned.
+TEST_F(TenantFairnessTest, PromotionUnderLoadDropsNothing) {
+  auto registry_or = ModelRegistry::Create(
+      MakeDenseBackend(SmallNet(1)),
+      [](Mlp model) -> StatusOr<std::shared_ptr<ModelBackend>> {
+        return std::shared_ptr<ModelBackend>(
+            MakeDenseBackend(std::move(model)));
+      },
+      {});
+  ASSERT_TRUE(registry_or.ok());
+  std::shared_ptr<ModelRegistry> registry = std::move(registry_or).value();
+
+  ServeOptions options;
+  options.workers = 2;
+  options.max_batch = 4;
+  options.queue_capacity = 512;
+  options.degrade_above_fraction = 1.0;
+  options.recover_below_fraction = 0.25;
+  options.tenants = {{"heavy", 256, 3}, {"light", 256, 1}};
+  auto service = std::move(InferenceService::Create(registry, options))
+                     .ValueOrDie("service");
+
+  CanaryBatch canary;
+  canary.inputs = Matrix(2, 4);
+  for (size_t c = 0; c < 4; ++c) {
+    canary.inputs(0, c) = 0.1f * static_cast<float>(c + 1);
+    canary.inputs(1, c) = 0.2f * static_cast<float>(c + 1);
+  }
+  canary.labels = {0, 1};
+
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(300);
+  const auto feed = [&](const char* tenant, int code, int count) {
+    for (int i = 0; i < count; ++i) {
+      futures.push_back(
+          service->Submit(tenant, CodedInput(code), Deadline::Never()));
+    }
+  };
+
+  // Interleave traffic with promotions and one rollback. Rejections (a
+  // poisoned candidate) must leave traffic untouched too.
+  feed("heavy", kHeavy, 60);
+  feed("light", kLight, 40);
+  ASSERT_TRUE(registry->Promote(SmallNet(2), {}, canary).ok());
+  feed("heavy", kHeavy, 60);
+  Mlp poisoned = SmallNet(3);
+  // Output layer: the NaN must reach the logits (ReLU squashes hidden NaNs).
+  poisoned.layer(poisoned.num_layers() - 1).weights()(0, 0) =
+      std::numeric_limits<float>::quiet_NaN();
+  ASSERT_TRUE(registry->Promote(std::move(poisoned), {}, canary)
+                  .status()
+                  .IsFailedPrecondition());
+  feed("light", kLight, 40);
+  ASSERT_TRUE(registry->Promote(SmallNet(4), {}, canary).ok());
+  feed("heavy", kHeavy, 50);
+  ASSERT_TRUE(registry->Rollback(2).ok());
+  feed("light", kLight, 50);
+
+  uint64_t min_version = UINT64_MAX, max_version = 0;
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    ASSERT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+    min_version = std::min(min_version, r.model_version);
+    max_version = std::max(max_version, r.model_version);
+  }
+  // Every request served by a real retained version; at least the boot
+  // version saw traffic (the first 100 futures were admitted before any
+  // promotion could flip — some may still have been *served* later, but
+  // min can never exceed the versions that existed).
+  EXPECT_GE(min_version, 1u);
+  EXPECT_LE(max_version, 3u);
+  EXPECT_EQ(registry->live_version(), 2u);  // post-rollback
+
+  const ServeStats stats = service->Stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.completed + stats.completed_degraded, 300u);
+  EXPECT_EQ(registry->stats().promoted, 2u);
+  EXPECT_EQ(registry->stats().rejected_regressed, 1u);
+  EXPECT_EQ(registry->stats().rollbacks, 1u);
+  service->Stop();
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -73,6 +73,19 @@ TEST(StatusCodeToStringTest, CoversAllCodes) {
                "Deadline exceeded");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "Resource exhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "Data loss");
+}
+
+TEST(StatusTest, AbortedAndDataLossFactoriesAndPredicates) {
+  const Status aborted = Status::Aborted("lost the swap race");
+  EXPECT_TRUE(aborted.IsAborted());
+  EXPECT_FALSE(aborted.IsDataLoss());
+  EXPECT_EQ(aborted.code(), StatusCode::kAborted);
+  const Status data_loss = Status::DataLoss("payload CRC mismatch");
+  EXPECT_TRUE(data_loss.IsDataLoss());
+  EXPECT_FALSE(data_loss.IsAborted());
+  EXPECT_EQ(data_loss.code(), StatusCode::kDataLoss);
 }
 
 TEST(StatusCodeToStringTest, ServingCodesRoundTripThroughToString) {
