@@ -7,12 +7,18 @@
 //   --sweep    packed-vs-scalar GFLOP/s sweep across thread counts
 //              (1/2/4/hardware max), written as JSON for
 //              scripts/check_gemm_perf.py and the CI perf-smoke job.
-//              Flags: --shapes=256,512  --out=results/BENCH_gemm.json
+//              Flags: --shapes=256,1024,64x1024x1024  (square sizes or
+//                     MxKxN triples)  --threads=1,2,4
+//                     --out=results/BENCH_gemm.json
+//              The JSON records the active Mc/Kc/Nc blocking and, per
+//              packed record, both the requested thread count and the
+//              clamped effective worker count (GemmEffectiveWorkers).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -143,9 +149,13 @@ BENCHMARK(BM_SparseOuterUpdate)->Args({1000, 50})->Args({1000, 1000});
 // --sweep mode: packed vs seed-scalar GFLOP/s across shapes x thread counts.
 // ---------------------------------------------------------------------------
 
+struct SweepShapeSpec {
+  size_t m, k, n;
+};
+
 struct SweepRecord {
   std::string op;
-  size_t m, k, n, threads;
+  size_t m, k, n, threads, workers;
   std::string variant;  // "packed" or "scalar_seed"
   double gflops;
 };
@@ -171,44 +181,87 @@ double MeasureGflops(uint64_t flops_per_call, Fn&& fn) {
   return static_cast<double>(flops_per_call) / best_secs / 1e9;
 }
 
-std::vector<size_t> SweepThreadCounts() {
+std::vector<size_t> DefaultThreadCounts() {
   const size_t hw = std::max<unsigned>(1, std::thread::hardware_concurrency());
   std::vector<size_t> counts = {1, 2, 4};
   if (hw != 1 && hw != 2 && hw != 4) counts.push_back(hw);
   return counts;
 }
 
-void SweepShape(size_t s, std::vector<SweepRecord>* out) {
+void SweepShape(const SweepShapeSpec& s, const std::vector<size_t>& threads,
+                std::vector<SweepRecord>* out) {
   Rng rng(20250806);
-  Matrix a = Matrix::RandomGaussian(s, s, rng);
-  Matrix b = Matrix::RandomGaussian(s, s, rng);
-  Matrix c(s, s);
-  const uint64_t flops = uint64_t{2} * s * s * s;
+  Matrix a = Matrix::RandomGaussian(s.m, s.k, rng);
+  Matrix b = Matrix::RandomGaussian(s.k, s.n, rng);
+  Matrix c(s.m, s.n);
+  const uint64_t flops = uint64_t{2} * s.m * s.k * s.n;
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zux%zu", s.m, s.k, s.n);
 
   // Seed baseline: the deterministic path is the seed's serial scalar
   // blocked loop, unchanged ordering.
   SetDeterministicKernels(true);
   const double scalar =
       MeasureGflops(flops, [&] { Gemm(a, b, &c, 1.0f, 0.0f); });
-  out->push_back({"gemm", s, s, s, 1, "scalar_seed", scalar});
-  std::printf("  %4zu^3  scalar_seed          %8.2f GFLOP/s\n", s, scalar);
+  out->push_back({"gemm", s.m, s.k, s.n, 1, 1, "scalar_seed", scalar});
+  std::printf("  %-16s scalar_seed            %8.2f GFLOP/s\n", shape, scalar);
 
   SetDeterministicKernels(false);
   SetGemmParallelMinFlops(1);  // always take the requested-thread path
-  for (size_t t : SweepThreadCounts()) {
+  for (size_t t : threads) {
     SetGemmThreads(t);
+    const size_t workers = GemmEffectiveWorkers(t);
     const double packed =
         MeasureGflops(flops, [&] { Gemm(a, b, &c, 1.0f, 0.0f); });
-    out->push_back({"gemm", s, s, s, t, "packed", packed});
-    std::printf("  %4zu^3  packed  %2zu threads  %8.2f GFLOP/s  (%.2fx)\n", s,
-                t, packed, packed / scalar);
+    out->push_back({"gemm", s.m, s.k, s.n, t, workers, "packed", packed});
+    std::printf("  %-16s packed  %2zut (eff %2zu)  %8.2f GFLOP/s  (%.2fx)\n",
+                shape, t, workers, packed, packed / scalar);
   }
   SetGemmThreads(0);
   SetGemmParallelMinFlops(0);
 }
 
+std::vector<size_t> ParseSizeList(const std::string& list) {
+  std::vector<size_t> vals;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    vals.push_back(std::stoul(list.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return vals;
+}
+
+// A shape is either a square size ("512") or an MxKxN triple
+// ("64x1024x1024") — the latter covers the non-square MLP products
+// (batch x fan-in times fan-in x fan-out and its transposes).
+SweepShapeSpec ParseShape(const std::string& spec) {
+  const size_t x1 = spec.find('x');
+  if (x1 == std::string::npos) {
+    const size_t s = std::stoul(spec);
+    return {s, s, s};
+  }
+  const size_t x2 = spec.find('x', x1 + 1);
+  if (x2 == std::string::npos) {
+    std::fprintf(stderr, "bad shape '%s' (want S or MxKxN)\n", spec.c_str());
+    std::exit(1);
+  }
+  return {std::stoul(spec.substr(0, x1)),
+          std::stoul(spec.substr(x1 + 1, x2 - x1 - 1)),
+          std::stoul(spec.substr(x2 + 1))};
+}
+
 int RunSweep(const std::vector<std::string>& args) {
-  std::vector<size_t> shapes = {256, 512};
+  // Defaults cover the cache-blocking regimes (L2-resident 256, streaming
+  // 512/1024) and the tall/flat MLP shapes with one Mc block or one column
+  // chunk dimension dominating.
+  std::vector<SweepShapeSpec> shapes = {{256, 256, 256},
+                                        {512, 512, 512},
+                                        {1024, 1024, 1024},
+                                        {64, 1024, 1024},
+                                        {1024, 1024, 64}};
+  std::vector<size_t> threads = DefaultThreadCounts();
   std::string out_path = "results/BENCH_gemm.json";
   for (const auto& arg : args) {
     if (arg.rfind("--shapes=", 0) == 0) {
@@ -218,19 +271,24 @@ int RunSweep(const std::vector<std::string>& args) {
       while (pos < list.size()) {
         size_t comma = list.find(',', pos);
         if (comma == std::string::npos) comma = list.size();
-        shapes.push_back(std::stoul(list.substr(pos, comma - pos)));
+        shapes.push_back(ParseShape(list.substr(pos, comma - pos)));
         pos = comma + 1;
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = ParseSizeList(arg.substr(10));
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     }
   }
 
   const bool avx2 = gemm_internal::MicroKernelIsAvx2();
-  std::printf("gemm sweep: avx2_fma=%d hardware_concurrency=%u\n", avx2,
-              std::thread::hardware_concurrency());
+  const GemmBlocking blk = GemmBlockSizes();
+  std::printf(
+      "gemm sweep: avx2_fma=%d hardware_concurrency=%u "
+      "block mc=%zu kc=%zu nc=%zu\n",
+      avx2, std::thread::hardware_concurrency(), blk.mc, blk.kc, blk.nc);
   std::vector<SweepRecord> records;
-  for (size_t s : shapes) SweepShape(s, &records);
+  for (const auto& s : shapes) SweepShape(s, threads, &records);
 
   const auto parent = std::filesystem::path(out_path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent);
@@ -241,12 +299,15 @@ int RunSweep(const std::vector<std::string>& args) {
   }
   f << "{\n  \"avx2_fma\": " << (avx2 ? "true" : "false")
     << ",\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+    << ",\n  \"block\": {\"mc\": " << blk.mc << ", \"kc\": " << blk.kc
+    << ", \"nc\": " << blk.nc << "}"
     << ",\n  \"results\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     f << "    {\"op\": \"" << r.op << "\", \"m\": " << r.m
       << ", \"k\": " << r.k << ", \"n\": " << r.n
-      << ", \"threads\": " << r.threads << ", \"variant\": \"" << r.variant
+      << ", \"threads\": " << r.threads << ", \"workers\": " << r.workers
+      << ", \"variant\": \"" << r.variant
       << "\", \"gflops\": " << r.gflops << "}"
       << (i + 1 < records.size() ? "," : "") << "\n";
   }

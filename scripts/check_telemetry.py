@@ -33,7 +33,9 @@ JSONL_KEYS = {
     "mc_batch_samples", "mc_delta_samples",
     "rollbacks", "nan_batches", "alsh_dense_fallbacks",
     "gemm_flops", "gemm_flops_realized", "sparse_flops",
-    "gemm_parallel_dispatches", "gemm_serial_dispatches", "rss_bytes",
+    "gemm_parallel_dispatches", "gemm_serial_dispatches",
+    "gemm_pack_b_panels", "gemm_pack_a_panels", "gemm_block_tasks",
+    "rss_bytes",
 }
 
 

@@ -212,6 +212,7 @@ StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
     double rebuild = 0.0, parallel = 0.0;
     uint64_t gemm_flops = 0, gemm_flops_realized = 0, sparse_flops = 0;
     uint64_t gemm_parallel = 0, gemm_serial = 0;
+    uint64_t pack_b = 0, pack_a = 0, block_tasks = 0;
   } prev;
   if (recorder != nullptr && TelemetryEnabled()) {
     // The FLOP counters are process-global; start from their current values
@@ -225,6 +226,10 @@ StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
         registry.GetCounter("tensor.gemm.parallel_dispatches").Value();
     prev.gemm_serial =
         registry.GetCounter("tensor.gemm.serial_dispatches").Value();
+    prev.pack_b = registry.GetCounter("tensor.gemm.pack_b_panels").Value();
+    prev.pack_a = registry.GetCounter("tensor.gemm.pack_a_panels").Value();
+    prev.block_tasks =
+        registry.GetCounter("tensor.gemm.block_tasks").Value();
   }
 
   // The loop is flat — one iteration per batch, epoch boundaries detected
@@ -398,13 +403,25 @@ StatusOr<ExperimentResult> RunExperiment(const MlpConfig& net_config,
       t.gemm_flops = gemm - prev.gemm_flops;
       t.gemm_flops_realized = gemm_realized - prev.gemm_flops_realized;
       t.sparse_flops = sparse - prev.sparse_flops;
+      const uint64_t pack_b =
+          registry.GetCounter("tensor.gemm.pack_b_panels").Value();
+      const uint64_t pack_a =
+          registry.GetCounter("tensor.gemm.pack_a_panels").Value();
+      const uint64_t block_tasks =
+          registry.GetCounter("tensor.gemm.block_tasks").Value();
       t.gemm_parallel_dispatches = gemm_parallel - prev.gemm_parallel;
       t.gemm_serial_dispatches = gemm_serial - prev.gemm_serial;
+      t.gemm_pack_b_panels = pack_b - prev.pack_b;
+      t.gemm_pack_a_panels = pack_a - prev.pack_a;
+      t.gemm_block_tasks = block_tasks - prev.block_tasks;
       prev.gemm_flops = gemm;
       prev.gemm_flops_realized = gemm_realized;
       prev.sparse_flops = sparse;
       prev.gemm_parallel = gemm_parallel;
       prev.gemm_serial = gemm_serial;
+      prev.pack_b = pack_b;
+      prev.pack_a = pack_a;
+      prev.block_tasks = block_tasks;
       trainer->FillTelemetry(&t);
       t.rss_bytes = memory.CurrentBytes();
       recorder->Record(t);

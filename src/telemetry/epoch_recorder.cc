@@ -72,6 +72,9 @@ std::string EpochTelemetryToJson(const EpochTelemetry& rec) {
      << ",\"sparse_flops\":" << rec.sparse_flops
      << ",\"gemm_parallel_dispatches\":" << rec.gemm_parallel_dispatches
      << ",\"gemm_serial_dispatches\":" << rec.gemm_serial_dispatches
+     << ",\"gemm_pack_b_panels\":" << rec.gemm_pack_b_panels
+     << ",\"gemm_pack_a_panels\":" << rec.gemm_pack_a_panels
+     << ",\"gemm_block_tasks\":" << rec.gemm_block_tasks
      << ",\"rss_bytes\":" << rec.rss_bytes << "}";
   return os.str();
 }

@@ -1,14 +1,18 @@
 #include "src/tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 
 #include "src/util/sync.h"
 
 #include "src/obs/phase_sampler.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tensor/aligned_buffer.h"
 #include "src/tensor/kernel_config.h"
+#include "src/tensor/packed_buffer_pool.h"
 #include "src/util/check.h"
 #include "src/util/deadline.h"
 #include "src/util/threadpool.h"
@@ -22,12 +26,12 @@ namespace sampnn::gemm_internal {
 
 namespace {
 
-// Cache blocking. One B panel (kKC x kNC floats) is 1 MiB — streams through
-// L2/L3 once per k-block; one A block (kMC x kKC) is 96 KiB and stays
-// L2-resident while its kMC rows sweep the whole B panel.
-constexpr size_t kKC = 256;
-constexpr size_t kMC = 96;  // 16 microtiles of kMR rows
-constexpr size_t kNC = 1024;
+// Column chunking of the Nc loop: each Kc x Nc panel sweep is carved into
+// up to this many column chunks per Mc row block, so the parallel task
+// grid has slack in both dimensions — tall-skinny MLP products (one Mc
+// block) still fan out across columns. Part of the fixed topology: the
+// grid depends on shape and blocking only, never on the worker count.
+constexpr size_t kColChunkTarget = 16;
 
 // ---------------------------------------------------------------------------
 // Microkernels: C_tile(kMR x kNR) += sum_p apanel[p][0..kMR) ⊗ bpanel[p][0..kNR).
@@ -155,10 +159,13 @@ MicroKernelFn ActiveMicroKernel() {
 // microkernel edge-free and makes full-width loads on the last tile exact.
 // ---------------------------------------------------------------------------
 
-void PackB(const float* b, size_t b_rs, size_t b_cs, size_t pc, size_t kc,
-           size_t jc, size_t nc, float* __restrict__ out) {
-  const size_t tiles = (nc + kNR - 1) / kNR;
-  for (size_t t = 0; t < tiles; ++t) {
+// Packs B column tiles [t0, t1) of the current Kc x Nc panel. Tile indices
+// are panel-absolute, so cooperative packing writes disjoint ranges of the
+// shared buffer.
+void PackBTiles(const float* b, size_t b_rs, size_t b_cs, size_t pc,
+                size_t kc, size_t jc, size_t nc, size_t t0, size_t t1,
+                float* __restrict__ out) {
+  for (size_t t = t0; t < t1; ++t) {
     const size_t j0 = jc + t * kNR;
     const size_t jw = std::min(kNR, jc + nc - j0);
     for (size_t p = 0; p < kc; ++p) {
@@ -189,29 +196,44 @@ void PackA(const float* a, size_t a_rs, size_t a_cs, size_t ic, size_t mc,
   }
 }
 
-// Per-thread pack scratch. Workers in the kernel pool are long-lived, so
-// these warm up once and are reused across dispatches.
+// Per-thread A-pack scratch. Workers in the kernel pool are long-lived, so
+// these warm up once and are reused across dispatches. The tag caches
+// which (call, pc, ic) block currently sits in the scratch: consecutive
+// column-chunk tasks of the same row block skip the re-pack.
 thread_local AlignedBuffer t_apack;
-thread_local AlignedBuffer t_bpack;
+struct ApackTag {
+  uint64_t call = 0;
+  size_t pc = 0;
+  size_t ic = 0;
+  bool valid = false;
+};
+thread_local ApackTag t_apack_tag;
 
-// One A row-block against one packed B panel: pack, then sweep microtiles.
-void RunRowBlock(const float* a, size_t a_rs, size_t a_cs, size_t ic,
-                 size_t mc, size_t pc, size_t kc, size_t jc, size_t nc,
-                 float alpha, const float* bpack, float* c, size_t ldc,
-                 MicroKernelFn micro) {
-  t_apack.GrowTo(((kMC + kMR - 1) / kMR) * kMR * kKC);
-  PackA(a, a_rs, a_cs, ic, mc, pc, kc, alpha, t_apack.data());
-  const float* apack = t_apack.data();
-  for (size_t jr = 0; jr < nc; jr += kNR) {
-    const size_t nr = std::min(kNR, nc - jr);
-    const float* bp = bpack + (jr / kNR) * kc * kNR;
-    for (size_t ir = 0; ir < mc; ir += kMR) {
-      const size_t mr = std::min(kMR, mc - ir);
-      const float* ap = apack + (ir / kMR) * kc * kMR;
-      micro(kc, ap, bp, c + (ic + ir) * ldc + jc + jr, ldc, mr, nr);
-    }
+// Distinguishes concurrent/successive GEMM calls in the A-pack cache tags.
+std::atomic<uint64_t> g_call_serial{1};
+
+// Blocked-nest telemetry, charged once per dispatch on scope exit (also on
+// the cancellation early-outs): B panels packed, A blocks packed (across
+// all workers), and microtile-sweep tasks executed.
+struct BlockTally {
+  explicit BlockTally(bool enabled) : on(enabled) {}
+  ~BlockTally() {
+    if (!on) return;
+    static Counter& bp =
+        MetricsRegistry::Get().GetCounter("tensor.gemm.pack_b_panels");
+    static Counter& ap =
+        MetricsRegistry::Get().GetCounter("tensor.gemm.pack_a_panels");
+    static Counter& bt =
+        MetricsRegistry::Get().GetCounter("tensor.gemm.block_tasks");
+    bp.Add(b_packs);
+    ap.Add(a_packs.load(std::memory_order_relaxed));
+    bt.Add(tasks.load(std::memory_order_relaxed));
   }
-}
+  const bool on;
+  uint64_t b_packs = 0;
+  std::atomic<uint64_t> a_packs{0};
+  std::atomic<uint64_t> tasks{0};
+};
 
 // Kernel pools, one per worker count, created lazily and kept for the
 // process lifetime (drained and joined by static destruction). Keeping a
@@ -252,47 +274,112 @@ void PackedGemmParallel(size_t m, size_t n, size_t k, float alpha,
   if (k == 0 || alpha == 0.0f) return;  // C += 0
   const MicroKernelFn micro = ActiveMicroKernel();
   // Serving-layer cancellation: the dispatching thread's context, if any,
-  // is captured here and polled between panels and row blocks (including by
-  // the pool workers the blocks fan out to). A cancelled product leaves C
-  // partially written; the cancellable caller discards it.
+  // is captured here and polled between panels and grid tasks (including
+  // by the pool workers the tasks fan out to). A cancelled product leaves
+  // C partially written; the cancellable caller discards it.
   const CancelContext* cancel = CurrentKernelCancellation();
   // Phase tag for /statusz: the dispatching thread advertises "gemm" with
   // the serving request id (0 outside the serving path) for the duration of
   // the product. Two relaxed stores; numerics are untouched.
   ScopedPhase gemm_phase("gemm", cancel != nullptr ? cancel->trace_id : 0);
-  ThreadPool* pool = threads > 1 ? &PoolFor(threads) : nullptr;
-  for (size_t jc = 0; jc < n; jc += kNC) {
-    const size_t nc = std::min(kNC, n - jc);
-    for (size_t pc = 0; pc < k; pc += kKC) {
+
+  // One blocking snapshot per dispatch: mid-call SetGemmBlockSizes flips
+  // never tear a product. kc participates in rounding; mc/nc (and the task
+  // grid) never do.
+  const GemmBlocking blk = GemmBlockSizes();
+  const size_t kc_max = std::min(blk.kc, k);
+  const size_t mc_max = blk.mc;
+  const size_t nc_max = blk.nc;
+  // Oversubscription never helps a compute-bound kernel, so the worker
+  // count is clamped to hardware concurrency (monotone thread scaling by
+  // construction); results are identical either way.
+  const size_t workers = GemmEffectiveWorkers(threads);
+  ThreadPool* pool = workers > 1 ? &PoolFor(workers) : nullptr;
+  const uint64_t call_id =
+      g_call_serial.fetch_add(1, std::memory_order_relaxed);
+  BlockTally tally(TelemetryEnabled());
+
+  // Shared B-panel buffer for the whole call, checked out of the pool —
+  // written once per (jc, pc) block, read concurrently by every grid task.
+  // Hot-path GEMMs hit the freelist and allocate nothing.
+  const size_t b_panel_floats =
+      (std::min(n, nc_max) + kNR - 1) / kNR * kNR * kc_max;
+  PackedBufferPool::Handle b_handle =
+      PackedBufferPool::Global().Acquire(b_panel_floats);
+  float* const bpack = b_handle.data();
+  // Per-thread A scratch requirement for this call's largest block.
+  const size_t a_pack_floats =
+      (std::min(m, mc_max) + kMR - 1) / kMR * kMR * kc_max;
+
+  // Loop 5: B panel columns.
+  for (size_t jc = 0; jc < n; jc += nc_max) {
+    const size_t nc = std::min(nc_max, n - jc);
+    const size_t nc_tiles = (nc + kNR - 1) / kNR;
+    // Fixed-topology task grid over (Mc row blocks) x (column chunks):
+    // shaped by the operands and blocking only, so every worker count
+    // walks the same tasks and every C element keeps one writer.
+    const size_t jchunk_tiles =
+        std::max<size_t>(1, (nc_tiles + kColChunkTarget - 1) / kColChunkTarget);
+    const size_t jchunks = (nc_tiles + jchunk_tiles - 1) / jchunk_tiles;
+    const size_t ic_blocks = (m + mc_max - 1) / mc_max;
+    const size_t tasks = ic_blocks * jchunks;
+    // Loop 4: k blocks; one shared B pack per iteration.
+    for (size_t pc = 0; pc < k; pc += kc_max) {
       if (cancel != nullptr && cancel->ShouldStop()) return;
-      const size_t kc = std::min(kKC, k - pc);
-      // The B panel is packed once on the dispatching thread, then read
-      // concurrently by the row-block tasks (ThreadPool::Submit's mutex
-      // publishes it). Each task packs its own A block into its
-      // thread-local scratch, and owns a disjoint range of C rows — no
-      // write sharing, and a fixed per-element accumulation order
-      // independent of the thread count.
-      t_bpack.GrowTo(((kNC + kNR - 1) / kNR) * kNR * kKC);
-      PackB(b, b_rs, b_cs, pc, kc, jc, nc, t_bpack.data());
-      const float* bpack = t_bpack.data();
-      const size_t blocks = (m + kMC - 1) / kMC;
-      auto run_block = [&](size_t blk) {
-        if (cancel != nullptr && cancel->ShouldStop()) return;
-        const size_t ic = blk * kMC;
-        const size_t mc = std::min(kMC, m - ic);
-        RunRowBlock(a, a_rs, a_cs, ic, mc, pc, kc, jc, nc, alpha, bpack, c,
-                    ldc, micro);
-      };
-      if (pool != nullptr && blocks > 1) {
-        // Pool workers tag themselves too, so a snapshot mid-product shows
-        // which threads are inside this request's row blocks.
-        pool->ParallelFor(blocks, [&](size_t blk) {
-          ScopedPhase block_phase(
-              "gemm_block", cancel != nullptr ? cancel->trace_id : 0);
-          run_block(blk);
+      const size_t kc = std::min(kc_max, k - pc);
+      // The panel is packed cooperatively when enough tiles exist to
+      // amortize the fan-out, otherwise on the dispatching thread; either
+      // way every worker then reads the same shared panel (ParallelFor /
+      // Submit publish the writes).
+      if (pool != nullptr && nc_tiles >= 2 * workers) {
+        pool->ParallelFor(workers, [&](size_t w) {
+          PackBTiles(b, b_rs, b_cs, pc, kc, jc, nc, nc_tiles * w / workers,
+                     nc_tiles * (w + 1) / workers, bpack);
         });
       } else {
-        for (size_t blk = 0; blk < blocks; ++blk) run_block(blk);
+        PackBTiles(b, b_rs, b_cs, pc, kc, jc, nc, 0, nc_tiles, bpack);
+      }
+      ++tally.b_packs;
+
+      // Loops 3-1 as one grid task: pack (or reuse) the A block, then
+      // sweep this chunk's microtiles.
+      auto run_task = [&](size_t t) {
+        if (cancel != nullptr && cancel->ShouldStop()) return;
+        if (tally.on) tally.tasks.fetch_add(1, std::memory_order_relaxed);
+        const size_t ic = (t / jchunks) * mc_max;
+        const size_t mc = std::min(mc_max, m - ic);
+        ApackTag& tag = t_apack_tag;
+        if (!tag.valid || tag.call != call_id || tag.pc != pc ||
+            tag.ic != ic) {
+          t_apack.GrowTo(a_pack_floats);
+          PackA(a, a_rs, a_cs, ic, mc, pc, kc, alpha, t_apack.data());
+          tag = {call_id, pc, ic, true};
+          if (tally.on) tally.a_packs.fetch_add(1, std::memory_order_relaxed);
+        }
+        const float* apack = t_apack.data();
+        const size_t jt0 = (t % jchunks) * jchunk_tiles;
+        const size_t jt1 = std::min(nc_tiles, jt0 + jchunk_tiles);
+        for (size_t jt = jt0; jt < jt1; ++jt) {
+          const size_t jr = jt * kNR;
+          const size_t nr = std::min(kNR, nc - jr);
+          const float* bp = bpack + jt * kc * kNR;
+          for (size_t ir = 0; ir < mc; ir += kMR) {
+            const size_t mr = std::min(kMR, mc - ir);
+            const float* ap = apack + (ir / kMR) * kc * kMR;
+            micro(kc, ap, bp, c + (ic + ir) * ldc + jc + jr, ldc, mr, nr);
+          }
+        }
+      };
+      if (pool != nullptr && tasks > 1) {
+        // Pool workers tag themselves too, so a snapshot mid-product shows
+        // which threads are inside this request's grid tasks.
+        pool->ParallelFor(tasks, [&](size_t t) {
+          ScopedPhase block_phase("gemm_block",
+                                  cancel != nullptr ? cancel->trace_id : 0);
+          run_task(t);
+        });
+      } else {
+        for (size_t t = 0; t < tasks; ++t) run_task(t);
       }
     }
   }

@@ -9,18 +9,36 @@
 //     GemmTransA  A: (1, k)   B: (n, 1)     (reads A transposed)
 //     GemmTransB  A: (k, 1)   B: (1, k)     (reads B transposed)
 //
-// Both operands are packed into 64-byte-aligned, zero-padded panels
-// (B into kKC x kNC column panels of kNR-wide tiles, A into kMC x kKC row
-// panels of kMR-tall tiles, alpha folded into the A pack), and a kMR x kNR
-// register-tile microkernel runs over the panels: AVX2+FMA via a
-// function-level target attribute when the CPU supports it, otherwise a
-// portable lane-ordered loop the compiler vectorizes at the baseline ISA.
+// The driver is the full BLIS-style five-loop cache-blocked nest around a
+// kMR x kNR register-tile microkernel (AVX2+FMA via a function-level
+// target attribute when the CPU supports it, otherwise a portable
+// lane-ordered loop the compiler vectorizes at the baseline ISA):
 //
-// Parallel execution partitions the kMC row blocks of each panel across the
-// shared kernel pool. Every output tile is computed by exactly one task in
-// a fixed block order, so results are bitwise-identical for every thread
-// count (including serial packed execution) — only the deterministic-mode
-// scalar path (kernels.cc) is ordered differently. See DESIGN.md §9.
+//     loop 5  jc over n  in steps of Nc   (B panel columns; L3 resident)
+//     loop 4  pc over k  in steps of Kc   (pack B panel, shared via
+//                                          PackedBufferPool)
+//     loop 3  ic over m  in steps of Mc   (pack A block, thread-local;
+//                                          L2 resident)
+//     loop 2  jr over Nc in steps of kNR  (B microtile; L1 resident)
+//     loop 1  ir over Mc in steps of kMR  (microkernel)
+//
+// Mc/Kc/Nc derive from detected cache geometry, overridable via
+// SAMPNN_GEMM_{MC,KC,NC} (src/tensor/kernel_config.h). Both operands are
+// packed into 64-byte-aligned, zero-padded panels (alpha folded into the A
+// pack); edge tiles take the same packed path as interior tiles — the zero
+// padding keeps the microkernel branch-free, only the final store narrows.
+//
+// Parallel execution packs each Kc x Nc B panel once into a pooled shared
+// buffer (cooperatively, column tiles split across the workers), then
+// partitions a fixed 2-D grid of (Mc row block) x (column chunk) tasks
+// across the shared kernel pool. The grid shape depends only on the
+// operand shape and blocking — never on the worker count — and every
+// output element has exactly one writer accumulating in a fixed k order,
+// so results are bitwise-identical for every thread count (including
+// serial packed execution) for a given blocking. Worker counts are clamped
+// to hardware concurrency (monotone scaling by construction; see
+// GemmEffectiveWorkers). Only the deterministic-mode scalar path
+// (kernels.cc) is ordered differently. See DESIGN.md §9.
 
 #pragma once
 

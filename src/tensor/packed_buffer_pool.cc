@@ -1,0 +1,74 @@
+#include "src/tensor/packed_buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sampnn {
+
+void PackedBufferPool::Handle::Release() {
+  if (pool_ != nullptr && buf_ != nullptr) {
+    pool_->Return(std::move(buf_));
+  }
+  pool_ = nullptr;
+  buf_.reset();
+}
+
+PackedBufferPool::Handle PackedBufferPool::Acquire(size_t min_floats) {
+  std::unique_ptr<AlignedBuffer> buf;
+  {
+    MutexLock lock(mu_);
+    if (!idle_.empty()) {
+      // Smallest sufficient idle buffer, else the largest (grown below).
+      size_t pick = 0;
+      bool pick_fits = idle_[0]->size() >= min_floats;
+      for (size_t i = 1; i < idle_.size(); ++i) {
+        const size_t sz = idle_[i]->size();
+        const bool fits = sz >= min_floats;
+        if ((fits && (!pick_fits || sz < idle_[pick]->size())) ||
+            (!fits && !pick_fits && sz > idle_[pick]->size())) {
+          pick = i;
+          pick_fits = fits;
+        }
+      }
+      buf = std::move(idle_[pick]);
+      idle_.erase(idle_.begin() + static_cast<ptrdiff_t>(pick));
+      ++reuses_;
+    } else {
+      ++allocations_;
+    }
+  }
+  if (buf == nullptr) {
+    buf = std::make_unique<AlignedBuffer>(min_floats);
+  } else {
+    buf->GrowTo(min_floats);  // no-op when the buffer already fits
+  }
+  return Handle(this, std::move(buf));
+}
+
+void PackedBufferPool::Return(std::unique_ptr<AlignedBuffer> buf) {
+  MutexLock lock(mu_);
+  if (idle_.size() < kMaxIdle) idle_.push_back(std::move(buf));
+  // else: drop — the unique_ptr frees it on scope exit.
+}
+
+PackedBufferPool& PackedBufferPool::Global() {
+  static PackedBufferPool* pool = new PackedBufferPool();  // never destroyed
+  return *pool;
+}
+
+size_t PackedBufferPool::IdleCount() const {
+  MutexLock lock(mu_);
+  return idle_.size();
+}
+
+uint64_t PackedBufferPool::Allocations() const {
+  MutexLock lock(mu_);
+  return allocations_;
+}
+
+uint64_t PackedBufferPool::Reuses() const {
+  MutexLock lock(mu_);
+  return reuses_;
+}
+
+}  // namespace sampnn

@@ -1,0 +1,97 @@
+// Reusable checkout pool for the blocked GEMM's shared packed-B panels.
+//
+// Each GEMM dispatch checks out one 64-byte-aligned buffer for the
+// lifetime of the call, packs successive B panels into it, and returns it
+// on scope exit. Buffers are recycled across dispatches, so steady-state
+// GEMMs allocate nothing — concurrent dispatches simply check out distinct
+// buffers. Per-thread A-pack scratch stays thread-local (see gemm.cc);
+// this pool exists for the one buffer that is written by the dispatching
+// thread and read concurrently by every worker of the call.
+//
+// The pool mutex (rank tensor.pack_pool, DESIGN.md §11) is held only for
+// the freelist push/pop — never across packing, kernel execution, or any
+// other lock.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/aligned_buffer.h"
+#include "src/util/sync.h"
+
+namespace sampnn {
+
+class PackedBufferPool {
+ public:
+  /// RAII checkout: returns the buffer to the pool on destruction.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(PackedBufferPool* pool, std::unique_ptr<AlignedBuffer> buf)
+        : pool_(pool), buf_(std::move(buf)) {}
+    ~Handle() { Release(); }
+
+    Handle(Handle&& other) noexcept
+        : pool_(other.pool_), buf_(std::move(other.buf_)) {
+      other.pool_ = nullptr;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        buf_ = std::move(other.buf_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    float* data() { return buf_ != nullptr ? buf_->data() : nullptr; }
+    size_t size() const { return buf_ != nullptr ? buf_->size() : 0; }
+
+   private:
+    void Release();
+
+    PackedBufferPool* pool_ = nullptr;
+    std::unique_ptr<AlignedBuffer> buf_;
+  };
+
+  PackedBufferPool() = default;
+  PackedBufferPool(const PackedBufferPool&) = delete;
+  PackedBufferPool& operator=(const PackedBufferPool&) = delete;
+
+  /// Checks out a buffer of at least `min_floats` floats. Prefers the
+  /// smallest sufficient idle buffer; if none is big enough, the largest
+  /// idle buffer is grown (outside the lock). Allocates fresh only when
+  /// the freelist is empty.
+  Handle Acquire(size_t min_floats);
+
+  /// Process-wide pool the GEMM dispatch path uses.
+  static PackedBufferPool& Global();
+
+  /// Introspection for tests: buffers currently idle / total fresh
+  /// allocations / checkouts served from the freelist.
+  size_t IdleCount() const;
+  uint64_t Allocations() const;
+  uint64_t Reuses() const;
+
+ private:
+  friend class Handle;
+
+  // Idle buffers retained beyond this are freed on return instead — a
+  // burst of concurrent dispatches must not pin panel memory forever.
+  static constexpr size_t kMaxIdle = 8;
+
+  void Return(std::unique_ptr<AlignedBuffer> buf);
+
+  mutable Mutex mu_{"tensor.pack_pool", lockrank::kGemmPackPool};
+  std::vector<std::unique_ptr<AlignedBuffer>> idle_ SAMPNN_GUARDED_BY(mu_);
+  uint64_t allocations_ SAMPNN_GUARDED_BY(mu_) = 0;
+  uint64_t reuses_ SAMPNN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sampnn

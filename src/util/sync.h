@@ -86,6 +86,7 @@ inline constexpr int kRegistrySwap = 18;      ///< registry.swap
 inline constexpr int kServeQueue = 20;        ///< serve.queue
 inline constexpr int kServeWorkerToken = 30;  ///< serve.worker_token
 inline constexpr int kServeBackend = 40;      ///< serve.backend
+inline constexpr int kGemmPackPool = 44;      ///< tensor.pack_pool
 inline constexpr int kGemmPools = 45;         ///< tensor.gemm_pools
 inline constexpr int kThreadPool = 50;        ///< threadpool.pool
 inline constexpr int kThreadPoolLatch = 60;   ///< threadpool.latch
