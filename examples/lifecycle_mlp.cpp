@@ -1,0 +1,417 @@
+// lifecycle_mlp: the continuous train-while-serve lifecycle end to end
+// (DESIGN.md §14). Trains a small MLP, serves it through the registry-backed
+// InferenceService with the request log attached, then shifts the input
+// distribution under live traffic (a constant calibration offset on every
+// feature). The background
+// FineTuneLoop must notice the drift from the logged rows, fine-tune on the
+// delayed-labeled shifted traffic, promote the adapted model through the
+// sentinel/canary gates, and watch the post-promotion SLO window. This is
+// the binary behind the CI lifecycle-smoke job (scripts/check_lifecycle.py
+// asserts on its JSON).
+//
+//   ./lifecycle_mlp                          # drift -> promote -> clean window
+//   ./lifecycle_mlp --faults=grad-nan@0      # fine-tune diverges, 0 promotions
+//   ./lifecycle_mlp --slo-regress=1          # promote, then scripted p99
+//                                            # blowup -> auto-rollback
+//
+// Exit code 0 unless setup fails; lifecycle outcomes (divergence, canary
+// rejections, rollbacks) are data, not errors.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/synthetic.h"
+#include "src/lifecycle/fine_tune_loop.h"
+#include "src/obs/statusz.h"
+#include "src/registry/model_registry.h"
+#include "src/resilience/fault_injector.h"
+#include "src/serve/inference_service.h"
+#include "src/util/flags.h"
+
+using namespace sampnn;
+
+namespace {
+
+// Brief training loop (the lifecycle demo needs a plausible model, not a
+// converged one).
+void TrainBriefly(Trainer* trainer, const Dataset& train, size_t epochs,
+                  size_t batch_size) {
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  Matrix x;
+  std::vector<int32_t> y;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t begin = 0; begin + batch_size <= train.size();
+         begin += batch_size) {
+      const std::span<const size_t> indices(order.data() + begin, batch_size);
+      train.FillBatch(indices, &x, &y);
+      std::move(trainer->Step(x, y)).ValueOrDie("train step");
+    }
+  }
+}
+
+// The drift scenario: a constant calibration offset on every feature
+// (sensor gain drift). The synthetic features center near 0.5, so a
+// symmetric transform like pixel inversion would barely move the means;
+// a +kShift offset moves every per-feature mean by many reference sigmas
+// while leaving the class geometry intact — the detector trips hard and a
+// fine-tune round can fully adapt (the first layer's biases absorb it).
+constexpr float kShift = 2.0f;
+
+std::vector<float> ShiftRow(std::span<const float> row) {
+  std::vector<float> shifted(row.begin(), row.end());
+  for (float& v : shifted) v += kShift;
+  return shifted;
+}
+
+// Accuracy of the CURRENT live backend on a shifted slice of the test set —
+// measured before the shift phase (the old model should be bad at it) and
+// after the lifecycle acts (a promoted model should have recovered).
+double ShiftedAccuracy(ModelRegistry* registry, const Dataset& test,
+                       size_t rows) {
+  rows = std::min(rows, test.size());
+  if (rows == 0) return 0.0;
+  Matrix inputs(rows, test.dim());
+  for (size_t r = 0; r < rows; ++r) {
+    const std::span<const float> row = test.Example(r);
+    for (size_t c = 0; c < test.dim(); ++c) inputs(r, c) = row[c] + kShift;
+  }
+  const auto entry = registry->Current();
+  Matrix logits;
+  const Status status = entry->backend->Forward(inputs, CancelContext{},
+                                                ServeQuality::kFull, &logits);
+  if (!status.ok()) return 0.0;
+  size_t correct = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    size_t best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (logits(r, c) > logits(r, best)) best = c;
+    }
+    if (static_cast<int32_t>(best) == test.Label(r)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows);
+}
+
+std::string SummaryJson(const ServeStats& s, const RegistryStats& r,
+                        uint64_t live_version, const LifecycleStats& l,
+                        const RequestLogStats& q, uint64_t client_ok,
+                        uint64_t labels_sent, double acc_before,
+                        double acc_after) {
+  std::ostringstream out;
+  out << "{\"serve\":{\"submitted\":" << s.submitted
+      << ",\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
+      << ",\"completed\":" << s.completed
+      << ",\"completed_degraded\":" << s.completed_degraded
+      << ",\"deadline_exceeded\":" << s.deadline_exceeded
+      << ",\"cancelled\":" << s.cancelled
+      << ",\"client_ok\":" << client_ok
+      << ",\"labels_sent\":" << labels_sent << "}";
+  out << ",\"registry\":{\"live_version\":" << live_version
+      << ",\"promote_attempted\":" << r.promotions_attempted
+      << ",\"promoted\":" << r.promoted
+      << ",\"rejected_corrupt\":" << r.rejected_corrupt
+      << ",\"rejected_regressed\":" << r.rejected_regressed
+      << ",\"rejected_incompatible\":" << r.rejected_incompatible
+      << ",\"rejected_raced\":" << r.rejected_raced
+      << ",\"rollbacks\":" << r.rollbacks << "}";
+  out << ",\"lifecycle\":{\"state\":\"" << LifecycleStateToString(l.state)
+      << "\",\"ticks\":" << l.ticks << ",\"rounds\":" << l.rounds
+      << ",\"batches\":" << l.batches << ",\"diverged\":" << l.diverged
+      << ",\"promotions\":" << l.promotions
+      << ",\"rejected_canary\":" << l.rejected_canary
+      << ",\"rejected_registry\":" << l.rejected_registry
+      << ",\"rollbacks\":" << l.rollbacks
+      << ",\"windows_clean\":" << l.windows_clean
+      << ",\"pool_size\":" << l.pool_size << "}";
+  out << ",\"drift\":{\"score\":" << l.drift_score
+      << ",\"trips\":" << l.drift_trips << ",\"observed\":" << l.drift_observed
+      << ",\"refreezes\":" << l.drift_refreezes << "}";
+  out << ",\"request_log\":{\"offered\":" << q.offered
+      << ",\"sampled\":" << q.sampled << ",\"dropped\":" << q.dropped
+      << ",\"labeled\":" << q.labeled << ",\"drained\":" << q.drained
+      << ",\"stalls\":" << q.stalls << ",\"buffered\":" << q.buffered << "}";
+  out << ",\"accuracy\":{\"shifted_before\":" << acc_before
+      << ",\"shifted_after\":" << acc_after << "}";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("lifecycle_mlp");
+  flags.AddInt("epochs", 1, "brief training epochs before serving");
+  flags.AddInt("scale", 50, "dataset downscale factor");
+  flags.AddInt("hidden", 32, "hidden units per layer");
+  flags.AddInt("baseline-requests", 200, "unshifted requests (phase 1)");
+  flags.AddInt("shifted-requests", 800, "offset-shifted requests (phase 2)");
+  flags.AddInt("client-threads", 2, "concurrent submitting threads");
+  flags.AddInt("inflight-per-client", 8, "outstanding requests per client");
+  flags.AddInt("workers", 2, "inference worker threads");
+  flags.AddInt("deadline-ms", 2000, "per-request deadline");
+  flags.AddInt("window-ms", 1500, "post-promotion demotion window");
+  flags.AddInt("wait-ms", 20000,
+               "max wait for the lifecycle outcome after the shift phase "
+               "(a shifted-label trickle keeps flowing while waiting, so "
+               "canary-rejected rounds can refill their pool and retry)");
+  flags.AddString("faults", "",
+                  "fault spec (grad-nan@N,drift-spike@N,stream-stall@N,"
+                  "canary-regress@N); overrides SAMPNN_FAULTS");
+  flags.AddInt("slo-regress", 0,
+               "1 = feed the demotion watch a scripted SLO source whose p99 "
+               "blows up right after the promotion, forcing an auto-rollback");
+  flags.AddString("checkpoint-dir", "",
+                  "shared fine-tune checkpoint dir (default: under /tmp)");
+  flags.AddString("json-out", "", "also write the JSON summary to this file");
+  flags.AddInt("statusz-port", -1,
+               "loopback introspection port (-1 = off, 0 = ephemeral); the "
+               "bound port is announced on stderr as 'statusz: ...'");
+  flags.AddInt("hold-ms", 0,
+               "keep the service and loop up this long after the outcome, "
+               "so external scrapers can read the post-traffic state");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsFailedPrecondition()) return 0;  // --help
+  st.Abort("flags");
+
+  // 1. Data + a briefly trained standard model. The trainer itself is
+  // handed to the FineTuneLoop afterwards: fine-tuning continues from the
+  // exact weights the registry starts out serving.
+  DatasetSplits data =
+      std::move(GenerateBenchmark("mnist", /*seed=*/7,
+                                  static_cast<size_t>(flags.GetInt("scale"))))
+          .ValueOrDie("generate data");
+  const MlpConfig net_config = PaperMlpConfig(
+      data.train, /*depth=*/2, static_cast<size_t>(flags.GetInt("hidden")),
+      /*seed=*/42);
+  TrainerOptions trainer_options =
+      PaperTrainerOptions(TrainerKind::kStandard, /*batch_size=*/20,
+                          /*seed=*/42);
+  std::unique_ptr<Trainer> trainer =
+      std::move(MakeTrainer(net_config, trainer_options)).ValueOrDie("trainer");
+  TrainBriefly(trainer.get(), data.train,
+               static_cast<size_t>(flags.GetInt("epochs")), 20);
+
+  // 2. Registry serving the trained weights. The obs gate mirrors the
+  // service's: a /metricsz scrape must see registry.* series even when
+  // SAMPNN_TELEMETRY is unset.
+  const bool statusz_on = flags.GetInt("statusz-port") >= 0;
+  RegistryOptions registry_options = RegistryOptions::FromEnv();
+  registry_options.obs_enabled = [statusz_on] {
+    return statusz_on || TelemetryEnabled();
+  };
+  std::shared_ptr<ModelRegistry> registry =
+      std::move(ModelRegistry::Create(
+                    std::shared_ptr<ModelBackend>(
+                        MakeDenseBackend(trainer->net())),
+                    [](Mlp model) -> StatusOr<std::shared_ptr<ModelBackend>> {
+                      return std::shared_ptr<ModelBackend>(
+                          MakeDenseBackend(std::move(model)));
+                    },
+                    registry_options))
+          .ValueOrDie("registry");
+
+  // 3. The request log + the service wired to populate it.
+  RequestLogOptions log_options = RequestLogOptions::FromEnv();
+  log_options.obs_enabled = registry_options.obs_enabled;
+  std::shared_ptr<RequestLog> log = RequestLog::Create(log_options);
+
+  ServeOptions serve_options = ServeOptions::FromEnv();
+  serve_options.workers = static_cast<size_t>(flags.GetInt("workers"));
+  serve_options.default_deadline_ms = flags.GetInt("deadline-ms");
+  if (statusz_on) serve_options.statusz_port = flags.GetInt("statusz-port");
+  serve_options.request_log = log;
+  std::unique_ptr<InferenceService> service =
+      std::move(InferenceService::Create(registry, serve_options))
+          .ValueOrDie("service");
+  if (service->statusz_port() >= 0) {
+    // Parseable announcement for scrapers (scripts/lifecycle_smoke.sh).
+    std::fprintf(stderr, "statusz: listening on 127.0.0.1:%d\n",
+                 service->statusz_port());
+  }
+
+  // 4. Faults (--faults wins over SAMPNN_FAULTS), installed after training
+  // so the fine-tune rounds see step counters starting at zero.
+  if (!flags.GetString("faults").empty()) {
+    FaultInjector::InstallGlobal(
+        std::move(FaultInjector::Parse(flags.GetString("faults")))
+            .ValueOrDie("faults"));
+  } else {
+    FaultInjector::InstallGlobalFromEnv().Abort("SAMPNN_FAULTS");
+  }
+
+  // 5. The lifecycle loop. The drift reference freezes on a sample of the
+  // unshifted training inputs; the demotion watch reads either the real
+  // serve-side SLO tracker or (--slo-regress) a scripted source the main
+  // thread inflates once the promotion lands.
+  std::string checkpoint_dir = flags.GetString("checkpoint-dir");
+  if (checkpoint_dir.empty()) {
+    checkpoint_dir = (std::filesystem::temp_directory_path() /
+                      ("sampnn_lifecycle_" + std::to_string(::getpid())))
+                         .string();
+  }
+  std::atomic<int> scripted_p99_ms{5};
+  FineTuneLoopOptions loop_options = FineTuneLoopOptions::FromEnv();
+  loop_options.checkpoint_dir = checkpoint_dir;
+  loop_options.poll_ms = 20;
+  loop_options.demotion_window_ms = flags.GetInt("window-ms");
+  loop_options.fine_tune_batches = 240;
+  loop_options.batch_size = 32;
+  loop_options.checkpoint_every = 40;
+  // High enough that a round fires only once the pool is dominated by
+  // shifted rows (the ~200 baseline labels alone can never start one) —
+  // otherwise a fast trip fine-tunes on mostly pre-shift data and the
+  // promoted model barely adapts.
+  loop_options.min_labeled = 512;
+  loop_options.canary_rows = 32;
+  loop_options.obs_enabled = registry_options.obs_enabled;
+  const bool slo_regress = flags.GetInt("slo-regress") != 0;
+  if (slo_regress) {
+    loop_options.slo_source = [&scripted_p99_ms] {
+      SloSnapshot snapshot;
+      snapshot.p99_ms =
+          static_cast<double>(scripted_p99_ms.load(std::memory_order_relaxed));
+      snapshot.window_count = 200;
+      return snapshot;
+    };
+  } else if (service->slo_tracker() != nullptr) {
+    SloTracker* tracker = service->slo_tracker();
+    loop_options.slo_source = [tracker] { return tracker->Snapshot(); };
+  }
+
+  Matrix drift_reference;
+  {
+    std::vector<size_t> indices(std::min<size_t>(256, data.train.size()));
+    std::iota(indices.begin(), indices.end(), size_t{0});
+    std::vector<int32_t> unused;
+    data.train.FillBatch(indices, &drift_reference, &unused);
+  }
+  std::unique_ptr<FineTuneLoop> loop =
+      std::move(FineTuneLoop::Create(std::move(trainer), log, registry,
+                                     drift_reference, loop_options))
+          .ValueOrDie("lifecycle loop");
+  if (service->statusz_server() != nullptr) {
+    FineTuneLoop* loop_ptr = loop.get();
+    service->statusz_server()->AddSection(
+        "lifecycle", [loop_ptr] { return loop_ptr->RenderStatuszSection(); });
+  }
+
+  const double acc_before =
+      ShiftedAccuracy(registry.get(), data.test, /*rows=*/256);
+  loop->Start().Abort("lifecycle start");
+
+  // 6. Client load: phase 1 unshifted, phase 2 pixel-inverted. Every
+  // settled OK result joins its delayed ground-truth label back onto the
+  // request log — that labeled pool is what the fine-tune round trains on.
+  std::atomic<uint64_t> client_ok{0}, labels_sent{0};
+  const auto run_phase = [&](size_t requests, bool shifted) {
+    const size_t client_threads = std::max<size_t>(
+        1, static_cast<size_t>(flags.GetInt("client-threads")));
+    std::vector<std::thread> clients;
+    clients.reserve(client_threads);
+    for (size_t c = 0; c < client_threads; ++c) {
+      clients.emplace_back([&, c] {
+        const size_t window = std::max<size_t>(
+            1, static_cast<size_t>(flags.GetInt("inflight-per-client")));
+        std::deque<std::pair<std::future<InferenceResult>, int32_t>> inflight;
+        const auto settle = [&](std::pair<std::future<InferenceResult>,
+                                          int32_t> entry) {
+          const InferenceResult result = entry.first.get();
+          if (!result.status.ok()) return;
+          client_ok.fetch_add(1, std::memory_order_relaxed);
+          if (result.log_seq != 0) {
+            // status-ignored: best-effort; row may be drained or evicted
+            (void)log->Label(result.log_seq, entry.second);
+            labels_sent.fetch_add(1, std::memory_order_relaxed);
+          }
+        };
+        for (size_t i = c; i < requests; i += client_threads) {
+          const size_t example = i % data.test.size();
+          const std::span<const float> row = data.test.Example(example);
+          std::vector<float> features =
+              shifted ? ShiftRow(row)
+                      : std::vector<float>(row.begin(), row.end());
+          inflight.emplace_back(
+              service->Submit(std::string(kDefaultTenant),
+                              std::move(features)),
+              data.test.Label(example));
+          if (inflight.size() >= window) {
+            settle(std::move(inflight.front()));
+            inflight.pop_front();
+          }
+        }
+        while (!inflight.empty()) {
+          settle(std::move(inflight.front()));
+          inflight.pop_front();
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  };
+
+  run_phase(static_cast<size_t>(flags.GetInt("baseline-requests")),
+            /*shifted=*/false);
+  run_phase(static_cast<size_t>(flags.GetInt("shifted-requests")),
+            /*shifted=*/true);
+
+  // 7. Wait for the lifecycle outcome, keeping a shifted-label trickle
+  // flowing so a canary-rejected round can refill its pool and retry.
+  // Terminal outcomes: a promotion whose demotion window resolved (clean or
+  // rolled back), or a diverged round (episode abandoned, unpromotable).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(flags.GetInt("wait-ms"));
+  bool regression_injected = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const LifecycleStats now = loop->stats();
+    if (slo_regress && now.promotions > 0 && !regression_injected) {
+      scripted_p99_ms.store(500, std::memory_order_relaxed);
+      regression_injected = true;
+      std::fprintf(stderr, "slo-regress: scripted p99 inflated to 500ms\n");
+    }
+    const bool window_resolved =
+        now.promotions > 0 && (now.windows_clean + now.rollbacks) > 0;
+    if (window_resolved || now.diverged > 0) break;
+    run_phase(/*requests=*/32, /*shifted=*/true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  const double acc_after =
+      ShiftedAccuracy(registry.get(), data.test, /*rows=*/256);
+  if (flags.GetInt("hold-ms") > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.GetInt("hold-ms")));
+  }
+  // The loop references the service-owned SLO tracker; stop it first.
+  loop->Stop();
+  service->Stop(InferenceService::StopMode::kDrain);
+
+  // 8. Report.
+  const std::string json = SummaryJson(
+      service->Stats(), registry->stats(), registry->live_version(),
+      loop->stats(), log->stats(), client_ok.load(), labels_sent.load(),
+      acc_before, acc_after);
+  std::printf("%s\n", json.c_str());
+  const std::string json_out = flags.GetString("json-out");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  FaultInjector::ClearGlobal();
+  std::filesystem::remove_all(checkpoint_dir);
+  return 0;
+}

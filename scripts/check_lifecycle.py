@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validates the JSON summary of a lifecycle_mlp smoke run.
+
+Usage: check_lifecycle.py <stats_json> --mode=happy|grad-nan|slo-regress
+
+The smoke drives lifecycle_mlp through a covariate shift under live traffic
+(DESIGN.md §14), so the invariants are exact, not statistical:
+
+happy (no faults):
+  - the drift detector tripped at least once on the shifted traffic and the
+    reference was refrozen after the episode resolved;
+  - at least one fine-tune round ran and exactly its promotions landed
+    (live_version == 1 + promoted, promoted >= 1, diverged == 0);
+  - every promotion's demotion window resolved, none by rollback;
+  - the promoted model actually adapted: shifted-slice accuracy improved
+    over the pre-shift model by a real margin;
+  - zero-downtime: no cancellations, no deadline misses, and every admitted
+    request completed (the serve-side conservation identities).
+
+grad-nan (--faults=grad-nan@0):
+  - the sentinel caught the poisoned round: diverged >= 1, and NOTHING was
+    promoted — the registry never flipped (live_version == 1);
+  - the abandoned episode refroze the reference (no retry storm).
+
+slo-regress (--slo-regress=1):
+  - the promotion landed and the demotion watch then rolled it back:
+    promotions >= 1, lifecycle rollbacks >= 1, registry rollbacks >= 1,
+    and the boot model is live again (live_version == 1).
+
+All modes: request-log flow conservation
+    sampled == drained + dropped + buffered, labels joined > 0.
+
+Exits 0 when every invariant holds, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_lifecycle: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 3 or not sys.argv[2].startswith("--mode="):
+        fail(f"usage: {sys.argv[0]} <stats_json> --mode=happy|grad-nan|"
+             "slo-regress")
+    mode = sys.argv[2].split("=", 1)[1]
+    if mode not in ("happy", "grad-nan", "slo-regress"):
+        fail(f"unknown mode {mode!r}")
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            stats = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load stats: {e}")
+
+    for section in ("serve", "registry", "lifecycle", "drift", "request_log",
+                    "accuracy"):
+        if section not in stats:
+            fail(f"summary has no {section!r} section")
+    serve = stats["serve"]
+    registry = stats["registry"]
+    lifecycle = stats["lifecycle"]
+    drift = stats["drift"]
+    log = stats["request_log"]
+    accuracy = stats["accuracy"]
+
+    # Zero-downtime, in every mode: the lifecycle churning in the background
+    # (fine-tune rounds, promotions, rollbacks) must not cost a single
+    # in-flight request.
+    if serve["cancelled"] != 0:
+        fail(f"{serve['cancelled']} requests cancelled during the lifecycle")
+    if serve["deadline_exceeded"] != 0:
+        fail(f"{serve['deadline_exceeded']} deadline misses during the "
+             "lifecycle")
+    if serve["submitted"] != serve["admitted"] + serve["shed"]:
+        fail(f"admission leak: submitted {serve['submitted']} != admitted "
+             f"{serve['admitted']} + shed {serve['shed']}")
+    served = serve["completed"] + serve["completed_degraded"]
+    if serve["admitted"] != served:
+        fail(f"dropped in-flight requests: admitted {serve['admitted']} != "
+             f"served {served}")
+    if serve["client_ok"] != served:
+        fail(f"client view diverges: client_ok {serve['client_ok']} != "
+             f"served {served}")
+
+    # Request-log flow conservation: every sampled row is accounted for.
+    if log["sampled"] != log["drained"] + log["dropped"] + log["buffered"]:
+        fail(f"request-log leak: sampled {log['sampled']} != drained "
+             f"{log['drained']} + dropped {log['dropped']} + buffered "
+             f"{log['buffered']}")
+    if log["labeled"] == 0:
+        fail("no delayed labels ever joined the log")
+
+    # The lifecycle ran at all.
+    if lifecycle["ticks"] == 0:
+        fail("the loop never ticked")
+    if drift["observed"] == 0:
+        fail("the drift detector observed no rows")
+
+    if mode == "happy":
+        if drift["trips"] < 1:
+            fail(f"drift never tripped (score {drift['score']})")
+        if drift["refreezes"] < 1:
+            fail("the reference was never refrozen after the episode")
+        if lifecycle["diverged"] != 0:
+            fail(f"{lifecycle['diverged']} rounds diverged without a fault")
+        if lifecycle["promotions"] < 1:
+            fail("no promotion landed on the happy path")
+        if lifecycle["rollbacks"] != 0:
+            fail(f"{lifecycle['rollbacks']} rollbacks on the happy path")
+        if lifecycle["windows_clean"] < lifecycle["promotions"]:
+            fail(f"windows_clean {lifecycle['windows_clean']} < promotions "
+                 f"{lifecycle['promotions']}: a demotion window never closed")
+        if registry["live_version"] != 1 + registry["promoted"]:
+            fail(f"live_version {registry['live_version']} != 1 + promoted "
+                 f"{registry['promoted']}")
+        if registry["promoted"] < 1:
+            fail("registry recorded no promotion")
+        improvement = accuracy["shifted_after"] - accuracy["shifted_before"]
+        if improvement < 0.10:
+            fail(f"promoted model did not adapt: shifted accuracy "
+                 f"{accuracy['shifted_before']} -> "
+                 f"{accuracy['shifted_after']} (gain {improvement:.3f} "
+                 "< 0.10)")
+    elif mode == "grad-nan":
+        if lifecycle["diverged"] < 1:
+            fail("the poisoned round never diverged")
+        if lifecycle["promotions"] != 0:
+            fail(f"{lifecycle['promotions']} promotions despite divergence")
+        if registry["promoted"] != 0:
+            fail(f"registry promoted {registry['promoted']} despite "
+                 "divergence")
+        if registry["live_version"] != 1:
+            fail(f"registry flipped to v{registry['live_version']} despite "
+                 "divergence")
+        if drift["refreezes"] < 1:
+            fail("the abandoned episode never refroze the reference")
+    elif mode == "slo-regress":
+        if lifecycle["promotions"] < 1:
+            fail("no promotion landed to regress")
+        if lifecycle["rollbacks"] < 1:
+            fail("the demotion watch never rolled back")
+        if registry["rollbacks"] < 1:
+            fail("the registry recorded no rollback")
+        if registry["live_version"] != 1:
+            fail(f"live_version {registry['live_version']} != 1 after the "
+                 "auto-rollback")
+
+    print(f"check_lifecycle: OK (mode {mode}: trips {drift['trips']}, "
+          f"rounds {lifecycle['rounds']}, diverged {lifecycle['diverged']}, "
+          f"promotions {lifecycle['promotions']}, rollbacks "
+          f"{lifecycle['rollbacks']}, live v{registry['live_version']}, "
+          f"{serve['admitted']} admitted / {served} served, 0 dropped, "
+          f"shifted accuracy {accuracy['shifted_before']} -> "
+          f"{accuracy['shifted_after']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 
 Usage: check_statusz.py <metricsz_file> [--require-traffic]
        [--require-tenants=name1,name2,...] [--require-registry]
+       [--require-lifecycle]
 
 Structural checks (always):
   - every non-comment line is `name{labels} value [# exemplar]` with a
@@ -25,6 +26,12 @@ Multi-tenant / hot-swap checks:
   - --require-registry: the registry.* family is present, live_version is
     a real version (>= 1), and the promotion counters obey
     attempted == promoted + rejected_*.
+
+Lifecycle checks (--require-lifecycle, used after a lifecycle smoke run):
+  - the lifecycle.* loop counters, the lifecycle.log.* request-log
+    counters, and the drift.* detector series are all present, and the
+    request-log flow bound sampled >= dropped + buffered holds inside the
+    scrape (drained rows are the remainder and are not exported).
 
 Exits 0 when every invariant holds, 1 otherwise.
 """
@@ -52,6 +59,7 @@ def main() -> None:
         fail(f"usage: {sys.argv[0]} <metricsz_file> [--require-traffic]")
     require_traffic = "--require-traffic" in sys.argv[2:]
     require_registry = "--require-registry" in sys.argv[2:]
+    require_lifecycle = "--require-lifecycle" in sys.argv[2:]
     require_tenants: list[str] = []
     for arg in sys.argv[2:]:
         if arg.startswith("--require-tenants="):
@@ -205,6 +213,42 @@ def main() -> None:
             fail(
                 f"registry promotion counters leak: attempted {attempted} "
                 f"!= resolved {resolved}"
+            )
+
+    if require_lifecycle:
+        for dotted in (
+            "lifecycle.ticks",
+            "lifecycle.rounds",
+            "lifecycle.batches",
+            "lifecycle.diverged",
+            "lifecycle.promotions",
+            "lifecycle.rejected_canary",
+            "lifecycle.rejected_registry",
+            "lifecycle.rollbacks",
+            "lifecycle.windows_clean",
+            "lifecycle.state",
+            "lifecycle.pool",
+            "lifecycle.log.offered",
+            "lifecycle.log.sampled",
+            "lifecycle.log.dropped",
+            "lifecycle.log.labeled",
+            "lifecycle.log.stalls",
+            "lifecycle.log.buffered",
+            "drift.score",
+            "drift.tripped",
+            "drift.trips",
+            "drift.observed",
+            "drift.refreezes",
+        ):
+            if sanitized(dotted) not in samples:
+                fail(f"missing lifecycle series {dotted}")
+        sampled = samples[sanitized("lifecycle.log.sampled")]
+        dropped = samples[sanitized("lifecycle.log.dropped")]
+        buffered = samples[sanitized("lifecycle.log.buffered")]
+        if sampled < dropped + buffered:
+            fail(
+                f"request-log flow leak: sampled {sampled} < dropped "
+                f"{dropped} + buffered {buffered}"
             )
 
     print(

@@ -35,6 +35,8 @@ JSONL_KEYS = {
     "gemm_flops", "gemm_flops_realized", "sparse_flops",
     "gemm_parallel_dispatches", "gemm_serial_dispatches",
     "gemm_pack_b_panels", "gemm_pack_a_panels", "gemm_block_tasks",
+    "drift_score", "drift_trips", "lifecycle_promotions",
+    "lifecycle_rollbacks", "lifecycle_diverged",
     "rss_bytes",
 }
 

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Lifecycle smoke test (CI lifecycle-smoke job): run lifecycle_mlp through
+# the continuous train-while-serve loop (DESIGN.md §14) three times:
+#
+#   1. happy path — a covariate shift under live traffic must trip the
+#      drift detector, fine-tune, promote through the gates, close the
+#      demotion window clean, and measurably recover shifted accuracy,
+#      with zero dropped in-flight requests; the live /statusz and
+#      /metricsz expositions must show the lifecycle/drift families;
+#   2. grad-nan — a poisoned fine-tune round must be caught by the
+#      divergence sentinel: zero promotions, the boot model stays live;
+#   3. slo-regress — a promotion whose post-promotion p99 blows up must be
+#      rolled back automatically by the demotion watch.
+#
+# scripts/check_lifecycle.py asserts on each JSON summary and
+# scripts/check_statusz.py on the live scrape.
+#
+# Usage: scripts/lifecycle_smoke.sh [path/to/lifecycle_mlp]
+# (default binary: build/asan-ubsan/examples/lifecycle_mlp)
+
+set -u
+
+BIN="${1:-build/asan-ubsan/examples/lifecycle_mlp}"
+if [[ ! -x "$BIN" ]]; then
+  echo "lifecycle_smoke: binary not found: $BIN" >&2
+  echo "build it with: cmake --build --preset asan-ubsan --target lifecycle_mlp" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+RUN_PID=""
+cleanup() {
+  [[ -n "$RUN_PID" ]] && kill "$RUN_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "lifecycle_smoke: FAIL: $*" >&2
+  echo "--- lifecycle_mlp stderr ---" >&2
+  cat "$WORK/stderr" >&2
+  exit 1
+}
+
+CHECK_LIFECYCLE="$(dirname "$0")/check_lifecycle.py"
+CHECK_STATUSZ="$(dirname "$0")/check_statusz.py"
+
+# --- 1. Happy path, with the introspection plane up for scraping. --------
+"$BIN" --statusz-port=0 --hold-ms=4000 \
+       --checkpoint-dir="$WORK/ckpt" \
+       --json-out="$WORK/happy.json" \
+       >"$WORK/stdout" 2>"$WORK/stderr" &
+RUN_PID=$!
+
+# The bound ephemeral port is announced on stderr.
+PORT=""
+for _ in $(seq 1 600); do
+  PORT="$(sed -n 's/^statusz: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+          "$WORK/stderr" | head -n1)"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$RUN_PID" 2>/dev/null || fail "lifecycle_mlp exited before binding"
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || fail "no statusz port announced"
+echo "lifecycle_smoke: statusz on port $PORT"
+
+# Poll /metricsz until the lifecycle families validate with a promotion
+# settled — converges once the drift episode has resolved.
+VALID=""
+for _ in $(seq 1 600); do
+  if curl -sf --max-time 5 "http://127.0.0.1:$PORT/metricsz" \
+       -o "$WORK/metricsz" \
+     && python3 "$CHECK_STATUSZ" "$WORK/metricsz" \
+          --require-registry --require-lifecycle \
+          >"$WORK/statusz_check.log" 2>&1 \
+     && grep -q '^sampnn_lifecycle_promotions 1$' "$WORK/metricsz"; then
+    VALID=1
+    break
+  fi
+  kill -0 "$RUN_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [[ -z "$VALID" ]]; then
+  cat "$WORK/statusz_check.log" >&2
+  fail "metricsz never validated while the lifecycle was live"
+fi
+cat "$WORK/statusz_check.log"
+
+# The /statusz lifecycle section must render the loop's state machine.
+curl -sf --max-time 5 "http://127.0.0.1:$PORT/statusz" -o "$WORK/statusz" \
+  || fail "GET /statusz failed"
+grep -q 'state: '      "$WORK/statusz" || fail "/statusz lacks the loop state"
+grep -q 'promotions=1' "$WORK/statusz" || fail "/statusz lacks promotions=1"
+grep -q 'drift_score=' "$WORK/statusz" || fail "/statusz lacks drift_score"
+
+wait "$RUN_PID" || fail "lifecycle_mlp exited non-zero (happy)"
+RUN_PID=""
+python3 "$CHECK_LIFECYCLE" "$WORK/happy.json" --mode=happy \
+  || fail "check_lifecycle rejected the happy-path summary"
+
+# --- 2. Poisoned fine-tune: the sentinel must block the promotion. -------
+"$BIN" --faults=grad-nan@0 --json-out="$WORK/gradnan.json" \
+       >"$WORK/stdout" 2>"$WORK/stderr" \
+  || fail "lifecycle_mlp exited non-zero (grad-nan)"
+python3 "$CHECK_LIFECYCLE" "$WORK/gradnan.json" --mode=grad-nan \
+  || fail "check_lifecycle rejected the grad-nan summary"
+
+# --- 3. Post-promotion SLO regression: must auto-rollback. ---------------
+"$BIN" --slo-regress=1 --json-out="$WORK/sloregress.json" \
+       >"$WORK/stdout" 2>"$WORK/stderr" \
+  || fail "lifecycle_mlp exited non-zero (slo-regress)"
+python3 "$CHECK_LIFECYCLE" "$WORK/sloregress.json" --mode=slo-regress \
+  || fail "check_lifecycle rejected the slo-regress summary"
+
+echo "lifecycle_smoke: OK"

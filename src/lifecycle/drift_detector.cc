@@ -1,0 +1,150 @@
+#include "src/lifecycle/drift_detector.h"
+
+#include <cmath>
+
+#include "src/resilience/fault_injector.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+constexpr const char* kMetricScore = "drift.score";
+constexpr const char* kMetricTripped = "drift.tripped";
+constexpr const char* kMetricTrips = "drift.trips";
+constexpr const char* kMetricObserved = "drift.observed";
+constexpr const char* kMetricRefreezes = "drift.refreezes";
+
+}  // namespace
+
+DriftDetectorOptions DriftDetectorOptions::FromEnv() {
+  DriftDetectorOptions options;
+  options.z_threshold =
+      GetEnvDoubleOr("SAMPNN_LIFECYCLE_DRIFT_Z", options.z_threshold);
+  options.ewma_alpha =
+      GetEnvDoubleOr("SAMPNN_LIFECYCLE_DRIFT_ALPHA", options.ewma_alpha);
+  options.min_observations = static_cast<uint64_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_DRIFT_MIN_OBS",
+      static_cast<long long>(options.min_observations), 1, 1 << 24));
+  return options;
+}
+
+StatusOr<DriftDetector> DriftDetector::Create(
+    const Matrix& reference, const DriftDetectorOptions& options) {
+  if (reference.rows() == 0 || reference.cols() == 0) {
+    return Status::InvalidArgument(
+        "DriftDetector: reference must have at least one row and column");
+  }
+  if (options.z_threshold <= 0.0 || options.ewma_alpha <= 0.0 ||
+      options.ewma_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "DriftDetector: z_threshold must be > 0 and ewma_alpha in (0, 1]");
+  }
+  return DriftDetector(reference, options);
+}
+
+DriftDetector::DriftDetector(const Matrix& reference,
+                             const DriftDetectorOptions& options)
+    : options_(options) {
+  const size_t n = reference.cols();
+  const size_t rows = reference.rows();
+  reference_mean_.assign(n, 0.0);
+  reference_sigma_.assign(n, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < n; ++j) reference_mean_[j] += reference(i, j);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    reference_mean_[j] /= static_cast<double>(rows);
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double d = reference(i, j) - reference_mean_[j];
+      reference_sigma_[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    reference_sigma_[j] =
+        std::sqrt(reference_sigma_[j] / static_cast<double>(rows));
+  }
+  // Seed the live EWMA at the reference so the score starts at exactly 0
+  // and early serving noise cannot trip the detector.
+  live_mean_ = reference_mean_;
+  MirrorMetrics();
+  if (ObsOn()) {
+    // Pre-register the event counters at zero so a /metricsz scrape shows
+    // the full drift.* schema before the first row (or trip) arrives.
+    auto& metrics = MetricsRegistry::Get();
+    for (const char* name :
+         {kMetricObserved, kMetricTrips, kMetricRefreezes}) {
+      metrics.GetCounter(name);
+    }
+  }
+}
+
+bool DriftDetector::ObsOn() const {
+  return options_.obs_enabled ? options_.obs_enabled() : TelemetryEnabled();
+}
+
+void DriftDetector::MirrorMetrics() const {
+  if (!ObsOn()) return;
+  auto& metrics = MetricsRegistry::Get();
+  metrics.GetGauge(kMetricScore).Set(stats_.score);
+  metrics.GetGauge(kMetricTripped).Set(stats_.tripped ? 1.0 : 0.0);
+}
+
+void DriftDetector::Observe(std::span<const float> row) {
+  if (row.size() != live_mean_.size()) return;  // malformed row: ignore
+  const double a = options_.ewma_alpha;
+  for (size_t j = 0; j < live_mean_.size(); ++j) {
+    live_mean_[j] = (1.0 - a) * live_mean_[j] + a * static_cast<double>(row[j]);
+  }
+  ++stats_.observed;
+  if (ObsOn()) MetricsRegistry::Get().GetCounter(kMetricObserved).Increment();
+  RecomputeScore();
+}
+
+void DriftDetector::RecomputeScore() {
+  double sum = 0.0;
+  for (size_t j = 0; j < live_mean_.size(); ++j) {
+    sum += std::abs(live_mean_[j] - reference_mean_[j]) /
+           (reference_sigma_[j] + options_.eps);
+  }
+  stats_.score = sum / static_cast<double>(live_mean_.size());
+  if (ObsOn()) MetricsRegistry::Get().GetGauge(kMetricScore).Set(stats_.score);
+}
+
+bool DriftDetector::Tripped() {
+  if (FaultArmed(FaultKind::kDriftSpike)) forced_trip_ = true;
+  const bool now = forced_trip_ ||
+                   (stats_.observed >= options_.min_observations &&
+                    stats_.score >= options_.z_threshold);
+  if (now && !stats_.tripped) {
+    ++stats_.trips;
+    if (ObsOn()) MetricsRegistry::Get().GetCounter(kMetricTrips).Increment();
+  }
+  stats_.tripped = now;
+  if (ObsOn()) {
+    MetricsRegistry::Get().GetGauge(kMetricTripped).Set(now ? 1.0 : 0.0);
+  }
+  return now;
+}
+
+void DriftDetector::Refreeze() {
+  reference_mean_ = live_mean_;
+  // Keep the frozen sigmas: the reference spread is a property of the
+  // feature, and the EWMA of means carries no spread estimate to replace
+  // it with.
+  forced_trip_ = false;
+  stats_.tripped = false;
+  ++stats_.refreezes;
+  RecomputeScore();
+  if (ObsOn()) {
+    auto& metrics = MetricsRegistry::Get();
+    metrics.GetCounter(kMetricRefreezes).Increment();
+    metrics.GetGauge(kMetricTripped).Set(0.0);
+  }
+}
+
+}  // namespace sampnn

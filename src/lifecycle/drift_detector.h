@@ -1,0 +1,98 @@
+// Input-drift detection for the continuous lifecycle loop (DESIGN.md §14).
+//
+// At construction the detector freezes a per-feature reference (mean and
+// standard deviation) from training-time input rows. Serving-time rows then
+// update a per-feature EWMA of the live mean; the drift score is the mean
+// absolute z of the live means against the frozen reference:
+//
+//   score = mean_i |ewma_i - mu_i| / (sigma_i + eps)
+//
+// The detector trips when the score crosses `z_threshold` after at least
+// `min_observations` rows — a population-level test, so per-row noise
+// cannot trip it, but a persistent shift (every row moved) must. After a
+// successful promotion the loop calls Refreeze(), which adopts the current
+// live EWMA as the new reference: the fine-tuned model owns the shifted
+// distribution, and the same shift must not re-trip forever.
+//
+// Honors the injected drift-spike fault (drift-spike@N): Tripped() reports
+// a forced trip exactly once per armed spec, regardless of statistics.
+//
+// Single-consumer by design: owned and driven by the FineTuneLoop under its
+// own lock. Mirrors drift.* gauges/counters when observability is on.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace sampnn {
+
+/// Tuning for a DriftDetector.
+struct DriftDetectorOptions {
+  double z_threshold = 4.0;       ///< trip when score >= this
+                                  ///< (SAMPNN_LIFECYCLE_DRIFT_Z)
+  double ewma_alpha = 0.05;       ///< live-mean smoothing factor
+  uint64_t min_observations = 64; ///< rows before trips are allowed
+  double eps = 1e-6;              ///< sigma floor for constant features
+  /// Gates drift.* metric mirroring; nullptr = TelemetryEnabled().
+  std::function<bool()> obs_enabled;
+
+  /// Defaults with the SAMPNN_LIFECYCLE_* environment applied.
+  static DriftDetectorOptions FromEnv();
+};
+
+/// Lifetime counters/state (mirrored to drift.* metrics when enabled).
+struct DriftStats {
+  uint64_t observed = 0;  ///< rows seen since construction
+  uint64_t trips = 0;     ///< rising edges of the tripped condition
+  uint64_t refreezes = 0; ///< reference re-freezes after promotion
+  double score = 0.0;     ///< current aggregate z
+  bool tripped = false;   ///< current trip state
+};
+
+/// \brief Frozen-reference z-score drift detector over input feature means.
+class DriftDetector {
+ public:
+  /// Freezes the reference from `reference` (rows x features). At least one
+  /// row and one column are required.
+  static StatusOr<DriftDetector> Create(const Matrix& reference,
+                                        const DriftDetectorOptions& options);
+
+  /// Feeds one serving-time feature row (must match the reference width).
+  void Observe(std::span<const float> row);
+
+  /// Current trip state: score past the threshold with enough observations,
+  /// or an injected drift-spike. Counts rising edges into stats().trips.
+  bool Tripped();
+
+  double score() const { return stats_.score; }
+
+  /// Adopts the current live EWMA as the new frozen reference and clears
+  /// the trip state (called after the loop promotes a fine-tuned model, or
+  /// abandons a drift episode for good).
+  void Refreeze();
+
+  const DriftStats& stats() const { return stats_; }
+  size_t num_features() const { return reference_mean_.size(); }
+
+ private:
+  DriftDetector(const Matrix& reference, const DriftDetectorOptions& options);
+
+  void RecomputeScore();
+  bool ObsOn() const;
+  void MirrorMetrics() const;
+
+  DriftDetectorOptions options_;
+  std::vector<double> reference_mean_;
+  std::vector<double> reference_sigma_;
+  std::vector<double> live_mean_;  ///< EWMA, seeded from the reference
+  DriftStats stats_;
+  bool forced_trip_ = false;  ///< latched injected drift-spike
+};
+
+}  // namespace sampnn

@@ -1,0 +1,459 @@
+#include "src/lifecycle/fine_tune_loop.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/resilience/fault_injector.h"
+#include "src/telemetry/epoch_recorder.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+constexpr const char* kMetricTicks = "lifecycle.ticks";
+constexpr const char* kMetricRounds = "lifecycle.rounds";
+constexpr const char* kMetricBatches = "lifecycle.batches";
+constexpr const char* kMetricDiverged = "lifecycle.diverged";
+constexpr const char* kMetricPromotions = "lifecycle.promotions";
+constexpr const char* kMetricRejCanary = "lifecycle.rejected_canary";
+constexpr const char* kMetricRejRegistry = "lifecycle.rejected_registry";
+constexpr const char* kMetricRollbacks = "lifecycle.rollbacks";
+constexpr const char* kMetricWindowsClean = "lifecycle.windows_clean";
+constexpr const char* kMetricState = "lifecycle.state";
+constexpr const char* kMetricPool = "lifecycle.pool";
+
+}  // namespace
+
+const char* LifecycleStateToString(LifecycleState state) {
+  switch (state) {
+    case LifecycleState::kIdle:
+      return "idle";
+    case LifecycleState::kFineTuning:
+      return "fine-tuning";
+    case LifecycleState::kPromoting:
+      return "promoting";
+    case LifecycleState::kWatching:
+      return "watching";
+  }
+  return "unknown";
+}
+
+FineTuneLoopOptions FineTuneLoopOptions::FromEnv() {
+  FineTuneLoopOptions options;
+  options.poll_ms = GetEnvIntInRangeOr("SAMPNN_LIFECYCLE_POLL_MS",
+                                       options.poll_ms, 1, 3'600'000);
+  options.demotion_window_ms =
+      GetEnvIntInRangeOr("SAMPNN_LIFECYCLE_DEMOTION_WINDOW_MS",
+                         options.demotion_window_ms, 0, 86'400'000);
+  options.fine_tune_batches = static_cast<size_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_FT_BATCHES",
+      static_cast<long long>(options.fine_tune_batches), 1, 1 << 20));
+  options.batch_size = static_cast<size_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_BATCH_SIZE",
+      static_cast<long long>(options.batch_size), 1, 1 << 16));
+  options.checkpoint_every = static_cast<size_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_CKPT_EVERY",
+      static_cast<long long>(options.checkpoint_every), 0, 1 << 20));
+  options.min_labeled = static_cast<size_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_MIN_LABELED",
+      static_cast<long long>(options.min_labeled), 1, 1 << 22));
+  options.canary_rows = static_cast<size_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_CANARY_ROWS",
+      static_cast<long long>(options.canary_rows), 1, 1 << 16));
+  options.max_p99_regression = GetEnvDoubleOr("SAMPNN_LIFECYCLE_P99_FACTOR",
+                                              options.max_p99_regression);
+  options.max_violation_delta = GetEnvDoubleOr(
+      "SAMPNN_LIFECYCLE_VIOLATION_DELTA", options.max_violation_delta);
+  options.drift = DriftDetectorOptions::FromEnv();
+  return options;
+}
+
+StatusOr<std::unique_ptr<FineTuneLoop>> FineTuneLoop::Create(
+    std::unique_ptr<Trainer> trainer, std::shared_ptr<RequestLog> log,
+    std::shared_ptr<ModelRegistry> registry, const Matrix& drift_reference,
+    const FineTuneLoopOptions& options) {
+  if (trainer == nullptr || log == nullptr || registry == nullptr) {
+    return Status::InvalidArgument(
+        "FineTuneLoop: trainer, log, and registry are all required");
+  }
+  if (options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("FineTuneLoop: checkpoint_dir is required");
+  }
+  if (options.batch_size == 0 || options.fine_tune_batches == 0) {
+    return Status::InvalidArgument(
+        "FineTuneLoop: batch_size and fine_tune_batches must be positive");
+  }
+  if (options.min_labeled <= options.canary_rows) {
+    return Status::InvalidArgument(
+        "FineTuneLoop: min_labeled must exceed canary_rows (the canary "
+        "slice is held back from training)");
+  }
+  if (drift_reference.cols() != trainer->net().input_dim()) {
+    return Status::InvalidArgument(
+        "FineTuneLoop: drift reference width " +
+        std::to_string(drift_reference.cols()) +
+        " does not match the model input dim " +
+        std::to_string(trainer->net().input_dim()));
+  }
+  FineTuneLoopOptions resolved = options;
+  // The sentinel is the promotion gate's first line; the loop never runs
+  // with it disarmed.
+  resolved.sentinel.enabled = true;
+  // One obs knob gates the whole loop: an unset detector gate inherits the
+  // loop's, so drift.* and lifecycle.* families appear together.
+  if (!resolved.drift.obs_enabled) {
+    resolved.drift.obs_enabled = resolved.obs_enabled;
+  }
+  SAMPNN_ASSIGN_OR_RETURN(DriftDetector detector,
+                          DriftDetector::Create(drift_reference,
+                                                resolved.drift));
+  CheckpointWriterOptions writer_options;
+  writer_options.dir = resolved.checkpoint_dir;
+  writer_options.retain = resolved.checkpoint_retain;
+  SAMPNN_ASSIGN_OR_RETURN(CheckpointWriter writer,
+                          CheckpointWriter::Create(writer_options));
+  std::unique_ptr<FineTuneLoop> loop(new FineTuneLoop(
+      std::move(trainer), std::move(log), std::move(registry),
+      std::move(detector), std::move(writer), resolved));
+  if (loop->ObsOn()) {
+    // Pre-register the lifecycle.* family at zero so scrapes see the full
+    // schema before the first tick.
+    auto& metrics = MetricsRegistry::Get();
+    for (const char* name :
+         {kMetricTicks, kMetricRounds, kMetricBatches, kMetricDiverged,
+          kMetricPromotions, kMetricRejCanary, kMetricRejRegistry,
+          kMetricRollbacks, kMetricWindowsClean}) {
+      metrics.GetCounter(name);
+    }
+    metrics.GetGauge(kMetricState).Set(0.0);
+    metrics.GetGauge(kMetricPool).Set(0.0);
+  }
+  return loop;
+}
+
+FineTuneLoop::FineTuneLoop(std::unique_ptr<Trainer> trainer,
+                           std::shared_ptr<RequestLog> log,
+                           std::shared_ptr<ModelRegistry> registry,
+                           DriftDetector detector, CheckpointWriter writer,
+                           const FineTuneLoopOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      log_(std::move(log)),
+      registry_(std::move(registry)),
+      trainer_(std::move(trainer)),
+      detector_(std::move(detector)),
+      writer_(std::move(writer)) {}
+
+FineTuneLoop::~FineTuneLoop() { Stop(); }
+
+bool FineTuneLoop::ObsOn() const {
+  return options_.obs_enabled ? options_.obs_enabled() : TelemetryEnabled();
+}
+
+void FineTuneLoop::Count(const char* metric, uint64_t delta) const {
+  if (ObsOn()) MetricsRegistry::Get().GetCounter(metric).Add(delta);
+}
+
+void FineTuneLoop::SetState(LifecycleState state) {
+  stats_.state = state;
+  if (ObsOn()) {
+    MetricsRegistry::Get().GetGauge(kMetricState)
+        .Set(static_cast<double>(state));
+  }
+}
+
+void FineTuneLoop::DrainIntoPool() {
+  std::vector<LoggedRequest> rows = log_->Drain(options_.drain_max);
+  const size_t dim = trainer_->net().input_dim();
+  for (LoggedRequest& row : rows) {
+    detector_.Observe(row.features);
+    if (row.label >= 0 && row.features.size() == dim) {
+      pool_.push_back(std::move(row));
+    }
+  }
+  if (pool_.size() > options_.max_pool) {
+    pool_.erase(pool_.begin(),
+                pool_.begin() +
+                    static_cast<ptrdiff_t>(pool_.size() - options_.max_pool));
+  }
+  stats_.pool_size = pool_.size();
+  if (ObsOn()) {
+    MetricsRegistry::Get().GetGauge(kMetricPool)
+        .Set(static_cast<double>(pool_.size()));
+  }
+}
+
+Status FineTuneLoop::WriteCheckpoint() {
+  std::ostringstream out;
+  SAMPNN_RETURN_NOT_OK(trainer_->SaveState(out));
+  return writer_.Write(total_batches_, out.str());
+}
+
+CanaryBatch FineTuneLoop::BuildCanary() {
+  const size_t dim = trainer_->net().input_dim();
+  const size_t n = std::min(options_.canary_rows, pool_.size());
+  CanaryBatch canary;
+  canary.inputs = Matrix(n, dim);
+  canary.labels.resize(n);
+  const size_t first = pool_.size() - n;
+  for (size_t i = 0; i < n; ++i) {
+    const LoggedRequest& row = pool_[first + i];
+    for (size_t j = 0; j < dim; ++j) canary.inputs(i, j) = row.features[j];
+    canary.labels[i] = row.label;
+  }
+  return canary;
+}
+
+void FineTuneLoop::EmitRoundTelemetry() {
+  EpochRecorder* recorder = GlobalEpochRecorder();
+  if (recorder == nullptr) return;
+  EpochTelemetry t;
+  t.method = "lifecycle";
+  t.architecture = trainer_->net().ArchitectureString();
+  t.epoch = stats_.rounds;
+  t.train_loss = stats_.last_loss;
+  t.drift_score = detector_.score();
+  t.drift_trips = detector_.stats().trips;
+  t.lifecycle_promotions = stats_.promotions;
+  t.lifecycle_rollbacks = stats_.rollbacks;
+  t.lifecycle_diverged = stats_.diverged;
+  trainer_->FillTelemetry(&t);
+  recorder->Record(t);
+}
+
+Status FineTuneLoop::RunFineTuneRound() {
+  SetState(LifecycleState::kFineTuning);
+  ++stats_.rounds;
+  Count(kMetricRounds);
+
+  // Round-start snapshot: the restore point a diverged round rewinds to,
+  // so poisoned weights never survive into the next episode.
+  std::ostringstream snapshot;
+  SAMPNN_RETURN_NOT_OK(trainer_->SaveState(snapshot));
+  const std::string start_state = snapshot.str();
+
+  DivergenceSentinel sentinel(options_.sentinel);
+  trainer_->set_track_grad_norm(true);
+  const size_t dim = trainer_->net().input_dim();
+  const size_t train_rows = pool_.size() - options_.canary_rows;
+  DivergenceSentinel::Verdict verdict = DivergenceSentinel::Verdict::kOk;
+
+  for (size_t b = 0; b < options_.fine_tune_batches; ++b) {
+    Matrix x(options_.batch_size, dim);
+    std::vector<int32_t> y(options_.batch_size);
+    for (size_t i = 0; i < options_.batch_size; ++i) {
+      const LoggedRequest& row =
+          pool_[(b * options_.batch_size + i) % train_rows];
+      for (size_t j = 0; j < dim; ++j) x(i, j) = row.features[j];
+      y[i] = row.label;
+    }
+    SAMPNN_ASSIGN_OR_RETURN(const double loss, trainer_->Step(x, y));
+    stats_.last_loss = loss;
+    ++stats_.batches;
+    ++total_batches_;
+    Count(kMetricBatches);
+    verdict = sentinel.Observe(loss, trainer_->last_grad_norm2());
+    if (verdict != DivergenceSentinel::Verdict::kOk) break;
+    if (options_.checkpoint_every > 0 &&
+        (b + 1) % options_.checkpoint_every == 0 &&
+        b + 1 < options_.fine_tune_batches) {
+      SAMPNN_RETURN_NOT_OK(WriteCheckpoint());
+    }
+  }
+
+  if (verdict != DivergenceSentinel::Verdict::kOk) {
+    // Diverged: the candidate is structurally unpromotable — restore the
+    // round-start weights, back off the learning rate, and abandon the
+    // drift episode (refreeze keeps a persistent shift from re-tripping
+    // into the same divergence forever).
+    ++stats_.diverged;
+    Count(kMetricDiverged);
+    last_error_ = std::string("fine-tune round diverged: ") +
+                  SentinelVerdictToString(verdict);
+    std::istringstream in(start_state);
+    SAMPNN_RETURN_NOT_OK(trainer_->LoadState(in));
+    trainer_->set_learning_rate(trainer_->learning_rate() *
+                                options_.sentinel.lr_backoff);
+    detector_.Refreeze();
+    pool_.clear();
+    stats_.pool_size = 0;
+    EmitRoundTelemetry();
+    SetState(LifecycleState::kIdle);
+    return Status::OK();
+  }
+
+  // The final candidate checkpoint PromoteFromDir will pick up (newest
+  // step in the shared dir).
+  SAMPNN_RETURN_NOT_OK(WriteCheckpoint());
+  SetState(LifecycleState::kPromoting);
+
+  const CanaryBatch canary = BuildCanary();
+  if (FaultArmed(FaultKind::kCanaryRegress)) {
+    ++stats_.rejected_canary;
+    Count(kMetricRejCanary);
+    last_error_ = "canary eval regressed (injected canary-regress)";
+    pool_.clear();
+    stats_.pool_size = 0;
+    EmitRoundTelemetry();
+    SetState(LifecycleState::kIdle);
+    return Status::OK();
+  }
+
+  const uint64_t displaced = registry_->live_version();
+  StatusOr<uint64_t> version =
+      registry_->PromoteFromDir(options_.checkpoint_dir, canary, "drift");
+  if (!version.ok()) {
+    // A typed registry rejection (corrupt/regressed/incompatible/raced) is
+    // a recorded outcome, not a loop failure; the next episode retries.
+    ++stats_.rejected_registry;
+    Count(kMetricRejRegistry);
+    last_error_ = version.status().message();
+    pool_.clear();
+    stats_.pool_size = 0;
+    EmitRoundTelemetry();
+    SetState(LifecycleState::kIdle);
+    return Status::OK();
+  }
+
+  ++stats_.promotions;
+  Count(kMetricPromotions);
+  displaced_version_ = displaced;
+  baseline_slo_ =
+      options_.slo_source ? options_.slo_source() : SloSnapshot{};
+  watch_until_ms_ = clock_->NowMillis() + options_.demotion_window_ms;
+  pool_.clear();
+  stats_.pool_size = 0;
+  EmitRoundTelemetry();
+  SetState(LifecycleState::kWatching);
+  return Status::OK();
+}
+
+void FineTuneLoop::CheckDemotionWindow() {
+  const int64_t now = clock_->NowMillis();
+  bool regressed = false;
+  std::string reason;
+  if (options_.slo_source) {
+    const SloSnapshot current = options_.slo_source();
+    if (baseline_slo_.p99_ms > 0.0 &&
+        current.p99_ms > options_.min_p99_ms &&
+        current.p99_ms > baseline_slo_.p99_ms * options_.max_p99_regression) {
+      regressed = true;
+      reason = "p99 " + std::to_string(current.p99_ms) + "ms vs baseline " +
+               std::to_string(baseline_slo_.p99_ms) + "ms";
+    }
+    if (current.window_count > 0 &&
+        current.violation_rate >
+            baseline_slo_.violation_rate + options_.max_violation_delta) {
+      regressed = true;
+      reason = "violation rate " + std::to_string(current.violation_rate) +
+               " vs baseline " +
+               std::to_string(baseline_slo_.violation_rate);
+    }
+  }
+  if (regressed) {
+    const Status status = registry_->Rollback(displaced_version_);
+    if (status.ok()) {
+      ++stats_.rollbacks;
+      Count(kMetricRollbacks);
+      last_error_ = "auto-rollback to v" +
+                    std::to_string(displaced_version_) + ": " + reason;
+    } else {
+      // The displaced version fell out of the retained ring (or a manual
+      // rollback raced us): record, give up on this window.
+      last_error_ = "auto-rollback failed: " + status.message();
+    }
+    // Either way the fine-tuned candidate is no longer trusted for this
+    // episode; adopt the shifted distribution so the loop does not thrash.
+    detector_.Refreeze();
+    SetState(LifecycleState::kIdle);
+    return;
+  }
+  if (now >= watch_until_ms_) {
+    ++stats_.windows_clean;
+    Count(kMetricWindowsClean);
+    // The promotion held: the fine-tuned model owns the shifted
+    // distribution from here on.
+    detector_.Refreeze();
+    SetState(LifecycleState::kIdle);
+  }
+}
+
+Status FineTuneLoop::TickOnce() {
+  MutexLock lock(mu_);
+  ++stats_.ticks;
+  Count(kMetricTicks);
+  DrainIntoPool();
+  if (stats_.state == LifecycleState::kWatching) {
+    CheckDemotionWindow();
+  }
+  if (stats_.state == LifecycleState::kIdle && detector_.Tripped() &&
+      pool_.size() >= options_.min_labeled) {
+    return RunFineTuneRound();
+  }
+  return Status::OK();
+}
+
+Status FineTuneLoop::Start() {
+  if (thread_.joinable()) {
+    return Status::FailedPrecondition("FineTuneLoop already started");
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      const Status status = TickOnce();
+      if (!status.ok()) {
+        MutexLock lock(mu_);
+        last_error_ = status.message();
+      }
+      if (stop_.load(std::memory_order_acquire)) break;
+      clock_->SleepMillis(options_.poll_ms);
+    }
+  });
+  return Status::OK();
+}
+
+void FineTuneLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+LifecycleStats FineTuneLoop::stats() const {
+  MutexLock lock(mu_);
+  LifecycleStats snapshot = stats_;
+  snapshot.drift_score = detector_.score();
+  snapshot.drift_trips = detector_.stats().trips;
+  snapshot.drift_observed = detector_.stats().observed;
+  snapshot.drift_refreezes = detector_.stats().refreezes;
+  return snapshot;
+}
+
+std::string FineTuneLoop::RenderStatuszSection() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+  out << "state: " << LifecycleStateToString(stats_.state)
+      << " drift_score=" << detector_.score()
+      << " tripped=" << (detector_.stats().tripped ? 1 : 0)
+      << " trips=" << detector_.stats().trips
+      << " observed=" << detector_.stats().observed << "\n";
+  out << "rounds=" << stats_.rounds << " batches=" << stats_.batches
+      << " diverged=" << stats_.diverged
+      << " last_loss=" << stats_.last_loss << "\n";
+  out << "promotions=" << stats_.promotions << " rejected{canary="
+      << stats_.rejected_canary << ",registry=" << stats_.rejected_registry
+      << "} rollbacks=" << stats_.rollbacks
+      << " windows_clean=" << stats_.windows_clean << "\n";
+  out << "pool=" << pool_.size() << " ticks=" << stats_.ticks;
+  if (stats_.state == LifecycleState::kWatching) {
+    out << " watch_until_ms=" << watch_until_ms_ << " displaced=v"
+        << displaced_version_;
+  }
+  out << "\n";
+  if (!last_error_.empty()) out << "last event: " << last_error_ << "\n";
+  return out.str();
+}
+
+}  // namespace sampnn

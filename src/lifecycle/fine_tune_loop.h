@@ -1,0 +1,207 @@
+// The continuous train-while-serve loop (DESIGN.md §14): the subsystem
+// that closes the paper's §2 deploy → fine-tune lifecycle. A background
+// FineTuneLoop
+//
+//   1. drains the RequestLog the serving layer populates (every row feeds
+//      the DriftDetector; labeled rows accumulate as fine-tuning data, the
+//      newest `canary_rows` of them held back as the canary slice),
+//   2. decides WHEN to fine-tune from the detector's frozen-reference
+//      z-score (or an injected drift-spike),
+//   3. fine-tunes through the Trainer seam with the divergence sentinel
+//      armed and PR 3 checkpointing into a shared directory — a diverged
+//      round restores the round-start state, backs off the learning rate,
+//      and abandons the episode, so a diverged candidate is structurally
+//      unpromotable,
+//   4. promotes only through the hardened gate: the loop-side canary check
+//      (injected canary-regress respected) and then
+//      ModelRegistry::PromoteFromDir, which re-validates CRC, parses the
+//      model, checks dims, and runs its own sentinel-guarded canary eval,
+//   5. after a promotion, watches serve.slo.* deltas for a demotion
+//      window; a p99 or violation-rate regression past the bound invokes
+//      ModelRegistry::Rollback() on the displaced version automatically.
+//
+// State machine (rendered in /statusz, mirrored to lifecycle.state):
+//
+//     kIdle ──drift trip + enough labels──▶ kFineTuning
+//       ▲                                      │ sentinel verdict != ok:
+//       │◀──────── restore + backoff ──────────┤ (episode abandoned)
+//       │                                      ▼
+//       │◀──canary/registry gate rejects── kPromoting
+//       │                                      │ promoted
+//       │                                      ▼
+//       └──window clean (refreeze) / SLO ── kWatching
+//          regression (auto-rollback)
+//
+// Deterministic by construction: every decision runs inside TickOnce(),
+// clocked by the injected Clock — unit tests drive a ManualClock tick by
+// tick; Start() merely runs TickOnce on a poll cadence for production.
+//
+// Locking: one mutex ("lifecycle.loop", rank 15 — above obs.statusz so the
+// /statusz section renders under it, below obs.slo / registry.swap /
+// lifecycle.request_log so the tick may call SloTracker::Snapshot(),
+// Promote/Rollback, and Drain while held).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/lifecycle/drift_detector.h"
+#include "src/lifecycle/request_log.h"
+#include "src/obs/slo_tracker.h"
+#include "src/registry/model_registry.h"
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/sentinel.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace sampnn {
+
+/// Tuning for a FineTuneLoop (SAMPNN_LIFECYCLE_* environment knobs).
+struct FineTuneLoopOptions {
+  std::string checkpoint_dir;      ///< shared with any external promoter
+  size_t checkpoint_retain = 3;    ///< retain-K in the shared dir
+  int64_t poll_ms = 200;           ///< Start() tick cadence
+  int64_t demotion_window_ms = 5000;  ///< post-promotion SLO watch
+  size_t fine_tune_batches = 50;   ///< Step() calls per round
+  size_t batch_size = 32;
+  size_t checkpoint_every = 25;    ///< batches between mid-round checkpoints
+  size_t min_labeled = 64;         ///< labeled rows needed to start a round
+  size_t canary_rows = 32;         ///< held-back slice (never trained on)
+  size_t max_pool = 4096;          ///< labeled-row pool bound (oldest evicted)
+  size_t drain_max = 1024;         ///< rows drained from the log per tick
+  /// Rollback when windowed p99 exceeds baseline * this (and min_p99_ms).
+  double max_p99_regression = 2.0;
+  double min_p99_ms = 1.0;         ///< absolute floor before p99 can demote
+  /// Rollback when violation_rate exceeds baseline + this.
+  double max_violation_delta = 0.2;
+
+  SentinelOptions sentinel;        ///< armed per round (enabled forced on)
+  DriftDetectorOptions drift;
+
+  /// Windowed SLO source for the demotion watch (typically
+  /// SloTracker::Snapshot through InferenceService::slo_tracker()).
+  /// Nullptr = no demotion watch; the window always closes clean.
+  std::function<SloSnapshot()> slo_source;
+
+  /// Gates lifecycle.* metric mirroring; nullptr = TelemetryEnabled().
+  std::function<bool()> obs_enabled;
+
+  const Clock* clock = nullptr;  ///< nullptr = the real clock
+
+  /// Defaults with the SAMPNN_LIFECYCLE_* environment applied.
+  static FineTuneLoopOptions FromEnv();
+};
+
+/// Loop position, exported as lifecycle.state (gauge = enum value).
+enum class LifecycleState {
+  kIdle = 0,        ///< draining + watching for drift
+  kFineTuning = 1,  ///< inside a fine-tune round
+  kPromoting = 2,   ///< candidate written, gates running
+  kWatching = 3,    ///< post-promotion demotion window open
+};
+
+const char* LifecycleStateToString(LifecycleState state);
+
+/// Lifetime counters (mirrored to lifecycle.* metrics when enabled).
+struct LifecycleStats {
+  uint64_t ticks = 0;
+  uint64_t rounds = 0;             ///< fine-tune rounds started
+  uint64_t batches = 0;            ///< total Step() calls across rounds
+  uint64_t diverged = 0;           ///< rounds abandoned by the sentinel
+  uint64_t promotions = 0;         ///< registry flips this loop caused
+  uint64_t rejected_canary = 0;    ///< loop-side canary gate rejections
+  uint64_t rejected_registry = 0;  ///< registry pipeline rejections
+  uint64_t rollbacks = 0;          ///< demotion-window auto-rollbacks
+  uint64_t windows_clean = 0;      ///< demotion windows closed healthy
+  double last_loss = 0.0;          ///< last fine-tune batch loss
+  size_t pool_size = 0;            ///< labeled rows currently pooled
+  LifecycleState state = LifecycleState::kIdle;
+  // Drift detector view, copied into the snapshot by stats() so callers
+  // (the example's JSON summary, the smoke checker) get one coherent read.
+  double drift_score = 0.0;
+  uint64_t drift_trips = 0;
+  uint64_t drift_observed = 0;
+  uint64_t drift_refreezes = 0;
+};
+
+/// \brief The background fine-tune / promote / watch loop. Thread-safe:
+/// TickOnce (the loop thread), stats(), and RenderStatuszSection (the
+/// statusz thread) serialize on the loop mutex.
+class FineTuneLoop {
+ public:
+  /// `trainer` must already hold the weights the registry is serving (the
+  /// fine-tune delta starts from the live model). `drift_reference` is the
+  /// training-time input sample the detector freezes (rows x input_dim).
+  static StatusOr<std::unique_ptr<FineTuneLoop>> Create(
+      std::unique_ptr<Trainer> trainer, std::shared_ptr<RequestLog> log,
+      std::shared_ptr<ModelRegistry> registry, const Matrix& drift_reference,
+      const FineTuneLoopOptions& options);
+
+  ~FineTuneLoop();
+
+  /// One deterministic tick: drain → drift check → maybe fine-tune +
+  /// promote → maybe watch/rollback. The unit-test entry point; Start()'s
+  /// thread calls exactly this.
+  Status TickOnce() SAMPNN_EXCLUDES(mu_);
+
+  /// Spawns the background thread (TickOnce every poll_ms). kFailedPrecondition
+  /// if already started.
+  Status Start();
+  /// Stops and joins the background thread (idempotent).
+  void Stop();
+
+  LifecycleStats stats() const SAMPNN_EXCLUDES(mu_);
+  const FineTuneLoopOptions& options() const { return options_; }
+
+  /// Plain-text /statusz "lifecycle" section.
+  std::string RenderStatuszSection() const SAMPNN_EXCLUDES(mu_);
+
+ private:
+  FineTuneLoop(std::unique_ptr<Trainer> trainer,
+               std::shared_ptr<RequestLog> log,
+               std::shared_ptr<ModelRegistry> registry,
+               DriftDetector detector, CheckpointWriter writer,
+               const FineTuneLoopOptions& options);
+
+  void DrainIntoPool() SAMPNN_REQUIRES(mu_);
+  Status RunFineTuneRound() SAMPNN_REQUIRES(mu_);
+  Status WriteCheckpoint() SAMPNN_REQUIRES(mu_);
+  void CheckDemotionWindow() SAMPNN_REQUIRES(mu_);
+  CanaryBatch BuildCanary() SAMPNN_REQUIRES(mu_);
+  void SetState(LifecycleState state) SAMPNN_REQUIRES(mu_);
+  void EmitRoundTelemetry() SAMPNN_REQUIRES(mu_);
+  bool ObsOn() const;
+  void Count(const char* metric, uint64_t delta = 1) const;
+
+  const FineTuneLoopOptions options_;
+  const Clock* const clock_;
+  const std::shared_ptr<RequestLog> log_;
+  const std::shared_ptr<ModelRegistry> registry_;
+
+  mutable Mutex mu_{"lifecycle.loop", lockrank::kLifecycleLoop};
+  std::unique_ptr<Trainer> trainer_ SAMPNN_GUARDED_BY(mu_);
+  DriftDetector detector_ SAMPNN_GUARDED_BY(mu_);
+  CheckpointWriter writer_ SAMPNN_GUARDED_BY(mu_);
+  std::vector<LoggedRequest> pool_ SAMPNN_GUARDED_BY(mu_);  ///< labeled rows
+  LifecycleStats stats_ SAMPNN_GUARDED_BY(mu_);
+  uint64_t total_batches_ SAMPNN_GUARDED_BY(mu_) = 0;  ///< checkpoint step
+  // Demotion-window state (valid while state == kWatching).
+  SloSnapshot baseline_slo_ SAMPNN_GUARDED_BY(mu_);
+  uint64_t displaced_version_ SAMPNN_GUARDED_BY(mu_) = 0;
+  int64_t watch_until_ms_ SAMPNN_GUARDED_BY(mu_) = 0;
+  std::string last_error_ SAMPNN_GUARDED_BY(mu_);  ///< last tick failure
+
+  // Background thread plumbing (Start/Stop only).
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace sampnn

@@ -1,0 +1,145 @@
+#include "src/lifecycle/request_log.h"
+
+#include <algorithm>
+
+#include "src/resilience/fault_injector.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/env.h"
+
+namespace sampnn {
+
+namespace {
+
+constexpr const char* kMetricOffered = "lifecycle.log.offered";
+constexpr const char* kMetricSampled = "lifecycle.log.sampled";
+constexpr const char* kMetricDropped = "lifecycle.log.dropped";
+constexpr const char* kMetricLabeled = "lifecycle.log.labeled";
+constexpr const char* kMetricStalls = "lifecycle.log.stalls";
+constexpr const char* kMetricBuffered = "lifecycle.log.buffered";
+
+}  // namespace
+
+RequestLogOptions RequestLogOptions::FromEnv() {
+  RequestLogOptions options;
+  options.capacity = static_cast<size_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_LOG_CAP", static_cast<long long>(options.capacity), 1,
+      1 << 22));
+  options.sample_every = static_cast<uint64_t>(GetEnvIntInRangeOr(
+      "SAMPNN_LIFECYCLE_SAMPLE_EVERY",
+      static_cast<long long>(options.sample_every), 1, 1 << 20));
+  return options;
+}
+
+RequestLog::RequestLog(const RequestLogOptions& options) : options_(options) {}
+
+std::shared_ptr<RequestLog> RequestLog::Create(
+    const RequestLogOptions& options) {
+  std::shared_ptr<RequestLog> log(new RequestLog(options));
+  if (log->ObsOn()) {
+    // Pre-register the whole lifecycle.log.* family at zero so a /metricsz
+    // scrape shows it before any traffic arrives.
+    auto& metrics = MetricsRegistry::Get();
+    for (const char* name : {kMetricOffered, kMetricSampled, kMetricDropped,
+                             kMetricLabeled, kMetricStalls}) {
+      metrics.GetCounter(name);
+    }
+    metrics.GetGauge(kMetricBuffered).Set(0.0);
+  }
+  return log;
+}
+
+bool RequestLog::ObsOn() const {
+  return options_.obs_enabled ? options_.obs_enabled() : TelemetryEnabled();
+}
+
+void RequestLog::MirrorMetrics() const {
+  if (!ObsOn()) return;
+  MetricsRegistry::Get().GetGauge(kMetricBuffered)
+      .Set(static_cast<double>(ring_.size()));
+}
+
+uint64_t RequestLog::Offer(std::string_view tenant,
+                           std::span<const float> features) {
+  const bool obs = ObsOn();
+  MutexLock lock(mu_);
+  ++stats_.offered;
+  if (obs) MetricsRegistry::Get().GetCounter(kMetricOffered).Increment();
+  if (options_.sample_every > 1 &&
+      stats_.offered % options_.sample_every != 0) {
+    return 0;
+  }
+  if (ring_.size() >= options_.capacity && !ring_.empty()) {
+    ring_.pop_front();
+    ++stats_.dropped;
+    if (obs) MetricsRegistry::Get().GetCounter(kMetricDropped).Increment();
+  }
+  LoggedRequest row;
+  row.seq = next_seq_++;
+  row.tenant.assign(tenant.data(), tenant.size());
+  row.features.assign(features.begin(), features.end());
+  ring_.push_back(std::move(row));
+  ++stats_.sampled;
+  stats_.buffered = ring_.size();
+  if (obs) MetricsRegistry::Get().GetCounter(kMetricSampled).Increment();
+  MirrorMetrics();
+  return next_seq_ - 1;
+}
+
+Status RequestLog::Label(uint64_t seq, int32_t label) {
+  if (seq == 0) {
+    return Status::NotFound("request was sampled out of the log");
+  }
+  MutexLock lock(mu_);
+  // Ring entries are seq-ascending, so the join is a binary search.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), seq,
+      [](const LoggedRequest& row, uint64_t s) { return row.seq < s; });
+  if (it == ring_.end() || it->seq != seq) {
+    return Status::NotFound("seq " + std::to_string(seq) +
+                            " already drained or evicted");
+  }
+  it->label = label;
+  ++stats_.labeled;
+  if (ObsOn()) MetricsRegistry::Get().GetCounter(kMetricLabeled).Increment();
+  return Status::OK();
+}
+
+std::vector<LoggedRequest> RequestLog::Drain(size_t max) {
+  const bool obs = ObsOn();
+  MutexLock lock(mu_);
+  std::vector<LoggedRequest> out;
+  if (FaultArmed(FaultKind::kStreamStall)) {
+    // Injected stream starvation: the buffered rows are lost and the
+    // consumer sees an empty drain, as if the producer side went quiet.
+    stats_.dropped += ring_.size();
+    if (obs && !ring_.empty()) {
+      MetricsRegistry::Get().GetCounter(kMetricDropped).Add(ring_.size());
+    }
+    ring_.clear();
+    ++stats_.stalls;
+    stats_.buffered = 0;
+    if (obs) MetricsRegistry::Get().GetCounter(kMetricStalls).Increment();
+    MirrorMetrics();
+    return out;
+  }
+  const size_t n = std::min(max, ring_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(ring_.front()));
+    ring_.pop_front();
+  }
+  stats_.drained += n;
+  stats_.buffered = ring_.size();
+  MirrorMetrics();
+  return out;
+}
+
+RequestLogStats RequestLog::stats() const {
+  MutexLock lock(mu_);
+  RequestLogStats snapshot = stats_;
+  snapshot.buffered = ring_.size();
+  return snapshot;
+}
+
+}  // namespace sampnn

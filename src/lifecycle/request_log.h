@@ -1,0 +1,102 @@
+// Bounded request-log ring feeding the continuous train-while-serve loop
+// (DESIGN.md §14). The serving layer offers every validated request's
+// feature row (tenant-tagged, sampled 1-in-N); clients attach delayed
+// ground truth by sequence number once it is known; the lifecycle loop
+// drains entries in order — labeled rows become fine-tuning data, and every
+// row (labeled or not) feeds the drift detector.
+//
+// The ring is strictly bounded: when full, the oldest entry is evicted and
+// counted (`lifecycle.log.dropped`) — logging must never backpressure the
+// serving path. Offer() is called outside the serving queue lock, so the
+// log's own mutex (rank lifecycle.request_log, above serve.queue) never
+// nests inside admission.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace sampnn {
+
+/// One logged request. `label` is -1 until the client reports ground truth
+/// via RequestLog::Label (delayed-feedback join on `seq`).
+struct LoggedRequest {
+  uint64_t seq = 0;  ///< 1-based, strictly increasing across the log
+  std::string tenant;
+  std::vector<float> features;
+  int32_t label = -1;
+};
+
+/// Tuning for a RequestLog.
+struct RequestLogOptions {
+  size_t capacity = 4096;      ///< ring bound (SAMPNN_LIFECYCLE_LOG_CAP)
+  uint64_t sample_every = 1;   ///< log 1 of every N offered requests
+                               ///< (SAMPNN_LIFECYCLE_SAMPLE_EVERY)
+  /// Gates lifecycle.log.* metric mirroring; nullptr = TelemetryEnabled().
+  std::function<bool()> obs_enabled;
+
+  /// Defaults with the SAMPNN_LIFECYCLE_* environment applied.
+  static RequestLogOptions FromEnv();
+};
+
+/// Lifetime counters (always on; mirrored to lifecycle.log.* metrics when
+/// observability is enabled).
+struct RequestLogStats {
+  uint64_t offered = 0;   ///< Offer() calls
+  uint64_t sampled = 0;   ///< rows actually admitted to the ring
+  uint64_t dropped = 0;   ///< evicted by ring pressure or a stream stall
+  uint64_t labeled = 0;   ///< Label() joins that landed
+  uint64_t drained = 0;   ///< rows handed to Drain() callers
+  uint64_t stalls = 0;    ///< injected stream-stall events
+  size_t buffered = 0;    ///< rows currently in the ring
+};
+
+/// \brief Thread-safe bounded request log. Producers (serving submitters)
+/// call Offer, clients call Label, one consumer (the lifecycle loop) calls
+/// Drain; all three may overlap freely.
+class RequestLog {
+ public:
+  static std::shared_ptr<RequestLog> Create(const RequestLogOptions& options);
+
+  /// Records one request's feature row. Returns the assigned sequence
+  /// number, or 0 when the row was sampled out (1-in-N logging). Never
+  /// blocks beyond the ring mutex; a full ring evicts its oldest entry.
+  uint64_t Offer(std::string_view tenant, std::span<const float> features);
+
+  /// Joins delayed ground truth onto a logged row. NotFound when the row
+  /// was sampled out (seq 0), already drained, or evicted — delayed labels
+  /// are best-effort by design.
+  Status Label(uint64_t seq, int32_t label);
+
+  /// Pops up to `max` rows, oldest first. Rows leave the ring permanently
+  /// (a Label after Drain misses). Honors the injected stream-stall fault:
+  /// the ring's contents are dropped and nothing is returned, exactly once
+  /// per armed stream-stall spec.
+  std::vector<LoggedRequest> Drain(size_t max);
+
+  RequestLogStats stats() const;
+
+ private:
+  explicit RequestLog(const RequestLogOptions& options);
+
+  bool ObsOn() const;
+  void MirrorMetrics() const SAMPNN_REQUIRES(mu_);
+
+  const RequestLogOptions options_;
+
+  mutable Mutex mu_{"lifecycle.request_log", lockrank::kRequestLog};
+  std::deque<LoggedRequest> ring_ SAMPNN_GUARDED_BY(mu_);  ///< seq ascending
+  uint64_t next_seq_ SAMPNN_GUARDED_BY(mu_) = 1;
+  RequestLogStats stats_ SAMPNN_GUARDED_BY(mu_);
+};
+
+}  // namespace sampnn

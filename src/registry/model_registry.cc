@@ -279,7 +279,8 @@ StatusOr<uint64_t> ModelRegistry::Promote(Mlp candidate,
 }
 
 StatusOr<uint64_t> ModelRegistry::PromoteFromDir(const std::string& dir,
-                                                 const CanaryBatch& canary) {
+                                                 const CanaryBatch& canary,
+                                                 const std::string& cause) {
   auto loaded = LatestValidCheckpoint(dir);
   if (!loaded.ok()) {
     // No valid frame (or no directory): record the rejection so /statusz
@@ -314,6 +315,7 @@ StatusOr<uint64_t> ModelRegistry::PromoteFromDir(const std::string& dir,
   provenance.checkpoint_path = loaded.value().path;
   provenance.checkpoint_step = loaded.value().step;
   provenance.payload_crc32 = Crc32(loaded.value().payload);
+  provenance.cause = cause;
   return Promote(std::move(model).value(), std::move(provenance), canary);
 }
 
@@ -373,7 +375,8 @@ std::string ModelRegistry::RenderStatuszSection() const {
   if (!live->provenance.checkpoint_path.empty()) {
     out << " ckpt=" << live->provenance.checkpoint_path
         << " step=" << live->provenance.checkpoint_step << " crc=0x"
-        << std::hex << live->provenance.payload_crc32 << std::dec;
+        << std::hex << live->provenance.payload_crc32 << std::dec
+        << " cause=" << live->provenance.cause;
   }
   out << "\nretained:";
   if (retained_.empty()) {

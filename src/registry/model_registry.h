@@ -64,6 +64,10 @@ struct ModelProvenance {
   std::string checkpoint_path;
   uint64_t checkpoint_step = 0;
   uint32_t payload_crc32 = 0;
+  /// Why this promotion happened: "manual" (operator-driven, the default),
+  /// "drift" (lifecycle loop reacting to input drift), etc. Audit trail for
+  /// "who decided version 7 should serve?".
+  std::string cause = "manual";
 };
 
 /// \brief One immutable registry snapshot. Everything in an entry is frozen
@@ -188,9 +192,11 @@ class ModelRegistry {
   /// validation (magic / declared size / CRC32), parses the SNN1 model
   /// image from its payload, and runs the Promote pipeline. kNotFound when
   /// the directory holds no valid checkpoint; kDataLoss when the newest
-  /// valid frame does not carry a parseable model.
+  /// valid frame does not carry a parseable model. `cause` is stamped into
+  /// the promoted entry's provenance ("manual", "drift", ...).
   StatusOr<uint64_t> PromoteFromDir(const std::string& dir,
-                                    const CanaryBatch& canary);
+                                    const CanaryBatch& canary,
+                                    const std::string& cause = "manual");
 
   /// Re-pins retained `version` as live (the emergency lever after a bad —
   /// but gate-passing — promotion). The displaced entry joins the retained

@@ -1,6 +1,7 @@
 #include "src/resilience/checkpoint.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -82,6 +83,45 @@ void CountSkippedCorrupt() {
     c.Increment();
   }
 }
+
+// Advisory flock over "<dir>/.ckpt.lock" coordinating retention deletes
+// against scans when a trainer and a promoter share one checkpoint dir.
+// Prune() holds it exclusive across its list+delete; readers hold it shared
+// across their whole list+read loop, so a scan can never observe a file
+// vanishing between listing and reading it. flock is per open-file-
+// description, so concurrent threads (each with their own open) and
+// separate processes both serialize correctly. The ".ckpt.lock" name does
+// not match ParseCheckpointStep, so the lock file is invisible to scans.
+//
+// Degrades to unlocked when the lock file cannot be opened (e.g. the dir
+// does not exist yet): callers still get the pre-lock best-effort behavior
+// rather than a new failure mode.
+class CheckpointDirLock {
+ public:
+  CheckpointDirLock(const std::string& dir, int operation) {
+    const std::string path = (fs::path(dir) / ".ckpt.lock").string();
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    while (::flock(fd_, operation) != 0) {
+      if (errno != EINTR) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+    }
+  }
+  ~CheckpointDirLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  CheckpointDirLock(const CheckpointDirLock&) = delete;
+  CheckpointDirLock& operator=(const CheckpointDirLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
 
 }  // namespace
 
@@ -171,6 +211,10 @@ Status CheckpointWriter::Write(uint64_t step, std::string_view payload) {
 
 Status CheckpointWriter::Prune() const {
   if (options_.retain == 0) return Status::OK();
+  // Exclusive: no scan may run while retention deletes files, or a reader
+  // that listed N files could find the oldest already gone (satellite fix
+  // for the shared trainer/promoter dir).
+  CheckpointDirLock lock(options_.dir, LOCK_EX);
   std::vector<uint64_t> steps = ListCheckpointSteps(options_.dir);
   if (steps.size() <= options_.retain) return Status::OK();
   const size_t drop = steps.size() - options_.retain;
@@ -233,6 +277,9 @@ std::vector<uint64_t> ListCheckpointSteps(const std::string& dir) {
 }
 
 StatusOr<LoadedCheckpoint> LatestValidCheckpoint(const std::string& dir) {
+  // Shared: many scans may overlap each other, but none may overlap a
+  // retention delete — the whole list+read loop sees a stable directory.
+  CheckpointDirLock lock(dir, LOCK_SH);
   std::vector<uint64_t> steps = ListCheckpointSteps(dir);
   for (size_t i = steps.size(); i-- > 0;) {
     const std::string path =

@@ -11,6 +11,13 @@
 // Readers verify the magic, the declared size against the file length, and
 // the CRC, so torn or bit-flipped files are rejected; LatestValidCheckpoint
 // then falls back to the newest file that does validate.
+//
+// Shared-directory coordination: when a trainer (writing + retaining) and a
+// promoter (scanning) share one directory, an advisory flock over
+// "<dir>/.ckpt.lock" keeps retention deletes (exclusive) from interleaving
+// with scans (shared), so LatestValidCheckpoint can never list a file and
+// then find it deleted mid-scan. Works across threads and processes; the
+// writer's atomic temp+rename needs no lock of its own.
 
 #pragma once
 

@@ -28,6 +28,9 @@ StatusOr<FaultKind> FaultKindFromString(const std::string& name) {
   if (name == "promote-corrupt") return FaultKind::kPromoteCorrupt;
   if (name == "promote-regressed") return FaultKind::kPromoteRegressed;
   if (name == "swap-race") return FaultKind::kSwapRace;
+  if (name == "drift-spike") return FaultKind::kDriftSpike;
+  if (name == "stream-stall") return FaultKind::kStreamStall;
+  if (name == "canary-regress") return FaultKind::kCanaryRegress;
   return Status::InvalidArgument("unknown fault kind: " + name);
 }
 
@@ -59,6 +62,12 @@ const char* FaultKindToString(FaultKind kind) {
       return "promote-regressed";
     case FaultKind::kSwapRace:
       return "swap-race";
+    case FaultKind::kDriftSpike:
+      return "drift-spike";
+    case FaultKind::kStreamStall:
+      return "stream-stall";
+    case FaultKind::kCanaryRegress:
+      return "canary-regress";
   }
   return "unknown";
 }

@@ -53,11 +53,20 @@ enum class FaultKind {
   kPromoteCorrupt,    ///< ModelRegistry: candidate checkpoint fails CRC
   kPromoteRegressed,  ///< ModelRegistry: canary eval trips the sentinel
   kSwapRace,          ///< ModelRegistry: promotion raced with a drain
+  // Lifecycle faults (src/lifecycle/): queried by the continuous
+  // train-while-serve loop. drift-spike forces the DriftDetector to trip,
+  // stream-stall starves the request-log ring (Drain returns nothing and
+  // drops the buffered rows), canary-regress fails the loop-side canary
+  // gate so the candidate is never handed to the registry.
+  kDriftSpike,     ///< DriftDetector: force a trip regardless of stats
+  kStreamStall,    ///< RequestLog: Drain starves (buffered rows dropped)
+  kCanaryRegress,  ///< FineTuneLoop: canary eval reports a regression
 };
 
 /// Parses "grad-nan" | "kill" | "halt" | "ckpt-truncate" | "ckpt-corrupt" |
 /// "fsync-fail" | "rename-fail" | "delay" | "hang" | "reject-admission" |
-/// "promote-corrupt" | "promote-regressed" | "swap-race".
+/// "promote-corrupt" | "promote-regressed" | "swap-race" | "drift-spike" |
+/// "stream-stall" | "canary-regress".
 StatusOr<FaultKind> FaultKindFromString(const std::string& name);
 /// Canonical spec-string name.
 const char* FaultKindToString(FaultKind kind);

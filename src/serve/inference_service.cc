@@ -330,6 +330,16 @@ std::future<InferenceResult> InferenceService::Submit(std::string_view tenant,
         " features, model expects " + std::to_string(input_dim_));
   }
 
+  uint64_t log_seq = 0;
+  if (immediate.status.ok() && options_.request_log != nullptr) {
+    // Outside mu_ on purpose: the log has its own (higher-rank) lock and
+    // logging must never extend the admission critical section. Offered
+    // traffic is logged whether or not admission later sheds it — the
+    // drift detector wants the arriving distribution, not the served one.
+    log_seq = options_.request_log->Offer(ts->config.name, input);
+  }
+  immediate.log_seq = log_seq;
+
   bool shed_now = false;
   if (immediate.status.ok()) {
     MutexLock lock(mu_);
@@ -370,6 +380,7 @@ std::future<InferenceResult> InferenceService::Submit(std::string_view tenant,
         req.rc = rc;
         req.rc.enqueue_ms = req.enqueue_ms;  // admit segment closes here
         req.tenant = ts;
+        req.log_seq = log_seq;
         ts->queue.push_back(std::move(req));
         ++total_queued_;
         admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -556,6 +567,7 @@ void InferenceService::RunBatch(std::vector<PendingRequest> batch,
     TenantState* tenant = req.tenant;
     req.rc.compute_end_ms = now;
     InferenceResult result;
+    result.log_seq = req.log_seq;
     result.latency_ms = now - req.enqueue_ms;
     if (status.ok() && !req.deadline.expired()) {
       result.status = Status::OK();
@@ -774,6 +786,7 @@ ServeStats InferenceService::Stats() const {
 void InferenceService::CompleteShed(PendingRequest* req,
                                     const std::string& why) {
   InferenceResult result;
+  result.log_seq = req->log_seq;
   result.status = Status::ResourceExhausted(why);
   cancelled_.fetch_add(1, std::memory_order_relaxed);
   MirrorCount("serve.cancelled");
@@ -788,6 +801,7 @@ void InferenceService::CompleteShed(PendingRequest* req,
 void InferenceService::CompleteDeadline(PendingRequest* req,
                                         const std::string& why) {
   InferenceResult result;
+  result.log_seq = req->log_seq;
   result.status = Status::DeadlineExceeded(why);
   result.latency_ms = NowMs() - req->enqueue_ms;
   deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);

@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/lifecycle/request_log.h"
 #include "src/obs/request_context.h"
 #include "src/registry/model_registry.h"
 #include "src/serve/model_backend.h"
@@ -101,6 +102,13 @@ struct ServeOptions {
   /// when the list omits it; an empty list yields single-tenant serving.
   std::vector<TenantConfig> tenants;
 
+  /// Request log feeding the continuous-lifecycle loop (src/lifecycle/).
+  /// When set, Submit offers every validated input row (tenant-tagged,
+  /// outside the queue lock) and stamps the assigned sequence number into
+  /// the result, so clients can join delayed ground truth via
+  /// RequestLog::Label. Null = no logging (the default).
+  std::shared_ptr<RequestLog> request_log;
+
   const Clock* clock = nullptr;  ///< nullptr = the real monotonic clock
 
   /// Defaults with SAMPNN_SERVE_QUEUE_CAP / SAMPNN_SERVE_DEADLINE_MS /
@@ -123,6 +131,8 @@ struct InferenceResult {
                                ///< backlog and latency EWMA
   int64_t latency_ms = 0;      ///< admission -> completion (service clock)
   uint64_t model_version = 0;  ///< on kOk: registry version that served it
+  uint64_t log_seq = 0;  ///< request-log sequence for delayed-label joins;
+                         ///< 0 = not logged (no log, or sampled out)
 };
 
 /// Per-tenant slice of ServeStats. The same conservation identities hold
@@ -229,6 +239,13 @@ class InferenceService {
   /// (options.statusz_port == -1 or the bind failed).
   int statusz_port() const;
 
+  /// The windowed SLO tracker, or nullptr when observability is off. The
+  /// lifecycle loop's demotion watch reads Snapshot() through this.
+  SloTracker* slo_tracker() const { return slo_.get(); }
+  /// The embedded introspection server, or nullptr when off. Lets callers
+  /// register extra /statusz sections (e.g. the lifecycle loop's).
+  StatuszServer* statusz_server() const { return statusz_.get(); }
+
  private:
   struct TenantState;
 
@@ -239,6 +256,7 @@ class InferenceService {
     int64_t enqueue_ms = 0;
     RequestContext rc;  ///< id + phase-boundary stamps (DESIGN.md §12)
     TenantState* tenant = nullptr;  ///< owning sub-queue (stable pointer)
+    uint64_t log_seq = 0;  ///< request-log sequence (0 = not logged)
   };
 
   /// One tenant's sub-queue plus its always-on counters (ServeStats slice)

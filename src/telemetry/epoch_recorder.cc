@@ -75,6 +75,11 @@ std::string EpochTelemetryToJson(const EpochTelemetry& rec) {
      << ",\"gemm_pack_b_panels\":" << rec.gemm_pack_b_panels
      << ",\"gemm_pack_a_panels\":" << rec.gemm_pack_a_panels
      << ",\"gemm_block_tasks\":" << rec.gemm_block_tasks
+     << ",\"drift_score\":" << rec.drift_score
+     << ",\"drift_trips\":" << rec.drift_trips
+     << ",\"lifecycle_promotions\":" << rec.lifecycle_promotions
+     << ",\"lifecycle_rollbacks\":" << rec.lifecycle_rollbacks
+     << ",\"lifecycle_diverged\":" << rec.lifecycle_diverged
      << ",\"rss_bytes\":" << rec.rss_bytes << "}";
   return os.str();
 }

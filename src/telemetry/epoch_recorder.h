@@ -132,6 +132,16 @@ struct EpochTelemetry {
   uint64_t gemm_pack_a_panels = 0;
   uint64_t gemm_block_tasks = 0;
 
+  // Continuous-lifecycle loop (cumulative-so-far within the run; zero for
+  // plain training runs, which never drift-detect or promote). A lifecycle
+  // "epoch" is one fine-tune round; `drift_score` is the detector's
+  // aggregate z at the end of the round.
+  double drift_score = 0.0;
+  uint64_t drift_trips = 0;
+  uint64_t lifecycle_promotions = 0;
+  uint64_t lifecycle_rollbacks = 0;
+  uint64_t lifecycle_diverged = 0;
+
   uint64_t rss_bytes = 0;  ///< process RSS at epoch end
 };
 

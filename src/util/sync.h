@@ -81,9 +81,11 @@ namespace sampnn {
 namespace lockrank {
 inline constexpr int kServeLifecycle = 10;    ///< serve.lifecycle
 inline constexpr int kStatusz = 14;           ///< obs.statusz
+inline constexpr int kLifecycleLoop = 15;     ///< lifecycle.loop
 inline constexpr int kSloTracker = 16;        ///< obs.slo
 inline constexpr int kRegistrySwap = 18;      ///< registry.swap
 inline constexpr int kServeQueue = 20;        ///< serve.queue
+inline constexpr int kRequestLog = 22;        ///< lifecycle.request_log
 inline constexpr int kServeWorkerToken = 30;  ///< serve.worker_token
 inline constexpr int kServeBackend = 40;      ///< serve.backend
 inline constexpr int kGemmPackPool = 44;      ///< tensor.pack_pool

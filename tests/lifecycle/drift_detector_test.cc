@@ -1,0 +1,157 @@
+#include "src/lifecycle/drift_detector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/resilience/fault_injector.h"
+#include "src/tensor/matrix.h"
+
+namespace sampnn {
+namespace {
+
+DriftDetectorOptions QuietOptions() {
+  DriftDetectorOptions options;
+  options.z_threshold = 2.0;
+  options.ewma_alpha = 0.5;
+  options.min_observations = 8;
+  options.obs_enabled = [] { return false; };
+  return options;
+}
+
+// Reference with per-feature spread: feature j takes values j, j+1, j+2, j+3
+// across four rows (mean j+1.5, sigma ~1.118).
+Matrix SpreadReference(size_t features = 4) {
+  Matrix reference(4, features);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t j = 0; j < features; ++j) {
+      reference(r, j) = static_cast<float>(j + r);
+    }
+  }
+  return reference;
+}
+
+std::vector<float> Row(float value, size_t dim = 4) {
+  return std::vector<float>(dim, value);
+}
+
+DriftDetector MakeDetector(const Matrix& reference,
+                           DriftDetectorOptions options = QuietOptions()) {
+  return std::move(DriftDetector::Create(reference, options))
+      .ValueOrDie("detector");
+}
+
+class DriftDetectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::ClearGlobal(); }
+};
+
+TEST_F(DriftDetectorTest, CreateRejectsEmptyReferenceAndBadOptions) {
+  EXPECT_TRUE(DriftDetector::Create(Matrix(), QuietOptions())
+                  .status()
+                  .IsInvalidArgument());
+  DriftDetectorOptions bad_z = QuietOptions();
+  bad_z.z_threshold = 0.0;
+  EXPECT_TRUE(DriftDetector::Create(SpreadReference(), bad_z)
+                  .status()
+                  .IsInvalidArgument());
+  DriftDetectorOptions bad_alpha = QuietOptions();
+  bad_alpha.ewma_alpha = 1.5;
+  EXPECT_TRUE(DriftDetector::Create(SpreadReference(), bad_alpha)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(DriftDetectorTest, ScoreStartsAtZeroAndMatchingTrafficNeverTrips) {
+  DriftDetector detector = MakeDetector(SpreadReference());
+  EXPECT_EQ(detector.score(), 0.0);
+  // Serve rows drawn from the reference itself, well past min_observations.
+  const Matrix reference = SpreadReference();
+  for (int pass = 0; pass < 16; ++pass) {
+    for (size_t r = 0; r < reference.rows(); ++r) {
+      std::vector<float> row(reference.cols());
+      for (size_t j = 0; j < row.size(); ++j) row[j] = reference(r, j);
+      detector.Observe(row);
+    }
+    EXPECT_FALSE(detector.Tripped()) << "pass " << pass;
+  }
+  // The EWMA hovers around the reference mean: score stays well inside the
+  // threshold even though individual rows sit a full sigma away from it.
+  EXPECT_LT(detector.score(), 2.0);
+  EXPECT_EQ(detector.stats().trips, 0u);
+}
+
+TEST_F(DriftDetectorTest, PersistentShiftTripsOnceMinObservationsAreMet) {
+  DriftDetector detector = MakeDetector(SpreadReference());
+  // Every feature shifted ~20 sigma: tripping is a question of when, and
+  // "when" must respect min_observations.
+  for (uint64_t i = 0; i < 7; ++i) {
+    detector.Observe(Row(25.0f));
+    EXPECT_FALSE(detector.Tripped()) << "observation " << i;
+  }
+  detector.Observe(Row(25.0f));  // 8th row: past the floor
+  EXPECT_TRUE(detector.Tripped());
+  EXPECT_EQ(detector.stats().trips, 1u);
+  // Holding in the tripped state is not a new rising edge.
+  detector.Observe(Row(25.0f));
+  EXPECT_TRUE(detector.Tripped());
+  EXPECT_EQ(detector.stats().trips, 1u);
+}
+
+TEST_F(DriftDetectorTest, MalformedRowsAreIgnored) {
+  DriftDetector detector = MakeDetector(SpreadReference());
+  detector.Observe(Row(25.0f, /*dim=*/3));   // too narrow
+  detector.Observe(Row(25.0f, /*dim=*/5));   // too wide
+  EXPECT_EQ(detector.stats().observed, 0u);
+  EXPECT_EQ(detector.score(), 0.0);
+}
+
+TEST_F(DriftDetectorTest, RefreezeAdoptsTheShiftAndArrestsReTripping) {
+  DriftDetector detector = MakeDetector(SpreadReference());
+  for (int i = 0; i < 32; ++i) detector.Observe(Row(25.0f));
+  ASSERT_TRUE(detector.Tripped());
+
+  detector.Refreeze();
+  EXPECT_FALSE(detector.Tripped());
+  EXPECT_EQ(detector.stats().refreezes, 1u);
+  EXPECT_LT(detector.score(), 0.1);
+
+  // The same shifted distribution keeps flowing: the refrozen reference
+  // owns it now, so the detector must not thrash back into a trip.
+  for (int i = 0; i < 32; ++i) {
+    detector.Observe(Row(25.0f));
+    EXPECT_FALSE(detector.Tripped());
+  }
+  EXPECT_EQ(detector.stats().trips, 1u);
+}
+
+TEST_F(DriftDetectorTest, InjectedDriftSpikeForcesATripUntilRefrozen) {
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("drift-spike@0")).value());
+  DriftDetector detector = MakeDetector(SpreadReference());
+  // No observations at all — the injected spike alone trips the detector,
+  // and the forced trip latches even though the fault fires only once.
+  EXPECT_TRUE(detector.Tripped());
+  EXPECT_TRUE(detector.Tripped());
+  EXPECT_EQ(detector.stats().trips, 1u);
+  detector.Refreeze();
+  EXPECT_FALSE(detector.Tripped());
+  EXPECT_EQ(detector.stats().trips, 1u);
+}
+
+TEST_F(DriftDetectorTest, FromEnvParsesTheDriftKnobs) {
+  ::setenv("SAMPNN_LIFECYCLE_DRIFT_Z", "2.5", 1);
+  ::setenv("SAMPNN_LIFECYCLE_DRIFT_ALPHA", "0.25", 1);
+  ::setenv("SAMPNN_LIFECYCLE_DRIFT_MIN_OBS", "17", 1);
+  const DriftDetectorOptions options = DriftDetectorOptions::FromEnv();
+  ::unsetenv("SAMPNN_LIFECYCLE_DRIFT_Z");
+  ::unsetenv("SAMPNN_LIFECYCLE_DRIFT_ALPHA");
+  ::unsetenv("SAMPNN_LIFECYCLE_DRIFT_MIN_OBS");
+  EXPECT_DOUBLE_EQ(options.z_threshold, 2.5);
+  EXPECT_DOUBLE_EQ(options.ewma_alpha, 0.25);
+  EXPECT_EQ(options.min_observations, 17u);
+  EXPECT_DOUBLE_EQ(DriftDetectorOptions::FromEnv().z_threshold, 4.0);
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -1,0 +1,390 @@
+// FineTuneLoop state-machine tests, fully deterministic: time comes from a
+// ManualClock, drift from scripted request rows, divergence / canary
+// regressions from injected faults, and SLO deltas from a scripted
+// slo_source. Each test drives TickOnce() by hand — exactly what the
+// production Start() thread calls.
+
+#include "src/lifecycle/fine_tune_loop.h"
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "src/lifecycle/request_log.h"
+#include "src/nn/mlp.h"
+#include "src/registry/model_registry.h"
+#include "src/resilience/fault_injector.h"
+#include "src/serve/model_backend.h"
+
+namespace sampnn {
+namespace {
+
+MlpConfig NetConfig(uint64_t seed = 42) {
+  MlpConfig config = MlpConfig::Uniform(/*input_dim=*/4, /*output_dim=*/3,
+                                        /*depth=*/1, /*width=*/8);
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<Trainer> MakeStandardTrainer() {
+  TrainerOptions options;
+  options.kind = TrainerKind::kStandard;
+  options.learning_rate = 1e-3f;
+  return std::move(MakeTrainer(NetConfig(), options)).ValueOrDie("trainer");
+}
+
+std::shared_ptr<ModelRegistry> MakeRegistry(RegistryOptions options = {}) {
+  Mlp net = std::move(Mlp::Create(NetConfig())).ValueOrDie("net");
+  auto factory = [](Mlp model) -> StatusOr<std::shared_ptr<ModelBackend>> {
+    return std::shared_ptr<ModelBackend>(MakeDenseBackend(std::move(model)));
+  };
+  return std::shared_ptr<ModelRegistry>(
+      std::move(ModelRegistry::Create(MakeDenseBackend(std::move(net)),
+                                      factory, options))
+          .ValueOrDie("registry")
+          .release());
+}
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("sampnn_lifecycle_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Offers `n` labeled rows of constant `value` — a persistent distribution
+// shift relative to the all-zeros drift reference.
+void OfferLabeledRows(RequestLog& log, size_t n, float value) {
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> row(4, value);
+    const uint64_t seq = log.Offer("tenant-a", row);
+    ASSERT_NE(seq, 0u);
+    ASSERT_TRUE(log.Label(seq, static_cast<int32_t>(i % 3)).ok());
+  }
+}
+
+class FineTuneLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ScratchDir(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    log_ = RequestLog::Create([] {
+      RequestLogOptions options;
+      options.capacity = 1024;
+      options.obs_enabled = [] { return false; };
+      return options;
+    }());
+    registry_ = MakeRegistry();
+  }
+
+  void TearDown() override {
+    FaultInjector::ClearGlobal();
+    std::filesystem::remove_all(dir_);
+  }
+
+  FineTuneLoopOptions LoopOptions() {
+    FineTuneLoopOptions options;
+    options.checkpoint_dir = dir_;
+    options.poll_ms = 1;
+    options.demotion_window_ms = 1000;
+    options.fine_tune_batches = 4;
+    options.batch_size = 8;
+    options.checkpoint_every = 2;
+    options.min_labeled = 24;
+    options.canary_rows = 8;
+    options.drift.z_threshold = 2.0;
+    options.drift.ewma_alpha = 0.5;
+    options.drift.min_observations = 8;
+    options.drift.obs_enabled = [] { return false; };
+    options.obs_enabled = [] { return false; };
+    options.clock = &clock_;
+    return options;
+  }
+
+  std::unique_ptr<FineTuneLoop> MakeLoop(FineTuneLoopOptions options) {
+    // All-zeros reference: any constant nonzero traffic is a large shift.
+    return std::move(FineTuneLoop::Create(MakeStandardTrainer(), log_,
+                                          registry_, Matrix(8, 4), options))
+        .ValueOrDie("loop");
+  }
+
+  ManualClock clock_{1000};
+  std::string dir_;
+  std::shared_ptr<RequestLog> log_;
+  std::shared_ptr<ModelRegistry> registry_;
+};
+
+TEST_F(FineTuneLoopTest, CreateValidatesItsArguments) {
+  EXPECT_TRUE(FineTuneLoop::Create(nullptr, log_, registry_, Matrix(8, 4),
+                                   LoopOptions())
+                  .status()
+                  .IsInvalidArgument());
+
+  FineTuneLoopOptions no_dir = LoopOptions();
+  no_dir.checkpoint_dir.clear();
+  EXPECT_TRUE(FineTuneLoop::Create(MakeStandardTrainer(), log_, registry_,
+                                   Matrix(8, 4), no_dir)
+                  .status()
+                  .IsInvalidArgument());
+
+  FineTuneLoopOptions canary_eats_pool = LoopOptions();
+  canary_eats_pool.min_labeled = 8;
+  canary_eats_pool.canary_rows = 8;
+  EXPECT_TRUE(FineTuneLoop::Create(MakeStandardTrainer(), log_, registry_,
+                                   Matrix(8, 4), canary_eats_pool)
+                  .status()
+                  .IsInvalidArgument());
+
+  // Reference width must match the model's input dim (4).
+  EXPECT_TRUE(FineTuneLoop::Create(MakeStandardTrainer(), log_, registry_,
+                                   Matrix(8, 5), LoopOptions())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(FineTuneLoopTest, IdleWithoutDriftEvenWhenThePoolIsFull) {
+  auto loop = MakeLoop(LoopOptions());
+  // Plenty of labeled traffic, but it matches the reference: no round.
+  OfferLabeledRows(*log_, 64, 0.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  const LifecycleStats stats = loop->stats();
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.state, LifecycleState::kIdle);
+  EXPECT_GE(stats.pool_size, 24u);
+  EXPECT_EQ(registry_->live_version(), 1u);
+}
+
+TEST_F(FineTuneLoopTest, DriftTripFineTunesPromotesAndClosesTheWindowClean) {
+  auto loop = MakeLoop(LoopOptions());
+  OfferLabeledRows(*log_, 32, 1.0f);
+
+  ASSERT_TRUE(loop->TickOnce().ok());
+  LifecycleStats stats = loop->stats();
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.diverged, 0u);
+  EXPECT_EQ(stats.batches, 4u);
+  EXPECT_EQ(stats.state, LifecycleState::kWatching);
+  EXPECT_EQ(stats.pool_size, 0u);
+
+  // The registry flipped through the hardened gate, stamped with the drift
+  // cause and the checkpoint provenance the loop wrote.
+  EXPECT_EQ(registry_->live_version(), 2u);
+  const auto live = registry_->Current();
+  EXPECT_EQ(live->provenance.cause, "drift");
+  EXPECT_NE(live->provenance.checkpoint_path.find("ckpt-"),
+            std::string::npos);
+
+  // Inside the demotion window nothing regresses (no slo_source at all):
+  // the window must stay open until the clock passes it.
+  clock_.AdvanceMillis(500);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  EXPECT_EQ(loop->stats().state, LifecycleState::kWatching);
+
+  clock_.AdvanceMillis(501);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  stats = loop->stats();
+  EXPECT_EQ(stats.state, LifecycleState::kIdle);
+  EXPECT_EQ(stats.windows_clean, 1u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+
+  // The detector refroze onto the shifted distribution: the same traffic
+  // must not re-trip into a promotion storm.
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  EXPECT_EQ(loop->stats().rounds, 1u);
+  EXPECT_EQ(registry_->live_version(), 2u);
+}
+
+TEST_F(FineTuneLoopTest, DivergedRoundIsStructurallyUnpromotable) {
+  auto loop = MakeLoop(LoopOptions());
+  OfferLabeledRows(*log_, 32, 1.0f);
+  // The first fine-tune Step poisons a gradient: the sentinel must catch
+  // it, the round must abandon, and nothing may reach the registry.
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("grad-nan@0")).value());
+
+  ASSERT_TRUE(loop->TickOnce().ok());
+  const LifecycleStats stats = loop->stats();
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.diverged, 1u);
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_EQ(stats.state, LifecycleState::kIdle);
+  EXPECT_EQ(stats.pool_size, 0u);
+  EXPECT_EQ(registry_->live_version(), 1u);
+
+  // The divergence abandoned the drift episode (refreeze): the same
+  // shifted traffic does not immediately re-enter the same divergence.
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  EXPECT_EQ(loop->stats().rounds, 1u);
+  EXPECT_EQ(registry_->live_version(), 1u);
+}
+
+TEST_F(FineTuneLoopTest, InjectedCanaryRegressionBlocksPromotionThenRetries) {
+  auto loop = MakeLoop(LoopOptions());
+  OfferLabeledRows(*log_, 32, 1.0f);
+  FaultInjector::InstallGlobal(
+      std::move(FaultInjector::Parse("canary-regress@0")).value());
+
+  ASSERT_TRUE(loop->TickOnce().ok());
+  LifecycleStats stats = loop->stats();
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.rejected_canary, 1u);
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_EQ(stats.state, LifecycleState::kIdle);
+  EXPECT_EQ(registry_->live_version(), 1u);
+
+  // A canary rejection does NOT refreeze — the drift is real and still
+  // unserved. Once the pool refills, the loop retries and (the injected
+  // fault now spent) promotes.
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  stats = loop->stats();
+  EXPECT_EQ(stats.rounds, 2u);
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(registry_->live_version(), 2u);
+}
+
+TEST_F(FineTuneLoopTest, RegistryGateRejectionIsARecordedOutcomeNotAnError) {
+  RegistryOptions registry_options;
+  registry_options.promote_fault_spec = "promote-corrupt@1";
+  registry_ = MakeRegistry(registry_options);
+  auto loop = MakeLoop(LoopOptions());
+  OfferLabeledRows(*log_, 32, 1.0f);
+
+  ASSERT_TRUE(loop->TickOnce().ok());  // rejection, not a tick failure
+  LifecycleStats stats = loop->stats();
+  EXPECT_EQ(stats.rejected_registry, 1u);
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_EQ(registry_->live_version(), 1u);
+  EXPECT_EQ(registry_->stats().rejected_corrupt, 1u);
+
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  EXPECT_EQ(loop->stats().promotions, 1u);
+  EXPECT_EQ(registry_->live_version(), 2u);
+}
+
+TEST_F(FineTuneLoopTest, P99RegressionInTheWindowAutoRollsBack) {
+  auto slo = std::make_shared<SloSnapshot>();
+  slo->p99_ms = 10.0;
+  slo->window_count = 100;
+  FineTuneLoopOptions options = LoopOptions();
+  options.slo_source = [slo] { return *slo; };
+  auto loop = MakeLoop(options);
+
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  ASSERT_EQ(loop->stats().promotions, 1u);
+  ASSERT_EQ(registry_->live_version(), 2u);
+
+  // The promoted model tanks tail latency: p99 jumps past baseline * 2.
+  slo->p99_ms = 50.0;
+  clock_.AdvanceMillis(100);  // still inside the demotion window
+  ASSERT_TRUE(loop->TickOnce().ok());
+  const LifecycleStats stats = loop->stats();
+  EXPECT_EQ(stats.rollbacks, 1u);
+  EXPECT_EQ(stats.windows_clean, 0u);
+  EXPECT_EQ(stats.state, LifecycleState::kIdle);
+  EXPECT_EQ(registry_->live_version(), 1u);  // displaced version restored
+  EXPECT_EQ(registry_->stats().rollbacks, 1u);
+  EXPECT_EQ(registry_->LastPromotion().outcome, PromotionOutcome::kRolledBack);
+}
+
+TEST_F(FineTuneLoopTest, ViolationRateRegressionAlsoRollsBack) {
+  auto slo = std::make_shared<SloSnapshot>();
+  slo->p99_ms = 10.0;
+  slo->violation_rate = 0.01;
+  slo->window_count = 100;
+  FineTuneLoopOptions options = LoopOptions();
+  options.slo_source = [slo] { return *slo; };
+  auto loop = MakeLoop(options);
+
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  ASSERT_EQ(registry_->live_version(), 2u);
+
+  // p99 holds, but the deadline-violation rate explodes past the +0.2 bound.
+  slo->violation_rate = 0.5;
+  clock_.AdvanceMillis(100);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  EXPECT_EQ(loop->stats().rollbacks, 1u);
+  EXPECT_EQ(registry_->live_version(), 1u);
+}
+
+TEST_F(FineTuneLoopTest, HealthySloKeepsThePromotion) {
+  auto slo = std::make_shared<SloSnapshot>();
+  slo->p99_ms = 10.0;
+  slo->violation_rate = 0.01;
+  slo->window_count = 100;
+  FineTuneLoopOptions options = LoopOptions();
+  options.slo_source = [slo] { return *slo; };
+  auto loop = MakeLoop(options);
+
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  ASSERT_EQ(registry_->live_version(), 2u);
+
+  // Mild wobble well inside both bounds.
+  slo->p99_ms = 12.0;
+  slo->violation_rate = 0.05;
+  clock_.AdvanceMillis(1001);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  const LifecycleStats stats = loop->stats();
+  EXPECT_EQ(stats.windows_clean, 1u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+  EXPECT_EQ(registry_->live_version(), 2u);
+}
+
+TEST_F(FineTuneLoopTest, StatuszSectionRendersTheStateMachine) {
+  auto loop = MakeLoop(LoopOptions());
+  OfferLabeledRows(*log_, 32, 1.0f);
+  ASSERT_TRUE(loop->TickOnce().ok());
+  const std::string section = loop->RenderStatuszSection();
+  EXPECT_NE(section.find("state: watching"), std::string::npos) << section;
+  EXPECT_NE(section.find("promotions=1"), std::string::npos) << section;
+  EXPECT_NE(section.find("trips=1"), std::string::npos) << section;
+  EXPECT_NE(section.find("displaced=v1"), std::string::npos) << section;
+}
+
+TEST_F(FineTuneLoopTest, StartRunsTicksInTheBackgroundAndStopJoins) {
+  FineTuneLoopOptions options = LoopOptions();
+  options.clock = nullptr;  // real clock: poll_ms=1 sleeps for real
+  auto loop = MakeLoop(options);
+  ASSERT_TRUE(loop->Start().ok());
+  EXPECT_TRUE(loop->Start().IsFailedPrecondition());  // already running
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (loop->stats().ticks < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  loop->Stop();
+  EXPECT_GE(loop->stats().ticks, 3u);
+  loop->Stop();  // idempotent
+}
+
+TEST_F(FineTuneLoopTest, FromEnvParsesTheLifecycleKnobs) {
+  ::setenv("SAMPNN_LIFECYCLE_POLL_MS", "7", 1);
+  ::setenv("SAMPNN_LIFECYCLE_FT_BATCHES", "11", 1);
+  ::setenv("SAMPNN_LIFECYCLE_P99_FACTOR", "3.5", 1);
+  const FineTuneLoopOptions options = FineTuneLoopOptions::FromEnv();
+  ::unsetenv("SAMPNN_LIFECYCLE_POLL_MS");
+  ::unsetenv("SAMPNN_LIFECYCLE_FT_BATCHES");
+  ::unsetenv("SAMPNN_LIFECYCLE_P99_FACTOR");
+  EXPECT_EQ(options.poll_ms, 7);
+  EXPECT_EQ(options.fine_tune_batches, 11u);
+  EXPECT_DOUBLE_EQ(options.max_p99_regression, 3.5);
+  EXPECT_EQ(FineTuneLoopOptions::FromEnv().poll_ms, 200);
+}
+
+}  // namespace
+}  // namespace sampnn

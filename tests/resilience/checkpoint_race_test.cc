@@ -1,0 +1,110 @@
+// Regression test for the checkpoint-directory sharing race (DESIGN.md §14):
+// the lifecycle loop writes checkpoints (with retain-K pruning) into the
+// same directory ModelRegistry::PromoteFromDir scans. Without the advisory
+// .ckpt.lock, LatestValidCheckpoint could list a file and then find it
+// deleted by a concurrent Prune() before reading it — surfacing as a
+// spurious NotFound (every listed file "vanished") even though the
+// directory continuously holds valid checkpoints. These tests hammer the
+// scan-vs-retain interleaving from dedicated threads; run under ASan in CI.
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/resilience/checkpoint.h"
+
+namespace sampnn {
+namespace {
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("sampnn_ckpt_race_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Payload derived from the step, so a scanner can verify it read a
+// complete, untorn frame for whatever step it landed on.
+std::string PayloadFor(uint64_t step) {
+  return "step-" + std::to_string(step) + "-" + std::string(512, 'x');
+}
+
+TEST(CheckpointRaceTest, ScannerNeverLosesToConcurrentRetention) {
+  const std::string dir = ScratchDir("scan_vs_retain");
+  // retain=2 keeps the pruner constantly deleting right behind the scan
+  // window: every Write() after the second removes the oldest file.
+  auto writer =
+      std::move(CheckpointWriter::Create({dir, /*retain=*/2}))
+          .ValueOrDie("writer");
+  ASSERT_TRUE(writer.Write(1, PayloadFor(1)).ok());
+
+  // A free-running scanner holds the shared lock nearly continuously and
+  // starves the writer's exclusive Prune() for minutes (flock has no
+  // fairness guarantee), so the scanner pauses between scans — plenty to
+  // interleave with deletions, bounded enough for CI.
+  std::atomic<bool> stop{false};
+  std::atomic<int> not_found{0};
+  std::atomic<int> torn{0};
+  std::atomic<int> scans{0};
+  std::thread scanner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto loaded = LatestValidCheckpoint(dir);
+      scans.fetch_add(1, std::memory_order_relaxed);
+      if (!loaded.ok()) {
+        // After step 1 lands, the directory always holds at least one
+        // valid checkpoint; NotFound means the scan raced a deletion.
+        not_found.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (loaded->payload != PayloadFor(loaded->step)) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (uint64_t step = 2; step <= 120; ++step) {
+    ASSERT_TRUE(writer.Write(step, PayloadFor(step)).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  scanner.join();
+
+  EXPECT_EQ(not_found.load(), 0)
+      << "LatestValidCheckpoint observed a retain-K deletion mid-scan";
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(scans.load(), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointRaceTest, LockFileIsInvisibleToCheckpointScans) {
+  // The advisory lock file lives inside the checkpoint directory; it must
+  // never be mistaken for (or corrupt the ordering of) checkpoint frames.
+  const std::string dir = ScratchDir("lock_invisible");
+  auto writer =
+      std::move(CheckpointWriter::Create({dir, /*retain=*/2}))
+          .ValueOrDie("writer");
+  ASSERT_TRUE(writer.Write(7, PayloadFor(7)).ok());
+  // Both Prune (exclusive) and the scan (shared) have taken the lock by
+  // now, so .ckpt.lock exists on disk.
+  auto loaded = LatestValidCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->step, 7u);
+  EXPECT_EQ(ListCheckpointSteps(dir), std::vector<uint64_t>{7});
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointRaceTest, MissingDirectoryStillReportsNotFound) {
+  // The lock acquisition must degrade gracefully when the directory does
+  // not exist: same NotFound contract as before the lock was introduced.
+  const std::string dir = ScratchDir("never_created");
+  EXPECT_TRUE(LatestValidCheckpoint(dir).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace sampnn

@@ -48,7 +48,8 @@ TEST_F(FaultInjectorTest, KindNamesRoundTrip) {
       FaultKind::kRenameFail,   FaultKind::kServeDelay,
       FaultKind::kServeHang,    FaultKind::kRejectAdmission,
       FaultKind::kPromoteCorrupt, FaultKind::kPromoteRegressed,
-      FaultKind::kSwapRace,
+      FaultKind::kSwapRace,       FaultKind::kDriftSpike,
+      FaultKind::kStreamStall,    FaultKind::kCanaryRegress,
   };
   for (FaultKind kind : kinds) {
     auto parsed = FaultKindFromString(FaultKindToString(kind));
@@ -122,6 +123,82 @@ TEST_F(FaultInjectorTest, ParsesServingFaultSpec) {
   EXPECT_TRUE(injector->ShouldFire(FaultKind::kServeHang));
   EXPECT_TRUE(injector->ShouldFire(FaultKind::kRejectAdmission));
   EXPECT_FALSE(injector->ShouldFire(FaultKind::kServeHang));  // fired once
+}
+
+TEST_F(FaultInjectorTest, ParsesLifecycleFaultSpec) {
+  auto injector =
+      FaultInjector::Parse("drift-spike@10,stream-stall@20,canary-regress@30");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_EQ(injector->num_armed(), 3u);
+  injector->set_step(30);
+  EXPECT_TRUE(injector->ShouldFire(FaultKind::kDriftSpike));
+  EXPECT_TRUE(injector->ShouldFire(FaultKind::kStreamStall));
+  EXPECT_TRUE(injector->ShouldFire(FaultKind::kCanaryRegress));
+  EXPECT_FALSE(injector->ShouldFire(FaultKind::kDriftSpike));  // fired once
+  EXPECT_FALSE(injector->ShouldFire(FaultKind::kStreamStall));
+  EXPECT_FALSE(injector->ShouldFire(FaultKind::kCanaryRegress));
+}
+
+TEST_F(FaultInjectorTest, DriftSpikeFiresExactlyOnceAcrossThreads) {
+  // The lifecycle loop and the serving layer may both consult the global
+  // injector; each lifecycle fault must fire exactly once total.
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 200;
+  FaultInjector injector =
+      std::move(FaultInjector::Parse("drift-spike@50")).value();
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        injector.AdvanceStep();
+        if (injector.ShouldFire(FaultKind::kDriftSpike)) fires.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST_F(FaultInjectorTest, StreamStallFiresExactlyOnceAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 200;
+  FaultInjector injector =
+      std::move(FaultInjector::Parse("stream-stall@50")).value();
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        injector.AdvanceStep();
+        if (injector.ShouldFire(FaultKind::kStreamStall)) fires.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST_F(FaultInjectorTest, CanaryRegressFiresExactlyOnceAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 200;
+  FaultInjector injector =
+      std::move(FaultInjector::Parse("canary-regress@50")).value();
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        injector.AdvanceStep();
+        if (injector.ShouldFire(FaultKind::kCanaryRegress)) fires.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fires.load(), 1);
 }
 
 TEST_F(FaultInjectorTest, ConcurrentQueriesSeeExactlyOneFirePerFault) {
